@@ -1,0 +1,32 @@
+# Convenience targets; all of them are plain pytest/python invocations.
+
+.PHONY: install test bench experiments verify examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.bench.experiments --chart
+
+verify:
+	python scripts/verify_reproduction.py
+
+report:
+	python -m repro.bench.export benchmarks/results --out benchmarks/REPORT.md
+
+examples:
+	python examples/quickstart.py
+	python examples/note_extraction.py
+	python examples/clinical_trial_search.py
+	python examples/patient_similarity.py
+	python examples/semantic_measures.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,47 @@
+"""Ablation — the Section 5.3 kNDS optimizations, toggled individually.
+
+Records total time, DRC probes, pruned candidates and traversal volume
+for: everything on, no bound pruning (optimization 1), no covered-
+coverage shortcut (optimization 3), and no traversal-state dedup (the
+paper's label-free BFS).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ablation_optimizations
+from repro.bench.workloads import random_concept_queries
+from repro.core.knds import KNDSConfig
+
+
+@pytest.mark.parametrize("variant", ["all_on", "no_pruning", "no_dedupe"])
+def test_benchmark_variants(benchmark, world, variant):
+    corpus = "RADIO"
+    query = random_concept_queries(world.corpus(corpus), nq=5, count=1,
+                                   seed=29)[0]
+    configs = {
+        "all_on": KNDSConfig(error_threshold=0.9),
+        "no_pruning": KNDSConfig(error_threshold=0.9,
+                                 prune_on_update=False,
+                                 prune_at_pop=False),
+        "no_dedupe": KNDSConfig(error_threshold=0.9, dedupe=False),
+    }
+    searcher = world.searchers[corpus]
+    results = benchmark.pedantic(
+        lambda: searcher.rds(query, 10, config=configs[variant]),
+        rounds=3, iterations=1)
+    assert len(results) == 10
+
+
+def test_report_ablation_optimizations(benchmark, record, scale):
+    table = benchmark.pedantic(
+        lambda: ablation_optimizations(scale=scale), rounds=1, iterations=1)
+    by_variant = {row[0]: row for row in table.rows}
+    pruned_on = int(by_variant["all on"][3].replace(",", ""))
+    pruned_off = int(by_variant["no pruning"][3].replace(",", ""))
+    assert pruned_on >= pruned_off  # pruning disabled => nothing pruned
+    visited_on = int(by_variant["all on"][4].replace(",", ""))
+    visited_off = int(by_variant["no state dedupe"][4].replace(",", ""))
+    assert visited_off >= visited_on
+    record("ablation_optimizations", table)

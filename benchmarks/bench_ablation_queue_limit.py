@@ -1,0 +1,37 @@
+"""Ablation — the Section 6.1 node-queue cap.
+
+The paper caps the BFS queue at 50K states and notes that a tight cap
+"may cause excessive calls to DRC".  This ablation sweeps the cap and
+records total time, DRC probes and forced analysis rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ablation_queue_limit
+from repro.bench.workloads import sample_documents
+from repro.core.knds import KNDSConfig
+
+
+@pytest.mark.parametrize("limit", [50, 50_000])
+def test_benchmark_sds_with_cap(benchmark, world, limit):
+    corpus = "RADIO"
+    document = sample_documents(world.corpus(corpus), count=1, seed=23)[0]
+    config = KNDSConfig(error_threshold=0.9, queue_limit=limit)
+    searcher = world.searchers[corpus]
+    results = benchmark.pedantic(
+        lambda: searcher.sds(document, 10, config=config),
+        rounds=3, iterations=1)
+    assert len(results) == 10
+
+
+def test_report_ablation_queue_limit(benchmark, record, scale):
+    table = benchmark.pedantic(lambda: ablation_queue_limit(scale=scale),
+                               rounds=1, iterations=1)
+    probes = [int(row[2].replace(",", "")) for row in table.rows]
+    forced = [int(row[3].replace(",", "")) for row in table.rows]
+    # The tightest cap must force rounds; an uncapped run forces none.
+    assert forced[0] >= forced[-1]
+    assert probes[0] >= probes[-1]
+    record("ablation_queue_limit", table)

@@ -1,0 +1,42 @@
+"""Ablation — Threshold Algorithm vs kNDS for RDS queries.
+
+Section 4.1 positions TA as the precompute-everything alternative; this
+target measures both sides of that trade: TA's fast sorted/random access
+once the index exists, against its offline build cost and footprint.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.bench.experiments import ablation_ta_comparison
+from repro.bench.workloads import random_concept_queries
+
+
+def test_benchmark_ta_query(benchmark, world):
+    collection = world.corpus("RADIO")
+    query = random_concept_queries(collection, nq=3, count=1, seed=43)[0]
+    ta = ThresholdAlgorithm.build(world.ontology, collection,
+                                  concepts=query)
+    results = benchmark(lambda: ta.rds(query, 10))
+    assert len(results) == 10
+
+
+def test_benchmark_ta_index_build(benchmark, world):
+    collection = world.corpus("RADIO")
+    query = random_concept_queries(collection, nq=3, count=1, seed=43)[0]
+    benchmark.pedantic(
+        lambda: ThresholdAlgorithm.build(world.ontology, collection,
+                                         concepts=query),
+        rounds=3, iterations=1)
+
+
+def test_report_ablation_ta(benchmark, record, scale):
+    table = benchmark.pedantic(lambda: ablation_ta_comparison(scale=scale),
+                               rounds=1, iterations=1)
+    by_method = {row[0]: row for row in table.rows}
+    ta_build = float(by_method["TA"][2].replace(",", ""))
+    ta_query = float(by_method["TA"][1].replace(",", ""))
+    # The offline build dwarfs a single TA query — the maintenance-vs-
+    # query trade the paper describes.
+    assert ta_build > ta_query
+    record("ablation_ta_comparison", table)

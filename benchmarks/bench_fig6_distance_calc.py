@@ -1,0 +1,59 @@
+"""Figure 6 — distance calculation time vs query size (SDS).
+
+Micro-benchmarks a single ``Ddd`` computation for both methods at several
+document sizes, and records the full BL-vs-DRC series for both corpora.
+The reproduction target is the *shape*: BL quadratic in nq, DRC
+sub-quadratic, with DRC winning at realistic EMR document sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pairwise import PairwiseDistanceBaseline
+from repro.bench.experiments import fig6_distance_calc
+from repro.bench.workloads import random_query_documents
+from repro.core.drc import DRC
+
+
+def _pair(world, corpus, nq):
+    docs = random_query_documents(world.corpus(corpus), nq=nq, count=2,
+                                  seed=nq)
+    return docs[0].concepts, docs[1].concepts
+
+
+@pytest.mark.parametrize("nq", [10, 80, 240])
+@pytest.mark.parametrize("corpus", ["PATIENT", "RADIO"])
+def test_benchmark_drc(benchmark, world, corpus, nq):
+    left, right = _pair(world, corpus, nq)
+    drc = DRC(world.ontology, world.dewey)
+    drc.document_document_distance(left, right)  # warm Dewey cache
+    value = benchmark(
+        lambda: drc.document_document_distance(left, right))
+    assert value >= 0
+
+
+@pytest.mark.parametrize("nq", [10, 80, 240])
+@pytest.mark.parametrize("corpus", ["PATIENT", "RADIO"])
+def test_benchmark_pairwise_baseline(benchmark, world, corpus, nq):
+    left, right = _pair(world, corpus, nq)
+    baseline = PairwiseDistanceBaseline(world.ontology)
+    baseline.document_document_distance(left, right)  # warm cones
+    value = benchmark(
+        lambda: baseline.document_document_distance(left, right))
+    assert value >= 0
+
+
+@pytest.mark.parametrize("corpus", ["PATIENT", "RADIO"])
+def test_report_fig6(benchmark, record, scale, corpus):
+    table = benchmark.pedantic(
+        lambda: fig6_distance_calc(corpus, scale), rounds=1, iterations=1)
+    # Shape assertions: BL must blow up quadratically while DRC stays
+    # sub-quadratic, and DRC must win at the largest size.
+    nq_values = [float(row[0]) for row in table.rows]
+    bl = [float(row[1].replace(",", "")) for row in table.rows]
+    drc = [float(row[2].replace(",", "")) for row in table.rows]
+    span = nq_values[-1] / nq_values[0]
+    assert bl[-1] / bl[0] > span  # superlinear growth
+    assert drc[-1] < bl[-1]  # DRC wins at realistic sizes
+    record(f"fig6_distance_calc_{corpus.lower()}", table)

@@ -1,0 +1,68 @@
+"""Figure 7 — query time vs the kNDS error threshold εθ.
+
+Micro-benchmarks single kNDS queries at the two extreme thresholds and
+records all eight Figure 7 panels: the εθ sweep per (corpus, mode, nq)
+plus the optimal-threshold-vs-nq series of Figure 7(f).
+
+Reproduction targets: PATIENT favours small εθ with distance calculation
+dominating the time split; RADIO tolerates (and at larger query sizes
+prefers) large εθ with traversal dominating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    fig7_error_threshold,
+    fig7_optimal_threshold,
+)
+from repro.bench.workloads import random_concept_queries
+from repro.core.knds import KNDSConfig
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+@pytest.mark.parametrize("corpus", ["PATIENT", "RADIO"])
+def test_benchmark_rds_query(benchmark, world, corpus, epsilon):
+    query = random_concept_queries(world.corpus(corpus), nq=5, count=1,
+                                   seed=9)[0]
+    searcher = world.searchers[corpus]
+    config = KNDSConfig(error_threshold=epsilon)
+    results = benchmark(lambda: searcher.rds(query, 10, config=config))
+    assert len(results) == 10
+
+
+FIG7_PANELS = [
+    ("a", "PATIENT", "rds", 3),
+    ("b", "PATIENT", "rds", 5),
+    ("c", "RADIO", "rds", 3),
+    ("d", "RADIO", "rds", 5),
+    ("e", "RADIO", "rds", 10),
+    ("g", "PATIENT", "sds", 3),
+    ("h", "RADIO", "sds", 3),
+]
+
+
+@pytest.mark.parametrize("panel,corpus,mode,nq", FIG7_PANELS)
+def test_report_fig7_panel(benchmark, record, scale, panel, corpus, mode,
+                           nq):
+    table = benchmark.pedantic(
+        lambda: fig7_error_threshold(corpus, mode, nq, scale=scale),
+        rounds=1, iterations=1)
+    totals = [float(row[1].replace(",", "")) for row in table.rows]
+    distance = [float(row[2].replace(",", "")) for row in table.rows]
+    traversal = [float(row[3].replace(",", "")) for row in table.rows]
+    assert all(total > 0 for total in totals)
+    if corpus == "PATIENT":
+        # Paper shape: distance calculation dominates traversal on the
+        # concept-dense PATIENT corpus.
+        assert sum(distance) > sum(traversal)
+    record(f"fig7{panel}_{mode}_nq{nq}_{corpus.lower()}", table)
+
+
+def test_report_fig7f_optimal_threshold(benchmark, record, scale):
+    table = benchmark.pedantic(
+        lambda: fig7_optimal_threshold("RADIO", "rds", scale=scale),
+        rounds=1, iterations=1)
+    assert len(table.rows) == 3
+    record("fig7f_optimal_threshold_radio", table)

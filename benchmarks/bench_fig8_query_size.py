@@ -1,0 +1,45 @@
+"""Figure 8 — RDS query time vs query size: kNDS vs the full-scan baseline.
+
+Reproduction target: kNDS sits far below the baseline at every query size
+while both grow moderately with nq.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD, fig8_query_size
+from repro.bench.workloads import random_concept_queries
+from repro.core.knds import KNDSConfig
+
+
+@pytest.mark.parametrize("nq", [1, 5, 10])
+def test_benchmark_knds_rds(benchmark, world, nq):
+    corpus = "RADIO"
+    query = random_concept_queries(world.corpus(corpus), nq=nq, count=1,
+                                   seed=13)[0]
+    config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD[corpus])
+    searcher = world.searchers[corpus]
+    results = benchmark(lambda: searcher.rds(query, 10, config=config))
+    assert len(results) == 10
+
+
+def test_benchmark_fullscan_rds(benchmark, world):
+    corpus = "RADIO"
+    query = random_concept_queries(world.corpus(corpus), nq=5, count=1,
+                                   seed=13)[0]
+    scanner = world.scanners[corpus]
+    results = benchmark.pedantic(lambda: scanner.rds(query, 10),
+                                 rounds=3, iterations=1)
+    assert len(results) == 10
+
+
+@pytest.mark.parametrize("corpus", ["PATIENT", "RADIO"])
+def test_report_fig8(benchmark, record, scale, corpus):
+    table = benchmark.pedantic(lambda: fig8_query_size(corpus, scale=scale),
+                               rounds=1, iterations=1)
+    knds = [float(row[1].replace(",", "")) for row in table.rows]
+    baseline = [float(row[2].replace(",", "")) for row in table.rows]
+    # Paper shape: kNDS below the baseline at every query size.
+    assert all(fast < slow for fast, slow in zip(knds, baseline))
+    record(f"fig8_query_size_{corpus.lower()}", table)

@@ -1,0 +1,50 @@
+"""Figure 9 — query time vs the number of results k, kNDS vs baseline.
+
+Reproduction targets: the baseline is flat in k (it always scans the full
+corpus); kNDS is faster by a wide margin and only mildly sensitive to k.
+Covers all four panels: {RDS, SDS} × {PATIENT, RADIO}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD, fig9_num_results
+from repro.bench.workloads import sample_documents
+from repro.core.knds import KNDSConfig
+
+
+@pytest.mark.parametrize("k", [3, 100])
+def test_benchmark_knds_sds(benchmark, world, k):
+    corpus = "RADIO"
+    document = sample_documents(world.corpus(corpus), count=1, seed=17)[0]
+    config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD[corpus])
+    searcher = world.searchers[corpus]
+    results = benchmark.pedantic(
+        lambda: searcher.sds(document, k, config=config),
+        rounds=3, iterations=1)
+    assert len(results) == k
+
+
+FIG9_PANELS = [
+    ("a", "PATIENT", "rds"),
+    ("b", "PATIENT", "sds"),
+    ("c", "RADIO", "rds"),
+    ("d", "RADIO", "sds"),
+]
+
+
+@pytest.mark.parametrize("panel,corpus,mode", FIG9_PANELS)
+def test_report_fig9(benchmark, record, scale, panel, corpus, mode):
+    table = benchmark.pedantic(
+        lambda: fig9_num_results(corpus, mode, scale=scale),
+        rounds=1, iterations=1)
+    knds = [float(row[1].replace(",", "")) for row in table.rows]
+    baseline = [float(row[2].replace(",", "")) for row in table.rows]
+    # Paper shapes: the baseline does not depend on k (flat within noise),
+    # and kNDS wins at the paper's default k = 10.
+    assert max(baseline) < 3 * min(baseline)
+    k_values = [int(row[0]) for row in table.rows]
+    at_default_k = k_values.index(10)
+    assert knds[at_default_k] < baseline[at_default_k]
+    record(f"fig9{panel}_{mode}_{corpus.lower()}", table)

@@ -1,0 +1,29 @@
+"""Scalability vs corpus size — completing the paper's title claim.
+
+The paper sweeps query size (Figure 8) and k (Figure 9) at fixed corpora;
+this target sweeps |D| and asserts the structural reason kNDS scales: the
+exhaustive baseline grows linearly with the corpus while kNDS's examined
+set stays a near-constant slice.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import scalability_corpus_size
+
+
+def test_report_scalability(benchmark, record, scale):
+    table = benchmark.pedantic(
+        lambda: scalability_corpus_size(scale=scale), rounds=1,
+        iterations=1)
+    sizes = [float(row[0].replace(",", "")) for row in table.rows]
+    knds = [float(row[1].replace(",", "")) for row in table.rows]
+    baseline = [float(row[2].replace(",", "")) for row in table.rows]
+    examined = [float(row[3].replace(",", "")) for row in table.rows]
+    span = sizes[-1] / sizes[0]
+    # Baseline ~linear in |D|; kNDS grows sublinearly in both time and
+    # examined documents.
+    assert baseline[-1] / baseline[0] > span / 2
+    assert knds[-1] / knds[0] < span
+    assert examined[-1] / examined[0] < span / 2
+    assert all(fast < slow for fast, slow in zip(knds, baseline))
+    record("scalability_corpus_size", table)

@@ -1,0 +1,23 @@
+"""Section 6.1's statistical significance test, reproduced.
+
+Runs the paper's two-tailed Welch t-test over per-query timing samples of
+kNDS vs the full-scan baseline at the default k = 10 and asserts the
+published conclusion (p < 0.001) holds here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import significance_fig9
+
+
+@pytest.mark.parametrize("corpus", ["PATIENT", "RADIO"])
+def test_report_significance(benchmark, record, scale, corpus):
+    table = benchmark.pedantic(
+        lambda: significance_fig9(corpus, "rds", scale=scale),
+        rounds=1, iterations=1)
+    cells = {row[0]: row[1] for row in table.rows}
+    assert cells["significant at 0.001"] == "True"
+    assert float(cells["p-value"]) < 0.001
+    record(f"significance_{corpus.lower()}", table)

@@ -1,0 +1,71 @@
+"""Substrate microbenchmarks — index backends.
+
+Build cost, postings lookup latency and incremental insert for the
+in-memory and SQLite backends; the per-query I/O split these produce is
+what the Figure 7-9 breakdowns report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import random_query_documents
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.index.sqlite import SQLiteIndexStore
+
+
+@pytest.fixture(scope="module")
+def hot_concepts(world):
+    frequencies = world.corpus("RADIO").concept_frequencies()
+    ranked = sorted(frequencies, key=frequencies.get, reverse=True)
+    return ranked[:20]
+
+
+def test_benchmark_memory_build(benchmark, world):
+    collection = world.corpus("RADIO")
+    index = benchmark(
+        lambda: MemoryInvertedIndex.from_collection(collection))
+    assert index.document_frequency(next(index.indexed_concepts())) >= 1
+
+
+def test_benchmark_sqlite_build(benchmark, world):
+    collection = world.corpus("RADIO")
+
+    def build():
+        store = SQLiteIndexStore.build(collection)
+        store.close()
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_benchmark_postings_lookup(benchmark, world, hot_concepts, backend):
+    collection = world.corpus("RADIO")
+    if backend == "memory":
+        inverted = MemoryInvertedIndex.from_collection(collection)
+        store = None
+    else:
+        store = SQLiteIndexStore.build(collection)
+        inverted = store.inverted
+    try:
+        postings = benchmark(
+            lambda: [inverted.postings(c) for c in hot_concepts])
+        assert all(postings)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def test_benchmark_memory_incremental_insert(benchmark, world):
+    collection = world.corpus("RADIO")
+    inverted = MemoryInvertedIndex.from_collection(collection)
+    forward = MemoryForwardIndex.from_collection(collection)
+    newcomers = iter(random_query_documents(collection, nq=12, count=800,
+                                            seed=61))
+
+    def insert():
+        document = next(newcomers)
+        inverted.add_document(document)
+        forward.add_document(document)
+
+    benchmark.pedantic(insert, rounds=600, iterations=1)

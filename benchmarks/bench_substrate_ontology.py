@@ -1,0 +1,59 @@
+"""Substrate microbenchmarks — ontology operations.
+
+Not a paper artifact: these keep the building blocks honest (valid-path
+BFS, Dewey materialization, concept distances, address resolution),
+since every headline number sits on top of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import concept_distance
+from repro.ontology.generators import snomed_like
+from repro.ontology.traversal import valid_path_distances
+
+
+@pytest.fixture(scope="module")
+def sample_concepts(world):
+    concepts = list(world.ontology.concepts())
+    return concepts[50:70]
+
+
+def test_benchmark_generator(benchmark):
+    ontology = benchmark.pedantic(lambda: snomed_like(2_000, seed=77),
+                                  rounds=3, iterations=1)
+    assert len(ontology) == 2_000
+
+
+def test_benchmark_full_valid_path_bfs(benchmark, world, sample_concepts):
+    origin = sample_concepts[0]
+    distances = benchmark(
+        lambda: valid_path_distances(world.ontology, origin))
+    assert len(distances) == len(world.ontology)
+
+
+def test_benchmark_concept_distance(benchmark, world, sample_concepts):
+    first, second = sample_concepts[0], sample_concepts[-1]
+    value = benchmark(
+        lambda: concept_distance(world.ontology, first, second))
+    assert value >= 0
+
+
+def test_benchmark_dewey_cold(benchmark, world, sample_concepts):
+    def materialize():
+        dewey = DeweyIndex(world.ontology)
+        return [dewey.addresses(concept) for concept in sample_concepts]
+
+    addresses = benchmark(materialize)
+    assert all(len(a) >= 1 for a in addresses)
+
+
+def test_benchmark_resolve_dewey(benchmark, world, sample_concepts):
+    dewey = DeweyIndex(world.ontology)
+    targets = [dewey.primary_address(c) for c in sample_concepts]
+
+    resolved = benchmark(
+        lambda: [world.ontology.resolve_dewey(a) for a in targets])
+    assert resolved == sample_concepts

@@ -1,0 +1,47 @@
+"""Substrate microbenchmarks — the concept-extraction pipeline.
+
+Throughput of the MetaMap stand-in (abbreviation expansion, mapping,
+negation) on generated clinical notes; corpus preparation cost in
+documents per second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.text.abbreviations import AbbreviationExpander
+from repro.corpus.text.notegen import generate_note
+from repro.corpus.text.pipeline import ConceptExtractor
+
+
+@pytest.fixture(scope="module")
+def note_world(world):
+    ontology = world.ontology
+    extractor = ConceptExtractor.for_ontology(ontology)
+    concepts = list(ontology.concepts())[40:52]
+    notes = [
+        generate_note(ontology, concepts[:8], concepts[8:], seed=seed)
+        for seed in range(20)
+    ]
+    return extractor, notes, set(concepts[:8])
+
+
+def test_benchmark_full_extraction(benchmark, note_world):
+    extractor, notes, positive = note_world
+    results = benchmark(
+        lambda: [extractor.extract_concepts(note) for note in notes])
+    assert all(extracted == positive for extracted in results)
+
+
+def test_benchmark_mentions_with_spans(benchmark, note_world):
+    extractor, notes, _positive = note_world
+    mentions = benchmark(lambda: extractor.mentions(notes[0]))
+    assert mentions
+
+
+def test_benchmark_abbreviation_expansion(benchmark):
+    expander = AbbreviationExpander()
+    text = ("Pt c/o SOB and CP. Hx of HTN, DM2, CHF s/p MI. "
+            "R/O PE; continue meds BID PRN.") * 10
+    expanded = benchmark(lambda: expander.expand(text))
+    assert "hypertension" in expanded

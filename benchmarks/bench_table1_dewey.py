@@ -1,0 +1,53 @@
+"""Table 1 — Dewey path address lists for the running example.
+
+Micro-benchmarks Dewey address retrieval (the ``retrieve Pd / Pq`` step of
+Algorithm 1) and records the reproduced Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import Table
+from repro.core.dradix import DRadixDAG
+from repro.datasets import EXAMPLE_DOCUMENT, EXAMPLE_QUERY, figure3_ontology
+from repro.ontology.dewey import DeweyIndex
+from repro.types import format_dewey
+
+
+def test_benchmark_sorted_address_list(benchmark):
+    ontology = figure3_ontology()
+
+    def build_lists():
+        dewey = DeweyIndex(ontology)  # cold cache, as in one query
+        return dewey.sorted_address_list(
+            set(EXAMPLE_DOCUMENT) | set(EXAMPLE_QUERY))
+
+    merged = benchmark(build_lists)
+    assert len(merged) == 10
+
+
+def test_benchmark_address_lookup_warm(benchmark, world):
+    dewey = world.dewey
+    concepts = [cid for cid in list(world.ontology.concepts())[100:120]]
+    for concept in concepts:
+        dewey.addresses(concept)  # warm
+
+    result = benchmark(lambda: [dewey.addresses(c) for c in concepts])
+    assert len(result) == 20
+
+
+def test_report_table1(benchmark, record):
+    ontology = figure3_ontology()
+    dewey = DeweyIndex(ontology)
+
+    def reproduce():
+        return DRadixDAG.merged_address_list(
+            dewey, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+
+    merged = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    table = Table("Table 1 — Dewey path address lists (merged order)",
+                  ["step", "node", "address"],
+                  notes=["matches the paper's Table 1 exactly "
+                         "(asserted in tests/test_paper_examples.py)"])
+    for step, (address, concept) in enumerate(merged, start=1):
+        table.add_row(step, concept, format_dewey(address))
+    record("table1_dewey", table)

@@ -1,0 +1,35 @@
+"""Table 3 — document corpus statistics for PATIENT and RADIO.
+
+Micro-benchmarks corpus statistics computation and records the scaled
+Table 3 with the paper's original values in the notes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table3_corpus_stats
+
+
+def test_benchmark_corpus_stats(benchmark, world):
+    stats = benchmark(lambda: world.corpus("RADIO").stats())
+    assert stats.total_documents == len(world.corpus("RADIO"))
+
+
+def test_benchmark_concept_frequencies(benchmark, world):
+    frequencies = benchmark(
+        lambda: world.corpus("PATIENT").concept_frequencies())
+    assert frequencies
+
+
+def test_report_table3(benchmark, record, scale):
+    table = benchmark.pedantic(lambda: table3_corpus_stats(scale),
+                               rounds=1, iterations=1)
+    # The PATIENT/RADIO contrasts of the paper must hold: fewer documents,
+    # many more concepts per document, denser text.
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    patient_docs = float(rows["Total Documents"][0].replace(",", ""))
+    radio_docs = float(rows["Total Documents"][1].replace(",", ""))
+    assert patient_docs < radio_docs
+    patient_cpd = float(rows["Avg. Concepts/Document"][0].replace(",", ""))
+    radio_cpd = float(rows["Avg. Concepts/Document"][1].replace(",", ""))
+    assert patient_cpd > 3 * radio_cpd
+    record("table3_corpus_stats", table)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark file pairs two kinds of targets:
+
+* micro-benchmarks of a single representative operation (pytest-benchmark
+  statistics);
+* one ``test_report_*`` target per paper artifact that regenerates the
+  full table/figure series and records it under ``benchmarks/results/``
+  (also echoed to stdout), which is where ``EXPERIMENTS.md`` numbers come
+  from.
+
+The world scale defaults to ``small``; set ``REPRO_BENCH_SCALE=medium``
+for runs closer to the paper's proportions.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import build_world
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(SCALE)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a rendered experiment table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, *tables) -> None:
+        text = "\n\n".join(table.render() for table in tables) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return _record

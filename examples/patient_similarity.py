@@ -1,0 +1,82 @@
+"""Patient similarity search: the paper's SDS motivating scenario.
+
+A physician looks for patients similar to the one at the point of care
+(Section 1), using the symmetric Melton et al. document-document distance.
+This example also demonstrates the paper's on-the-fly update story: a
+brand-new patient record is added and queried immediately, with no index
+rebuild — the property that distinguishes kNDS from the TA baseline.
+
+Run:
+    python examples/patient_similarity.py
+"""
+
+from __future__ import annotations
+
+from repro import Document, SearchEngine, snomed_like
+from repro.corpus.generators import radio_like
+from repro.ontology.traversal import ValidPathBFS
+
+
+def main() -> None:
+    print("Building a SNOMED-like ontology (2,000 concepts)...")
+    ontology = snomed_like(2_000, seed=20)
+    print("Building a RADIO-like corpus (800 radiology reports)...")
+    corpus = radio_like(ontology, num_docs=800, mean_concepts=14, seed=21)
+
+    # --- A new patient arrives at the point of care. ------------------
+    # Their record is assembled from a seed condition and its ontology
+    # neighborhood (the same locality real EMRs show), added to the
+    # corpus, and queried immediately: no distance precomputation exists
+    # to invalidate.
+    seed_concept = sorted(corpus.distinct_concepts())[42]
+    neighborhood = []
+    for level, nodes in ValidPathBFS(ontology, seed_concept):
+        if level > 2:
+            break
+        neighborhood.extend(nodes)
+    new_patient = Document("new-patient", neighborhood[:12],
+                           metadata={"admitted": "today"})
+    corpus.add(new_patient)
+    print(f"Admitted {new_patient.doc_id!r} with {len(new_patient)} "
+          f"concepts around {ontology.label(seed_concept)!r}\n")
+
+    engine = SearchEngine(ontology, corpus)
+
+    results = engine.sds(new_patient, k=6, error_threshold=0.9)
+    print("Most similar existing reports (symmetric Ddd, Eq. 3):")
+    for rank, item in enumerate(results, start=1):
+        marker = "  <- the query itself" if item.doc_id == "new-patient" \
+            else ""
+        print(f"  {rank}. {item.doc_id}  Ddd={item.distance:.3f}{marker}")
+    print()
+
+    stats = results.stats
+    print("Cost breakdown (the components the paper plots):")
+    print(f"  traversal: {stats.traversal_seconds * 1e3:7.1f} ms over "
+          f"{stats.bfs_levels} BFS levels, {stats.nodes_visited} concept "
+          f"visits")
+    print(f"  distance:  {stats.distance_seconds * 1e3:7.1f} ms over "
+          f"{stats.drc_calls} DRC probes "
+          f"(+{stats.covered_shortcuts} coverage shortcuts)")
+    print(f"  index IO:  {stats.io_seconds * 1e3:7.1f} ms")
+    print(f"  pruned {stats.docs_pruned} of {stats.docs_touched} touched "
+          f"documents without an exact distance")
+
+    # Similarity is symmetric: querying back from the best match finds
+    # the new patient equally close.
+    best_match = next(item.doc_id for item in results
+                      if item.doc_id != "new-patient")
+    reverse = engine.sds(best_match, k=6, error_threshold=0.9)
+    forward_distance = next(i.distance for i in results
+                            if i.doc_id == best_match)
+    reverse_distance = next((i.distance for i in reverse
+                             if i.doc_id == "new-patient"), None)
+    if reverse_distance is not None:
+        print(f"\nSymmetry check: Ddd({new_patient.doc_id}, {best_match}) "
+              f"= {forward_distance:.3f} and "
+              f"Ddd({best_match}, {new_patient.doc_id}) "
+              f"= {reverse_distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: concept-based search on the paper's running example.
+
+Builds the Figure 3 ontology and the six-document example collection,
+then runs one RDS query (a set of concepts) and one SDS query (a whole
+document) with the kNDS algorithm, printing results and the cost
+breakdown the paper's experiments report.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SearchEngine, example4_collection, figure3_ontology
+
+
+def main() -> None:
+    ontology = figure3_ontology()
+    collection = example4_collection()
+    engine = SearchEngine(ontology, collection)
+
+    print(f"Ontology: {len(ontology)} concepts, root {ontology.root!r}")
+    print(f"Corpus:   {len(collection)} documents")
+    print()
+
+    # --- RDS: which documents are most relevant to a set of concepts? ---
+    query = ["F", "I"]
+    results = engine.rds(query, k=2)
+    print(f"RDS top-2 for concepts {query}:")
+    for rank, item in enumerate(results, start=1):
+        document = collection.get(item.doc_id)
+        print(f"  {rank}. {item.doc_id}  Ddq={item.distance:g}  "
+              f"concepts={list(document.concepts)}")
+    stats = results.stats
+    print(f"  ({stats.docs_examined} documents examined, "
+          f"{stats.drc_calls} DRC probes, {stats.bfs_levels} BFS levels, "
+          f"{stats.total_seconds * 1000:.2f} ms)")
+    print()
+
+    # --- SDS: which documents are most similar to a given document? ---
+    results = engine.sds("d1", k=3)
+    print("SDS top-3 for document d1 "
+          f"(concepts={list(collection.get('d1').concepts)}):")
+    for rank, item in enumerate(results, start=1):
+        print(f"  {rank}. {item.doc_id}  Ddd={item.distance:.3f}")
+    print()
+
+    # --- Progressive output: results stream as they are confirmed. ---
+    print("Progressive RDS (optimization 4): ", end="")
+    for item in engine.knds.rds_iter(query, k=2):
+        print(f"{item.doc_id}:{item.distance:g}", end="  ")
+    print()
+
+    # --- Cross-check against the exhaustive baseline. ---
+    baseline = engine.rds(query, k=2, algorithm="fullscan")
+    assert baseline.distances() == results_distances(engine, query)
+    print("Full-scan baseline agrees with kNDS.")
+
+
+def results_distances(engine: SearchEngine, query: list[str]) -> list[float]:
+    return engine.rds(query, k=2).distances()
+
+
+if __name__ == "__main__":
+    main()

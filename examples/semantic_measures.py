@@ -1,0 +1,93 @@
+"""Semantic similarity measures and weighted ranking (extensions).
+
+The paper adopts the shortest valid-path distance and uniform concept
+weights, and defers "other semantic distances" to future work.  This
+example exercises the extension modules on that future work:
+
+1. compare path-based and information-content measures on concept pairs;
+2. use information content to *weight* the Melton document distance, so
+   specific concepts dominate similarity;
+3. expand a query with its ontological neighborhood and merge sub-query
+   scores with the paper's footnote-3 normalization.
+
+Run:
+    python examples/semantic_measures.py
+"""
+
+from __future__ import annotations
+
+from repro import SearchEngine, snomed_like
+from repro.core.expansion import QueryExpander, merged_rds
+from repro.corpus.generators import radio_like
+from repro.ontology.distance import concept_distance
+from repro.ontology.measures import (
+    InformationContent,
+    least_common_ancestors,
+    wu_palmer_similarity,
+)
+from repro.ontology.weighting import (
+    information_content_weights,
+    weighted_rerank,
+)
+
+
+def main() -> None:
+    ontology = snomed_like(1_500, seed=30)
+    corpus = radio_like(ontology, num_docs=400, mean_concepts=12, seed=31)
+    engine = SearchEngine(ontology, corpus)
+    ic = InformationContent.from_collection(ontology, corpus)
+
+    # --- 1. Measure comparison on concept pairs ----------------------
+    concepts = sorted(corpus.distinct_concepts())
+    pairs = [(concepts[3], concepts[4]), (concepts[3], concepts[200]),
+             (concepts[50], concepts[51])]
+    print("Concept-pair measures (path distance | Wu-Palmer | Lin):")
+    for first, second in pairs:
+        path = concept_distance(ontology, first, second)
+        wp = wu_palmer_similarity(ontology, first, second)
+        lin = ic.lin_similarity(first, second)
+        lca = sorted(least_common_ancestors(ontology, first, second))[0]
+        print(f"  {first} vs {second}: dist={path:>2}  wu-palmer={wp:.2f}  "
+              f"lin={lin:.2f}  (LCA {ontology.label(lca)!r})")
+    print()
+
+    # --- 2. IC-weighted similarity ------------------------------------
+    query_doc = next(iter(corpus))
+    base = engine.sds(query_doc, k=12, error_threshold=0.9)
+    weights = information_content_weights(
+        ic, set(query_doc.concepts) | corpus.distinct_concepts())
+    reranked = weighted_rerank(
+        ontology, base, engine.forward.concepts, query_doc.concepts,
+        weights=weights, kind="ddd", drc=engine.drc)
+    print(f"SDS for {query_doc.doc_id}: uniform vs IC-weighted ranking")
+    print(f"  {'rank':>4} {'uniform':<12} {'weighted':<12}")
+    for rank, (uniform, weighted) in enumerate(
+            zip(base.results[:6], reranked.results[:6]), start=1):
+        print(f"  {rank:>4} {uniform.doc_id:<12} {weighted.doc_id:<12}")
+    moved = sum(
+        1 for u, w in zip(base.results, reranked.results)
+        if u.doc_id != w.doc_id
+    )
+    print(f"  ({moved} of {len(base)} positions changed under IC weights)\n")
+
+    # --- 3. Query expansion + footnote-3 merge ------------------------
+    seed_query = list(query_doc.concepts[:2])
+    expander = QueryExpander(ontology, radius=1, decay=0.5)
+    expanded = expander.expand(seed_query)
+    print(f"Query {seed_query} expands to {len(expanded)} weighted "
+          "concepts (radius 1):")
+    shown = sorted(expanded.items(), key=lambda kv: -kv[1])[:6]
+    for concept, weight in shown:
+        print(f"  {weight:.2f}  {concept}  {ontology.label(concept)!r}")
+    merged = merged_rds(
+        ontology, corpus,
+        [tuple(seed_query), tuple(expander.expanded_concepts(seed_query))],
+        k=5, drc=engine.drc)
+    print("\nMerged ranking over {original, expanded} sub-queries "
+          "(footnote-3 normalization):")
+    for rank, item in enumerate(merged, start=1):
+        print(f"  {rank}. {item.doc_id}  score={item.distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""One-shot reproduction verifier.
+
+Runs the paper's worked examples and the headline efficiency shapes on a
+fresh world, printing PASS/FAIL per claim.  This is a condensed, readable
+version of what the test and benchmark suites assert — useful as a smoke
+check after installation:
+
+    python scripts/verify_reproduction.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.baselines.pairwise import PairwiseDistanceBaseline
+from repro.bench.workloads import random_concept_queries, random_query_documents
+from repro.core.drc import DRC
+from repro.core.knds import KNDSearch
+from repro.corpus.generators import radio_like
+from repro.datasets import (
+    EXAMPLE_DOCUMENT,
+    EXAMPLE_QUERY,
+    example4_collection,
+    figure3_ontology,
+)
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import concept_distance
+from repro.ontology.generators import snomed_like
+
+CHECKS: list[tuple[str, bool]] = []
+
+
+def check(name: str, condition: bool) -> None:
+    CHECKS.append((name, condition))
+    print(f"  [{'PASS' if condition else 'FAIL'}] {name}")
+
+
+def main() -> int:
+    print("Paper worked examples (Figure 3 world):")
+    ontology = figure3_ontology()
+    dewey = DeweyIndex(ontology)
+    check("Table 1: R has addresses 1.1.1.2.1.1 and 3.1.1.1.1",
+          dewey.addresses("R") == ((1, 1, 1, 2, 1, 1), (3, 1, 1, 1, 1)))
+    check("Section 3.2: D(G, F) = 5 through common ancestor A",
+          concept_distance(ontology, "G", "F") == 5)
+    drc = DRC(ontology, dewey)
+    check("Example 1: Ddq({F,R,T,V}, {I,L,U}) = 7",
+          drc.document_query_distance(EXAMPLE_DOCUMENT, EXAMPLE_QUERY) == 7)
+    searcher = KNDSearch(ontology, example4_collection())
+    results = searcher.rds(["F", "I"], k=2)
+    check("Table 2: kNDS top-2 for q={F,I} is {d2, d3} at distance 2",
+          sorted(results.doc_ids()) == ["d2", "d3"]
+          and results.distances() == [2.0, 2.0])
+
+    print("\nEfficiency shapes (synthetic SNOMED-like world):")
+    world_ontology = snomed_like(1_500, seed=99)
+    corpus = radio_like(world_ontology, num_docs=400, mean_concepts=12,
+                        seed=98)
+
+    # Figure 6 shape: BL quadratic vs DRC sub-quadratic.
+    baseline = PairwiseDistanceBaseline(world_ontology)
+    world_drc = DRC(world_ontology)
+    timings = {}
+    for nq in (20, 160):
+        docs = random_query_documents(corpus, nq=nq, count=6, seed=nq)
+        pairs = list(zip(docs[0::2], docs[1::2]))
+        for label, fn in (("bl", baseline.document_document_distance),
+                          ("drc", world_drc.document_document_distance)):
+            start = time.perf_counter()
+            for a, b in pairs:
+                fn(a.concepts, b.concepts)
+            timings[(label, nq)] = (time.perf_counter() - start) / len(pairs)
+    bl_growth = timings[("bl", 160)] / timings[("bl", 20)]
+    drc_growth = timings[("drc", 160)] / timings[("drc", 20)]
+    check(f"Figure 6: BL grows faster than DRC "
+          f"(x{bl_growth:.0f} vs x{drc_growth:.0f} from nq=20 to 160)",
+          bl_growth > drc_growth)
+
+    # Figures 8/9 shape: kNDS beats the exhaustive baseline.
+    knds = KNDSearch(world_ontology, corpus)
+    scan = FullScanSearch(world_ontology, corpus)
+    queries = random_concept_queries(corpus, nq=3, count=3, seed=97)
+    knds_time = scan_time = 0.0
+    agreement = True
+    for query in queries:
+        mine = knds.rds(query, 10, error_threshold=0.9)
+        truth = scan.rds(query, 10)
+        knds_time += mine.stats.total_seconds
+        scan_time += truth.stats.total_seconds
+        agreement &= mine.distances() == truth.distances()
+    check("Figures 8/9: kNDS matches the exhaustive baseline's top-10",
+          agreement)
+    check(f"Figures 8/9: kNDS is faster "
+          f"(x{scan_time / knds_time:.0f} on this run)",
+          knds_time < scan_time)
+
+    failed = [name for name, condition in CHECKS if not condition]
+    print(f"\n{len(CHECKS) - len(failed)}/{len(CHECKS)} checks passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

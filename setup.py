@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without PEP 660 editable support.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` on older setuptools/pip stacks (legacy develop mode).
+"""
+
+from setuptools import setup
+
+setup()

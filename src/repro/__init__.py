@@ -1,0 +1,45 @@
+"""repro — Efficient Concept-based Document Ranking (EDBT 2014).
+
+A from-scratch reproduction of Arvanitis, Wiley & Hristidis, *Efficient
+Concept-based Document Ranking*, EDBT 2014: documents are sets of ontology
+concepts, and the library answers relevance (RDS) and similarity (SDS)
+top-k queries using the paper's DRC distance algorithm (D-Radix DAG) and
+the kNDS early-termination search, together with every baseline the paper
+compares against.
+
+Quickstart
+----------
+>>> from repro import SearchEngine, figure3_ontology, example4_collection
+>>> engine = SearchEngine(figure3_ontology(), example4_collection())
+>>> [r.doc_id for r in engine.rds(["F", "I"], k=2).results]
+['d2', 'd3']
+"""
+
+from repro.core.drc import DRC
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.core.mapreduce import MapReduceKNDS
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.datasets import example4_collection, figure3_ontology
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.generators import snomed_like
+from repro.ontology.graph import Ontology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ontology",
+    "OntologyBuilder",
+    "Document",
+    "DocumentCollection",
+    "DRC",
+    "KNDSearch",
+    "KNDSConfig",
+    "MapReduceKNDS",
+    "SearchEngine",
+    "snomed_like",
+    "figure3_ontology",
+    "example4_collection",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline strategies the paper compares against (Sections 4.1, 5.1, 6.2).
+
+* :mod:`repro.baselines.pairwise` — "BL" of Figure 6: compute a document
+  distance by evaluating all ``nq × nd`` concept-pair distances.
+* :mod:`repro.baselines.fullscan` — the ranking baseline of Figures 8-9:
+  no pruning, exact (DRC) distance for every document in the corpus.
+* :mod:`repro.baselines.ta` — Fagin's Threshold Algorithm over offline
+  distance-sorted postings lists, practical for RDS only (Section 4.1
+  explains why it breaks down for SDS).
+* :mod:`repro.baselines.matrix` — the precomputed all-pairs
+  concept-distance matrix, the O(|C|²)-space strawman of Section 4.1.
+"""
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.baselines.matrix import ConceptDistanceMatrix
+from repro.baselines.pairwise import PairwiseDistanceBaseline
+from repro.baselines.ta import ThresholdAlgorithm
+
+__all__ = [
+    "PairwiseDistanceBaseline",
+    "FullScanSearch",
+    "ThresholdAlgorithm",
+    "ConceptDistanceMatrix",
+]

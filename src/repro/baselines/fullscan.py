@@ -1,0 +1,85 @@
+"""The no-pruning ranking baseline of Figures 8 and 9.
+
+Computes the exact distance of *every* document in the corpus from the
+query and sorts — "the baseline method that does not apply any pruning of
+documents" (Section 6.2).  To isolate exactly the gain from kNDS's
+branch-and-bound pruning, the per-document distance uses the very same DRC
+calculator as kNDS, matching the paper's experimental setup.
+
+Besides being the comparison target, this is also the correctness oracle:
+the test suite checks kNDS output against it on randomized corpora.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro.core.drc import DRC
+from repro.core.results import QueryStats, RankedResults, ResultItem
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import QueryError, UnknownConceptError
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+class FullScanSearch:
+    """Exhaustive top-k evaluation with exact DRC distances."""
+
+    def __init__(self, ontology: Ontology, collection: DocumentCollection,
+                 *, drc: DRC | None = None) -> None:
+        self.ontology = ontology
+        self.collection = collection
+        self.drc = drc or DRC(ontology)
+
+    def rds(self, query_concepts: Sequence[ConceptId],
+            k: int) -> RankedResults:
+        """Top-k RDS by scanning the whole corpus."""
+        query = self._validate(query_concepts, k)
+        return self._scan(query, k, mode="rds")
+
+    def sds(self, query_document: Document | Sequence[ConceptId],
+            k: int) -> RankedResults:
+        """Top-k SDS by scanning the whole corpus."""
+        if isinstance(query_document, Document):
+            concepts = query_document.require_concepts()
+        else:
+            concepts = tuple(query_document)
+        query = self._validate(concepts, k)
+        return self._scan(query, k, mode="sds")
+
+    def _validate(self, query_concepts: Sequence[ConceptId],
+                  k: int) -> tuple[ConceptId, ...]:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        unique = tuple(dict.fromkeys(query_concepts))
+        if not unique:
+            raise QueryError("query must contain at least one concept")
+        for concept in unique:
+            if concept not in self.ontology:
+                raise UnknownConceptError(concept)
+        return unique
+
+    def _scan(self, query: tuple[ConceptId, ...], k: int,
+              mode: str) -> RankedResults:
+        stats = QueryStats()
+        start = time.perf_counter()
+        scored: list[ResultItem] = []
+        for document in self.collection:
+            distance_start = time.perf_counter()
+            if mode == "rds":
+                distance = self.drc.document_query_distance(
+                    document.require_concepts(), query)
+            else:
+                distance = self.drc.document_document_distance(
+                    document.require_concepts(), query)
+            stats.distance_seconds += time.perf_counter() - distance_start
+            stats.drc_calls += 1
+            scored.append(ResultItem(document.doc_id, float(distance)))
+        scored.sort(key=lambda item: (item.distance, item.doc_id))
+        stats.docs_examined = len(scored)
+        stats.docs_touched = len(scored)
+        stats.total_seconds = time.perf_counter() - start
+        return RankedResults(scored[:k], stats, algorithm="fullscan",
+                             query_kind=mode, k=k)

@@ -1,0 +1,104 @@
+"""Precomputed all-pairs concept-distance matrix (Section 4.1 strawman).
+
+The first baseline the paper dismisses: precompute ``D(ci, cj)`` for all
+concept pairs so document distances become table lookups.  The space is
+``O(|C|²)`` — around 8.4 × 10¹² entries for the UMLS metathesaurus — which
+is why it "is not an option" beyond toy ontologies.  The implementation
+exists to make that argument concrete (``estimated_entries`` /
+``memory_report``), to serve as yet another independent distance oracle in
+the tests, and to support restricted matrices over just the concepts a
+workload touches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.ontology.graph import Ontology
+from repro.ontology.traversal import valid_path_distances
+from repro.types import ConceptId
+
+
+class ConceptDistanceMatrix:
+    """Dense pairwise valid-path distances over a concept subset."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._matrix: dict[ConceptId, dict[ConceptId, int]] = {}
+
+    @classmethod
+    def build(cls, ontology: Ontology, *,
+              concepts: Iterable[ConceptId] | None = None
+              ) -> "ConceptDistanceMatrix":
+        """Precompute rows for ``concepts`` (default: the whole ontology).
+
+        One full valid-path BFS per row; restrict ``concepts`` to keep this
+        tractable on anything but toy DAGs.
+        """
+        matrix = cls(ontology)
+        if concepts is None:
+            concepts = list(ontology.concepts())
+        universe = set(concepts)
+        for concept_id in universe:
+            if concept_id not in ontology:
+                raise UnknownConceptError(concept_id)
+            full_map = valid_path_distances(ontology, concept_id)
+            matrix._matrix[concept_id] = {
+                other: distance for other, distance in full_map.items()
+                if other in universe
+            }
+        return matrix
+
+    def distance(self, first: ConceptId, second: ConceptId) -> int:
+        """Lookup ``D(first, second)``."""
+        try:
+            return self._matrix[first][second]
+        except KeyError:
+            missing = first if first not in self._matrix else second
+            raise UnknownConceptError(missing) from None
+
+    def document_query_distance(self, doc_concepts: Collection[ConceptId],
+                                query_concepts: Collection[ConceptId]
+                                ) -> float:
+        """``Ddq`` (Eq. 2) by pure table lookups."""
+        if not doc_concepts or not query_concepts:
+            raise EmptyDocumentError("<matrix>")
+        total = 0
+        for query_concept in query_concepts:
+            row = self._matrix[query_concept]
+            total += min(row[doc_concept] for doc_concept in doc_concepts)
+        return float(total)
+
+    def document_document_distance(self, first: Collection[ConceptId],
+                                   second: Collection[ConceptId]) -> float:
+        """``Ddd`` (Eq. 3) by pure table lookups."""
+        if not first or not second:
+            raise EmptyDocumentError("<matrix>")
+        forward = sum(
+            min(self._matrix[ci][cj] for cj in second) for ci in first
+        )
+        backward = sum(
+            min(self._matrix[cj][ci] for ci in first) for cj in second
+        )
+        return forward / len(first) + backward / len(second)
+
+    def entries(self) -> int:
+        """Number of stored pair distances."""
+        return sum(len(row) for row in self._matrix.values())
+
+    @staticmethod
+    def estimated_entries(num_concepts: int) -> int:
+        """``|C|²`` — the full-matrix footprint the paper rules out."""
+        return num_concepts * num_concepts
+
+    @staticmethod
+    def memory_report(num_concepts: int,
+                      bytes_per_entry: int = 4) -> str:
+        """Human-readable size estimate for a full matrix."""
+        total = ConceptDistanceMatrix.estimated_entries(num_concepts)
+        gib = total * bytes_per_entry / (1024 ** 3)
+        return (
+            f"{num_concepts:,} concepts -> {total:,} pair distances "
+            f"(~{gib:,.1f} GiB at {bytes_per_entry} bytes each)"
+        )

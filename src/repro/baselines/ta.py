@@ -1,0 +1,168 @@
+"""Fagin's Threshold Algorithm over distance-sorted postings (Section 4.1).
+
+The paper's "index everything offline" strawman for RDS: precompute
+``Ddc(d, c)`` for every document and (relevant) concept, store per-concept
+postings lists sorted by ascending distance, and run TA [Fagin et al.,
+PODS'01] with one list per query concept — sorted access in lock step,
+random access to complete partially seen documents, and the classic
+threshold ``Σ_i current-position-distance(i)`` as the stopping rule.
+
+The paper dismisses this design for two reasons that the implementation
+makes tangible:
+
+* the offline index costs ``O(|D| · |C|)`` space and must be rebuilt when
+  a document is added (``build`` walks the whole corpus per concept);
+* it has no practical analogue for SDS, where the symmetric distance would
+  require postings for every concept of the query *document* and the TA
+  lower bound degenerates (Section 4.1) — hence :meth:`rds` only.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.core.results import QueryStats, RankedResults, ResultItem
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import QueryError, UnknownConceptError
+from repro.ontology.graph import Ontology
+from repro.ontology.traversal import valid_path_distances
+from repro.types import ConceptId, DocId
+
+
+class ThresholdAlgorithm:
+    """TA over precomputed distance-sorted postings lists."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        # concept -> postings sorted by (distance, doc); and the random
+        # access side table concept -> {doc: distance}.
+        self._sorted: dict[ConceptId, list[tuple[float, DocId]]] = {}
+        self._random: dict[ConceptId, dict[DocId, float]] = {}
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    @classmethod
+    def build(cls, ontology: Ontology, collection: DocumentCollection, *,
+              concepts: Iterable[ConceptId] | None = None
+              ) -> "ThresholdAlgorithm":
+        """Precompute postings for ``concepts`` (default: every concept
+        occurring in the corpus — the paper's full offline index)."""
+        ta = cls(ontology)
+        if concepts is None:
+            concepts = sorted(collection.distinct_concepts())
+        for concept_id in concepts:
+            ta.add_concept(concept_id, collection)
+        return ta
+
+    def add_concept(self, concept_id: ConceptId,
+                    collection: DocumentCollection) -> None:
+        """Build the postings list of one concept.
+
+        One full valid-path BFS over the ontology plus one pass over the
+        corpus — the per-concept build cost that makes the offline index
+        expensive to maintain.
+        """
+        if concept_id not in self.ontology:
+            raise UnknownConceptError(concept_id)
+        distance_map = valid_path_distances(self.ontology, concept_id)
+        random_access: dict[DocId, float] = {}
+        for document in collection:
+            best = min(
+                distance_map[doc_concept]
+                for doc_concept in document.require_concepts()
+            )
+            random_access[document.doc_id] = float(best)
+        postings = sorted(
+            (distance, doc_id) for doc_id, distance in random_access.items()
+        )
+        self._sorted[concept_id] = postings
+        self._random[concept_id] = random_access
+
+    def add_document(self, document: "Document") -> None:
+        """Fold a new document into *every* built postings list.
+
+        This is the maintenance cost the paper holds against TA: "TA
+        would have to update every concept inverted index with the
+        distance from the newly added EMR."  One valid-path BFS per
+        document concept yields the distance maps, then every indexed
+        concept's postings list is re-sorted with the new entry.  Compare
+        with the O(#concepts) inserts of the kNDS indexes — measured in
+        ``benchmarks/bench_ablation_updates.py``.
+        """
+        maps = [
+            valid_path_distances(self.ontology, concept)
+            for concept in document.require_concepts()
+        ]
+        for concept_id, postings in self._sorted.items():
+            best = float(min(
+                distance_map[concept_id] for distance_map in maps
+            ))
+            self._random[concept_id][document.doc_id] = best
+            postings.append((best, document.doc_id))
+            postings.sort()
+
+    # ------------------------------------------------------------------
+    def rds(self, query_concepts: Sequence[ConceptId],
+            k: int) -> RankedResults:
+        """Top-k RDS via TA (Definition 1 scores, Eq. 2)."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        query = tuple(dict.fromkeys(query_concepts))
+        if not query:
+            raise QueryError("query must contain at least one concept")
+        for concept_id in query:
+            if concept_id not in self._sorted:
+                raise QueryError(
+                    f"no postings for {concept_id!r}: build() it first"
+                )
+        stats = QueryStats()
+        start = time.perf_counter()
+
+        lists = [self._sorted[concept_id] for concept_id in query]
+        positions = [0] * len(query)
+        scores: dict[DocId, float] = {}
+        while True:
+            progressed = False
+            for list_index, postings in enumerate(lists):
+                position = positions[list_index]
+                if position >= len(postings):
+                    continue
+                progressed = True
+                positions[list_index] = position + 1
+                self.sorted_accesses += 1
+                _distance, doc_id = postings[position]
+                if doc_id in scores:
+                    continue
+                # Random access to every other list completes the score.
+                total = 0.0
+                for concept_id in query:
+                    total += self._random[concept_id][doc_id]
+                    self.random_accesses += 1
+                scores[doc_id] = total
+            if not progressed:
+                break
+            threshold = sum(
+                lists[i][positions[i] - 1][0] if positions[i] > 0 else 0.0
+                for i in range(len(query))
+            )
+            if len(scores) >= k:
+                best_k = sorted(scores.values())[:k]
+                if best_k[-1] <= threshold:
+                    break
+
+        ranked = sorted(
+            (ResultItem(doc_id, distance)
+             for doc_id, distance in scores.items()),
+            key=lambda item: (item.distance, item.doc_id),
+        )
+        stats.docs_examined = len(scores)
+        stats.docs_touched = len(scores)
+        stats.total_seconds = time.perf_counter() - start
+        return RankedResults(ranked[:k], stats, algorithm="ta",
+                             query_kind="rds", k=k)
+
+    def index_size(self) -> int:
+        """Total postings entries — the ``O(|D|·|C|)`` footprint."""
+        return sum(len(postings) for postings in self._sorted.values())

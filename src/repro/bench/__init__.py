@@ -1,0 +1,66 @@
+"""Benchmark harness: workloads, experiment definitions, reporting.
+
+Every table and figure of the paper's evaluation (Section 6) has an
+experiment function in :mod:`repro.bench.experiments` that regenerates the
+corresponding rows/series on synthetic SNOMED-like data, plus a
+pytest-benchmark target under ``benchmarks/``.  Scales are configurable
+(:class:`repro.bench.experiments.BenchScale`); the defaults keep the whole
+suite interactive on a laptop while preserving the paper's PATIENT/RADIO
+contrasts.
+
+Run any experiment standalone::
+
+    python -m repro.bench.experiments fig9 --scale small
+"""
+
+from repro.bench.experiments import (
+    BenchScale,
+    World,
+    build_world,
+    fig6_distance_calc,
+    fig7_error_threshold,
+    fig7_optimal_threshold,
+    fig8_query_size,
+    fig9_num_results,
+    scalability_corpus_size,
+    significance_fig9,
+    table3_corpus_stats,
+)
+from repro.bench.memory import deep_sizeof, space_comparison
+from repro.bench.plots import render_chart
+from repro.bench.reporting import Table, series_table
+from repro.bench.statistics import (
+    best_growth_model,
+    fit_growth_model,
+    welch_t_test,
+)
+from repro.bench.workloads import (
+    random_concept_queries,
+    random_query_documents,
+    sample_documents,
+)
+
+__all__ = [
+    "BenchScale",
+    "World",
+    "build_world",
+    "fig6_distance_calc",
+    "fig7_error_threshold",
+    "fig7_optimal_threshold",
+    "fig8_query_size",
+    "fig9_num_results",
+    "significance_fig9",
+    "scalability_corpus_size",
+    "table3_corpus_stats",
+    "Table",
+    "series_table",
+    "render_chart",
+    "welch_t_test",
+    "fit_growth_model",
+    "best_growth_model",
+    "deep_sizeof",
+    "space_comparison",
+    "random_concept_queries",
+    "random_query_documents",
+    "sample_documents",
+]

@@ -1,0 +1,110 @@
+"""Memory footprint measurement (the paper's space arguments, measured).
+
+Section 4.1 rules out two designs on space grounds: the all-pairs concept
+matrix (``O(|C|²)``) and the TA postings index (``O(|D|·|C|)``), against
+which kNDS needs only the ontology plus linear-size inverted/forward
+indexes.  This module measures those footprints concretely:
+
+* :func:`deep_sizeof` — a recursive ``sys.getsizeof`` that follows
+  containers and object ``__dict__``/``__slots__``, with cycle guarding;
+* :func:`index_footprint` / :func:`space_comparison` — byte counts for
+  each design on a given world, plus the extrapolation to the paper's
+  SNOMED/UMLS sizes where the strawmen fall over.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Mapping
+
+from repro.baselines.matrix import ConceptDistanceMatrix
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.bench.reporting import Table
+from repro.corpus.collection import DocumentCollection
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.ontology.graph import Ontology
+
+
+def deep_sizeof(obj: object, *, _seen: set[int] | None = None) -> int:
+    """Recursive object size in bytes.
+
+    Follows tuples/lists/sets/dicts and object attributes; shared objects
+    are counted once.  Good enough for comparing data-structure designs
+    (not a precise allocator audit).
+    """
+    seen = _seen if _seen is not None else set()
+    identity = id(obj)
+    if identity in seen:
+        return 0
+    seen.add(identity)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, Mapping):
+        for key, value in obj.items():
+            size += deep_sizeof(key, _seen=seen)
+            size += deep_sizeof(value, _seen=seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, _seen=seen)
+    if hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), _seen=seen)
+    if hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:  # type: ignore[attr-defined]
+            if hasattr(obj, slot):
+                size += deep_sizeof(getattr(obj, slot), _seen=seen)
+    return size
+
+
+def index_footprint(ontology: Ontology,
+                    collection: DocumentCollection) -> dict[str, int]:
+    """Byte footprint of each retrieval design on a concrete world.
+
+    The TA index and distance matrix are built restricted (TA: the
+    corpus's 40 most frequent concepts; matrix: 50 concepts) and scaled
+    linearly/quadratically to the full universe — building them outright
+    is exactly what the paper says you cannot do.
+    """
+    inverted = MemoryInvertedIndex.from_collection(collection)
+    forward = MemoryForwardIndex.from_collection(collection)
+    footprint = {
+        "inverted+forward": deep_sizeof(inverted) + deep_sizeof(forward),
+    }
+    frequencies = collection.concept_frequencies()
+    ranked = sorted(frequencies, key=frequencies.get, reverse=True)
+    ta_sample = ranked[:40]
+    ta = ThresholdAlgorithm.build(ontology, collection,
+                                  concepts=ta_sample)
+    per_concept = deep_sizeof(ta._sorted) + deep_sizeof(ta._random)
+    footprint["ta_postings_full_estimate"] = round(
+        per_concept / max(1, len(ta_sample)) * len(frequencies))
+    matrix_sample = ranked[:50]
+    matrix = ConceptDistanceMatrix.build(ontology, concepts=matrix_sample)
+    pair_bytes = deep_sizeof(matrix._matrix) / max(1, matrix.entries())
+    footprint["matrix_full_estimate"] = round(
+        pair_bytes * len(ontology) ** 2)
+    return footprint
+
+
+def space_comparison(ontology: Ontology,
+                     collection: DocumentCollection) -> Table:
+    """Render the Section 4.1 space argument as a measured table."""
+    footprint = index_footprint(ontology, collection)
+    table = Table(
+        "Space — retrieval index designs (Section 4.1)",
+        ["design", "bytes on this world", "asymptotic"],
+        notes=[
+            "TA and matrix rows extrapolate restricted builds to the "
+            "full concept universe",
+            "paper: |C| = 296,433 (SNOMED-CT) / 2.9M (UMLS); both "
+            "strawmen are dismissed on exactly this blow-up",
+        ],
+    )
+    table.add_row("kNDS inverted+forward",
+                  f"{footprint['inverted+forward']:,}",
+                  "O(sum of document sizes)")
+    table.add_row("TA distance-sorted postings",
+                  f"{footprint['ta_postings_full_estimate']:,}",
+                  "O(|D| * |C|)")
+    table.add_row("all-pairs concept matrix",
+                  f"{footprint['matrix_full_estimate']:,}",
+                  "O(|C|^2)")
+    return table

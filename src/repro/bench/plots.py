@@ -1,0 +1,91 @@
+"""ASCII charts for experiment series (terminal-friendly "figures").
+
+The paper presents its evaluation as plots; the harness's tables carry
+the same numbers, and this module renders them as horizontal log-scale
+bar charts so the shapes — quadratic blowups, flat baselines, optima —
+are visible at a glance in a terminal or a CI log.
+
+Example output for a two-series table::
+
+    Figure 9 — Query time vs k (RDS, PATIENT)
+    k=3    kNDS (s)     |####                                    | 0.0056
+           baseline (s) |########################################| 1.652
+    ...
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.reporting import Table
+
+BAR_WIDTH = 40
+
+
+def _parse(cell: str) -> float | None:
+    try:
+        return float(cell.replace(",", ""))
+    except ValueError:
+        return None
+
+
+def render_chart(table: Table, *, width: int = BAR_WIDTH,
+                 log_scale: bool = True) -> str:
+    """Render a series table as grouped horizontal bars.
+
+    The first column is treated as the x value, every further numeric
+    column as a series.  With ``log_scale`` (default) bar lengths are
+    proportional to the log of the value — the right scale for the
+    paper's orders-of-magnitude comparisons.  Non-numeric cells are shown
+    verbatim without a bar.
+    """
+    numeric: list[float] = []
+    for row in table.rows:
+        for cell in row[1:]:
+            value = _parse(cell)
+            if value is not None and value > 0:
+                numeric.append(value)
+    if not numeric:
+        return table.render()
+    high = max(numeric)
+    low = min(numeric)
+
+    def bar(value: float) -> str:
+        if value <= 0:
+            return ""
+        if log_scale and high > low:
+            fraction = ((math.log10(value) - math.log10(low))
+                        / (math.log10(high) - math.log10(low)))
+            # Keep the smallest value visible with one mark.
+            length = max(1, round(fraction * width))
+        elif high > 0:
+            length = max(1, round(value / high * width))
+        else:
+            length = 0
+        return "#" * length
+
+    label_width = max(len(header) for header in table.headers[1:])
+    x_width = max(
+        [len(table.headers[0])]
+        + [len(str(row[0])) for row in table.rows]
+    )
+    lines = [table.title, "=" * len(table.title)]
+    if log_scale and high > low:
+        lines.append(f"(log scale: {low:g} .. {high:g})")
+    for row in table.rows:
+        x_value = str(row[0])
+        for header, cell in zip(table.headers[1:], row[1:]):
+            value = _parse(cell)
+            prefix = f"{x_value:<{x_width}}"
+            x_value = " " * len(x_value)  # print x once per group
+            if value is None:
+                lines.append(
+                    f"{prefix} {header:<{label_width}} {cell}")
+            else:
+                lines.append(
+                    f"{prefix} {header:<{label_width}} "
+                    f"|{bar(value):<{width}}| {cell}")
+        lines.append("")
+    for note in table.notes:
+        lines.append(f"# {note}")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,69 @@
+"""Plain-text tables for experiment output.
+
+The paper presents results as plots; the harness prints the same series as
+aligned text tables (x value per row, one column per series), which is
+what lands in ``EXPERIMENTS.md`` and in the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled grid of pre-formatted cells."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row, formatting each cell for display."""
+        self.rows.append([_format(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The aligned plain-text rendering of the table."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(_format_row(self.headers, widths))
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(_format_row(row, widths))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.01:
+            return f"{cell:.2e}"
+        return f"{cell:,.3f}"
+    return str(cell)
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(
+        cell.ljust(width) for cell, width in zip(cells, widths)
+    )
+
+
+def series_table(title: str, x_name: str, x_values: Sequence[object],
+                 series: Mapping[str, Sequence[object]],
+                 notes: Sequence[str] = ()) -> Table:
+    """One row per x value, one column per named series (plot-as-table)."""
+    table = Table(title, [x_name, *series], notes=list(notes))
+    for index, x_value in enumerate(x_values):
+        table.add_row(x_value, *(values[index] for values in series.values()))
+    return table

@@ -1,0 +1,191 @@
+"""Statistical machinery for the evaluation (Section 6.1's t-test).
+
+The paper: "In order to examine the statistical significance of our
+results, we ran a two-tailed t-test for the times reported in Figure 9
+with two sample variances and found out that the execution times measured
+are statistically significant with p-value < 0.001."
+
+This module reproduces that analysis without external dependencies:
+
+* :func:`welch_t_test` — the unequal-variances ("two sample variances")
+  two-tailed t-test, with the exact Student-t p-value computed through
+  the regularized incomplete beta function (continued-fraction
+  evaluation, the classic Numerical Recipes formulation);
+* :func:`fit_growth_model` — least-squares fits of a timing series
+  against candidate complexity models (``n``, ``n log n``, ``n²``),
+  quantifying the paper's "grows with nlogn rate" / "grows
+  quadratically" claims instead of eyeballing them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+# ----------------------------------------------------------------------
+# Student-t via the regularized incomplete beta function
+# ----------------------------------------------------------------------
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's algorithm)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        # Even step.
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        # Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the regularized incomplete beta function."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    if x == 0.0 or x == 1.0:
+        return x
+    front = math.exp(
+        a * math.log(x) + b * math.log(1.0 - x) - _log_beta(a, b)
+    )
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def student_t_two_tailed_p(t_statistic: float,
+                           degrees_of_freedom: float) -> float:
+    """Two-tailed p-value of a Student-t statistic."""
+    if degrees_of_freedom <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    x = degrees_of_freedom / (degrees_of_freedom + t_statistic ** 2)
+    return regularized_incomplete_beta(
+        degrees_of_freedom / 2.0, 0.5, x)
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a Welch two-sample t-test."""
+
+    t_statistic: float
+    degrees_of_freedom: float
+    p_value: float
+    mean_difference: float
+
+    def significant(self, alpha: float = 0.001) -> bool:
+        """The paper's reporting threshold: p < 0.001 by default."""
+        return self.p_value < alpha
+
+
+def _mean_and_variance(sample: Sequence[float]) -> tuple[float, float]:
+    n = len(sample)
+    mean = sum(sample) / n
+    variance = sum((value - mean) ** 2 for value in sample) / (n - 1)
+    return mean, variance
+
+
+def welch_t_test(first: Sequence[float],
+                 second: Sequence[float]) -> TTestResult:
+    """Two-tailed Welch's t-test (unequal variances).
+
+    This is the "two-tailed t-test ... with two sample variances" of the
+    paper's Section 6.1.
+    """
+    if len(first) < 2 or len(second) < 2:
+        raise ValueError("each sample needs at least two observations")
+    mean1, var1 = _mean_and_variance(first)
+    mean2, var2 = _mean_and_variance(second)
+    n1, n2 = len(first), len(second)
+    se1, se2 = var1 / n1, var2 / n2
+    if se1 + se2 == 0:
+        # Identical constant samples: no evidence of a difference.
+        return TTestResult(0.0, float(n1 + n2 - 2), 1.0, mean1 - mean2)
+    t_statistic = (mean1 - mean2) / math.sqrt(se1 + se2)
+    dof = (se1 + se2) ** 2 / (
+        se1 ** 2 / (n1 - 1) + se2 ** 2 / (n2 - 1)
+    )
+    p_value = student_t_two_tailed_p(abs(t_statistic), dof)
+    return TTestResult(t_statistic, dof, p_value, mean1 - mean2)
+
+
+# ----------------------------------------------------------------------
+# Complexity-model fitting
+# ----------------------------------------------------------------------
+MODELS = {
+    "n": lambda n: n,
+    "n log n": lambda n: n * math.log(max(n, 2)),
+    "n^2": lambda n: n * n,
+}
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Least-squares fit of a timing series to one complexity model."""
+
+    model: str
+    coefficient: float
+    r_squared: float
+
+
+def fit_growth_model(sizes: Sequence[float], timings: Sequence[float]
+                     ) -> list[GrowthFit]:
+    """Fit ``time ≈ a · f(n)`` for each candidate model.
+
+    Returns fits sorted by descending R² — the first entry is the model
+    that explains the series best.  Used to back the paper's Figure 6 and
+    Figure 8 growth-rate claims with numbers.
+    """
+    if len(sizes) != len(timings) or len(sizes) < 3:
+        raise ValueError("need at least three (size, timing) points")
+    mean_time = sum(timings) / len(timings)
+    total_ss = sum((t - mean_time) ** 2 for t in timings)
+    fits = []
+    for name, model in MODELS.items():
+        features = [model(size) for size in sizes]
+        denominator = sum(f * f for f in features)
+        coefficient = (
+            sum(f * t for f, t in zip(features, timings)) / denominator
+        )
+        residual_ss = sum(
+            (t - coefficient * f) ** 2 for f, t in zip(features, timings)
+        )
+        r_squared = 1.0 - residual_ss / total_ss if total_ss else 1.0
+        fits.append(GrowthFit(name, coefficient, r_squared))
+    fits.sort(key=lambda fit: -fit.r_squared)
+    return fits
+
+
+def best_growth_model(sizes: Sequence[float],
+                      timings: Sequence[float]) -> str:
+    """Name of the best-fitting complexity model."""
+    return fit_growth_model(sizes, timings)[0].model

@@ -1,0 +1,60 @@
+"""Workload generation for the experiments.
+
+The paper's query workloads (Section 6.2):
+
+* RDS experiments average over randomly generated concept queries of a
+  given size ``nq``;
+* SDS document-ranking experiments pick random documents from the corpus;
+* the distance-calculation experiment (Figure 6) uses randomly generated
+  query *documents* with exactly ``nq`` concepts each.
+
+All generators sample from the concepts that actually occur in the target
+corpus, so PATIENT-like and RADIO-like workloads inherit the respective
+corpus's ontological density — the property driving the Figure 7 contrast.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.types import ConceptId
+
+
+def _concept_pool(collection: DocumentCollection) -> list[ConceptId]:
+    pool = sorted(collection.distinct_concepts())
+    if not pool:
+        raise ValueError(f"collection {collection.name!r} has no concepts")
+    return pool
+
+
+def random_concept_queries(collection: DocumentCollection, *, nq: int,
+                           count: int, seed: int = 0
+                           ) -> list[tuple[ConceptId, ...]]:
+    """``count`` random RDS queries with ``nq`` distinct concepts each."""
+    rng = random.Random(seed)
+    pool = _concept_pool(collection)
+    size = min(nq, len(pool))
+    return [tuple(rng.sample(pool, size)) for _ in range(count)]
+
+
+def random_query_documents(collection: DocumentCollection, *, nq: int,
+                           count: int, seed: int = 0) -> list[Document]:
+    """Random query documents with exactly ``nq`` concepts (Figure 6)."""
+    rng = random.Random(seed)
+    pool = _concept_pool(collection)
+    size = min(nq, len(pool))
+    return [
+        Document(f"q{index:04d}", rng.sample(pool, size))
+        for index in range(count)
+    ]
+
+
+def sample_documents(collection: DocumentCollection, *, count: int,
+                     seed: int = 0) -> list[Document]:
+    """Random existing documents, the SDS query workload."""
+    rng = random.Random(seed)
+    doc_ids = collection.doc_ids()
+    chosen = rng.sample(doc_ids, min(count, len(doc_ids)))
+    return [collection.get(doc_id) for doc_id in chosen]

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Ties the library's pieces into shell-scriptable steps:
+
+* ``generate-ontology`` — write a synthetic SNOMED-like DAG to CSV;
+* ``generate-corpus``  — write a PATIENT-like or RADIO-like corpus to
+  JSONL over a CSV ontology;
+* ``stats``            — ontology shape and/or Table 3 corpus statistics;
+* ``search``           — run an RDS or SDS query against a corpus;
+* ``extract``          — run the concept-extraction pipeline over text;
+* ``experiments``      — regenerate the paper's tables and figures
+  (delegates to :mod:`repro.bench.experiments`).
+
+A full round trip::
+
+    python -m repro generate-ontology --concepts 2000 --out onto
+    python -m repro generate-corpus --ontology onto --profile radio \
+        --docs 500 --out reports.jsonl
+    python -m repro search --ontology onto --corpus reports.jsonl \
+        rds --query C0000123,C0000456 -k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.experiments import main as experiments_main
+from repro.core.engine import SearchEngine
+from repro.corpus.generators import patient_like, radio_like
+from repro.corpus.io import load_jsonl, save_jsonl
+from repro.corpus.text.pipeline import ConceptExtractor
+from repro.exceptions import ReproError
+from repro.ontology.generators import snomed_like
+from repro.ontology.graph import Ontology
+from repro.ontology.io.csvio import load_csv, save_csv
+from repro.ontology.stats import compute_stats
+
+
+def _ontology_paths(prefix: str) -> tuple[str, str]:
+    return f"{prefix}.concepts.csv", f"{prefix}.edges.csv"
+
+
+def _load_ontology(prefix: str) -> Ontology:
+    concepts_path, edges_path = _ontology_paths(prefix)
+    return load_csv(concepts_path, edges_path, name=prefix)
+
+
+def _cmd_generate_ontology(args: argparse.Namespace) -> int:
+    ontology = snomed_like(args.concepts, seed=args.seed)
+    concepts_path, edges_path = _ontology_paths(args.out)
+    save_csv(ontology, concepts_path, edges_path)
+    print(f"wrote {len(ontology)} concepts to {concepts_path} and "
+          f"{ontology.edge_count()} edges to {edges_path}")
+    return 0
+
+
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    ontology = _load_ontology(args.ontology)
+    maker = patient_like if args.profile == "patient" else radio_like
+    kwargs = {"num_docs": args.docs, "seed": args.seed}
+    if args.mean_concepts is not None:
+        kwargs["mean_concepts"] = args.mean_concepts
+    collection = maker(ontology, **kwargs)
+    save_jsonl(collection, args.out)
+    stats = collection.stats()
+    print(f"wrote {stats.total_documents} documents "
+          f"({stats.avg_concepts_per_document:.1f} concepts/doc) "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    ontology = _load_ontology(args.ontology)
+    stats = compute_stats(ontology, path_sample=args.path_sample)
+    print(f"ontology {ontology.name!r}")
+    for key, value in stats.as_rows():
+        print(f"  {key:<24} {value}")
+    if args.corpus:
+        collection = load_jsonl(args.corpus)
+        print(f"corpus {collection.name!r}")
+        for key, value in collection.stats().as_rows():
+            print(f"  {key:<24} {value}")
+    return 0
+
+
+def _make_engine(args: argparse.Namespace) -> SearchEngine:
+    if getattr(args, "engine", None):
+        from repro.core.persistence import load_engine
+        return load_engine(args.engine)
+    if not (args.ontology and args.corpus):
+        raise ReproError(
+            "provide either --engine DIR or both --ontology and --corpus")
+    ontology = _load_ontology(args.ontology)
+    collection = load_jsonl(args.corpus)
+    return SearchEngine(ontology, collection)
+
+
+def _cmd_build_engine(args: argparse.Namespace) -> int:
+    from repro.core.persistence import save_engine
+
+    ontology = _load_ontology(args.ontology)
+    collection = load_jsonl(args.corpus)
+    engine = SearchEngine(ontology, collection)
+    save_engine(engine, args.out)
+    print(f"saved engine ({len(collection)} documents over "
+          f"{len(ontology)} concepts) to {args.out}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
+    query = [part for part in args.query.split(",") if part]
+    print(engine.explain(args.doc_id, query))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
+    if args.query_kind == "rds":
+        query = [part for part in args.query.split(",") if part]
+        results = engine.rds(query, k=args.k, algorithm=args.algorithm,
+                             **_config_overrides(args))
+    else:
+        results = engine.sds(args.doc_id, k=args.k,
+                             algorithm=args.algorithm,
+                             **_config_overrides(args))
+    for rank, item in enumerate(results, start=1):
+        print(f"{rank:>3}. {item.doc_id}  distance={item.distance:g}")
+    stats = results.stats
+    print(f"# {stats.docs_examined} docs examined, {stats.drc_calls} DRC "
+          f"probes, {stats.total_seconds * 1000:.1f} ms")
+    return 0
+
+
+def _config_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    if args.algorithm == "knds" and args.error_threshold is not None:
+        overrides["error_threshold"] = args.error_threshold
+    return overrides
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    ontology = _load_ontology(args.ontology)
+    extractor = ConceptExtractor.for_ontology(ontology)
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = args.text or sys.stdin.read()
+    if args.sections:
+        from repro.corpus.text.sections import extract_with_sections
+        concepts, annotated = extract_with_sections(extractor, text)
+        for item in annotated:
+            polarity = "NEG" if item.mention.negated else "POS"
+            scope = item.section or "(preamble)"
+            drop = "" if item.admitted else "  [section excluded]"
+            print(f"[{polarity}] {item.mention.concept_id}  "
+                  f"{item.mention.text!r}  in {scope}{drop}")
+    else:
+        for mention in extractor.mentions(text):
+            polarity = "NEG" if mention.negated else "POS"
+            print(f"[{polarity}] {mention.concept_id}  {mention.text!r}  "
+                  f"({ontology.label(mention.concept_id)})")
+        concepts = extractor.extract_concepts(text)
+    print(f"# positive concept set: {','.join(sorted(concepts)) or '-'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient concept-based document ranking (EDBT 2014 "
+                    "reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate_ontology = commands.add_parser(
+        "generate-ontology", help="write a synthetic SNOMED-like DAG")
+    generate_ontology.add_argument("--concepts", type=int, default=5000)
+    generate_ontology.add_argument("--seed", type=int, default=0)
+    generate_ontology.add_argument("--out", required=True,
+                                   help="path prefix for the CSV pair")
+    generate_ontology.set_defaults(handler=_cmd_generate_ontology)
+
+    generate_corpus = commands.add_parser(
+        "generate-corpus", help="write a synthetic corpus as JSONL")
+    generate_corpus.add_argument("--ontology", required=True,
+                                 help="ontology CSV path prefix")
+    generate_corpus.add_argument("--profile",
+                                 choices=["patient", "radio"],
+                                 default="radio")
+    generate_corpus.add_argument("--docs", type=int, default=500)
+    generate_corpus.add_argument("--mean-concepts", type=float)
+    generate_corpus.add_argument("--seed", type=int, default=0)
+    generate_corpus.add_argument("--out", required=True)
+    generate_corpus.set_defaults(handler=_cmd_generate_corpus)
+
+    stats = commands.add_parser("stats",
+                                help="ontology and corpus statistics")
+    stats.add_argument("--ontology", required=True)
+    stats.add_argument("--corpus")
+    stats.add_argument("--path-sample", type=int, default=500)
+    stats.set_defaults(handler=_cmd_stats)
+
+    build_engine = commands.add_parser(
+        "build-engine", help="persist a ready-to-serve engine directory")
+    build_engine.add_argument("--ontology", required=True)
+    build_engine.add_argument("--corpus", required=True)
+    build_engine.add_argument("--out", required=True)
+    build_engine.set_defaults(handler=_cmd_build_engine)
+
+    explain = commands.add_parser(
+        "explain", help="explain a document's distance from a query")
+    explain.add_argument("--ontology")
+    explain.add_argument("--corpus")
+    explain.add_argument("--engine", help="saved engine directory")
+    explain.add_argument("--doc-id", required=True)
+    explain.add_argument("--query", required=True,
+                         help="comma-separated concept ids")
+    explain.set_defaults(handler=_cmd_explain)
+
+    search = commands.add_parser("search", help="run a top-k query")
+    search.add_argument("--ontology")
+    search.add_argument("--corpus")
+    search.add_argument("--engine", help="saved engine directory")
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--algorithm", default="knds",
+                        choices=["knds", "fullscan", "ta"])
+    search.add_argument("--error-threshold", type=float)
+    kinds = search.add_subparsers(dest="query_kind", required=True)
+    rds = kinds.add_parser("rds", help="relevant document search")
+    rds.add_argument("--query", required=True,
+                     help="comma-separated concept ids")
+    sds = kinds.add_parser("sds", help="similar document search")
+    sds.add_argument("--doc-id", required=True)
+    search.set_defaults(handler=_cmd_search)
+
+    extract = commands.add_parser(
+        "extract", help="extract concepts from clinical text")
+    extract.add_argument("--ontology", required=True)
+    extract.add_argument("--text")
+    extract.add_argument("--file")
+    extract.add_argument("--sections", action="store_true",
+                         help="section-aware extraction (drops FAMILY "
+                              "HISTORY etc.)")
+    extract.set_defaults(handler=_cmd_extract)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures",
+        add_help=False)
+    experiments.add_argument("rest", nargs=argparse.REMAINDER)
+    experiments.set_defaults(handler=None)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        # Hand everything through verbatim (argparse's REMAINDER would
+        # otherwise intercept option-like tokens such as --help).
+        return experiments_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

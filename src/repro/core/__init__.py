@@ -1,0 +1,40 @@
+"""The paper's contribution: D-Radix, DRC distances, and kNDS search.
+
+* :mod:`repro.core.radix` — the compressed Radix DAG over Dewey addresses
+  (Figure 4) and the path-insertion machinery (Function InsertPath).
+* :mod:`repro.core.dradix` — the D-Radix DAG: a Radix DAG annotated with
+  nearest-document and nearest-query distances (Definition 3).
+* :mod:`repro.core.drc` — the DRC algorithm (Algorithm 1): build a D-Radix
+  over the document and query concepts, tune distances with one bottom-up
+  and one top-down sweep, and read off ``Ddq`` / ``Ddd`` in O(n log n).
+* :mod:`repro.core.knds` — the kNDS branch-and-bound top-k search
+  (Algorithm 2) for both RDS and SDS queries.
+* :mod:`repro.core.engine` — a facade tying ontology, corpus, indexes and
+  algorithms together.
+"""
+
+from repro.core.drc import DRC
+from repro.core.dradix import DRadixDAG
+from repro.core.engine import SearchEngine
+from repro.core.expansion import QueryExpander, merged_rds
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.core.mapreduce import MapReduceKNDS, MapReduceRuntime
+from repro.core.radix import RadixDAG, RadixNode
+from repro.core.results import QueryStats, RankedResults, ResultItem
+
+__all__ = [
+    "RadixDAG",
+    "RadixNode",
+    "DRadixDAG",
+    "DRC",
+    "KNDSearch",
+    "KNDSConfig",
+    "MapReduceKNDS",
+    "MapReduceRuntime",
+    "SearchEngine",
+    "QueryExpander",
+    "merged_rds",
+    "RankedResults",
+    "ResultItem",
+    "QueryStats",
+]

@@ -1,0 +1,207 @@
+"""The D-Radix DAG (Definition 3 of the paper).
+
+A D-Radix DAG indexes every Dewey address of the concepts of a document
+``d`` and a query ``q`` (for SDS, the query document's concepts), and
+annotates every node with two distances: the shortest valid-path distance
+to the nearest concept of ``d`` and to the nearest concept of ``q``.
+
+Construction initializes the annotations to 0 for nodes whose concept
+belongs to the respective set and ∞ otherwise; the *tuning* phase then
+propagates them with one bottom-up sweep (pulling distances from children)
+followed by one top-down sweep (pulling from parents).  Because the two
+sweeps compose only up-then-down paths, all propagated values travel along
+valid ontology paths through a common ancestor, and since the D-Radix has
+a single root (the ontology root), the common ancestor of any two nodes is
+always visited — the paper's correctness argument, Section 4.3.
+
+Unlike a plain Radix DAG, concept nodes of ``d ∪ q`` are never merged into
+edges even when they have a single child (the paper's R/U example): the
+insertion machinery in :mod:`repro.core.radix` guarantees this naturally,
+because explicitly inserted concepts become nodes and nothing ever merges
+an existing node away.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from repro.core.radix import RadixDAG, RadixNode
+from repro.exceptions import EmptyDocumentError
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.types import INFINITY, ConceptId, DeweyAddress
+
+DOC = 0
+"""Index of the nearest-document distance slot on a radix node."""
+
+QUERY = 1
+"""Index of the nearest-query distance slot on a radix node."""
+
+
+class DRadixDAG:
+    """D-Radix over a document and a query concept set.
+
+    Parameters
+    ----------
+    ontology:
+        The validated concept DAG.
+    doc_concepts, query_concepts:
+        The two concept sets.  For an RDS query, ``query_concepts`` is the
+        user's concept set; for SDS it is the query document's concepts.
+
+    Notes
+    -----
+    Use :meth:`build` (or :class:`repro.core.drc.DRC`) for the common
+    construct-insert-tune flow; the incremental methods exist so tests can
+    replay the paper's Example 2 step by step.
+    """
+
+    def __init__(self, ontology: Ontology,
+                 doc_concepts: Collection[ConceptId],
+                 query_concepts: Collection[ConceptId]) -> None:
+        if not doc_concepts:
+            raise EmptyDocumentError("<document>")
+        if not query_concepts:
+            raise EmptyDocumentError("<query>")
+        self._ontology = ontology
+        self.doc_concepts = frozenset(doc_concepts)
+        self.query_concepts = frozenset(query_concepts)
+        self.dag = RadixDAG(ontology, on_create=self._init_distances)
+        self._tuned = False
+        # The root was created before the hook could see the concept sets
+        # only if ``_init_distances`` ran during ``RadixDAG.__init__``;
+        # re-initialize it explicitly to be safe.
+        self._init_distances(self.dag.root)
+
+    @classmethod
+    def build(cls, ontology: Ontology, dewey: DeweyIndex,
+              doc_concepts: Collection[ConceptId],
+              query_concepts: Collection[ConceptId]) -> "DRadixDAG":
+        """Construct, insert all addresses in lexicographic order and tune."""
+        dradix = cls(ontology, doc_concepts, query_concepts)
+        for address, concept_id in cls.merged_address_list(
+                dewey, doc_concepts, query_concepts):
+            dradix.insert(address, concept_id)
+        dradix.tune()
+        return dradix
+
+    @staticmethod
+    def merged_address_list(
+        dewey: DeweyIndex,
+        doc_concepts: Iterable[ConceptId],
+        query_concepts: Iterable[ConceptId],
+    ) -> list[tuple[DeweyAddress, ConceptId]]:
+        """``Pd`` and ``Pq`` merged in lexicographic order (Algorithm 1).
+
+        A concept occurring in both sets contributes its addresses once.
+        """
+        doc_set = set(doc_concepts)
+        combined = doc_set | set(query_concepts)
+        return dewey.sorted_address_list(combined)
+
+    # ------------------------------------------------------------------
+    def _init_distances(self, node: RadixNode) -> None:
+        node.dist = [
+            0.0 if node.concept_id in self.doc_concepts else INFINITY,
+            0.0 if node.concept_id in self.query_concepts else INFINITY,
+        ]
+
+    def insert(self, address: DeweyAddress, concept_id: ConceptId) -> None:
+        """Insert one address (construction phase of Algorithm 1)."""
+        self._tuned = False
+        self.dag.insert(address, concept_id)
+
+    def tune(self) -> None:
+        """Propagate distances: bottom-up sweep, then top-down sweep.
+
+        Each sweep applies Eq. 4: ``D(cj) = min(D(cj), min over neighbors
+        ck of D(ck) + D(cj, ck))`` where the node-to-node distance is the
+        radix edge label length (the number of ontology levels the
+        compressed edge spans).
+        """
+        order = self.dag.topological_order()
+        self.sweep_bottom_up(order)
+        self.sweep_top_down(order)
+        self._tuned = True
+
+    def sweep_bottom_up(self, order: list | None = None) -> None:
+        """The bottom-up half of tuning: pull distances from children.
+
+        After this sweep each node knows its distance to the nearest
+        document/query concept *below* it — the state the paper's
+        Figure 5(f) depicts.  Exposed separately so tests can assert that
+        intermediate state; normal callers use :meth:`tune`.
+        """
+        if order is None:
+            order = self.dag.topological_order()
+        for node in reversed(order):
+            for label, child in node.children:
+                edge_length = len(label)
+                for slot in (DOC, QUERY):
+                    candidate = child.dist[slot] + edge_length
+                    if candidate < node.dist[slot]:
+                        node.dist[slot] = candidate
+
+    def sweep_top_down(self, order: list | None = None) -> None:
+        """The top-down half of tuning: pull distances from parents.
+
+        Composes with the bottom-up sweep to cover all up-then-down valid
+        paths, producing the paper's Figure 5(g) state.
+        """
+        if order is None:
+            order = self.dag.topological_order()
+        for node in order:
+            for label, child in node.children:
+                edge_length = len(label)
+                for slot in (DOC, QUERY):
+                    candidate = node.dist[slot] + edge_length
+                    if candidate < child.dist[slot]:
+                        child.dist[slot] = candidate
+
+    # ------------------------------------------------------------------
+    def nearest_document_distance(self, concept_id: ConceptId) -> float:
+        """``Ddc(d, concept)`` read off the tuned index."""
+        self._require_tuned()
+        return self.dag.node(concept_id).dist[DOC]
+
+    def nearest_query_distance(self, concept_id: ConceptId) -> float:
+        """``Ddc(q, concept)`` read off the tuned index."""
+        self._require_tuned()
+        return self.dag.node(concept_id).dist[QUERY]
+
+    def document_query_distance(self) -> float:
+        """``Ddq(d, q)`` (Eq. 2): sum of nearest-document distances over
+        the query concepts."""
+        self._require_tuned()
+        return sum(
+            self.dag.node(concept_id).dist[DOC]
+            for concept_id in self.query_concepts
+        )
+
+    def document_document_distance(self) -> float:
+        """``Ddd(d, q)`` (Eq. 3): the symmetric normalized distance."""
+        self._require_tuned()
+        doc_to_query = sum(
+            self.dag.node(concept_id).dist[QUERY]
+            for concept_id in self.doc_concepts
+        )
+        query_to_doc = sum(
+            self.dag.node(concept_id).dist[DOC]
+            for concept_id in self.query_concepts
+        )
+        return (doc_to_query / len(self.doc_concepts)
+                + query_to_doc / len(self.query_concepts))
+
+    def distance_annotations(self) -> dict[ConceptId, tuple[float, float]]:
+        """``{concept: (nearest-document, nearest-query)}`` for every node.
+
+        This is the annotation shown in the paper's Figure 5(e)-(g).
+        """
+        return {
+            node.concept_id: (node.dist[DOC], node.dist[QUERY])
+            for node in self.dag.nodes()
+        }
+
+    def _require_tuned(self) -> None:
+        if not self._tuned:
+            raise RuntimeError("call tune() before reading distances")

@@ -1,0 +1,194 @@
+"""SearchEngine — one object tying ontology, corpus, indexes and algorithms.
+
+The facade most applications want: build it from an ontology and a
+document collection, pick a storage backend, and issue RDS/SDS queries
+with either the paper's kNDS algorithm (default) or one of the baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.drc import DRC
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.core.results import RankedResults
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import QueryError
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.index.sqlite import SQLiteIndexStore
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+class SearchEngine:
+    """Concept-based top-k search over one corpus.
+
+    Parameters
+    ----------
+    ontology:
+        The concept DAG; validated on construction if it was not already.
+    collection:
+        The document corpus.
+    backend:
+        ``"memory"`` (default) for dict-backed indexes or ``"sqlite"`` for
+        the database-backed deployment the paper used (MySQL there).
+    sqlite_path:
+        Database location when ``backend="sqlite"``; defaults to an
+        in-memory database.
+
+    Example
+    -------
+    >>> from repro import figure3_ontology, example4_collection
+    >>> engine = SearchEngine(figure3_ontology(), example4_collection())
+    >>> engine.rds(["F", "I"], k=2).doc_ids()
+    ['d2', 'd3']
+    """
+
+    def __init__(self, ontology: Ontology, collection: DocumentCollection, *,
+                 backend: str = "memory",
+                 sqlite_path: str = ":memory:",
+                 sqlite_rebuild: bool = True) -> None:
+        ontology.validate()
+        self.ontology = ontology
+        self.collection = collection
+        self.dewey = DeweyIndex(ontology)
+        self.drc = DRC(ontology, self.dewey)
+        if backend == "memory":
+            self.inverted = MemoryInvertedIndex.from_collection(
+                collection, ontology=ontology)
+            self.forward = MemoryForwardIndex.from_collection(collection)
+            self._store = None
+        elif backend == "sqlite":
+            if sqlite_rebuild:
+                self._store = SQLiteIndexStore.build(collection, sqlite_path)
+            else:
+                # Reuse a database built earlier (see
+                # :mod:`repro.core.persistence`).
+                self._store = SQLiteIndexStore.open(sqlite_path)
+            self.inverted = self._store.inverted
+            self.forward = self._store.forward
+        else:
+            raise QueryError(f"unknown backend: {backend!r}")
+        self._knds = KNDSearch(
+            ontology,
+            inverted=self.inverted,
+            forward=self.forward,
+            dewey=self.dewey,
+            drc=self.drc,
+        )
+
+    # ------------------------------------------------------------------
+    def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,
+            algorithm: str = "knds",
+            config: KNDSConfig | None = None, **overrides) -> RankedResults:
+        """Relevant Document Search: top-k documents for a concept set.
+
+        ``algorithm`` is ``"knds"`` (default), ``"fullscan"`` (the paper's
+        no-pruning baseline) or ``"ta"`` (Threshold Algorithm over
+        precomputed distance-sorted postings; RDS only).
+        """
+        if algorithm == "knds":
+            return self._knds.rds(query_concepts, k, config, **overrides)
+        if algorithm == "fullscan":
+            from repro.baselines.fullscan import FullScanSearch
+            return self._fullscan().rds(query_concepts, k)
+        if algorithm == "ta":
+            from repro.baselines.ta import ThresholdAlgorithm
+            ta = ThresholdAlgorithm.build(
+                self.ontology, self.collection, concepts=query_concepts)
+            return ta.rds(query_concepts, k)
+        raise QueryError(f"unknown algorithm: {algorithm!r}")
+
+    def sds(self, query_document: Document | str | Sequence[ConceptId],
+            k: int = 10, *, algorithm: str = "knds",
+            config: KNDSConfig | None = None, **overrides) -> RankedResults:
+        """Similar Document Search: top-k documents for a query document.
+
+        ``query_document`` may be a :class:`Document`, a doc id from the
+        indexed collection, or a bare concept sequence.
+        """
+        document = self._resolve_document(query_document)
+        if algorithm == "knds":
+            return self._knds.sds(document, k, config, **overrides)
+        if algorithm == "fullscan":
+            return self._fullscan().sds(document, k)
+        raise QueryError(f"unknown algorithm: {algorithm!r}")
+
+    # ------------------------------------------------------------------
+    # Incremental corpus maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> None:
+        """Index a new document on the fly (no distance precomputation).
+
+        This is the update story the paper contrasts with the Threshold
+        Algorithm: "when a new patient arrives at the point-of-care, we
+        can instantly add his or her EMR to our database" — the kNDS
+        indexes need only the document's own postings rows, whereas TA
+        must touch every concept postings list
+        (:meth:`repro.baselines.ta.ThresholdAlgorithm.add_document`).
+        """
+        document.require_concepts()
+        for concept_id in document.concepts:
+            if concept_id not in self.ontology:
+                from repro.exceptions import UnknownConceptError
+                raise UnknownConceptError(concept_id)
+        self.collection.add(document)
+        if self._store is not None:
+            self._store.add_document(document)
+        else:
+            self.inverted.add_document(document)
+            self.forward.add_document(document)
+
+    def remove_document(self, doc_id: str) -> Document:
+        """Remove a document from the corpus and all indexes."""
+        document = self.collection.remove(doc_id)
+        if self._store is not None:
+            self._store.remove_document(doc_id)
+        else:
+            self.inverted.remove_document(document)
+            self.forward.remove_document(doc_id)
+        return document
+
+    # ------------------------------------------------------------------
+    def explain(self, doc_id: str,
+                query_concepts: Sequence[ConceptId]) -> str:
+        """Human-readable decomposition of ``Ddq(doc, query)``.
+
+        Lists, per query concept, the nearest document concept and an
+        actual shortest valid path through the ontology — the "why is
+        this patient relevant" view (see :mod:`repro.core.explain`).
+        """
+        from repro.core.explain import explain_rds, render_explanation
+
+        document = self.collection.get(doc_id)
+        explanation = explain_rds(
+            self.ontology, document.require_concepts(), query_concepts)
+        return render_explanation(self.ontology, explanation)
+
+    # ------------------------------------------------------------------
+    @property
+    def knds(self) -> KNDSearch:
+        """Direct access to the kNDS searcher (progressive APIs etc.)."""
+        return self._knds
+
+    def _fullscan(self):
+        from repro.baselines.fullscan import FullScanSearch
+        return FullScanSearch(
+            self.ontology,
+            self.collection,
+            drc=self.drc,
+        )
+
+    def _resolve_document(
+        self, query_document: Document | str | Sequence[ConceptId],
+    ) -> Document | Sequence[ConceptId]:
+        if isinstance(query_document, str):
+            return self.collection.get(query_document)
+        return query_document
+
+    def close(self) -> None:
+        """Release the SQLite store, if any."""
+        if self._store is not None:
+            self._store.close()

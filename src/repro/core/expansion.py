@@ -1,0 +1,138 @@
+"""Ontology-based query expansion (Section 2's related technique).
+
+The paper's introduction motivates concept search with query expansion:
+documents containing "heart valve finding" are relevant to a query for
+"aortic valve stenosis" even without the literal term.  kNDS *implicitly*
+expands — its breadth-first traversal reaches nearby concepts — but
+explicit expansion remains useful for interoperating with term-based
+engines and for the footnote-3 scenario: merging the scores of several
+expanded sub-queries, each normalized by its size.
+
+Two pieces:
+
+* :class:`QueryExpander` — expand a concept set with its valid-path
+  neighborhood, optionally weighting expansions by distance decay;
+* :func:`merged_rds` — evaluate several sub-queries and rank documents by
+  ``Σ_i Ddq(d, q_i) / |q_i|`` (the paper's footnote 3), either exactly
+  (full corpus scan) or over a kNDS candidate pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.drc import DRC
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.core.results import RankedResults, ResultItem
+from repro.corpus.collection import DocumentCollection
+from repro.exceptions import QueryError
+from repro.ontology.graph import Ontology
+from repro.ontology.traversal import ValidPathBFS
+from repro.types import ConceptId
+
+
+class QueryExpander:
+    """Expand query concepts with their ontological neighborhood.
+
+    Parameters
+    ----------
+    ontology:
+        The concept DAG.
+    radius:
+        Valid-path distance up to which neighbors are included.
+    decay:
+        Weight multiplier per distance level; an expansion at distance
+        ``l`` gets weight ``decay ** l`` (the original concepts keep
+        weight 1).  Useful together with
+        :func:`repro.ontology.weighting.weighted_document_query_distance`.
+    """
+
+    def __init__(self, ontology: Ontology, *, radius: int = 1,
+                 decay: float = 0.5) -> None:
+        if radius < 0:
+            raise QueryError("radius must be non-negative")
+        if not 0 < decay <= 1:
+            raise QueryError("decay must be in (0, 1]")
+        self._ontology = ontology
+        self.radius = radius
+        self.decay = decay
+
+    def expand(self, concepts: Sequence[ConceptId]
+               ) -> dict[ConceptId, float]:
+        """Expanded concept -> weight map.
+
+        Original concepts always weigh 1; each neighbor weighs
+        ``decay ** distance`` for its *minimum* distance from any query
+        concept.
+        """
+        weights: dict[ConceptId, float] = {}
+        for origin in dict.fromkeys(concepts):
+            for level, nodes in ValidPathBFS(self._ontology, origin):
+                if level > self.radius:
+                    break
+                weight = self.decay ** level
+                for node in nodes:
+                    if weight > weights.get(node, 0.0):
+                        weights[node] = weight
+        return weights
+
+    def expanded_concepts(self, concepts: Sequence[ConceptId]
+                          ) -> list[ConceptId]:
+        """Just the expanded concept list (weights discarded)."""
+        return sorted(self.expand(concepts))
+
+
+def merged_rds(ontology: Ontology, collection: DocumentCollection,
+               sub_queries: Sequence[Sequence[ConceptId]], k: int, *,
+               exact: bool = True,
+               candidate_factor: int = 3,
+               drc: DRC | None = None,
+               knds: KNDSearch | None = None,
+               config: KNDSConfig | None = None) -> RankedResults:
+    """Rank documents by the footnote-3 merged score
+    ``Σ_i Ddq(d, q_i) / |q_i|``.
+
+    ``exact=True`` scores every document (a full scan — exact by
+    construction).  ``exact=False`` pools the union of per-sub-query kNDS
+    top-``k·candidate_factor`` results and scores only the pool; much
+    faster, and exact whenever the pool covers the true top-k (the usual
+    case for overlapping sub-queries — but a document mediocre for every
+    sub-query yet best on the merged score can be missed).
+    """
+    if not sub_queries:
+        raise QueryError("need at least one sub-query")
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    normalized = [tuple(dict.fromkeys(query)) for query in sub_queries]
+    for query in normalized:
+        if not query:
+            raise QueryError("sub-queries must be non-empty")
+    drc = drc or DRC(ontology)
+
+    if exact:
+        candidates = [document.doc_id for document in collection]
+    else:
+        knds = knds or KNDSearch(ontology, collection, drc=drc)
+        pool: dict[str, None] = {}
+        for query in normalized:
+            partial = knds.rds(query, k * candidate_factor, config)
+            for item in partial:
+                pool.setdefault(item.doc_id, None)
+        candidates = list(pool)
+
+    scored: list[ResultItem] = []
+    for doc_id in candidates:
+        document = collection.get(doc_id)
+        score = sum(
+            drc.document_query_distance(document.require_concepts(), query)
+            / len(query)
+            for query in normalized
+        )
+        scored.append(ResultItem(doc_id, score))
+    scored.sort(key=lambda item: (item.distance, item.doc_id))
+    return RankedResults(
+        scored[:k],
+        algorithm="merged-rds" + ("" if exact else "+pooled"),
+        query_kind="rds",
+        k=k,
+    )

@@ -1,0 +1,154 @@
+"""Result explanation: why a document ranks where it does.
+
+Concept-based rankings are opaque to end users ("why is this patient
+relevant to my trial criteria?"), so this module decomposes the distances
+into their Eq. 1 terms and recovers, for each term, an *actual shortest
+valid path* through the ontology — the concrete chain of is-a hops a
+clinician can inspect:
+
+    I -> G (up) -> J (down) : distance 2
+
+Used by ``SearchEngine``-level callers as::
+
+    explanation = explain_rds(ontology, document.concepts, query)
+    print(render_explanation(ontology, explanation))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+def _ancestor_tree(ontology: Ontology, origin: ConceptId
+                   ) -> dict[ConceptId, ConceptId | None]:
+    """BFS over parent edges recording each ancestor's predecessor."""
+    if origin not in ontology:
+        raise UnknownConceptError(origin)
+    predecessor: dict[ConceptId, ConceptId | None] = {origin: None}
+    frontier = [origin]
+    while frontier:
+        next_frontier: list[ConceptId] = []
+        for node in frontier:
+            for parent in ontology.parents(node):
+                if parent not in predecessor:
+                    predecessor[parent] = node
+                    next_frontier.append(parent)
+        frontier = next_frontier
+    return predecessor
+
+
+def _chain(predecessor: dict[ConceptId, ConceptId | None],
+           ancestor: ConceptId) -> list[ConceptId]:
+    """The up-path origin -> ... -> ancestor, origin first."""
+    path = [ancestor]
+    while predecessor[path[-1]] is not None:
+        path.append(predecessor[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return path
+
+
+def shortest_valid_path(ontology: Ontology, first: ConceptId,
+                        second: ConceptId) -> list[ConceptId]:
+    """One shortest valid path from ``first`` to ``second``.
+
+    The returned list starts at ``first``, climbs to a best common
+    ancestor and descends to ``second``; its length minus one is the
+    valid-path distance.  Ties between common ancestors break toward the
+    lexicographically smallest, so output is deterministic.
+    """
+    up_first = _ancestor_tree(ontology, first)
+    up_second = _ancestor_tree(ontology, second)
+    depth_first = {node: len(_chain(up_first, node)) - 1
+                   for node in up_first}
+    depth_second = {node: len(_chain(up_second, node)) - 1
+                    for node in up_second}
+    best_ancestor = min(
+        (node for node in depth_first if node in depth_second),
+        key=lambda node: (depth_first[node] + depth_second[node], node),
+    )
+    climb = _chain(up_first, best_ancestor)
+    descend = _chain(up_second, best_ancestor)
+    descend.reverse()
+    return climb + descend[1:]
+
+
+@dataclass(frozen=True)
+class TermExplanation:
+    """One Eq. 1 term: a query concept and its nearest document concept."""
+
+    query_concept: ConceptId
+    nearest_concept: ConceptId
+    distance: int
+    path: tuple[ConceptId, ...]
+    """An actual shortest valid path, query concept first."""
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A full decomposition of ``Ddq`` (or one direction of ``Ddd``)."""
+
+    terms: tuple[TermExplanation, ...]
+
+    @property
+    def total(self) -> int:
+        """The summed distance — equals ``Ddq(d, q)``."""
+        return sum(term.distance for term in self.terms)
+
+
+def explain_rds(ontology: Ontology, doc_concepts: Collection[ConceptId],
+                query_concepts: Sequence[ConceptId]) -> Explanation:
+    """Decompose ``Ddq(d, q)`` into per-query-concept nearest terms."""
+    if not doc_concepts:
+        raise EmptyDocumentError("<explain>")
+    terms = []
+    for query_concept in dict.fromkeys(query_concepts):
+        best_concept = None
+        best_path: list[ConceptId] | None = None
+        for doc_concept in sorted(doc_concepts):
+            path = shortest_valid_path(ontology, query_concept, doc_concept)
+            if best_path is None or len(path) < len(best_path):
+                best_path = path
+                best_concept = doc_concept
+        assert best_path is not None and best_concept is not None
+        terms.append(TermExplanation(
+            query_concept=query_concept,
+            nearest_concept=best_concept,
+            distance=len(best_path) - 1,
+            path=tuple(best_path),
+        ))
+    return Explanation(tuple(terms))
+
+
+def explain_sds(ontology: Ontology, doc_concepts: Collection[ConceptId],
+                query_concepts: Collection[ConceptId]
+                ) -> tuple[Explanation, Explanation]:
+    """Both directions of ``Ddd``: (query->doc terms, doc->query terms).
+
+    ``Ddd`` equals ``first.total / |query| + second.total / |doc|``.
+    """
+    forward = explain_rds(ontology, doc_concepts, sorted(query_concepts))
+    backward = explain_rds(ontology, query_concepts, sorted(doc_concepts))
+    return forward, backward
+
+
+def render_explanation(ontology: Ontology,
+                       explanation: Explanation) -> str:
+    """Human-readable rendering with concept labels."""
+    lines = []
+    for term in explanation.terms:
+        hops = " -> ".join(
+            f"{concept} ({ontology.label(concept)})"
+            if ontology.label(concept) != concept else concept
+            for concept in term.path
+        )
+        lines.append(
+            f"{term.query_concept}: nearest is {term.nearest_concept} "
+            f"at distance {term.distance}  [{hops}]"
+        )
+    lines.append(f"total distance: {explanation.total}")
+    return "\n".join(lines)

@@ -1,0 +1,565 @@
+"""kNDS — the k-Nearest Document Search algorithm (Algorithm 2).
+
+kNDS answers both query types with one branch-and-bound strategy built on
+query expansion: run a level-synchronized valid-path BFS from every query
+concept, collect the documents whose concepts the frontier touches, and
+maintain for each collected document a *partial* distance (Eq. 5/7, from
+the query concepts already covered) and a *lower-bound* distance (Eq. 6/8,
+charging every uncovered term the optimistic ``l + 1``).  An error
+estimate ``εd = 1 - partial/lower`` (Eq. 9) gates the expensive exact
+distance computation (a DRC probe): only documents whose bound is already
+tight get analyzed, everything else waits for more traversal.  The search
+terminates when the smallest lower bound among unanalyzed documents — or
+the bound ``|q|·(l+1)`` (RDS) / ``2·(l+1)`` (SDS) covering never-touched
+documents — reaches the distance of the current k-th best.
+
+All four engineering optimizations from Section 5.3 are implemented and
+individually switchable for the ablation benchmarks:
+
+1. candidates whose lower bound exceeds ``Dk+`` are pruned, both when
+   updated (``prune_on_update``) and when popped for analysis
+   (``prune_at_pop``);
+2. candidates live in a lazily rebuilt binary heap ordered by lower bound
+   instead of being fully re-sorted every round;
+3. a document that has covered every query concept (and, for SDS, every
+   one of its own concepts) is finalized from its now-exact partial
+   distance without a DRC probe (``covered_shortcut``);
+4. confirmed results are emitted progressively: a result is yielded as
+   soon as its distance is at most the global lower bound
+   (:meth:`KNDSearch.rds_iter` / :meth:`KNDSearch.sds_iter`).
+
+The queue cap of Section 6.1 is honoured in spirit: when the combined BFS
+frontier reaches ``queue_limit`` states, an analysis round is *forced*
+(the error threshold is ignored), reproducing the "forced to examine the
+collected set of documents" behaviour and its excessive-DRC side effect —
+but no frontier states are dropped, so results remain exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, replace
+
+from repro.core.drc import DRC
+from repro.core.results import QueryStats, RankedResults, ResultItem
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import QueryError, UnknownConceptError
+from repro.index.base import ForwardIndexBase, InvertedIndexBase
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.ontology.traversal import ValidPathBFS
+from repro.types import ConceptId, DocId
+
+RDS = "rds"
+SDS = "sds"
+
+
+@dataclass(frozen=True)
+class KNDSConfig:
+    """Tuning knobs of the kNDS algorithm.
+
+    Attributes
+    ----------
+    error_threshold:
+        The paper's ``εθ``: 0 analyzes a document only once its bound is
+        exact (best for PATIENT-like corpora), 1 analyzes on first touch
+        (closer to optimal for RADIO-like corpora).  See Figure 7.
+    queue_limit:
+        Combined BFS frontier size that forces an analysis round
+        (Section 6.1 uses 50,000).  ``None`` disables forcing.
+    dedupe:
+        Prune dominated traversal states.  ``False`` reproduces the
+        paper's label-free BFS for the ablation study.
+    analyze_budget_per_round:
+        Maximum documents analyzed per round (``None`` = unbounded, the
+        pseudocode behaviour).  The paper's Table 2 trace corresponds to a
+        budget of ``k``.
+    prune_on_update / prune_at_pop:
+        Optimization 1 at its two natural sites.
+    covered_shortcut:
+        Optimization 3: skip the DRC probe for fully covered documents.
+    """
+
+    error_threshold: float = 0.5
+    queue_limit: int | None = 50_000
+    dedupe: bool = True
+    analyze_budget_per_round: int | None = None
+    prune_on_update: bool = True
+    prune_at_pop: bool = True
+    covered_shortcut: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_threshold <= 1.0:
+            raise QueryError(
+                f"error_threshold must be in [0, 1], got {self.error_threshold}"
+            )
+        if self.queue_limit is not None and self.queue_limit <= 0:
+            raise QueryError("queue_limit must be positive or None")
+
+
+class _RDSCandidate:
+    """Per-document bookkeeping for an RDS query (the hash ``Md``)."""
+
+    __slots__ = ("doc_id", "covered")
+
+    def __init__(self, doc_id: DocId) -> None:
+        self.doc_id = doc_id
+        self.covered: dict[ConceptId, int] = {}
+
+    def note(self, origin: ConceptId, concept: ConceptId, level: int) -> None:
+        # Values are set once so Md keeps the minimum distance (BFS visits
+        # in distance order).
+        self.covered.setdefault(origin, level)
+
+    def partial(self, num_query: int) -> float:
+        return float(sum(self.covered.values()))
+
+    def lower(self, level: int, num_query: int) -> float:
+        uncovered = num_query - len(self.covered)
+        return sum(self.covered.values()) + uncovered * (level + 1)
+
+    def fully_covered(self, num_query: int) -> bool:
+        return len(self.covered) == num_query
+
+
+class _SDSCandidate:
+    """Per-document bookkeeping for an SDS query (``Md`` and ``M'd``)."""
+
+    __slots__ = ("doc_id", "covered_query", "covered_doc", "doc_size")
+
+    def __init__(self, doc_id: DocId, doc_size: int) -> None:
+        self.doc_id = doc_id
+        self.doc_size = doc_size
+        # query concept -> min distance to a concept of this document
+        self.covered_query: dict[ConceptId, int] = {}
+        # concept of this document -> min distance to a query concept
+        self.covered_doc: dict[ConceptId, int] = {}
+
+    def note(self, origin: ConceptId, concept: ConceptId, level: int) -> None:
+        self.covered_query.setdefault(origin, level)
+        self.covered_doc.setdefault(concept, level)
+
+    def partial(self, num_query: int) -> float:
+        return (sum(self.covered_doc.values()) / self.doc_size
+                + sum(self.covered_query.values()) / num_query)
+
+    def lower(self, level: int, num_query: int) -> float:
+        optimistic = level + 1
+        doc_term = (sum(self.covered_doc.values())
+                    + (self.doc_size - len(self.covered_doc)) * optimistic)
+        query_term = (sum(self.covered_query.values())
+                      + (num_query - len(self.covered_query)) * optimistic)
+        return doc_term / self.doc_size + query_term / num_query
+
+    def fully_covered(self, num_query: int) -> bool:
+        return (len(self.covered_query) == num_query
+                and len(self.covered_doc) == self.doc_size)
+
+
+class KNDSearch:
+    """kNDS over one ontology/corpus pair.
+
+    Parameters
+    ----------
+    ontology:
+        The validated concept DAG.
+    collection:
+        The corpus; used to build default in-memory indexes when explicit
+        backends are not supplied.  May be ``None`` if both indexes are
+        given.
+    inverted, forward:
+        Index backends (any implementation of the interfaces in
+        :mod:`repro.index.base`).
+    dewey, drc:
+        Optional shared instances, so several searchers (or a searcher and
+        a baseline) can reuse memoized Dewey addresses.
+    """
+
+    def __init__(self, ontology: Ontology,
+                 collection: DocumentCollection | None = None, *,
+                 inverted: InvertedIndexBase | None = None,
+                 forward: ForwardIndexBase | None = None,
+                 dewey: DeweyIndex | None = None,
+                 drc: DRC | None = None) -> None:
+        if inverted is None or forward is None:
+            if collection is None:
+                raise QueryError(
+                    "provide a collection or explicit inverted+forward indexes"
+                )
+            inverted = inverted or MemoryInvertedIndex.from_collection(
+                collection, ontology=ontology)
+            forward = forward or MemoryForwardIndex.from_collection(collection)
+        self.ontology = ontology
+        self.inverted = inverted
+        self.forward = forward
+        self.dewey = dewey or DeweyIndex(ontology)
+        self.drc = drc or DRC(ontology, self.dewey)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def rds(self, query_concepts: Sequence[ConceptId], k: int,
+            config: KNDSConfig | None = None, *,
+            observer=None, **overrides) -> RankedResults:
+        """Top-k Relevant Document Search (Definition 1).
+
+        ``observer``, if given, is called with a snapshot dict after each
+        expansion and at the end of each round — the view of ``Sd``,
+        ``Ld``, ``Ec``, ``Hk``, ``D−`` and ``Dk+`` that the paper's Table 2
+        prints (used by the trace tests and handy for debugging).
+        """
+        config = _resolve_config(config, overrides)
+        stats = QueryStats()
+        items = list(self._run(tuple(query_concepts), k, RDS, config, stats,
+                               observer))
+        return RankedResults(items, stats, algorithm="knds",
+                             query_kind=RDS, k=k)
+
+    def sds(self, query_document: Document | Sequence[ConceptId], k: int,
+            config: KNDSConfig | None = None, *,
+            observer=None, **overrides) -> RankedResults:
+        """Top-k Similar Document Search (Definition 2).
+
+        ``query_document`` may be a :class:`Document` or a bare concept
+        sequence.  If the query document belongs to the indexed corpus,
+        exclude it from the results by filtering ``doc_id`` afterwards —
+        the algorithm ranks every indexed document, including an exact
+        duplicate at distance 0, exactly as the paper's experiments do.
+        """
+        config = _resolve_config(config, overrides)
+        concepts = _document_concepts(query_document)
+        stats = QueryStats()
+        items = list(self._run(concepts, k, SDS, config, stats, observer))
+        return RankedResults(items, stats, algorithm="knds",
+                             query_kind=SDS, k=k)
+
+    def rds_iter(self, query_concepts: Sequence[ConceptId], k: int,
+                 config: KNDSConfig | None = None,
+                 **overrides) -> Iterator[ResultItem]:
+        """Progressive RDS: yields each result as soon as it is confirmed
+        (optimization 4 of Section 5.3)."""
+        config = _resolve_config(config, overrides)
+        return self._run(tuple(query_concepts), k, RDS, config, QueryStats())
+
+    def sds_iter(self, query_document: Document | Sequence[ConceptId], k: int,
+                 config: KNDSConfig | None = None,
+                 **overrides) -> Iterator[ResultItem]:
+        """Progressive SDS (see :meth:`rds_iter`)."""
+        config = _resolve_config(config, overrides)
+        concepts = _document_concepts(query_document)
+        return self._run(concepts, k, SDS, config, QueryStats())
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+    def _run(self, query_concepts: tuple[ConceptId, ...], k: int, mode: str,
+             config: KNDSConfig, stats: QueryStats,
+             observer=None) -> Iterator[ResultItem]:
+        start = time.perf_counter()
+        query = _validated_query(self.ontology, query_concepts, k)
+        num_query = len(query)
+
+        searches = [
+            ValidPathBFS(self.ontology, origin, dedupe=config.dedupe)
+            for origin in query
+        ]
+        candidates: dict[DocId, _RDSCandidate | _SDSCandidate] = {}
+        candidate_heap: list[tuple[float, DocId]] = []
+        closed: set[DocId] = set()  # analyzed or pruned (the hash Sd)
+        # Hk: max-heap over distance, as (-distance, doc_id).
+        top_heap: list[tuple[float, DocId]] = []
+        emitted: set[DocId] = set()
+        level = -1
+
+        while True:
+            # ---- breadth-first expansion: one level per search ----
+            traversal_start = time.perf_counter()
+            advanced = False
+            for search in searches:
+                if search.exhausted():
+                    continue
+                try:
+                    _lvl, nodes = next(search)
+                except StopIteration:  # pragma: no cover - guarded above
+                    continue
+                advanced = True
+                self._collect(search.origin, nodes, level + 1, mode, num_query,
+                              k, candidates, candidate_heap, closed, top_heap,
+                              config, stats)
+            if advanced:
+                level += 1
+                stats.bfs_levels += 1
+            stats.traversal_seconds += time.perf_counter() - traversal_start
+
+            if observer is not None:
+                observer(_snapshot("expanded", level, num_query, searches,
+                                   candidates, closed, top_heap, k, None))
+
+            exhausted = all(search.exhausted() for search in searches)
+            pending = sum(search.pending_states() for search in searches)
+            forced = exhausted or (
+                config.queue_limit is not None
+                and pending >= config.queue_limit
+            )
+            if forced and not exhausted:
+                stats.forced_rounds += 1
+
+            # ---- distance calculation / analysis phase ----
+            self._analyze(query, k, mode, num_query, level, forced, candidates,
+                          candidate_heap, closed, top_heap, config, stats)
+
+            # ---- progressive emission and termination ----
+            global_lower = self._global_lower(
+                candidates, candidate_heap, level, num_query, exhausted, mode)
+            kth_distance = -top_heap[0][0] if len(top_heap) >= k else None
+            if observer is not None:
+                observer(_snapshot("round", level, num_query, searches,
+                                   candidates, closed, top_heap, k,
+                                   global_lower))
+            confirmed = sorted(
+                ((-negative, doc_id) for negative, doc_id in top_heap
+                 if doc_id not in emitted),
+            )
+            for distance, doc_id in confirmed:
+                if distance <= global_lower:
+                    emitted.add(doc_id)
+                    yield ResultItem(doc_id, distance)
+            if kth_distance is not None and global_lower >= kth_distance:
+                break
+            if exhausted and not candidates:
+                break
+
+        # Flush anything confirmed only by termination.
+        remaining = sorted(
+            ((-negative, doc_id) for negative, doc_id in top_heap
+             if doc_id not in emitted),
+        )
+        for distance, doc_id in remaining:
+            yield ResultItem(doc_id, distance)
+        stats.total_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def _collect(self, origin: ConceptId, nodes: list[ConceptId], level: int,
+                 mode: str, num_query: int, k: int,
+                 candidates: dict, candidate_heap: list,
+                 closed: set[DocId], top_heap: list,
+                 config: KNDSConfig, stats: QueryStats) -> None:
+        """Process the freshly visited concepts of one BFS level."""
+        kth = -top_heap[0][0] if len(top_heap) >= k else None
+        for concept in nodes:
+            stats.nodes_visited += 1
+            io_start = time.perf_counter()
+            postings = self.inverted.postings(concept)
+            stats.io_seconds += time.perf_counter() - io_start
+            for doc_id in postings:
+                if doc_id in closed:
+                    continue
+                candidate = candidates.get(doc_id)
+                if candidate is None:
+                    candidate = self._new_candidate(doc_id, mode, stats)
+                    candidates[doc_id] = candidate
+                    stats.docs_touched += 1
+                candidate.note(origin, concept, level)
+                # Mid-round, only the *previous* level is guaranteed to be
+                # fully processed across all origins, so bounds computed
+                # here must charge uncovered terms with the completed
+                # level.  Using the in-flight level would overestimate,
+                # prune documents wrongly, and break the heap's
+                # stored-bound <= fresh-bound invariant.
+                bound = candidate.lower(level - 1, num_query)
+                if (config.prune_on_update and kth is not None
+                        and bound >= kth):
+                    # Optimization 1: the bound can only grow and the k-th
+                    # distance can only shrink, so this document is out.
+                    del candidates[doc_id]
+                    closed.add(doc_id)
+                    stats.docs_pruned += 1
+                    continue
+                heapq.heappush(candidate_heap, (bound, doc_id))
+
+    def _new_candidate(self, doc_id: DocId, mode: str, stats: QueryStats):
+        if mode == RDS:
+            return _RDSCandidate(doc_id)
+        io_start = time.perf_counter()
+        size = self.forward.concept_count(doc_id)
+        stats.io_seconds += time.perf_counter() - io_start
+        return _SDSCandidate(doc_id, size)
+
+    # ------------------------------------------------------------------
+    def _analyze(self, query: tuple[ConceptId, ...], k: int, mode: str,
+                 num_query: int, level: int, forced: bool,
+                 candidates: dict, candidate_heap: list,
+                 closed: set[DocId], top_heap: list,
+                 config: KNDSConfig, stats: QueryStats) -> None:
+        """Pop candidates in lower-bound order and settle their distances."""
+        budget = config.analyze_budget_per_round
+        while candidate_heap:
+            if budget is not None and budget <= 0:
+                break
+            stored_bound, doc_id = candidate_heap[0]
+            candidate = candidates.get(doc_id)
+            if candidate is None:
+                heapq.heappop(candidate_heap)  # stale: already settled
+                continue
+            fresh_bound = candidate.lower(level, num_query)
+            if fresh_bound > stored_bound:
+                # Stale entry: reinsert with the current bound.
+                heapq.heapreplace(candidate_heap, (fresh_bound, doc_id))
+                continue
+            kth = -top_heap[0][0] if len(top_heap) >= k else None
+            if (config.prune_at_pop and kth is not None
+                    and fresh_bound >= kth):
+                # Optimization 1 at the pop site; the paper's bare
+                # pseudocode has no Dk+ check here and would analyze the
+                # document anyway (see the Table 2 trace, document d6).
+                heapq.heappop(candidate_heap)
+                del candidates[doc_id]
+                closed.add(doc_id)
+                stats.docs_pruned += 1
+                continue
+            if not forced:
+                error = _error_estimate(
+                    candidate.partial(num_query), fresh_bound)
+                if error > config.error_threshold:
+                    break
+            heapq.heappop(candidate_heap)
+            del candidates[doc_id]
+            closed.add(doc_id)
+            distance = self._settle(candidate, query, mode, num_query,
+                                    config, stats)
+            stats.docs_examined += 1
+            if budget is not None:
+                budget -= 1
+            if len(top_heap) < k:
+                heapq.heappush(top_heap, (-distance, doc_id))
+            elif distance < -top_heap[0][0]:
+                heapq.heapreplace(top_heap, (-distance, doc_id))
+
+    def _settle(self, candidate, query: tuple[ConceptId, ...], mode: str,
+                num_query: int, config: KNDSConfig,
+                stats: QueryStats) -> float:
+        """Exact distance for one candidate: shortcut or DRC probe."""
+        if config.covered_shortcut and candidate.fully_covered(num_query):
+            # All terms of the distance are covered, so the partial value
+            # is already exact — no DRC probe needed (optimization 3).
+            stats.covered_shortcuts += 1
+            return candidate.partial(num_query)
+        io_start = time.perf_counter()
+        doc_concepts = self.forward.concepts(candidate.doc_id)
+        stats.io_seconds += time.perf_counter() - io_start
+        distance_start = time.perf_counter()
+        if mode == RDS:
+            distance = self.drc.document_query_distance(doc_concepts, query)
+        else:
+            distance = self.drc.document_document_distance(doc_concepts, query)
+        stats.distance_seconds += time.perf_counter() - distance_start
+        stats.drc_calls += 1
+        return float(distance)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _global_lower(candidates: dict, candidate_heap: list, level: int,
+                      num_query: int, exhausted: bool, mode: str) -> float:
+        """Smallest possible distance of any unanalyzed document.
+
+        The minimum of the best candidate's lower bound and the bound on
+        never-touched documents: ``|q|·(l+1)`` for RDS (every query term
+        uncovered) and ``(l+1) + (l+1)`` for SDS (both normalized sums
+        entirely uncovered).  Once traversal is exhausted no untouched
+        documents exist and candidate bounds are exact.
+        """
+        best = _min_candidate_bound(candidates, candidate_heap, level,
+                                    num_query)
+        if not exhausted:
+            if mode == RDS:
+                unseen = float(num_query * (level + 1))
+            else:
+                unseen = float(2 * (level + 1))
+            best = min(best, unseen)
+        return best
+
+
+def _snapshot(phase: str, level: int, num_query: int, searches: list,
+              candidates: dict, closed: set, top_heap: list, k: int,
+              global_lower: float | None) -> dict:
+    """Observer view of the algorithm state (the columns of Table 2)."""
+    return {
+        "phase": phase,
+        "level": level,
+        "examined": frozenset(closed),
+        "candidates": {
+            doc_id: candidate.lower(level, num_query)
+            for doc_id, candidate in candidates.items()
+        },
+        "frontier": frozenset(
+            (search.origin, node)
+            for search in searches
+            for node in search.frontier_nodes()
+        ),
+        "top": {doc_id: -negative for negative, doc_id in top_heap},
+        "kth_distance": (-top_heap[0][0] if len(top_heap) >= k else None),
+        "global_lower": global_lower,
+    }
+
+
+def _min_candidate_bound(candidates: dict, candidate_heap: list, level: int,
+                         num_query: int) -> float:
+    """Minimum *fresh* lower bound over live candidates.
+
+    The heap stores bounds computed when entries were pushed; bounds only
+    grow as the level advances, so the front is lazily refreshed (dead
+    entries dropped, stale ones re-keyed) until it is exact.  At that point
+    the front's bound is a true minimum: every other stored key is at least
+    the front's, and fresh bounds only exceed stored ones.
+    """
+    while candidate_heap:
+        stored_bound, doc_id = candidate_heap[0]
+        candidate = candidates.get(doc_id)
+        if candidate is None:
+            heapq.heappop(candidate_heap)
+            continue
+        fresh_bound = candidate.lower(level, num_query)
+        if fresh_bound > stored_bound:
+            heapq.heapreplace(candidate_heap, (fresh_bound, doc_id))
+            continue
+        return stored_bound
+    return float("inf")
+
+
+def _error_estimate(partial: float, lower: float) -> float:
+    """The paper's Eq. 9, with the 0/0 corner defined as exact (ε = 0)."""
+    if lower <= 0.0:
+        return 0.0
+    return 1.0 - partial / lower
+
+
+def _validated_query(ontology: Ontology, query_concepts: Sequence[ConceptId],
+                     k: int) -> tuple[ConceptId, ...]:
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    unique = tuple(dict.fromkeys(query_concepts))
+    if not unique:
+        raise QueryError("query must contain at least one concept")
+    for concept in unique:
+        if concept not in ontology:
+            raise UnknownConceptError(concept)
+    return unique
+
+
+def _document_concepts(
+    query_document: Document | Sequence[ConceptId],
+) -> tuple[ConceptId, ...]:
+    if isinstance(query_document, Document):
+        return query_document.require_concepts()
+    return tuple(query_document)
+
+
+def _resolve_config(config: KNDSConfig | None, overrides: dict) -> KNDSConfig:
+    base = config or KNDSConfig()
+    if overrides:
+        base = replace(base, **overrides)
+    return base

@@ -1,0 +1,346 @@
+"""kNDS as a MapReduce job (Section 6.1's scaling suggestion).
+
+The paper bounds kNDS's memory with a 50K node-queue cap and remarks:
+"In practice, the queue size limit can be eliminated by implementing
+kNDS as a MapReduce job.  Each mapper would be responsible for one
+iteration of the BFS traversal starting from one query node; reducers
+would do the book-keeping and execute the distance calculation, if
+needed."
+
+This module implements exactly that decomposition on a small,
+deterministic, in-process MapReduce runtime:
+
+* :class:`MapReduceRuntime` — ``run(records, mapper, reducer)`` with a
+  hash-partitioned shuffle.  Deterministic and dependency-free, so the
+  *structure* of the distributed algorithm is testable; swapping in a
+  real cluster runtime means reimplementing one class.
+* :class:`MapReduceKNDS` — the search driver.  Each round:
+
+  1. **map** over per-origin frontier shards: advance that origin's BFS
+     one level, emit ``(doc_id, (origin, concept, level))`` for every
+     posting of every newly visited concept, and the next frontier;
+  2. **reduce** by document: merge coverage into the per-document
+     bookkeeping (the ``Md``/``M'd`` hashes);
+  3. the driver updates bounds, runs the analysis phase (DRC probes
+     gated by the error threshold) and checks the termination condition,
+     exactly as in the serial algorithm.
+
+Because every mapper holds only one origin's frontier for one level, no
+single process ever materializes the combined queue — the cap becomes
+unnecessary, which is the paper's point.  Results are bit-identical to
+the serial :class:`repro.core.knds.KNDSearch` (asserted by tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.drc import DRC
+from repro.core.knds import (
+    KNDSConfig,
+    _error_estimate,
+    _RDSCandidate,
+    _SDSCandidate,
+    _validated_query,
+)
+from repro.core.results import QueryStats, RankedResults, ResultItem
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.index.base import ForwardIndexBase, InvertedIndexBase
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId, DocId
+
+
+@dataclass
+class MapReduceStats:
+    """Execution counters of the runtime."""
+
+    map_invocations: int = 0
+    reduce_invocations: int = 0
+    shuffled_pairs: int = 0
+    rounds: int = 0
+    max_mapper_frontier: int = 0
+    """Largest frontier any single mapper held — the per-process memory
+    bound that replaces the serial algorithm's global queue cap."""
+
+
+class MapReduceRuntime:
+    """A deterministic in-process map-shuffle-reduce executor.
+
+    ``num_partitions`` models the reducer parallelism; partitioning is by
+    the builtin hash of the key modulo the partition count, and keys are
+    processed in sorted order within each partition so results never
+    depend on dict iteration order.
+    """
+
+    def __init__(self, num_partitions: int = 4) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.stats = MapReduceStats()
+
+    def run(self, records: Iterable, mapper: Callable,
+            reducer: Callable) -> list:
+        """One map-shuffle-reduce pass.
+
+        ``mapper(record)`` yields ``(key, value)`` pairs;
+        ``reducer(key, values)`` yields output records.
+        """
+        partitions: list[dict[Hashable, list]] = [
+            {} for _ in range(self.num_partitions)
+        ]
+        for record in records:
+            self.stats.map_invocations += 1
+            for key, value in mapper(record):
+                self.stats.shuffled_pairs += 1
+                shard = partitions[hash(key) % self.num_partitions]
+                shard.setdefault(key, []).append(value)
+        output: list = []
+        for shard in partitions:
+            for key in sorted(shard, key=repr):
+                self.stats.reduce_invocations += 1
+                output.extend(reducer(key, shard[key]))
+        return output
+
+
+# ----------------------------------------------------------------------
+# kNDS on the runtime
+# ----------------------------------------------------------------------
+_UP = 0
+_DOWN = 1
+
+
+@dataclass
+class _FrontierShard:
+    """One mapper's input: a single origin's BFS frontier for one level."""
+
+    origin: ConceptId
+    level: int
+    states: list[tuple[ConceptId, int, ConceptId | None]]
+    seen_up: set[ConceptId] = field(default_factory=set)
+    seen_down: set[ConceptId] = field(default_factory=set)
+    visited: set[ConceptId] = field(default_factory=set)
+
+
+class MapReduceKNDS:
+    """kNDS evaluated as per-round MapReduce jobs.
+
+    The public API mirrors :class:`repro.core.knds.KNDSearch`; the
+    ``queue_limit`` configuration field is ignored by design (no global
+    queue exists to cap).
+    """
+
+    def __init__(self, ontology: Ontology,
+                 collection: DocumentCollection | None = None, *,
+                 inverted: InvertedIndexBase | None = None,
+                 forward: ForwardIndexBase | None = None,
+                 dewey: DeweyIndex | None = None,
+                 drc: DRC | None = None,
+                 runtime: MapReduceRuntime | None = None) -> None:
+        if inverted is None or forward is None:
+            if collection is None:
+                raise ValueError(
+                    "provide a collection or explicit inverted+forward "
+                    "indexes")
+            inverted = inverted or MemoryInvertedIndex.from_collection(
+                collection, ontology=ontology)
+            forward = forward or MemoryForwardIndex.from_collection(
+                collection)
+        self.ontology = ontology
+        self.inverted = inverted
+        self.forward = forward
+        self.dewey = dewey or DeweyIndex(ontology)
+        self.drc = drc or DRC(ontology, self.dewey)
+        self.runtime = runtime or MapReduceRuntime()
+
+    # ------------------------------------------------------------------
+    def rds(self, query_concepts: Sequence[ConceptId], k: int,
+            config: KNDSConfig | None = None) -> RankedResults:
+        """Top-k RDS, evaluated round-by-round on the runtime."""
+        query = _validated_query(self.ontology, tuple(query_concepts), k)
+        items = self._search(query, k, "rds", config or KNDSConfig())
+        return RankedResults(items, QueryStats(), algorithm="knds-mr",
+                             query_kind="rds", k=k)
+
+    def sds(self, query_document: Document | Sequence[ConceptId], k: int,
+            config: KNDSConfig | None = None) -> RankedResults:
+        """Top-k SDS, evaluated round-by-round on the runtime."""
+        if isinstance(query_document, Document):
+            concepts = query_document.require_concepts()
+        else:
+            concepts = tuple(query_document)
+        query = _validated_query(self.ontology, concepts, k)
+        items = self._search(query, k, "sds", config or KNDSConfig())
+        return RankedResults(items, QueryStats(), algorithm="knds-mr",
+                             query_kind="sds", k=k)
+
+    # ------------------------------------------------------------------
+    def _search(self, query: tuple[ConceptId, ...], k: int, mode: str,
+                config: KNDSConfig) -> list[ResultItem]:
+        num_query = len(query)
+        shards = [
+            _FrontierShard(origin, -1, [(origin, _UP, None)],
+                           seen_up={origin})
+            for origin in query
+        ]
+        candidates: dict[DocId, _RDSCandidate | _SDSCandidate] = {}
+        closed: set[DocId] = set()
+        top_heap: list[tuple[float, DocId]] = []
+        level = -1
+
+        while True:
+            live_shards = [shard for shard in shards if shard.states]
+            if live_shards:
+                level += 1
+                self.runtime.stats.rounds += 1
+                updates = self.runtime.run(
+                    live_shards, self._bfs_mapper, self._coverage_reducer)
+                self._apply_updates(updates, mode, num_query, candidates,
+                                    closed)
+            exhausted = not any(shard.states for shard in shards)
+
+            self._analyze(query, k, mode, num_query, level, exhausted,
+                          candidates, closed, top_heap, config)
+
+            kth = -top_heap[0][0] if len(top_heap) >= k else None
+            lower = self._global_lower(candidates, level, num_query,
+                                       exhausted, mode)
+            if kth is not None and lower >= kth:
+                break
+            if exhausted and not candidates:
+                break
+
+        ranked = sorted(
+            (ResultItem(doc_id, -negative) for negative, doc_id in top_heap),
+            key=lambda item: (item.distance, item.doc_id),
+        )
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Map phase: advance one origin's BFS a single level.
+    # ------------------------------------------------------------------
+    def _bfs_mapper(self, shard: _FrontierShard) -> Iterator[tuple]:
+        ontology = self.ontology
+        stats = self.runtime.stats
+        stats.max_mapper_frontier = max(stats.max_mapper_frontier,
+                                        len(shard.states))
+        shard.level += 1
+        next_states: list[tuple[ConceptId, int, ConceptId | None]] = []
+        for concept, phase, predecessor in shard.states:
+            if concept not in shard.visited:
+                shard.visited.add(concept)
+                for doc_id in self.inverted.postings(concept):
+                    yield doc_id, (shard.origin, concept, shard.level)
+            if phase == _UP:
+                for parent in ontology.parents(concept):
+                    if parent == predecessor or parent in shard.seen_up:
+                        continue
+                    shard.seen_up.add(parent)
+                    next_states.append((parent, _UP, concept))
+            for child in ontology.children(concept):
+                if child == predecessor:
+                    continue
+                if child in shard.seen_down or child in shard.seen_up:
+                    continue
+                shard.seen_down.add(child)
+                next_states.append((child, _DOWN, concept))
+        shard.states = next_states
+
+    # ------------------------------------------------------------------
+    # Reduce phase: merge coverage per document.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coverage_reducer(doc_id: DocId,
+                          values: list[tuple]) -> Iterator[tuple]:
+        # Keep the minimum level per (origin, concept); BFS levels within
+        # one round are equal, so min() is merely defensive.
+        merged: dict[tuple[ConceptId, ConceptId], int] = {}
+        for origin, concept, found_level in values:
+            key = (origin, concept)
+            if key not in merged or found_level < merged[key]:
+                merged[key] = found_level
+        yield doc_id, merged
+
+    def _apply_updates(self, updates: list, mode: str, num_query: int,
+                       candidates: dict, closed: set[DocId]) -> None:
+        for doc_id, merged in updates:
+            if doc_id in closed:
+                continue
+            candidate = candidates.get(doc_id)
+            if candidate is None:
+                if mode == "rds":
+                    candidate = _RDSCandidate(doc_id)
+                else:
+                    candidate = _SDSCandidate(
+                        doc_id, self.forward.concept_count(doc_id))
+                candidates[doc_id] = candidate
+            for (origin, concept), found_level in sorted(
+                    merged.items(), key=lambda kv: kv[1]):
+                candidate.note(origin, concept, found_level)
+
+    # ------------------------------------------------------------------
+    # Driver-side analysis and termination (identical logic to serial).
+    # ------------------------------------------------------------------
+    def _analyze(self, query: tuple[ConceptId, ...], k: int, mode: str,
+                 num_query: int, level: int, exhausted: bool,
+                 candidates: dict, closed: set[DocId],
+                 top_heap: list, config: KNDSConfig) -> None:
+        ordered = sorted(
+            candidates.values(),
+            key=lambda cand: (cand.lower(level, num_query), cand.doc_id),
+        )
+        budget = config.analyze_budget_per_round
+        for candidate in ordered:
+            if budget is not None and budget <= 0:
+                break
+            kth = -top_heap[0][0] if len(top_heap) >= k else None
+            bound = candidate.lower(level, num_query)
+            if kth is not None and bound >= kth:
+                if config.prune_at_pop:
+                    del candidates[candidate.doc_id]
+                    closed.add(candidate.doc_id)
+                    continue
+            if not exhausted:
+                error = _error_estimate(
+                    candidate.partial(num_query), bound)
+                if error > config.error_threshold:
+                    break
+            del candidates[candidate.doc_id]
+            closed.add(candidate.doc_id)
+            if config.covered_shortcut and candidate.fully_covered(
+                    num_query):
+                distance = candidate.partial(num_query)
+            else:
+                doc_concepts = self.forward.concepts(candidate.doc_id)
+                if mode == "rds":
+                    distance = self.drc.document_query_distance(
+                        doc_concepts, query)
+                else:
+                    distance = self.drc.document_document_distance(
+                        doc_concepts, query)
+            if budget is not None:
+                budget -= 1
+            if len(top_heap) < k:
+                heapq.heappush(top_heap, (-float(distance),
+                                          candidate.doc_id))
+            elif float(distance) < -top_heap[0][0]:
+                heapq.heapreplace(top_heap, (-float(distance),
+                                             candidate.doc_id))
+
+    @staticmethod
+    def _global_lower(candidates: dict, level: int, num_query: int,
+                      exhausted: bool, mode: str) -> float:
+        best = min(
+            (candidate.lower(level, num_query)
+             for candidate in candidates.values()),
+            default=float("inf"),
+        )
+        if not exhausted:
+            unseen = (num_query * (level + 1) if mode == "rds"
+                      else 2 * (level + 1))
+            best = min(best, float(unseen))
+        return best

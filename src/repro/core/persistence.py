@@ -1,0 +1,107 @@
+"""Whole-engine persistence: save and reload a search deployment.
+
+Bundles the three artifacts a deployment needs — the ontology (SQLite),
+the corpus (JSONL) and the SQLite corpus indexes — into one directory, so
+an engine built once (possibly from licensed sources and a slow
+extraction run) reloads in milliseconds:
+
+    save_engine(engine, "deploy/")
+    engine = load_engine("deploy/")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.engine import SearchEngine
+from repro.corpus.io import load_jsonl, save_jsonl
+from repro.exceptions import ParseError
+from repro.ontology.io.sqlitedb import SQLiteOntology, save_sqlite
+
+_MANIFEST = "engine.json"
+_ONTOLOGY = "ontology.db"
+_CORPUS = "corpus.jsonl"
+_INDEXES = "indexes.db"
+
+FORMAT_VERSION = 1
+
+
+def save_engine(engine: SearchEngine, directory: str | Path) -> None:
+    """Persist an engine's world into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_sqlite(engine.ontology, directory / _ONTOLOGY)
+    save_jsonl(engine.collection, directory / _CORPUS)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "ontology": _ONTOLOGY,
+        "corpus": _CORPUS,
+        "indexes": _INDEXES,
+        "collection_name": engine.collection.name,
+        "documents": len(engine.collection),
+        "concepts": len(engine.ontology),
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    # Index tables are rebuilt on load (cheap relative to extraction);
+    # building them here too gives a ready-to-serve directory for
+    # processes that mount it read-only.
+    from repro.index.sqlite import SQLiteIndexStore
+    store = SQLiteIndexStore.build(engine.collection,
+                                   directory / _INDEXES)
+    store.close()
+
+
+def load_engine(directory: str | Path, *,
+                backend: str = "sqlite",
+                ontology_in_memory: bool = False) -> SearchEngine:
+    """Reload an engine saved with :func:`save_engine`.
+
+    Parameters
+    ----------
+    backend:
+        ``"sqlite"`` (default) reuses the persisted index database;
+        ``"memory"`` rebuilds dict indexes from the corpus.
+    ontology_in_memory:
+        Load the ontology fully into RAM instead of serving it from
+        SQLite (faster queries, more memory).
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise ParseError("not an engine directory (missing manifest)",
+                         path=str(manifest_path))
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ParseError(
+            f"unsupported engine format {manifest.get('format_version')!r}",
+            path=str(manifest_path),
+        )
+    if ontology_in_memory:
+        ontology = _materialize(SQLiteOntology(directory
+                                               / manifest["ontology"]))
+    else:
+        ontology = SQLiteOntology(directory / manifest["ontology"])
+    collection = load_jsonl(directory / manifest["corpus"],
+                            name=manifest.get("collection_name"))
+    if backend == "sqlite":
+        return SearchEngine(ontology, collection, backend="sqlite",
+                            sqlite_path=str(directory
+                                            / manifest["indexes"]),
+                            sqlite_rebuild=False)
+    return SearchEngine(ontology, collection, backend=backend)
+
+
+def _materialize(disk_ontology: SQLiteOntology):
+    """Copy a SQLite-backed ontology into a plain in-memory one."""
+    from repro.ontology.builder import OntologyBuilder
+
+    builder = OntologyBuilder(disk_ontology.name)
+    for concept in disk_ontology.concepts():
+        builder.add_concept(concept, disk_ontology.label(concept),
+                            disk_ontology.synonyms(concept))
+    for concept in disk_ontology.concepts():
+        for child in disk_ontology.children(concept):
+            builder.add_edge(concept, child)
+    disk_ontology.close()
+    return builder.build()

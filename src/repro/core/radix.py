@@ -1,0 +1,245 @@
+"""Radix DAG over Dewey path addresses (Section 3.1, Figure 4).
+
+A Radix DAG compactly indexes a set of Dewey addresses: chains of ontology
+nodes that carry no indexed concept and no branch are merged into single
+edges whose labels are the concatenated Dewey components (so an edge label
+of length ``L`` spans ``L`` ontology levels).  Because the underlying
+ontology is a DAG, a concept can be reached through several addresses and
+therefore appears as a *single* node with several incoming edges — the
+structure is a DAG of its own, not a tree.
+
+The insertion machinery below is the paper's Function *InsertPath* with
+two engineering refinements, both exercised by the paper's own Example 2
+trace (reproduced verbatim in the tests):
+
+* node identity goes through a registry keyed by the resolved concept id
+  (the paper's ``FindNodeByDewey``), so an address discovered later through
+  a different parent reuses the existing node (Example 2, steps 6 and 8);
+* after splitting an edge at a longest-common-prefix node, insertion
+  *continues the walk from that node* instead of blindly attaching the
+  remaining suffix.  On the paper's inputs this behaves identically (the
+  remaining suffix either attaches fresh or already exists, and duplicate
+  edges are suppressed), but it also stays correct when the LCP node —
+  reused from the registry — already has children overlapping the suffix.
+
+Addresses must be inserted in lexicographic order for the classic radix
+invariants to hold; :class:`RadixDAG.from_addresses` sorts for you, and the
+DRC algorithm produces lexicographically merged lists by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId, DeweyAddress, common_prefix_length, format_dewey
+
+
+class RadixNode:
+    """A node of a Radix/D-Radix DAG.
+
+    Attributes
+    ----------
+    concept_id:
+        The ontology concept this node stands for.  Every radix node —
+        including split points — corresponds to a real concept, because
+        every full prefix of a Dewey address resolves to one.
+    children:
+        List of ``(label, child)`` pairs; labels are Dewey component
+        tuples.  At most one child edge starts with any given component,
+        and parallel edges to the same child with different labels are
+        legal (two distinct ontology paths of different shape).
+    is_target:
+        True if this node was explicitly inserted (it represents a concept
+        of the indexed set, not just a branch point).
+    dist:
+        Mutable two-slot distance annotation used by the D-Radix
+        (``[nearest-document, nearest-query]``); plain radix usage leaves
+        it untouched.
+    """
+
+    __slots__ = ("concept_id", "children", "index", "is_target", "dist")
+
+    def __init__(self, concept_id: ConceptId) -> None:
+        self.concept_id = concept_id
+        self.children: list[tuple[DeweyAddress, "RadixNode"]] = []
+        # First label component -> position in ``children``.  The radix
+        # invariant guarantees at most one child edge per first component,
+        # so edge matching during insertion is a dict lookup.
+        self.index: dict[int, int] = {}
+        self.is_target = False
+        self.dist: list[float] = [0.0, 0.0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RadixNode {self.concept_id!r}>"
+
+
+class RadixDAG:
+    """A Radix DAG indexing a set of (address, concept) pairs.
+
+    Parameters
+    ----------
+    ontology:
+        Used to resolve split addresses back to concept ids
+        (``FindNodeByDewey``); the root node is the ontology root.
+    on_create:
+        Optional hook invoked with each newly created :class:`RadixNode`
+        (the D-Radix uses it to initialize distance annotations).
+    """
+
+    def __init__(self, ontology: Ontology, *,
+                 on_create=None) -> None:
+        self._ontology = ontology
+        self._on_create = on_create
+        self._nodes: dict[ConceptId, RadixNode] = {}
+        self.root = self._ensure_node(ontology.root)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_addresses(
+        cls, ontology: Ontology,
+        pairs: Iterable[tuple[DeweyAddress, ConceptId]],
+    ) -> "RadixDAG":
+        """Build a radix DAG from (address, concept) pairs in one call."""
+        dag = cls(ontology)
+        for address, concept_id in sorted(pairs, key=lambda pair: pair[0]):
+            dag.insert(address, concept_id)
+        return dag
+
+    def _ensure_node(self, concept_id: ConceptId) -> RadixNode:
+        node = self._nodes.get(concept_id)
+        if node is None:
+            node = RadixNode(concept_id)
+            self._nodes[concept_id] = node
+            if self._on_create is not None:
+                self._on_create(node)
+        return node
+
+    def insert(self, address: DeweyAddress, concept_id: ConceptId) -> None:
+        """Insert one Dewey address of ``concept_id`` (Function InsertPath).
+
+        Must be called in lexicographic address order relative to previous
+        insertions.
+        """
+        if not address:
+            # The root's own (empty) address: mark it as a target.
+            self.root.is_target = True
+            return
+        self._attach(self.root, (), address, None, concept_id)
+
+    def _attach(self, start: RadixNode, start_address: DeweyAddress,
+                suffix: DeweyAddress, subtree: RadixNode | None,
+                concept_id: ConceptId | None) -> None:
+        """Walk from ``start`` consuming ``suffix``; attach at the end.
+
+        Two modes share this walk: a fresh concept insertion
+        (``concept_id`` given) and the reattachment of an existing edge's
+        subtree after a split (``subtree`` given).  Reattachment through
+        the full walk — rather than a blind ``addChild`` as in the paper's
+        pseudocode — keeps the one-edge-per-first-component invariant even
+        when the registry-reused LCP node already has overlapping edges.
+        """
+        current = start
+        matched = start_address
+        remaining = suffix
+        while True:
+            position = current.index.get(remaining[0])
+            if position is None:
+                # No child shares the first component: attach directly.
+                target = subtree
+                if target is None:
+                    target = self._ensure_node(concept_id)
+                    target.is_target = True
+                current.index[remaining[0]] = len(current.children)
+                current.children.append((remaining, target))
+                return
+            label, child = current.children[position]
+            lcp = common_prefix_length(remaining, label)
+            if lcp == len(label):
+                if lcp == len(remaining):
+                    # Fully matched: the node at this address exists.
+                    if subtree is None:
+                        child.is_target = True
+                    else:
+                        assert subtree is child, \
+                            "registry must deduplicate radix nodes"
+                    return
+                matched = matched + label
+                remaining = remaining[lcp:]
+                current = child
+                continue
+            # Partial overlap: split the edge at the LCP node.
+            lcp_address = matched + remaining[:lcp]
+            lcp_concept = self._ontology.resolve_dewey(lcp_address)
+            lcp_node = self._ensure_node(lcp_concept)
+            current.children[position] = (remaining[:lcp], lcp_node)
+            self._attach(lcp_node, lcp_address, label[lcp:], child, None)
+            matched = lcp_address
+            remaining = remaining[lcp:]
+            current = lcp_node
+            if not remaining:
+                # The inserted address denotes the LCP node itself.
+                if subtree is None:
+                    lcp_node.is_target = True
+                else:
+                    assert subtree is lcp_node, \
+                        "registry must deduplicate radix nodes"
+                return
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    def node(self, concept_id: ConceptId) -> RadixNode:
+        """The node for a concept (KeyError if absent)."""
+        return self._nodes[concept_id]
+
+    def __contains__(self, concept_id: object) -> bool:
+        return concept_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[RadixNode]:
+        """All nodes, in creation order."""
+        return iter(self._nodes.values())
+
+    def targets(self) -> Iterator[RadixNode]:
+        """Nodes that were explicitly inserted (document/query concepts)."""
+        return (node for node in self._nodes.values() if node.is_target)
+
+    def edges(self) -> set[tuple[ConceptId, str, ConceptId]]:
+        """The edge set as ``(parent, dotted-label, child)`` triples.
+
+        A set-valued snapshot used by structural tests (e.g. checking the
+        Figure 4 / Figure 5 shapes step by step).
+        """
+        result: set[tuple[ConceptId, str, ConceptId]] = set()
+        for node in self._nodes.values():
+            for label, child in node.children:
+                result.add((node.concept_id, format_dewey(label),
+                            child.concept_id))
+        return result
+
+    def topological_order(self) -> list[RadixNode]:
+        """Nodes in a parents-before-children order.
+
+        Used by the DRC tuning sweeps: iterate forward for the top-down
+        pass, backward for the bottom-up pass.
+        """
+        indegree: dict[int, int] = {id(node): 0 for node in self._nodes.values()}
+        for node in self._nodes.values():
+            for _label, child in node.children:
+                indegree[id(child)] += 1
+        order: list[RadixNode] = []
+        stack = [node for node in self._nodes.values()
+                 if indegree[id(node)] == 0]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for _label, child in node.children:
+                indegree[id(child)] -= 1
+                if indegree[id(child)] == 0:
+                    stack.append(child)
+        return order

@@ -1,0 +1,118 @@
+"""Result and instrumentation types shared by all search algorithms.
+
+Every algorithm — kNDS, the full-scan baseline, the Threshold Algorithm —
+returns a :class:`RankedResults`, and every run is instrumented with a
+:class:`QueryStats` that splits wall-clock time the way the paper's plots
+do: distance-calculation time (DRC), ontology-traversal time, and index
+I/O time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import DocId
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One ranked document: id and its distance from the query."""
+
+    doc_id: DocId
+    distance: float
+
+    def __iter__(self):
+        # Allow ``doc, dist = item`` unpacking in examples and tests.
+        yield self.doc_id
+        yield self.distance
+
+
+@dataclass
+class QueryStats:
+    """Instrumentation for one query evaluation.
+
+    The three timing buckets mirror the stacked components in the paper's
+    Figures 7-9: ``distance_seconds`` (DRC probes), ``traversal_seconds``
+    (ontology breadth-first expansion) and ``io_seconds`` (inverted/forward
+    index access).  ``total_seconds`` is wall clock for the whole query and
+    also covers bookkeeping outside the three buckets.
+    """
+
+    total_seconds: float = 0.0
+    distance_seconds: float = 0.0
+    traversal_seconds: float = 0.0
+    io_seconds: float = 0.0
+
+    drc_calls: int = 0
+    """Number of exact distance computations performed."""
+    covered_shortcuts: int = 0
+    """Documents finalized from complete coverage without a DRC probe."""
+    docs_examined: int = 0
+    """Documents whose exact distance was determined (probe or shortcut)."""
+    docs_touched: int = 0
+    """Distinct documents that ever entered the candidate list."""
+    docs_pruned: int = 0
+    """Candidates dropped because their lower bound exceeded ``Dk+``."""
+    bfs_levels: int = 0
+    """Breadth-first iterations executed (the paper's ``l``)."""
+    nodes_visited: int = 0
+    """Ontology concept visits during traversal (first visits per origin)."""
+    forced_rounds: int = 0
+    """Analysis rounds forced by queue-limit pressure (Section 6.1)."""
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another run's counters into this one (for averages)."""
+        self.total_seconds += other.total_seconds
+        self.distance_seconds += other.distance_seconds
+        self.traversal_seconds += other.traversal_seconds
+        self.io_seconds += other.io_seconds
+        self.drc_calls += other.drc_calls
+        self.covered_shortcuts += other.covered_shortcuts
+        self.docs_examined += other.docs_examined
+        self.docs_touched += other.docs_touched
+        self.docs_pruned += other.docs_pruned
+        self.bfs_levels += other.bfs_levels
+        self.nodes_visited += other.nodes_visited
+        self.forced_rounds += other.forced_rounds
+
+    def scaled(self, divisor: float) -> "QueryStats":
+        """A copy with every field divided by ``divisor`` (averaging)."""
+        return QueryStats(
+            total_seconds=self.total_seconds / divisor,
+            distance_seconds=self.distance_seconds / divisor,
+            traversal_seconds=self.traversal_seconds / divisor,
+            io_seconds=self.io_seconds / divisor,
+            drc_calls=round(self.drc_calls / divisor),
+            covered_shortcuts=round(self.covered_shortcuts / divisor),
+            docs_examined=round(self.docs_examined / divisor),
+            docs_touched=round(self.docs_touched / divisor),
+            docs_pruned=round(self.docs_pruned / divisor),
+            bfs_levels=round(self.bfs_levels / divisor),
+            nodes_visited=round(self.nodes_visited / divisor),
+            forced_rounds=round(self.forced_rounds / divisor),
+        )
+
+
+@dataclass
+class RankedResults:
+    """The outcome of one top-k query."""
+
+    results: list[ResultItem]
+    stats: QueryStats = field(default_factory=QueryStats)
+    algorithm: str = ""
+    query_kind: str = ""
+    k: int = 0
+
+    def doc_ids(self) -> list[DocId]:
+        """Ranked document ids."""
+        return [item.doc_id for item in self.results]
+
+    def distances(self) -> list[float]:
+        """Ranked distances."""
+        return [item.distance for item in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)

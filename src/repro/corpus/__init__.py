@@ -1,0 +1,31 @@
+"""Corpus substrate: documents as concept sets, plus the text pipeline.
+
+The paper views an EMR as a set of ontology concepts extracted from the
+note text by MetaMap, after abbreviation expansion and removal of negated
+mentions (Section 6.1).  This subpackage provides the document/collection
+model, corpus statistics (Table 3), the concept filters (depth threshold
+and collection-frequency μ+σ), synthetic PATIENT-like and RADIO-like corpus
+generators, and a self-contained concept-extraction pipeline in
+:mod:`repro.corpus.text` that stands in for MetaMap.
+"""
+
+from repro.corpus.collection import CorpusStats, DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.filters import (
+    collection_frequency_cutoff,
+    depth_filter,
+    frequency_filter,
+)
+from repro.corpus.generators import generate_corpus, patient_like, radio_like
+
+__all__ = [
+    "Document",
+    "DocumentCollection",
+    "CorpusStats",
+    "depth_filter",
+    "frequency_filter",
+    "collection_frequency_cutoff",
+    "generate_corpus",
+    "patient_like",
+    "radio_like",
+]

@@ -1,0 +1,146 @@
+"""Document collections and corpus statistics (Table 3 of the paper).
+
+A :class:`DocumentCollection` is an ordered, id-addressable container of
+:class:`~repro.corpus.document.Document` objects.  It is the unit the
+search algorithms operate over, and it knows how to summarize itself the
+way the paper's Table 3 does: total documents, total distinct concepts,
+average tokens per document and average concepts per document.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.corpus.document import Document
+from repro.exceptions import CorpusError, UnknownDocumentError
+from repro.types import ConceptId, DocId
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """The Table 3 row set for one corpus."""
+
+    name: str
+    total_documents: int
+    total_concepts: int
+    """Number of *distinct* concepts appearing anywhere in the corpus."""
+    avg_tokens_per_document: float
+    avg_concepts_per_document: float
+    """Average size of the per-document concept set."""
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows matching the layout of Table 3."""
+        return [
+            ("Total Documents", f"{self.total_documents:,}"),
+            ("Total Concepts", f"{self.total_concepts:,}"),
+            ("Avg. Tokens/Document", f"{self.avg_tokens_per_document:,.1f}"),
+            ("Avg. Concepts/Document",
+             f"{self.avg_concepts_per_document:,.1f}"),
+        ]
+
+
+class DocumentCollection:
+    """An id-addressable set of documents.
+
+    Iteration order is insertion order, which keeps every downstream
+    computation (index construction, workload sampling) deterministic.
+    """
+
+    def __init__(self, documents: Iterable[Document] = (),
+                 name: str = "corpus") -> None:
+        self.name = name
+        self._documents: dict[DocId, Document] = {}
+        for document in documents:
+            self.add(document)
+
+    def add(self, document: Document) -> None:
+        """Add a document; duplicate ids are an error."""
+        if document.doc_id in self._documents:
+            raise CorpusError(f"duplicate document id: {document.doc_id!r}")
+        self._documents[document.doc_id] = document
+
+    def remove(self, doc_id: DocId) -> Document:
+        """Remove and return a document by id."""
+        try:
+            return self._documents.pop(doc_id)
+        except KeyError:
+            raise UnknownDocumentError(doc_id) from None
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents
+
+    def get(self, doc_id: DocId) -> Document:
+        """Fetch a document by id."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(doc_id) from None
+
+    def doc_ids(self) -> list[DocId]:
+        """All document ids, in insertion order."""
+        return list(self._documents)
+
+    def concept_frequencies(self) -> Counter[ConceptId]:
+        """Collection frequency of each concept (documents containing it)."""
+        counter: Counter[ConceptId] = Counter()
+        for document in self._documents.values():
+            counter.update(document.concept_set)
+        return counter
+
+    def distinct_concepts(self) -> set[ConceptId]:
+        """All concepts appearing in at least one document."""
+        result: set[ConceptId] = set()
+        for document in self._documents.values():
+            result.update(document.concept_set)
+        return result
+
+    def stats(self) -> CorpusStats:
+        """Compute the Table 3 statistics for this collection."""
+        total = len(self._documents)
+        if total == 0:
+            return CorpusStats(self.name, 0, 0, 0.0, 0.0)
+        token_sum = sum(d.token_count for d in self._documents.values())
+        concept_sum = sum(len(d) for d in self._documents.values())
+        return CorpusStats(
+            name=self.name,
+            total_documents=total,
+            total_concepts=len(self.distinct_concepts()),
+            avg_tokens_per_document=token_sum / total,
+            avg_concepts_per_document=concept_sum / total,
+        )
+
+    def filtered(self, predicate: Callable[[Document], bool],
+                 name: str | None = None) -> "DocumentCollection":
+        """A new collection keeping documents satisfying ``predicate``."""
+        return DocumentCollection(
+            (d for d in self._documents.values() if predicate(d)),
+            name=name or self.name,
+        )
+
+    def restrict_concepts(self, allowed: set[ConceptId] | frozenset[ConceptId],
+                          *, drop_empty: bool = True,
+                          name: str | None = None) -> "DocumentCollection":
+        """Apply a concept whitelist to every document.
+
+        Documents left without any concept are dropped by default, because
+        the distance measures are undefined on them.
+        """
+        allowed_frozen = frozenset(allowed)
+        restricted = (
+            document.restrict_to(allowed_frozen)
+            for document in self._documents.values()
+        )
+        if drop_empty:
+            restricted = (d for d in restricted if len(d) > 0)
+        return DocumentCollection(restricted, name=name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DocumentCollection {self.name!r}: {len(self)} documents>"

@@ -1,0 +1,93 @@
+"""The document model: an identifier plus a set of ontology concepts.
+
+Following the biomedical literature the paper adopts (Section 1), a
+document is represented by the set of positive-polarity ontology concepts
+found in its text.  The raw text and token count are carried along for
+corpus statistics (Table 3) and for the extraction pipeline, but play no
+role in ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.exceptions import EmptyDocumentError
+from repro.types import ConceptId, DocId
+
+
+class Document:
+    """An immutable document: id, concept set, optional text.
+
+    Parameters
+    ----------
+    doc_id:
+        Unique identifier within a collection.
+    concepts:
+        The ontology concepts associated with the document.  Duplicates are
+        collapsed; order is normalized to sorted for reproducibility.
+    text:
+        Optional raw note text (kept for the extraction pipeline/examples).
+    token_count:
+        Number of word tokens in the original text.  If omitted and text is
+        given, a whitespace count is used.
+    metadata:
+        Free-form key/value payload (e.g. note type, patient id).
+    """
+
+    __slots__ = ("doc_id", "concepts", "concept_set", "text", "token_count",
+                 "metadata")
+
+    def __init__(self, doc_id: DocId, concepts: Iterable[ConceptId], *,
+                 text: str | None = None, token_count: int | None = None,
+                 metadata: Mapping[str, object] | None = None) -> None:
+        self.doc_id = doc_id
+        self.concept_set: frozenset[ConceptId] = frozenset(concepts)
+        self.concepts: tuple[ConceptId, ...] = tuple(sorted(self.concept_set))
+        self.text = text
+        if token_count is None:
+            token_count = len(text.split()) if text else 0
+        self.token_count = token_count
+        self.metadata: Mapping[str, object] = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.concepts)
+
+    def __contains__(self, concept_id: object) -> bool:
+        return concept_id in self.concept_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return (self.doc_id == other.doc_id
+                and self.concept_set == other.concept_set)
+
+    def __hash__(self) -> int:
+        return hash((self.doc_id, self.concept_set))
+
+    def require_concepts(self) -> tuple[ConceptId, ...]:
+        """Return the concepts, raising if the document has none.
+
+        Distance computations (Eqs. 1-3) are undefined on concept-free
+        documents, so ranking entry points call this up front.
+        """
+        if not self.concepts:
+            raise EmptyDocumentError(self.doc_id)
+        return self.concepts
+
+    def restrict_to(self, allowed: frozenset[ConceptId] | set[ConceptId]
+                    ) -> "Document":
+        """A copy keeping only concepts present in ``allowed``.
+
+        Used by the corpus-level concept filters (depth and collection
+        frequency thresholds, Section 6.1).
+        """
+        return Document(
+            self.doc_id,
+            (cid for cid in self.concepts if cid in allowed),
+            text=self.text,
+            token_count=self.token_count,
+            metadata=self.metadata,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document {self.doc_id!r}: {len(self.concepts)} concepts>"

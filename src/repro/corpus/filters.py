@@ -1,0 +1,89 @@
+"""Concept filters used before indexing (Section 6.1 of the paper).
+
+The paper excludes two kinds of concepts before building its indexes:
+
+* **generic concepts** — anything whose depth in the ontology is below a
+  cutoff (default 4), e.g. "disease"; the remaining concepts are over 99%
+  of SNOMED-CT;
+* **very common concepts** — anything whose collection frequency exceeds
+  μ + σ of the corpus's frequency distribution, e.g. "blood"; the kept
+  concepts are about 92% of those appearing in the corpus.
+
+Both filters return concept whitelists so they can be composed and applied
+with :meth:`repro.corpus.collection.DocumentCollection.restrict_concepts`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.corpus.collection import DocumentCollection
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+DEFAULT_DEPTH_THRESHOLD = 4
+"""The paper's default: exclude concepts at depth < 4."""
+
+
+def depth_filter(ontology: Ontology, *,
+                 min_depth: int = DEFAULT_DEPTH_THRESHOLD) -> set[ConceptId]:
+    """Concepts whose minimum root distance is at least ``min_depth``.
+
+    Applied to ontologies whose depth statistics resemble SNOMED's, this
+    keeps the overwhelming majority of concepts while dropping the handful
+    of umbrella terms near the root.
+    """
+    return {
+        concept_id for concept_id in ontology.concepts()
+        if ontology.depth(concept_id) >= min_depth
+    }
+
+
+def collection_frequency_cutoff(collection: DocumentCollection) -> float:
+    """The μ + σ collection-frequency cutoff for a corpus.
+
+    μ and σ are the mean and standard deviation of per-concept document
+    frequencies over the concepts that actually occur in the corpus.
+    """
+    frequencies = list(collection.concept_frequencies().values())
+    if not frequencies:
+        return 0.0
+    mean = sum(frequencies) / len(frequencies)
+    variance = sum((f - mean) ** 2 for f in frequencies) / len(frequencies)
+    return mean + math.sqrt(variance)
+
+
+def frequency_filter(collection: DocumentCollection, *,
+                     cutoff: float | None = None) -> set[ConceptId]:
+    """Concepts whose collection frequency does not exceed the cutoff.
+
+    With the default μ + σ cutoff this keeps roughly the bottom ~92% of a
+    heavy-tailed frequency distribution, dropping ubiquitous concepts that
+    carry no discriminative signal (and bloat every postings scan).
+    """
+    frequencies = collection.concept_frequencies()
+    if cutoff is None:
+        cutoff = collection_frequency_cutoff(collection)
+    return {
+        concept_id for concept_id, frequency in frequencies.items()
+        if frequency <= cutoff
+    }
+
+
+def apply_default_filters(ontology: Ontology,
+                          collection: DocumentCollection, *,
+                          min_depth: int = DEFAULT_DEPTH_THRESHOLD,
+                          frequency_cutoff: float | None = None
+                          ) -> DocumentCollection:
+    """Apply both paper-default filters and return the reduced corpus.
+
+    The depth filter is evaluated only on concepts that occur in the
+    corpus, so huge ontologies are never scanned in full here.
+    """
+    occurring = collection.distinct_concepts()
+    deep_enough = {
+        concept_id for concept_id in occurring
+        if concept_id in ontology and ontology.depth(concept_id) >= min_depth
+    }
+    frequent_ok = frequency_filter(collection, cutoff=frequency_cutoff)
+    return collection.restrict_concepts(deep_enough & frequent_ok)

@@ -1,0 +1,106 @@
+"""Corpus serialization: JSON-lines and CSV interchange.
+
+JSONL is the primary format — one document per line with its id, concept
+list, optional text, token count and metadata — because EMR exports are
+line-oriented and append-friendly (matching the library's on-the-fly
+insertion story).  The CSV format carries only ``(doc_id, concept)``
+pairs plus a sizes sidecar and suits spreadsheet-style pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import ParseError
+
+
+def save_jsonl(collection: DocumentCollection, path: str | Path) -> None:
+    """Write one JSON object per document.
+
+    Keys: ``id``, ``concepts``; ``text``, ``tokens`` and ``metadata`` are
+    included only when present/nonzero, keeping exports compact.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        for document in collection:
+            payload: dict[str, object] = {
+                "id": document.doc_id,
+                "concepts": list(document.concepts),
+            }
+            if document.text is not None:
+                payload["text"] = document.text
+            if document.token_count:
+                payload["tokens"] = document.token_count
+            if document.metadata:
+                payload["metadata"] = dict(document.metadata)
+            handle.write(json.dumps(payload, ensure_ascii=False) + "\n")
+
+
+def load_jsonl(path: str | Path, *, name: str | None = None
+               ) -> DocumentCollection:
+    """Read a JSONL corpus written by :func:`save_jsonl` (or by hand)."""
+    path = Path(path)
+    collection = DocumentCollection(name=name or path.stem)
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ParseError(f"invalid JSON: {error}",
+                                 path=str(path), line=line_no) from None
+            if not isinstance(payload, dict) or "id" not in payload \
+                    or "concepts" not in payload:
+                raise ParseError("document object needs 'id' and 'concepts'",
+                                 path=str(path), line=line_no)
+            collection.add(Document(
+                str(payload["id"]),
+                [str(concept) for concept in payload["concepts"]],
+                text=payload.get("text"),
+                token_count=payload.get("tokens"),
+                metadata=payload.get("metadata"),
+            ))
+    return collection
+
+
+def save_concept_csv(collection: DocumentCollection,
+                     path: str | Path) -> None:
+    """Write the corpus as flat ``doc_id,concept`` rows."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["doc_id", "concept"])
+        for document in collection:
+            for concept in document.concepts:
+                writer.writerow([document.doc_id, concept])
+
+
+def load_concept_csv(path: str | Path, *, name: str | None = None
+                     ) -> DocumentCollection:
+    """Read a ``doc_id,concept`` CSV into a collection.
+
+    Document order follows first appearance; text and metadata are not
+    representable in this format.
+    """
+    path = Path(path)
+    grouped: dict[str, list[str]] = {}
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:2] != ["doc_id", "concept"]:
+            raise ParseError("concept CSV must start with doc_id,concept",
+                             path=str(path))
+        for row in reader:
+            if not row:
+                continue
+            if len(row) < 2:
+                raise ParseError("short concept CSV row", path=str(path))
+            grouped.setdefault(row[0], []).append(row[1])
+    return DocumentCollection(
+        (Document(doc_id, concepts) for doc_id, concepts in grouped.items()),
+        name=name or path.stem,
+    )

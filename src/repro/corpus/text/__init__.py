@@ -1,0 +1,43 @@
+"""Concept extraction from clinical text (the paper's MetaMap stage).
+
+Section 6.1 of the paper links notes to SNOMED-CT in four steps: expand
+abbreviations against a public list, identify ontology concepts in the
+text, detect negation, and keep only positive-polarity concepts.  This
+subpackage implements the same pipeline self-contained:
+
+* :mod:`repro.corpus.text.tokenizer` — sentence and word tokenization;
+* :mod:`repro.corpus.text.abbreviations` — medical abbreviation expansion;
+* :mod:`repro.corpus.text.negation` — a NegEx-style negation detector;
+* :mod:`repro.corpus.text.mapper` — longest-match gazetteer mapping of
+  term spans to ontology concepts (labels and synonyms);
+* :mod:`repro.corpus.text.pipeline` — the assembled
+  :class:`~repro.corpus.text.pipeline.ConceptExtractor` producing
+  :class:`~repro.corpus.document.Document` objects.
+"""
+
+from repro.corpus.text.abbreviations import AbbreviationExpander
+from repro.corpus.text.mapper import ConceptMapper
+from repro.corpus.text.negation import NegationDetector
+from repro.corpus.text.notegen import generate_note, notes_corpus
+from repro.corpus.text.pipeline import ConceptExtractor, ConceptMention
+from repro.corpus.text.sections import (
+    SectionPolicy,
+    extract_with_sections,
+    split_sections,
+)
+from repro.corpus.text.tokenizer import sentences, tokens
+
+__all__ = [
+    "tokens",
+    "sentences",
+    "AbbreviationExpander",
+    "NegationDetector",
+    "ConceptMapper",
+    "ConceptExtractor",
+    "ConceptMention",
+    "SectionPolicy",
+    "split_sections",
+    "extract_with_sections",
+    "generate_note",
+    "notes_corpus",
+]

@@ -1,0 +1,113 @@
+"""Medical abbreviation expansion (the paper's first preprocessing step).
+
+"First, we analyzed each document in order to identify and expand
+abbreviations based on a public list of medical abbreviations"
+(Section 6.1).  :data:`DEFAULT_ABBREVIATIONS` ships a compact list of the
+most common clinical shorthands; :class:`AbbreviationExpander` applies a
+user-supplied or merged list token-wise, so "pt c/o sob" becomes
+"patient complains of shortness of breath" before concept mapping runs.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:['\-][A-Za-z0-9]+)*")
+
+DEFAULT_ABBREVIATIONS: dict[str, str] = {
+    "htn": "hypertension",
+    "dm": "diabetes mellitus",
+    "dm2": "type 2 diabetes mellitus",
+    "mi": "myocardial infarction",
+    "chf": "congestive heart failure",
+    "cad": "coronary artery disease",
+    "copd": "chronic obstructive pulmonary disease",
+    "cva": "cerebrovascular accident",
+    "uti": "urinary tract infection",
+    "sob": "shortness of breath",
+    "cp": "chest pain",
+    "afib": "atrial fibrillation",
+    "gerd": "gastroesophageal reflux disease",
+    "ckd": "chronic kidney disease",
+    "dvt": "deep vein thrombosis",
+    "pe": "pulmonary embolism",
+    "bp": "blood pressure",
+    "hr": "heart rate",
+    "pt": "patient",
+    "pts": "patients",
+    "hx": "history",
+    "fx": "fracture",
+    "tx": "treatment",
+    "dx": "diagnosis",
+    "sx": "symptoms",
+    "abd": "abdominal",
+    "bilat": "bilateral",
+    "c/o": "complains of",
+    "w/o": "without",
+    "s/p": "status post",
+    "r/o": "rule out",
+    "yo": "year old",
+    "prn": "as needed",
+    "bid": "twice daily",
+    "qd": "daily",
+    "po": "by mouth",
+}
+
+
+class AbbreviationExpander:
+    """Token-wise abbreviation expansion.
+
+    Parameters
+    ----------
+    table:
+        Abbreviation -> expansion map; merged over (or replacing) the
+        built-in defaults.
+    include_defaults:
+        Set false to use only the supplied table.
+    """
+
+    def __init__(self, table: Mapping[str, str] | None = None, *,
+                 include_defaults: bool = True) -> None:
+        merged: dict[str, str] = dict(
+            DEFAULT_ABBREVIATIONS) if include_defaults else {}
+        if table:
+            merged.update({key.lower(): value for key, value in table.items()})
+        self._table = merged
+        # Abbreviations containing "/" (c/o, s/p, ...) span word-token
+        # boundaries, so they are replaced by a literal pre-pass.
+        slashed = {key for key in merged if "/" in key}
+        self._slash_re = None
+        if slashed:
+            alternation = "|".join(
+                re.escape(key) for key in sorted(slashed, key=len,
+                                                 reverse=True)
+            )
+            self._slash_re = re.compile(rf"(?<!\w)(?:{alternation})(?!\w)",
+                                        re.IGNORECASE)
+
+    def expand(self, text: str) -> str:
+        """Expand every known abbreviation in ``text``, in place.
+
+        Word tokens are lowercased and substituted; punctuation, sentence
+        boundaries and spacing are preserved, so negation scoping further
+        down the pipeline still sees the original sentence structure.
+
+        >>> AbbreviationExpander().expand("Pt with HTN and SOB")
+        'patient with hypertension and shortness of breath'
+        """
+        if self._slash_re is not None:
+            text = self._slash_re.sub(
+                lambda match: self._table[match.group(0).lower()], text)
+        return _WORD_RE.sub(
+            lambda match: self._table.get(match.group(0).lower(),
+                                          match.group(0).lower()),
+            text,
+        )
+
+    def known(self, abbreviation: str) -> bool:
+        """True if the abbreviation has an expansion."""
+        return abbreviation.lower() in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)

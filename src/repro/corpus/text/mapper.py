@@ -1,0 +1,85 @@
+"""Gazetteer mapping of term spans to ontology concepts.
+
+The stand-in for MetaMap's candidate mapping: a dictionary of multi-word
+terms (ontology preferred names plus synonyms) is matched greedily against
+the token stream, longest span first, so "aortic valve stenosis" maps to
+the specific concept rather than to "stenosis".  Matching is exact on
+normalized tokens — the paper's retrieval-quality questions are out of
+scope (Section 6.2 cites prior studies), so no fuzzy matching is needed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+class ConceptMapper:
+    """Longest-match lookup of token spans to concept ids.
+
+    Parameters
+    ----------
+    terms:
+        Term -> concept id map.  Terms are normalized to lowercase
+        token tuples; multiple terms may map to the same concept
+        (synonyms), but one term maps to exactly one concept.
+    """
+
+    def __init__(self, terms: Mapping[str, ConceptId]) -> None:
+        self._by_tokens: dict[tuple[str, ...], ConceptId] = {}
+        self._max_len = 0
+        for term, concept_id in terms.items():
+            token_key = tuple(term.lower().split())
+            if not token_key:
+                continue
+            self._by_tokens[token_key] = concept_id
+            self._max_len = max(self._max_len, len(token_key))
+
+    @classmethod
+    def from_ontology(cls, ontology: Ontology, *,
+                      concepts: Iterable[ConceptId] | None = None
+                      ) -> "ConceptMapper":
+        """Build the gazetteer from preferred names and synonyms."""
+        terms: dict[str, ConceptId] = {}
+        universe = concepts if concepts is not None else ontology.concepts()
+        for concept_id in universe:
+            terms[ontology.label(concept_id)] = concept_id
+            for synonym in ontology.synonyms(concept_id):
+                terms[synonym] = concept_id
+        return cls(terms)
+
+    def spans(self, sentence_tokens: Sequence[str]
+              ) -> list[tuple[int, int, ConceptId]]:
+        """Greedy longest-match spans over one token sequence.
+
+        Returns ``(start, end, concept)`` triples with ``end`` exclusive;
+        matched spans do not overlap and earlier/longer matches win.
+        """
+        matches: list[tuple[int, int, ConceptId]] = []
+        position = 0
+        count = len(sentence_tokens)
+        while position < count:
+            found = None
+            limit = min(self._max_len, count - position)
+            for length in range(limit, 0, -1):
+                key = tuple(sentence_tokens[position:position + length])
+                concept_id = self._by_tokens.get(key)
+                if concept_id is not None:
+                    found = (position, position + length, concept_id)
+                    break
+            if found is None:
+                position += 1
+            else:
+                matches.append(found)
+                position = found[1]
+        return matches
+
+    def __len__(self) -> int:
+        return len(self._by_tokens)
+
+    def __contains__(self, term: object) -> bool:
+        if not isinstance(term, str):
+            return False
+        return tuple(term.lower().split()) in self._by_tokens

@@ -1,0 +1,111 @@
+"""NegEx-style negation detection.
+
+"According to domain experts, negated concepts are not relevant when
+measuring inter-patient similarity.  Therefore we only consider concepts
+with positive polarity; e.g., we exclude concepts contained in phrases
+such as 'absence of bradycardia'" (Section 6.1).
+
+The detector follows the classic NegEx recipe (Chapman et al.): a list of
+*preceding* negation triggers ("no", "denies", "absence of", …) negates
+the following tokens up to a window limit or a conjunction/termination
+token; a list of *following* triggers ("... was ruled out") negates a
+window of tokens before them.  Pseudo-negations ("no increase") are left
+positive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+PRECEDING_TRIGGERS: tuple[tuple[str, ...], ...] = (
+    ("no",), ("not",), ("without",), ("denies",), ("denied",),
+    ("negative", "for"), ("free", "of"), ("absence", "of"), ("absent",),
+    ("no", "evidence", "of"), ("no", "sign", "of"), ("no", "signs", "of"),
+    ("rule", "out"), ("ruled", "out", "for"), ("never", "had"),
+    ("unremarkable", "for"),
+)
+
+FOLLOWING_TRIGGERS: tuple[tuple[str, ...], ...] = (
+    ("was", "ruled", "out"), ("is", "ruled", "out"),
+    ("were", "ruled", "out"), ("unlikely",),
+)
+
+PSEUDO_TRIGGERS: tuple[tuple[str, ...], ...] = (
+    ("no", "increase"), ("no", "change"), ("not", "only"),
+    ("no", "further"),
+)
+
+TERMINATION_TOKENS: frozenset[str] = frozenset({
+    "but", "however", "although", "except", "apart", "besides", "still",
+})
+
+
+class NegationDetector:
+    """Token-window negation scoping.
+
+    Parameters
+    ----------
+    window:
+        Maximum number of tokens a preceding trigger negates (NegEx
+        traditionally uses ~6).
+    """
+
+    def __init__(self, *, window: int = 6,
+                 preceding: Iterable[Sequence[str]] = PRECEDING_TRIGGERS,
+                 following: Iterable[Sequence[str]] = FOLLOWING_TRIGGERS,
+                 pseudo: Iterable[Sequence[str]] = PSEUDO_TRIGGERS) -> None:
+        self._window = window
+        self._preceding = [tuple(t) for t in preceding]
+        self._following = [tuple(t) for t in following]
+        self._pseudo = [tuple(t) for t in pseudo]
+
+    def negated_positions(self, sentence_tokens: Sequence[str]) -> set[int]:
+        """Indices of tokens inside some negation scope.
+
+        >>> detector = NegationDetector()
+        >>> toks = "absence of bradycardia with stable vitals".split()
+        >>> 2 in detector.negated_positions(toks)
+        True
+        """
+        negated: set[int] = set()
+        count = len(sentence_tokens)
+        position = 0
+        while position < count:
+            matched = self._match_at(sentence_tokens, position, self._pseudo)
+            if matched:
+                position += matched
+                continue
+            matched = self._match_at(
+                sentence_tokens, position, self._preceding)
+            if matched:
+                scope_start = position + matched
+                scope_end = min(count, scope_start + self._window)
+                for index in range(scope_start, scope_end):
+                    if sentence_tokens[index] in TERMINATION_TOKENS:
+                        break
+                    negated.add(index)
+                position += matched
+                continue
+            matched = self._match_at(
+                sentence_tokens, position, self._following)
+            if matched:
+                scope_start = max(0, position - self._window)
+                negated.update(range(scope_start, position))
+                position += matched
+                continue
+            position += 1
+        return negated
+
+    @staticmethod
+    def _match_at(sentence_tokens: Sequence[str], position: int,
+                  triggers: list[tuple[str, ...]]) -> int:
+        """Length of the longest trigger starting at ``position`` (0 if
+        none)."""
+        best = 0
+        for trigger in triggers:
+            length = len(trigger)
+            if length <= best:
+                continue
+            if tuple(sentence_tokens[position:position + length]) == trigger:
+                best = length
+        return best

@@ -1,0 +1,115 @@
+"""The assembled concept-extraction pipeline (Section 6.1's procedure).
+
+``text -> expand abbreviations -> sentence split -> map term spans ->
+drop negated mentions -> positive-polarity concept set``.
+
+:class:`ConceptExtractor` exposes both the mention-level view (spans with
+polarity, useful for inspection and the examples) and the document-level
+view the search algorithms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.document import Document
+from repro.corpus.text.abbreviations import AbbreviationExpander
+from repro.corpus.text.mapper import ConceptMapper
+from repro.corpus.text.negation import NegationDetector
+from repro.corpus.text.tokenizer import sentences, tokens
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId, DocId
+
+
+@dataclass(frozen=True)
+class ConceptMention:
+    """One matched term span."""
+
+    concept_id: ConceptId
+    text: str
+    sentence_index: int
+    start: int
+    """Token offset of the span within its sentence."""
+    end: int
+    """Exclusive token end offset."""
+    negated: bool
+
+
+class ConceptExtractor:
+    """End-to-end extraction of positive-polarity concepts from text.
+
+    Parameters
+    ----------
+    mapper:
+        Term gazetteer (build one with
+        :meth:`repro.corpus.text.mapper.ConceptMapper.from_ontology`).
+    expander, negation:
+        Pipeline stages; defaults are the built-in abbreviation list and
+        NegEx-style detector.
+
+    Example
+    -------
+    >>> mapper = ConceptMapper({"aortic valve stenosis": "C1"})
+    >>> extractor = ConceptExtractor(mapper)
+    >>> extractor.extract_concepts("Pt w/o aortic valve stenosis")
+    set()
+    >>> extractor.extract_concepts("Pt with aortic valve stenosis")
+    {'C1'}
+    """
+
+    def __init__(self, mapper: ConceptMapper, *,
+                 expander: AbbreviationExpander | None = None,
+                 negation: NegationDetector | None = None) -> None:
+        self._mapper = mapper
+        self._expander = expander or AbbreviationExpander()
+        self._negation = negation or NegationDetector()
+
+    @classmethod
+    def for_ontology(cls, ontology: Ontology) -> "ConceptExtractor":
+        """Extractor whose gazetteer covers the whole ontology."""
+        return cls(ConceptMapper.from_ontology(ontology))
+
+    def mentions(self, text: str) -> list[ConceptMention]:
+        """All matched term spans with their negation polarity."""
+        expanded = self._expander.expand(text)
+        result: list[ConceptMention] = []
+        for sentence_index, sentence in enumerate(sentences(expanded)):
+            sentence_tokens = tokens(sentence)
+            negated_positions = self._negation.negated_positions(
+                sentence_tokens)
+            for start, end, concept_id in self._mapper.spans(sentence_tokens):
+                is_negated = any(
+                    index in negated_positions for index in range(start, end)
+                )
+                result.append(ConceptMention(
+                    concept_id=concept_id,
+                    text=" ".join(sentence_tokens[start:end]),
+                    sentence_index=sentence_index,
+                    start=start,
+                    end=end,
+                    negated=is_negated,
+                ))
+        return result
+
+    def extract_concepts(self, text: str) -> set[ConceptId]:
+        """The positive-polarity concept set of ``text``.
+
+        A concept mentioned both positively and negatively in the same
+        note is kept (the positive mention wins), matching the mention-
+        level filtering the paper describes.
+        """
+        positive = {
+            mention.concept_id for mention in self.mentions(text)
+            if not mention.negated
+        }
+        return positive
+
+    def to_document(self, doc_id: DocId, text: str, **metadata) -> Document:
+        """Build a ranked-searchable :class:`Document` from raw text."""
+        return Document(
+            doc_id,
+            self.extract_concepts(text),
+            text=text,
+            token_count=len(tokens(text)),
+            metadata=metadata or None,
+        )

@@ -1,0 +1,163 @@
+"""Clinical-note section handling.
+
+Clinical notes are organized in labelled sections ("CHIEF COMPLAINT",
+"FAMILY HISTORY", "MEDICATIONS", …), and extraction quality improves when
+the section context is honoured: a disorder mentioned under FAMILY
+HISTORY belongs to a relative, not the patient (the "experiencer"
+dimension of the NegEx/ConText family), and MEDICATIONS sections name
+drugs rather than findings.
+
+:func:`split_sections` parses the common ``HEADER: body`` layout;
+:class:`SectionPolicy` decides which sections contribute concepts.  The
+:class:`~repro.corpus.text.pipeline.ConceptExtractor` stays
+section-agnostic; :func:`extract_with_sections` composes the two.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.corpus.text.pipeline import ConceptExtractor, ConceptMention
+from repro.types import ConceptId
+
+_HEADER_RE = re.compile(
+    r"^(?P<header>[A-Z][A-Z /&-]{2,40}):\s*(?P<body>.*)$"
+)
+
+DEFAULT_EXCLUDED_SECTIONS: frozenset[str] = frozenset({
+    "FAMILY HISTORY",
+    "SOCIAL HISTORY",
+    "ALLERGIES",
+})
+"""Sections whose mentions describe someone/something other than the
+patient's current condition."""
+
+
+@dataclass(frozen=True)
+class Section:
+    """One note section: its header (or None for preamble) and body."""
+
+    header: str | None
+    body: str
+    order: int
+
+
+def split_sections(text: str) -> list[Section]:
+    """Split a note into sections on ``ALL-CAPS HEADER:`` lines.
+
+    Text before the first header becomes a header-less preamble section.
+    Bodies keep their line structure, so sentence splitting downstream is
+    unaffected.
+
+    >>> parts = split_sections("intro\\nPLAN: follow up\\nmore plan")
+    >>> [(s.header, s.body) for s in parts]
+    [(None, 'intro'), ('PLAN', 'follow up\\nmore plan')]
+    """
+    sections: list[Section] = []
+    header: str | None = None
+    body_lines: list[str] = []
+    order = 0
+
+    def flush() -> None:
+        nonlocal order, body_lines
+        body = "\n".join(body_lines).strip()
+        if body or header is not None:
+            sections.append(Section(header, body, order))
+            order += 1
+        body_lines = []
+
+    for line in text.splitlines():
+        match = _HEADER_RE.match(line.strip())
+        if match:
+            flush()
+            header = match.group("header").strip()
+            body_lines = [match.group("body")] if match.group("body") else []
+        else:
+            body_lines.append(line)
+    flush()
+    return sections
+
+
+@dataclass(frozen=True)
+class SectionPolicy:
+    """Which sections contribute to the patient's concept set.
+
+    ``excluded`` headers are dropped entirely; ``included``, when
+    non-empty, acts as a whitelist instead.  Header matching is
+    case-insensitive.
+    """
+
+    excluded: frozenset[str] = DEFAULT_EXCLUDED_SECTIONS
+    included: frozenset[str] = field(default_factory=frozenset)
+
+    def admits(self, header: str | None) -> bool:
+        """True when the section's mentions count for the patient."""
+        if header is None:
+            return not self.included
+        normalized = header.upper()
+        if self.included:
+            return normalized in {h.upper() for h in self.included}
+        return normalized not in {h.upper() for h in self.excluded}
+
+
+@dataclass(frozen=True)
+class SectionedMention:
+    """A concept mention together with its section context."""
+
+    mention: ConceptMention
+    section: str | None
+    admitted: bool
+
+
+def extract_with_sections(
+    extractor: ConceptExtractor, text: str, *,
+    policy: SectionPolicy | None = None,
+) -> tuple[set[ConceptId], list[SectionedMention]]:
+    """Section-aware extraction.
+
+    Returns the positive-polarity concept set drawn only from admitted
+    sections, plus every mention with its section and admission flag (for
+    inspection — excluded-section mentions are reported, not silently
+    dropped).
+    """
+    policy = policy or SectionPolicy()
+    concepts: set[ConceptId] = set()
+    annotated: list[SectionedMention] = []
+    for section in split_sections(text):
+        admitted = policy.admits(section.header)
+        for mention in extractor.mentions(section.body):
+            annotated.append(SectionedMention(mention, section.header,
+                                              admitted))
+            if admitted and not mention.negated:
+                concepts.add(mention.concept_id)
+    return concepts, annotated
+
+
+def section_headers(text: str) -> list[str]:
+    """The headers present in a note, in order (preamble excluded)."""
+    return [
+        section.header for section in split_sections(text)
+        if section.header is not None
+    ]
+
+
+def merge_policies(*policies: SectionPolicy) -> SectionPolicy:
+    """Union of exclusions / intersection semantics for whitelists."""
+    excluded: set[str] = set()
+    included: set[str] = set()
+    for policy in policies:
+        excluded |= policy.excluded
+        included |= policy.included
+    return SectionPolicy(frozenset(excluded), frozenset(included))
+
+
+def iter_admitted_bodies(text: str,
+                         policy: SectionPolicy | None = None
+                         ) -> Iterable[str]:
+    """Bodies of admitted sections (e.g. to feed a plain extractor)."""
+    policy = policy or SectionPolicy()
+    for section in split_sections(text):
+        if policy.admits(section.header):
+            yield section.body

@@ -1,0 +1,42 @@
+"""Lightweight tokenization for clinical notes.
+
+Clinical text is messy — dosages ("500MG"), list bullets, abbreviations
+with periods — so the tokenizer stays deliberately simple and predictable:
+words are maximal runs of letters/digits (keeping intra-word hyphens and
+apostrophes), sentences split on ``.``, ``;``, ``!``, ``?`` and newlines.
+Everything downstream (mapping, negation windows) works on word tokens.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:['\-][A-Za-z0-9]+)*")
+_SENTENCE_SPLIT_RE = re.compile(r"[.;!?\n]+")
+
+
+def tokens(text: str) -> list[str]:
+    """Word tokens of ``text``, lowercased.
+
+    >>> tokens("Patient here for follow-up diabetes care.")
+    ['patient', 'here', 'for', 'follow-up', 'diabetes', 'care']
+    """
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def sentences(text: str) -> list[str]:
+    """Sentence-ish segments of ``text`` (non-empty, stripped).
+
+    >>> sentences("No fever. Denies chest pain; stable.")
+    ['No fever', 'Denies chest pain', 'stable']
+    """
+    return [
+        segment.strip()
+        for segment in _SENTENCE_SPLIT_RE.split(text)
+        if segment.strip()
+    ]
+
+
+def token_count(text: str) -> int:
+    """Number of word tokens (the Table 3 tokens/document statistic)."""
+    return len(tokens(text))

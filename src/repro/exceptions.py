@@ -1,0 +1,104 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Errors are grouped by subsystem: ontology construction
+and validation, corpus handling, index backends, and query evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class OntologyError(ReproError):
+    """Base class for ontology construction and validation errors."""
+
+
+class UnknownConceptError(OntologyError, KeyError):
+    """A concept identifier does not exist in the ontology."""
+
+    def __init__(self, concept_id: str) -> None:
+        super().__init__(f"unknown concept: {concept_id!r}")
+        self.concept_id = concept_id
+
+
+class DuplicateConceptError(OntologyError):
+    """A concept identifier was added to an ontology twice."""
+
+    def __init__(self, concept_id: str) -> None:
+        super().__init__(f"duplicate concept: {concept_id!r}")
+        self.concept_id = concept_id
+
+
+class CycleError(OntologyError):
+    """The is-a edges of an ontology contain a cycle.
+
+    Concept hierarchies must be directed acyclic graphs; a cycle makes both
+    Dewey labelling and shortest valid-path distances undefined.
+    """
+
+    def __init__(self, cycle: list[str]) -> None:
+        super().__init__(f"ontology contains a cycle: {' -> '.join(cycle)}")
+        self.cycle = cycle
+
+
+class RootError(OntologyError):
+    """The ontology does not have exactly one root concept.
+
+    The D-Radix correctness argument (Section 4.3 of the paper) relies on a
+    single root, so multi-rooted hierarchies must be normalized first (see
+    :meth:`repro.ontology.builder.OntologyBuilder.add_virtual_root`).
+    """
+
+
+class DeweyError(OntologyError):
+    """A Dewey address is malformed or does not resolve to a concept."""
+
+
+class ParseError(ReproError):
+    """An ontology or corpus input file could not be parsed."""
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line: int | None = None) -> None:
+        location = ""
+        if path is not None:
+            location = f" ({path}" + (f":{line}" if line is not None else "") + ")"
+        super().__init__(message + location)
+        self.path = path
+        self.line = line
+
+
+class CorpusError(ReproError):
+    """Base class for document and collection errors."""
+
+
+class UnknownDocumentError(CorpusError, KeyError):
+    """A document identifier does not exist in the collection."""
+
+    def __init__(self, doc_id: str) -> None:
+        super().__init__(f"unknown document: {doc_id!r}")
+        self.doc_id = doc_id
+
+
+class EmptyDocumentError(CorpusError):
+    """A document without concepts was used where concepts are required.
+
+    Both the document-query distance (Eq. 2) and the symmetric
+    document-document distance (Eq. 3) are undefined for concept-free
+    documents, because ``min`` over an empty concept set has no value.
+    """
+
+    def __init__(self, doc_id: str) -> None:
+        super().__init__(f"document has no concepts: {doc_id!r}")
+        self.doc_id = doc_id
+
+
+class IndexError_(ReproError):
+    """Base class for index backend errors (named to avoid shadowing
+    the :class:`IndexError` builtin)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (empty, unknown concepts, invalid parameters)."""

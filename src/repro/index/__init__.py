@@ -1,0 +1,23 @@
+"""Index substrate: inverted and forward document indexes.
+
+The paper assumes three indexes (Section 5.3): an ontology index for graph
+traversal (that is :class:`repro.ontology.graph.Ontology` itself), an
+inverted index mapping concepts to the documents containing them, and a
+forward index mapping documents back to their concepts.  Both corpus
+indexes are available in-memory and SQLite-backed (the paper used MySQL);
+all backends implement the same small interfaces from
+:mod:`repro.index.base` so the search algorithms are storage-agnostic and
+the benchmark harness can measure the I/O split.
+"""
+
+from repro.index.base import ForwardIndexBase, InvertedIndexBase
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.index.sqlite import SQLiteIndexStore
+
+__all__ = [
+    "InvertedIndexBase",
+    "ForwardIndexBase",
+    "MemoryInvertedIndex",
+    "MemoryForwardIndex",
+    "SQLiteIndexStore",
+]

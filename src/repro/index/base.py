@@ -1,0 +1,50 @@
+"""Abstract interfaces for the corpus indexes.
+
+Kept intentionally tiny: kNDS only ever asks "which documents contain this
+concept?" (inverted) and "which concepts does this document contain, and
+how many?" (forward).  Anything else — sorting, caching, storage layout —
+is a backend concern.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Sequence
+
+from repro.types import ConceptId, DocId
+
+
+class InvertedIndexBase(ABC):
+    """Concept -> documents mapping."""
+
+    @abstractmethod
+    def postings(self, concept_id: ConceptId) -> Sequence[DocId]:
+        """Documents containing ``concept_id`` (empty if none)."""
+
+    @abstractmethod
+    def indexed_concepts(self) -> Iterator[ConceptId]:
+        """All concepts with a non-empty postings list."""
+
+    @abstractmethod
+    def document_frequency(self, concept_id: ConceptId) -> int:
+        """Number of documents containing ``concept_id``."""
+
+
+class ForwardIndexBase(ABC):
+    """Document -> concepts mapping."""
+
+    @abstractmethod
+    def concepts(self, doc_id: DocId) -> Sequence[ConceptId]:
+        """Concepts of the document (raises ``KeyError`` family if absent)."""
+
+    @abstractmethod
+    def concept_count(self, doc_id: DocId) -> int:
+        """``|Cd|``, the size of the document's concept set (Eq. 3)."""
+
+    @abstractmethod
+    def doc_ids(self) -> Iterator[DocId]:
+        """All indexed documents."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed documents."""

@@ -1,0 +1,118 @@
+"""In-memory dictionary-backed corpus indexes.
+
+The default backend: postings and forward lists live in plain dicts of
+tuples.  Construction validates that every indexed concept exists in the
+ontology when one is supplied, catching extraction bugs at build time
+instead of as silently-wrong distances at query time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import UnknownConceptError, UnknownDocumentError
+from repro.index.base import ForwardIndexBase, InvertedIndexBase
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId, DocId
+
+
+class MemoryInvertedIndex(InvertedIndexBase):
+    """Concept -> tuple of doc ids, in corpus insertion order."""
+
+    def __init__(self) -> None:
+        self._postings: dict[ConceptId, tuple[DocId, ...]] = {}
+
+    @classmethod
+    def from_collection(cls, collection: DocumentCollection, *,
+                        ontology: Ontology | None = None
+                        ) -> "MemoryInvertedIndex":
+        """Build from a collection, optionally validating concept ids."""
+        builder: dict[ConceptId, list[DocId]] = {}
+        for document in collection:
+            for concept_id in document.concepts:
+                if ontology is not None and concept_id not in ontology:
+                    raise UnknownConceptError(concept_id)
+                builder.setdefault(concept_id, []).append(document.doc_id)
+        index = cls()
+        index._postings = {
+            concept_id: tuple(doc_ids)
+            for concept_id, doc_ids in builder.items()
+        }
+        return index
+
+    def postings(self, concept_id: ConceptId) -> Sequence[DocId]:
+        return self._postings.get(concept_id, ())
+
+    def indexed_concepts(self) -> Iterator[ConceptId]:
+        return iter(self._postings)
+
+    def document_frequency(self, concept_id: ConceptId) -> int:
+        return len(self._postings.get(concept_id, ()))
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the paper's on-the-fly insertion story)
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document, *,
+                     ontology: Ontology | None = None) -> None:
+        """Index one new document; O(#concepts in the document)."""
+        for concept_id in document.concepts:
+            if ontology is not None and concept_id not in ontology:
+                raise UnknownConceptError(concept_id)
+            existing = self._postings.get(concept_id, ())
+            self._postings[concept_id] = existing + (document.doc_id,)
+
+    def remove_document(self, document: Document) -> None:
+        """Drop one document's postings entries."""
+        for concept_id in document.concepts:
+            remaining = tuple(
+                doc_id for doc_id in self._postings.get(concept_id, ())
+                if doc_id != document.doc_id
+            )
+            if remaining:
+                self._postings[concept_id] = remaining
+            else:
+                self._postings.pop(concept_id, None)
+
+
+class MemoryForwardIndex(ForwardIndexBase):
+    """Doc id -> tuple of concepts (sorted, as stored on the document)."""
+
+    def __init__(self) -> None:
+        self._concepts: dict[DocId, tuple[ConceptId, ...]] = {}
+
+    @classmethod
+    def from_collection(cls, collection: DocumentCollection
+                        ) -> "MemoryForwardIndex":
+        index = cls()
+        index._concepts = {
+            document.doc_id: document.concepts for document in collection
+        }
+        return index
+
+    def concepts(self, doc_id: DocId) -> Sequence[ConceptId]:
+        try:
+            return self._concepts[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(doc_id) from None
+
+    def concept_count(self, doc_id: DocId) -> int:
+        return len(self.concepts(doc_id))
+
+    def add_document(self, document: Document) -> None:
+        """Index one new document; O(1)."""
+        self._concepts[document.doc_id] = document.concepts
+
+    def remove_document(self, doc_id: DocId) -> None:
+        """Drop one document's forward entry."""
+        try:
+            del self._concepts[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(doc_id) from None
+
+    def doc_ids(self) -> Iterator[DocId]:
+        return iter(self._concepts)
+
+    def __len__(self) -> int:
+        return len(self._concepts)

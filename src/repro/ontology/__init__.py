@@ -1,0 +1,47 @@
+"""Ontology substrate: DAG model, Dewey labelling, distances, traversal.
+
+This subpackage implements everything the paper assumes about the concept
+hierarchy (Section 3.1): a single-rooted DAG of is-a relationships, Dewey
+path addresses for every concept, the shortest valid-path concept-concept
+distance of Rada et al., and the up-then-down "valid path" breadth-first
+traversal used by the kNDS search algorithm.  File-format parsers for
+SNOMED-CT RF2, UMLS RRF and OBO live in :mod:`repro.ontology.io`.
+"""
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import (
+    concept_distance,
+    concept_distance_dewey,
+    document_concept_distance,
+    document_document_distance,
+    document_query_distance,
+)
+from repro.ontology.generators import snomed_like
+from repro.ontology.graph import Ontology
+from repro.ontology.measures import (
+    InformationContent,
+    least_common_ancestors,
+    wu_palmer_similarity,
+)
+from repro.ontology.stats import OntologyStats, compute_stats
+from repro.ontology.traversal import ValidPathBFS, valid_path_distances
+
+__all__ = [
+    "Ontology",
+    "OntologyBuilder",
+    "DeweyIndex",
+    "concept_distance",
+    "concept_distance_dewey",
+    "document_concept_distance",
+    "document_query_distance",
+    "document_document_distance",
+    "ValidPathBFS",
+    "valid_path_distances",
+    "snomed_like",
+    "OntologyStats",
+    "compute_stats",
+    "InformationContent",
+    "wu_palmer_similarity",
+    "least_common_ancestors",
+]

@@ -1,0 +1,105 @@
+"""Fluent construction of :class:`~repro.ontology.graph.Ontology` instances.
+
+The builder separates the mutable construction phase from the read-only
+query phase: concepts and is-a edges are declared in any order, forward
+references are allowed, and :meth:`OntologyBuilder.build` resolves them,
+normalizes multiple roots (optionally) and validates the DAG invariants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import RootError, UnknownConceptError
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+VIRTUAL_ROOT_ID = "__root__"
+"""Concept id used when :meth:`OntologyBuilder.build` must add a root."""
+
+
+class OntologyBuilder:
+    """Incrementally assemble an ontology DAG.
+
+    Example
+    -------
+    >>> builder = OntologyBuilder("toy")
+    >>> _ = builder.add_concept("A").add_concept("B").add_concept("C")
+    >>> _ = builder.add_edge("A", "B").add_edge("A", "C")
+    >>> ontology = builder.build()
+    >>> ontology.root
+    'A'
+
+    Edge insertion order matters: the first child added under a parent gets
+    Dewey component 1, the second component 2, and so on (Section 3.1).
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self._name = name
+        self._concepts: dict[ConceptId, tuple[str | None, tuple[str, ...]]] = {}
+        self._edges: list[tuple[ConceptId, ConceptId]] = []
+        self._allow_forward_refs = True
+
+    def add_concept(self, concept_id: ConceptId, label: str | None = None,
+                    synonyms: Iterable[str] = ()) -> "OntologyBuilder":
+        """Declare a concept; repeat declarations update label/synonyms."""
+        self._concepts[concept_id] = (label, tuple(synonyms))
+        return self
+
+    def add_edge(self, parent: ConceptId, child: ConceptId) -> "OntologyBuilder":
+        """Declare an is-a edge from ``parent`` to ``child``.
+
+        Both endpoints may be declared later; undeclared endpoints raise at
+        :meth:`build` time.
+        """
+        self._edges.append((parent, child))
+        return self
+
+    def add_hierarchy(self, parent: ConceptId,
+                      children: Iterable[ConceptId]) -> "OntologyBuilder":
+        """Declare several children of one parent, in Dewey order."""
+        for child in children:
+            self.add_edge(parent, child)
+        return self
+
+    def build(self, *, add_virtual_root: bool = False,
+              validate: bool = True) -> Ontology:
+        """Materialize and validate the ontology.
+
+        Parameters
+        ----------
+        add_virtual_root:
+            If true and the declared DAG has several parentless concepts,
+            connect them all under a synthetic root named
+            :data:`VIRTUAL_ROOT_ID`.  This is how multi-rooted inputs (e.g.
+            a UMLS subset spanning source vocabularies) are normalized to
+            the single-rooted form the algorithms require.
+        validate:
+            Skip validation only when the caller will mutate further.
+        """
+        ontology = Ontology(self._name)
+        for concept_id, (label, synonyms) in self._concepts.items():
+            ontology._add_concept(concept_id, label, synonyms)
+        for parent, child in self._edges:
+            if parent not in ontology or child not in ontology:
+                missing = parent if parent not in ontology else child
+                raise UnknownConceptError(missing)
+            ontology._add_edge(parent, child)
+        if add_virtual_root:
+            self._attach_virtual_root(ontology)
+        if validate:
+            ontology.validate()
+        return ontology
+
+    @staticmethod
+    def _attach_virtual_root(ontology: Ontology) -> None:
+        roots = [cid for cid in ontology.concepts() if not ontology.parents(cid)]
+        if len(roots) <= 1:
+            return
+        if VIRTUAL_ROOT_ID in ontology:
+            raise RootError(
+                f"cannot add virtual root: {VIRTUAL_ROOT_ID!r} already exists"
+            )
+        ontology._add_concept(VIRTUAL_ROOT_ID, "virtual root")
+        for root in roots:
+            ontology._add_edge(VIRTUAL_ROOT_ID, root)

@@ -1,0 +1,135 @@
+"""Dewey path addresses over the ontology DAG (Section 3.1).
+
+Every root-to-concept path is encoded as a tuple of 1-based child indices
+(:data:`repro.types.DeweyAddress`).  Because the ontology is a DAG rather
+than a tree, a concept generally has several addresses — SNOMED-CT averages
+9.78 per concept — and the DRC algorithm consumes *all* addresses of the
+query and document concepts, merged in lexicographic order.
+
+Two key structural facts that the rest of the library leans on:
+
+* every prefix of an address is itself an address of an ancestor of the
+  concept (the ancestor at that level of the path);
+* the set of addresses of a concept is exactly
+  ``{address(a) + path(a -> c) : a ancestor reached by a downward path}``,
+  i.e. address sets are closed under composing any ancestor address with any
+  downward path.  This closure is what makes the Dewey-pair distance
+  identity in :func:`repro.ontology.distance.concept_distance_dewey` exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import OntologyError
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId, DeweyAddress
+
+
+class PathExplosionError(OntologyError):
+    """A concept has more Dewey addresses than the configured cap.
+
+    Dense multi-parent regions of a DAG can have exponentially many
+    root-to-node paths.  Biomedical ontologies stay far away from that
+    regime (SNOMED-CT tops out at 29 paths per concept), so hitting the cap
+    almost always indicates malformed input rather than a real hierarchy.
+    """
+
+    def __init__(self, concept_id: ConceptId, cap: int) -> None:
+        super().__init__(
+            f"concept {concept_id!r} exceeds the cap of {cap} Dewey addresses"
+        )
+        self.concept_id = concept_id
+        self.cap = cap
+
+
+class DeweyIndex:
+    """Lazily computed, memoized Dewey addresses for an ontology.
+
+    Parameters
+    ----------
+    ontology:
+        A validated single-rooted DAG.
+    max_paths_per_concept:
+        Safety cap against path explosion in adversarial DAGs.
+
+    Notes
+    -----
+    Addresses are computed by composing each parent's addresses with the
+    edge component, memoized per concept.  For the lookup patterns of DRC
+    (addresses of the handful of concepts in a query or document) only the
+    ancestor cone of those concepts is ever materialized.
+    """
+
+    def __init__(self, ontology: Ontology, *,
+                 max_paths_per_concept: int = 100_000) -> None:
+        self._ontology = ontology
+        self._cap = max_paths_per_concept
+        self._cache: dict[ConceptId, tuple[DeweyAddress, ...]] = {
+            ontology.root: ((),),
+        }
+
+    @property
+    def ontology(self) -> Ontology:
+        return self._ontology
+
+    def addresses(self, concept_id: ConceptId) -> tuple[DeweyAddress, ...]:
+        """All Dewey addresses of a concept, lexicographically sorted."""
+        cached = self._cache.get(concept_id)
+        if cached is not None:
+            return cached
+        self._materialize(concept_id)
+        return self._cache[concept_id]
+
+    def _materialize(self, concept_id: ConceptId) -> None:
+        # Iterative post-order over the ancestor cone, so deep ontologies
+        # do not hit the recursion limit.
+        ontology = self._ontology
+        stack: list[tuple[ConceptId, bool]] = [(concept_id, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in self._cache:
+                continue
+            if expanded:
+                addresses: list[DeweyAddress] = []
+                for parent in ontology.parents(node):
+                    component = ontology.child_component(parent, node)
+                    for prefix in self._cache[parent]:
+                        addresses.append(prefix + (component,))
+                if len(addresses) > self._cap:
+                    raise PathExplosionError(node, self._cap)
+                addresses.sort()
+                self._cache[node] = tuple(addresses)
+            else:
+                stack.append((node, True))
+                for parent in ontology.parents(node):
+                    if parent not in self._cache:
+                        stack.append((parent, False))
+
+    def address_count(self, concept_id: ConceptId) -> int:
+        """Number of distinct root-to-concept paths."""
+        return len(self.addresses(concept_id))
+
+    def primary_address(self, concept_id: ConceptId) -> DeweyAddress:
+        """The lexicographically smallest address of a concept."""
+        return self.addresses(concept_id)[0]
+
+    def sorted_address_list(
+        self, concepts: Iterable[ConceptId]
+    ) -> list[tuple[DeweyAddress, ConceptId]]:
+        """The ``Pd`` / ``Pq`` lists of the DRC algorithm.
+
+        Every address of every given concept, as ``(address, concept)``
+        pairs sorted lexicographically by address.  This is the insertion
+        order that Algorithm 1 consumes (Table 1 of the paper).
+        """
+        pairs: list[tuple[DeweyAddress, ConceptId]] = []
+        for concept_id in concepts:
+            for address in self.addresses(concept_id):
+                pairs.append((address, concept_id))
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def total_paths(self, concepts: Iterable[ConceptId]) -> int:
+        """Total number of addresses across a concept set (``|P|``)."""
+        return sum(self.address_count(concept_id) for concept_id in concepts)

@@ -1,0 +1,128 @@
+"""Ontology version diffing.
+
+Biomedical ontologies are released on a cadence (SNOMED-CT twice a year),
+and a deployed search system has to know what changed before swapping
+releases: concept distances are pure functions of the DAG, so any edge
+touching a concept's ancestor cone can change that concept's distances
+and Dewey addresses.  :func:`diff_ontologies` computes the structural
+delta, and :meth:`OntologyDiff.impacted_concepts` closes it over
+descendants — the set of concepts whose distances may differ between the
+two versions (everything else is guaranteed stable, see the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+@dataclass(frozen=True)
+class OntologyDiff:
+    """Structural delta between two ontology versions."""
+
+    added_concepts: frozenset[ConceptId]
+    removed_concepts: frozenset[ConceptId]
+    added_edges: frozenset[tuple[ConceptId, ConceptId]]
+    removed_edges: frozenset[tuple[ConceptId, ConceptId]]
+    relabelled: frozenset[ConceptId]
+    reordered_parents: frozenset[ConceptId] = field(default=frozenset())
+    """Concepts whose surviving child edges changed Dewey positions."""
+
+    def is_empty(self) -> bool:
+        """True when the versions are structurally identical."""
+        return not (self.added_concepts or self.removed_concepts
+                    or self.added_edges or self.removed_edges
+                    or self.reordered_parents)
+
+    def touched_concepts(self) -> set[ConceptId]:
+        """Concepts directly involved in any structural change."""
+        touched: set[ConceptId] = set(self.added_concepts)
+        touched |= self.removed_concepts
+        for parent, child in self.added_edges | self.removed_edges:
+            touched.add(parent)
+            touched.add(child)
+        touched |= self.reordered_parents
+        return touched
+
+    def impacted_concepts(self, new_version: Ontology) -> set[ConceptId]:
+        """Concepts whose distances/addresses may differ in the new
+        version.
+
+        The closure of the touched set over descendants in the new
+        version: a structural change propagates only downward (Dewey
+        addresses are ancestor-determined, and a changed edge alters the
+        ancestor cones of exactly the subtree below it).  Removed
+        concepts are included by id even though they no longer resolve.
+        """
+        impacted = self.touched_concepts()
+        frontier = [c for c in impacted if c in new_version]
+        while frontier:
+            concept = frontier.pop()
+            for child in new_version.children(concept):
+                if child not in impacted:
+                    impacted.add(child)
+                    frontier.append(child)
+        return impacted
+
+
+def diff_ontologies(old: Ontology, new: Ontology) -> OntologyDiff:
+    """Compute the structural delta from ``old`` to ``new``."""
+    old_concepts = set(old.concepts())
+    new_concepts = set(new.concepts())
+    added_concepts = new_concepts - old_concepts
+    removed_concepts = old_concepts - new_concepts
+    shared = old_concepts & new_concepts
+
+    old_edges = {
+        (parent, child)
+        for parent in old_concepts for child in old.children(parent)
+    }
+    new_edges = {
+        (parent, child)
+        for parent in new_concepts for child in new.children(parent)
+    }
+    relabelled = frozenset(
+        concept for concept in shared
+        if old.label(concept) != new.label(concept)
+        or old.synonyms(concept) != new.synonyms(concept)
+    )
+    reordered = set()
+    for concept in shared:
+        old_children = [c for c in old.children(concept)
+                        if (concept, c) in new_edges]
+        new_children = [c for c in new.children(concept)
+                        if (concept, c) in old_edges]
+        if old_children != new_children:
+            reordered.add(concept)
+    return OntologyDiff(
+        added_concepts=frozenset(added_concepts),
+        removed_concepts=frozenset(removed_concepts),
+        added_edges=frozenset(new_edges - old_edges),
+        removed_edges=frozenset(old_edges - new_edges),
+        relabelled=relabelled,
+        reordered_parents=frozenset(reordered),
+    )
+
+
+def summarize_diff(diff: OntologyDiff) -> str:
+    """One-paragraph human summary of a release delta."""
+    if diff.is_empty() and not diff.relabelled:
+        return "identical ontology versions"
+    parts = []
+    if diff.added_concepts:
+        parts.append(f"{len(diff.added_concepts)} concepts added")
+    if diff.removed_concepts:
+        parts.append(f"{len(diff.removed_concepts)} concepts removed")
+    if diff.added_edges:
+        parts.append(f"{len(diff.added_edges)} edges added")
+    if diff.removed_edges:
+        parts.append(f"{len(diff.removed_edges)} edges removed")
+    if diff.reordered_parents:
+        parts.append(
+            f"{len(diff.reordered_parents)} parents with reordered "
+            "children (Dewey renumbering)")
+    if diff.relabelled:
+        parts.append(f"{len(diff.relabelled)} concepts relabelled")
+    return "; ".join(parts)

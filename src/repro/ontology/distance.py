@@ -1,0 +1,150 @@
+"""Semantic distances (Section 3.2 of the paper).
+
+Concept-concept distance is the length of the shortest path between two
+concepts that passes through a common ancestor (Rada et al.).  In the
+running example of the paper, ``D(G, F)`` is 5, not 2, because the only
+valid route goes up to their common ancestor ``A`` and back down.
+
+Two independent implementations are provided and cross-checked by the test
+suite:
+
+* :func:`concept_distance` — bidirectional ancestor sweep: breadth-first
+  search over parent edges from both concepts, then the minimum over common
+  ancestors of the sum of up-distances.
+* :func:`concept_distance_dewey` — the Dewey-pair identity
+  ``min over address pairs of |p1| + |p2| - 2 * lcp(p1, p2)``, exact because
+  address sets are closed under (ancestor address × downward path).
+
+On top of the concept-concept distance sit the document-level measures:
+``Ddc`` (Eq. 1), ``Ddq`` (Eq. 2) and the symmetric Melton et al. ``Ddd``
+(Eq. 3).  The brute-force versions here are the paper's baseline ("BL");
+:mod:`repro.core.drc` computes the same values in O(n log n).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId, common_prefix_length
+
+
+def ancestor_distances(ontology: Ontology,
+                       concept_id: ConceptId) -> dict[ConceptId, int]:
+    """Shortest upward distance from a concept to each of its ancestors.
+
+    The concept itself is included with distance 0 (every concept is a
+    common ancestor candidate for its own descendants).
+    """
+    if concept_id not in ontology:
+        raise UnknownConceptError(concept_id)
+    distances = {concept_id: 0}
+    frontier = [concept_id]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: list[ConceptId] = []
+        for node in frontier:
+            for parent in ontology.parents(node):
+                if parent not in distances:
+                    distances[parent] = level
+                    next_frontier.append(parent)
+        frontier = next_frontier
+    return distances
+
+
+def concept_distance(ontology: Ontology, first: ConceptId,
+                     second: ConceptId) -> int:
+    """Shortest valid-path distance between two concepts.
+
+    Computed as ``min over common ancestors a of up(first, a) + up(second,
+    a)``.  Always finite in a validated ontology because the root is a
+    common ancestor of everything.
+    """
+    if first == second:
+        if first not in ontology:
+            raise UnknownConceptError(first)
+        return 0
+    up_first = ancestor_distances(ontology, first)
+    up_second = ancestor_distances(ontology, second)
+    if len(up_first) > len(up_second):
+        up_first, up_second = up_second, up_first
+    best: int | None = None
+    for ancestor, distance_first in up_first.items():
+        distance_second = up_second.get(ancestor)
+        if distance_second is None:
+            continue
+        total = distance_first + distance_second
+        if best is None or total < best:
+            best = total
+    assert best is not None, "validated ontologies share the root"
+    return best
+
+
+def concept_distance_dewey(dewey: DeweyIndex, first: ConceptId,
+                           second: ConceptId) -> int:
+    """Shortest valid-path distance via the Dewey-pair identity.
+
+    For every pair of addresses ``(p1, p2)`` the value ``|p1| + |p2| -
+    2 * lcp`` is the length of the path that climbs from ``first`` to the
+    ancestor at the longest common prefix and descends to ``second``; the
+    minimum over all pairs is the valid-path distance.  Used as an
+    independent oracle in tests and inside the pairwise baseline.
+    """
+    best: int | None = None
+    for p1 in dewey.addresses(first):
+        for p2 in dewey.addresses(second):
+            candidate = len(p1) + len(p2) - 2 * common_prefix_length(p1, p2)
+            if best is None or candidate < best:
+                best = candidate
+            if best == 0:
+                return 0
+    assert best is not None
+    return best
+
+
+def document_concept_distance(ontology: Ontology,
+                              doc_concepts: Collection[ConceptId],
+                              concept_id: ConceptId) -> int:
+    """``Ddc(d, c)`` (Eq. 1): distance from ``c`` to the nearest concept
+    of the document."""
+    if not doc_concepts:
+        raise EmptyDocumentError("<anonymous>")
+    return min(
+        concept_distance(ontology, member, concept_id)
+        for member in doc_concepts
+    )
+
+
+def document_query_distance(ontology: Ontology,
+                            doc_concepts: Collection[ConceptId],
+                            query_concepts: Iterable[ConceptId]) -> int:
+    """``Ddq(d, q)`` (Eq. 2): sum of ``Ddc(d, qi)`` over query concepts."""
+    return sum(
+        document_concept_distance(ontology, doc_concepts, query_concept)
+        for query_concept in query_concepts
+    )
+
+
+def document_document_distance(ontology: Ontology,
+                               first: Collection[ConceptId],
+                               second: Collection[ConceptId]) -> float:
+    """``Ddd(d1, d2)`` (Eq. 3): the symmetric Melton et al. distance.
+
+    The sum of nearest-concept distances from each concept of ``d1`` into
+    ``d2`` normalized by ``|d1|``, plus the mirror term normalized by
+    ``|d2|``.  Symmetric by construction.
+    """
+    if not first or not second:
+        raise EmptyDocumentError("<anonymous>")
+    forward = sum(
+        document_concept_distance(ontology, second, concept_id)
+        for concept_id in first
+    )
+    backward = sum(
+        document_concept_distance(ontology, first, concept_id)
+        for concept_id in second
+    )
+    return forward / len(first) + backward / len(second)

@@ -1,0 +1,221 @@
+"""Synthetic SNOMED-like ontology generation.
+
+SNOMED-CT itself is licensed and cannot ship with the library, so the
+benchmark suite runs on randomized DAGs whose *shape statistics* match the
+figures the paper reports for SNOMED-CT (Section 6.1): 296,433 concepts,
+9.78 Dewey paths per concept, average path length 14.1, and an average of
+4.53 children per branching node.  All of the paper's algorithms depend
+only on these shape statistics — depth controls distances and BFS levels,
+multi-parenting controls ``|P|`` (the number of Dewey addresses DRC must
+insert), and fanout controls breadth-first frontier growth — so matching
+them at a configurable scale preserves every efficiency trend the paper
+measures.
+
+The construction is level-structured and cycle-free by design:
+
+1. build a random tree level by level down to ``target_depth``; level
+   sizes grow geometrically, and within each level only a fraction of the
+   previous level's nodes act as parents (``internal_fraction``), which
+   yields the SNOMED pattern of few high-fanout internal nodes and many
+   leaves;
+2. walk the nodes in depth order and give some of them extra parents from
+   strictly shallower levels.  Because every edge goes from a shallower
+   tree level to a deeper one, the result is guaranteed acyclic; and
+   because path counts are propagated incrementally during this walk, an
+   exact per-concept cap on Dewey addresses is enforced (SNOMED tops out
+   at 29 paths per concept — unbounded random multi-parenting would
+   instead explode exponentially with depth).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+# Vocabulary used to mint human-readable concept labels.  The cross product
+# of the three lists is far larger than any generated ontology, and an index
+# suffix guarantees uniqueness beyond that.
+_BODY_SYSTEMS: Sequence[str] = (
+    "cardiac", "renal", "hepatic", "pulmonary", "neural", "vascular",
+    "gastric", "dermal", "skeletal", "ocular", "endocrine", "lymphatic",
+    "muscular", "arterial", "venous", "bronchial", "cranial", "spinal",
+)
+_QUALIFIERS: Sequence[str] = (
+    "acute", "chronic", "congenital", "degenerative", "focal", "diffuse",
+    "primary", "secondary", "recurrent", "ischemic", "obstructive",
+    "inflammatory", "neoplastic", "traumatic", "idiopathic", "bilateral",
+)
+_KINDS: Sequence[str] = (
+    "finding", "disorder", "stenosis", "lesion", "syndrome", "infection",
+    "insufficiency", "hypertrophy", "occlusion", "malformation",
+    "dysfunction", "embolism", "fibrosis", "edema", "rupture", "atrophy",
+)
+
+
+def _make_label(index: int) -> str:
+    body = _BODY_SYSTEMS[index % len(_BODY_SYSTEMS)]
+    qualifier = _QUALIFIERS[(index // len(_BODY_SYSTEMS)) % len(_QUALIFIERS)]
+    kind = _KINDS[
+        (index // (len(_BODY_SYSTEMS) * len(_QUALIFIERS))) % len(_KINDS)
+    ]
+    cycle = index // (len(_BODY_SYSTEMS) * len(_QUALIFIERS) * len(_KINDS))
+    suffix = f" type {cycle + 1}" if cycle else ""
+    return f"{qualifier} {body} {kind}{suffix}"
+
+
+def concept_id_for(index: int) -> ConceptId:
+    """Deterministic concept id for the node created ``index``-th."""
+    return f"C{index:07d}"
+
+
+def snomed_like(num_concepts: int = 5_000, *,
+                target_depth: int = 14,
+                internal_fraction: float = 0.35,
+                extra_parent_rate: float = 0.27,
+                path_cap: int = 36,
+                synonym_rate: float = 0.3,
+                seed: int = 0,
+                name: str | None = None) -> Ontology:
+    """Generate a random single-rooted DAG with SNOMED-like shape.
+
+    Parameters
+    ----------
+    num_concepts:
+        Total concepts including the root.
+    target_depth:
+        Depth of the deepest tree level (SNOMED's average Dewey path
+        length is 14.1); level sizes grow geometrically to fill
+        ``num_concepts`` within this depth.
+    internal_fraction:
+        Fraction of each level's nodes eligible to receive children.  The
+        smaller the fraction, the higher the fanout of branching nodes and
+        the larger the share of leaves (SNOMED: ~4.5 children per
+        branching node, most concepts are leaves).
+    extra_parent_rate:
+        Expected number of additional (non-tree) parents per eligible
+        concept.  Drives the Dewey paths-per-concept statistic, roughly
+        ``(1 + rate) ** depth``.
+    path_cap:
+        Hard per-concept bound on Dewey addresses; extra parents that
+        would push a concept (and thereby its descendants) past the cap
+        are skipped.
+    synonym_rate:
+        Fraction of concepts that receive a synonym term (mirrors
+        SNOMED/UMLS synonymy, exercised by the text-mapping pipeline).
+    seed:
+        Seed for the private :class:`random.Random` instance; generation
+        is fully deterministic given the arguments.
+    """
+    if num_concepts < 1:
+        raise ValueError("num_concepts must be >= 1")
+    if target_depth < 1:
+        raise ValueError("target_depth must be >= 1")
+    if not 0 < internal_fraction <= 1:
+        raise ValueError("internal_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    ontology = Ontology(name or f"snomed-like-{num_concepts}")
+
+    root = concept_id_for(0)
+    ontology._add_concept(root, "clinical concept (root)")
+    levels = _build_tree(rng, ontology, num_concepts, target_depth,
+                         internal_fraction, synonym_rate)
+    _add_extra_parents(rng, ontology, levels, extra_parent_rate, path_cap)
+    ontology.validate()
+    return ontology
+
+
+def _build_tree(rng: random.Random, ontology: Ontology, num_concepts: int,
+                target_depth: int, internal_fraction: float,
+                synonym_rate: float) -> list[list[ConceptId]]:
+    """Grow the level-structured spanning tree; returns nodes per level."""
+    levels: list[list[ConceptId]] = [[concept_id_for(0)]]
+    remaining = num_concepts - 1
+    # Geometric growth factor that fills num_concepts in target_depth
+    # levels: 1 + g + g^2 + ... ≈ num_concepts.
+    growth = max(1.3, num_concepts ** (1.0 / target_depth))
+    next_index = 1
+    depth = 0
+    while remaining > 0:
+        depth += 1
+        if depth < target_depth:
+            width = min(remaining, max(1, round(len(levels[-1]) * growth)))
+        else:
+            width = remaining  # last level absorbs the remainder
+        parent_pool = _parent_pool(rng, levels[-1], internal_fraction)
+        level: list[ConceptId] = []
+        for _ in range(width):
+            concept_id = concept_id_for(next_index)
+            label = _make_label(next_index - 1)
+            synonyms = ()
+            if rng.random() < synonym_rate:
+                synonyms = (f"{label} ({concept_id})",)
+            ontology._add_concept(concept_id, label, synonyms)
+            parent = parent_pool[rng.randrange(len(parent_pool))]
+            ontology._add_edge(parent, concept_id)
+            level.append(concept_id)
+            next_index += 1
+        levels.append(level)
+        remaining -= width
+    return levels
+
+
+def _parent_pool(rng: random.Random, previous_level: list[ConceptId],
+                 internal_fraction: float) -> list[ConceptId]:
+    """The subset of a level that is allowed to have children."""
+    pool_size = max(1, round(len(previous_level) * internal_fraction))
+    if pool_size >= len(previous_level):
+        return previous_level
+    return rng.sample(previous_level, pool_size)
+
+
+def _add_extra_parents(rng: random.Random, ontology: Ontology,
+                       levels: list[list[ConceptId]],
+                       extra_parent_rate: float, path_cap: int) -> None:
+    """Attach additional parents from strictly shallower tree levels.
+
+    Nodes are processed in depth order and exact Dewey path counts are
+    propagated as edges are added, so the per-concept cap is enforced for
+    the node *and* (transitively) bounded for its descendants: every edge
+    increases tree depth, hence no cycles.
+    """
+    paths: dict[ConceptId, int] = {levels[0][0]: 1}
+    for depth, level in enumerate(levels[1:], start=1):
+        for concept_id in level:
+            count = sum(
+                paths[parent] for parent in ontology.parents(concept_id)
+            )
+            if depth >= 2 and extra_parent_rate > 0:
+                extra = _sample_extra_count(rng, extra_parent_rate)
+                existing = set(ontology.parents(concept_id))
+                for _ in range(extra):
+                    # Prefer parents just above the node: SNOMED's extra
+                    # is-a parents are overwhelmingly near-siblings of the
+                    # primary parent, and deep extra parents are what
+                    # multiplies Dewey path counts toward the published
+                    # 9.78 per concept.
+                    if depth > 2 and rng.random() < 0.7:
+                        candidate_depth = depth - 1
+                    else:
+                        candidate_depth = rng.randrange(1, depth)
+                    candidates = levels[candidate_depth]
+                    parent = candidates[rng.randrange(len(candidates))]
+                    if parent in existing:
+                        continue
+                    if count + paths[parent] > path_cap:
+                        continue
+                    ontology._add_edge(parent, concept_id)
+                    existing.add(parent)
+                    count += paths[parent]
+            paths[concept_id] = count
+
+
+def _sample_extra_count(rng: random.Random, rate: float) -> int:
+    """Small-integer sample with mean ``rate`` (thinned geometric)."""
+    count = 0
+    while rng.random() < rate and count < 3:
+        count += 1
+        rate *= 0.5
+    return count

@@ -1,0 +1,307 @@
+"""The ontology DAG model (Section 3.1 of the paper).
+
+An :class:`Ontology` is a single-rooted directed acyclic graph whose nodes
+are concepts and whose edges are is-a (or other hierarchical) relationships
+pointing from parent to child.  Children of each parent are kept in edge
+insertion order; the 1-based position of a child within its parent's child
+list is the Dewey component of that edge, so the graph structure alone
+determines every Dewey path address.
+
+The class is deliberately read-mostly: concepts and edges are added through
+:class:`repro.ontology.builder.OntologyBuilder` (or the mutating ``_add_*``
+methods it uses), after which :meth:`Ontology.validate` checks the DAG
+invariants once.  Query-time algorithms only ever read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import (
+    CycleError,
+    DeweyError,
+    DuplicateConceptError,
+    RootError,
+    UnknownConceptError,
+)
+from repro.types import ConceptId, DeweyAddress
+
+
+class Ontology:
+    """A single-rooted concept DAG with insertion-ordered children.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label for the ontology (e.g. ``"SNOMED-CT"``).
+
+    Notes
+    -----
+    Instances are usually produced by
+    :class:`repro.ontology.builder.OntologyBuilder`, a file parser from
+    :mod:`repro.ontology.io`, or the synthetic generator
+    :func:`repro.ontology.generators.snomed_like`.
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self._children: dict[ConceptId, list[ConceptId]] = {}
+        self._parents: dict[ConceptId, list[ConceptId]] = {}
+        # 1-based Dewey component of the (parent, child) edge.
+        self._child_index: dict[tuple[ConceptId, ConceptId], int] = {}
+        self._labels: dict[ConceptId, str] = {}
+        self._synonyms: dict[ConceptId, tuple[str, ...]] = {}
+        self._root: ConceptId | None = None
+        self._depth_cache: dict[ConceptId, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction (used by OntologyBuilder and parsers)
+    # ------------------------------------------------------------------
+    def _add_concept(self, concept_id: ConceptId, label: str | None = None,
+                     synonyms: Iterable[str] = ()) -> None:
+        if concept_id in self._children:
+            raise DuplicateConceptError(concept_id)
+        self._children[concept_id] = []
+        self._parents[concept_id] = []
+        self._labels[concept_id] = label if label is not None else concept_id
+        self._synonyms[concept_id] = tuple(synonyms)
+        self._depth_cache = None
+
+    def _add_edge(self, parent: ConceptId, child: ConceptId) -> None:
+        if parent not in self._children:
+            raise UnknownConceptError(parent)
+        if child not in self._children:
+            raise UnknownConceptError(child)
+        if (parent, child) in self._child_index:
+            return  # idempotent: is-a edges carry no multiplicity
+        self._children[parent].append(child)
+        self._parents[child].append(parent)
+        self._child_index[(parent, child)] = len(self._children[parent])
+        self._depth_cache = None
+
+    def validate(self) -> None:
+        """Check the DAG invariants: exactly one root and no cycles.
+
+        Raises
+        ------
+        RootError
+            If zero or more than one concept has no parents.
+        CycleError
+            If the edge set contains a directed cycle.
+        """
+        roots = [cid for cid, parents in self._parents.items() if not parents]
+        if len(roots) != 1:
+            raise RootError(
+                f"ontology must have exactly one root, found {len(roots)}: "
+                f"{sorted(roots)[:5]}"
+            )
+        self._root = roots[0]
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        # Kahn's algorithm; any nodes left over participate in a cycle.
+        indegree = {cid: len(parents) for cid, parents in self._parents.items()}
+        queue = [cid for cid, degree in indegree.items() if degree == 0]
+        visited = 0
+        while queue:
+            node = queue.pop()
+            visited += 1
+            for child in self._children[node]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if visited != len(self._children):
+            remaining = [cid for cid, degree in indegree.items() if degree > 0]
+            cycle = self._find_cycle(remaining)
+            raise CycleError(cycle)
+
+    def _find_cycle(self, candidates: Sequence[ConceptId]) -> list[ConceptId]:
+        # Walk parent pointers within the cyclic core until a repeat.
+        candidate_set = set(candidates)
+        node = candidates[0]
+        seen: list[ConceptId] = []
+        positions: dict[ConceptId, int] = {}
+        while node not in positions:
+            positions[node] = len(seen)
+            seen.append(node)
+            node = next(p for p in self._parents[node] if p in candidate_set)
+        return seen[positions[node]:] + [node]
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> ConceptId:
+        """The unique concept without parents.
+
+        :meth:`validate` must have been called first.
+        """
+        if self._root is None:
+            self.validate()
+        assert self._root is not None
+        return self._root
+
+    def __contains__(self, concept_id: object) -> bool:
+        return concept_id in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __iter__(self) -> Iterator[ConceptId]:
+        return iter(self._children)
+
+    def concepts(self) -> Iterator[ConceptId]:
+        """Iterate over all concept identifiers."""
+        return iter(self._children)
+
+    def children(self, concept_id: ConceptId) -> Sequence[ConceptId]:
+        """Children of a concept, in edge insertion (Dewey) order."""
+        try:
+            return self._children[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def parents(self, concept_id: ConceptId) -> Sequence[ConceptId]:
+        """Parents of a concept, in edge insertion order."""
+        try:
+            return self._parents[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def neighbors(self, concept_id: ConceptId) -> Iterator[ConceptId]:
+        """Parents followed by children (the kNDS expansion order)."""
+        yield from self.parents(concept_id)
+        yield from self.children(concept_id)
+
+    def label(self, concept_id: ConceptId) -> str:
+        """Preferred human-readable name of a concept."""
+        try:
+            return self._labels[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def synonyms(self, concept_id: ConceptId) -> tuple[str, ...]:
+        """Synonym terms of a concept (possibly empty)."""
+        try:
+            return self._synonyms[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def child_component(self, parent: ConceptId, child: ConceptId) -> int:
+        """The 1-based Dewey component of the ``parent -> child`` edge."""
+        try:
+            return self._child_index[(parent, child)]
+        except KeyError:
+            raise UnknownConceptError(f"{parent} -> {child}") from None
+
+    def is_leaf(self, concept_id: ConceptId) -> bool:
+        """True if the concept has no children."""
+        return not self.children(concept_id)
+
+    def edge_count(self) -> int:
+        """Total number of is-a edges."""
+        return len(self._child_index)
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def depth(self, concept_id: ConceptId) -> int:
+        """Minimum number of edges from the root to the concept.
+
+        The paper's depth-threshold filter (Section 6.1) excludes concepts
+        whose depth is below a cutoff; minimum depth is the natural choice
+        because a concept reachable through a short path is generic no
+        matter how long its other paths are.
+        """
+        if self._depth_cache is None:
+            self._depth_cache = self._compute_depths()
+        try:
+            return self._depth_cache[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def _compute_depths(self) -> dict[ConceptId, int]:
+        depths = {self.root: 0}
+        frontier = [self.root]
+        while frontier:
+            next_frontier: list[ConceptId] = []
+            for node in frontier:
+                child_depth = depths[node] + 1
+                for child in self._children[node]:
+                    if child not in depths:
+                        depths[child] = child_depth
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return depths
+
+    def topological_order(self) -> list[ConceptId]:
+        """All concepts in a parents-before-children order."""
+        indegree = {cid: len(self.parents(cid)) for cid in self.concepts()}
+        order: list[ConceptId] = []
+        queue = [cid for cid, degree in indegree.items() if degree == 0]
+        while queue:
+            node = queue.pop()
+            order.append(node)
+            for child in self.children(node):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        return order
+
+    def ancestors(self, concept_id: ConceptId) -> set[ConceptId]:
+        """All strict ancestors of a concept."""
+        result: set[ConceptId] = set()
+        stack = list(self.parents(concept_id))
+        while stack:
+            node = stack.pop()
+            if node not in result:
+                result.add(node)
+                stack.extend(self.parents(node))
+        return result
+
+    def descendants(self, concept_id: ConceptId) -> set[ConceptId]:
+        """All strict descendants of a concept."""
+        result: set[ConceptId] = set()
+        stack = list(self.children(concept_id))
+        while stack:
+            node = stack.pop()
+            if node not in result:
+                result.add(node)
+                stack.extend(self.children(node))
+        return result
+
+    # ------------------------------------------------------------------
+    # Dewey resolution
+    # ------------------------------------------------------------------
+    def resolve_dewey(self, address: DeweyAddress) -> ConceptId:
+        """Map a Dewey address back to the concept it denotes.
+
+        This is the ``FindNodeByDewey`` primitive of the paper's InsertPath
+        function: it walks from the root, taking the child at each 1-based
+        component.
+
+        Raises
+        ------
+        DeweyError
+            If a component is out of range for the node reached so far.
+        """
+        node = self.root
+        for position, component in enumerate(address):
+            children = self.children(node)
+            if not 1 <= component <= len(children):
+                raise DeweyError(
+                    f"address {address!r} invalid at position {position}: "
+                    f"{node!r} has {len(children)} children"
+                )
+            node = children[component - 1]
+        return node
+
+    def label_map(self) -> Mapping[ConceptId, str]:
+        """Read-only view of all preferred names."""
+        return dict(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Ontology {self.name!r}: {len(self._children)} concepts, "
+            f"{self.edge_count()} edges>"
+        )

@@ -1,0 +1,15 @@
+"""Ontology file-format parsers.
+
+Real deployments load SNOMED-CT (RF2 snapshot releases), UMLS (RRF pipe
+files) or an OBO ontology such as the Gene Ontology; all three parsers
+produce the same :class:`~repro.ontology.graph.Ontology`, so the synthetic
+generator and the licensed data are interchangeable.  The CSV module is
+the library's own simple interchange format (and round-trip test vehicle).
+"""
+
+from repro.ontology.io.csvio import load_csv, save_csv
+from repro.ontology.io.obo import load_obo
+from repro.ontology.io.rf2 import load_rf2
+from repro.ontology.io.umls import load_umls
+
+__all__ = ["load_rf2", "load_umls", "load_obo", "load_csv", "save_csv"]

@@ -1,0 +1,74 @@
+"""Simple CSV interchange format for ontologies.
+
+Two files — or one combined stream — describe an ontology:
+
+* ``concepts.csv``: ``id,label,synonyms`` (synonyms ``;``-separated);
+* ``edges.csv``: ``parent,child`` rows, in Dewey (insertion) order.
+
+Because edge order determines Dewey components, :func:`save_csv` writes
+children in their stored order and :func:`load_csv` preserves it, making
+the pair a lossless round trip (asserted by the IO tests).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.exceptions import ParseError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import Ontology
+
+
+def save_csv(ontology: Ontology, concepts_path: str | Path,
+             edges_path: str | Path) -> None:
+    """Write an ontology to the two-file CSV format."""
+    with open(concepts_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "label", "synonyms"])
+        for concept_id in ontology.concepts():
+            writer.writerow([
+                concept_id,
+                ontology.label(concept_id),
+                ";".join(ontology.synonyms(concept_id)),
+            ])
+    with open(edges_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["parent", "child"])
+        for parent in ontology.concepts():
+            for child in ontology.children(parent):
+                writer.writerow([parent, child])
+
+
+def load_csv(concepts_path: str | Path, edges_path: str | Path, *,
+             name: str = "csv-ontology",
+             add_virtual_root: bool = False) -> Ontology:
+    """Load an ontology from the two-file CSV format."""
+    builder = OntologyBuilder(name)
+    with open(concepts_path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:2] != ["id", "label"]:
+            raise ParseError("concepts.csv must start with id,label[,synonyms]",
+                             path=str(concepts_path))
+        for row in reader:
+            if not row:
+                continue
+            if len(row) < 2:
+                raise ParseError("short concepts.csv row",
+                                 path=str(concepts_path))
+            synonyms = row[2].split(";") if len(row) > 2 and row[2] else ()
+            builder.add_concept(row[0], row[1], synonyms)
+    with open(edges_path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:2] != ["parent", "child"]:
+            raise ParseError("edges.csv must start with parent,child",
+                             path=str(edges_path))
+        for row in reader:
+            if not row:
+                continue
+            if len(row) < 2:
+                raise ParseError("short edges.csv row", path=str(edges_path))
+            builder.add_edge(row[0], row[1])
+    return builder.build(add_virtual_root=add_virtual_root)

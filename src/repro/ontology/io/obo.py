@@ -1,0 +1,82 @@
+"""OBO flat-file parser (Gene Ontology and friends).
+
+The paper motivates concept-based similarity beyond EMRs with the Gene
+Ontology (Lord et al.), which ships in OBO format.  The parser handles the
+subset of OBO that defines a hierarchy: ``[Term]`` stanzas with ``id``,
+``name``, ``synonym`` and ``is_a`` tags, honouring ``is_obsolete``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.exceptions import ParseError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import Ontology
+
+_SYNONYM_RE = re.compile(r'^"(?P<text>.*)"')
+
+
+def load_obo(path: str | Path, *, name: str | None = None,
+             add_virtual_root: bool = True) -> Ontology:
+    """Load the ``[Term]`` hierarchy of an OBO file."""
+    path = Path(path)
+    builder = OntologyBuilder(name or path.stem)
+    edges: list[tuple[str, str]] = []
+    term: dict[str, object] | None = None
+    terms: list[dict[str, object]] = []
+
+    def flush() -> None:
+        nonlocal term
+        if term is not None and not term.get("obsolete"):
+            terms.append(term)
+        term = None
+
+    with open(path, encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.split("!")[0].strip()
+            if not line:
+                continue
+            if line.startswith("["):
+                flush()
+                if line == "[Term]":
+                    term = {"synonyms": []}
+                continue
+            if term is None:
+                continue
+            if ":" not in line:
+                raise ParseError("malformed OBO tag line",
+                                 path=str(path), line=line_no)
+            tag, _colon, value = line.partition(":")
+            value = value.strip()
+            if tag == "id":
+                term["id"] = value
+            elif tag == "name":
+                term["name"] = value
+            elif tag == "is_a":
+                term["parents"] = term.get("parents", [])
+                term["parents"].append(value.split()[0])  # type: ignore
+            elif tag == "synonym":
+                match = _SYNONYM_RE.match(value)
+                if match:
+                    term["synonyms"].append(match.group("text"))  # type: ignore
+            elif tag == "is_obsolete" and value.lower() == "true":
+                term["obsolete"] = True
+    flush()
+
+    for entry in terms:
+        if "id" not in entry:
+            raise ParseError("OBO [Term] without id", path=str(path))
+        builder.add_concept(
+            str(entry["id"]),
+            entry.get("name"),  # type: ignore[arg-type]
+            entry["synonyms"],  # type: ignore[arg-type]
+        )
+        for parent in entry.get("parents", ()):  # type: ignore[union-attr]
+            edges.append((str(parent), str(entry["id"])))
+    known = {str(entry["id"]) for entry in terms}
+    for parent, child in edges:
+        if parent in known:
+            builder.add_edge(parent, child)
+    return builder.build(add_virtual_root=add_virtual_root)

@@ -1,0 +1,129 @@
+"""SNOMED-CT RF2 snapshot parser.
+
+Reads the three tab-separated snapshot files of an RF2 release:
+
+* ``sct2_Concept``: one row per concept (``id``, ``active``, …);
+* ``sct2_Relationship``: typed relationships; rows whose ``typeId`` is the
+  is-a concept (``116680003``) and that are active define the hierarchy —
+  ``sourceId`` *is a* ``destinationId``, i.e. destination is the parent;
+* ``sct2_Description`` (optional): terms; the fully specified name
+  (``typeId`` 900000000000003001) becomes the label, other active terms
+  become synonyms.
+
+Only is-a edges are loaded, exactly like the paper ("we considered only
+edges that represent is-a relationships", Section 6.1).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.exceptions import ParseError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import Ontology
+
+IS_A_TYPE_ID = "116680003"
+"""SCTID of the |is a| relationship type."""
+
+FSN_TYPE_ID = "900000000000003001"
+"""SCTID of the fully-specified-name description type."""
+
+
+def load_rf2(concept_path: str | Path, relationship_path: str | Path,
+             description_path: str | Path | None = None, *,
+             name: str = "SNOMED-CT",
+             add_virtual_root: bool = False) -> Ontology:
+    """Load an RF2 snapshot triple into an :class:`Ontology`.
+
+    Parameters
+    ----------
+    concept_path, relationship_path, description_path:
+        The snapshot files.  Descriptions are optional; without them
+        concept ids double as labels.
+    add_virtual_root:
+        Connect multiple roots under a synthetic root (full SNOMED has a
+        single root concept, but extracted subsets often do not).
+    """
+    builder = OntologyBuilder(name)
+    active_concepts = _load_concepts(builder, Path(concept_path))
+    _load_relationships(builder, Path(relationship_path), active_concepts)
+    if description_path is not None:
+        _apply_descriptions(builder, Path(description_path), active_concepts)
+    return builder.build(add_virtual_root=add_virtual_root)
+
+
+def _read_rows(path: Path) -> tuple[list[str], list[list[str]]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter="\t")
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ParseError("empty RF2 file", path=str(path)) from None
+        return header, list(reader)
+
+
+def _column(header: list[str], name: str, path: Path) -> int:
+    try:
+        return header.index(name)
+    except ValueError:
+        raise ParseError(
+            f"missing RF2 column {name!r}", path=str(path)) from None
+
+
+def _load_concepts(builder: OntologyBuilder, path: Path) -> set[str]:
+    header, rows = _read_rows(path)
+    id_col = _column(header, "id", path)
+    active_col = _column(header, "active", path)
+    active: set[str] = set()
+    for row in rows:
+        if row[active_col] != "1":
+            continue
+        concept_id = row[id_col]
+        active.add(concept_id)
+        builder.add_concept(concept_id)
+    return active
+
+
+def _load_relationships(builder: OntologyBuilder, path: Path,
+                        active_concepts: set[str]) -> None:
+    header, rows = _read_rows(path)
+    source_col = _column(header, "sourceId", path)
+    destination_col = _column(header, "destinationId", path)
+    type_col = _column(header, "typeId", path)
+    active_col = _column(header, "active", path)
+    for row in rows:
+        if row[active_col] != "1" or row[type_col] != IS_A_TYPE_ID:
+            continue
+        child, parent = row[source_col], row[destination_col]
+        if child in active_concepts and parent in active_concepts:
+            builder.add_edge(parent, child)
+
+
+def _apply_descriptions(builder: OntologyBuilder, path: Path,
+                        active_concepts: set[str]) -> None:
+    header, rows = _read_rows(path)
+    concept_col = _column(header, "conceptId", path)
+    term_col = _column(header, "term", path)
+    type_col = _column(header, "typeId", path)
+    active_col = _column(header, "active", path)
+    labels: dict[str, str] = {}
+    synonyms: dict[str, list[str]] = {}
+    for row in rows:
+        if row[active_col] != "1":
+            continue
+        concept_id = row[concept_col]
+        if concept_id not in active_concepts:
+            continue
+        if row[type_col] == FSN_TYPE_ID:
+            labels.setdefault(concept_id, row[term_col])
+        else:
+            synonyms.setdefault(concept_id, []).append(row[term_col])
+    for concept_id in active_concepts:
+        label = labels.get(concept_id)
+        if label is not None or concept_id in synonyms:
+            builder.add_concept(
+                concept_id,
+                label,
+                synonyms.get(concept_id, ()),
+            )

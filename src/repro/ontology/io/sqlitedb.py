@@ -1,0 +1,223 @@
+"""SQLite-backed ontology storage (the paper's disk-based ontology index).
+
+Section 6.1: "We have built an index of the ontology … Depending on the
+collection and ontology sizes and memory availability, the indexes can be
+memory or disk-based."  :class:`SQLiteOntology` is the disk-based option:
+it subclasses :class:`~repro.ontology.graph.Ontology` but serves
+children/parents/labels from SQLite with per-concept caching, so the
+whole DAG never has to reside in RAM.  Every algorithm in the library —
+Dewey labelling, valid-path BFS, DRC, kNDS — runs against it unchanged
+(tested against the in-memory ontology for identical results).
+
+Schema::
+
+    concept(id TEXT PRIMARY KEY, label TEXT, synonyms TEXT)
+    edge(parent TEXT, child TEXT, position INTEGER)   -- Dewey order
+    meta(key TEXT PRIMARY KEY, value TEXT)            -- root id, name
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+from repro.exceptions import UnknownConceptError
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+def save_sqlite(ontology: Ontology, path: str | Path) -> None:
+    """Persist a validated ontology into a SQLite database."""
+    connection = sqlite3.connect(str(path))
+    try:
+        cursor = connection.cursor()
+        cursor.executescript(
+            """
+            DROP TABLE IF EXISTS concept;
+            DROP TABLE IF EXISTS edge;
+            DROP TABLE IF EXISTS meta;
+            CREATE TABLE concept (
+                id TEXT PRIMARY KEY, label TEXT NOT NULL,
+                synonyms TEXT NOT NULL
+            );
+            CREATE TABLE edge (
+                parent TEXT NOT NULL, child TEXT NOT NULL,
+                position INTEGER NOT NULL
+            );
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            """
+        )
+        cursor.executemany(
+            "INSERT INTO concept VALUES (?, ?, ?)",
+            ((concept_id, ontology.label(concept_id),
+              "\x1f".join(ontology.synonyms(concept_id)))
+             for concept_id in ontology.concepts()),
+        )
+        cursor.executemany(
+            "INSERT INTO edge VALUES (?, ?, ?)",
+            ((parent, child, position)
+             for parent in ontology.concepts()
+             for position, child in enumerate(ontology.children(parent),
+                                              start=1)),
+        )
+        cursor.execute("INSERT INTO meta VALUES ('root', ?)",
+                       (ontology.root,))
+        cursor.execute("INSERT INTO meta VALUES ('name', ?)",
+                       (ontology.name,))
+        cursor.executescript(
+            """
+            CREATE INDEX idx_edge_parent ON edge (parent, position);
+            CREATE INDEX idx_edge_child ON edge (child);
+            """
+        )
+        connection.commit()
+    finally:
+        connection.close()
+
+
+class SQLiteOntology(Ontology):
+    """A read-only ontology served from SQLite with lazy caching.
+
+    Drop-in compatible with :class:`~repro.ontology.graph.Ontology`:
+    the structural accessors are overridden to fetch (and memoize) rows
+    on demand.  Mutation is not supported — build with
+    :func:`save_sqlite` and reopen.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self._connection = sqlite3.connect(str(path))
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'name'").fetchone()
+        self.name = row[0] if row else "sqlite-ontology"
+        root_row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'root'").fetchone()
+        if root_row is None:
+            raise UnknownConceptError("<missing root metadata>")
+        self._root = root_row[0]
+        self._size: int | None = None
+        # Per-concept caches (the base-class dicts are reused as caches).
+        self._children_cache: dict[ConceptId, list[ConceptId]] = {}
+        self._parents_cache: dict[ConceptId, list[ConceptId]] = {}
+        self._known: set[ConceptId] = set()
+
+    # ------------------------------------------------------------------
+    def _exists(self, concept_id: ConceptId) -> bool:
+        if concept_id in self._known:
+            return True
+        row = self._connection.execute(
+            "SELECT 1 FROM concept WHERE id = ?", (concept_id,)).fetchone()
+        if row is not None:
+            self._known.add(concept_id)
+            return True
+        return False
+
+    def __contains__(self, concept_id: object) -> bool:
+        return isinstance(concept_id, str) and self._exists(concept_id)
+
+    def __len__(self) -> int:
+        if self._size is None:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM concept").fetchone()
+            self._size = int(row[0])
+        return self._size
+
+    def __iter__(self) -> Iterator[ConceptId]:
+        return self.concepts()
+
+    def concepts(self) -> Iterator[ConceptId]:
+        rows = self._connection.execute("SELECT id FROM concept")
+        return (row[0] for row in rows)
+
+    def children(self, concept_id: ConceptId) -> Sequence[ConceptId]:
+        cached = self._children_cache.get(concept_id)
+        if cached is not None:
+            return cached
+        if not self._exists(concept_id):
+            raise UnknownConceptError(concept_id)
+        rows = self._connection.execute(
+            "SELECT child FROM edge WHERE parent = ? ORDER BY position",
+            (concept_id,),
+        ).fetchall()
+        children = [row[0] for row in rows]
+        self._children_cache[concept_id] = children
+        return children
+
+    def parents(self, concept_id: ConceptId) -> Sequence[ConceptId]:
+        cached = self._parents_cache.get(concept_id)
+        if cached is not None:
+            return cached
+        if not self._exists(concept_id):
+            raise UnknownConceptError(concept_id)
+        rows = self._connection.execute(
+            "SELECT parent FROM edge WHERE child = ?", (concept_id,),
+        ).fetchall()
+        parents = [row[0] for row in rows]
+        self._parents_cache[concept_id] = parents
+        return parents
+
+    def child_component(self, parent: ConceptId, child: ConceptId) -> int:
+        row = self._connection.execute(
+            "SELECT position FROM edge WHERE parent = ? AND child = ?",
+            (parent, child),
+        ).fetchone()
+        if row is None:
+            raise UnknownConceptError(f"{parent} -> {child}")
+        return int(row[0])
+
+    def label(self, concept_id: ConceptId) -> str:
+        row = self._connection.execute(
+            "SELECT label FROM concept WHERE id = ?", (concept_id,),
+        ).fetchone()
+        if row is None:
+            raise UnknownConceptError(concept_id)
+        return row[0]
+
+    def synonyms(self, concept_id: ConceptId) -> tuple[str, ...]:
+        row = self._connection.execute(
+            "SELECT synonyms FROM concept WHERE id = ?", (concept_id,),
+        ).fetchone()
+        if row is None:
+            raise UnknownConceptError(concept_id)
+        return tuple(part for part in row[0].split("\x1f") if part)
+
+    def edge_count(self) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM edge").fetchone()
+        return int(row[0])
+
+    def validate(self) -> None:
+        """No-op: the stored ontology was validated before saving."""
+
+    def depth(self, concept_id: ConceptId) -> int:
+        # The base-class BFS materializes all depths once; acceptable for
+        # the filter use case, overridden here only to ensure the lazy
+        # caches are bypassed consistently.
+        if self._depth_cache is None:
+            self._depth_cache = {}
+            frontier = [self.root]
+            self._depth_cache[self.root] = 0
+            while frontier:
+                next_frontier = []
+                for node in frontier:
+                    node_depth = self._depth_cache[node]
+                    for child in self.children(node):
+                        if child not in self._depth_cache:
+                            self._depth_cache[child] = node_depth + 1
+                            next_frontier.append(child)
+                frontier = next_frontier
+        try:
+            return self._depth_cache[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteOntology":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""UMLS Metathesaurus RRF parser (MRCONSO + MRREL).
+
+Loads a concept hierarchy from the two pipe-delimited Rich Release Format
+files the paper's dataset pipeline touches:
+
+* ``MRCONSO.RRF`` — concept atoms.  We keep one concept per CUI; the
+  first English preferred row supplies the label, further English strings
+  become synonyms.
+* ``MRREL.RRF`` — relationships.  Per UMLS documentation, ``REL`` states
+  the relationship *of the second concept (CUI2) to the first (CUI1)*:
+  ``PAR`` rows mean CUI2 is a parent of CUI1, ``CHD`` rows mean CUI2 is a
+  child of CUI1.  Both orientations are honoured; when ``isa_only`` is
+  set, rows additionally need ``RELA`` in {"isa", ""}.
+
+UMLS subsets extracted per source vocabulary are frequently multi-rooted,
+so ``add_virtual_root`` defaults to on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import ParseError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import Ontology
+
+# MRCONSO.RRF column positions (2023 release layout).
+_CONSO_CUI = 0
+_CONSO_LAT = 1
+_CONSO_ISPREF = 6
+_CONSO_STR = 14
+
+# MRREL.RRF column positions.
+_REL_CUI1 = 0
+_REL_REL = 3
+_REL_CUI2 = 4
+_REL_RELA = 7
+
+
+def load_umls(mrconso_path: str | Path, mrrel_path: str | Path, *,
+              language: str = "ENG", isa_only: bool = True,
+              name: str = "UMLS",
+              add_virtual_root: bool = True) -> Ontology:
+    """Load a UMLS hierarchy from MRCONSO/MRREL."""
+    builder = OntologyBuilder(name)
+    known = _load_mrconso(builder, Path(mrconso_path), language)
+    _load_mrrel(builder, Path(mrrel_path), known, isa_only)
+    return builder.build(add_virtual_root=add_virtual_root)
+
+
+def _split(line: str, path: Path, minimum: int, line_no: int) -> list[str]:
+    fields = line.rstrip("\n").split("|")
+    if len(fields) < minimum:
+        raise ParseError(
+            f"expected at least {minimum} fields, got {len(fields)}",
+            path=str(path), line=line_no,
+        )
+    return fields
+
+
+def _load_mrconso(builder: OntologyBuilder, path: Path,
+                  language: str) -> set[str]:
+    labels: dict[str, str] = {}
+    synonyms: dict[str, list[str]] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            fields = _split(line, path, _CONSO_STR + 1, line_no)
+            if fields[_CONSO_LAT] != language:
+                continue
+            cui = fields[_CONSO_CUI]
+            term = fields[_CONSO_STR]
+            preferred = fields[_CONSO_ISPREF] == "Y"
+            if cui not in labels and preferred:
+                labels[cui] = term
+            elif cui in labels and term != labels[cui]:
+                synonyms.setdefault(cui, []).append(term)
+            elif cui not in labels:
+                synonyms.setdefault(cui, []).append(term)
+    known: set[str] = set(labels) | set(synonyms)
+    for cui in known:
+        label = labels.get(cui)
+        extra = synonyms.get(cui, [])
+        if label is None and extra:
+            label, extra = extra[0], extra[1:]
+        builder.add_concept(cui, label, extra)
+    return known
+
+
+def _load_mrrel(builder: OntologyBuilder, path: Path, known: set[str],
+                isa_only: bool) -> None:
+    seen: set[tuple[str, str]] = set()
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            fields = _split(line, path, _REL_RELA + 1, line_no)
+            rel = fields[_REL_REL]
+            rela = fields[_REL_RELA]
+            if rel not in ("PAR", "CHD"):
+                continue
+            if isa_only and rela not in ("", "isa", "inverse_isa"):
+                continue
+            cui1, cui2 = fields[_REL_CUI1], fields[_REL_CUI2]
+            if cui1 not in known or cui2 not in known:
+                continue
+            if rel == "PAR":
+                parent, child = cui2, cui1
+            else:
+                parent, child = cui1, cui2
+            if parent != child and (parent, child) not in seen:
+                seen.add((parent, child))
+                builder.add_edge(parent, child)

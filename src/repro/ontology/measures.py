@@ -1,0 +1,202 @@
+"""Alternative semantic similarity measures (the paper's future work).
+
+The paper adopts the shortest valid-path distance (Rada et al.) after
+noting that "complex distance metrics do not clearly improve the
+correlation with the results provided by domain experts", and lists
+exploring other semantic distances as future work (Section 7).  Its
+related-work section reviews the two families (Section 2 / [3]):
+
+* **structure-based** — path length and depth: the Rada distance already
+  implemented in :mod:`repro.ontology.distance`, and the Wu-Palmer
+  similarity implemented here;
+* **information-content based** — Resnik, Lin and Jiang-Conrath, which
+  need the corpus-derived information content of each concept: the
+  probability mass of a concept is the frequency of the concept *and all
+  its descendants* (occurrences of "aortic stenosis" also count as
+  occurrences of "heart disease").
+
+These measures plug into experiments comparing metric choices; the kNDS
+early-termination machinery itself is tied to the additive level
+semantics of the Rada distance, which is exactly why the paper chose it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.corpus.collection import DocumentCollection
+from repro.exceptions import OntologyError, UnknownConceptError
+from repro.ontology.distance import ancestor_distances
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+def _common_ancestors(ontology: Ontology, first: ConceptId,
+                      second: ConceptId) -> dict[ConceptId, int]:
+    """Common ancestors (incl. the concepts themselves) -> summed
+    up-distance."""
+    up_first = ancestor_distances(ontology, first)
+    up_second = ancestor_distances(ontology, second)
+    return {
+        ancestor: distance + up_second[ancestor]
+        for ancestor, distance in up_first.items()
+        if ancestor in up_second
+    }
+
+
+def least_common_ancestors(ontology: Ontology, first: ConceptId,
+                           second: ConceptId) -> set[ConceptId]:
+    """The common ancestors realizing the shortest valid path.
+
+    A DAG can have several; all minimizers are returned.
+    """
+    common = _common_ancestors(ontology, first, second)
+    best = min(common.values())
+    return {
+        ancestor for ancestor, total in common.items() if total == best
+    }
+
+
+def wu_palmer_similarity(ontology: Ontology, first: ConceptId,
+                         second: ConceptId) -> float:
+    """Wu & Palmer (1994): ``2·depth(lca) / (depth(c1) + depth(c2))``.
+
+    Depth is counted from the root (root depth 0 contributes nothing, so
+    the root as sole common ancestor yields similarity 0); the LCA is
+    chosen to maximize the score, the usual DAG generalization.
+    """
+    common = _common_ancestors(ontology, first, second)
+    depth_first = ontology.depth(first)
+    depth_second = ontology.depth(second)
+    if depth_first + depth_second == 0:
+        return 1.0  # both are the root
+    best = max(ontology.depth(ancestor) for ancestor in common)
+    return 2.0 * best / (depth_first + depth_second)
+
+
+class InformationContent:
+    """Corpus-derived information content of every concept.
+
+    ``IC(c) = -log p(c)`` where ``p(c)`` is the probability that a
+    concept occurrence in the corpus falls in the subtree of ``c`` —
+    i.e. counts are propagated from each concept to all its ancestors
+    (Resnik 1995).  Concepts never observed (even transitively) get the
+    maximum observed IC plus one nat, a standard smoothing choice.
+    """
+
+    def __init__(self, ontology: Ontology,
+                 ic_values: Mapping[ConceptId, float]) -> None:
+        self._ontology = ontology
+        self._ic = dict(ic_values)
+
+    @classmethod
+    def from_collection(cls, ontology: Ontology,
+                        collection: DocumentCollection
+                        ) -> "InformationContent":
+        """Estimate IC from document-level concept frequencies."""
+        frequencies = collection.concept_frequencies()
+        return cls.from_frequencies(ontology, frequencies)
+
+    @classmethod
+    def from_frequencies(cls, ontology: Ontology,
+                         frequencies: Mapping[ConceptId, int]
+                         ) -> "InformationContent":
+        """Estimate IC from raw per-concept occurrence counts."""
+        subtree: Counter[ConceptId] = Counter()
+        # Each observed concept contributes its count to itself and to
+        # every ancestor exactly once.  (A naive child-to-parent additive
+        # sweep would double-count through multi-parent nodes: a count
+        # below a diamond would reach the top once per path.)
+        for concept, count in frequencies.items():
+            if count <= 0:
+                continue
+            if concept not in ontology:
+                raise UnknownConceptError(concept)
+            subtree[concept] += count
+            for ancestor in ontology.ancestors(concept):
+                subtree[ancestor] += count
+        total = subtree[ontology.root]
+        if total <= 0:
+            raise OntologyError(
+                "cannot estimate information content from an empty corpus"
+            )
+        ic: dict[ConceptId, float] = {}
+        observed = [
+            -math.log(count / total)
+            for count in subtree.values() if count > 0
+        ]
+        ceiling = (max(observed) if observed else 0.0) + 1.0
+        for concept in ontology.concepts():
+            count = subtree.get(concept, 0)
+            ic[concept] = -math.log(count / total) if count > 0 else ceiling
+        return cls(ontology, ic)
+
+    def __getitem__(self, concept_id: ConceptId) -> float:
+        try:
+            return self._ic[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def most_informative_common_ancestor(self, first: ConceptId,
+                                         second: ConceptId
+                                         ) -> tuple[ConceptId, float]:
+        """The common ancestor with maximum IC and its IC value."""
+        common = _common_ancestors(self._ontology, first, second)
+        best_concept = max(common, key=lambda c: self._ic[c])
+        return best_concept, self._ic[best_concept]
+
+    # ------------------------------------------------------------------
+    def resnik_similarity(self, first: ConceptId,
+                          second: ConceptId) -> float:
+        """Resnik (1995): IC of the most informative common ancestor."""
+        _ancestor, value = self.most_informative_common_ancestor(
+            first, second)
+        return value
+
+    def lin_similarity(self, first: ConceptId, second: ConceptId) -> float:
+        """Lin (1998): ``2·IC(mica) / (IC(c1) + IC(c2))`` in [0, 1]."""
+        denominator = self[first] + self[second]
+        if denominator == 0:
+            return 1.0
+        return 2.0 * self.resnik_similarity(first, second) / denominator
+
+    def jiang_conrath_distance(self, first: ConceptId,
+                               second: ConceptId) -> float:
+        """Jiang & Conrath (1997) distance:
+        ``IC(c1) + IC(c2) - 2·IC(mica)``; 0 for identical concepts."""
+        return (self[first] + self[second]
+                - 2.0 * self.resnik_similarity(first, second))
+
+
+def rank_concepts_by_similarity(
+    ontology: Ontology, anchor: ConceptId,
+    candidates: Iterable[ConceptId], *,
+    measure: str = "wu-palmer",
+    information_content: InformationContent | None = None,
+) -> list[tuple[ConceptId, float]]:
+    """Rank candidate concepts by similarity to an anchor concept.
+
+    ``measure`` is one of ``"wu-palmer"``, ``"resnik"``, ``"lin"`` —
+    similarities, ranked descending.  IC-based measures require an
+    ``information_content`` instance.
+    """
+    if measure == "wu-palmer":
+        def score(candidate: ConceptId) -> float:
+            return wu_palmer_similarity(ontology, anchor, candidate)
+    elif measure in ("resnik", "lin"):
+        if information_content is None:
+            raise OntologyError(
+                f"measure {measure!r} requires information_content")
+        scorer = (information_content.resnik_similarity
+                  if measure == "resnik"
+                  else information_content.lin_similarity)
+
+        def score(candidate: ConceptId) -> float:
+            return scorer(anchor, candidate)
+    else:
+        raise OntologyError(f"unknown similarity measure: {measure!r}")
+    ranked = [(candidate, score(candidate)) for candidate in candidates]
+    ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+    return ranked

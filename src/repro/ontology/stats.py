@@ -1,0 +1,91 @@
+"""Ontology shape statistics (the figures reported in Section 6.1).
+
+The paper characterizes SNOMED-CT by four numbers — concept count, average
+children per node, average Dewey paths per concept and average path length —
+because those are exactly the quantities its complexity analysis depends on.
+:func:`compute_stats` reproduces that characterization for any ontology, so
+a synthetic DAG from :mod:`repro.ontology.generators` can be checked against
+the published SNOMED shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+
+
+@dataclass(frozen=True)
+class OntologyStats:
+    """Shape summary of an ontology DAG."""
+
+    num_concepts: int
+    num_edges: int
+    avg_children: float
+    """Mean number of children over all concepts (SNOMED-CT: 4.53)."""
+    num_leaves: int
+    max_depth: int
+    """Maximum over concepts of the *minimum* root distance."""
+    avg_paths_per_concept: float
+    """Mean number of Dewey addresses per concept (SNOMED-CT: 9.78)."""
+    avg_path_length: float
+    """Mean length of a Dewey address (SNOMED-CT: 14.1)."""
+    paths_sampled: int
+    """How many concepts the two path statistics were estimated from."""
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for tabular reporting."""
+        return [
+            ("Total Concepts", f"{self.num_concepts:,}"),
+            ("Total Edges", f"{self.num_edges:,}"),
+            ("Avg. Children/Node", f"{self.avg_children:.2f}"),
+            ("Leaves", f"{self.num_leaves:,}"),
+            ("Max Depth", str(self.max_depth)),
+            ("Avg. Paths/Concept", f"{self.avg_paths_per_concept:.2f}"),
+            ("Avg. Path Length", f"{self.avg_path_length:.1f}"),
+        ]
+
+
+def compute_stats(ontology: Ontology, *, path_sample: int = 500,
+                  seed: int = 0) -> OntologyStats:
+    """Compute :class:`OntologyStats` for an ontology.
+
+    Path statistics are estimated from ``path_sample`` uniformly sampled
+    concepts (enumeration over every concept would materialize the whole
+    Dewey cone, which for large DAGs is the one genuinely expensive shape
+    statistic).  Pass ``path_sample >= len(ontology)`` for exact values on
+    small ontologies.
+    """
+    concepts = list(ontology.concepts())
+    num_concepts = len(concepts)
+    num_edges = ontology.edge_count()
+    num_leaves = sum(1 for cid in concepts if ontology.is_leaf(cid))
+    max_depth = max(ontology.depth(cid) for cid in concepts)
+
+    if path_sample >= num_concepts:
+        sampled = concepts
+    else:
+        rng = random.Random(seed)
+        sampled = rng.sample(concepts, path_sample)
+    dewey = DeweyIndex(ontology)
+    total_paths = 0
+    total_length = 0
+    for concept_id in sampled:
+        addresses = dewey.addresses(concept_id)
+        total_paths += len(addresses)
+        total_length += sum(len(address) for address in addresses)
+    avg_paths = total_paths / len(sampled) if sampled else 0.0
+    avg_length = total_length / total_paths if total_paths else 0.0
+
+    return OntologyStats(
+        num_concepts=num_concepts,
+        num_edges=num_edges,
+        avg_children=num_edges / num_concepts if num_concepts else 0.0,
+        num_leaves=num_leaves,
+        max_depth=max_depth,
+        avg_paths_per_concept=avg_paths,
+        avg_path_length=avg_length,
+        paths_sampled=len(sampled),
+    )

@@ -1,0 +1,89 @@
+"""Subontology extraction.
+
+Real deployments rarely load all of SNOMED-CT: a radiology service wants
+the imaging-findings subtree, a trial-matching service the disorders
+subtree.  These helpers carve out self-contained, validated
+sub-ontologies while preserving Dewey-relevant structure (child order is
+inherited from the source, so relative Dewey components survive).
+
+Note that distances can only shrink or stay equal *within* the extracted
+cone relative to the full ontology when the cone is closed under common
+ancestors — rooted extraction (:func:`extract_rooted`) guarantees that
+for concept pairs below the new root, because every valid path between
+them through a common ancestor at or below the root is retained.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from repro.exceptions import UnknownConceptError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+
+def extract_rooted(ontology: Ontology, new_root: ConceptId, *,
+                   name: str | None = None) -> Ontology:
+    """The sub-DAG induced by a concept and all its descendants.
+
+    Edges among retained concepts are kept in their original order;
+    ``new_root`` becomes the single root of the result.
+    """
+    if new_root not in ontology:
+        raise UnknownConceptError(new_root)
+    keep = ontology.descendants(new_root) | {new_root}
+    return _induced(ontology, keep, roots_ok={new_root},
+                    name=name or f"{ontology.name}@{new_root}")
+
+
+def extract_closure(ontology: Ontology,
+                    concepts: Collection[ConceptId], *,
+                    name: str | None = None) -> Ontology:
+    """The ancestor closure of a concept set.
+
+    Contains the given concepts and every ancestor of each — the minimal
+    sub-DAG in which all original Dewey addresses of the given concepts
+    still exist.  Rooted at the original root, so valid-path distances
+    between the given concepts are *identical* to the full ontology
+    (every common ancestor survives).
+    """
+    keep: set[ConceptId] = set()
+    for concept in concepts:
+        if concept not in ontology:
+            raise UnknownConceptError(concept)
+        keep.add(concept)
+        keep |= ontology.ancestors(concept)
+    keep.add(ontology.root)
+    return _induced(ontology, keep, roots_ok={ontology.root},
+                    name=name or f"{ontology.name}-closure")
+
+
+def _induced(ontology: Ontology, keep: set[ConceptId],
+             roots_ok: set[ConceptId], name: str) -> Ontology:
+    builder = OntologyBuilder(name)
+    for concept in ontology.concepts():
+        if concept not in keep:
+            continue
+        builder.add_concept(concept, ontology.label(concept),
+                            ontology.synonyms(concept))
+    for concept in ontology.concepts():
+        if concept not in keep:
+            continue
+        for child in ontology.children(concept):
+            if child in keep:
+                builder.add_edge(concept, child)
+    # Concepts that lost all their parents but are not the intended root
+    # would create extra roots; attach them under the intended root so
+    # the result stays single-rooted.  With rooted/closure extraction
+    # this only ever triggers for the intended root itself.
+    subgraph = builder.build(validate=False)
+    stray = [
+        concept for concept in subgraph.concepts()
+        if not subgraph.parents(concept) and concept not in roots_ok
+    ]
+    root = next(iter(roots_ok))
+    for concept in stray:
+        subgraph._add_edge(root, concept)
+    subgraph.validate()
+    return subgraph

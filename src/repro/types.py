@@ -1,0 +1,69 @@
+"""Shared type aliases and small value objects used across the library.
+
+The library identifies ontology concepts and corpus documents by plain
+strings, mirroring SNOMED-CT concept identifiers (numeric strings) and EMR
+note identifiers.  Dewey path addresses are tuples of 1-based child indices;
+the empty tuple is the address of the root (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+ConceptId = str
+"""Identifier of an ontology concept (e.g. a SNOMED-CT SCTID)."""
+
+DocId = str
+"""Identifier of a corpus document (e.g. an EMR note id)."""
+
+DeweyAddress = Tuple[int, ...]
+"""A root-to-concept path label: a tuple of 1-based child indices.
+
+The root's address is the empty tuple.  If a concept has address ``p`` then
+its ``j``-th child (in edge insertion order) reachable through that path has
+address ``p + (j,)``.  Tuples compare lexicographically, which is exactly the
+order in which the DRC algorithm merges the document and query address lists.
+"""
+
+INFINITY = float("inf")
+"""Distance used for "not yet reached" during DRC tuning (Section 4.3)."""
+
+
+def format_dewey(address: DeweyAddress) -> str:
+    """Render a Dewey address in the paper's dotted notation.
+
+    >>> format_dewey((1, 1, 1, 2))
+    '1.1.1.2'
+    >>> format_dewey(())
+    'ε'
+    """
+    if not address:
+        return "ε"
+    return ".".join(str(component) for component in address)
+
+
+def parse_dewey(text: str) -> DeweyAddress:
+    """Parse the dotted notation back into an address tuple.
+
+    >>> parse_dewey('1.1.1.2')
+    (1, 1, 1, 2)
+    >>> parse_dewey('ε')
+    ()
+    """
+    text = text.strip()
+    if not text or text == "ε":
+        return ()
+    return tuple(int(part) for part in text.split("."))
+
+
+def common_prefix_length(left: DeweyAddress, right: DeweyAddress) -> int:
+    """Length of the longest common prefix of two addresses.
+
+    This is the workhorse of both the Dewey-pair distance identity
+    (``|p1| + |p2| - 2 * lcp``) and D-Radix edge splitting.
+    """
+    limit = min(len(left), len(right))
+    count = 0
+    while count < limit and left[count] == right[count]:
+        count += 1
+    return count

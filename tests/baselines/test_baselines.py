@@ -1,0 +1,132 @@
+"""Unit tests for the baseline strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.baselines.matrix import ConceptDistanceMatrix
+from repro.baselines.pairwise import PairwiseDistanceBaseline
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.datasets import example4_collection
+from repro.exceptions import (
+    EmptyDocumentError,
+    QueryError,
+    UnknownConceptError,
+)
+
+
+class TestPairwise:
+    def test_counts_pair_evaluations(self, figure3):
+        baseline = PairwiseDistanceBaseline(figure3)
+        baseline.document_query_distance(("F", "R"), ("I", "L", "U"))
+        assert baseline.pair_evaluations == 6
+        baseline.reset_counters()
+        assert baseline.pair_evaluations == 0
+
+    def test_ddd_quadratic_pair_count(self, figure3):
+        baseline = PairwiseDistanceBaseline(figure3)
+        baseline.document_document_distance(
+            ("F", "R", "T"), ("I", "L", "U", "V"))
+        assert baseline.pair_evaluations == 12
+
+    def test_paper_values(self, figure3):
+        baseline = PairwiseDistanceBaseline(figure3)
+        assert baseline.document_query_distance(
+            ("F", "R", "T", "V"), ("I", "L", "U")) == 7
+        assert baseline.concept_distance("G", "F") == 5
+
+    def test_empty_rejected(self, figure3):
+        baseline = PairwiseDistanceBaseline(figure3)
+        with pytest.raises(EmptyDocumentError):
+            baseline.document_query_distance((), ("I",))
+
+
+class TestFullScan:
+    def test_returns_global_minimum(self, figure3):
+        scan = FullScanSearch(figure3, example4_collection())
+        results = scan.rds(("F", "I"), k=6)
+        assert results.doc_ids()[0:2] == ["d2", "d3"]
+        assert len(results) == 6
+        assert results.stats.drc_calls == 6
+
+    def test_k_caps_output_not_work(self, figure3):
+        scan = FullScanSearch(figure3, example4_collection())
+        results = scan.rds(("F",), k=1)
+        assert len(results) == 1
+        assert results.stats.docs_examined == 6  # scanned everything
+
+    def test_sds(self, figure3):
+        scan = FullScanSearch(figure3, example4_collection())
+        results = scan.sds(("F", "R"), k=2)
+        assert results.results[0].doc_id == "d1"
+        assert results.results[0].distance == 0.0
+
+    def test_validation(self, figure3):
+        scan = FullScanSearch(figure3, example4_collection())
+        with pytest.raises(QueryError):
+            scan.rds((), k=2)
+        with pytest.raises(QueryError):
+            scan.rds(("F",), k=0)
+        with pytest.raises(UnknownConceptError):
+            scan.rds(("nope",), k=2)
+
+
+class TestThresholdAlgorithm:
+    def test_postings_sorted_by_distance(self, figure3):
+        ta = ThresholdAlgorithm.build(
+            figure3, example4_collection(), concepts=("F",))
+        postings = ta._sorted["F"]
+        distances = [distance for distance, _doc in postings]
+        assert distances == sorted(distances)
+        assert len(postings) == 6
+
+    def test_rds_matches_expected(self, figure3):
+        ta = ThresholdAlgorithm.build(
+            figure3, example4_collection(), concepts=("F", "I"))
+        results = ta.rds(("F", "I"), k=2)
+        assert sorted(results.doc_ids()) == ["d2", "d3"]
+        assert results.distances() == [2.0, 2.0]
+
+    def test_early_termination_skips_tail(self, figure3):
+        ta = ThresholdAlgorithm.build(
+            figure3, example4_collection(), concepts=("F", "I"))
+        ta.rds(("F", "I"), k=1)
+        # TA must stop before exhausting both postings lists.
+        assert ta.sorted_accesses < 12
+
+    def test_missing_postings_raise(self, figure3):
+        ta = ThresholdAlgorithm(figure3)
+        with pytest.raises(QueryError):
+            ta.rds(("F",), k=1)
+
+    def test_index_size(self, figure3):
+        collection = example4_collection()
+        ta = ThresholdAlgorithm.build(figure3, collection,
+                                      concepts=("F", "I", "U"))
+        assert ta.index_size() == 3 * len(collection)
+
+
+class TestMatrix:
+    def test_restricted_build_and_lookup(self, figure3):
+        matrix = ConceptDistanceMatrix.build(
+            figure3, concepts=("F", "I", "G"))
+        assert matrix.distance("G", "F") == 5
+        assert matrix.distance("F", "F") == 0
+        assert matrix.entries() == 9
+
+    def test_unknown_concept(self, figure3):
+        matrix = ConceptDistanceMatrix.build(figure3, concepts=("F",))
+        with pytest.raises(UnknownConceptError):
+            matrix.distance("F", "Z9")
+
+    def test_document_distances(self, figure3):
+        matrix = ConceptDistanceMatrix.build(figure3)
+        assert matrix.document_query_distance(
+            ("F", "R", "T", "V"), ("I", "L", "U")) == 7
+
+    def test_memory_report_quantifies_blowup(self):
+        report = ConceptDistanceMatrix.memory_report(2_900_000)
+        assert "2,900,000" in report
+        assert "GiB" in report
+        assert ConceptDistanceMatrix.estimated_entries(1000) == 1_000_000

@@ -1,0 +1,192 @@
+"""Unit tests for the benchmark harness (workloads, reporting, experiments).
+
+Experiment functions are exercised end-to-end on a deliberately tiny
+world, checking structure and internal consistency rather than absolute
+timings (those belong to ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    SCALES,
+    BenchScale,
+    build_world,
+    fig7_error_threshold,
+    table3_corpus_stats,
+)
+from repro.bench.reporting import Table, series_table
+from repro.bench.workloads import (
+    random_concept_queries,
+    random_query_documents,
+    sample_documents,
+)
+from repro.corpus.collection import DocumentCollection
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale():
+    """Register a scale small enough for unit tests and clean it up."""
+    SCALES["tiny"] = BenchScale("tiny", 400, 12, 12, 40, 6, 2, 4)
+    yield
+    del SCALES["tiny"]
+    build_world.cache_clear()
+
+
+class TestWorkloads:
+    def collection(self):
+        return build_world("tiny").corpus("RADIO")
+
+    def test_random_concept_queries(self):
+        queries = random_concept_queries(self.collection(), nq=3, count=5,
+                                         seed=1)
+        assert len(queries) == 5
+        assert all(len(set(query)) == 3 for query in queries)
+
+    def test_queries_deterministic(self):
+        first = random_concept_queries(self.collection(), nq=3, count=5,
+                                       seed=1)
+        second = random_concept_queries(self.collection(), nq=3, count=5,
+                                        seed=1)
+        assert first == second
+
+    def test_random_query_documents(self):
+        documents = random_query_documents(self.collection(), nq=4, count=3,
+                                           seed=2)
+        assert len(documents) == 3
+        assert all(len(document) == 4 for document in documents)
+
+    def test_sample_documents_from_corpus(self):
+        collection = self.collection()
+        sampled = sample_documents(collection, count=5, seed=3)
+        assert len(sampled) == 5
+        assert all(document.doc_id in collection for document in sampled)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            random_concept_queries(DocumentCollection(), nq=2, count=1)
+
+
+class TestReporting:
+    def test_table_render_alignment(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 0.000123)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "1.230e-04" in rendered or "1.23e-04" in rendered
+
+    def test_series_table(self):
+        table = series_table("T", "x", [1, 2],
+                             {"a": [0.1, 0.2], "b": [3, 4]},
+                             notes=["shape note"])
+        rendered = table.render()
+        assert "shape note" in rendered
+        assert len(table.rows) == 2
+
+
+class TestExperiments:
+    def test_world_cached_per_scale(self):
+        assert build_world("tiny") is build_world("tiny")
+
+    def test_table3_structure(self):
+        table = table3_corpus_stats("tiny")
+        assert [row[0] for row in table.rows] == [
+            "Total Documents", "Total Concepts", "Avg. Tokens/Document",
+            "Avg. Concepts/Document",
+        ]
+
+    def test_fig7_rows_cover_grid(self):
+        table = fig7_error_threshold("RADIO", "rds", nq=2, k=3,
+                                     scale="tiny",
+                                     eps_values=(0.0, 1.0))
+        assert len(table.rows) == 2
+        assert table.headers[0] == "eps"
+        # Breakdown columns never exceed the total by construction noise.
+        for row in table.rows:
+            assert float(row[1].replace(",", "")) >= 0
+
+    def test_all_experiments_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table3", "fig6", "fig7", "fig8", "fig9", "ablations",
+            "significance", "scalability",
+        }
+
+
+class TestEveryExperimentRunsAtTinyScale:
+    """Each experiment function must execute end to end on a tiny world.
+
+    The benchmark suite runs these for real; the unit suite runs them
+    structurally so a refactor cannot silently break an experiment that
+    only executes in nightly benchmarks.
+    """
+
+    def test_fig6(self):
+        from repro.bench.experiments import fig6_distance_calc
+        table = fig6_distance_calc("RADIO", "tiny", nq_values=(3, 5, 8))
+        assert len(table.rows) == 3
+        assert table.headers == ["nq", "BL (s)", "DRC (s)"]
+
+    def test_fig7_optimal(self):
+        from repro.bench.experiments import fig7_optimal_threshold
+        table = fig7_optimal_threshold("RADIO", "rds", scale="tiny",
+                                       nq_values=(2, 3),
+                                       eps_values=(0.0, 1.0))
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row[1] in ("0", "1.000")
+
+    def test_fig8(self):
+        from repro.bench.experiments import fig8_query_size
+        table = fig8_query_size("RADIO", scale="tiny", nq_values=(1, 3))
+        assert len(table.rows) == 2
+        assert "kNDS (s)" in table.headers
+
+    def test_fig9(self):
+        from repro.bench.experiments import fig9_num_results
+        table = fig9_num_results("RADIO", "rds", scale="tiny",
+                                 k_values=(2, 5))
+        assert len(table.rows) == 2
+
+    def test_significance(self):
+        from repro.bench.experiments import significance_fig9
+        table = significance_fig9("RADIO", "rds", nq=2, k=3, samples=4,
+                                  scale="tiny")
+        cells = {row[0]: row[1] for row in table.rows}
+        assert float(cells["p-value"]) <= 1.0
+
+    def test_ablation_queue_limit(self):
+        from repro.bench.experiments import ablation_queue_limit
+        table = ablation_queue_limit("RADIO", "rds", nq=2, k=3,
+                                     scale="tiny", limits=(5, None))
+        assert len(table.rows) == 2
+
+    def test_ablation_optimizations(self):
+        from repro.bench.experiments import ablation_optimizations
+        table = ablation_optimizations("RADIO", "rds", nq=2, k=3,
+                                       scale="tiny")
+        assert [row[0] for row in table.rows] == [
+            "all on", "no pruning", "no covered shortcut",
+            "no state dedupe",
+        ]
+
+    def test_ablation_index_backend(self):
+        from repro.bench.experiments import ablation_index_backend
+        table = ablation_index_backend("RADIO", nq=2, k=3, scale="tiny")
+        assert [row[0] for row in table.rows] == ["memory", "sqlite"]
+
+    def test_ablation_ta(self):
+        from repro.bench.experiments import ablation_ta_comparison
+        table = ablation_ta_comparison("RADIO", nq=2, k=3, scale="tiny")
+        assert [row[0] for row in table.rows] == ["TA", "kNDS"]
+
+    def test_scalability(self):
+        from repro.bench.experiments import scalability_corpus_size
+        table = scalability_corpus_size(nq=2, k=3, scale="tiny",
+                                        sizes=(20, 40))
+        assert len(table.rows) == 2
+        assert table.headers[0] == "|D|"

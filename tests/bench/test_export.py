@@ -1,0 +1,49 @@
+"""Tests for the benchmark report compiler."""
+
+from __future__ import annotations
+
+from repro.bench.export import build_report, main
+
+
+class TestBuildReport:
+    def _populate(self, directory):
+        (directory / "table3_corpus_stats.txt").write_text("T3 CONTENT\n")
+        (directory / "fig9a_rds_patient.txt").write_text("FIG9A CONTENT\n")
+        (directory / "custom_extra.txt").write_text("EXTRA CONTENT\n")
+
+    def test_groups_ordered_and_content_included(self, tmp_path):
+        self._populate(tmp_path)
+        report = build_report(tmp_path)
+        assert "## Tables" in report
+        assert "## Figure 9 — number of results" in report
+        assert "T3 CONTENT" in report
+        assert "FIG9A CONTENT" in report
+        assert report.index("T3 CONTENT") < report.index("FIG9A CONTENT")
+
+    def test_unknown_files_land_in_other(self, tmp_path):
+        self._populate(tmp_path)
+        report = build_report(tmp_path)
+        assert "## Other" in report
+        assert "EXTRA CONTENT" in report
+
+    def test_missing_artifacts_listed(self, tmp_path):
+        self._populate(tmp_path)
+        report = build_report(tmp_path)
+        assert "expected artifacts not present" in report
+        assert "fig6_distance_calc_patient" in report
+
+    def test_empty_directory(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "# Benchmark report" in report
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        out = tmp_path / "REPORT.md"
+        assert main([str(tmp_path), "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "T3 CONTENT" in out.read_text()
+
+    def test_cli_stdout(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main([str(tmp_path)]) == 0
+        assert "T3 CONTENT" in capsys.readouterr().out

@@ -1,0 +1,50 @@
+"""Tests for memory footprint measurement."""
+
+from __future__ import annotations
+
+from repro.bench.memory import deep_sizeof, index_footprint, space_comparison
+
+
+class TestDeepSizeof:
+    def test_containers_counted(self):
+        assert deep_sizeof([1, 2, 3]) > deep_sizeof([])
+        assert deep_sizeof({"a": [1, 2]}) > deep_sizeof({})
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared])
+
+    def test_cycles_terminate(self):
+        loop: list = []
+        loop.append(loop)
+        assert deep_sizeof(loop) > 0
+
+    def test_slotted_objects(self):
+        from repro.core.radix import RadixNode
+        node = RadixNode("C1")
+        assert deep_sizeof(node) > 0
+
+    def test_dict_backed_objects(self):
+        class Bag:
+            def __init__(self):
+                self.payload = list(range(200))
+
+        assert deep_sizeof(Bag()) > deep_sizeof(list(range(200)))
+
+
+class TestFootprint:
+    def test_footprint_keys_and_ordering(self, small_ontology,
+                                         small_corpus):
+        footprint = index_footprint(small_ontology, small_corpus)
+        assert set(footprint) == {
+            "inverted+forward", "ta_postings_full_estimate",
+            "matrix_full_estimate",
+        }
+        assert footprint["inverted+forward"] > 0
+        assert footprint["ta_postings_full_estimate"] > \
+            footprint["inverted+forward"]
+
+    def test_space_comparison_table(self, small_ontology, small_corpus):
+        table = space_comparison(small_ontology, small_corpus)
+        assert len(table.rows) == 3
+        assert table.rows[0][0] == "kNDS inverted+forward"

@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.bench.plots import render_chart
+from repro.bench.reporting import Table, series_table
+
+
+class TestRenderChart:
+    def chart_table(self) -> Table:
+        return series_table(
+            "Demo figure", "k", [3, 10],
+            {"kNDS (s)": [0.005, 0.01], "baseline (s)": [1.5, 1.6]},
+            notes=["flat baseline"],
+        )
+
+    def test_bars_reflect_magnitude(self):
+        rendered = render_chart(self.chart_table())
+        lines = [line for line in rendered.splitlines() if "|" in line]
+        assert len(lines) == 4
+        knds_bar = lines[0].count("#")
+        baseline_bar = lines[1].count("#")
+        assert baseline_bar > knds_bar
+
+    def test_log_scale_header_and_notes(self):
+        rendered = render_chart(self.chart_table())
+        assert "(log scale:" in rendered
+        assert "# flat baseline" in rendered
+
+    def test_linear_scale(self):
+        rendered = render_chart(self.chart_table(), log_scale=False)
+        assert "(log scale:" not in rendered
+        lines = [line for line in rendered.splitlines() if "|" in line]
+        # On a linear scale the small series collapses to the minimum bar.
+        assert lines[0].count("#") == 1
+
+    def test_smallest_value_still_visible(self):
+        rendered = render_chart(self.chart_table())
+        lines = [line for line in rendered.splitlines() if "|" in line]
+        assert all(line.count("#") >= 1 for line in lines)
+
+    def test_non_numeric_cells_passed_through(self):
+        table = Table("T", ["x", "value", "tag"])
+        table.add_row(1, 0.5, "n/a")
+        rendered = render_chart(table)
+        assert "n/a" in rendered
+
+    def test_table_without_numbers_falls_back(self):
+        table = Table("T", ["x", "value"])
+        table.add_row("a", "-")
+        rendered = render_chart(table)
+        assert rendered == table.render()
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.bench.experiments import SCALES, BenchScale, build_world
+        from repro.bench.experiments import main as experiments_main
+        SCALES["tiny-chart"] = BenchScale("tiny-chart", 300, 8, 10, 30, 5,
+                                          2, 4)
+        try:
+            code = experiments_main(["table3", "--scale", "tiny-chart",
+                                     "--chart"])
+            assert code == 0
+            output = capsys.readouterr().out
+            assert "|" in output and "#" in output
+        finally:
+            del SCALES["tiny-chart"]
+            build_world.cache_clear()

@@ -1,0 +1,113 @@
+"""Tests for the t-test and complexity-fitting machinery.
+
+The incomplete beta / Student-t implementation is cross-checked against
+scipy (available in the test environment) on a grid of inputs, then the
+higher-level helpers are validated behaviourally.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.bench.statistics import (
+    GrowthFit,
+    best_growth_model,
+    fit_growth_model,
+    regularized_incomplete_beta,
+    student_t_two_tailed_p,
+    welch_t_test,
+)
+
+
+class TestIncompleteBeta:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.5, 10.0])
+    @pytest.mark.parametrize("b", [0.5, 1.0, 3.0])
+    @pytest.mark.parametrize("x", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_against_scipy(self, a, b, x):
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            scipy_stats.beta.cdf(x, a, b), abs=1e-9)
+
+    def test_domain_check(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("t", [0.0, 0.5, 1.96, 3.3, 10.0])
+    @pytest.mark.parametrize("dof", [1.0, 4.5, 30.0, 200.0])
+    def test_against_scipy(self, t, dof):
+        expected = 2 * scipy_stats.t.sf(abs(t), dof)
+        assert student_t_two_tailed_p(t, dof) == pytest.approx(
+            expected, abs=1e-9)
+
+    def test_invalid_dof(self):
+        with pytest.raises(ValueError):
+            student_t_two_tailed_p(1.0, 0.0)
+
+
+class TestWelch:
+    def test_against_scipy_random_samples(self):
+        rng = random.Random(0)
+        first = [rng.gauss(10, 2) for _ in range(25)]
+        second = [rng.gauss(11, 3) for _ in range(18)]
+        mine = welch_t_test(first, second)
+        reference = scipy_stats.ttest_ind(first, second, equal_var=False)
+        assert mine.t_statistic == pytest.approx(reference.statistic)
+        assert mine.p_value == pytest.approx(reference.pvalue, abs=1e-9)
+
+    def test_clearly_different_samples_significant(self):
+        rng = random.Random(1)
+        fast = [rng.gauss(0.01, 0.002) for _ in range(30)]
+        slow = [rng.gauss(1.0, 0.1) for _ in range(30)]
+        result = welch_t_test(fast, slow)
+        assert result.significant(alpha=0.001)
+        assert result.mean_difference < 0
+
+    def test_identical_samples_not_significant(self):
+        result = welch_t_test([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+class TestGrowthFitting:
+    def test_quadratic_series_identified(self):
+        sizes = [5, 10, 20, 40, 80, 160]
+        timings = [1e-6 * n * n for n in sizes]
+        assert best_growth_model(sizes, timings) == "n^2"
+
+    def test_nlogn_series_identified(self):
+        sizes = [5, 10, 20, 40, 80, 160]
+        timings = [1e-6 * n * math.log(n) for n in sizes]
+        assert best_growth_model(sizes, timings) == "n log n"
+
+    def test_linear_series_identified(self):
+        sizes = [5, 10, 20, 40, 80, 160]
+        timings = [2e-5 * n for n in sizes]
+        assert best_growth_model(sizes, timings) == "n"
+
+    def test_fits_sorted_by_r_squared(self):
+        sizes = [5, 10, 20, 40, 80]
+        timings = [1e-6 * n * n for n in sizes]
+        fits = fit_growth_model(sizes, timings)
+        assert all(isinstance(fit, GrowthFit) for fit in fits)
+        r_values = [fit.r_squared for fit in fits]
+        assert r_values == sorted(r_values, reverse=True)
+        assert fits[0].r_squared == pytest.approx(1.0)
+
+    def test_noisy_quadratic_still_identified(self):
+        rng = random.Random(2)
+        sizes = [5, 10, 20, 40, 80, 160, 240]
+        timings = [1e-6 * n * n * rng.uniform(0.8, 1.2) for n in sizes]
+        assert best_growth_model(sizes, timings) == "n^2"
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_growth_model([1, 2], [1.0, 2.0])

@@ -1,0 +1,46 @@
+"""Shared fixtures: the paper's Figure 3 example and small random worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generators import generate_corpus
+from repro.datasets import example4_collection, figure3_ontology
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.generators import snomed_like
+
+
+@pytest.fixture(scope="session")
+def figure3():
+    """The paper's Figure 3 ontology (22 concepts, J has two parents)."""
+    return figure3_ontology()
+
+
+@pytest.fixture(scope="session")
+def figure3_dewey(figure3):
+    return DeweyIndex(figure3)
+
+
+@pytest.fixture()
+def example4(figure3):
+    """The six-document collection behind the Table 2 kNDS trace."""
+    return example4_collection()
+
+
+@pytest.fixture(scope="session")
+def small_ontology():
+    """A 400-concept SNOMED-like DAG for integration tests."""
+    return snomed_like(400, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_ontology):
+    """An 80-document corpus over :func:`small_ontology`."""
+    return generate_corpus(
+        small_ontology,
+        num_docs=80,
+        mean_concepts=12,
+        cohesion=0.6,
+        seed=11,
+        name="small",
+    )

@@ -1,0 +1,85 @@
+"""Concurrency smoke tests.
+
+The engine has no internal locking; the supported pattern is many
+concurrent *readers* (queries) with writes (add/remove document)
+serialized by the caller.  These tests pin the reader side: concurrent
+queries over a fixed corpus must neither crash nor produce results that
+differ from serial execution.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSearch
+
+
+@pytest.fixture(scope="module")
+def engine(small_ontology, small_corpus):
+    return SearchEngine(small_ontology, small_corpus)
+
+
+class TestConcurrentReaders:
+    def test_parallel_rds_matches_serial(self, engine, small_corpus):
+        pool = sorted(small_corpus.distinct_concepts())
+        queries = [tuple(pool[i:i + 3]) for i in range(0, 24, 3)]
+        expected = {
+            query: engine.rds(list(query), k=5).distances()
+            for query in queries
+        }
+        results: dict = {}
+        errors: list[BaseException] = []
+
+        def worker(query):
+            try:
+                results[query] = engine.rds(list(query), k=5).distances()
+            except BaseException as error:  # noqa: BLE001 - recorded
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(query,))
+                   for query in queries for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == expected
+
+    def test_parallel_mixed_rds_sds(self, engine, small_corpus):
+        pool = sorted(small_corpus.distinct_concepts())
+        doc_ids = small_corpus.doc_ids()[:6]
+        errors: list[BaseException] = []
+
+        def rds_worker():
+            try:
+                engine.rds(pool[5:8], k=4)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def sds_worker(doc_id):
+            try:
+                engine.sds(doc_id, k=4)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=rds_worker) for _ in range(4)]
+        threads += [threading.Thread(target=sds_worker, args=(doc_id,))
+                    for doc_id in doc_ids]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_separate_searchers_share_nothing_mutable(self, small_ontology,
+                                                      small_corpus):
+        # Two searchers over the same collection can run fully
+        # interleaved because all their per-query state is local.
+        first = KNDSearch(small_ontology, small_corpus)
+        second = KNDSearch(small_ontology, small_corpus)
+        pool = sorted(small_corpus.distinct_concepts())
+        assert first.rds(pool[:3], 5).distances() == \
+            second.rds(pool[:3], 5).distances()

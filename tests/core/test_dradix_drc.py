@@ -1,0 +1,110 @@
+"""Unit tests for the D-Radix DAG and the DRC algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dradix import DRadixDAG
+from repro.core.drc import DRC
+from repro.exceptions import EmptyDocumentError
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import (
+    document_document_distance,
+    document_query_distance,
+)
+from repro.types import INFINITY
+
+
+class TestDRadixConstruction:
+    def test_concept_nodes_not_merged_without_branch(self, figure3,
+                                                     figure3_dewey):
+        # Section 4.2: "in a Radix Tree nodes R and U would have been
+        # merged; in the D-Radix they are kept separate."
+        dradix = DRadixDAG.build(figure3, figure3_dewey, ("R",), ("U",))
+        assert "R" in dradix.dag
+        assert "U" in dradix.dag
+        assert ("R", "1", "U") in dradix.dag.edges()
+
+    def test_initial_distances(self, figure3, figure3_dewey):
+        dradix = DRadixDAG(figure3, ("F",), ("I",))
+        merged = DRadixDAG.merged_address_list(figure3_dewey, ("F",), ("I",))
+        for address, concept in merged:
+            dradix.insert(address, concept)
+        annotations = {
+            node.concept_id: tuple(node.dist)
+            for node in dradix.dag.nodes()
+        }
+        assert annotations["F"] == (0.0, INFINITY)
+        assert annotations["I"] == (INFINITY, 0.0)
+        assert annotations["A"] == (INFINITY, INFINITY)
+
+    def test_shared_concept_gets_both_zeroes(self, figure3, figure3_dewey):
+        dradix = DRadixDAG.build(figure3, figure3_dewey, ("F", "J"), ("J",))
+        assert dradix.dag.node("J").dist == [0.0, 0.0]
+
+    def test_empty_sets_rejected(self, figure3):
+        with pytest.raises(EmptyDocumentError):
+            DRadixDAG(figure3, (), ("I",))
+        with pytest.raises(EmptyDocumentError):
+            DRadixDAG(figure3, ("F",), ())
+
+    def test_reading_before_tune_fails(self, figure3, figure3_dewey):
+        dradix = DRadixDAG(figure3, ("F",), ("I",))
+        with pytest.raises(RuntimeError):
+            dradix.document_query_distance()
+
+
+class TestDRCDistances:
+    def test_rds_distance_matches_brute_force(self, figure3):
+        drc = DRC(figure3)
+        cases = [
+            (("F", "R", "T", "V"), ("I", "L", "U")),
+            (("F",), ("I",)),
+            (("C",), ("U", "L")),
+            (("M", "N"), ("M",)),
+        ]
+        for doc, query in cases:
+            assert drc.document_query_distance(doc, query) == (
+                document_query_distance(figure3, doc, query))
+
+    def test_sds_distance_matches_brute_force(self, figure3):
+        drc = DRC(figure3)
+        doc, query = ("G", "H"), ("F", "I")
+        assert drc.document_document_distance(doc, query) == pytest.approx(
+            document_document_distance(figure3, doc, query))
+
+    def test_identical_sets_zero(self, figure3):
+        drc = DRC(figure3)
+        assert drc.document_query_distance(("F", "I"), ("F", "I")) == 0
+        assert drc.document_document_distance(("F", "I"), ("F", "I")) == 0
+
+    def test_call_counter(self, figure3):
+        drc = DRC(figure3)
+        drc.document_query_distance(("F",), ("I",))
+        drc.document_document_distance(("F",), ("I",))
+        assert drc.calls == 2
+        drc.reset_counters()
+        assert drc.calls == 0
+
+    def test_shared_dewey_index_reused(self, figure3):
+        dewey = DeweyIndex(figure3)
+        drc = DRC(figure3, dewey)
+        assert drc.dewey is dewey
+
+
+class TestComplexityProxy:
+    def test_node_count_linear_in_paths(self, small_ontology):
+        # |Td,q| = O(|Pq| + |Pd|): the D-Radix node count never exceeds
+        # the total path count times a constant.
+        import random
+        rng = random.Random(11)
+        dewey = DeweyIndex(small_ontology)
+        concepts = list(small_ontology.concepts())
+        doc = tuple(rng.sample(concepts, 12))
+        query = tuple(rng.sample(concepts, 6))
+        dradix = DRadixDAG.build(small_ontology, dewey, doc, query)
+        total_paths = dewey.total_paths(set(doc) | set(query))
+        # Each path contributes at most its nodes; radix compression keeps
+        # the node count far below path-length * paths and at most
+        # ~2 nodes per path (branch + leaf) plus the root.
+        assert len(dradix.dag) <= 2 * total_paths + 1

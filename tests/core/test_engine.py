@@ -1,0 +1,86 @@
+"""Unit tests for the SearchEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSConfig
+from repro.exceptions import QueryError, UnknownDocumentError
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def engine(request, figure3, example4):
+    instance = SearchEngine(figure3, example4, backend=request.param)
+    yield instance
+    instance.close()
+
+
+class TestRDS:
+    def test_default_algorithm(self, engine):
+        results = engine.rds(["F", "I"], k=2)
+        assert results.doc_ids() == ["d2", "d3"]
+        assert results.algorithm == "knds"
+
+    def test_fullscan_agrees(self, engine):
+        knds = engine.rds(["F", "I"], k=2)
+        scan = engine.rds(["F", "I"], k=2, algorithm="fullscan")
+        assert knds.distances() == scan.distances()
+
+    def test_ta_agrees(self, engine):
+        knds = engine.rds(["F", "I"], k=2)
+        ta = engine.rds(["F", "I"], k=2, algorithm="ta")
+        assert knds.distances() == ta.distances()
+
+    def test_config_overrides(self, engine):
+        results = engine.rds(["F", "I"], k=2,
+                             config=KNDSConfig(error_threshold=0.0))
+        assert results.doc_ids() == ["d2", "d3"]
+        overridden = engine.rds(["F", "I"], k=2, error_threshold=1.0)
+        assert overridden.doc_ids() == ["d2", "d3"]
+
+    def test_unknown_algorithm(self, engine):
+        with pytest.raises(QueryError):
+            engine.rds(["F"], k=1, algorithm="nope")
+
+
+class TestSDS:
+    def test_query_by_doc_id(self, engine):
+        results = engine.sds("d1", k=3)
+        assert results.results[0].doc_id == "d1"
+        assert results.results[0].distance == 0.0
+
+    def test_query_by_concepts(self, engine):
+        results = engine.sds(["F", "R"], k=3)
+        assert results.results[0].doc_id == "d1"
+
+    def test_unknown_doc_id(self, engine):
+        with pytest.raises(UnknownDocumentError):
+            engine.sds("missing", k=2)
+
+    def test_fullscan_agrees(self, engine):
+        knds = engine.sds("d2", k=3)
+        scan = engine.sds("d2", k=3, algorithm="fullscan")
+        assert knds.distances() == pytest.approx(scan.distances())
+
+    def test_sds_has_no_ta(self, engine):
+        with pytest.raises(QueryError):
+            engine.sds("d1", k=2, algorithm="ta")
+
+
+class TestConstruction:
+    def test_unknown_backend(self, figure3, example4):
+        with pytest.raises(QueryError):
+            SearchEngine(figure3, example4, backend="mysql")
+
+    def test_knds_accessor(self, figure3, example4):
+        engine = SearchEngine(figure3, example4)
+        assert engine.knds is engine._knds
+        items = list(engine.knds.rds_iter(["F", "I"], k=2))
+        assert [item.doc_id for item in items] == ["d2", "d3"]
+
+    def test_sqlite_on_disk(self, figure3, example4, tmp_path):
+        engine = SearchEngine(figure3, example4, backend="sqlite",
+                              sqlite_path=tmp_path / "idx.db")
+        assert engine.rds(["F", "I"], k=2).doc_ids() == ["d2", "d3"]
+        engine.close()

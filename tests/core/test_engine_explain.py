@@ -1,0 +1,51 @@
+"""Direct tests for SearchEngine.explain (beyond the CLI coverage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.datasets import example4_collection, figure3_ontology
+from repro.exceptions import EmptyDocumentError, UnknownDocumentError
+
+
+@pytest.fixture()
+def engine():
+    return SearchEngine(figure3_ontology(), example4_collection())
+
+
+class TestEngineExplain:
+    def test_explains_a_ranked_result(self, engine):
+        results = engine.rds(["F", "I"], k=1)
+        text = engine.explain(results.doc_ids()[0], ["F", "I"])
+        assert "total distance: 2" in text
+        assert "F:" in text and "I:" in text
+
+    def test_total_matches_rds_distance(self, engine):
+        for doc_id in ("d1", "d2", "d3", "d6"):
+            results = [
+                item for item in engine.rds(["F", "I"], k=6)
+                if item.doc_id == doc_id
+            ]
+            explanation = engine.explain(doc_id, ["F", "I"])
+            total = int(explanation.rsplit("total distance:", 1)[1])
+            assert total == results[0].distance
+
+    def test_unknown_document(self, engine):
+        with pytest.raises(UnknownDocumentError):
+            engine.explain("ghost", ["F"])
+
+    def test_paths_use_fixture_labels(self, engine):
+        # d6 = {G, H}; G carries the "heart valve finding" label.
+        text = engine.explain("d6", ["I"])
+        assert "heart valve finding" in text
+
+    def test_empty_document_rejected(self, figure3):
+        from repro.corpus.collection import DocumentCollection
+        from repro.corpus.document import Document
+
+        collection = DocumentCollection([Document("empty", [])])
+        # Index building tolerates the empty document; explain does not.
+        engine = SearchEngine(figure3, collection)
+        with pytest.raises(EmptyDocumentError):
+            engine.explain("empty", ["F"])

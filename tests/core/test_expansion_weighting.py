@@ -1,0 +1,168 @@
+"""Unit tests for query expansion and weighted distances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.drc import DRC
+from repro.core.expansion import QueryExpander, merged_rds
+from repro.core.knds import KNDSearch
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.datasets import example4_collection
+from repro.exceptions import QueryError
+from repro.ontology.distance import document_query_distance
+from repro.ontology.measures import InformationContent
+from repro.ontology.weighting import (
+    information_content_weights,
+    weighted_distance_from_dradix,
+    weighted_document_document_distance,
+    weighted_document_query_distance,
+    weighted_rerank,
+)
+
+
+class TestQueryExpander:
+    def test_radius_zero_is_identity_with_weight_one(self, figure3):
+        expander = QueryExpander(figure3, radius=0)
+        assert expander.expand(["F", "I"]) == {"F": 1.0, "I": 1.0}
+
+    def test_radius_one_adds_neighbors(self, figure3):
+        expander = QueryExpander(figure3, radius=1, decay=0.5)
+        weights = expander.expand(["F"])
+        assert weights["F"] == 1.0
+        assert weights["D"] == 0.5  # parent
+        assert weights["J"] == 0.5 and weights["H"] == 0.5  # children
+        assert "A" not in weights
+
+    def test_min_distance_wins_for_overlapping_origins(self, figure3):
+        expander = QueryExpander(figure3, radius=1, decay=0.5)
+        weights = expander.expand(["F", "J"])
+        # J is an original concept and also F's neighbor: weight 1 wins.
+        assert weights["J"] == 1.0
+
+    def test_expanded_concepts_sorted(self, figure3):
+        expander = QueryExpander(figure3, radius=1)
+        assert expander.expanded_concepts(["F"]) == ["D", "F", "H", "J"]
+
+    def test_validation(self, figure3):
+        with pytest.raises(QueryError):
+            QueryExpander(figure3, radius=-1)
+        with pytest.raises(QueryError):
+            QueryExpander(figure3, decay=0.0)
+
+
+class TestWeightedDistances:
+    def test_uniform_weights_match_unweighted(self, figure3):
+        doc, query = ("F", "R", "T", "V"), ("I", "L", "U")
+        assert weighted_document_query_distance(
+            figure3, doc, query) == document_query_distance(
+            figure3, doc, query)
+
+    def test_weights_scale_contributions(self, figure3):
+        doc, query = ("F", "R", "T", "V"), ("I", "L", "U")
+        # Ddc values are 4, 2, 1; doubling I's weight adds 4.
+        weighted = weighted_document_query_distance(
+            figure3, doc, query, weights={"I": 2.0})
+        assert weighted == 4 * 2 + 2 + 1
+
+    def test_normalized_matches_footnote3(self, figure3):
+        doc, query = ("F", "R", "T", "V"), ("I", "L", "U")
+        normalized = weighted_document_query_distance(
+            figure3, doc, query, normalize=True)
+        assert normalized == pytest.approx(7 / 3)
+
+    def test_weighted_ddd_symmetric(self, figure3):
+        weights = {"F": 2.0, "I": 3.0, "R": 0.5}
+        forward = weighted_document_document_distance(
+            figure3, ("F", "R"), ("I", "O"), weights=weights)
+        backward = weighted_document_document_distance(
+            figure3, ("I", "O"), ("F", "R"), weights=weights)
+        assert forward == pytest.approx(backward)
+
+    def test_negative_weight_rejected(self, figure3):
+        with pytest.raises(QueryError):
+            weighted_document_query_distance(
+                figure3, ("F",), ("I",), weights={"I": -1.0})
+
+    def test_zero_total_weight_rejected(self, figure3):
+        with pytest.raises(QueryError):
+            weighted_document_query_distance(
+                figure3, ("F",), ("I",), weights={"I": 0.0})
+
+    def test_dradix_weighted_matches_brute_force(self, figure3):
+        doc, query = ("F", "R", "T", "V"), ("I", "L", "U")
+        weights = {"I": 2.0, "L": 1.0, "U": 0.25, "F": 3.0, "V": 0.5}
+        drc = DRC(figure3)
+        dradix = drc.build(doc, query)
+        assert weighted_distance_from_dradix(
+            dradix, weights=weights, kind="ddq"
+        ) == weighted_document_query_distance(
+            figure3, doc, query, weights=weights)
+        assert weighted_distance_from_dradix(
+            dradix, weights=weights, kind="ddd"
+        ) == pytest.approx(weighted_document_document_distance(
+            figure3, doc, query, weights=weights))
+
+    def test_unknown_kind(self, figure3):
+        dradix = DRC(figure3).build(("F",), ("I",))
+        with pytest.raises(QueryError):
+            weighted_distance_from_dradix(dradix, kind="nope")
+
+    def test_ic_weights(self, figure3):
+        ic = InformationContent.from_frequencies(
+            figure3, {"U": 2, "L": 3, "T": 1})
+        weights = information_content_weights(ic, ["U", "L"])
+        assert weights["U"] > weights["L"] > 0
+
+
+class TestWeightedRerank:
+    def test_rerank_reorders_by_weighted_distance(self, figure3):
+        collection = DocumentCollection([
+            Document("near_i", ["G"]),   # distance 1 to I, 6 to L... far
+            Document("near_l", ["H"]),   # distance 1 to L
+        ])
+        searcher = KNDSearch(figure3, collection)
+        base = searcher.rds(("I", "L"), k=2)
+        heavy_l = weighted_rerank(
+            figure3, base, searcher.forward.concepts, ("I", "L"),
+            weights={"I": 0.01, "L": 10.0})
+        assert heavy_l.doc_ids()[0] == "near_l"
+        heavy_i = weighted_rerank(
+            figure3, base, searcher.forward.concepts, ("I", "L"),
+            weights={"I": 10.0, "L": 0.01})
+        assert heavy_i.doc_ids()[0] == "near_i"
+
+
+class TestMergedRDS:
+    def test_exact_matches_manual_footnote3_score(self, figure3):
+        collection = example4_collection()
+        sub_queries = [("F", "I"), ("U",)]
+        results = merged_rds(figure3, collection, sub_queries, k=3)
+        drc = DRC(figure3)
+        for item in results:
+            document = collection.get(item.doc_id)
+            expected = (
+                drc.document_query_distance(document.concepts, ("F", "I"))
+                / 2
+                + drc.document_query_distance(document.concepts, ("U",))
+            )
+            assert item.distance == pytest.approx(expected)
+        assert results.distances() == sorted(results.distances())
+
+    def test_pooled_agrees_on_easy_corpus(self, figure3):
+        collection = example4_collection()
+        sub_queries = [("F", "I"), ("U",)]
+        exact = merged_rds(figure3, collection, sub_queries, k=2)
+        pooled = merged_rds(figure3, collection, sub_queries, k=2,
+                            exact=False)
+        assert exact.distances() == pooled.distances()
+
+    def test_validation(self, figure3):
+        collection = example4_collection()
+        with pytest.raises(QueryError):
+            merged_rds(figure3, collection, [], k=2)
+        with pytest.raises(QueryError):
+            merged_rds(figure3, collection, [()], k=2)
+        with pytest.raises(QueryError):
+            merged_rds(figure3, collection, [("F",)], k=0)

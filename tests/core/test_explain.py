@@ -1,0 +1,114 @@
+"""Tests for result explanation and shortest valid-path recovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.explain import (
+    explain_rds,
+    explain_sds,
+    render_explanation,
+    shortest_valid_path,
+)
+from repro.datasets import EXAMPLE_DOCUMENT, EXAMPLE_QUERY
+from repro.exceptions import EmptyDocumentError
+from repro.ontology.distance import (
+    concept_distance,
+    document_document_distance,
+)
+from tests.test_properties import small_dags
+
+
+class TestShortestValidPath:
+    def test_identity(self, figure3):
+        assert shortest_valid_path(figure3, "J", "J") == ["J"]
+
+    def test_parent_child(self, figure3):
+        assert shortest_valid_path(figure3, "F", "J") == ["F", "J"]
+
+    def test_paper_example_g_to_f(self, figure3):
+        path = shortest_valid_path(figure3, "G", "F")
+        assert len(path) - 1 == 5
+        assert path[0] == "G" and path[-1] == "F"
+        assert "A" in path  # routes through the common ancestor
+
+    def test_path_length_equals_distance(self, figure3):
+        for first in "GJUVL":
+            for second in "FITM":
+                path = shortest_valid_path(figure3, first, second)
+                assert len(path) - 1 == concept_distance(
+                    figure3, first, second)
+
+    def test_path_is_up_then_down(self, figure3):
+        path = shortest_valid_path(figure3, "U", "L")
+        # Each consecutive hop is a real is-a edge; direction may switch
+        # from up to down exactly once.
+        directions = []
+        for current, following in zip(path, path[1:]):
+            if following in figure3.parents(current):
+                directions.append("up")
+            else:
+                assert following in figure3.children(current)
+                directions.append("down")
+        ups = directions.count("up")
+        assert directions == ["up"] * ups + ["down"] * (len(directions)
+                                                        - ups)
+
+    @given(small_dags(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_path_matches_distance(self, ontology, data):
+        concepts = list(ontology.concepts())
+        first = data.draw(st.sampled_from(concepts))
+        second = data.draw(st.sampled_from(concepts))
+        path = shortest_valid_path(ontology, first, second)
+        assert len(path) - 1 == concept_distance(ontology, first, second)
+        # Valid-path shape: ups precede downs.
+        saw_down = False
+        for current, following in zip(path, path[1:]):
+            if following in ontology.children(current):
+                saw_down = True
+            else:
+                assert following in ontology.parents(current)
+                assert not saw_down
+
+
+class TestExplainRDS:
+    def test_example1_decomposition(self, figure3):
+        explanation = explain_rds(figure3, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+        by_query = {term.query_concept: term for term in explanation.terms}
+        assert by_query["I"].distance == 4
+        assert by_query["L"].distance == 2
+        assert by_query["U"].distance == 1
+        assert by_query["U"].nearest_concept == "R"
+        assert explanation.total == 7
+
+    def test_paths_connect_query_to_document(self, figure3):
+        explanation = explain_rds(figure3, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+        for term in explanation.terms:
+            assert term.path[0] == term.query_concept
+            assert term.path[-1] == term.nearest_concept
+            assert term.path[-1] in EXAMPLE_DOCUMENT
+
+    def test_empty_document_rejected(self, figure3):
+        with pytest.raises(EmptyDocumentError):
+            explain_rds(figure3, (), ("I",))
+
+    def test_render(self, figure3):
+        explanation = explain_rds(figure3, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+        text = render_explanation(figure3, explanation)
+        assert "total distance: 7" in text
+        assert "U: nearest is R at distance 1" in text
+        # Labels appear where the fixture defines them.
+        assert "heart valve finding" in text
+
+
+class TestExplainSDS:
+    def test_reconstructs_ddd(self, figure3):
+        doc, query = ("G", "H"), ("F", "I")
+        forward, backward = explain_sds(figure3, doc, query)
+        reconstructed = (forward.total / len(query)
+                         + backward.total / len(doc))
+        assert reconstructed == pytest.approx(
+            document_document_distance(figure3, doc, query))

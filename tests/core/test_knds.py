@@ -1,0 +1,166 @@
+"""Unit tests for the kNDS search algorithm beyond the paper trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import QueryError, UnknownConceptError
+
+
+@pytest.fixture()
+def searcher(small_ontology, small_corpus):
+    return KNDSearch(small_ontology, small_corpus)
+
+
+@pytest.fixture()
+def oracle(small_ontology, small_corpus):
+    return FullScanSearch(small_ontology, small_corpus)
+
+
+def some_concepts(corpus, count, offset=0):
+    pool = sorted(corpus.distinct_concepts())
+    return tuple(pool[offset:offset + count])
+
+
+class TestValidation:
+    def test_empty_query_rejected(self, searcher):
+        with pytest.raises(QueryError):
+            searcher.rds([], k=3)
+
+    def test_nonpositive_k_rejected(self, searcher, small_corpus):
+        query = some_concepts(small_corpus, 2)
+        with pytest.raises(QueryError):
+            searcher.rds(query, k=0)
+
+    def test_unknown_concept_rejected(self, searcher):
+        with pytest.raises(UnknownConceptError):
+            searcher.rds(["not-a-concept"], k=3)
+
+    def test_invalid_error_threshold(self):
+        with pytest.raises(QueryError):
+            KNDSConfig(error_threshold=1.5)
+
+    def test_invalid_queue_limit(self):
+        with pytest.raises(QueryError):
+            KNDSConfig(queue_limit=0)
+
+    def test_requires_collection_or_indexes(self, small_ontology):
+        with pytest.raises(QueryError):
+            KNDSearch(small_ontology)
+
+
+class TestSemantics:
+    def test_duplicate_query_concepts_collapsed(self, searcher,
+                                                small_corpus):
+        concept = some_concepts(small_corpus, 1)[0]
+        single = searcher.rds([concept], k=5)
+        doubled = searcher.rds([concept, concept], k=5)
+        assert single.distances() == doubled.distances()
+
+    def test_k_larger_than_corpus_returns_everything(self, searcher,
+                                                     small_corpus):
+        query = some_concepts(small_corpus, 2)
+        results = searcher.rds(query, k=10 * len(small_corpus))
+        assert len(results) == len(small_corpus)
+        distances = results.distances()
+        assert distances == sorted(distances)
+
+    def test_sds_accepts_document_or_concepts(self, searcher, small_corpus):
+        document = next(iter(small_corpus))
+        from_doc = searcher.sds(document, k=5)
+        from_concepts = searcher.sds(document.concepts, k=5)
+        assert from_doc.distances() == from_concepts.distances()
+
+    def test_sds_query_from_corpus_ranks_itself_first(self, searcher,
+                                                      small_corpus):
+        document = next(iter(small_corpus))
+        results = searcher.sds(document, k=3)
+        assert results.results[0].distance == 0.0
+
+    def test_results_sorted_by_distance(self, searcher, small_corpus):
+        results = searcher.rds(some_concepts(small_corpus, 3), k=12)
+        assert results.distances() == sorted(results.distances())
+
+    def test_matches_oracle_on_fixture_corpus(self, searcher, oracle,
+                                              small_corpus):
+        query = some_concepts(small_corpus, 3, offset=5)
+        mine = searcher.rds(query, k=7)
+        truth = oracle.rds(query, k=7)
+        assert mine.distances() == truth.distances()
+
+
+class TestStats:
+    def test_rds_stats_populated(self, searcher, small_corpus):
+        results = searcher.rds(some_concepts(small_corpus, 3), k=5)
+        stats = results.stats
+        assert stats.total_seconds > 0
+        assert stats.docs_examined >= 5
+        assert stats.docs_touched >= stats.docs_examined
+        assert stats.bfs_levels >= 1
+        assert stats.nodes_visited >= 3
+
+    def test_covered_shortcut_counts(self, searcher, small_corpus):
+        query = some_concepts(small_corpus, 2)
+        with_shortcut = searcher.rds(query, k=5,
+                                     config=KNDSConfig(error_threshold=0.0))
+        # eps=0 only analyzes fully covered docs, so every examination
+        # should use the shortcut and DRC should stay silent.
+        assert with_shortcut.stats.covered_shortcuts == (
+            with_shortcut.stats.docs_examined)
+        assert with_shortcut.stats.drc_calls == 0
+
+    def test_epsilon_one_probes_eagerly(self, searcher, small_corpus):
+        query = some_concepts(small_corpus, 2)
+        eager = searcher.rds(query, k=5,
+                             config=KNDSConfig(error_threshold=1.0))
+        lazy = searcher.rds(query, k=5,
+                            config=KNDSConfig(error_threshold=0.0))
+        assert eager.stats.docs_examined >= lazy.stats.docs_examined
+        assert eager.distances() == lazy.distances()
+
+    def test_queue_limit_forces_rounds(self, searcher, small_corpus):
+        query = some_concepts(small_corpus, 3)
+        forced = searcher.rds(query, k=3, config=KNDSConfig(queue_limit=5))
+        free = searcher.rds(query, k=3)
+        assert forced.stats.forced_rounds >= 1
+        assert forced.distances() == free.distances()
+
+
+class TestObserver:
+    def test_snapshots_emitted_per_round(self, searcher, small_corpus):
+        events = []
+        searcher.rds(some_concepts(small_corpus, 2), k=3,
+                     observer=events.append)
+        phases = [event["phase"] for event in events]
+        assert "expanded" in phases
+        assert "round" in phases
+        rounds = [e for e in events if e["phase"] == "round"]
+        assert all(e["global_lower"] is not None for e in rounds)
+
+
+class TestProgressive:
+    def test_iterator_yields_in_distance_order(self, searcher, small_corpus):
+        query = some_concepts(small_corpus, 3)
+        distances = [item.distance
+                     for item in searcher.rds_iter(query, k=8)]
+        assert distances == sorted(distances)
+        assert len(distances) == 8
+
+    def test_sds_iterator(self, searcher, small_corpus):
+        document = next(iter(small_corpus))
+        items = list(searcher.sds_iter(document, k=4))
+        assert len(items) == 4
+        assert items[0].distance == 0.0
+
+
+class TestSingleDocumentCorpus:
+    def test_degenerate_corpus(self, figure3):
+        collection = DocumentCollection([Document("only", ["F"])])
+        searcher = KNDSearch(figure3, collection)
+        results = searcher.rds(["I"], k=3)
+        assert results.doc_ids() == ["only"]
+        assert results.results[0].distance == 6.0  # D(F, I)

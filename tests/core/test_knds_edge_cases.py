@@ -1,0 +1,147 @@
+"""kNDS edge cases: degenerate shapes, empty postings, adversarial ties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.ontology.builder import OntologyBuilder
+
+
+def chain_ontology(length: int = 12):
+    builder = OntologyBuilder("chain")
+    names = [f"n{i}" for i in range(length)]
+    for name in names:
+        builder.add_concept(name)
+    for previous, current in zip(names, names[1:]):
+        builder.add_edge(previous, current)
+    return builder.build(), names
+
+
+def star_ontology(leaves: int = 30):
+    builder = OntologyBuilder("star")
+    builder.add_concept("hub")
+    names = [f"leaf{i}" for i in range(leaves)]
+    for name in names:
+        builder.add_concept(name)
+        builder.add_edge("hub", name)
+    return builder.build(), names
+
+
+class TestDegenerateShapes:
+    def test_chain_ontology_distances(self):
+        ontology, names = chain_ontology()
+        collection = DocumentCollection(
+            [Document(f"d{i}", [names[i]]) for i in range(len(names))]
+        )
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.rds([names[0]], k=3)
+        assert results.doc_ids() == ["d0", "d1", "d2"]
+        assert results.distances() == [0.0, 1.0, 2.0]
+
+    def test_star_ontology_all_leaves_equidistant(self):
+        ontology, names = star_ontology()
+        collection = DocumentCollection(
+            [Document(f"d{i}", [names[i]]) for i in range(10)]
+        )
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.rds([names[20]], k=5)
+        # Every leaf document sits at distance 2 (leaf -> hub -> leaf).
+        assert results.distances() == [2.0] * 5
+
+    def test_query_concept_with_empty_postings(self):
+        ontology, names = chain_ontology()
+        # No document contains n0; documents cluster at the deep end.
+        collection = DocumentCollection(
+            [Document("deep", [names[-1]]), Document("mid", [names[6]])]
+        )
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.rds([names[0]], k=2)
+        oracle = FullScanSearch(ontology, collection).rds([names[0]], k=2)
+        assert results.distances() == oracle.distances()
+
+    def test_all_documents_identical(self):
+        ontology, names = star_ontology()
+        collection = DocumentCollection(
+            [Document(f"d{i}", [names[0], names[1]]) for i in range(6)]
+        )
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.rds([names[0]], k=3)
+        assert results.distances() == [0.0, 0.0, 0.0]
+        sds = searcher.sds([names[0], names[1]], k=3)
+        assert sds.distances() == [0.0, 0.0, 0.0]
+
+
+class TestAdversarialTies:
+    def test_many_boundary_ties(self):
+        # 20 documents all at the same distance; any k of them is a valid
+        # answer, distances must still be exact.
+        ontology, names = star_ontology()
+        collection = DocumentCollection(
+            [Document(f"d{i:02d}", [names[i]]) for i in range(20)]
+        )
+        searcher = KNDSearch(ontology, collection)
+        for config in (KNDSConfig(error_threshold=0.0),
+                       KNDSConfig(error_threshold=1.0)):
+            results = searcher.rds([names[25]], k=7, config=config)
+            assert results.distances() == [2.0] * 7
+            assert len(set(results.doc_ids())) == 7
+
+    def test_single_concept_everywhere(self):
+        ontology, names = chain_ontology(5)
+        collection = DocumentCollection(
+            [Document(f"d{i}", names[:5]) for i in range(4)]
+        )
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.sds(names[:5], k=4)
+        assert results.distances() == [0.0] * 4
+
+
+class TestSDSNormalizationEdge:
+    def test_large_document_vs_small_document(self):
+        # SDS normalizes by document size: a huge document containing the
+        # query concepts plus noise is *further* than an exact small one.
+        ontology, names = star_ontology()
+        small = Document("small", [names[0]])
+        big = Document("big", [names[0]] + names[5:15])
+        collection = DocumentCollection([small, big])
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.sds([names[0]], k=2)
+        assert results.doc_ids()[0] == "small"
+        assert results.results[0].distance == 0.0
+        assert results.results[1].distance > 0.0
+
+    def test_query_document_none_of_whose_concepts_occur(self):
+        ontology, names = star_ontology()
+        collection = DocumentCollection(
+            [Document("d0", [names[1]]), Document("d1", [names[2]])]
+        )
+        searcher = KNDSearch(ontology, collection)
+        results = searcher.sds([names[25], names[26]], k=2)
+        oracle = FullScanSearch(ontology, collection).sds(
+            [names[25], names[26]], k=2)
+        assert results.distances() == pytest.approx(oracle.distances())
+
+
+class TestBudgetInteractions:
+    def test_tiny_budget_still_correct(self, small_ontology, small_corpus):
+        pool = sorted(small_corpus.distinct_concepts())
+        query = tuple(pool[10:13])
+        searcher = KNDSearch(small_ontology, small_corpus)
+        strict = searcher.rds(query, 5,
+                              config=KNDSConfig(analyze_budget_per_round=1))
+        free = searcher.rds(query, 5)
+        assert strict.distances() == free.distances()
+
+    def test_queue_limit_one_forces_every_round(self, small_ontology,
+                                                small_corpus):
+        pool = sorted(small_corpus.distinct_concepts())
+        query = tuple(pool[3:5])
+        searcher = KNDSearch(small_ontology, small_corpus)
+        capped = searcher.rds(query, 4, config=KNDSConfig(queue_limit=1))
+        free = searcher.rds(query, 4)
+        assert capped.distances() == free.distances()
+        assert capped.stats.forced_rounds >= 1

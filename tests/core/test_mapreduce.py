@@ -1,0 +1,121 @@
+"""Tests for the MapReduce runtime and kNDS-as-MapReduce."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.core.mapreduce import MapReduceKNDS, MapReduceRuntime
+from repro.datasets import example4_collection, figure3_ontology
+
+
+class TestRuntime:
+    def test_word_count(self):
+        runtime = MapReduceRuntime(num_partitions=3)
+
+        def mapper(line):
+            for word in line.split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield word, sum(counts)
+
+        output = dict(runtime.run(
+            ["a b a", "b c", "a"], mapper, reducer))
+        assert output == {"a": 3, "b": 2, "c": 1}
+        assert runtime.stats.map_invocations == 3
+        assert runtime.stats.shuffled_pairs == 6
+        assert runtime.stats.reduce_invocations == 3
+
+    def test_deterministic_across_partition_counts(self):
+        def mapper(item):
+            yield item % 5, item
+
+        def reducer(key, values):
+            yield key, sorted(values)
+
+        single = MapReduceRuntime(1).run(range(20), mapper, reducer)
+        many = MapReduceRuntime(7).run(range(20), mapper, reducer)
+        assert sorted(single) == sorted(many)
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            MapReduceRuntime(0)
+
+
+class TestMapReduceKNDS:
+    @pytest.fixture()
+    def world(self, small_ontology, small_corpus):
+        return small_ontology, small_corpus
+
+    def test_example4_matches_paper(self, figure3, example4):
+        searcher = MapReduceKNDS(figure3, example4)
+        results = searcher.rds(["F", "I"], k=2)
+        assert sorted(results.doc_ids()) == ["d2", "d3"]
+        assert results.distances() == [2.0, 2.0]
+
+    @pytest.mark.parametrize("config", [
+        KNDSConfig(),
+        KNDSConfig(error_threshold=0.0),
+        KNDSConfig(error_threshold=1.0),
+        KNDSConfig(prune_at_pop=False),
+    ])
+    def test_rds_matches_serial_knds(self, world, config):
+        ontology, corpus = world
+        pool = sorted(corpus.distinct_concepts())
+        serial = KNDSearch(ontology, corpus)
+        parallel = MapReduceKNDS(ontology, corpus)
+        for offset in (0, 7, 19):
+            query = tuple(pool[offset:offset + 3])
+            assert parallel.rds(query, 6, config).distances() == \
+                serial.rds(query, 6, config).distances()
+
+    def test_sds_matches_serial_knds(self, world):
+        ontology, corpus = world
+        serial = KNDSearch(ontology, corpus)
+        parallel = MapReduceKNDS(ontology, corpus)
+        for document in list(corpus)[:4]:
+            assert parallel.sds(document, 5).distances() == pytest.approx(
+                serial.sds(document, 5).distances())
+
+    def test_matches_oracle(self, world):
+        ontology, corpus = world
+        pool = sorted(corpus.distinct_concepts())
+        oracle = FullScanSearch(ontology, corpus)
+        parallel = MapReduceKNDS(ontology, corpus)
+        query = tuple(pool[4:8])
+        assert parallel.rds(query, 8).distances() == \
+            oracle.rds(query, 8).distances()
+
+    def test_partition_count_does_not_change_results(self, world):
+        ontology, corpus = world
+        pool = sorted(corpus.distinct_concepts())
+        query = tuple(pool[2:5])
+        one = MapReduceKNDS(ontology, corpus,
+                            runtime=MapReduceRuntime(1)).rds(query, 5)
+        eight = MapReduceKNDS(ontology, corpus,
+                              runtime=MapReduceRuntime(8)).rds(query, 5)
+        assert one.distances() == eight.distances()
+
+    def test_no_global_queue(self, world):
+        # The point of the MapReduce formulation: no single process holds
+        # the combined frontier.  The max per-mapper frontier must stay
+        # below the sum of all per-origin frontiers at the widest level.
+        ontology, corpus = world
+        pool = sorted(corpus.distinct_concepts())
+        query = tuple(pool[0:4])
+        parallel = MapReduceKNDS(ontology, corpus)
+        parallel.rds(query, 5, KNDSConfig(error_threshold=0.0))
+        stats = parallel.runtime.stats
+        assert stats.rounds >= 1
+        assert stats.max_mapper_frontier > 0
+        serial = KNDSearch(ontology, corpus)
+        observed = []
+        serial.rds(query, 5, KNDSConfig(error_threshold=0.0),
+                   observer=lambda e: observed.append(len(e["frontier"])))
+        assert stats.max_mapper_frontier <= max(observed)
+
+    def test_validation(self, figure3):
+        with pytest.raises(ValueError):
+            MapReduceKNDS(figure3)

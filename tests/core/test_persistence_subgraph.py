@@ -1,0 +1,112 @@
+"""Tests for subontology extraction and whole-engine persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.persistence import load_engine, save_engine
+from repro.datasets import example4_collection, figure3_ontology
+from repro.exceptions import ParseError, UnknownConceptError
+from repro.ontology.distance import concept_distance
+from repro.ontology.subgraph import extract_closure, extract_rooted
+
+
+class TestExtractRooted:
+    def test_descendant_cone(self, figure3):
+        subgraph = extract_rooted(figure3, "J")
+        assert set(subgraph.concepts()) == {"J", "K", "P", "Q", "R", "U",
+                                            "V"}
+        assert subgraph.root == "J"
+
+    def test_child_order_preserved(self, figure3):
+        subgraph = extract_rooted(figure3, "J")
+        assert list(subgraph.children("J")) == ["K", "P"]
+
+    def test_distances_preserved_below_root(self, figure3):
+        subgraph = extract_rooted(figure3, "J")
+        for first in ("R", "U", "V"):
+            for second in ("K", "P", "Q"):
+                assert concept_distance(subgraph, first, second) == \
+                    concept_distance(figure3, first, second)
+
+    def test_unknown_root(self, figure3):
+        with pytest.raises(UnknownConceptError):
+            extract_rooted(figure3, "nope")
+
+
+class TestExtractClosure:
+    def test_contains_concepts_and_ancestors(self, figure3):
+        subgraph = extract_closure(figure3, ["U", "L"])
+        assert "U" in subgraph and "L" in subgraph
+        assert "A" in subgraph  # shared root ancestor
+        assert "M" not in subgraph  # unrelated sibling dropped
+
+    def test_distances_between_kept_concepts_identical(self, figure3):
+        concepts = ["U", "L", "I", "V"]
+        subgraph = extract_closure(figure3, concepts)
+        for first in concepts:
+            for second in concepts:
+                assert concept_distance(subgraph, first, second) == \
+                    concept_distance(figure3, first, second)
+
+    def test_searchable(self, figure3):
+        from repro.corpus.collection import DocumentCollection
+        from repro.corpus.document import Document
+
+        subgraph = extract_closure(figure3, ["F", "I", "J", "O"])
+        collection = DocumentCollection([
+            Document("d2", ["I", "O"]),
+            Document("d3", ["F", "J"]),
+        ])
+        engine = SearchEngine(subgraph, collection)
+        assert sorted(engine.rds(["F", "I"], k=2).distances()) == [2.0, 2.0]
+
+
+class TestEnginePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        original = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(original, tmp_path / "deploy")
+        reloaded = load_engine(tmp_path / "deploy")
+        try:
+            assert reloaded.rds(["F", "I"], k=2).distances() == \
+                original.rds(["F", "I"], k=2).distances()
+            assert reloaded.sds("d1", k=3).distances() == pytest.approx(
+                original.sds("d1", k=3).distances())
+        finally:
+            reloaded.close()
+
+    def test_load_with_memory_backend_and_inmemory_ontology(self, tmp_path):
+        original = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(original, tmp_path / "deploy")
+        reloaded = load_engine(tmp_path / "deploy", backend="memory",
+                               ontology_in_memory=True)
+        assert reloaded.rds(["F", "I"], k=2).doc_ids() == ["d2", "d3"]
+        # The in-memory ontology is a plain Ontology, fully mutable/fast.
+        from repro.ontology.graph import Ontology
+        assert type(reloaded.ontology) is Ontology
+
+    def test_updates_after_reload(self, tmp_path):
+        from repro.corpus.document import Document
+
+        original = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(original, tmp_path / "deploy")
+        reloaded = load_engine(tmp_path / "deploy")
+        try:
+            reloaded.add_document(Document("d9", ["F", "I"]))
+            assert reloaded.rds(["F", "I"], k=1).doc_ids() == ["d9"]
+        finally:
+            reloaded.close()
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ParseError):
+            load_engine(tmp_path)
+
+    def test_version_check(self, tmp_path):
+        original = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(original, tmp_path / "deploy")
+        manifest = tmp_path / "deploy" / "engine.json"
+        manifest.write_text(manifest.read_text().replace(
+            '"format_version": 1', '"format_version": 99'))
+        with pytest.raises(ParseError):
+            load_engine(tmp_path / "deploy")

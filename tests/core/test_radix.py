@@ -1,0 +1,105 @@
+"""Unit tests for the Radix DAG machinery."""
+
+from __future__ import annotations
+
+from repro.core.radix import RadixDAG
+from repro.ontology.dewey import DeweyIndex
+
+
+def _walk(dag, address):
+    """Follow an address through the radix edges; return the node or None."""
+    node = dag.root
+    remaining = tuple(address)
+    while remaining:
+        position = node.index.get(remaining[0])
+        if position is None:
+            return None
+        label, child = node.children[position]
+        if remaining[:len(label)] != label:
+            return None
+        remaining = remaining[len(label):]
+        node = child
+    return node
+
+
+class TestInsertion:
+    def test_every_inserted_address_is_reachable(self, figure3,
+                                                 figure3_dewey):
+        concepts = ("F", "R", "T", "V", "I", "L", "U")
+        pairs = figure3_dewey.sorted_address_list(concepts)
+        dag = RadixDAG.from_addresses(figure3, pairs)
+        for address, concept in pairs:
+            node = _walk(dag, address)
+            assert node is not None, address
+            assert node.concept_id == concept
+            assert node.is_target
+
+    def test_root_address_insertion(self, figure3):
+        dag = RadixDAG(figure3)
+        dag.insert((), "A")
+        assert dag.root.is_target
+
+    def test_duplicate_insertion_is_idempotent(self, figure3, figure3_dewey):
+        pairs = figure3_dewey.sorted_address_list(("R",))
+        dag = RadixDAG(figure3)
+        for address, concept in pairs + pairs:
+            dag.insert(address, concept)
+        assert len(dag) == len(set(n.concept_id for n in dag.nodes()))
+        # Edge labels concatenated along any path reproduce an address.
+        assert _walk(dag, (1, 1, 1, 2, 1, 1)).concept_id == "R"
+
+    def test_first_component_invariant(self, figure3, figure3_dewey):
+        concepts = tuple("FRTVILU")
+        dag = RadixDAG.from_addresses(
+            figure3, figure3_dewey.sorted_address_list(concepts))
+        for node in dag.nodes():
+            first_components = [label[0] for label, _child in node.children]
+            assert len(first_components) == len(set(first_components))
+            assert node.index == {
+                label[0]: position
+                for position, (label, _child) in enumerate(node.children)
+            }
+
+    def test_registry_merges_multi_address_concepts(self, figure3,
+                                                    figure3_dewey):
+        dag = RadixDAG.from_addresses(
+            figure3, figure3_dewey.sorted_address_list(("R", "V")))
+        # R and V each have two addresses but exactly one node.
+        ids = [node.concept_id for node in dag.nodes()]
+        assert ids.count("R") == 1
+        assert ids.count("V") == 1
+
+
+class TestStructure:
+    def test_targets(self, figure3, figure3_dewey):
+        dag = RadixDAG.from_addresses(
+            figure3, figure3_dewey.sorted_address_list(("R", "V")))
+        assert {node.concept_id for node in dag.targets()} == {"R", "V"}
+
+    def test_topological_order(self, figure3, figure3_dewey):
+        dag = RadixDAG.from_addresses(
+            figure3, figure3_dewey.sorted_address_list(tuple("FRTVILU")))
+        order = dag.topological_order()
+        assert len(order) == len(dag)
+        position = {id(node): index for index, node in enumerate(order)}
+        for node in dag.nodes():
+            for _label, child in node.children:
+                assert position[id(node)] < position[id(child)]
+
+    def test_edges_snapshot_labels(self, figure3, figure3_dewey):
+        dag = RadixDAG.from_addresses(
+            figure3, figure3_dewey.sorted_address_list(("F",)))
+        assert dag.edges() == {("A", "3.1", "F")}
+
+
+class TestRandomizedStructure:
+    def test_generated_ontology_addresses_all_reachable(self, small_ontology):
+        import random
+        rng = random.Random(4)
+        dewey = DeweyIndex(small_ontology)
+        concepts = rng.sample(list(small_ontology.concepts()), 25)
+        pairs = dewey.sorted_address_list(concepts)
+        dag = RadixDAG.from_addresses(small_ontology, pairs)
+        for address, concept in pairs:
+            node = _walk(dag, address)
+            assert node is not None and node.concept_id == concept

@@ -1,0 +1,54 @@
+"""Unit tests for result and stats types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import QueryStats, RankedResults, ResultItem
+
+
+class TestResultItem:
+    def test_unpacking(self):
+        doc, distance = ResultItem("d1", 2.5)
+        assert doc == "d1"
+        assert distance == 2.5
+
+
+class TestRankedResults:
+    def make(self) -> RankedResults:
+        return RankedResults(
+            [ResultItem("d1", 1.0), ResultItem("d2", 2.0)],
+            algorithm="knds", query_kind="rds", k=2,
+        )
+
+    def test_accessors(self):
+        results = self.make()
+        assert results.doc_ids() == ["d1", "d2"]
+        assert results.distances() == [1.0, 2.0]
+        assert len(results) == 2
+        assert [item.doc_id for item in results] == ["d1", "d2"]
+
+
+class TestQueryStats:
+    def test_merge_accumulates(self):
+        first = QueryStats(total_seconds=1.0, drc_calls=2, bfs_levels=3)
+        second = QueryStats(total_seconds=0.5, drc_calls=1, docs_examined=4)
+        first.merge(second)
+        assert first.total_seconds == pytest.approx(1.5)
+        assert first.drc_calls == 3
+        assert first.bfs_levels == 3
+        assert first.docs_examined == 4
+
+    def test_scaled_divides(self):
+        stats = QueryStats(total_seconds=2.0, io_seconds=1.0, drc_calls=10,
+                           docs_examined=9)
+        average = stats.scaled(2)
+        assert average.total_seconds == pytest.approx(1.0)
+        assert average.io_seconds == pytest.approx(0.5)
+        assert average.drc_calls == 5
+        assert average.docs_examined == 4 or average.docs_examined == 5
+
+    def test_defaults_zero(self):
+        stats = QueryStats()
+        assert stats.total_seconds == 0.0
+        assert stats.forced_rounds == 0

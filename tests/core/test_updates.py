@@ -1,0 +1,103 @@
+"""Incremental update tests: the paper's on-the-fly insertion story.
+
+"Our algorithm can integrate new documents into its computation
+on-the-fly; i.e., when a new patient arrives at the point-of-care, we can
+instantly add his or her EMR to our database.  In contrast, TA would have
+to update every concept inverted index with the distance from the newly
+added EMR." (Section 1.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.core.engine import SearchEngine
+from repro.corpus.document import Document
+from repro.datasets import example4_collection, figure3_ontology
+from repro.exceptions import UnknownConceptError, UnknownDocumentError
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def engine(request, figure3):
+    instance = SearchEngine(figure3, example4_collection(),
+                            backend=request.param)
+    yield instance
+    instance.close()
+
+
+class TestEngineUpdates:
+    def test_added_document_is_searchable_immediately(self, engine):
+        engine.add_document(Document("d7", ["F", "I"]))
+        results = engine.rds(["F", "I"], k=1)
+        assert results.doc_ids() == ["d7"]
+        assert results.results[0].distance == 0.0
+
+    def test_added_document_visible_to_sds(self, engine):
+        engine.add_document(Document("d7", ["I", "O"]))  # same as d2
+        results = engine.sds("d2", k=2)
+        assert set(results.doc_ids()) == {"d2", "d7"}
+        assert results.distances() == [0.0, 0.0]
+
+    def test_remove_document(self, engine):
+        before = engine.rds(["F", "I"], k=2)
+        assert "d2" in before.doc_ids()
+        removed = engine.remove_document("d2")
+        assert removed.doc_id == "d2"
+        after = engine.rds(["F", "I"], k=2)
+        assert "d2" not in after.doc_ids()
+
+    def test_remove_then_readd(self, engine):
+        document = engine.remove_document("d3")
+        engine.add_document(document)
+        results = engine.rds(["F", "I"], k=2)
+        assert "d3" in results.doc_ids()
+
+    def test_add_unknown_concept_rejected(self, engine):
+        with pytest.raises(UnknownConceptError):
+            engine.add_document(Document("bad", ["Z99"]))
+        # Nothing was partially indexed.
+        assert "bad" not in engine.collection
+
+    def test_remove_unknown_document(self, engine):
+        with pytest.raises(UnknownDocumentError):
+            engine.remove_document("nope")
+
+    def test_update_consistency_with_rebuild(self, figure3):
+        # Incrementally updated indexes must answer like freshly built
+        # ones over the same final corpus.
+        incremental = SearchEngine(figure3, example4_collection())
+        incremental.add_document(Document("d7", ["K", "Q"]))
+        incremental.remove_document("d5")
+
+        collection = example4_collection()
+        collection.add(Document("d7", ["K", "Q"]))
+        collection.remove("d5")
+        rebuilt = SearchEngine(figure3, collection)
+
+        for query in (["F", "I"], ["U"], ["K", "Q", "L"]):
+            assert incremental.rds(query, k=4).distances() == \
+                rebuilt.rds(query, k=4).distances()
+
+
+class TestTAUpdateCost:
+    def test_ta_add_document_updates_every_list(self, figure3):
+        collection = example4_collection()
+        ta = ThresholdAlgorithm.build(figure3, collection,
+                                      concepts=("F", "I", "U"))
+        newcomer = Document("d7", ["J"])
+        ta.add_document(newcomer)
+        for concept in ("F", "I", "U"):
+            postings = ta._sorted[concept]
+            assert len(postings) == len(collection) + 1
+            distances = [distance for distance, _doc in postings]
+            assert distances == sorted(distances)
+
+    def test_ta_results_correct_after_update(self, figure3):
+        collection = example4_collection()
+        ta = ThresholdAlgorithm.build(figure3, collection,
+                                      concepts=("F", "I"))
+        ta.add_document(Document("d7", ["F", "I"]))
+        results = ta.rds(("F", "I"), k=1)
+        assert results.doc_ids() == ["d7"]
+        assert results.distances() == [0.0]

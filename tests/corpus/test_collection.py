@@ -1,0 +1,87 @@
+"""Unit tests for document collections and corpus statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import CorpusError, UnknownDocumentError
+
+
+def make_collection() -> DocumentCollection:
+    return DocumentCollection(
+        [
+            Document("d1", ["C1", "C2"], token_count=10),
+            Document("d2", ["C2", "C3"], token_count=20),
+            Document("d3", ["C2"], token_count=30),
+        ],
+        name="toy",
+    )
+
+
+class TestBasics:
+    def test_len_iter_contains_get(self):
+        collection = make_collection()
+        assert len(collection) == 3
+        assert [d.doc_id for d in collection] == ["d1", "d2", "d3"]
+        assert "d2" in collection
+        assert collection.get("d2").concepts == ("C2", "C3")
+
+    def test_duplicate_id_rejected(self):
+        collection = make_collection()
+        with pytest.raises(CorpusError):
+            collection.add(Document("d1", ["C9"]))
+
+    def test_unknown_document(self):
+        with pytest.raises(UnknownDocumentError):
+            make_collection().get("nope")
+
+    def test_doc_ids_order(self):
+        assert make_collection().doc_ids() == ["d1", "d2", "d3"]
+
+
+class TestStats:
+    def test_table3_statistics(self):
+        stats = make_collection().stats()
+        assert stats.total_documents == 3
+        assert stats.total_concepts == 3
+        assert stats.avg_tokens_per_document == pytest.approx(20.0)
+        assert stats.avg_concepts_per_document == pytest.approx(5 / 3)
+
+    def test_empty_collection_stats(self):
+        stats = DocumentCollection(name="empty").stats()
+        assert stats.total_documents == 0
+        assert stats.avg_tokens_per_document == 0.0
+
+    def test_as_rows(self):
+        rows = dict(make_collection().stats().as_rows())
+        assert rows["Total Documents"] == "3"
+        assert rows["Avg. Tokens/Document"] == "20.0"
+
+    def test_concept_frequencies(self):
+        frequencies = make_collection().concept_frequencies()
+        assert frequencies == {"C1": 1, "C2": 3, "C3": 1}
+
+    def test_distinct_concepts(self):
+        assert make_collection().distinct_concepts() == {"C1", "C2", "C3"}
+
+
+class TestTransforms:
+    def test_filtered(self):
+        collection = make_collection()
+        big = collection.filtered(lambda d: d.token_count >= 20, name="big")
+        assert big.doc_ids() == ["d2", "d3"]
+        assert big.name == "big"
+        assert len(collection) == 3  # original untouched
+
+    def test_restrict_concepts_drops_empty(self):
+        restricted = make_collection().restrict_concepts({"C1", "C3"})
+        assert restricted.doc_ids() == ["d1", "d2"]
+        assert restricted.get("d1").concepts == ("C1",)
+
+    def test_restrict_concepts_keep_empty(self):
+        restricted = make_collection().restrict_concepts(
+            {"C1"}, drop_empty=False)
+        assert restricted.doc_ids() == ["d1", "d2", "d3"]
+        assert len(restricted.get("d3")) == 0

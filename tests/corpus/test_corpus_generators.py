@@ -1,0 +1,100 @@
+"""Unit tests for synthetic corpus generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generators import generate_corpus, patient_like, radio_like
+
+
+class TestGenerateCorpus:
+    def test_deterministic(self, small_ontology):
+        first = generate_corpus(small_ontology, num_docs=20,
+                                mean_concepts=8, seed=5)
+        second = generate_corpus(small_ontology, num_docs=20,
+                                 mean_concepts=8, seed=5)
+        assert [d.concepts for d in first] == [d.concepts for d in second]
+
+    def test_doc_count_and_nonempty(self, small_ontology):
+        corpus = generate_corpus(small_ontology, num_docs=15,
+                                 mean_concepts=6, seed=1)
+        assert len(corpus) == 15
+        assert all(len(document) >= 1 for document in corpus)
+
+    def test_mean_concepts_approximate(self, small_ontology):
+        corpus = generate_corpus(small_ontology, num_docs=60,
+                                 mean_concepts=10, seed=2)
+        mean = corpus.stats().avg_concepts_per_document
+        assert 6 <= mean <= 14
+
+    def test_concepts_exist_in_ontology(self, small_ontology):
+        corpus = generate_corpus(small_ontology, num_docs=10,
+                                 mean_concepts=8, seed=3)
+        for document in corpus:
+            for concept in document.concepts:
+                assert concept in small_ontology
+                assert concept != small_ontology.root
+
+    def test_token_counts_scale_with_concepts(self, small_ontology):
+        corpus = generate_corpus(small_ontology, num_docs=20,
+                                 mean_concepts=10, tokens_per_concept=10,
+                                 seed=4)
+        for document in corpus:
+            assert document.token_count >= len(document)
+
+    def test_with_text_mentions_labels(self, small_ontology):
+        corpus = generate_corpus(small_ontology, num_docs=3,
+                                 mean_concepts=4, with_text=True, seed=6)
+        for document in corpus:
+            assert document.text
+            first_concept = document.concepts[0]
+            label_head = small_ontology.label(first_concept).split()[0]
+            assert label_head in document.text
+
+    def test_invalid_cohesion(self, small_ontology):
+        with pytest.raises(ValueError):
+            generate_corpus(small_ontology, num_docs=1, mean_concepts=2,
+                            cohesion=1.5)
+
+
+class TestCohesion:
+    def _mean_pairwise_spread(self, ontology, corpus, sample=10):
+        """Average ontology distance between concept pairs within docs."""
+        from repro.ontology.distance import concept_distance
+        total, count = 0, 0
+        for document in list(corpus)[:sample]:
+            concepts = document.concepts[:6]
+            for i in range(len(concepts) - 1):
+                total += concept_distance(ontology, concepts[i],
+                                          concepts[i + 1])
+                count += 1
+        return total / count
+
+    def test_high_cohesion_clusters_concepts(self, small_ontology):
+        tight = generate_corpus(small_ontology, num_docs=12,
+                                mean_concepts=10, cohesion=0.95, seed=7)
+        loose = generate_corpus(small_ontology, num_docs=12,
+                                mean_concepts=10, cohesion=0.0, seed=7)
+        assert self._mean_pairwise_spread(
+            small_ontology, tight) < self._mean_pairwise_spread(
+            small_ontology, loose)
+
+
+class TestPresets:
+    def test_patient_vs_radio_contrast(self, small_ontology):
+        patient = patient_like(small_ontology, num_docs=12,
+                               mean_concepts=40)
+        radio = radio_like(small_ontology, num_docs=40, mean_concepts=8)
+        patient_stats = patient.stats()
+        radio_stats = radio.stats()
+        assert patient_stats.total_documents < radio_stats.total_documents
+        assert (patient_stats.avg_concepts_per_document
+                > 3 * radio_stats.avg_concepts_per_document)
+        assert (patient_stats.avg_tokens_per_document
+                / patient_stats.avg_concepts_per_document
+                > radio_stats.avg_tokens_per_document
+                / radio_stats.avg_concepts_per_document)
+
+    def test_preset_names(self, small_ontology):
+        assert patient_like(small_ontology, num_docs=2).name == "PATIENT"
+        assert radio_like(small_ontology, num_docs=2).name == "RADIO"

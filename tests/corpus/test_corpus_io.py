@@ -1,0 +1,93 @@
+"""Unit tests for corpus serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.io import (
+    load_concept_csv,
+    load_jsonl,
+    save_concept_csv,
+    save_jsonl,
+)
+from repro.exceptions import ParseError
+
+
+@pytest.fixture()
+def collection() -> DocumentCollection:
+    return DocumentCollection(
+        [
+            Document("d1", ["C2", "C1"], text="note text", token_count=2,
+                     metadata={"type": "radiology"}),
+            Document("d2", ["C3"]),
+        ],
+        name="io-test",
+    )
+
+
+class TestJSONL:
+    def test_roundtrip(self, collection, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(collection, path)
+        reloaded = load_jsonl(path)
+        assert reloaded.doc_ids() == collection.doc_ids()
+        original = collection.get("d1")
+        copy = reloaded.get("d1")
+        assert copy.concepts == original.concepts
+        assert copy.text == original.text
+        assert copy.token_count == original.token_count
+        assert copy.metadata == original.metadata
+
+    def test_compact_output_omits_empty_fields(self, collection, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(collection, path)
+        lines = path.read_text().splitlines()
+        assert "text" not in lines[1]  # d2 has no text
+        assert "metadata" not in lines[1]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text('{"id": "a", "concepts": ["C1"]}\n\n'
+                        '{"id": "b", "concepts": ["C2"]}\n')
+        assert load_jsonl(path).doc_ids() == ["a", "b"]
+
+    def test_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "a", "concepts": ["C1"]}\nnot-json\n')
+        with pytest.raises(ParseError) as excinfo:
+            load_jsonl(path)
+        assert excinfo.value.line == 2
+
+    def test_missing_fields_raise(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "a"}\n')
+        with pytest.raises(ParseError):
+            load_jsonl(path)
+
+    def test_default_name_from_stem(self, collection, tmp_path):
+        path = tmp_path / "mycorpus.jsonl"
+        save_jsonl(collection, path)
+        assert load_jsonl(path).name == "mycorpus"
+
+
+class TestConceptCSV:
+    def test_roundtrip_concepts_only(self, collection, tmp_path):
+        path = tmp_path / "pairs.csv"
+        save_concept_csv(collection, path)
+        reloaded = load_concept_csv(path)
+        assert reloaded.doc_ids() == collection.doc_ids()
+        assert reloaded.get("d1").concepts == ("C1", "C2")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        path.write_text("foo,bar\n")
+        with pytest.raises(ParseError):
+            load_concept_csv(path)
+
+    def test_short_row(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        path.write_text("doc_id,concept\nonlyone\n")
+        with pytest.raises(ParseError):
+            load_concept_csv(path)

@@ -1,0 +1,56 @@
+"""Unit tests for the document model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.exceptions import EmptyDocumentError
+
+
+class TestDocument:
+    def test_concepts_normalized_sorted_unique(self):
+        document = Document("d1", ["C2", "C1", "C2"])
+        assert document.concepts == ("C1", "C2")
+        assert document.concept_set == frozenset({"C1", "C2"})
+        assert len(document) == 2
+
+    def test_contains(self):
+        document = Document("d1", ["C1"])
+        assert "C1" in document
+        assert "C2" not in document
+
+    def test_token_count_from_text(self):
+        document = Document("d1", ["C1"], text="one two three")
+        assert document.token_count == 3
+
+    def test_token_count_explicit_overrides(self):
+        document = Document("d1", ["C1"], text="one two", token_count=99)
+        assert document.token_count == 99
+
+    def test_equality_and_hash(self):
+        first = Document("d1", ["C1", "C2"])
+        second = Document("d1", ["C2", "C1"])
+        third = Document("d2", ["C1", "C2"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+        assert first != "d1"
+
+    def test_require_concepts(self):
+        document = Document("d1", [])
+        with pytest.raises(EmptyDocumentError):
+            document.require_concepts()
+        assert Document("d2", ["C1"]).require_concepts() == ("C1",)
+
+    def test_restrict_to(self):
+        document = Document("d1", ["C1", "C2", "C3"], text="t",
+                            metadata={"kind": "note"})
+        restricted = document.restrict_to({"C1", "C3", "C9"})
+        assert restricted.concepts == ("C1", "C3")
+        assert restricted.doc_id == "d1"
+        assert restricted.text == "t"
+        assert restricted.metadata == {"kind": "note"}
+
+    def test_metadata_defaults_empty(self):
+        assert Document("d1", ["C1"]).metadata == {}

@@ -1,0 +1,77 @@
+"""Unit tests for the Section 6.1 concept filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.filters import (
+    apply_default_filters,
+    collection_frequency_cutoff,
+    depth_filter,
+    frequency_filter,
+)
+
+
+class TestDepthFilter:
+    def test_default_threshold_on_figure3(self, figure3):
+        kept = depth_filter(figure3)
+        # Depth >= 4 keeps only the deep half of the example hierarchy.
+        assert "A" not in kept
+        assert "F" not in kept  # depth 2
+        assert "I" in kept  # depth 4
+        assert "U" in kept and "V" in kept and "T" in kept
+
+    def test_custom_threshold(self, figure3):
+        kept = depth_filter(figure3, min_depth=1)
+        assert kept == set(figure3.concepts()) - {"A"}
+
+
+class TestFrequencyFilter:
+    def collection(self) -> DocumentCollection:
+        documents = [
+            Document(f"d{i}", ["common"] + ([f"rare{i}"] if i else []))
+            for i in range(10)
+        ]
+        return DocumentCollection(documents)
+
+    def test_cutoff_is_mu_plus_sigma(self):
+        collection = self.collection()
+        frequencies = list(collection.concept_frequencies().values())
+        mean = sum(frequencies) / len(frequencies)
+        cutoff = collection_frequency_cutoff(collection)
+        assert cutoff > mean
+
+    def test_ubiquitous_concept_dropped(self):
+        kept = frequency_filter(self.collection())
+        assert "common" not in kept
+        assert "rare3" in kept
+
+    def test_explicit_cutoff(self):
+        kept = frequency_filter(self.collection(), cutoff=100)
+        assert "common" in kept
+
+    def test_empty_collection(self):
+        assert collection_frequency_cutoff(DocumentCollection()) == 0.0
+        assert frequency_filter(DocumentCollection()) == set()
+
+
+class TestApplyDefaultFilters:
+    def test_combined(self, figure3):
+        documents = [
+            Document("d1", ["A", "U"]),   # A is too generic (depth 0)
+            Document("d2", ["V", "U"]),
+            Document("d3", ["A"]),        # left empty => dropped
+        ]
+        collection = DocumentCollection(documents)
+        filtered = apply_default_filters(figure3, collection,
+                                         frequency_cutoff=100)
+        assert filtered.doc_ids() == ["d1", "d2"]
+        assert filtered.get("d1").concepts == ("U",)
+
+    def test_ignores_concepts_missing_from_ontology(self, figure3):
+        collection = DocumentCollection([Document("d1", ["U", "external"])])
+        filtered = apply_default_filters(figure3, collection,
+                                         frequency_cutoff=100)
+        assert filtered.get("d1").concepts == ("U",)

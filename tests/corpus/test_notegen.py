@@ -1,0 +1,66 @@
+"""Tests for the clinical-note generator and its extraction round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.text.notegen import generate_note, notes_corpus
+from repro.corpus.text.pipeline import ConceptExtractor
+
+
+class TestGenerateNote:
+    def test_mentions_every_positive_label(self, figure3):
+        text = generate_note(figure3, ["G", "J"], seed=1)
+        assert figure3.label("G") in text
+        assert figure3.label("J") in text
+
+    def test_sectioned_layout(self, figure3):
+        text = generate_note(figure3, ["G", "J", "F"], ["B"], seed=2)
+        assert "CHIEF COMPLAINT:" in text
+        assert text.count("\n") >= 1
+
+    def test_deterministic(self, figure3):
+        first = generate_note(figure3, ["G", "F"], ["B"], seed=3)
+        second = generate_note(figure3, ["G", "F"], ["B"], seed=3)
+        assert first == second
+
+    def test_roundtrip_recovers_exactly_the_positive_set(self, figure3):
+        extractor = ConceptExtractor.for_ontology(figure3)
+        for seed in range(6):
+            text = generate_note(figure3, ["G", "J", "F"], ["B", "D"],
+                                 seed=seed)
+            extracted = extractor.extract_concepts(text)
+            assert extracted == {"G", "J", "F"}, (seed, text)
+
+
+class TestNotesCorpus:
+    def test_corpus_shape(self, small_ontology):
+        corpus = notes_corpus(small_ontology, num_docs=12,
+                              mean_concepts=5, seed=4)
+        assert len(corpus) == 12
+        for document in corpus:
+            assert document.text
+            assert document.token_count > 0
+
+    def test_negated_decoys_do_not_leak(self, small_ontology):
+        corpus = notes_corpus(small_ontology, num_docs=15,
+                              mean_concepts=5, negation_rate=0.5, seed=5)
+        # Each document records how many positives were generated; the
+        # extracted set must match (decoys filtered, positives kept).
+        for document in corpus:
+            assert len(document) == document.metadata["generated_positive"]
+
+    def test_searchable_end_to_end(self, small_ontology):
+        from repro.core.engine import SearchEngine
+        corpus = notes_corpus(small_ontology, num_docs=20,
+                              mean_concepts=6, seed=6)
+        engine = SearchEngine(small_ontology, corpus)
+        document = next(iter(corpus))
+        results = engine.rds(list(document.concepts[:2]), k=3)
+        assert document.doc_id in results.doc_ids()
+
+    def test_empty_ontology_rejected(self):
+        from repro.ontology.builder import OntologyBuilder
+        lonely = OntologyBuilder().add_concept("root").build()
+        with pytest.raises(ValueError):
+            notes_corpus(lonely, num_docs=1)

@@ -1,0 +1,132 @@
+"""Tests for clinical-note section handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.text.mapper import ConceptMapper
+from repro.corpus.text.pipeline import ConceptExtractor
+from repro.corpus.text.sections import (
+    DEFAULT_EXCLUDED_SECTIONS,
+    SectionPolicy,
+    extract_with_sections,
+    iter_admitted_bodies,
+    merge_policies,
+    section_headers,
+    split_sections,
+)
+
+NOTE = """\
+Seen today for follow up.
+CHIEF COMPLAINT: chest pain on exertion
+FAMILY HISTORY: father with myocardial infarction at 60
+MEDICATIONS: aspirin daily
+ASSESSMENT: stable angina. no myocardial infarction.
+PLAN: stress test next week
+"""
+
+
+class TestSplitSections:
+    def test_headers_and_bodies(self):
+        sections = split_sections(NOTE)
+        headers = [section.header for section in sections]
+        assert headers == [None, "CHIEF COMPLAINT", "FAMILY HISTORY",
+                           "MEDICATIONS", "ASSESSMENT", "PLAN"]
+        assert sections[0].body == "Seen today for follow up."
+        assert sections[1].body == "chest pain on exertion"
+
+    def test_multiline_body(self):
+        sections = split_sections("PLAN: first line\nsecond line\n")
+        assert sections[0].body == "first line\nsecond line"
+
+    def test_order_field(self):
+        sections = split_sections(NOTE)
+        assert [section.order for section in sections] == list(
+            range(len(sections)))
+
+    def test_lowercase_colon_lines_are_not_headers(self):
+        sections = split_sections("the plan: do nothing")
+        assert sections[0].header is None
+
+    def test_empty_text(self):
+        assert split_sections("") == []
+
+    def test_section_headers_helper(self):
+        assert section_headers(NOTE) == [
+            "CHIEF COMPLAINT", "FAMILY HISTORY", "MEDICATIONS",
+            "ASSESSMENT", "PLAN",
+        ]
+
+
+class TestSectionPolicy:
+    def test_default_excludes_family_history(self):
+        policy = SectionPolicy()
+        assert not policy.admits("FAMILY HISTORY")
+        assert policy.admits("ASSESSMENT")
+        assert policy.admits(None)
+
+    def test_case_insensitive(self):
+        policy = SectionPolicy(excluded=frozenset({"Family History"}))
+        assert not policy.admits("FAMILY HISTORY")
+
+    def test_whitelist_mode(self):
+        policy = SectionPolicy(included=frozenset({"ASSESSMENT"}))
+        assert policy.admits("ASSESSMENT")
+        assert not policy.admits("PLAN")
+        assert not policy.admits(None)
+
+    def test_merge_policies(self):
+        merged = merge_policies(
+            SectionPolicy(excluded=frozenset({"A"})),
+            SectionPolicy(excluded=frozenset({"B"})),
+        )
+        assert not merged.admits("A")
+        assert not merged.admits("B")
+
+
+class TestSectionAwareExtraction:
+    @pytest.fixture()
+    def extractor(self):
+        return ConceptExtractor(ConceptMapper({
+            "chest pain": "C_CP",
+            "myocardial infarction": "C_MI",
+            "stable angina": "C_SA",
+            "aspirin": "C_ASA",
+        }))
+
+    def test_family_history_excluded_from_concept_set(self, extractor):
+        concepts, mentions = extract_with_sections(extractor, NOTE)
+        # The father's MI must not become a patient concept — and the
+        # ASSESSMENT mention of MI is negated ("no myocardial
+        # infarction"), so C_MI stays out entirely.
+        assert concepts == {"C_CP", "C_SA", "C_ASA"}
+        family = [m for m in mentions if m.section == "FAMILY HISTORY"]
+        assert len(family) == 1
+        assert not family[0].admitted
+        assert family[0].mention.concept_id == "C_MI"
+
+    def test_negation_still_applies_inside_admitted_sections(self,
+                                                             extractor):
+        concepts, mentions = extract_with_sections(extractor, NOTE)
+        assessment = [m for m in mentions if m.section == "ASSESSMENT"]
+        negated = [m for m in assessment if m.mention.negated]
+        assert [m.mention.concept_id for m in negated] == ["C_MI"]
+
+    def test_whitelist_policy(self, extractor):
+        policy = SectionPolicy(included=frozenset({"MEDICATIONS"}))
+        concepts, _mentions = extract_with_sections(extractor, NOTE,
+                                                    policy=policy)
+        assert concepts == {"C_ASA"}
+
+    def test_plain_extraction_would_leak_family_history(self, extractor):
+        # Demonstrates why the section layer exists: the section-blind
+        # pipeline admits the father's MI.
+        assert "C_MI" in extractor.extract_concepts(NOTE)
+
+    def test_iter_admitted_bodies(self):
+        bodies = list(iter_admitted_bodies(NOTE))
+        assert "father with myocardial infarction at 60" not in bodies
+        assert "aspirin daily" in bodies
+
+    def test_defaults_constant(self):
+        assert "FAMILY HISTORY" in DEFAULT_EXCLUDED_SECTIONS

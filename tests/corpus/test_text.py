@@ -1,0 +1,180 @@
+"""Unit tests for the concept-extraction text pipeline."""
+
+from __future__ import annotations
+
+from repro.corpus.text.abbreviations import AbbreviationExpander
+from repro.corpus.text.mapper import ConceptMapper
+from repro.corpus.text.negation import NegationDetector
+from repro.corpus.text.pipeline import ConceptExtractor
+from repro.corpus.text.tokenizer import sentences, token_count, tokens
+
+
+class TestTokenizer:
+    def test_tokens_lowercase_and_split(self):
+        assert tokens("Patient here for follow-up Diabetes care.") == [
+            "patient", "here", "for", "follow-up", "diabetes", "care",
+        ]
+
+    def test_tokens_keep_dosages(self):
+        assert tokens("CELLCEPT 500MG po twice daily") == [
+            "cellcept", "500mg", "po", "twice", "daily",
+        ]
+
+    def test_sentences_split_on_terminators(self):
+        assert sentences("No fever. Denies pain; stable\nplan unchanged") == [
+            "No fever", "Denies pain", "stable", "plan unchanged",
+        ]
+
+    def test_token_count(self):
+        assert token_count("one two three") == 3
+        assert token_count("") == 0
+
+
+class TestAbbreviations:
+    def test_expansion(self):
+        expander = AbbreviationExpander()
+        assert expander.expand("Pt with HTN and SOB") == (
+            "patient with hypertension and shortness of breath")
+
+    def test_custom_table_merges(self):
+        expander = AbbreviationExpander({"xyz": "custom term"})
+        assert expander.expand("xyz and htn") == "custom term and hypertension"
+
+    def test_defaults_can_be_disabled(self):
+        expander = AbbreviationExpander({"xyz": "custom"},
+                                        include_defaults=False)
+        assert expander.expand("xyz htn") == "custom htn"
+        assert not expander.known("htn")
+        assert len(expander) == 1
+
+    def test_unknown_tokens_pass_through(self):
+        assert AbbreviationExpander().expand("stable vitals") == (
+            "stable vitals")
+
+
+class TestNegation:
+    def test_preceding_trigger(self):
+        detector = NegationDetector()
+        toks = tokens("no evidence of bradycardia today")
+        negated = detector.negated_positions(toks)
+        assert toks.index("bradycardia") in negated
+
+    def test_absence_of(self):
+        detector = NegationDetector()
+        toks = tokens("absence of bradycardia")
+        assert toks.index("bradycardia") in detector.negated_positions(toks)
+
+    def test_window_limits_scope(self):
+        detector = NegationDetector(window=2)
+        toks = tokens("no cough or fever with severe fatigue noted")
+        negated = detector.negated_positions(toks)
+        assert toks.index("cough") in negated
+        assert toks.index("fatigue") not in negated
+
+    def test_termination_token_stops_scope(self):
+        detector = NegationDetector()
+        toks = tokens("no fever but tachycardia present")
+        negated = detector.negated_positions(toks)
+        assert toks.index("fever") in negated
+        assert toks.index("tachycardia") not in negated
+
+    def test_following_trigger(self):
+        detector = NegationDetector()
+        toks = tokens("pulmonary embolism was ruled out")
+        negated = detector.negated_positions(toks)
+        assert toks.index("embolism") in negated
+
+    def test_pseudo_negation_left_positive(self):
+        detector = NegationDetector()
+        toks = tokens("no increase in creatinine")
+        assert toks.index("creatinine") not in detector.negated_positions(
+            toks)
+
+
+class TestMapper:
+    def test_longest_match_wins(self):
+        mapper = ConceptMapper({
+            "stenosis": "C_STEN",
+            "aortic valve stenosis": "C_AVS",
+        })
+        spans = mapper.spans(tokens("severe aortic valve stenosis noted"))
+        assert spans == [(1, 4, "C_AVS")]
+
+    def test_non_overlapping_sequential_matches(self):
+        mapper = ConceptMapper({"chest pain": "C_CP", "fever": "C_F"})
+        spans = mapper.spans(tokens("chest pain and fever"))
+        assert [s[2] for s in spans] == ["C_CP", "C_F"]
+
+    def test_from_ontology_includes_synonyms(self, small_ontology):
+        mapper = ConceptMapper.from_ontology(small_ontology)
+        some_concept = next(
+            c for c in small_ontology.concepts()
+            if small_ontology.synonyms(c)
+        )
+        assert small_ontology.label(some_concept) in mapper
+        assert small_ontology.synonyms(some_concept)[0] in mapper
+
+    def test_contains_and_len(self):
+        mapper = ConceptMapper({"fever": "C1"})
+        assert "Fever" in mapper
+        assert "chills" not in mapper
+        assert 42 not in mapper
+        assert len(mapper) == 1
+
+
+class TestExtractor:
+    def make_extractor(self) -> ConceptExtractor:
+        return ConceptExtractor(ConceptMapper({
+            "diabetes": "C_DM",
+            "hypoglycemia": "C_HYPO",
+            "bradycardia": "C_BRADY",
+            "hypertension": "C_HTN",
+        }))
+
+    def test_paper_figure1_excerpt(self):
+        # The clinical note of Figure 1 mentions diabetes (positive) and
+        # hypoglycemia (positive).
+        text = ("Patient here for follow up diabetes care. Computer print "
+                "out of blood sugar shows average of 201 with 1.7 tests. "
+                "There is hypoglycemia about 2-3 times a week.")
+        assert self.make_extractor().extract_concepts(text) == {
+            "C_DM", "C_HYPO",
+        }
+
+    def test_negated_concept_excluded(self):
+        # The paper's own example: "absence of bradycardia".
+        concepts = self.make_extractor().extract_concepts(
+            "Stable overnight with absence of bradycardia.")
+        assert concepts == set()
+
+    def test_abbreviation_then_mapping(self):
+        concepts = self.make_extractor().extract_concepts("Pt has HTN")
+        assert concepts == {"C_HTN"}
+
+    def test_positive_mention_wins(self):
+        text = "No bradycardia yesterday. Today bradycardia recurred."
+        concepts = self.make_extractor().extract_concepts(text)
+        assert concepts == {"C_BRADY"}
+
+    def test_mentions_expose_spans_and_polarity(self):
+        mentions = self.make_extractor().mentions(
+            "denies hypoglycemia. diabetes stable")
+        by_concept = {m.concept_id: m for m in mentions}
+        assert by_concept["C_HYPO"].negated
+        assert not by_concept["C_DM"].negated
+        assert by_concept["C_DM"].sentence_index == 1
+
+    def test_to_document(self):
+        document = self.make_extractor().to_document(
+            "n1", "diabetes care ongoing", source="unit-test")
+        assert document.doc_id == "n1"
+        assert document.concepts == ("C_DM",)
+        assert document.token_count == 3
+        assert document.metadata == {"source": "unit-test"}
+
+    def test_for_ontology_roundtrip(self, small_ontology):
+        extractor = ConceptExtractor.for_ontology(small_ontology)
+        concept = next(iter(small_ontology.children(small_ontology.root)))
+        label = small_ontology.label(concept)
+        assert concept in extractor.extract_concepts(
+            f"assessment shows {label} today")

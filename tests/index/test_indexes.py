@@ -1,0 +1,125 @@
+"""Unit tests for the in-memory and SQLite index backends.
+
+Both backends implement the same interfaces, so the behavioural tests run
+against each via parametrization — any divergence between storage layers
+is a failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import UnknownConceptError, UnknownDocumentError
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.index.sqlite import SQLiteIndexStore
+
+
+@pytest.fixture()
+def collection() -> DocumentCollection:
+    return DocumentCollection(
+        [
+            Document("d1", ["C1", "C2"]),
+            Document("d2", ["C2", "C3"]),
+            Document("d3", ["C2"]),
+        ],
+        name="idx",
+    )
+
+
+def _build(backend: str, collection: DocumentCollection):
+    if backend == "memory":
+        return (
+            MemoryInvertedIndex.from_collection(collection),
+            MemoryForwardIndex.from_collection(collection),
+            None,
+        )
+    store = SQLiteIndexStore.build(collection)
+    return store.inverted, store.forward, store
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def indexes(request, collection):
+    inverted, forward, store = _build(request.param, collection)
+    yield inverted, forward
+    if store is not None:
+        store.close()
+
+
+class TestInvertedIndex:
+    def test_postings(self, indexes):
+        inverted, _forward = indexes
+        assert set(inverted.postings("C2")) == {"d1", "d2", "d3"}
+        assert set(inverted.postings("C1")) == {"d1"}
+
+    def test_missing_concept_empty(self, indexes):
+        inverted, _forward = indexes
+        assert list(inverted.postings("C9")) == []
+
+    def test_document_frequency(self, indexes):
+        inverted, _forward = indexes
+        assert inverted.document_frequency("C2") == 3
+        assert inverted.document_frequency("C9") == 0
+
+    def test_indexed_concepts(self, indexes):
+        inverted, _forward = indexes
+        assert sorted(inverted.indexed_concepts()) == ["C1", "C2", "C3"]
+
+
+class TestForwardIndex:
+    def test_concepts(self, indexes):
+        _inverted, forward = indexes
+        assert tuple(forward.concepts("d2")) == ("C2", "C3")
+
+    def test_concept_count(self, indexes):
+        _inverted, forward = indexes
+        assert forward.concept_count("d1") == 2
+        assert forward.concept_count("d3") == 1
+
+    def test_unknown_document(self, indexes):
+        _inverted, forward = indexes
+        with pytest.raises(UnknownDocumentError):
+            forward.concepts("nope")
+        with pytest.raises(UnknownDocumentError):
+            forward.concept_count("nope")
+
+    def test_doc_ids_and_len(self, indexes):
+        _inverted, forward = indexes
+        assert sorted(forward.doc_ids()) == ["d1", "d2", "d3"]
+        assert len(forward) == 3
+
+
+class TestValidation:
+    def test_memory_index_validates_against_ontology(self, figure3):
+        collection = DocumentCollection([Document("d1", ["F", "nope"])])
+        with pytest.raises(UnknownConceptError):
+            MemoryInvertedIndex.from_collection(collection, ontology=figure3)
+
+    def test_memory_index_without_ontology_accepts_anything(self):
+        collection = DocumentCollection([Document("d1", ["whatever"])])
+        index = MemoryInvertedIndex.from_collection(collection)
+        assert list(index.postings("whatever")) == ["d1"]
+
+
+class TestSQLitePersistence:
+    def test_on_disk_roundtrip(self, collection, tmp_path):
+        path = tmp_path / "indexes.db"
+        store = SQLiteIndexStore.build(collection, path)
+        store.close()
+        reopened = SQLiteIndexStore.open(path)
+        assert set(reopened.inverted.postings("C2")) == {"d1", "d2", "d3"}
+        assert reopened.forward.concept_count("d1") == 2
+        reopened.close()
+
+    def test_context_manager(self, collection):
+        with SQLiteIndexStore.build(collection) as store:
+            assert len(store.forward) == 3
+
+    def test_rebuild_replaces_schema(self, collection, tmp_path):
+        path = tmp_path / "indexes.db"
+        SQLiteIndexStore.build(collection, path).close()
+        smaller = DocumentCollection([Document("dX", ["C9"])])
+        store = SQLiteIndexStore.build(smaller, path)
+        assert sorted(store.forward.doc_ids()) == ["dX"]
+        store.close()

@@ -1,0 +1,86 @@
+"""Unit tests for OntologyBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RootError, UnknownConceptError
+from repro.ontology.builder import VIRTUAL_ROOT_ID, OntologyBuilder
+
+
+class TestBuilder:
+    def test_fluent_chaining(self):
+        ontology = (
+            OntologyBuilder("toy")
+            .add_concept("A")
+            .add_concept("B")
+            .add_edge("A", "B")
+            .build()
+        )
+        assert ontology.root == "A"
+        assert ontology.name == "toy"
+
+    def test_forward_references_allowed(self):
+        builder = OntologyBuilder()
+        builder.add_edge("A", "B")  # neither declared yet
+        builder.add_concept("A").add_concept("B")
+        ontology = builder.build()
+        assert list(ontology.children("A")) == ["B"]
+
+    def test_undeclared_endpoint_raises_at_build(self):
+        builder = OntologyBuilder()
+        builder.add_concept("A")
+        builder.add_edge("A", "missing")
+        with pytest.raises(UnknownConceptError):
+            builder.build()
+
+    def test_add_hierarchy_sets_dewey_order(self):
+        builder = OntologyBuilder()
+        for concept in "RXYZ":
+            builder.add_concept(concept)
+        builder.add_hierarchy("R", ["Z", "X", "Y"])
+        ontology = builder.build()
+        assert ontology.child_component("R", "Z") == 1
+        assert ontology.child_component("R", "X") == 2
+        assert ontology.child_component("R", "Y") == 3
+
+    def test_repeated_declaration_updates_metadata(self):
+        builder = OntologyBuilder()
+        builder.add_concept("A")
+        builder.add_concept("B", "first label")
+        builder.add_concept("B", "second label", ["syn"])
+        builder.add_edge("A", "B")
+        ontology = builder.build()
+        assert ontology.label("B") == "second label"
+        assert ontology.synonyms("B") == ("syn",)
+
+
+class TestVirtualRoot:
+    def test_multi_rooted_input_normalized(self):
+        builder = OntologyBuilder()
+        for concept in "ABCD":
+            builder.add_concept(concept)
+        builder.add_edge("A", "C").add_edge("B", "D")
+        ontology = builder.build(add_virtual_root=True)
+        assert ontology.root == VIRTUAL_ROOT_ID
+        assert set(ontology.children(VIRTUAL_ROOT_ID)) == {"A", "B"}
+
+    def test_single_root_left_untouched(self):
+        builder = OntologyBuilder()
+        builder.add_concept("A").add_concept("B").add_edge("A", "B")
+        ontology = builder.build(add_virtual_root=True)
+        assert ontology.root == "A"
+        assert VIRTUAL_ROOT_ID not in ontology
+
+    def test_multi_rooted_without_option_fails(self):
+        builder = OntologyBuilder()
+        builder.add_concept("A").add_concept("B")
+        with pytest.raises(RootError):
+            builder.build()
+
+    def test_virtual_root_name_collision(self):
+        builder = OntologyBuilder()
+        builder.add_concept(VIRTUAL_ROOT_ID)
+        builder.add_concept("A").add_concept("B")
+        with pytest.raises(RootError):
+            builder.build(add_virtual_root=True)

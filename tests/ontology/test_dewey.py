@@ -1,0 +1,77 @@
+"""Unit tests for the Dewey address index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.dewey import DeweyIndex, PathExplosionError
+
+
+class TestAddresses:
+    def test_root_has_empty_address(self, figure3, figure3_dewey):
+        assert figure3_dewey.addresses(figure3.root) == ((),)
+
+    def test_multi_parent_concept_has_multiple_addresses(self, figure3_dewey):
+        assert figure3_dewey.addresses("J") == ((1, 1, 1, 2), (3, 1, 1))
+
+    def test_addresses_cached(self, figure3):
+        dewey = DeweyIndex(figure3)
+        first = dewey.addresses("V")
+        assert dewey.addresses("V") is first
+
+    def test_primary_address_is_smallest(self, figure3_dewey):
+        assert figure3_dewey.primary_address("R") == (1, 1, 1, 2, 1, 1)
+
+    def test_address_count_and_total_paths(self, figure3_dewey):
+        assert figure3_dewey.address_count("R") == 2
+        assert figure3_dewey.address_count("F") == 1
+        assert figure3_dewey.total_paths(["F", "R", "T", "V"]) == 6
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-deep chain: the iterative materialization must not hit the
+        # Python recursion limit.
+        builder = OntologyBuilder("chain")
+        names = [f"n{i}" for i in range(5000)]
+        for name in names:
+            builder.add_concept(name)
+        for previous, current in zip(names, names[1:]):
+            builder.add_edge(previous, current)
+        ontology = builder.build()
+        dewey = DeweyIndex(ontology)
+        addresses = dewey.addresses(names[-1])
+        assert addresses == ((1,) * 4999,)
+
+
+class TestSortedAddressList:
+    def test_lexicographic_merge(self, figure3_dewey):
+        pairs = figure3_dewey.sorted_address_list(["F", "R"])
+        assert [address for address, _ in pairs] == sorted(
+            address for address, _ in pairs)
+        assert pairs[0] == ((1, 1, 1, 2, 1, 1), "R")
+        assert pairs[1] == ((3, 1), "F")
+
+    def test_duplicate_concepts_contribute_once_each_call(self, figure3_dewey):
+        once = figure3_dewey.sorted_address_list(["R"])
+        assert len(once) == 2
+
+
+class TestPathExplosion:
+    def test_cap_enforced(self):
+        # A ladder of diamonds doubles the path count at every level.
+        builder = OntologyBuilder("ladder")
+        builder.add_concept("top")
+        previous = "top"
+        for level in range(12):
+            left, right, bottom = f"l{level}", f"r{level}", f"b{level}"
+            for name in (left, right, bottom):
+                builder.add_concept(name)
+            builder.add_edge(previous, left)
+            builder.add_edge(previous, right)
+            builder.add_edge(left, bottom)
+            builder.add_edge(right, bottom)
+            previous = bottom
+        ontology = builder.build()
+        dewey = DeweyIndex(ontology, max_paths_per_concept=100)
+        with pytest.raises(PathExplosionError):
+            dewey.addresses(previous)  # 2^12 paths

@@ -1,0 +1,125 @@
+"""Tests for ontology version diffing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import figure3_ontology
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.diff import diff_ontologies, summarize_diff
+from repro.ontology.distance import concept_distance
+from tests.test_properties import small_dags
+
+
+def _variant(edit):
+    """Rebuild Figure 3 with a single edit applied at build time."""
+    from repro.datasets import FIGURE3_EDGES, FIGURE3_LABELS
+
+    builder = OntologyBuilder("figure3-variant")
+    concepts = set("ABCDEFGHIJKLMNOPQRSTUV")
+    edges = list(FIGURE3_EDGES)
+    concepts, edges = edit(concepts, edges)
+    for concept in sorted(concepts):
+        builder.add_concept(concept, FIGURE3_LABELS.get(concept))
+    for parent, child in edges:
+        builder.add_edge(parent, child)
+    return builder.build()
+
+
+class TestDiff:
+    def test_identical_versions(self, figure3):
+        diff = diff_ontologies(figure3, figure3_ontology())
+        assert diff.is_empty()
+        assert summarize_diff(diff) == "identical ontology versions"
+
+    def test_added_concept_and_edge(self, figure3):
+        def edit(concepts, edges):
+            concepts = concepts | {"W"}
+            return concepts, edges + [("V", "W")]
+
+        new = _variant(edit)
+        diff = diff_ontologies(figure3, new)
+        assert diff.added_concepts == {"W"}
+        assert diff.added_edges == {("V", "W")}
+        assert not diff.removed_concepts
+
+    def test_removed_edge(self, figure3):
+        def edit(concepts, edges):
+            return concepts, [e for e in edges if e != ("F", "J")]
+
+        new = _variant(edit)
+        diff = diff_ontologies(figure3, new)
+        assert diff.removed_edges == {("F", "J")}
+        assert "edges removed" in summarize_diff(diff)
+
+    def test_reordered_children_detected(self, figure3):
+        def edit(concepts, edges):
+            swapped = []
+            for edge in edges:
+                if edge == ("G", "I"):
+                    continue
+                swapped.append(edge)
+                if edge == ("G", "J"):
+                    swapped.append(("G", "I"))
+            return concepts, swapped
+
+        new = _variant(edit)
+        diff = diff_ontologies(figure3, new)
+        assert "G" in diff.reordered_parents
+        assert "Dewey renumbering" in summarize_diff(diff)
+
+    def test_relabelled(self, figure3):
+        new = figure3_ontology()
+        new._labels["G"] = "renamed"
+        diff = diff_ontologies(figure3, new)
+        assert diff.relabelled == {"G"}
+        assert diff.is_empty()  # structure unchanged
+
+
+class TestImpactAnalysis:
+    def test_impact_closes_over_descendants(self, figure3):
+        def edit(concepts, edges):
+            return concepts, [e for e in edges if e != ("F", "J")]
+
+        new = _variant(edit)
+        diff = diff_ontologies(figure3, new)
+        impacted = diff.impacted_concepts(new)
+        # Everything under J loses its 3.1.1-side addresses, and F's
+        # whole cone (including the H branch) may see distance changes
+        # to the J subtree (e.g. L's route to U went through F -> J).
+        assert {"J", "K", "P", "Q", "R", "U", "V", "F", "H", "L"} <= \
+            impacted
+        # The G/I branch is untouched: its ancestor cones and all routes
+        # among its members are intact.
+        assert {"M", "N", "I", "G", "A", "B", "E"} & impacted == set()
+
+    @given(small_dags(min_concepts=4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_unimpacted_distances_are_stable(self, ontology, data):
+        # Remove one non-tree-critical leaf edge... simplest structural
+        # edit that keeps the DAG valid: drop a leaf concept entirely.
+        leaves = [c for c in ontology.concepts()
+                  if ontology.is_leaf(c) and ontology.parents(c)]
+        if not leaves:
+            return
+        victim = data.draw(st.sampled_from(leaves))
+        builder = OntologyBuilder("new")
+        for concept in ontology.concepts():
+            if concept != victim:
+                builder.add_concept(concept, ontology.label(concept))
+        for parent in ontology.concepts():
+            if parent == victim:
+                continue
+            for child in ontology.children(parent):
+                if child != victim:
+                    builder.add_edge(parent, child)
+        new = builder.build()
+        diff = diff_ontologies(ontology, new)
+        impacted = diff.impacted_concepts(new)
+        stable = [c for c in new.concepts() if c not in impacted]
+        for first in stable[:4]:
+            for second in stable[:4]:
+                assert concept_distance(new, first, second) == \
+                    concept_distance(ontology, first, second)

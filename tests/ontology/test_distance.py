@@ -1,0 +1,78 @@
+"""Unit tests for the semantic distance functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.ontology.distance import (
+    ancestor_distances,
+    concept_distance,
+    concept_distance_dewey,
+    document_concept_distance,
+    document_document_distance,
+    document_query_distance,
+)
+
+
+class TestAncestorDistances:
+    def test_includes_self_at_zero(self, figure3):
+        cone = ancestor_distances(figure3, "J")
+        assert cone["J"] == 0
+
+    def test_minimum_up_distance_over_paths(self, figure3):
+        cone = ancestor_distances(figure3, "J")
+        # J reaches A via F (3 hops) even though the G-side path takes 4.
+        assert cone["A"] == 3
+        assert cone["F"] == 1
+        assert cone["G"] == 1
+        assert cone["E"] == 2
+        assert cone["D"] == 2
+
+    def test_unknown_concept(self, figure3):
+        with pytest.raises(UnknownConceptError):
+            ancestor_distances(figure3, "nope")
+
+
+class TestConceptDistance:
+    def test_zero_for_identical(self, figure3):
+        assert concept_distance(figure3, "J", "J") == 0
+
+    def test_parent_child(self, figure3):
+        assert concept_distance(figure3, "F", "J") == 1
+
+    def test_siblings_through_parent(self, figure3):
+        assert concept_distance(figure3, "I", "J") == 2
+
+    def test_invalid_shortcut_rejected(self, figure3, figure3_dewey):
+        # G and F are 2 apart through J in the undirected sense, but the
+        # valid-path distance must route through common ancestor A.
+        assert concept_distance(figure3, "G", "F") == 5
+        assert concept_distance_dewey(figure3_dewey, "G", "F") == 5
+
+    def test_multi_parent_gives_shorter_route(self, figure3):
+        # R to L: via J up to F (3 hops) then down to H, L (2 hops).
+        assert concept_distance(figure3, "R", "L") == 5
+
+
+class TestDocumentDistances:
+    def test_ddc_minimum_over_document(self, figure3):
+        assert document_concept_distance(figure3, ("F", "R"), "I") == 4
+        assert document_concept_distance(figure3, ("F",), "F") == 0
+
+    def test_ddq_sums_over_query(self, figure3):
+        assert document_query_distance(
+            figure3, ("F", "R", "T", "V"), ("I", "L", "U")) == 7
+
+    def test_ddd_normalizes_both_sides(self, figure3):
+        value = document_document_distance(figure3, ("F",), ("J", "H"))
+        # F->nearest of {J,H} = 1; J->F = 1 and H->F = 1.
+        assert value == pytest.approx(1 / 1 + 2 / 2)
+
+    def test_empty_inputs_rejected(self, figure3):
+        with pytest.raises(EmptyDocumentError):
+            document_concept_distance(figure3, (), "I")
+        with pytest.raises(EmptyDocumentError):
+            document_document_distance(figure3, (), ("I",))
+        with pytest.raises(EmptyDocumentError):
+            document_document_distance(figure3, ("F",), ())

@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic SNOMED-like ontology generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.generators import concept_id_for, snomed_like
+from repro.ontology.stats import compute_stats
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        first = snomed_like(300, seed=5)
+        second = snomed_like(300, seed=5)
+        assert list(first.concepts()) == list(second.concepts())
+        assert first.edge_count() == second.edge_count()
+        for concept in first.concepts():
+            assert list(first.children(concept)) == list(
+                second.children(concept))
+
+    def test_different_seeds_differ(self):
+        first = snomed_like(300, seed=5)
+        second = snomed_like(300, seed=6)
+        edges_first = {
+            (p, c) for p in first.concepts() for c in first.children(p)
+        }
+        edges_second = {
+            (p, c) for p in second.concepts() for c in second.children(p)
+        }
+        assert edges_first != edges_second
+
+    def test_exact_concept_count(self):
+        for count in (1, 2, 10, 500):
+            assert len(snomed_like(count, seed=0)) == count
+
+    def test_validated_single_root_dag(self):
+        ontology = snomed_like(400, seed=3)
+        assert ontology.root == concept_id_for(0)
+        # validate() ran inside the generator; run again for certainty.
+        ontology.validate()
+
+    def test_path_cap_respected(self):
+        ontology = snomed_like(600, seed=9, path_cap=16)
+        dewey = DeweyIndex(ontology)
+        assert all(
+            dewey.address_count(concept) <= 16
+            for concept in ontology.concepts()
+        )
+
+    def test_labels_and_synonyms_present(self):
+        ontology = snomed_like(200, seed=1, synonym_rate=1.0)
+        with_synonyms = sum(
+            1 for concept in ontology.concepts()
+            if ontology.synonyms(concept)
+        )
+        assert with_synonyms >= 190  # all but the root
+        labels = {ontology.label(c) for c in ontology.concepts()}
+        assert len(labels) == len(ontology)  # labels unique
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            snomed_like(0)
+        with pytest.raises(ValueError):
+            snomed_like(10, target_depth=0)
+        with pytest.raises(ValueError):
+            snomed_like(10, internal_fraction=0.0)
+
+
+class TestShape:
+    def test_snomed_like_shape_statistics(self):
+        ontology = snomed_like(3000, seed=42)
+        stats = compute_stats(ontology, path_sample=300, seed=0)
+        # Loose envelopes around the published SNOMED-CT shape
+        # (paths/concept 9.78, path length 14.1): the generator must land
+        # in the same regime, not on the exact values.
+        assert 8 <= stats.max_depth <= 18
+        assert 3 <= stats.avg_paths_per_concept <= 25
+        assert 8 <= stats.avg_path_length <= 15
+        internal = stats.num_concepts - stats.num_leaves
+        assert 2.0 <= stats.num_edges / internal <= 7.0
+
+    def test_no_extra_parents_mode_is_tree(self):
+        ontology = snomed_like(400, seed=2, extra_parent_rate=0.0)
+        assert ontology.edge_count() == len(ontology) - 1
+        dewey = DeweyIndex(ontology)
+        assert all(
+            dewey.address_count(concept) == 1
+            for concept in ontology.concepts()
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for the ontology DAG model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    CycleError,
+    DeweyError,
+    DuplicateConceptError,
+    RootError,
+    UnknownConceptError,
+)
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import Ontology
+
+
+def build_diamond() -> Ontology:
+    # A -> B, A -> C, B -> D, C -> D (the classic multi-parent diamond).
+    builder = OntologyBuilder("diamond")
+    for concept in "ABCD":
+        builder.add_concept(concept)
+    builder.add_edge("A", "B").add_edge("A", "C")
+    builder.add_edge("B", "D").add_edge("C", "D")
+    return builder.build()
+
+
+class TestStructure:
+    def test_root_children_parents(self):
+        ontology = build_diamond()
+        assert ontology.root == "A"
+        assert list(ontology.children("A")) == ["B", "C"]
+        assert list(ontology.parents("D")) == ["B", "C"]
+        assert list(ontology.neighbors("B")) == ["A", "D"]
+
+    def test_len_contains_iter(self):
+        ontology = build_diamond()
+        assert len(ontology) == 4
+        assert "B" in ontology
+        assert "Z" not in ontology
+        assert sorted(ontology) == ["A", "B", "C", "D"]
+
+    def test_child_component_follows_insertion_order(self):
+        ontology = build_diamond()
+        assert ontology.child_component("A", "B") == 1
+        assert ontology.child_component("A", "C") == 2
+        assert ontology.child_component("B", "D") == 1
+
+    def test_duplicate_edge_is_idempotent(self):
+        builder = OntologyBuilder()
+        builder.add_concept("A").add_concept("B")
+        builder.add_edge("A", "B").add_edge("A", "B")
+        ontology = builder.build()
+        assert list(ontology.children("A")) == ["B"]
+        assert ontology.edge_count() == 1
+
+    def test_unknown_concept_errors(self):
+        ontology = build_diamond()
+        with pytest.raises(UnknownConceptError):
+            ontology.children("nope")
+        with pytest.raises(UnknownConceptError):
+            ontology.parents("nope")
+        with pytest.raises(UnknownConceptError):
+            ontology.label("nope")
+        with pytest.raises(UnknownConceptError):
+            ontology.depth("nope")
+
+    def test_duplicate_concept_raises(self):
+        ontology = Ontology()
+        ontology._add_concept("A")
+        with pytest.raises(DuplicateConceptError):
+            ontology._add_concept("A")
+
+    def test_labels_and_synonyms(self):
+        builder = OntologyBuilder()
+        builder.add_concept("C1", "heart disease", ["cardiac disease"])
+        builder.add_concept("C2")
+        builder.add_edge("C1", "C2")
+        ontology = builder.build()
+        assert ontology.label("C1") == "heart disease"
+        assert ontology.synonyms("C1") == ("cardiac disease",)
+        assert ontology.label("C2") == "C2"  # id doubles as label
+        assert ontology.synonyms("C2") == ()
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        ontology = Ontology()
+        for concept in "RAB":
+            ontology._add_concept(concept)
+        ontology._add_edge("R", "A")
+        ontology._add_edge("A", "B")
+        ontology._add_edge("B", "A")
+        with pytest.raises(CycleError) as excinfo:
+            ontology.validate()
+        assert set(excinfo.value.cycle) >= {"A", "B"}
+
+    def test_multiple_roots_rejected(self):
+        ontology = Ontology()
+        ontology._add_concept("A")
+        ontology._add_concept("B")
+        with pytest.raises(RootError):
+            ontology.validate()
+
+    def test_no_root_rejected(self):
+        ontology = Ontology()
+        ontology._add_concept("A")
+        ontology._add_concept("B")
+        ontology._add_edge("A", "B")
+        ontology._add_edge("B", "A")
+        with pytest.raises(RootError):
+            ontology.validate()
+
+
+class TestDerived:
+    def test_depth_is_minimum_root_distance(self, figure3):
+        assert figure3.depth("A") == 0
+        assert figure3.depth("J") == 3  # via F (3.1.1), not via G (1.1.1.2)
+        assert figure3.depth("V") == 6  # 3.1.1.2.1.1
+        assert figure3.depth("U") == 6  # 3.1.1.1.1.1
+
+    def test_topological_order(self):
+        ontology = build_diamond()
+        order = ontology.topological_order()
+        assert len(order) == 4
+        position = {concept: index for index, concept in enumerate(order)}
+        assert position["A"] < position["B"] < position["D"]
+        assert position["A"] < position["C"] < position["D"]
+
+    def test_ancestors_descendants(self, figure3):
+        assert figure3.ancestors("J") == {"A", "B", "D", "E", "F", "G"}
+        assert figure3.descendants("J") == {"K", "P", "Q", "R", "U", "V"}
+        assert figure3.ancestors("A") == set()
+
+    def test_is_leaf(self, figure3):
+        assert figure3.is_leaf("U")
+        assert not figure3.is_leaf("J")
+
+
+class TestDeweyResolution:
+    def test_resolve_known_addresses(self, figure3):
+        assert figure3.resolve_dewey(()) == "A"
+        assert figure3.resolve_dewey((1, 1, 1, 2)) == "J"
+        assert figure3.resolve_dewey((3, 1, 1)) == "J"
+        assert figure3.resolve_dewey((3, 1, 2)) == "H"
+
+    def test_resolve_invalid_component(self, figure3):
+        with pytest.raises(DeweyError):
+            figure3.resolve_dewey((9,))
+        with pytest.raises(DeweyError):
+            figure3.resolve_dewey((1, 1, 1, 1, 1, 1, 1, 1))

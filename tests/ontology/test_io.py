@@ -1,0 +1,201 @@
+"""Unit tests for the RF2 / UMLS / OBO / CSV ontology parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.ontology.builder import VIRTUAL_ROOT_ID
+from repro.ontology.io.csvio import load_csv, save_csv
+from repro.ontology.io.obo import load_obo
+from repro.ontology.io.rf2 import IS_A_TYPE_ID, load_rf2
+from repro.ontology.io.umls import load_umls
+
+
+RF2_CONCEPTS = """\
+id\teffectiveTime\tactive\tmoduleId\tdefinitionStatusId
+100\t20230101\t1\tm\tp
+200\t20230101\t1\tm\tp
+300\t20230101\t1\tm\tp
+400\t20230101\t0\tm\tp
+"""
+
+RF2_RELATIONSHIPS = (
+    "id\teffectiveTime\tactive\tmoduleId\tsourceId\tdestinationId\t"
+    "relationshipGroup\ttypeId\tcharacteristicTypeId\tmodifierId\n"
+    f"1\t20230101\t1\tm\t200\t100\t0\t{IS_A_TYPE_ID}\tc\tmo\n"
+    f"2\t20230101\t1\tm\t300\t100\t0\t{IS_A_TYPE_ID}\tc\tmo\n"
+    f"3\t20230101\t1\tm\t300\t200\t0\t999\tc\tmo\n"          # not is-a
+    f"4\t20230101\t0\t m\t300\t200\t0\t{IS_A_TYPE_ID}\tc\tmo\n"  # inactive
+    f"5\t20230101\t1\tm\t400\t100\t0\t{IS_A_TYPE_ID}\tc\tmo\n"   # inactive src
+)
+
+RF2_DESCRIPTIONS = (
+    "id\teffectiveTime\tactive\tmoduleId\tconceptId\tlanguageCode\ttypeId\t"
+    "term\tcaseSignificanceId\n"
+    "10\t20230101\t1\tm\t100\ten\t900000000000003001\tclinical finding\tci\n"
+    "11\t20230101\t1\tm\t100\ten\t900000000000013009\tfinding\tci\n"
+    "12\t20230101\t1\tm\t200\ten\t900000000000003001\theart disease\tci\n"
+)
+
+
+class TestRF2:
+    @pytest.fixture()
+    def paths(self, tmp_path):
+        concepts = tmp_path / "sct2_Concept.txt"
+        relationships = tmp_path / "sct2_Relationship.txt"
+        descriptions = tmp_path / "sct2_Description.txt"
+        concepts.write_text(RF2_CONCEPTS)
+        relationships.write_text(RF2_RELATIONSHIPS)
+        descriptions.write_text(RF2_DESCRIPTIONS)
+        return concepts, relationships, descriptions
+
+    def test_loads_active_is_a_hierarchy(self, paths):
+        concepts, relationships, _descriptions = paths
+        ontology = load_rf2(concepts, relationships)
+        assert len(ontology) == 3  # 400 inactive
+        assert ontology.root == "100"
+        assert set(ontology.children("100")) == {"200", "300"}
+        assert list(ontology.children("200")) == []  # typeId 999 skipped
+
+    def test_descriptions_set_labels_and_synonyms(self, paths):
+        ontology = load_rf2(*paths)
+        assert ontology.label("100") == "clinical finding"
+        assert ontology.synonyms("100") == ("finding",)
+        assert ontology.label("200") == "heart disease"
+        assert ontology.label("300") == "300"
+
+    def test_missing_column_raises(self, tmp_path, paths):
+        _concepts, relationships, _descriptions = paths
+        bad = tmp_path / "bad.txt"
+        bad.write_text("identifier\tactive\n1\t1\n")
+        with pytest.raises(ParseError):
+            load_rf2(bad, relationships)
+
+    def test_empty_file_raises(self, tmp_path, paths):
+        _concepts, relationships, _descriptions = paths
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        with pytest.raises(ParseError):
+            load_rf2(empty, relationships)
+
+
+MRCONSO = """\
+C01|ENG|P|L1|PF|S1|Y|A1||||SRC|TTY|X1|root concept|0|N||
+C02|ENG|P|L2|PF|S2|Y|A2||||SRC|TTY|X2|heart disease|0|N||
+C02|ENG|S|L3|VO|S3|N|A3||||SRC|TTY|X3|cardiac disease|0|N||
+C03|ENG|P|L4|PF|S4|Y|A4||||SRC|TTY|X4|valve disorder|0|N||
+C04|FRE|P|L5|PF|S5|Y|A5||||SRC|TTY|X5|maladie|0|N||
+"""
+
+MRREL = """\
+C02|A2|SCUI|PAR|C01|A1|SCUI|isa|R1||SRC|SRC|||N||
+C03|A4|SCUI|PAR|C02|A2|SCUI|isa|R2||SRC|SRC|||N||
+C01|A1|SCUI|CHD|C03|A4|SCUI|other_rel|R3||SRC|SRC|||N||
+"""
+
+
+class TestUMLS:
+    @pytest.fixture()
+    def paths(self, tmp_path):
+        mrconso = tmp_path / "MRCONSO.RRF"
+        mrrel = tmp_path / "MRREL.RRF"
+        mrconso.write_text(MRCONSO)
+        mrrel.write_text(MRREL)
+        return mrconso, mrrel
+
+    def test_loads_cui_hierarchy(self, paths):
+        ontology = load_umls(*paths)
+        assert "C04" not in ontology  # non-English
+        assert ontology.root == "C01"
+        assert list(ontology.children("C01")) == ["C02"]
+        assert list(ontology.children("C02")) == ["C03"]
+
+    def test_labels_and_synonyms(self, paths):
+        ontology = load_umls(*paths)
+        assert ontology.label("C02") == "heart disease"
+        assert ontology.synonyms("C02") == ("cardiac disease",)
+
+    def test_isa_only_filters_other_relations(self, paths):
+        ontology = load_umls(*paths)
+        # The CHD row carries RELA=other_rel and must be skipped.
+        assert "C03" not in set(ontology.children("C01"))
+
+    def test_non_isa_included_when_disabled(self, paths):
+        ontology = load_umls(*paths, isa_only=False)
+        assert set(ontology.children("C01")) == {"C02", "C03"}
+
+
+OBO = """\
+format-version: 1.2
+
+[Term]
+id: GO:0001
+name: biological process
+
+[Term]
+id: GO:0002
+name: metabolic process
+is_a: GO:0001 ! biological process
+synonym: "metabolism" EXACT []
+
+[Term]
+id: GO:0003
+name: obsolete thing
+is_a: GO:0001
+is_obsolete: true
+
+[Typedef]
+id: part_of
+"""
+
+
+class TestOBO:
+    def test_loads_terms_and_hierarchy(self, tmp_path):
+        path = tmp_path / "go.obo"
+        path.write_text(OBO)
+        ontology = load_obo(path)
+        assert ontology.root == "GO:0001"
+        assert list(ontology.children("GO:0001")) == ["GO:0002"]
+        assert ontology.label("GO:0002") == "metabolic process"
+        assert ontology.synonyms("GO:0002") == ("metabolism",)
+
+    def test_obsolete_terms_skipped(self, tmp_path):
+        path = tmp_path / "go.obo"
+        path.write_text(OBO)
+        ontology = load_obo(path)
+        assert "GO:0003" not in ontology
+
+    def test_multi_root_gets_virtual_root(self, tmp_path):
+        path = tmp_path / "multi.obo"
+        path.write_text("[Term]\nid: X:1\nname: a\n\n[Term]\nid: X:2\nname: b\n")
+        ontology = load_obo(path)
+        assert ontology.root == VIRTUAL_ROOT_ID
+
+
+class TestCSVRoundTrip:
+    def test_figure3_roundtrip_preserves_dewey(self, figure3, tmp_path):
+        concepts = tmp_path / "concepts.csv"
+        edges = tmp_path / "edges.csv"
+        save_csv(figure3, concepts, edges)
+        reloaded = load_csv(concepts, edges)
+        assert list(reloaded.concepts()) == list(figure3.concepts())
+        for concept in figure3.concepts():
+            assert list(reloaded.children(concept)) == list(
+                figure3.children(concept))
+            assert reloaded.label(concept) == figure3.label(concept)
+
+    def test_generated_roundtrip(self, small_ontology, tmp_path):
+        concepts = tmp_path / "c.csv"
+        edges = tmp_path / "e.csv"
+        save_csv(small_ontology, concepts, edges)
+        reloaded = load_csv(concepts, edges)
+        assert reloaded.edge_count() == small_ontology.edge_count()
+
+    def test_malformed_header(self, tmp_path):
+        concepts = tmp_path / "c.csv"
+        edges = tmp_path / "e.csv"
+        concepts.write_text("wrong,header\n")
+        edges.write_text("parent,child\n")
+        with pytest.raises(ParseError):
+            load_csv(concepts, edges)

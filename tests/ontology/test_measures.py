@@ -1,0 +1,157 @@
+"""Unit tests for the alternative semantic similarity measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import OntologyError, UnknownConceptError
+from repro.ontology.measures import (
+    InformationContent,
+    least_common_ancestors,
+    rank_concepts_by_similarity,
+    wu_palmer_similarity,
+)
+
+
+class TestLCA:
+    def test_single_lca(self, figure3):
+        assert least_common_ancestors(figure3, "I", "J") == {"G"}
+
+    def test_lca_of_ancestor_is_itself(self, figure3):
+        assert least_common_ancestors(figure3, "F", "V") == {"F"}
+
+    def test_root_as_only_common_ancestor(self, figure3):
+        assert least_common_ancestors(figure3, "G", "F") == {"A"}
+
+
+class TestWuPalmer:
+    def test_identity_is_one(self, figure3):
+        assert wu_palmer_similarity(figure3, "J", "J") == pytest.approx(1.0)
+
+    def test_root_pair(self, figure3):
+        assert wu_palmer_similarity(figure3, "A", "A") == 1.0
+
+    def test_siblings_closer_than_strangers(self, figure3):
+        siblings = wu_palmer_similarity(figure3, "M", "N")
+        strangers = wu_palmer_similarity(figure3, "M", "L")
+        assert siblings > strangers
+
+    def test_known_value(self, figure3):
+        # LCA(I, J) = G at depth 4; depth(I) = 5 hmm — computed from the
+        # DAG: depth(I)=depth(G)+1 and depth(J)=3 via F.
+        depth_i = figure3.depth("I")
+        depth_j = figure3.depth("J")
+        depth_g = figure3.depth("G")
+        expected = 2 * depth_g / (depth_i + depth_j)
+        assert wu_palmer_similarity(figure3, "I", "J") == pytest.approx(
+            expected)
+
+    def test_root_similarity_zero_for_disjoint_branches(self, figure3):
+        # Concepts whose only common ancestor is the root score 0.
+        assert wu_palmer_similarity(figure3, "C", "F") == 0.0
+
+
+class TestInformationContent:
+    def corpus(self) -> DocumentCollection:
+        return DocumentCollection([
+            Document("d1", ["U", "V"]),
+            Document("d2", ["U"]),
+            Document("d3", ["L"]),
+            Document("d4", ["T"]),
+        ])
+
+    def test_counts_propagate_to_ancestors(self, figure3):
+        ic = InformationContent.from_collection(figure3, self.corpus())
+        # The root sees everything: p=1, IC=0.
+        assert ic["A"] == pytest.approx(0.0)
+        # U occurs twice out of five total occurrences... counts
+        # propagate: J's subtree holds U(2) + V(1) = 3 occurrences.
+        assert ic["J"] == pytest.approx(-math.log(3 / 5))
+        assert ic["U"] == pytest.approx(-math.log(2 / 5))
+
+    def test_unseen_concept_gets_ceiling(self, figure3):
+        ic = InformationContent.from_collection(figure3, self.corpus())
+        # M never occurs, directly or transitively.
+        assert ic["M"] > ic["U"]
+        assert ic["M"] == pytest.approx(
+            max(ic["U"], ic["V"], ic["L"], ic["T"]) + 1.0, abs=1e-6)
+
+    def test_more_specific_means_higher_ic(self, figure3):
+        ic = InformationContent.from_collection(figure3, self.corpus())
+        assert ic["U"] > ic["J"] > ic["A"]
+
+    def test_empty_corpus_rejected(self, figure3):
+        with pytest.raises(OntologyError):
+            InformationContent.from_collection(figure3, DocumentCollection())
+
+    def test_unknown_concept(self, figure3):
+        ic = InformationContent.from_collection(figure3, self.corpus())
+        with pytest.raises(UnknownConceptError):
+            ic["nope"]
+
+
+class TestICSimilarities:
+    @pytest.fixture()
+    def ic(self, figure3):
+        return InformationContent.from_collection(
+            figure3,
+            DocumentCollection([
+                Document("d1", ["U", "V"]),
+                Document("d2", ["U"]),
+                Document("d3", ["L"]),
+                Document("d4", ["T"]),
+            ]),
+        )
+
+    def test_resnik_uses_mica(self, figure3, ic):
+        # Common ancestors of U and V include J (IC of 3/5 subtree mass).
+        assert ic.resnik_similarity("U", "V") == pytest.approx(
+            -math.log(3 / 5))
+
+    def test_lin_identity(self, ic):
+        assert ic.lin_similarity("U", "U") == pytest.approx(1.0)
+
+    def test_lin_bounded(self, ic):
+        value = ic.lin_similarity("U", "L")
+        assert 0.0 <= value <= 1.0
+
+    def test_jiang_conrath_zero_for_identical(self, ic):
+        assert ic.jiang_conrath_distance("V", "V") == pytest.approx(0.0)
+
+    def test_jiang_conrath_symmetric(self, ic):
+        assert ic.jiang_conrath_distance("U", "L") == pytest.approx(
+            ic.jiang_conrath_distance("L", "U"))
+
+    def test_jiang_conrath_nonnegative(self, ic, figure3):
+        for first in ("U", "V", "L", "T", "J"):
+            for second in ("U", "V", "L", "T", "J"):
+                assert ic.jiang_conrath_distance(first, second) >= -1e-9
+
+
+class TestRanking:
+    def test_wu_palmer_ranking(self, figure3):
+        ranked = rank_concepts_by_similarity(
+            figure3, "U", ["V", "C", "R"])
+        assert ranked[0][0] == "R"  # U's parent
+        assert ranked[-1][0] == "C"
+
+    def test_ic_ranking_requires_ic(self, figure3):
+        with pytest.raises(OntologyError):
+            rank_concepts_by_similarity(figure3, "U", ["V"], measure="lin")
+
+    def test_unknown_measure(self, figure3):
+        with pytest.raises(OntologyError):
+            rank_concepts_by_similarity(figure3, "U", ["V"],
+                                        measure="cosine")
+
+    def test_lin_ranking(self, figure3):
+        ic = InformationContent.from_frequencies(
+            figure3, {"U": 2, "V": 1, "L": 1, "T": 1})
+        ranked = rank_concepts_by_similarity(
+            figure3, "U", ["V", "L"], measure="lin",
+            information_content=ic)
+        assert ranked[0][0] == "V"  # shares the informative ancestor J

@@ -1,0 +1,94 @@
+"""Tests for the SQLite-backed ontology store.
+
+The disk-backed ontology must be observationally identical to the
+in-memory one: same structure, same Dewey addresses, same distances, and
+the full search stack must produce the same rankings over it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.knds import KNDSearch
+from repro.datasets import example4_collection, figure3_ontology
+from repro.exceptions import UnknownConceptError
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import concept_distance
+from repro.ontology.io.sqlitedb import SQLiteOntology, save_sqlite
+
+
+@pytest.fixture()
+def sqlite_figure3(figure3, tmp_path):
+    path = tmp_path / "figure3.db"
+    save_sqlite(figure3, path)
+    with SQLiteOntology(path) as ontology:
+        yield ontology
+
+
+class TestStructuralEquivalence:
+    def test_metadata(self, sqlite_figure3, figure3):
+        assert sqlite_figure3.root == figure3.root
+        assert sqlite_figure3.name == figure3.name
+        assert len(sqlite_figure3) == len(figure3)
+        assert sqlite_figure3.edge_count() == figure3.edge_count()
+
+    def test_children_and_parents_with_order(self, sqlite_figure3, figure3):
+        for concept in figure3.concepts():
+            assert list(sqlite_figure3.children(concept)) == list(
+                figure3.children(concept))
+            assert sorted(sqlite_figure3.parents(concept)) == sorted(
+                figure3.parents(concept))
+
+    def test_labels_and_synonyms(self, sqlite_figure3, figure3):
+        for concept in figure3.concepts():
+            assert sqlite_figure3.label(concept) == figure3.label(concept)
+            assert sqlite_figure3.synonyms(concept) == figure3.synonyms(
+                concept)
+
+    def test_child_component(self, sqlite_figure3, figure3):
+        assert sqlite_figure3.child_component("G", "J") == 2
+        assert sqlite_figure3.child_component("F", "J") == 1
+
+    def test_contains_and_errors(self, sqlite_figure3):
+        assert "J" in sqlite_figure3
+        assert "nope" not in sqlite_figure3
+        with pytest.raises(UnknownConceptError):
+            sqlite_figure3.children("nope")
+        with pytest.raises(UnknownConceptError):
+            sqlite_figure3.label("nope")
+
+    def test_derived_structure(self, sqlite_figure3, figure3):
+        assert sqlite_figure3.ancestors("J") == figure3.ancestors("J")
+        assert sqlite_figure3.descendants("J") == figure3.descendants("J")
+        assert sqlite_figure3.depth("V") == figure3.depth("V")
+        assert sqlite_figure3.resolve_dewey((3, 1, 1)) == "J"
+
+
+class TestAlgorithmEquivalence:
+    def test_dewey_addresses_identical(self, sqlite_figure3, figure3):
+        disk = DeweyIndex(sqlite_figure3)
+        memory = DeweyIndex(figure3)
+        for concept in figure3.concepts():
+            assert disk.addresses(concept) == memory.addresses(concept)
+
+    def test_distances_identical(self, sqlite_figure3, figure3):
+        pairs = [("G", "F"), ("I", "J"), ("U", "L"), ("A", "V")]
+        for first, second in pairs:
+            assert concept_distance(sqlite_figure3, first, second) == \
+                concept_distance(figure3, first, second)
+
+    def test_knds_over_disk_ontology(self, sqlite_figure3):
+        searcher = KNDSearch(sqlite_figure3, example4_collection())
+        results = searcher.rds(["F", "I"], k=2)
+        assert sorted(results.doc_ids()) == ["d2", "d3"]
+        assert results.distances() == [2.0, 2.0]
+
+    def test_generated_ontology_roundtrip(self, small_ontology, tmp_path):
+        path = tmp_path / "generated.db"
+        save_sqlite(small_ontology, path)
+        with SQLiteOntology(path) as disk:
+            assert len(disk) == len(small_ontology)
+            sample = list(small_ontology.concepts())[::40]
+            for concept in sample:
+                assert list(disk.children(concept)) == list(
+                    small_ontology.children(concept))

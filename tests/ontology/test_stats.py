@@ -1,0 +1,35 @@
+"""Unit tests for ontology statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.stats import compute_stats
+
+
+class TestComputeStats:
+    def test_figure3_exact(self, figure3):
+        stats = compute_stats(figure3, path_sample=1000)
+        assert stats.num_concepts == 22
+        assert stats.num_edges == 22
+        assert stats.num_leaves == 7  # C, L, M, N, T, U, V
+        assert stats.max_depth == 6  # T, U and V sit six levels down
+        assert stats.paths_sampled == 22
+        # Total addresses: the J subtree concepts have 2 each, the rest 1.
+        expected_total = sum(
+            2 if concept in "JKPQRUV" else 1
+            for concept in "ABCDEFGHIJKLMNOPQRSTUV"
+        )
+        assert stats.avg_paths_per_concept * 22 == pytest.approx(
+            expected_total)
+
+    def test_sampled_subset(self, figure3):
+        stats = compute_stats(figure3, path_sample=5, seed=3)
+        assert stats.paths_sampled == 5
+        assert stats.num_concepts == 22
+
+    def test_as_rows_renders(self, figure3):
+        stats = compute_stats(figure3)
+        rows = dict(stats.as_rows())
+        assert rows["Total Concepts"] == "22"
+        assert "Avg. Paths/Concept" in rows

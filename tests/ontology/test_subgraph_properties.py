@@ -1,0 +1,89 @@
+"""Property tests for subontology extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.distance import concept_distance
+from repro.ontology.subgraph import extract_closure, extract_rooted
+from tests.test_properties import small_dags
+
+
+class TestClosureProperties:
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_distances_between_kept_concepts_preserved(self, ontology,
+                                                       data):
+        concepts = list(ontology.concepts())
+        chosen = data.draw(st.lists(st.sampled_from(concepts), min_size=1,
+                                    max_size=4, unique=True))
+        subgraph = extract_closure(ontology, chosen)
+        for first in chosen:
+            for second in chosen:
+                assert concept_distance(subgraph, first, second) == \
+                    concept_distance(ontology, first, second)
+
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_closure_is_ancestor_closed(self, ontology, data):
+        concepts = list(ontology.concepts())
+        chosen = data.draw(st.lists(st.sampled_from(concepts), min_size=1,
+                                    max_size=4, unique=True))
+        subgraph = extract_closure(ontology, chosen)
+        for concept in subgraph.concepts():
+            for parent in ontology.parents(concept):
+                assert parent in subgraph
+
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_dewey_addresses_of_kept_concepts_survive(self, ontology,
+                                                      data):
+        from repro.ontology.dewey import DeweyIndex
+
+        concepts = list(ontology.concepts())
+        chosen = data.draw(st.lists(st.sampled_from(concepts), min_size=1,
+                                    max_size=3, unique=True))
+        subgraph = extract_closure(ontology, chosen)
+        full_dewey = DeweyIndex(ontology)
+        sub_dewey = DeweyIndex(subgraph)
+        for concept in chosen:
+            # Every address in the closure resolves to the same concept
+            # in the full ontology... the closure may renumber children
+            # (siblings outside the closure vanish), so compare counts
+            # and depths rather than raw component values.
+            full = full_dewey.addresses(concept)
+            sub = sub_dewey.addresses(concept)
+            assert len(sub) == len(full)
+            assert sorted(len(a) for a in sub) == sorted(
+                len(a) for a in full)
+
+
+class TestRootedProperties:
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_rooted_extraction_is_exactly_the_descendant_cone(
+            self, ontology, data):
+        new_root = data.draw(st.sampled_from(list(ontology.concepts())))
+        subgraph = extract_rooted(ontology, new_root)
+        expected = ontology.descendants(new_root) | {new_root}
+        assert set(subgraph.concepts()) == expected
+        assert subgraph.root == new_root
+
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_rooted_distances_never_shorter_than_full(self, ontology,
+                                                      data):
+        new_root = data.draw(st.sampled_from(list(ontology.concepts())))
+        subgraph = extract_rooted(ontology, new_root)
+        members = sorted(subgraph.concepts())[:4]
+        for first in members:
+            for second in members:
+                # Removing concepts can only remove paths, and rooted
+                # extraction keeps all common ancestors at/below the
+                # root, so distances within the cone either match the
+                # full ontology or reflect a lost shortcut through an
+                # ancestor above the root (never shorter).
+                assert concept_distance(subgraph, first, second) >= \
+                    concept_distance(ontology, first, second)

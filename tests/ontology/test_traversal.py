@@ -1,0 +1,96 @@
+"""Unit tests for the valid-path breadth-first traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownConceptError
+from repro.ontology.distance import concept_distance
+from repro.ontology.traversal import ValidPathBFS, valid_path_distances
+
+
+class TestLevels:
+    def test_level_zero_is_origin(self, figure3):
+        bfs = ValidPathBFS(figure3, "F")
+        level, nodes = next(bfs)
+        assert level == 0
+        assert nodes == ["F"]
+
+    def test_level_one_parents_and_children(self, figure3):
+        bfs = ValidPathBFS(figure3, "F")
+        next(bfs)
+        level, nodes = next(bfs)
+        assert level == 1
+        assert set(nodes) == {"D", "J", "H"}
+
+    def test_no_climb_after_descend(self, figure3):
+        # From F the BFS reaches J by descending; J's parent G must only
+        # be reached the valid way (up through A), i.e. at distance 5.
+        distances = valid_path_distances(figure3, "F")
+        assert distances["G"] == 5
+
+    def test_distances_match_concept_distance(self, figure3):
+        distances = valid_path_distances(figure3, "L")
+        for concept in figure3.concepts():
+            assert distances[concept] == concept_distance(
+                figure3, "L", concept)
+
+    def test_covers_whole_ontology(self, figure3):
+        distances = valid_path_distances(figure3, "V")
+        assert set(distances) == set(figure3.concepts())
+
+    def test_max_level_truncates(self, figure3):
+        distances = valid_path_distances(figure3, "F", max_level=1)
+        assert set(distances) == {"F", "D", "J", "H"}
+
+
+class TestMechanics:
+    def test_exhaustion(self, figure3):
+        bfs = ValidPathBFS(figure3, "A")
+        levels = list(bfs)
+        assert bfs.exhausted()
+        assert bfs.pending_states() == 0
+        visited = [node for _level, nodes in levels for node in nodes]
+        assert sorted(visited) == sorted(figure3.concepts())
+        with pytest.raises(StopIteration):
+            next(bfs)
+
+    def test_visited_tracking(self, figure3):
+        bfs = ValidPathBFS(figure3, "F")
+        next(bfs)
+        assert bfs.visited("F")
+        assert not bfs.visited("J")
+        next(bfs)
+        assert bfs.visited("J")
+
+    def test_frontier_nodes(self, figure3):
+        bfs = ValidPathBFS(figure3, "F")
+        next(bfs)
+        assert sorted(bfs.frontier_nodes()) == ["D", "H", "J"]
+
+    def test_unknown_origin(self, figure3):
+        with pytest.raises(UnknownConceptError):
+            ValidPathBFS(figure3, "nope")
+
+
+class TestDedupeModes:
+    def test_dedupe_off_still_visits_first_at_min_distance(self, figure3):
+        # Without dominated-state pruning the frontier is larger, but
+        # first-visit levels (distances) are identical.
+        with_dedupe = valid_path_distances(figure3, "I")
+        reference: dict[str, int] = {}
+        for level, nodes in ValidPathBFS(figure3, "I", dedupe=False):
+            if level > 12:
+                break
+            for node in nodes:
+                reference.setdefault(node, level)
+        for concept, distance in reference.items():
+            assert with_dedupe[concept] == distance
+
+    def test_dedupe_off_grows_frontier(self, figure3):
+        deduped = ValidPathBFS(figure3, "I", dedupe=True)
+        raw = ValidPathBFS(figure3, "I", dedupe=False)
+        for _ in range(4):
+            next(deduped)
+            next(raw)
+        assert raw.pending_states() >= deduped.pending_states()

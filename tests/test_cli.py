@@ -1,0 +1,152 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.io import load_jsonl
+
+
+@pytest.fixture()
+def ontology_prefix(tmp_path):
+    prefix = str(tmp_path / "onto")
+    code = main(["generate-ontology", "--concepts", "300", "--seed", "3",
+                 "--out", prefix])
+    assert code == 0
+    return prefix
+
+
+@pytest.fixture()
+def corpus_path(tmp_path, ontology_prefix):
+    path = str(tmp_path / "corpus.jsonl")
+    code = main(["generate-corpus", "--ontology", ontology_prefix,
+                 "--profile", "radio", "--docs", "40", "--out", path])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_ontology_writes_csv_pair(self, tmp_path, capsys):
+        prefix = str(tmp_path / "fresh")
+        assert main(["generate-ontology", "--concepts", "120",
+                     "--out", prefix]) == 0
+        captured = capsys.readouterr()
+        assert "120 concepts" in captured.out
+        from repro.ontology.io.csvio import load_csv
+        ontology = load_csv(f"{prefix}.concepts.csv", f"{prefix}.edges.csv")
+        assert len(ontology) == 120
+
+    def test_generate_corpus_writes_jsonl(self, corpus_path):
+        collection = load_jsonl(corpus_path)
+        assert len(collection) == 40
+
+    def test_patient_profile(self, tmp_path, ontology_prefix):
+        path = str(tmp_path / "patient.jsonl")
+        code = main(["generate-corpus", "--ontology", ontology_prefix,
+                     "--profile", "patient", "--docs", "10",
+                     "--mean-concepts", "20", "--out", path])
+        assert code == 0
+        collection = load_jsonl(path)
+        assert collection.stats().avg_concepts_per_document > 10
+
+
+class TestStats:
+    def test_ontology_and_corpus_stats(self, ontology_prefix, corpus_path,
+                                       capsys):
+        code = main(["stats", "--ontology", ontology_prefix,
+                     "--corpus", corpus_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Total Concepts" in output
+        assert "Avg. Concepts/Document" in output
+
+
+class TestSearch:
+    def test_rds(self, ontology_prefix, corpus_path, capsys):
+        collection = load_jsonl(corpus_path)
+        document = next(iter(collection))
+        query = ",".join(document.concepts[:2])
+        code = main(["search", "--ontology", ontology_prefix,
+                     "--corpus", corpus_path, "-k", "3",
+                     "rds", "--query", query])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "distance=" in output
+        assert "DRC" in output
+
+    def test_sds(self, ontology_prefix, corpus_path, capsys):
+        collection = load_jsonl(corpus_path)
+        doc_id = next(iter(collection)).doc_id
+        code = main(["search", "--ontology", ontology_prefix,
+                     "--corpus", corpus_path, "-k", "3",
+                     "sds", "--doc-id", doc_id])
+        assert code == 0
+        first_line = capsys.readouterr().out.splitlines()[0]
+        assert doc_id in first_line  # the query doc itself at distance 0
+
+    def test_error_threshold_flag(self, ontology_prefix, corpus_path,
+                                  capsys):
+        collection = load_jsonl(corpus_path)
+        query = ",".join(next(iter(collection)).concepts[:2])
+        code = main(["search", "--ontology", ontology_prefix,
+                     "--corpus", corpus_path, "--error-threshold", "0.0",
+                     "rds", "--query", query])
+        assert code == 0
+
+    def test_unknown_concept_reports_error(self, ontology_prefix,
+                                           corpus_path, capsys):
+        code = main(["search", "--ontology", ontology_prefix,
+                     "--corpus", corpus_path,
+                     "rds", "--query", "NOPE"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtract:
+    def test_extract_from_text(self, ontology_prefix, capsys):
+        # Use a label straight out of the generated ontology.
+        from repro.ontology.io.csvio import load_csv
+        ontology = load_csv(f"{ontology_prefix}.concepts.csv",
+                            f"{ontology_prefix}.edges.csv")
+        concept = next(iter(ontology.children(ontology.root)))
+        label = ontology.label(concept)
+        code = main(["extract", "--ontology", ontology_prefix,
+                     "--text", f"patient presents with {label} today"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert concept in output
+        assert "[POS]" in output
+
+    def test_extract_negated(self, ontology_prefix, capsys):
+        from repro.ontology.io.csvio import load_csv
+        ontology = load_csv(f"{ontology_prefix}.concepts.csv",
+                            f"{ontology_prefix}.edges.csv")
+        concept = next(iter(ontology.children(ontology.root)))
+        label = ontology.label(concept)
+        code = main(["extract", "--ontology", ontology_prefix,
+                     "--text", f"no evidence of {label}"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[NEG]" in output
+        assert "positive concept set: -" in output
+
+
+class TestExtractSections:
+    def test_sections_flag(self, ontology_prefix, capsys):
+        from repro.ontology.io.csvio import load_csv
+        ontology = load_csv(f"{ontology_prefix}.concepts.csv",
+                            f"{ontology_prefix}.edges.csv")
+        concept = next(iter(ontology.children(ontology.root)))
+        label = ontology.label(concept)
+        text = (f"ASSESSMENT: {label} confirmed\n"
+                f"FAMILY HISTORY: mother with {label}\n")
+        code = main(["extract", "--ontology", ontology_prefix,
+                     "--sections", "--text", text])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[section excluded]" in output
+        assert "in ASSESSMENT" in output
+        # The concept still counts (positively) via the ASSESSMENT
+        # mention despite the excluded FAMILY HISTORY one.
+        assert concept in output.splitlines()[-1]

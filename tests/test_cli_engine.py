@@ -1,0 +1,68 @@
+"""CLI tests for engine persistence and explanation commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.io import load_jsonl
+
+
+@pytest.fixture()
+def world(tmp_path):
+    prefix = str(tmp_path / "onto")
+    assert main(["generate-ontology", "--concepts", "250", "--seed", "5",
+                 "--out", prefix]) == 0
+    corpus = str(tmp_path / "corpus.jsonl")
+    assert main(["generate-corpus", "--ontology", prefix,
+                 "--profile", "radio", "--docs", "25",
+                 "--out", corpus]) == 0
+    return prefix, corpus
+
+
+class TestBuildEngine:
+    def test_build_and_query_via_engine_dir(self, world, tmp_path, capsys):
+        prefix, corpus = world
+        engine_dir = str(tmp_path / "deploy")
+        assert main(["build-engine", "--ontology", prefix,
+                     "--corpus", corpus, "--out", engine_dir]) == 0
+        assert "saved engine" in capsys.readouterr().out
+
+        collection = load_jsonl(corpus)
+        document = next(iter(collection))
+        query = ",".join(document.concepts[:2])
+        assert main(["search", "--engine", engine_dir, "-k", "3",
+                     "rds", "--query", query]) == 0
+        output = capsys.readouterr().out
+        assert "distance=" in output
+
+    def test_search_requires_world_or_engine(self, capsys):
+        code = main(["search", "rds", "--query", "C1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_from_csv_world(self, world, capsys):
+        prefix, corpus = world
+        collection = load_jsonl(corpus)
+        document = next(iter(collection))
+        query = ",".join(document.concepts[:2])
+        assert main(["explain", "--ontology", prefix, "--corpus", corpus,
+                     "--doc-id", document.doc_id,
+                     "--query", query]) == 0
+        output = capsys.readouterr().out
+        assert "total distance: 0" in output  # doc contains the query
+
+    def test_explain_from_engine_dir(self, world, tmp_path, capsys):
+        prefix, corpus = world
+        engine_dir = str(tmp_path / "deploy")
+        assert main(["build-engine", "--ontology", prefix,
+                     "--corpus", corpus, "--out", engine_dir]) == 0
+        collection = load_jsonl(corpus)
+        document = next(iter(collection))
+        assert main(["explain", "--engine", engine_dir,
+                     "--doc-id", document.doc_id,
+                     "--query", document.concepts[0]]) == 0
+        output = capsys.readouterr().out
+        assert "nearest is" in output

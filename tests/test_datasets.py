@@ -1,0 +1,60 @@
+"""Unit tests for the bundled fixtures and the public package surface."""
+
+from __future__ import annotations
+
+import repro
+from repro.datasets import (
+    EXAMPLE_DOCUMENT,
+    EXAMPLE_QUERY,
+    example4_collection,
+    example_collection_with_example_doc,
+    figure3_ontology,
+)
+
+
+class TestFigure3:
+    def test_has_all_22_concepts(self):
+        ontology = figure3_ontology()
+        assert len(ontology) == 22
+        assert set(ontology.concepts()) == set("ABCDEFGHIJKLMNOPQRSTUV")
+
+    def test_j_is_the_multi_parent_node(self):
+        ontology = figure3_ontology()
+        assert set(ontology.parents("J")) == {"G", "F"}
+
+    def test_labels_for_named_concepts(self):
+        ontology = figure3_ontology()
+        assert ontology.label("G") == "heart valve finding"
+        assert ontology.label("C") == "C"
+
+
+class TestExampleCollection:
+    def test_six_documents(self):
+        collection = example4_collection()
+        assert collection.doc_ids() == ["d1", "d2", "d3", "d4", "d5", "d6"]
+
+    def test_augmented_collection_adds_d0(self):
+        collection = example_collection_with_example_doc()
+        assert collection.get("d0").concepts == tuple(sorted(
+            EXAMPLE_DOCUMENT))
+        assert len(collection) == 7
+
+    def test_fixture_constants(self):
+        assert EXAMPLE_DOCUMENT == ("F", "R", "T", "V")
+        assert EXAMPLE_QUERY == ("I", "L", "U")
+
+
+class TestPublicAPI:
+    def test_quickstart_from_docstring(self):
+        engine = repro.SearchEngine(repro.figure3_ontology(),
+                                    repro.example4_collection())
+        assert [r.doc_id for r in engine.rds(["F", "I"], k=2).results] == [
+            "d2", "d3",
+        ]
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

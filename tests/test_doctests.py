@@ -1,0 +1,32 @@
+"""Run the doctest examples embedded in selected modules.
+
+Only modules whose docstring examples are self-contained (no corpus or
+ontology setup needed) are included; the API examples that need a world
+are covered by regular tests instead.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.corpus.text.abbreviations
+import repro.corpus.text.negation
+import repro.corpus.text.tokenizer
+import repro.types
+
+MODULES = [
+    repro.types,
+    repro.corpus.text.tokenizer,
+    repro.corpus.text.abbreviations,
+    repro.corpus.text.negation,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda module: module.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module lost its doctest examples"

@@ -1,0 +1,70 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    CorpusError,
+    CycleError,
+    DeweyError,
+    DuplicateConceptError,
+    EmptyDocumentError,
+    OntologyError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RootError,
+    UnknownConceptError,
+    UnknownDocumentError,
+)
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc_type in (OntologyError, UnknownConceptError,
+                         DuplicateConceptError, CycleError, RootError,
+                         DeweyError, ParseError, CorpusError,
+                         UnknownDocumentError, EmptyDocumentError,
+                         QueryError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        # So dict-style code can catch them generically.
+        assert issubclass(UnknownConceptError, KeyError)
+        assert issubclass(UnknownDocumentError, KeyError)
+
+    def test_ontology_errors_group(self):
+        for exc_type in (UnknownConceptError, CycleError, RootError,
+                         DeweyError):
+            assert issubclass(exc_type, OntologyError)
+
+
+class TestMessages:
+    def test_unknown_concept_carries_id(self):
+        error = UnknownConceptError("C42")
+        assert error.concept_id == "C42"
+        assert "C42" in str(error)
+
+    def test_cycle_error_renders_cycle(self):
+        error = CycleError(["a", "b", "a"])
+        assert error.cycle == ["a", "b", "a"]
+        assert "a -> b -> a" in str(error)
+
+    def test_parse_error_location(self):
+        error = ParseError("bad row", path="file.csv", line=7)
+        assert "file.csv:7" in str(error)
+        assert error.path == "file.csv"
+        assert error.line == 7
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_empty_document_carries_id(self):
+        error = EmptyDocumentError("d9")
+        assert error.doc_id == "d9"
+        assert "d9" in str(error)
+
+    def test_catching_base_class_works(self):
+        with pytest.raises(ReproError):
+            raise UnknownDocumentError("d1")

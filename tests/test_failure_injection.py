@@ -1,0 +1,171 @@
+"""Failure-injection tests: misbehaving backends and corrupted state.
+
+The search algorithms sit on pluggable storage; these tests check that
+failures surface as the library's own exceptions at sensible boundaries
+instead of corrupting results silently.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core.knds import KNDSearch
+from repro.core.persistence import load_engine, save_engine
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.datasets import example4_collection, figure3_ontology
+from repro.exceptions import ParseError, ReproError, UnknownDocumentError
+from repro.index.base import ForwardIndexBase, InvertedIndexBase
+from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+
+
+class _GhostInvertedIndex(InvertedIndexBase):
+    """Inverted index that advertises a document the forward side lacks."""
+
+    def __init__(self, inner: InvertedIndexBase, ghost_doc: str,
+                 at_concept: str) -> None:
+        self._inner = inner
+        self._ghost = ghost_doc
+        self._at = at_concept
+
+    def postings(self, concept_id):
+        postings = tuple(self._inner.postings(concept_id))
+        if concept_id == self._at:
+            postings = postings + (self._ghost,)
+        return postings
+
+    def indexed_concepts(self):
+        return self._inner.indexed_concepts()
+
+    def document_frequency(self, concept_id):
+        return len(self.postings(concept_id))
+
+
+class _FlakyForwardIndex(ForwardIndexBase):
+    """Forward index that fails after N lookups (disk dying mid-query)."""
+
+    def __init__(self, inner: ForwardIndexBase, budget: int) -> None:
+        self._inner = inner
+        self._budget = budget
+
+    def _spend(self) -> None:
+        if self._budget <= 0:
+            raise OSError("simulated storage failure")
+        self._budget -= 1
+
+    def concepts(self, doc_id):
+        self._spend()
+        return self._inner.concepts(doc_id)
+
+    def concept_count(self, doc_id):
+        self._spend()
+        return self._inner.concept_count(doc_id)
+
+    def doc_ids(self):
+        return self._inner.doc_ids()
+
+    def __len__(self):
+        return len(self._inner)
+
+
+class TestInconsistentIndexes:
+    def test_ghost_document_surfaces_as_unknown_document(self, figure3):
+        collection = example4_collection()
+        inverted = _GhostInvertedIndex(
+            MemoryInvertedIndex.from_collection(collection),
+            ghost_doc="phantom", at_concept="F")
+        forward = MemoryForwardIndex.from_collection(collection)
+        searcher = KNDSearch(figure3, inverted=inverted, forward=forward)
+        with pytest.raises(UnknownDocumentError):
+            # The phantom document is touched via F's postings and its
+            # exact distance eventually requires a forward lookup.
+            searcher.rds(["F", "I"], k=6, error_threshold=1.0)
+
+    def test_ghost_in_sds_fails_at_size_lookup(self, figure3):
+        collection = example4_collection()
+        inverted = _GhostInvertedIndex(
+            MemoryInvertedIndex.from_collection(collection),
+            ghost_doc="phantom", at_concept="F")
+        forward = MemoryForwardIndex.from_collection(collection)
+        searcher = KNDSearch(figure3, inverted=inverted, forward=forward)
+        with pytest.raises(UnknownDocumentError):
+            searcher.sds(["F"], k=6)
+
+
+class TestStorageFailureMidQuery:
+    def test_io_error_propagates_not_swallowed(self, figure3):
+        collection = example4_collection()
+        forward = _FlakyForwardIndex(
+            MemoryForwardIndex.from_collection(collection), budget=1)
+        searcher = KNDSearch(
+            figure3,
+            inverted=MemoryInvertedIndex.from_collection(collection),
+            forward=forward)
+        with pytest.raises(OSError):
+            searcher.rds(["F", "I"], k=6, error_threshold=1.0)
+
+
+class TestCorruptedPersistence:
+    def test_truncated_manifest(self, tmp_path):
+        from repro.core.engine import SearchEngine
+
+        engine = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(engine, tmp_path / "deploy")
+        (tmp_path / "deploy" / "engine.json").write_text("{not json")
+        with pytest.raises(Exception):
+            load_engine(tmp_path / "deploy")
+
+    def test_missing_corpus_file(self, tmp_path):
+        from repro.core.engine import SearchEngine
+
+        engine = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(engine, tmp_path / "deploy")
+        (tmp_path / "deploy" / "corpus.jsonl").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_engine(tmp_path / "deploy")
+
+    def test_corrupted_corpus_line_reports_location(self, tmp_path):
+        from repro.core.engine import SearchEngine
+
+        engine = SearchEngine(figure3_ontology(), example4_collection())
+        save_engine(engine, tmp_path / "deploy")
+        corpus_path = tmp_path / "deploy" / "corpus.jsonl"
+        corpus_path.write_text(
+            corpus_path.read_text() + "garbage line\n")
+        with pytest.raises(ParseError) as excinfo:
+            load_engine(tmp_path / "deploy")
+        assert excinfo.value.line == 7
+
+    def test_sqlite_ontology_without_metadata(self, tmp_path):
+        path = tmp_path / "broken.db"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE meta (key TEXT, value TEXT)")
+        connection.commit()
+        connection.close()
+        from repro.ontology.io.sqlitedb import SQLiteOntology
+        with pytest.raises(ReproError):
+            SQLiteOntology(path)
+
+
+class TestEmptyWorlds:
+    def test_engine_over_empty_collection(self, figure3):
+        from repro.core.engine import SearchEngine
+
+        engine = SearchEngine(figure3, DocumentCollection(name="empty"))
+        results = engine.rds(["F"], k=5)
+        assert results.results == []
+
+    def test_knds_over_empty_collection_terminates(self, figure3):
+        searcher = KNDSearch(figure3, DocumentCollection(name="empty"))
+        assert searcher.rds(["F", "I"], k=3).results == []
+        assert searcher.sds(["F"], k=3).results == []
+
+    def test_document_with_concepts_outside_corpus_vocabulary(self,
+                                                              figure3):
+        # Query concepts exist in the ontology but in no document.
+        collection = DocumentCollection([Document("d1", ["V"])])
+        searcher = KNDSearch(figure3, collection)
+        results = searcher.rds(["C"], k=1)
+        assert results.doc_ids() == ["d1"]

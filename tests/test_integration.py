@@ -1,0 +1,145 @@
+"""End-to-end integration scenarios spanning the whole stack.
+
+Each test here is a miniature deployment: ontology (generated or parsed
+from files) → corpus (generated or extracted from raw notes) → filters →
+indexes → queries → explanations → persistence → live updates.  These
+catch seams the per-module unit tests cannot (e.g. Dewey order surviving
+a CSV round trip *and then* feeding DRC).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSConfig
+from repro.core.mapreduce import MapReduceKNDS
+from repro.core.persistence import load_engine, save_engine
+from repro.corpus.document import Document
+from repro.corpus.filters import apply_default_filters
+from repro.corpus.generators import patient_like
+from repro.corpus.io import load_jsonl, save_jsonl
+from repro.corpus.text.notegen import notes_corpus
+from repro.ontology.generators import snomed_like
+from repro.ontology.io.csvio import load_csv, save_csv
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return snomed_like(700, seed=71)
+
+
+class TestFileRoundTripThenSearch:
+    def test_csv_ontology_feeds_identical_rankings(self, ontology,
+                                                   tmp_path):
+        corpus = patient_like(ontology, num_docs=25, mean_concepts=20,
+                              seed=72)
+        concepts_csv = tmp_path / "c.csv"
+        edges_csv = tmp_path / "e.csv"
+        save_csv(ontology, concepts_csv, edges_csv)
+        reloaded_ontology = load_csv(concepts_csv, edges_csv)
+
+        corpus_path = tmp_path / "corpus.jsonl"
+        save_jsonl(corpus, corpus_path)
+        reloaded_corpus = load_jsonl(corpus_path)
+
+        original = SearchEngine(ontology, corpus)
+        roundtripped = SearchEngine(reloaded_ontology, reloaded_corpus)
+        query = list(next(iter(corpus)).concepts[:3])
+        assert original.rds(query, k=6).distances() == \
+            roundtripped.rds(query, k=6).distances()
+        assert original.sds(corpus.doc_ids()[0], k=4).distances() == \
+            pytest.approx(
+                roundtripped.sds(corpus.doc_ids()[0], k=4).distances())
+
+
+class TestNotesToSearchPipeline:
+    def test_raw_notes_all_the_way_to_explained_results(self, ontology):
+        corpus = notes_corpus(ontology, num_docs=30, mean_concepts=6,
+                              seed=73)
+        filtered = apply_default_filters(ontology, corpus,
+                                         frequency_cutoff=10_000,
+                                         min_depth=1)
+        assert len(filtered) > 0
+        engine = SearchEngine(ontology, filtered)
+        document = next(iter(filtered))
+        query = list(document.concepts[:2])
+        results = engine.rds(query, k=5)
+        assert document.doc_id in results.doc_ids()
+        explanation = engine.explain(results.doc_ids()[0], query)
+        assert "total distance:" in explanation
+
+    def test_filters_drop_generic_concepts_consistently(self, ontology):
+        corpus = notes_corpus(ontology, num_docs=20, mean_concepts=6,
+                              seed=74)
+        filtered = apply_default_filters(ontology, corpus,
+                                         frequency_cutoff=10_000,
+                                         min_depth=3)
+        for document in filtered:
+            for concept in document.concepts:
+                assert ontology.depth(concept) >= 3
+
+
+class TestAlgorithmsAgreeAtModerateScale:
+    @pytest.fixture(scope="class")
+    def world(self, ontology):
+        corpus = patient_like(ontology, num_docs=40, mean_concepts=25,
+                              seed=75)
+        return corpus, SearchEngine(ontology, corpus)
+
+    def test_three_implementations_one_answer(self, ontology, world):
+        corpus, engine = world
+        scanner = FullScanSearch(ontology, corpus, drc=engine.drc)
+        parallel = MapReduceKNDS(ontology, corpus, dewey=engine.dewey)
+        query = sorted(corpus.distinct_concepts())[10:13]
+        for k in (1, 5, 15):
+            truth = scanner.rds(query, k).distances()
+            assert engine.rds(query, k=k).distances() == truth
+            assert parallel.rds(query, k).distances() == truth
+
+    def test_sds_under_every_error_threshold(self, ontology, world):
+        corpus, engine = world
+        scanner = FullScanSearch(ontology, corpus, drc=engine.drc)
+        document = next(iter(corpus))
+        truth = scanner.sds(document, 5).distances()
+        for epsilon in (0.0, 0.3, 0.7, 1.0):
+            mine = engine.sds(document.doc_id, k=5,
+                              config=KNDSConfig(error_threshold=epsilon))
+            assert mine.distances() == pytest.approx(truth)
+
+
+class TestLifecycle:
+    def test_persist_update_requery(self, ontology, tmp_path):
+        corpus = patient_like(ontology, num_docs=15, mean_concepts=15,
+                              seed=76)
+        engine = SearchEngine(ontology, corpus)
+        save_engine(engine, tmp_path / "deploy")
+
+        reloaded = load_engine(tmp_path / "deploy")
+        try:
+            # A new patient arrives (the paper's point-of-care story)...
+            seed_concepts = list(next(iter(corpus)).concepts[:8])
+            reloaded.add_document(Document("arrival", seed_concepts))
+            # ...and is immediately the best SDS match for itself and a
+            # strong match for its donor document.
+            results = reloaded.sds("arrival", k=3)
+            assert results.results[0].doc_id == "arrival"
+            assert results.results[0].distance == 0.0
+        finally:
+            reloaded.close()
+
+    def test_two_saved_engines_are_independent(self, ontology, tmp_path):
+        corpus = patient_like(ontology, num_docs=10, mean_concepts=10,
+                              seed=77)
+        engine = SearchEngine(ontology, corpus)
+        save_engine(engine, tmp_path / "a")
+        save_engine(engine, tmp_path / "b")
+        first = load_engine(tmp_path / "a")
+        second = load_engine(tmp_path / "b")
+        try:
+            first.remove_document(corpus.doc_ids()[0])
+            assert corpus.doc_ids()[0] in second.collection
+        finally:
+            first.close()
+            second.close()

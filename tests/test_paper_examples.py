@@ -1,0 +1,332 @@
+"""Every worked example of the paper, asserted verbatim.
+
+These tests pin the implementation to the paper's own artifacts on the
+Figure 3 running example: the Table 1 Dewey address lists, the worked
+distances of Section 3.2 and Example 1, the Figure 4 Radix DAG, the
+step-by-step D-Radix construction of Example 2 (Figures 5(a)-5(e)), the
+tuned distance annotations of Figure 5(g), the breadth-first neighbor sets
+of Example 3, and the full kNDS data-structure trace of Table 2/Example 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dradix import DRadixDAG
+from repro.core.drc import DRC
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.core.radix import RadixDAG
+from repro.datasets import (
+    EXAMPLE_DOCUMENT,
+    EXAMPLE_QUERY,
+    example4_collection,
+    figure3_ontology,
+)
+from repro.ontology.distance import (
+    concept_distance,
+    document_document_distance,
+    document_query_distance,
+)
+from repro.ontology.traversal import ValidPathBFS
+from repro.types import parse_dewey
+
+TABLE1_STEPS = [
+    # (step, concept, address) — the merged Pd/Pq processing order.
+    (1, "I", "1.1.1.1"),
+    (2, "R", "1.1.1.2.1.1"),
+    (3, "U", "1.1.1.2.1.1.1"),
+    (4, "V", "1.1.1.2.2.1.1"),
+    (5, "F", "3.1"),
+    (6, "R", "3.1.1.1.1"),
+    (7, "U", "3.1.1.1.1.1"),
+    (8, "V", "3.1.1.2.1.1"),
+    (9, "T", "3.1.2.1.1.1"),
+    (10, "L", "3.1.2.2"),
+]
+
+
+class TestTable1Dewey:
+    def test_individual_address_sets(self, figure3_dewey):
+        expected = {
+            "I": ["1.1.1.1"],
+            "R": ["1.1.1.2.1.1", "3.1.1.1.1"],
+            "U": ["1.1.1.2.1.1.1", "3.1.1.1.1.1"],
+            "V": ["1.1.1.2.2.1.1", "3.1.1.2.1.1"],
+            "F": ["3.1"],
+            "T": ["3.1.2.1.1.1"],
+            "L": ["3.1.2.2"],
+        }
+        for concept, addresses in expected.items():
+            got = figure3_dewey.addresses(concept)
+            assert got == tuple(parse_dewey(a) for a in addresses)
+
+    def test_merged_processing_order(self, figure3_dewey):
+        merged = DRadixDAG.merged_address_list(
+            figure3_dewey, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+        expected = [
+            (parse_dewey(address), concept)
+            for _step, concept, address in TABLE1_STEPS
+        ]
+        assert merged == expected
+
+
+class TestSection32Distances:
+    def test_distance_g_f_goes_through_common_ancestor(self, figure3):
+        # "the shortest path distance D(G, F) is not 2 but 5 because it
+        # has to pass through one of their common ancestors, A."
+        assert concept_distance(figure3, "G", "F") == 5
+
+    def test_example1_component_distances(self, figure3):
+        # Ddq(d, q) = Ddc(d, I) + Ddc(d, L) + Ddc(d, U) = 4 + 2 + 1
+        doc = EXAMPLE_DOCUMENT
+        assert min(concept_distance(figure3, c, "I") for c in doc) == 4
+        assert min(concept_distance(figure3, c, "L") for c in doc) == 2
+        assert min(concept_distance(figure3, c, "U") for c in doc) == 1
+        assert document_query_distance(figure3, doc, EXAMPLE_QUERY) == 7
+
+
+class TestFigure4Radix:
+    def test_document_radix_shape(self, figure3, figure3_dewey):
+        # Indexing d = {F, R, T, V}: nodes B, E, G, J merge into a single
+        # node (J) reached by the edge labelled 1.1.1.2.
+        pairs = figure3_dewey.sorted_address_list(EXAMPLE_DOCUMENT)
+        dag = RadixDAG.from_addresses(figure3, pairs)
+        assert {node.concept_id for node in dag.nodes()} == {
+            "A", "J", "R", "V", "F", "T",
+        }
+        assert dag.edges() == {
+            ("A", "1.1.1.2", "J"),
+            ("J", "1.1", "R"),
+            ("J", "2.1.1", "V"),
+            ("A", "3.1", "F"),
+            ("F", "1", "J"),
+            ("F", "2.1.1.1", "T"),
+        }
+
+
+class TestExample2DRadixConstruction:
+    """The ten insertion steps of Example 2, checked against Figure 5."""
+
+    @pytest.fixture()
+    def snapshots(self, figure3, figure3_dewey):
+        dradix = DRadixDAG(figure3, set(EXAMPLE_DOCUMENT), set(EXAMPLE_QUERY))
+        merged = DRadixDAG.merged_address_list(
+            figure3_dewey, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+        result = []
+        for address, concept in merged:
+            dradix.insert(address, concept)
+            result.append(dradix.dag.edges())
+        return dradix, result
+
+    def test_step2_figure5a(self, snapshots):
+        _dradix, steps = snapshots
+        assert steps[1] == {
+            ("A", "1.1.1", "G"),
+            ("G", "1", "I"),
+            ("G", "2.1.1", "R"),
+        }
+
+    def test_step4_figure5b(self, snapshots):
+        _dradix, steps = snapshots
+        assert steps[3] == {
+            ("A", "1.1.1", "G"),
+            ("G", "1", "I"),
+            ("G", "2", "J"),
+            ("J", "1.1", "R"),
+            ("J", "2.1.1", "V"),
+            ("R", "1", "U"),
+        }
+
+    def test_step6_figure5c_adds_edge_f_to_r(self, snapshots):
+        _dradix, steps = snapshots
+        assert ("F", "1.1.1", "R") in steps[5]
+
+    def test_step7_fully_matched_makes_no_change(self, snapshots):
+        _dradix, steps = snapshots
+        assert steps[6] == steps[5]
+
+    def test_step8_figure5d_reroutes_through_existing_j(self, snapshots):
+        _dradix, steps = snapshots
+        assert ("F", "1", "J") in steps[7]
+        assert ("F", "1.1.1", "R") not in steps[7]
+        # No duplicate edges were created below J.
+        assert steps[7] == steps[6] - {("F", "1.1.1", "R")} | {("F", "1", "J")}
+
+    def test_step10_figure5e_final_shape(self, snapshots):
+        _dradix, steps = snapshots
+        assert steps[9] == {
+            ("A", "1.1.1", "G"),
+            ("G", "1", "I"),
+            ("G", "2", "J"),
+            ("J", "1.1", "R"),
+            ("J", "2.1.1", "V"),
+            ("R", "1", "U"),
+            ("A", "3.1", "F"),
+            ("F", "1", "J"),
+            ("F", "2", "H"),
+            ("H", "1.1.1", "T"),
+            ("H", "2", "L"),
+        }
+
+    def test_figure5f_bottom_up_annotations(self, figure3, figure3_dewey):
+        # After the bottom-up sweep only, every node knows the nearest
+        # document/query concept *below* it — Figure 5(f).
+        from repro.types import INFINITY
+
+        dradix = DRadixDAG(figure3, set(EXAMPLE_DOCUMENT),
+                           set(EXAMPLE_QUERY))
+        for address, concept in DRadixDAG.merged_address_list(
+                figure3_dewey, EXAMPLE_DOCUMENT, EXAMPLE_QUERY):
+            dradix.insert(address, concept)
+        dradix.sweep_bottom_up()
+        annotations = {
+            node.concept_id: tuple(node.dist)
+            for node in dradix.dag.nodes()
+        }
+        assert annotations == {
+            "A": (2, 4),
+            "G": (3, 1),
+            "I": (INFINITY, 0),
+            "J": (2, 3),
+            "R": (0, 1),
+            "U": (INFINITY, 0),
+            "V": (0, INFINITY),
+            "F": (0, 2),
+            "H": (3, 1),
+            "T": (0, INFINITY),
+            "L": (INFINITY, 0),
+        }
+
+    def test_figure5g_tuned_annotations(self, snapshots):
+        dradix, _steps = snapshots
+        dradix.tune()
+        # (nearest document distance, nearest query distance) per node.
+        assert dradix.distance_annotations() == {
+            "A": (2, 4),
+            "G": (3, 1),
+            "I": (4, 0),
+            "J": (1, 2),  # F, a document concept, is J's direct parent
+            "R": (0, 1),
+            "U": (1, 0),
+            "V": (0, 5),
+            "F": (0, 2),
+            "H": (1, 1),
+            "T": (0, 4),
+            "L": (2, 0),
+        }
+
+    def test_rds_and_sds_distances_from_the_index(self, snapshots):
+        dradix, _steps = snapshots
+        dradix.tune()
+        # Ddq(d, q) = 4 + 2 + 1 = 7 (Example 1 continued in Section 4.2).
+        assert dradix.document_query_distance() == 7
+        # Ddd sums the mirrored annotations with the Eq. 3 normalization.
+        expected = (2 + 1 + 4 + 5) / 4 + (4 + 2 + 1) / 3
+        assert dradix.document_document_distance() == pytest.approx(expected)
+
+
+class TestExample3BreadthFirst:
+    def test_second_iteration_examines_the_published_nodes(self, figure3):
+        # From q = {I, L, U}: level-1 nodes are G, M, N (from I), H (from
+        # L) and R (from U); only R belongs to d = {F, R, T, V}.
+        level1: set[str] = set()
+        for origin in EXAMPLE_QUERY:
+            bfs = ValidPathBFS(figure3, origin)
+            next(bfs)
+            _level, nodes = next(bfs)
+            level1.update(nodes)
+        assert level1 == {"G", "M", "N", "R", "H"}
+        assert level1 & set(EXAMPLE_DOCUMENT) == {"R"}
+
+
+class TestTable2KNDSTrace:
+    """The complete Table 2 run: q = {F, I}, k = 2, εθ = 1."""
+
+    # Settings that mirror the paper's run: analysis examines at most k
+    # documents per round (the trace analyzes d1, d2 in round 0 and d3, d6
+    # in round 1) and optimization-1 pruning is off so d4 stays in Ld.
+    CONFIG = KNDSConfig(
+        error_threshold=1.0,
+        analyze_budget_per_round=2,
+        prune_on_update=False,
+        prune_at_pop=False,
+    )
+
+    @pytest.fixture()
+    def trace(self, figure3, example4):
+        events = []
+        searcher = KNDSearch(figure3, example4)
+        results = searcher.rds(["F", "I"], k=2, config=self.CONFIG,
+                               observer=events.append)
+        return results, events
+
+    def test_final_results(self, trace):
+        results, _events = trace
+        assert [(r.doc_id, r.distance) for r in results.results] == [
+            ("d2", 2.0), ("d3", 2.0),
+        ]
+
+    def test_row2_iteration0_expansion(self, trace):
+        _results, events = trace
+        expanded0 = [e for e in events if e["phase"] == "expanded"][0]
+        assert expanded0["frontier"] == {
+            ("F", "D"), ("F", "H"), ("F", "J"),
+            ("I", "G"), ("I", "M"), ("I", "N"),
+        }
+        assert expanded0["candidates"] == {"d1": 1, "d2": 1, "d3": 1}
+
+    def test_row3_after_iteration0(self, trace):
+        _results, events = trace
+        round0 = [e for e in events if e["phase"] == "round"][0]
+        assert round0["examined"] == {"d1", "d2"}
+        assert round0["candidates"] == {"d3": 1}
+        assert round0["top"] == {"d1": 4.0, "d2": 2.0}
+        assert round0["global_lower"] == 1  # D− from d3's bound
+        assert round0["kth_distance"] == 4.0  # Dk+
+
+    def test_row4_iteration1_expansion(self, trace):
+        _results, events = trace
+        expanded1 = [e for e in events if e["phase"] == "expanded"][1]
+        assert expanded1["frontier"] == {
+            ("F", "A"), ("F", "K"), ("F", "L"), ("F", "O"), ("F", "P"),
+            ("I", "E"), ("I", "J"),
+        }
+        assert expanded1["candidates"] == {"d3": 2, "d6": 2, "d4": 3}
+
+    def test_end_row(self, trace):
+        _results, events = trace
+        end = [e for e in events if e["phase"] == "round"][1]
+        assert end["examined"] == {"d1", "d2", "d3", "d6"}
+        assert end["candidates"] == {"d4": 3}
+        assert end["top"] == {"d2": 2.0, "d3": 2.0}
+        assert end["global_lower"] == 3  # D−
+        assert end["kth_distance"] == 2.0  # Dk+ => termination
+        # d5 (containing only the far-away concept C) was never touched.
+        assert len([e for e in events if e["phase"] == "round"]) == 2
+
+
+class TestExample4Semantics:
+    def test_actual_distances_match_the_trace(self, figure3):
+        drc = DRC(figure3)
+        collection = example4_collection()
+        query = ("F", "I")
+        expected = {"d1": 4, "d2": 2, "d3": 2}
+        for doc_id, distance in expected.items():
+            doc = collection.get(doc_id)
+            assert drc.document_query_distance(doc.concepts, query) == distance
+
+    def test_default_configuration_agrees_with_the_trace_run(
+            self, figure3, example4):
+        searcher = KNDSearch(figure3, example4)
+        results = searcher.rds(["F", "I"], k=2)
+        assert sorted(r.distance for r in results.results) == [2.0, 2.0]
+        assert sorted(r.doc_id for r in results.results) == ["d2", "d3"]
+
+
+class TestSymmetry:
+    def test_ddd_is_symmetric_on_the_running_example(self, figure3):
+        forward = document_document_distance(
+            figure3, EXAMPLE_DOCUMENT, EXAMPLE_QUERY)
+        backward = document_document_distance(
+            figure3, EXAMPLE_QUERY, EXAMPLE_DOCUMENT)
+        assert forward == pytest.approx(backward)

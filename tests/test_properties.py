@@ -1,0 +1,295 @@
+"""Property-based cross-validation of the core algorithms.
+
+The library deliberately contains several independent implementations of
+the same mathematical objects:
+
+* concept-concept distance: ancestor-cone BFS, the Dewey-pair identity,
+  the valid-path BFS distance map, and the precomputed matrix;
+* document distances: the brute-force definitions (Eqs. 1-3), the
+  quadratic pairwise baseline, and DRC over the D-Radix;
+* top-k search: kNDS under many configurations, the full-scan oracle, and
+  (for RDS) the Threshold Algorithm.
+
+Hypothesis generates random DAGs, corpora and queries and checks that all
+of them agree — any bug in Dewey labelling, radix splitting, distance
+tuning or branch-and-bound pruning shows up as a disagreement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.baselines.matrix import ConceptDistanceMatrix
+from repro.baselines.pairwise import PairwiseDistanceBaseline
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.core.drc import DRC
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import (
+    concept_distance,
+    concept_distance_dewey,
+    document_document_distance,
+    document_query_distance,
+)
+from repro.ontology.graph import Ontology
+from repro.ontology.traversal import valid_path_distances
+
+
+@st.composite
+def small_dags(draw, min_concepts: int = 2, max_concepts: int = 18):
+    """Random single-rooted DAGs with bounded Dewey path counts.
+
+    Nodes are created in order and every edge goes from an earlier node to
+    a later one, so the result is acyclic with node 0 as the unique root.
+    Extra parents are added sparingly and only while the receiving node's
+    path count stays small, keeping the brute-force oracles fast.
+    """
+    count = draw(st.integers(min_concepts, max_concepts))
+    names = [f"n{i}" for i in range(count)]
+    builder = OntologyBuilder("hypothesis-dag")
+    for name in names:
+        builder.add_concept(name)
+    paths = [1] * count
+    for index in range(1, count):
+        parent = draw(st.integers(0, index - 1))
+        builder.add_edge(names[parent], names[index])
+        paths[index] = paths[parent]
+        if index >= 2 and draw(st.booleans()):
+            extra = draw(st.integers(0, index - 1))
+            if extra != parent and paths[index] + paths[extra] <= 48:
+                builder.add_edge(names[extra], names[index])
+                paths[index] += paths[extra]
+    return builder.build()
+
+
+@st.composite
+def worlds(draw):
+    """A random (ontology, collection, query) triple."""
+    ontology = draw(small_dags(min_concepts=3))
+    concepts = list(ontology.concepts())
+    num_docs = draw(st.integers(1, 10))
+    documents = []
+    for doc_index in range(num_docs):
+        size = draw(st.integers(1, min(5, len(concepts))))
+        members = draw(
+            st.lists(st.sampled_from(concepts), min_size=size,
+                     max_size=size, unique=True)
+        )
+        documents.append(Document(f"d{doc_index}", members))
+    query_size = draw(st.integers(1, min(4, len(concepts))))
+    query = tuple(draw(
+        st.lists(st.sampled_from(concepts), min_size=query_size,
+                 max_size=query_size, unique=True)
+    ))
+    return ontology, DocumentCollection(documents, name="hyp"), query
+
+
+class TestConceptDistanceAgreement:
+    @given(small_dags(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_three_implementations_agree(self, ontology, data):
+        concepts = list(ontology.concepts())
+        first = data.draw(st.sampled_from(concepts))
+        second = data.draw(st.sampled_from(concepts))
+        dewey = DeweyIndex(ontology)
+        via_bfs = concept_distance(ontology, first, second)
+        via_dewey = concept_distance_dewey(dewey, first, second)
+        via_traversal = valid_path_distances(ontology, first)[second]
+        assert via_bfs == via_dewey == via_traversal
+
+    @given(small_dags(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_axioms(self, ontology, data):
+        concepts = list(ontology.concepts())
+        first = data.draw(st.sampled_from(concepts))
+        second = data.draw(st.sampled_from(concepts))
+        assert concept_distance(ontology, first, first) == 0
+        forward = concept_distance(ontology, first, second)
+        backward = concept_distance(ontology, second, first)
+        assert forward == backward
+        assert forward >= 0
+        if first != second:
+            assert forward >= 1
+
+    @given(small_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_matches_bfs(self, ontology):
+        matrix = ConceptDistanceMatrix.build(ontology)
+        concepts = list(ontology.concepts())
+        for first in concepts[:6]:
+            for second in concepts[:6]:
+                assert matrix.distance(first, second) == concept_distance(
+                    ontology, first, second)
+
+
+class TestDeweyInvariants:
+    @given(small_dags(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_prefixes_resolve_to_ancestors(self, ontology, data):
+        concept = data.draw(st.sampled_from(list(ontology.concepts())))
+        dewey = DeweyIndex(ontology)
+        ancestors = ontology.ancestors(concept) | {concept}
+        for address in dewey.addresses(concept):
+            assert ontology.resolve_dewey(address) == concept
+            for cut in range(len(address)):
+                prefix_owner = ontology.resolve_dewey(address[:cut])
+                assert prefix_owner in ancestors
+
+    @given(small_dags(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_address_count_and_order(self, ontology, data):
+        concept = data.draw(st.sampled_from(list(ontology.concepts())))
+        dewey = DeweyIndex(ontology)
+        addresses = dewey.addresses(concept)
+        assert len(addresses) >= 1
+        assert list(addresses) == sorted(addresses)
+        assert len(set(addresses)) == len(addresses)
+        # Minimum address length equals the BFS depth of the concept.
+        assert min(len(a) for a in addresses) == ontology.depth(concept)
+
+
+class TestDocumentDistanceAgreement:
+    @given(worlds())
+    @settings(max_examples=50, deadline=None)
+    def test_drc_matches_brute_force_rds(self, world):
+        ontology, collection, query = world
+        drc = DRC(ontology)
+        for document in collection:
+            expected = document_query_distance(
+                ontology, document.concepts, query)
+            assert drc.document_query_distance(
+                document.concepts, query) == expected
+
+    @given(worlds())
+    @settings(max_examples=50, deadline=None)
+    def test_drc_matches_brute_force_sds(self, world):
+        ontology, collection, query = world
+        drc = DRC(ontology)
+        for document in collection:
+            expected = document_document_distance(
+                ontology, document.concepts, query)
+            got = drc.document_document_distance(document.concepts, query)
+            assert math.isclose(got, expected), (document.concepts, query)
+
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_baseline_matches_drc(self, world):
+        ontology, collection, query = world
+        drc = DRC(ontology)
+        baseline = PairwiseDistanceBaseline(ontology)
+        for document in collection:
+            assert baseline.document_query_distance(
+                document.concepts, query
+            ) == drc.document_query_distance(document.concepts, query)
+            assert math.isclose(
+                baseline.document_document_distance(document.concepts, query),
+                drc.document_document_distance(document.concepts, query),
+            )
+
+
+def _assert_same_topk(result, oracle, k: int) -> None:
+    """Rankings must agree on distances; ids may differ only within ties."""
+    assert len(result.results) == len(oracle.results) == min(
+        k, len(oracle.results) if len(oracle.results) < k else k)
+    got = [round(item.distance, 9) for item in result.results]
+    want = [round(item.distance, 9) for item in oracle.results]
+    assert got == want
+    by_distance_got: dict[float, set[str]] = {}
+    by_distance_want: dict[float, set[str]] = {}
+    for item in result.results:
+        by_distance_got.setdefault(round(item.distance, 9), set()).add(
+            item.doc_id)
+    for item in oracle.results:
+        by_distance_want.setdefault(round(item.distance, 9), set()).add(
+            item.doc_id)
+    for distance, ids in by_distance_got.items():
+        # Non-boundary distances must match exactly; boundary ties may pick
+        # any of the equally distant documents.
+        if distance != got[-1]:
+            assert ids == by_distance_want[distance]
+
+
+KNDS_CONFIGS = [
+    KNDSConfig(),
+    KNDSConfig(error_threshold=0.0),
+    KNDSConfig(error_threshold=1.0),
+    KNDSConfig(error_threshold=0.4, dedupe=False),
+    KNDSConfig(prune_on_update=False, prune_at_pop=False),
+    KNDSConfig(covered_shortcut=False, error_threshold=0.7),
+    KNDSConfig(analyze_budget_per_round=1),
+    KNDSConfig(queue_limit=4),
+]
+
+
+class TestKNDSAgainstOracle:
+    @given(worlds(), st.integers(1, 12),
+           st.sampled_from(KNDS_CONFIGS))
+    @settings(max_examples=60, deadline=None)
+    def test_rds_matches_full_scan(self, world, k, config):
+        ontology, collection, query = world
+        oracle = FullScanSearch(ontology, collection).rds(query, k)
+        searcher = KNDSearch(ontology, collection)
+        result = searcher.rds(query, k, config=config)
+        _assert_same_topk(result, oracle, k)
+
+    @given(worlds(), st.integers(1, 12),
+           st.sampled_from(KNDS_CONFIGS))
+    @settings(max_examples=60, deadline=None)
+    def test_sds_matches_full_scan(self, world, k, config):
+        ontology, collection, query = world
+        oracle = FullScanSearch(ontology, collection).sds(query, k)
+        searcher = KNDSearch(ontology, collection)
+        result = searcher.sds(query, k, config=config)
+        _assert_same_topk(result, oracle, k)
+
+    @given(worlds(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_progressive_iterator_matches_batch(self, world, k):
+        ontology, collection, query = world
+        searcher = KNDSearch(ontology, collection)
+        batch = searcher.rds(query, k)
+        progressive = list(searcher.rds_iter(query, k))
+        assert [(i.doc_id, i.distance) for i in progressive] == [
+            (i.doc_id, i.distance) for i in batch.results]
+
+
+class TestThresholdAlgorithmAgainstOracle:
+    @given(worlds(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_ta_matches_full_scan_rds(self, world, k):
+        ontology, collection, query = world
+        oracle = FullScanSearch(ontology, collection).rds(query, k)
+        ta = ThresholdAlgorithm.build(ontology, collection, concepts=query)
+        result = ta.rds(query, k)
+        _assert_same_topk(result, oracle, k)
+
+
+class TestSymmetryAndScaling:
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_ddd_symmetric(self, world):
+        ontology, collection, query = world
+        for document in collection:
+            forward = document_document_distance(
+                ontology, document.concepts, query)
+            backward = document_document_distance(
+                ontology, query, document.concepts)
+            assert math.isclose(forward, backward)
+
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_documents_have_zero_distance(self, world):
+        ontology, collection, _query = world
+        for document in collection:
+            assert document_document_distance(
+                ontology, document.concepts, document.concepts) == 0.0
+            assert document_query_distance(
+                ontology, document.concepts, document.concepts) == 0

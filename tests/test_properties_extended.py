@@ -1,0 +1,352 @@
+"""Property-based tests for radix invariants, weighting, measures, IO.
+
+Companion to ``test_properties.py``: that module cross-validates the
+paper's core algorithms; this one covers the structural invariants of the
+radix machinery and the extension modules (weighted distances,
+information-content measures, query expansion, corpus serialization).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drc import DRC
+from repro.core.expansion import QueryExpander
+from repro.core.radix import RadixDAG
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.io import load_jsonl, save_jsonl
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.measures import InformationContent
+from repro.ontology.weighting import (
+    weighted_distance_from_dradix,
+    weighted_document_document_distance,
+    weighted_document_query_distance,
+)
+from tests.test_properties import small_dags, worlds
+
+
+def _walk(dag, address):
+    node = dag.root
+    remaining = tuple(address)
+    while remaining:
+        position = node.index.get(remaining[0])
+        if position is None:
+            return None
+        label, child = node.children[position]
+        if remaining[:len(label)] != label:
+            return None
+        remaining = remaining[len(label):]
+        node = child
+    return node
+
+
+class TestRadixInvariants:
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_structure_after_random_insertions(self, ontology, data):
+        concepts = list(ontology.concepts())
+        count = data.draw(st.integers(1, min(8, len(concepts))))
+        subset = data.draw(st.lists(st.sampled_from(concepts),
+                                    min_size=count, max_size=count,
+                                    unique=True))
+        dewey = DeweyIndex(ontology)
+        pairs = dewey.sorted_address_list(subset)
+        dag = RadixDAG.from_addresses(ontology, pairs)
+
+        # Every inserted address resolves through the radix structure to
+        # its concept's node, marked as a target.
+        for address, concept in pairs:
+            node = _walk(dag, address)
+            assert node is not None
+            assert node.concept_id == concept
+            assert node.is_target
+
+        # One node per concept (the registry deduplicates).
+        ids = [node.concept_id for node in dag.nodes()]
+        assert len(ids) == len(set(ids))
+
+        # First-component invariant and index consistency.
+        for node in dag.nodes():
+            firsts = [label[0] for label, _child in node.children]
+            assert len(firsts) == len(set(firsts))
+            assert node.index == {
+                label[0]: position
+                for position, (label, _child) in enumerate(node.children)
+            }
+
+        # Compression bound: at most ~2 nodes per inserted path.
+        assert len(dag) <= 2 * len(pairs) + 1
+
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_radix_path_labels_reconstruct_addresses(self, ontology, data):
+        concepts = list(ontology.concepts())
+        subset = data.draw(st.lists(st.sampled_from(concepts), min_size=1,
+                                    max_size=5, unique=True))
+        dewey = DeweyIndex(ontology)
+        pairs = dewey.sorted_address_list(subset)
+        dag = RadixDAG.from_addresses(ontology, pairs)
+        # Every root-to-target path through the radix concatenates to a
+        # genuine Dewey address of the target concept.
+        found: set = set()
+
+        def explore(node, prefix):
+            if node.is_target and prefix:
+                found.add((prefix, node.concept_id))
+            for label, child in node.children:
+                explore(child, prefix + label)
+
+        explore(dag.root, ())
+        assert found <= set(pairs)
+
+
+class TestWeightedProperties:
+    @given(worlds(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_weights_equal_unweighted(self, world, data):
+        ontology, collection, query = world
+        document = data.draw(st.sampled_from(list(collection)))
+        drc = DRC(ontology)
+        unweighted = drc.document_query_distance(document.concepts, query)
+        weighted = weighted_document_query_distance(
+            ontology, document.concepts, query,
+            weights={concept: 1.0 for concept in query})
+        assert weighted == unweighted
+
+    @given(worlds(), st.data(),
+           st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_scaling_is_linear(self, world, data, factor):
+        ontology, collection, query = world
+        document = data.draw(st.sampled_from(list(collection)))
+        base = weighted_document_query_distance(
+            ontology, document.concepts, query)
+        scaled = weighted_document_query_distance(
+            ontology, document.concepts, query,
+            weights={concept: factor for concept in query})
+        assert scaled == pytest.approx(factor * base)
+
+    @given(worlds(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_ddd_symmetric_and_matches_dradix(self, world, data):
+        ontology, collection, query = world
+        document = data.draw(st.sampled_from(list(collection)))
+        weights = {
+            concept: 1.0 + (index % 3)
+            for index, concept in enumerate(
+                sorted(set(document.concepts) | set(query)))
+        }
+        forward = weighted_document_document_distance(
+            ontology, document.concepts, query, weights=weights)
+        backward = weighted_document_document_distance(
+            ontology, query, document.concepts, weights=weights)
+        assert forward == pytest.approx(backward)
+        dradix = DRC(ontology).build(document.concepts, query)
+        assert weighted_distance_from_dradix(
+            dradix, weights=weights, kind="ddd") == pytest.approx(forward)
+
+
+class TestInformationContentProperties:
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_ic_monotone_down_the_hierarchy(self, world):
+        ontology, collection, _query = world
+        ic = InformationContent.from_collection(ontology, collection)
+        for concept in ontology.concepts():
+            for child in ontology.children(concept):
+                assert ic[child] >= ic[concept] - 1e-9
+
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_root_ic_zero(self, world):
+        ontology, collection, _query = world
+        ic = InformationContent.from_collection(ontology, collection)
+        assert ic[ontology.root] == pytest.approx(0.0)
+
+    @given(worlds(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_lin_bounds_and_symmetry(self, world, data):
+        ontology, collection, _query = world
+        ic = InformationContent.from_collection(ontology, collection)
+        concepts = list(ontology.concepts())
+        first = data.draw(st.sampled_from(concepts))
+        second = data.draw(st.sampled_from(concepts))
+        value = ic.lin_similarity(first, second)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(ic.lin_similarity(second, first))
+
+    @given(worlds(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_jiang_conrath_pseudo_metric(self, world, data):
+        ontology, collection, _query = world
+        ic = InformationContent.from_collection(ontology, collection)
+        concepts = list(ontology.concepts())
+        first = data.draw(st.sampled_from(concepts))
+        second = data.draw(st.sampled_from(concepts))
+        distance = ic.jiang_conrath_distance(first, second)
+        assert distance >= -1e-9
+        assert ic.jiang_conrath_distance(first, first) == pytest.approx(0.0)
+        assert distance == pytest.approx(
+            ic.jiang_conrath_distance(second, first))
+
+
+class TestExpansionProperties:
+    @given(small_dags(min_concepts=3), st.data(),
+           st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_expansion_weights_and_monotonicity(self, ontology, data,
+                                                radius):
+        concepts = list(ontology.concepts())
+        seeds = data.draw(st.lists(st.sampled_from(concepts), min_size=1,
+                                   max_size=3, unique=True))
+        expander = QueryExpander(ontology, radius=radius, decay=0.5)
+        weights = expander.expand(seeds)
+        for seed in seeds:
+            assert weights[seed] == 1.0
+        for weight in weights.values():
+            assert 0.0 < weight <= 1.0
+        if radius > 0:
+            smaller = QueryExpander(ontology, radius=radius - 1, decay=0.5)
+            assert set(smaller.expand(seeds)) <= set(weights)
+
+    @given(small_dags(min_concepts=3), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_weight_reflects_distance(self, ontology, data):
+        from repro.ontology.distance import concept_distance
+        concepts = list(ontology.concepts())
+        seed = data.draw(st.sampled_from(concepts))
+        expander = QueryExpander(ontology, radius=2, decay=0.5)
+        for concept, weight in expander.expand([seed]).items():
+            distance = concept_distance(ontology, seed, concept)
+            assert weight == pytest.approx(0.5 ** distance)
+
+
+class TestMapReduceEquivalence:
+    @given(worlds(), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_mapreduce_rds_matches_serial_on_random_worlds(self, world, k):
+        from repro.core.knds import KNDSearch
+        from repro.core.mapreduce import MapReduceKNDS
+
+        ontology, collection, query = world
+        serial = KNDSearch(ontology, collection)
+        parallel = MapReduceKNDS(ontology, collection)
+        assert parallel.rds(query, k).distances() == \
+            serial.rds(query, k).distances()
+
+    @given(worlds(), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_mapreduce_sds_matches_serial_on_random_worlds(self, world, k):
+        from repro.core.knds import KNDSearch
+        from repro.core.mapreduce import MapReduceKNDS
+
+        ontology, collection, query = world
+        serial = KNDSearch(ontology, collection)
+        parallel = MapReduceKNDS(ontology, collection)
+        assert parallel.sds(query, k).distances() == pytest.approx(
+            serial.sds(query, k).distances())
+
+
+_doc_ids = st.text(alphabet="abcdefgh0123456789-", min_size=1, max_size=12)
+
+
+class TestCorpusIOProperties:
+    @given(st.lists(
+        st.tuples(
+            _doc_ids,
+            st.lists(st.text(alphabet="CX0123456789", min_size=1,
+                             max_size=8), min_size=1, max_size=5),
+            st.one_of(st.none(), st.text(max_size=30)),
+        ),
+        min_size=0, max_size=8,
+        unique_by=lambda entry: entry[0],
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_jsonl_roundtrip(self, entries):
+        import tempfile
+        from pathlib import Path
+
+        collection = DocumentCollection(
+            (Document(doc_id, concepts, text=text)
+             for doc_id, concepts, text in entries),
+            name="prop",
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "corpus.jsonl"
+            save_jsonl(collection, path)
+            reloaded = load_jsonl(path)
+        assert reloaded.doc_ids() == collection.doc_ids()
+        for document in collection:
+            copy = reloaded.get(document.doc_id)
+            assert copy.concepts == document.concepts
+            assert copy.text == document.text
+
+
+class TestExtractionProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_spans_are_disjoint_and_in_bounds(self, data):
+        from repro.corpus.text.mapper import ConceptMapper
+        vocabulary = ["fever", "chest pain", "acute chest pain", "cough",
+                      "renal failure", "acute renal failure"]
+        terms = {
+            term: f"C{index}" for index, term in enumerate(vocabulary)
+        }
+        mapper = ConceptMapper(terms)
+        tokens = data.draw(st.lists(
+            st.sampled_from("fever chest pain acute renal failure cough "
+                            "and with stable".split()),
+            max_size=20))
+        spans = mapper.spans(tokens)
+        previous_end = 0
+        for start, end, concept in spans:
+            assert 0 <= start < end <= len(tokens)
+            assert start >= previous_end  # non-overlapping, ordered
+            previous_end = end
+            assert " ".join(tokens[start:end]) in terms
+            assert terms[" ".join(tokens[start:end])] == concept
+
+
+class TestNoteGenerationRoundTrip:
+    @given(small_dags(min_concepts=6), st.data(), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_notes_reextract_exactly(self, ontology, data, seed):
+        from repro.corpus.text.notegen import generate_note
+        from repro.corpus.text.pipeline import ConceptExtractor
+
+        concepts = [c for c in ontology.concepts() if c != ontology.root]
+        if len(concepts) < 3:
+            return
+        positive = data.draw(st.lists(st.sampled_from(concepts),
+                                      min_size=1, max_size=3, unique=True))
+        decoys = [c for c in concepts if c not in set(positive)][:2]
+        text = generate_note(ontology, positive, decoys, seed=seed)
+        extractor = ConceptExtractor.for_ontology(ontology)
+        assert extractor.extract_concepts(text) == set(positive)
+
+
+class TestMeasureRankingBranches:
+    @given(worlds(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_resnik_ranking_runs_and_orders(self, world, data):
+        from repro.ontology.measures import (
+            InformationContent,
+            rank_concepts_by_similarity,
+        )
+
+        ontology, collection, _query = world
+        ic = InformationContent.from_collection(ontology, collection)
+        concepts = list(ontology.concepts())
+        anchor = data.draw(st.sampled_from(concepts))
+        candidates = concepts[:5]
+        ranked = rank_concepts_by_similarity(
+            ontology, anchor, candidates, measure="resnik",
+            information_content=ic)
+        scores = [score for _concept, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert {concept for concept, _ in ranked} == set(candidates)

@@ -1,0 +1,129 @@
+"""Retrieval sanity: the rankings must behave the way the semantics
+promise.
+
+The paper defers retrieval *effectiveness* to prior user studies, but the
+distance semantics make hard self-consistency promises that any correct
+implementation must honour: documents built around a query's neighborhood
+must outrank documents built elsewhere, exact matches must come first,
+more specific matches must beat more general ones, and adding shared
+concepts must never push a document further away.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.ontology.generators import snomed_like
+from repro.ontology.traversal import ValidPathBFS
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return snomed_like(900, seed=91)
+
+
+def neighborhood(ontology, origin, radius, limit=30):
+    found = []
+    for level, nodes in ValidPathBFS(ontology, origin):
+        if level > radius:
+            break
+        found.extend(n for n in nodes if n != ontology.root)
+    return found[:limit]
+
+
+class TestNeighborhoodBeatsRandom:
+    def test_cluster_documents_outrank_background(self, ontology):
+        rng = random.Random(92)
+        concepts = [c for c in ontology.concepts() if c != ontology.root]
+        seed_concept = concepts[100]
+        cluster = neighborhood(ontology, seed_concept, radius=2)
+        documents = [
+            Document(f"near{i}", rng.sample(cluster,
+                                            min(6, len(cluster))))
+            for i in range(5)
+        ]
+        documents += [
+            Document(f"far{i}", rng.sample(concepts, 6))
+            for i in range(20)
+        ]
+        engine = SearchEngine(ontology,
+                              DocumentCollection(documents))
+        query = [seed_concept] + cluster[1:3]
+        results = engine.rds(query, k=5)
+        near_ranks = [doc_id for doc_id in results.doc_ids()
+                      if doc_id.startswith("near")]
+        # The clustered documents dominate the top-5.
+        assert len(near_ranks) >= 4
+
+    def test_exact_match_always_first(self, ontology):
+        concepts = [c for c in ontology.concepts() if c != ontology.root]
+        query = concepts[20:23]
+        documents = [Document("exact", query)]
+        documents += [Document(f"other{i}", concepts[40 + i:46 + i])
+                      for i in range(10)]
+        engine = SearchEngine(ontology, DocumentCollection(documents))
+        results = engine.rds(query, k=3)
+        assert results.results[0].doc_id == "exact"
+        assert results.results[0].distance == 0.0
+
+
+class TestMonotonicity:
+    def test_adding_query_concepts_never_helps_a_document(self, ontology):
+        # Ddq is a sum of non-negative terms: a superset query gives
+        # distances >= the subset query's, per document.
+        concepts = [c for c in ontology.concepts() if c != ontology.root]
+        documents = [Document(f"d{i}", concepts[i * 7:(i * 7) + 5])
+                     for i in range(8)]
+        collection = DocumentCollection(documents)
+        engine = SearchEngine(ontology, collection)
+        small_query = concepts[3:5]
+        big_query = concepts[3:7]
+        small = dict(zip(
+            engine.rds(small_query, k=8).doc_ids(),
+            engine.rds(small_query, k=8).distances()))
+        big = dict(zip(
+            engine.rds(big_query, k=8).doc_ids(),
+            engine.rds(big_query, k=8).distances()))
+        for doc_id in set(small) & set(big):
+            assert big[doc_id] >= small[doc_id]
+
+    def test_sharing_more_concepts_never_hurts_rds(self, ontology):
+        concepts = [c for c in ontology.concepts() if c != ontology.root]
+        query = concepts[10:14]
+        partial = Document("partial", query[:2] + concepts[200:202])
+        fuller = Document("fuller", query[:3] + concepts[200:201])
+        engine = SearchEngine(
+            ontology, DocumentCollection([partial, fuller]))
+        results = dict(zip(engine.rds(query, k=2).doc_ids(),
+                           engine.rds(query, k=2).distances()))
+        assert results["fuller"] <= results["partial"]
+
+
+class TestGeneralityOrdering:
+    def test_child_match_beats_distant_cousin(self, ontology):
+        # A document holding the query concept's child is at distance 1;
+        # one holding only a concept two or more hops away ranks after.
+        concepts = [c for c in ontology.concepts()
+                    if ontology.children(c) and c != ontology.root]
+        anchor = concepts[30]
+        child = ontology.children(anchor)[0]
+        two_away = neighborhood(ontology, anchor, radius=2)
+        distant = [c for c in two_away
+                   if c not in (anchor, child)
+                   and c not in ontology.children(anchor)
+                   and c not in ontology.parents(anchor)]
+        if not distant:
+            pytest.skip("anchor has no distance-2 neighbor")
+        engine = SearchEngine(ontology, DocumentCollection([
+            Document("close", [child]),
+            Document("farther", [distant[0]]),
+        ]))
+        results = engine.rds([anchor], k=2)
+        assert results.results[0].doc_id == "close"
+        assert results.results[0].distance == 1.0
+        assert results.results[1].distance >= 2.0

@@ -1,0 +1,43 @@
+"""Unit tests for shared types and Dewey helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import common_prefix_length, format_dewey, parse_dewey
+
+
+class TestFormatting:
+    def test_format_and_parse_roundtrip(self):
+        for address in [(), (1,), (1, 2, 3), (3, 1, 1, 2)]:
+            assert parse_dewey(format_dewey(address)) == address
+
+    def test_root_renders_as_epsilon(self):
+        assert format_dewey(()) == "ε"
+        assert parse_dewey("ε") == ()
+        assert parse_dewey("") == ()
+        assert parse_dewey("  ") == ()
+
+    def test_dotted_notation(self):
+        assert format_dewey((1, 1, 1, 2)) == "1.1.1.2"
+        assert parse_dewey("1.1.1.2") == (1, 1, 1, 2)
+
+
+class TestCommonPrefix:
+    def test_basic_cases(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 4)) == 2
+        assert common_prefix_length((1, 2), (1, 2, 3)) == 2
+        assert common_prefix_length((5,), (1,)) == 0
+        assert common_prefix_length((), (1, 2)) == 0
+
+    @given(st.lists(st.integers(1, 5), max_size=8),
+           st.lists(st.integers(1, 5), max_size=8))
+    def test_properties(self, left, right):
+        left_t, right_t = tuple(left), tuple(right)
+        lcp = common_prefix_length(left_t, right_t)
+        assert 0 <= lcp <= min(len(left_t), len(right_t))
+        assert left_t[:lcp] == right_t[:lcp]
+        if lcp < min(len(left_t), len(right_t)):
+            assert left_t[lcp] != right_t[lcp]
+        assert lcp == common_prefix_length(right_t, left_t)
