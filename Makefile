@@ -1,4 +1,8 @@
 # Convenience targets; all of them are plain pytest/python invocations.
+# PYTHONPATH is exported so the targets work without installing the
+# package (src/ layout).
+
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench experiments verify examples clean
 
@@ -6,10 +10,10 @@ install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	python -m pytest benchmarks/ --benchmark-only
 
 experiments:
 	python -m repro.bench.experiments --chart

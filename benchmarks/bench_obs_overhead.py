@@ -1,0 +1,100 @@
+"""Observability overhead — disabled vs enabled instrumentation on RDS.
+
+The acceptance bar for :mod:`repro.obs` is that the *disabled* path (no
+bundle attached — the library default) stays within noise of the seed
+implementation; the enabled path (live tracer + metrics + event stream)
+may cost more, and this benchmark reports how much.
+
+Three states over the same Figure-8-style RDS workload:
+
+* ``disabled``  — ``instrument(None)``: one ``is None`` check per site;
+* ``metrics``   — registry only (the no-op tracer stays in place);
+* ``full``      — live tracer, metrics registry and event stream.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
+from repro.bench.reporting import Table
+from repro.bench.workloads import random_concept_queries
+from repro.core.knds import KNDSConfig
+from repro.obs import EventStream, Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+REPEATS = 5
+QUERIES = 20
+K = 10
+
+
+def _instrument_stack(searcher, obs) -> None:
+    """Wire (or, with None, unwire) every layer the searcher touches."""
+    searcher.instrument(obs)
+    searcher.drc.instrument(obs)
+    searcher.inverted.instrument(obs)
+    searcher.forward.instrument(obs)
+
+
+def _workload_seconds(searcher, queries, config) -> float:
+    """Best-of-REPEATS wall time for the full query batch."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for query in queries:
+            searcher.rds(query, K, config=config)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _make_obs(full: bool) -> Observability:
+    return Observability(
+        tracer=Tracer() if full else None,
+        metrics=MetricsRegistry(),
+        events=EventStream() if full else None,
+    )
+
+
+def test_report_obs_overhead(record, world):
+    """Overhead table: disabled vs metrics-only vs fully-enabled."""
+    corpus = "RADIO"
+    searcher = world.searchers[corpus]
+    queries = random_concept_queries(world.corpus(corpus), nq=5,
+                                     count=QUERIES, seed=17)
+    config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD[corpus])
+    try:
+        _instrument_stack(searcher, None)
+        disabled = _workload_seconds(searcher, queries, config)
+
+        _instrument_stack(searcher, _make_obs(full=False))
+        metrics_only = _workload_seconds(searcher, queries, config)
+
+        full_obs = _make_obs(full=True)
+        _instrument_stack(searcher, full_obs)
+        full = _workload_seconds(searcher, queries, config)
+    finally:
+        # The world fixture is session-scoped: leave it uninstrumented.
+        _instrument_stack(searcher, None)
+
+    assert full_obs.metrics.snapshot()["knds.nodes_visited"]["value"] > 0
+    assert full_obs.tracer.to_dicts(), "full state collected no spans"
+
+    table = Table(
+        title=f"Observability overhead ({corpus}, {QUERIES} RDS queries, "
+              f"best of {REPEATS})",
+        headers=["state", "seconds", "ratio vs disabled"],
+    )
+    for state, seconds in [("disabled", disabled),
+                           ("metrics-only", metrics_only),
+                           ("full (trace+metrics+events)", full)]:
+        table.add_row(state, f"{seconds:.4f}",
+                      f"{seconds / disabled:.2f}x")
+    table.notes.append(
+        "disabled = library default; the <5% acceptance bound applies to "
+        "this state relative to the uninstrumented seed")
+    record("obs_overhead", table)
+
+    # Sanity bound, deliberately loose: even the fully-enabled stack must
+    # stay within an order of magnitude of the disabled path.
+    assert full < disabled * 10

@@ -57,24 +57,27 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         deploy = Path(tmp) / "deploy"
         print(f"\n5. Build, persist and reload the engine ({deploy.name}/)")
-        save_engine(SearchEngine(ontology, filtered), deploy)
-        engine = load_engine(deploy)
+        with SearchEngine(ontology, filtered) as builder:
+            save_engine(builder, deploy)
 
-        print("\n6. A new patient arrives (indexed instantly, no rebuild):")
-        donor = next(iter(filtered))
-        newcomer = Document("new-patient", donor.concepts[:5])
-        engine.add_document(newcomer)
-        results = engine.sds("new-patient", k=4, error_threshold=0.9)
-        for rank, item in enumerate(results, start=1):
-            print(f"   {rank}. {item.doc_id}  Ddd={item.distance:.3f}")
+        # The engine is a context manager: close() runs on exit even if
+        # a query raises, which matters for the SQLite backend.
+        with load_engine(deploy) as engine:
+            print("\n6. A new patient arrives (indexed instantly, "
+                  "no rebuild):")
+            donor = next(iter(filtered))
+            newcomer = Document("new-patient", donor.concepts[:5])
+            engine.add_document(newcomer)
+            results = engine.sds("new-patient", k=4, error_threshold=0.9)
+            for rank, item in enumerate(results, start=1):
+                print(f"   {rank}. {item.doc_id}  Ddd={item.distance:.3f}")
 
-        print("\n7. Explain the best existing match:")
-        best = next(i for i in results if i.doc_id != "new-patient")
-        explanation = engine.explain(best.doc_id,
-                                     list(newcomer.concepts[:3]))
-        for line in explanation.splitlines():
-            print(f"   {line[:76]}")
-        engine.close()
+            print("\n7. Explain the best existing match:")
+            best = next(i for i in results if i.doc_id != "new-patient")
+            explanation = engine.explain(best.doc_id,
+                                         list(newcomer.concepts[:3]))
+            for line in explanation.splitlines():
+                print(f"   {line[:76]}")
 
     print("\n8. Release management: what would a new ontology version "
           "change?")

@@ -22,6 +22,9 @@ from repro.core.mapreduce import MapReduceKNDS
 from repro.corpus.collection import DocumentCollection
 from repro.corpus.document import Document
 from repro.datasets import example4_collection, figure3_ontology
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer
 from repro.ontology.builder import OntologyBuilder
 from repro.ontology.generators import snomed_like
 from repro.ontology.graph import Ontology
@@ -37,7 +40,11 @@ __all__ = [
     "KNDSearch",
     "KNDSConfig",
     "MapReduceKNDS",
+    "MetricsRegistry",
+    "Observability",
     "SearchEngine",
+    "Tracer",
+    "get_registry",
     "snomed_like",
     "figure3_ontology",
     "example4_collection",

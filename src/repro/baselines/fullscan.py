@@ -20,6 +20,8 @@ from repro.core.results import QueryStats, RankedResults, ResultItem
 from repro.corpus.collection import DocumentCollection
 from repro.corpus.document import Document
 from repro.exceptions import QueryError, UnknownConceptError
+from repro.obs.metrics import QueryTelemetry
+from repro.obs.tracing import NULL_TRACER
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
@@ -28,10 +30,19 @@ class FullScanSearch:
     """Exhaustive top-k evaluation with exact DRC distances."""
 
     def __init__(self, ontology: Ontology, collection: DocumentCollection,
-                 *, drc: DRC | None = None) -> None:
+                 *, drc: DRC | None = None, obs=None) -> None:
         self.ontology = ontology
         self.collection = collection
         self.drc = drc or DRC(ontology)
+        self._obs = obs
+
+    def instrument(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
+
+        The scan then runs under a ``fullscan.scan`` span and publishes
+        its per-query counters under the ``fullscan.*`` prefix.
+        """
+        self._obs = obs
 
     def rds(self, query_concepts: Sequence[ConceptId],
             k: int) -> RankedResults:
@@ -63,23 +74,30 @@ class FullScanSearch:
 
     def _scan(self, query: tuple[ConceptId, ...], k: int,
               mode: str) -> RankedResults:
-        stats = QueryStats()
+        telemetry = QueryTelemetry()
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
         start = time.perf_counter()
         scored: list[ResultItem] = []
-        for document in self.collection:
-            distance_start = time.perf_counter()
-            if mode == "rds":
-                distance = self.drc.document_query_distance(
-                    document.require_concepts(), query)
-            else:
-                distance = self.drc.document_document_distance(
-                    document.require_concepts(), query)
-            stats.distance_seconds += time.perf_counter() - distance_start
-            stats.drc_calls += 1
-            scored.append(ResultItem(document.doc_id, float(distance)))
-        scored.sort(key=lambda item: (item.distance, item.doc_id))
-        stats.docs_examined = len(scored)
-        stats.docs_touched = len(scored)
-        stats.total_seconds = time.perf_counter() - start
-        return RankedResults(scored[:k], stats, algorithm="fullscan",
-                             query_kind=mode, k=k)
+        with tracer.span("fullscan.scan", mode=mode,
+                         docs=len(self.collection)):
+            for document in self.collection:
+                distance_start = time.perf_counter()
+                if mode == "rds":
+                    distance = self.drc.document_query_distance(
+                        document.require_concepts(), query)
+                else:
+                    distance = self.drc.document_document_distance(
+                        document.require_concepts(), query)
+                telemetry.distance_seconds += \
+                    time.perf_counter() - distance_start
+                telemetry.drc_calls += 1
+                scored.append(ResultItem(document.doc_id, float(distance)))
+            scored.sort(key=lambda item: (item.distance, item.doc_id))
+        telemetry.docs_examined = len(scored)
+        telemetry.docs_touched = len(scored)
+        telemetry.total_seconds = time.perf_counter() - start
+        if obs is not None:
+            telemetry.publish(obs.metrics, prefix="fullscan")
+        return RankedResults(scored[:k], QueryStats.from_metrics(telemetry),
+                             algorithm="fullscan", query_kind=mode, k=k)

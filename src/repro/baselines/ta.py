@@ -26,6 +26,7 @@ from repro.core.results import QueryStats, RankedResults, ResultItem
 from repro.corpus.collection import DocumentCollection
 from repro.corpus.document import Document
 from repro.exceptions import QueryError, UnknownConceptError
+from repro.obs.tracing import NULL_TRACER
 from repro.ontology.graph import Ontology
 from repro.ontology.traversal import valid_path_distances
 from repro.types import ConceptId, DocId
@@ -34,7 +35,7 @@ from repro.types import ConceptId, DocId
 class ThresholdAlgorithm:
     """TA over precomputed distance-sorted postings lists."""
 
-    def __init__(self, ontology: Ontology) -> None:
+    def __init__(self, ontology: Ontology, *, obs=None) -> None:
         self.ontology = ontology
         # concept -> postings sorted by (distance, doc); and the random
         # access side table concept -> {doc: distance}.
@@ -42,18 +43,31 @@ class ThresholdAlgorithm:
         self._random: dict[ConceptId, dict[DocId, float]] = {}
         self.sorted_accesses = 0
         self.random_accesses = 0
+        self._obs = obs
+
+    def instrument(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
+
+        Queries then run under a ``ta.query`` span and publish the
+        ``ta.sorted_accesses`` / ``ta.random_accesses`` counters.
+        """
+        self._obs = obs
 
     @classmethod
     def build(cls, ontology: Ontology, collection: DocumentCollection, *,
-              concepts: Iterable[ConceptId] | None = None
-              ) -> "ThresholdAlgorithm":
+              concepts: Iterable[ConceptId] | None = None,
+              obs=None) -> "ThresholdAlgorithm":
         """Precompute postings for ``concepts`` (default: every concept
         occurring in the corpus — the paper's full offline index)."""
-        ta = cls(ontology)
+        ta = cls(ontology, obs=obs)
+        tracer = obs.tracer if obs is not None else NULL_TRACER
         if concepts is None:
             concepts = sorted(collection.distinct_concepts())
-        for concept_id in concepts:
-            ta.add_concept(concept_id, collection)
+        else:
+            concepts = list(concepts)
+        with tracer.span("ta.build", concepts=len(concepts)):
+            for concept_id in concepts:
+                ta.add_concept(concept_id, collection)
         return ta
 
     def add_concept(self, concept_id: ConceptId,
@@ -118,39 +132,44 @@ class ThresholdAlgorithm:
                     f"no postings for {concept_id!r}: build() it first"
                 )
         stats = QueryStats()
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        sorted_before = self.sorted_accesses
+        random_before = self.random_accesses
         start = time.perf_counter()
 
         lists = [self._sorted[concept_id] for concept_id in query]
         positions = [0] * len(query)
         scores: dict[DocId, float] = {}
-        while True:
-            progressed = False
-            for list_index, postings in enumerate(lists):
-                position = positions[list_index]
-                if position >= len(postings):
-                    continue
-                progressed = True
-                positions[list_index] = position + 1
-                self.sorted_accesses += 1
-                _distance, doc_id = postings[position]
-                if doc_id in scores:
-                    continue
-                # Random access to every other list completes the score.
-                total = 0.0
-                for concept_id in query:
-                    total += self._random[concept_id][doc_id]
-                    self.random_accesses += 1
-                scores[doc_id] = total
-            if not progressed:
-                break
-            threshold = sum(
-                lists[i][positions[i] - 1][0] if positions[i] > 0 else 0.0
-                for i in range(len(query))
-            )
-            if len(scores) >= k:
-                best_k = sorted(scores.values())[:k]
-                if best_k[-1] <= threshold:
+        with tracer.span("ta.query", k=k, num_query=len(query)):
+            while True:
+                progressed = False
+                for list_index, postings in enumerate(lists):
+                    position = positions[list_index]
+                    if position >= len(postings):
+                        continue
+                    progressed = True
+                    positions[list_index] = position + 1
+                    self.sorted_accesses += 1
+                    _distance, doc_id = postings[position]
+                    if doc_id in scores:
+                        continue
+                    # Random access to every other list completes the score.
+                    total = 0.0
+                    for concept_id in query:
+                        total += self._random[concept_id][doc_id]
+                        self.random_accesses += 1
+                    scores[doc_id] = total
+                if not progressed:
                     break
+                threshold = sum(
+                    lists[i][positions[i] - 1][0] if positions[i] > 0 else 0.0
+                    for i in range(len(query))
+                )
+                if len(scores) >= k:
+                    best_k = sorted(scores.values())[:k]
+                    if best_k[-1] <= threshold:
+                        break
 
         ranked = sorted(
             (ResultItem(doc_id, distance)
@@ -160,6 +179,12 @@ class ThresholdAlgorithm:
         stats.docs_examined = len(scores)
         stats.docs_touched = len(scores)
         stats.total_seconds = time.perf_counter() - start
+        if obs is not None:
+            obs.metrics.counter("ta.sorted_accesses").inc(
+                self.sorted_accesses - sorted_before)
+            obs.metrics.counter("ta.random_accesses").inc(
+                self.random_accesses - random_before)
+            obs.metrics.counter("ta.docs_examined").inc(len(scores))
         return RankedResults(ranked[:k], stats, algorithm="ta",
                              query_kind="rds", k=k)
 

@@ -116,8 +116,46 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_observability(args: argparse.Namespace):
+    """Build an Observability bundle from ``--trace``/``--metrics`` flags.
+
+    Returns ``None`` when neither flag was given, keeping the default
+    search path completely uninstrumented.  ``--log-level`` is honoured
+    either way.
+    """
+    if getattr(args, "log_level", None):
+        from repro.obs.logging import setup_logging
+        setup_logging(args.log_level)
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    from repro.obs import Observability
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import NULL_TRACER, Tracer
+    tracer = Tracer() if args.trace else NULL_TRACER
+    return Observability(tracer=tracer, metrics=MetricsRegistry())
+
+
+def _export_observability(args: argparse.Namespace, obs) -> None:
+    """Write the trace and metrics files requested on the command line."""
+    if obs is None:
+        return
+    if getattr(args, "trace", None):
+        if args.trace_format == "chrome":
+            obs.tracer.export_chrome(args.trace)
+        else:
+            obs.tracer.export_jsonl(args.trace)
+        print(f"# trace ({args.trace_format}) written to {args.trace}")
+    if getattr(args, "metrics", None):
+        obs.metrics.write(args.metrics, fmt=args.metrics_format)
+        print(f"# metrics ({args.metrics_format or 'auto'}) written to "
+              f"{args.metrics}")
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
+    obs = _make_observability(args)
+    if obs is not None:
+        engine.instrument(obs)
     if args.query_kind == "rds":
         query = [part for part in args.query.split(",") if part]
         results = engine.rds(query, k=args.k, algorithm=args.algorithm,
@@ -131,6 +169,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     stats = results.stats
     print(f"# {stats.docs_examined} docs examined, {stats.drc_calls} DRC "
           f"probes, {stats.total_seconds * 1000:.1f} ms")
+    _export_observability(args, obs)
     return 0
 
 
@@ -230,6 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--algorithm", default="knds",
                         choices=["knds", "fullscan", "ta"])
     search.add_argument("--error-threshold", type=float)
+    search.add_argument("--trace", metavar="FILE",
+                        help="write a span trace of the query to FILE")
+    search.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                        default="jsonl",
+                        help="trace file format (chrome loads in "
+                             "chrome://tracing)")
+    search.add_argument("--metrics", metavar="FILE",
+                        help="write a metrics snapshot to FILE")
+    search.add_argument("--metrics-format",
+                        choices=["json", "prometheus"],
+                        help="metrics file format (default: inferred from "
+                             "the file suffix, else json)")
+    search.add_argument("--log-level",
+                        choices=["debug", "info", "warning", "error"],
+                        help="enable structured logging at this level")
     kinds = search.add_subparsers(dest="query_kind", required=True)
     rds = kinds.add_parser("rds", help="relevant document search")
     rds.add_argument("--query", required=True,

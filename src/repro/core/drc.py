@@ -14,6 +14,7 @@ comparison of the paper's Figure 6.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Collection
 
 from repro.core.dradix import DRadixDAG
@@ -38,10 +39,21 @@ class DRC:
     """
 
     def __init__(self, ontology: Ontology,
-                 dewey: DeweyIndex | None = None) -> None:
+                 dewey: DeweyIndex | None = None, *,
+                 obs=None) -> None:
         self.ontology = ontology
         self.dewey = dewey if dewey is not None else DeweyIndex(ontology)
         self.calls = 0
+        self._obs = obs
+
+    def instrument(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
+
+        When set, every probe increments the ``drc.probes`` counter and
+        feeds the ``drc.probe_seconds`` duration histogram — the paper's
+        "number of distance calculations" trace, bucketed by cost.
+        """
+        self._obs = obs
 
     def document_query_distance(self, doc_concepts: Collection[ConceptId],
                                 query_concepts: Collection[ConceptId]
@@ -61,9 +73,17 @@ class DRC:
               query_concepts: Collection[ConceptId]) -> DRadixDAG:
         """Build and tune the D-Radix (exposed for inspection/tests)."""
         self.calls += 1
-        return DRadixDAG.build(
+        obs = self._obs
+        if obs is None:
+            return DRadixDAG.build(
+                self.ontology, self.dewey, doc_concepts, query_concepts
+            )
+        start = time.perf_counter()
+        dradix = DRadixDAG.build(
             self.ontology, self.dewey, doc_concepts, query_concepts
         )
+        obs.record_probe(time.perf_counter() - start)
+        return dradix
 
     def reset_counters(self) -> None:
         """Zero the probe counter (benchmark harness hygiene)."""

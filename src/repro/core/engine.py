@@ -7,6 +7,7 @@ with either the paper's kNDS algorithm (default) or one of the baselines.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 from repro.core.drc import DRC
@@ -17,9 +18,12 @@ from repro.corpus.document import Document
 from repro.exceptions import QueryError
 from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
 from repro.index.sqlite import SQLiteIndexStore
+from repro.obs.logging import get_logger
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
+
+_LOG = get_logger("engine")
 
 
 class SearchEngine:
@@ -37,6 +41,14 @@ class SearchEngine:
     sqlite_path:
         Database location when ``backend="sqlite"``; defaults to an
         in-memory database.
+    obs:
+        An optional :class:`repro.obs.Observability` bundle, threaded
+        through every layer (kNDS, DRC, indexes, baselines): queries run
+        under an ``engine.query`` span, feed the ``query.latency_seconds``
+        histogram, and publish all per-layer counters.
+
+    The engine is a context manager; ``with SearchEngine(...) as engine:``
+    guarantees :meth:`close` (which releases the SQLite store, if any).
 
     Example
     -------
@@ -49,10 +61,12 @@ class SearchEngine:
     def __init__(self, ontology: Ontology, collection: DocumentCollection, *,
                  backend: str = "memory",
                  sqlite_path: str = ":memory:",
-                 sqlite_rebuild: bool = True) -> None:
+                 sqlite_rebuild: bool = True,
+                 obs=None) -> None:
         ontology.validate()
         self.ontology = ontology
         self.collection = collection
+        self.backend = backend
         self.dewey = DeweyIndex(ontology)
         self.drc = DRC(ontology, self.dewey)
         if backend == "memory":
@@ -78,6 +92,26 @@ class SearchEngine:
             dewey=self.dewey,
             drc=self.drc,
         )
+        self._obs = None
+        self.instrument(obs)
+
+    def instrument(self, obs) -> None:
+        """Thread an :class:`repro.obs.Observability` bundle everywhere.
+
+        Attaches (or, with ``None``, detaches) the bundle on the engine
+        itself, the kNDS searcher, the DRC calculator and both index
+        views, so one call is enough even for engines reloaded via
+        :func:`repro.core.persistence.load_engine`.
+        """
+        self._obs = obs
+        self._knds.instrument(obs)
+        self.drc.instrument(obs)
+        self.inverted.instrument(obs)
+        self.forward.instrument(obs)
+        if obs is not None:
+            _LOG.debug("engine instrumented",
+                       extra={"backend": self.backend,
+                              "documents": len(self.collection)})
 
     # ------------------------------------------------------------------
     def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,
@@ -89,17 +123,18 @@ class SearchEngine:
         no-pruning baseline) or ``"ta"`` (Threshold Algorithm over
         precomputed distance-sorted postings; RDS only).
         """
-        if algorithm == "knds":
-            return self._knds.rds(query_concepts, k, config, **overrides)
-        if algorithm == "fullscan":
-            from repro.baselines.fullscan import FullScanSearch
-            return self._fullscan().rds(query_concepts, k)
-        if algorithm == "ta":
-            from repro.baselines.ta import ThresholdAlgorithm
-            ta = ThresholdAlgorithm.build(
-                self.ontology, self.collection, concepts=query_concepts)
-            return ta.rds(query_concepts, k)
-        raise QueryError(f"unknown algorithm: {algorithm!r}")
+        with self._query_span("rds", algorithm, k):
+            if algorithm == "knds":
+                return self._knds.rds(query_concepts, k, config, **overrides)
+            if algorithm == "fullscan":
+                return self._fullscan().rds(query_concepts, k)
+            if algorithm == "ta":
+                from repro.baselines.ta import ThresholdAlgorithm
+                ta = ThresholdAlgorithm.build(
+                    self.ontology, self.collection, concepts=query_concepts,
+                    obs=self._obs)
+                return ta.rds(query_concepts, k)
+            raise QueryError(f"unknown algorithm: {algorithm!r}")
 
     def sds(self, query_document: Document | str | Sequence[ConceptId],
             k: int = 10, *, algorithm: str = "knds",
@@ -110,11 +145,12 @@ class SearchEngine:
         indexed collection, or a bare concept sequence.
         """
         document = self._resolve_document(query_document)
-        if algorithm == "knds":
-            return self._knds.sds(document, k, config, **overrides)
-        if algorithm == "fullscan":
-            return self._fullscan().sds(document, k)
-        raise QueryError(f"unknown algorithm: {algorithm!r}")
+        with self._query_span("sds", algorithm, k):
+            if algorithm == "knds":
+                return self._knds.sds(document, k, config, **overrides)
+            if algorithm == "fullscan":
+                return self._fullscan().sds(document, k)
+            raise QueryError(f"unknown algorithm: {algorithm!r}")
 
     # ------------------------------------------------------------------
     # Incremental corpus maintenance
@@ -173,12 +209,24 @@ class SearchEngine:
         """Direct access to the kNDS searcher (progressive APIs etc.)."""
         return self._knds
 
+    def _query_span(self, kind: str, algorithm: str, k: int):
+        """Context manager around one query: top-level span + latency.
+
+        A shared no-op context when the engine is not instrumented, so
+        the disabled path costs one attribute check and nothing else.
+        """
+        obs = self._obs
+        if obs is None:
+            return _NULL_QUERY_CONTEXT
+        return _TracedQuery(obs, kind, algorithm, self.backend, k)
+
     def _fullscan(self):
         from repro.baselines.fullscan import FullScanSearch
         return FullScanSearch(
             self.ontology,
             self.collection,
             drc=self.drc,
+            obs=self._obs,
         )
 
     def _resolve_document(
@@ -192,3 +240,65 @@ class SearchEngine:
         """Release the SQLite store, if any."""
         if self._store is not None:
             self._store.close()
+
+    def __enter__(self) -> "SearchEngine":
+        """Enter the context manager; returns the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Exit the context manager, releasing backend resources."""
+        self.close()
+
+
+class _TracedQuery:
+    """One instrumented query: ``engine.query`` span + latency histogram."""
+
+    __slots__ = ("_obs", "_span", "_start", "kind", "algorithm",
+                 "backend", "k")
+
+    def __init__(self, obs, kind: str, algorithm: str, backend: str,
+                 k: int) -> None:
+        self._obs = obs
+        self._span = None
+        self._start = 0.0
+        self.kind = kind
+        self.algorithm = algorithm
+        self.backend = backend
+        self.k = k
+
+    def __enter__(self) -> "_TracedQuery":
+        self._span = self._obs.tracer.span(
+            "engine.query", kind=self.kind, algorithm=self.algorithm,
+            backend=self.backend, k=self.k)
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        if exc_type is None:
+            self._obs.observe_query(elapsed)
+            _LOG.info("query done",
+                      extra={"kind": self.kind,
+                             "algorithm": self.algorithm,
+                             "backend": self.backend,
+                             "k": self.k,
+                             "seconds": round(elapsed, 6)})
+        self._span.__exit__(exc_type, exc, tb)
+
+
+class _NullQueryContext:
+    """Reusable do-nothing context for uninstrumented engines."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullQueryContext":
+        """No-op enter."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """No-op exit; never suppresses exceptions."""
+        return None
+
+
+_NULL_QUERY_CONTEXT = _NullQueryContext()

@@ -49,6 +49,9 @@ from repro.corpus.document import Document
 from repro.exceptions import QueryError, UnknownConceptError
 from repro.index.base import ForwardIndexBase, InvertedIndexBase
 from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
+from repro.obs.events import ExpandedEvent, RoundEvent, TerminatedEvent
+from repro.obs.metrics import QueryTelemetry
+from repro.obs.tracing import NULL_TRACER
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.ontology.traversal import ValidPathBFS
@@ -177,6 +180,11 @@ class KNDSearch:
     dewey, drc:
         Optional shared instances, so several searchers (or a searcher and
         a baseline) can reuse memoized Dewey addresses.
+    obs:
+        An optional :class:`repro.obs.Observability` bundle.  When set,
+        the search emits spans (one per BFS level and analysis round),
+        publishes its per-query counters into the metrics registry, and
+        mirrors observer snapshots onto the bundle's event stream.
     """
 
     def __init__(self, ontology: Ontology,
@@ -184,7 +192,8 @@ class KNDSearch:
                  inverted: InvertedIndexBase | None = None,
                  forward: ForwardIndexBase | None = None,
                  dewey: DeweyIndex | None = None,
-                 drc: DRC | None = None) -> None:
+                 drc: DRC | None = None,
+                 obs=None) -> None:
         if inverted is None or forward is None:
             if collection is None:
                 raise QueryError(
@@ -198,6 +207,15 @@ class KNDSearch:
         self.forward = forward
         self.dewey = dewey or DeweyIndex(ontology)
         self.drc = drc or DRC(ontology, self.dewey)
+        self._obs = obs
+
+    def instrument(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
+
+        Only affects this searcher's own emission; index backends and the
+        DRC carry their own hooks (the engine wires all of them at once).
+        """
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # Public API
@@ -207,17 +225,19 @@ class KNDSearch:
             observer=None, **overrides) -> RankedResults:
         """Top-k Relevant Document Search (Definition 1).
 
-        ``observer``, if given, is called with a snapshot dict after each
-        expansion and at the end of each round — the view of ``Sd``,
-        ``Ld``, ``Ec``, ``Hk``, ``D−`` and ``Dk+`` that the paper's Table 2
-        prints (used by the trace tests and handy for debugging).
+        ``observer``, if given, is called with a typed snapshot event
+        (:mod:`repro.obs.events` — still a plain dict) after each
+        expansion, at the end of each round, and once on termination —
+        the view of ``Sd``, ``Ld``, ``Ec``, ``Hk``, ``D−`` and ``Dk+``
+        that the paper's Table 2 prints (used by the trace tests and
+        handy for debugging).
         """
         config = _resolve_config(config, overrides)
-        stats = QueryStats()
-        items = list(self._run(tuple(query_concepts), k, RDS, config, stats,
-                               observer))
-        return RankedResults(items, stats, algorithm="knds",
-                             query_kind=RDS, k=k)
+        telemetry = QueryTelemetry()
+        items = list(self._run(tuple(query_concepts), k, RDS, config,
+                               telemetry, observer))
+        return RankedResults(items, QueryStats.from_metrics(telemetry),
+                             algorithm="knds", query_kind=RDS, k=k)
 
     def sds(self, query_document: Document | Sequence[ConceptId], k: int,
             config: KNDSConfig | None = None, *,
@@ -232,10 +252,11 @@ class KNDSearch:
         """
         config = _resolve_config(config, overrides)
         concepts = _document_concepts(query_document)
-        stats = QueryStats()
-        items = list(self._run(concepts, k, SDS, config, stats, observer))
-        return RankedResults(items, stats, algorithm="knds",
-                             query_kind=SDS, k=k)
+        telemetry = QueryTelemetry()
+        items = list(self._run(concepts, k, SDS, config, telemetry,
+                               observer))
+        return RankedResults(items, QueryStats.from_metrics(telemetry),
+                             algorithm="knds", query_kind=SDS, k=k)
 
     def rds_iter(self, query_concepts: Sequence[ConceptId], k: int,
                  config: KNDSConfig | None = None,
@@ -243,7 +264,8 @@ class KNDSearch:
         """Progressive RDS: yields each result as soon as it is confirmed
         (optimization 4 of Section 5.3)."""
         config = _resolve_config(config, overrides)
-        return self._run(tuple(query_concepts), k, RDS, config, QueryStats())
+        return self._run(tuple(query_concepts), k, RDS, config,
+                         QueryTelemetry())
 
     def sds_iter(self, query_document: Document | Sequence[ConceptId], k: int,
                  config: KNDSConfig | None = None,
@@ -251,17 +273,25 @@ class KNDSearch:
         """Progressive SDS (see :meth:`rds_iter`)."""
         config = _resolve_config(config, overrides)
         concepts = _document_concepts(query_document)
-        return self._run(concepts, k, SDS, config, QueryStats())
+        return self._run(concepts, k, SDS, config, QueryTelemetry())
 
     # ------------------------------------------------------------------
     # Core search
     # ------------------------------------------------------------------
     def _run(self, query_concepts: tuple[ConceptId, ...], k: int, mode: str,
-             config: KNDSConfig, stats: QueryStats,
+             config: KNDSConfig, telemetry: QueryTelemetry,
              observer=None) -> Iterator[ResultItem]:
         start = time.perf_counter()
         query = _validated_query(self.ontology, query_concepts, k)
         num_query = len(query)
+
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        sinks = [sink for sink in (
+            observer,
+            obs.events.emit if obs is not None and obs.events is not None
+            else None,
+        ) if sink is not None]
 
         searches = [
             ValidPathBFS(self.ontology, origin, dedupe=config.dedupe)
@@ -274,95 +304,119 @@ class KNDSearch:
         top_heap: list[tuple[float, DocId]] = []
         emitted: set[DocId] = set()
         level = -1
+        reason = "exhausted"
 
-        while True:
-            # ---- breadth-first expansion: one level per search ----
-            traversal_start = time.perf_counter()
-            advanced = False
-            for search in searches:
-                if search.exhausted():
-                    continue
-                try:
-                    _lvl, nodes = next(search)
-                except StopIteration:  # pragma: no cover - guarded above
-                    continue
-                advanced = True
-                self._collect(search.origin, nodes, level + 1, mode, num_query,
-                              k, candidates, candidate_heap, closed, top_heap,
-                              config, stats)
-            if advanced:
-                level += 1
-                stats.bfs_levels += 1
-            stats.traversal_seconds += time.perf_counter() - traversal_start
+        with tracer.span(f"knds.{mode}", k=k, num_query=num_query):
+            while True:
+                # ---- breadth-first expansion: one level per search ----
+                with tracer.span("knds.level") as level_span:
+                    traversal_start = time.perf_counter()
+                    advanced = False
+                    for search in searches:
+                        if search.exhausted():
+                            continue
+                        try:
+                            _lvl, nodes = next(search)
+                        except StopIteration:  # pragma: no cover - guarded
+                            continue
+                        advanced = True
+                        self._collect(search.origin, nodes, level + 1, mode,
+                                      num_query, k, candidates,
+                                      candidate_heap, closed, top_heap,
+                                      config, telemetry)
+                    if advanced:
+                        level += 1
+                        telemetry.bfs_levels += 1
+                    telemetry.traversal_seconds += \
+                        time.perf_counter() - traversal_start
+                    level_span.set_attribute("level", level)
+                    level_span.set_attribute("advanced", advanced)
 
-            if observer is not None:
-                observer(_snapshot("expanded", level, num_query, searches,
-                                   candidates, closed, top_heap, k, None))
+                if sinks:
+                    _emit(sinks, _snapshot(
+                        ExpandedEvent, level, num_query, searches, candidates,
+                        closed, top_heap, k, None))
 
-            exhausted = all(search.exhausted() for search in searches)
-            pending = sum(search.pending_states() for search in searches)
-            forced = exhausted or (
-                config.queue_limit is not None
-                and pending >= config.queue_limit
-            )
-            if forced and not exhausted:
-                stats.forced_rounds += 1
+                exhausted = all(search.exhausted() for search in searches)
+                pending = sum(search.pending_states() for search in searches)
+                forced = exhausted or (
+                    config.queue_limit is not None
+                    and pending >= config.queue_limit
+                )
+                if forced and not exhausted:
+                    telemetry.forced_rounds += 1
 
-            # ---- distance calculation / analysis phase ----
-            self._analyze(query, k, mode, num_query, level, forced, candidates,
-                          candidate_heap, closed, top_heap, config, stats)
+                # ---- distance calculation / analysis phase ----
+                with tracer.span("knds.analyze", level=level,
+                                 forced=forced) as analyze_span:
+                    examined_before = telemetry.docs_examined
+                    self._analyze(query, k, mode, num_query, level, forced,
+                                  candidates, candidate_heap, closed,
+                                  top_heap, config, telemetry)
+                    analyze_span.set_attribute(
+                        "examined", telemetry.docs_examined - examined_before)
 
-            # ---- progressive emission and termination ----
-            global_lower = self._global_lower(
-                candidates, candidate_heap, level, num_query, exhausted, mode)
-            kth_distance = -top_heap[0][0] if len(top_heap) >= k else None
-            if observer is not None:
-                observer(_snapshot("round", level, num_query, searches,
-                                   candidates, closed, top_heap, k,
-                                   global_lower))
-            confirmed = sorted(
+                # ---- progressive emission and termination ----
+                global_lower = self._global_lower(
+                    candidates, candidate_heap, level, num_query, exhausted,
+                    mode)
+                kth_distance = -top_heap[0][0] if len(top_heap) >= k else None
+                if sinks:
+                    _emit(sinks, _snapshot(
+                        RoundEvent, level, num_query, searches, candidates,
+                        closed, top_heap, k, global_lower))
+                confirmed = sorted(
+                    ((-negative, doc_id) for negative, doc_id in top_heap
+                     if doc_id not in emitted),
+                )
+                for distance, doc_id in confirmed:
+                    if distance <= global_lower:
+                        emitted.add(doc_id)
+                        yield ResultItem(doc_id, distance)
+                if kth_distance is not None and global_lower >= kth_distance:
+                    reason = "converged"
+                    break
+                if exhausted and not candidates:
+                    reason = "exhausted"
+                    break
+
+            if sinks:
+                _emit(sinks, _snapshot(
+                    TerminatedEvent, level, num_query, searches, candidates,
+                    closed, top_heap, k, global_lower, reason=reason))
+
+            # Flush anything confirmed only by termination.
+            remaining = sorted(
                 ((-negative, doc_id) for negative, doc_id in top_heap
                  if doc_id not in emitted),
             )
-            for distance, doc_id in confirmed:
-                if distance <= global_lower:
-                    emitted.add(doc_id)
-                    yield ResultItem(doc_id, distance)
-            if kth_distance is not None and global_lower >= kth_distance:
-                break
-            if exhausted and not candidates:
-                break
-
-        # Flush anything confirmed only by termination.
-        remaining = sorted(
-            ((-negative, doc_id) for negative, doc_id in top_heap
-             if doc_id not in emitted),
-        )
-        for distance, doc_id in remaining:
-            yield ResultItem(doc_id, distance)
-        stats.total_seconds += time.perf_counter() - start
+            for distance, doc_id in remaining:
+                yield ResultItem(doc_id, distance)
+            telemetry.total_seconds += time.perf_counter() - start
+            if obs is not None:
+                telemetry.publish(obs.metrics, prefix="knds")
 
     # ------------------------------------------------------------------
     def _collect(self, origin: ConceptId, nodes: list[ConceptId], level: int,
                  mode: str, num_query: int, k: int,
                  candidates: dict, candidate_heap: list,
                  closed: set[DocId], top_heap: list,
-                 config: KNDSConfig, stats: QueryStats) -> None:
+                 config: KNDSConfig, telemetry: QueryTelemetry) -> None:
         """Process the freshly visited concepts of one BFS level."""
         kth = -top_heap[0][0] if len(top_heap) >= k else None
         for concept in nodes:
-            stats.nodes_visited += 1
+            telemetry.nodes_visited += 1
             io_start = time.perf_counter()
             postings = self.inverted.postings(concept)
-            stats.io_seconds += time.perf_counter() - io_start
+            telemetry.io_seconds += time.perf_counter() - io_start
             for doc_id in postings:
                 if doc_id in closed:
                     continue
                 candidate = candidates.get(doc_id)
                 if candidate is None:
-                    candidate = self._new_candidate(doc_id, mode, stats)
+                    candidate = self._new_candidate(doc_id, mode, telemetry)
                     candidates[doc_id] = candidate
-                    stats.docs_touched += 1
+                    telemetry.docs_touched += 1
                 candidate.note(origin, concept, level)
                 # Mid-round, only the *previous* level is guaranteed to be
                 # fully processed across all origins, so bounds computed
@@ -377,16 +431,17 @@ class KNDSearch:
                     # distance can only shrink, so this document is out.
                     del candidates[doc_id]
                     closed.add(doc_id)
-                    stats.docs_pruned += 1
+                    telemetry.docs_pruned += 1
                     continue
                 heapq.heappush(candidate_heap, (bound, doc_id))
 
-    def _new_candidate(self, doc_id: DocId, mode: str, stats: QueryStats):
+    def _new_candidate(self, doc_id: DocId, mode: str,
+                       telemetry: QueryTelemetry):
         if mode == RDS:
             return _RDSCandidate(doc_id)
         io_start = time.perf_counter()
         size = self.forward.concept_count(doc_id)
-        stats.io_seconds += time.perf_counter() - io_start
+        telemetry.io_seconds += time.perf_counter() - io_start
         return _SDSCandidate(doc_id, size)
 
     # ------------------------------------------------------------------
@@ -394,7 +449,7 @@ class KNDSearch:
                  num_query: int, level: int, forced: bool,
                  candidates: dict, candidate_heap: list,
                  closed: set[DocId], top_heap: list,
-                 config: KNDSConfig, stats: QueryStats) -> None:
+                 config: KNDSConfig, telemetry: QueryTelemetry) -> None:
         """Pop candidates in lower-bound order and settle their distances."""
         budget = config.analyze_budget_per_round
         while candidate_heap:
@@ -419,7 +474,7 @@ class KNDSearch:
                 heapq.heappop(candidate_heap)
                 del candidates[doc_id]
                 closed.add(doc_id)
-                stats.docs_pruned += 1
+                telemetry.docs_pruned += 1
                 continue
             if not forced:
                 error = _error_estimate(
@@ -430,8 +485,8 @@ class KNDSearch:
             del candidates[doc_id]
             closed.add(doc_id)
             distance = self._settle(candidate, query, mode, num_query,
-                                    config, stats)
-            stats.docs_examined += 1
+                                    config, telemetry)
+            telemetry.docs_examined += 1
             if budget is not None:
                 budget -= 1
             if len(top_heap) < k:
@@ -441,23 +496,23 @@ class KNDSearch:
 
     def _settle(self, candidate, query: tuple[ConceptId, ...], mode: str,
                 num_query: int, config: KNDSConfig,
-                stats: QueryStats) -> float:
+                telemetry: QueryTelemetry) -> float:
         """Exact distance for one candidate: shortcut or DRC probe."""
         if config.covered_shortcut and candidate.fully_covered(num_query):
             # All terms of the distance are covered, so the partial value
             # is already exact — no DRC probe needed (optimization 3).
-            stats.covered_shortcuts += 1
+            telemetry.covered_shortcuts += 1
             return candidate.partial(num_query)
         io_start = time.perf_counter()
         doc_concepts = self.forward.concepts(candidate.doc_id)
-        stats.io_seconds += time.perf_counter() - io_start
+        telemetry.io_seconds += time.perf_counter() - io_start
         distance_start = time.perf_counter()
         if mode == RDS:
             distance = self.drc.document_query_distance(doc_concepts, query)
         else:
             distance = self.drc.document_document_distance(doc_concepts, query)
-        stats.distance_seconds += time.perf_counter() - distance_start
-        stats.drc_calls += 1
+        telemetry.distance_seconds += time.perf_counter() - distance_start
+        telemetry.drc_calls += 1
         return float(distance)
 
     # ------------------------------------------------------------------
@@ -483,27 +538,38 @@ class KNDSearch:
         return best
 
 
-def _snapshot(phase: str, level: int, num_query: int, searches: list,
+def _emit(sinks: list, event) -> None:
+    """Deliver one query event to every attached sink."""
+    for sink in sinks:
+        sink(event)
+
+
+def _snapshot(event_cls, level: int, num_query: int, searches: list,
               candidates: dict, closed: set, top_heap: list, k: int,
-              global_lower: float | None) -> dict:
-    """Observer view of the algorithm state (the columns of Table 2)."""
-    return {
-        "phase": phase,
-        "level": level,
-        "examined": frozenset(closed),
-        "candidates": {
+              global_lower: float | None, **extra):
+    """Observer view of the algorithm state (the columns of Table 2).
+
+    Returns an instance of ``event_cls`` (one of the typed events in
+    :mod:`repro.obs.events`); being dict subclasses, they remain
+    drop-in compatible with observers written against the raw dicts.
+    """
+    return event_cls(
+        level=level,
+        examined=frozenset(closed),
+        candidates={
             doc_id: candidate.lower(level, num_query)
             for doc_id, candidate in candidates.items()
         },
-        "frontier": frozenset(
+        frontier=frozenset(
             (search.origin, node)
             for search in searches
             for node in search.frontier_nodes()
         ),
-        "top": {doc_id: -negative for negative, doc_id in top_heap},
-        "kth_distance": (-top_heap[0][0] if len(top_heap) >= k else None),
-        "global_lower": global_lower,
-    }
+        top={doc_id: -negative for negative, doc_id in top_heap},
+        kth_distance=(-top_heap[0][0] if len(top_heap) >= k else None),
+        global_lower=global_lower,
+        **extra,
+    )
 
 
 def _min_candidate_bound(candidates: dict, candidate_heap: list, level: int,

@@ -5,12 +5,19 @@ returns a :class:`RankedResults`, and every run is instrumented with a
 :class:`QueryStats` that splits wall-clock time the way the paper's plots
 do: distance-calculation time (DRC), ontology-traversal time, and index
 I/O time.
+
+The recording itself happens in the metrics layer: the algorithms fill a
+per-query :class:`repro.obs.metrics.QueryTelemetry` scope, and
+:meth:`QueryStats.from_metrics` materializes the result-facing view from
+it, so the paper-figure benchmarks keep reading the same fields while the
+observability subsystem aggregates the very same numbers process-wide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import QUERY_TELEMETRY_FIELDS
 from repro.types import DocId
 
 
@@ -59,6 +66,20 @@ class QueryStats:
     """Ontology concept visits during traversal (first visits per origin)."""
     forced_rounds: int = 0
     """Analysis rounds forced by queue-limit pressure (Section 6.1)."""
+
+    FIELDS = QUERY_TELEMETRY_FIELDS
+    """The instrumented field names, shared with the metrics layer."""
+
+    @classmethod
+    def from_metrics(cls, telemetry) -> "QueryStats":
+        """Build a ``QueryStats`` from a per-query metrics scope.
+
+        ``telemetry`` is duck-typed: any object carrying the
+        :data:`~repro.obs.metrics.QUERY_TELEMETRY_FIELDS` attributes
+        works, canonically :class:`repro.obs.metrics.QueryTelemetry`.
+        """
+        return cls(**{name: getattr(telemetry, name)
+                      for name in QUERY_TELEMETRY_FIELDS})
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another run's counters into this one (for averages)."""

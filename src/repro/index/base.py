@@ -4,6 +4,11 @@ Kept intentionally tiny: kNDS only ever asks "which documents contain this
 concept?" (inverted) and "which concepts does this document contain, and
 how many?" (forward).  Anything else — sorting, caching, storage layout —
 is a backend concern.
+
+Both interfaces carry one shared observability hook: :meth:`instrument`
+attaches a :class:`repro.obs.Observability` bundle, after which lookups
+report I/O timing, row counts and leaf spans.  The default (detached)
+state costs a single ``None`` check per lookup.
 """
 
 from __future__ import annotations
@@ -14,7 +19,22 @@ from collections.abc import Iterator, Sequence
 from repro.types import ConceptId, DocId
 
 
-class InvertedIndexBase(ABC):
+class _Instrumented:
+    """Mixin: the detachable observability hook shared by all backends."""
+
+    _obs = None
+
+    def instrument(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
+
+        While attached, every lookup records into the bundle's
+        ``index.io_seconds`` / ``index.rows_read`` counters and emits a
+        leaf span per access.
+        """
+        self._obs = obs
+
+
+class InvertedIndexBase(_Instrumented, ABC):
     """Concept -> documents mapping."""
 
     @abstractmethod
@@ -30,7 +50,7 @@ class InvertedIndexBase(ABC):
         """Number of documents containing ``concept_id``."""
 
 
-class ForwardIndexBase(ABC):
+class ForwardIndexBase(_Instrumented, ABC):
     """Document -> concepts mapping."""
 
     @abstractmethod

@@ -4,10 +4,16 @@ The default backend: postings and forward lists live in plain dicts of
 tuples.  Construction validates that every indexed concept exists in the
 ontology when one is supplied, catching extraction bugs at build time
 instead of as silently-wrong distances at query time.
+
+When an :class:`repro.obs.Observability` bundle is attached (via the
+``instrument`` hook inherited from the base interfaces), lookups report
+I/O timing and row counts — dictionary reads are nearly free, but the
+uniform accounting keeps backend comparisons honest.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator, Sequence
 
 from repro.corpus.collection import DocumentCollection
@@ -43,7 +49,14 @@ class MemoryInvertedIndex(InvertedIndexBase):
         return index
 
     def postings(self, concept_id: ConceptId) -> Sequence[DocId]:
-        return self._postings.get(concept_id, ())
+        obs = self._obs
+        if obs is None:
+            return self._postings.get(concept_id, ())
+        start = time.perf_counter()
+        rows = self._postings.get(concept_id, ())
+        obs.record_io("index.postings", start, time.perf_counter(),
+                      len(rows), backend="memory")
+        return rows
 
     def indexed_concepts(self) -> Iterator[ConceptId]:
         return iter(self._postings)
@@ -92,13 +105,26 @@ class MemoryForwardIndex(ForwardIndexBase):
         return index
 
     def concepts(self, doc_id: DocId) -> Sequence[ConceptId]:
+        obs = self._obs
+        if obs is None:
+            try:
+                return self._concepts[doc_id]
+            except KeyError:
+                raise UnknownDocumentError(doc_id) from None
+        start = time.perf_counter()
         try:
-            return self._concepts[doc_id]
+            rows = self._concepts[doc_id]
         except KeyError:
             raise UnknownDocumentError(doc_id) from None
+        obs.record_io("index.forward", start, time.perf_counter(),
+                      len(rows), backend="memory")
+        return rows
 
     def concept_count(self, doc_id: DocId) -> int:
-        return len(self.concepts(doc_id))
+        try:
+            return len(self._concepts[doc_id])
+        except KeyError:
+            raise UnknownDocumentError(doc_id) from None
 
     def add_document(self, document: Document) -> None:
         """Index one new document; O(1)."""

@@ -20,6 +20,7 @@ fast path for write-once read-many index builds.
 from __future__ import annotations
 
 import sqlite3
+import time
 from collections.abc import Iterator, Sequence
 from pathlib import Path
 
@@ -130,6 +131,15 @@ class SQLiteIndexStore:
         cursor.execute("DELETE FROM doc_size WHERE doc = ?", (doc_id,))
         self._connection.commit()
 
+    def instrument(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle to both views.
+
+        Every SQL lookup then reports its latency and row count (the
+        paper's separately-plotted "database access time" component).
+        """
+        self.inverted.instrument(obs)
+        self.forward.instrument(obs)
+
     def close(self) -> None:
         """Close the underlying connection."""
         self._connection.close()
@@ -148,9 +158,18 @@ class SQLiteInvertedIndex(InvertedIndexBase):
         self._connection = connection
 
     def postings(self, concept_id: ConceptId) -> Sequence[DocId]:
+        obs = self._obs
+        if obs is None:
+            rows = self._connection.execute(
+                "SELECT doc FROM postings WHERE concept = ?", (concept_id,)
+            ).fetchall()
+            return tuple(row[0] for row in rows)
+        start = time.perf_counter()
         rows = self._connection.execute(
             "SELECT doc FROM postings WHERE concept = ?", (concept_id,)
         ).fetchall()
+        obs.record_io("index.postings", start, time.perf_counter(),
+                      len(rows), backend="sqlite")
         return tuple(row[0] for row in rows)
 
     def indexed_concepts(self) -> Iterator[ConceptId]:
@@ -173,19 +192,29 @@ class SQLiteForwardIndex(ForwardIndexBase):
         self._connection = connection
 
     def concepts(self, doc_id: DocId) -> Sequence[ConceptId]:
+        obs = self._obs
+        start = time.perf_counter() if obs is not None else 0.0
         rows = self._connection.execute(
             "SELECT concept FROM forward WHERE doc = ? ORDER BY concept",
             (doc_id,),
         ).fetchall()
+        if obs is not None:
+            obs.record_io("index.forward", start, time.perf_counter(),
+                          len(rows), backend="sqlite")
         if not rows:
             if self.concept_count(doc_id) == 0:
                 raise UnknownDocumentError(doc_id)
         return tuple(row[0] for row in rows)
 
     def concept_count(self, doc_id: DocId) -> int:
+        obs = self._obs
+        start = time.perf_counter() if obs is not None else 0.0
         row = self._connection.execute(
             "SELECT n FROM doc_size WHERE doc = ?", (doc_id,)
         ).fetchone()
+        if obs is not None:
+            obs.record_io("index.doc_size", start, time.perf_counter(),
+                          1 if row is not None else 0, backend="sqlite")
         if row is None:
             raise UnknownDocumentError(doc_id)
         return int(row[0])

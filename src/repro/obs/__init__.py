@@ -1,0 +1,123 @@
+"""repro.obs — observability for the search stack.
+
+Three legs, each usable alone, bundled by :class:`Observability`:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with JSON-lines and
+  Chrome ``chrome://tracing`` exporters (and a near-free no-op default);
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms with Prometheus-text and JSON snapshot exporters, plus
+  the per-query :class:`~repro.obs.metrics.QueryTelemetry` scope that
+  feeds :class:`repro.core.results.QueryStats`;
+* :mod:`repro.obs.events` — the typed ``expanded``/``round``/
+  ``terminated`` query-event stream (the paper's Table 2 columns, with
+  stable schemas);
+* :mod:`repro.obs.logging` — structured (``key=value`` / JSON-lines)
+  logging setup.
+
+Attach a bundle to a :class:`~repro.core.engine.SearchEngine` (the
+``obs=`` constructor argument or ``engine.instrument``) and every layer
+below — kNDS, DRC, both index backends, the baselines — reports into it.
+With no bundle attached (the default) the instrumentation reduces to one
+``None`` check per site.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (EVENT_TYPES, EventLog, EventStream,
+                              ExpandedEvent, QueryEvent, RoundEvent,
+                              TerminatedEvent)
+from repro.obs.logging import get_logger, setup_logging
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               PROBE_BUCKETS, QueryTelemetry, get_registry)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QueryTelemetry",
+    "get_registry",
+    "QueryEvent",
+    "ExpandedEvent",
+    "RoundEvent",
+    "TerminatedEvent",
+    "EventStream",
+    "EventLog",
+    "EVENT_TYPES",
+    "setup_logging",
+    "get_logger",
+]
+
+
+class Observability:
+    """One handle threading tracer + metrics + events through the stack.
+
+    Parameters
+    ----------
+    tracer:
+        A :class:`Tracer` to collect spans, or ``None`` for the no-op
+        tracer (spans cost nothing).
+    metrics:
+        The :class:`MetricsRegistry` to aggregate into; defaults to the
+        process-wide registry from :func:`get_registry`.
+    events:
+        An optional :class:`EventStream` that receives every typed query
+        event in addition to any per-call ``observer``.
+
+    The constructor pre-creates the hot-path instruments (index I/O, DRC
+    probes, query latency) so instrumented loops never pay a registry
+    lookup.
+    """
+
+    __slots__ = ("tracer", "metrics", "events", "io_seconds", "io_rows",
+                 "drc_probes", "drc_probe_seconds", "query_latency",
+                 "query_count")
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 events: EventStream | None = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.events = events
+        registry = self.metrics
+        self.io_seconds = registry.counter(
+            "index.io_seconds", "Cumulative index I/O time")
+        self.io_rows = registry.counter(
+            "index.rows_read", "Rows returned by index lookups")
+        self.drc_probes = registry.counter(
+            "drc.probes", "Exact DRC distance computations")
+        self.drc_probe_seconds = registry.histogram(
+            "drc.probe_seconds", "Duration of one DRC probe",
+            buckets=PROBE_BUCKETS)
+        self.query_latency = registry.histogram(
+            "query.latency_seconds", "End-to-end query latency")
+        self.query_count = registry.counter(
+            "query.count", "Queries served")
+
+    # -- hot-path recording helpers -------------------------------------
+    def record_io(self, operation: str, start: float, end: float,
+                  rows: int, **attributes) -> None:
+        """Record one index access: a leaf span plus the I/O counters.
+
+        ``start``/``end`` are raw ``time.perf_counter()`` readings taken
+        by the caller around the actual lookup.
+        """
+        self.tracer.record(operation, start, end, rows=rows, **attributes)
+        self.io_seconds.inc(end - start)
+        self.io_rows.inc(rows)
+
+    def record_probe(self, seconds: float) -> None:
+        """Record one exact DRC distance computation."""
+        self.drc_probes.inc()
+        self.drc_probe_seconds.observe(seconds)
+
+    def observe_query(self, seconds: float) -> None:
+        """Record one served query's end-to-end latency."""
+        self.query_latency.observe(seconds)
+        self.query_count.inc()

@@ -1,0 +1,162 @@
+"""Typed query-event stream for the kNDS search loop.
+
+Formalizes the raw snapshot dicts that ``KNDSearch`` has always handed to
+its ``observer`` callback (the columns of the paper's Table 2) into event
+classes with *stable, declared schemas*:
+
+========== =====================================================
+event      emitted
+========== =====================================================
+expanded   after each breadth-first expansion level
+round      after each analysis round (exact distances settled)
+terminated once, when the search stops (with the stop reason)
+========== =====================================================
+
+Every event is a ``dict`` subclass, so existing observers — and the
+Table 2 trace benchmark — keep working unchanged while new code can rely
+on ``event.phase`` / ``event.level`` attributes and on
+``type(event).SCHEMA`` for validation.  :class:`EventStream` is a fan-out
+sink that can itself be passed anywhere a plain observer callable is
+accepted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+SNAPSHOT_SCHEMA = ("phase", "level", "examined", "candidates", "frontier",
+                   "top", "kth_distance", "global_lower")
+"""Keys shared by every per-round snapshot event (Table 2's columns)."""
+
+
+class QueryEvent(dict):
+    """Base class of all query events: a dict with a declared schema.
+
+    Instances are constructed with keyword fields and validated against
+    the class :attr:`SCHEMA`; ``phase`` defaults to the class
+    :attr:`EVENT_TYPE` so observers can keep dispatching on
+    ``event["phase"]``.
+    """
+
+    EVENT_TYPE = ""
+    SCHEMA: tuple[str, ...] = ()
+
+    def __init__(self, **fields: Any) -> None:
+        fields.setdefault("phase", self.EVENT_TYPE)
+        declared = set(self.SCHEMA)
+        missing = declared - fields.keys()
+        unexpected = fields.keys() - declared
+        if missing or unexpected:
+            raise ValueError(
+                f"{type(self).__name__} schema mismatch: "
+                f"missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        super().__init__(fields)
+
+    @property
+    def phase(self) -> str:
+        """The event kind: ``expanded``, ``round`` or ``terminated``."""
+        return self["phase"]
+
+    @property
+    def level(self) -> int:
+        """The BFS level the event was emitted at (the paper's ``l``)."""
+        return self["level"]
+
+
+class ExpandedEvent(QueryEvent):
+    """One breadth-first expansion level completed (pre-analysis view)."""
+
+    EVENT_TYPE = "expanded"
+    SCHEMA = SNAPSHOT_SCHEMA
+
+
+class RoundEvent(QueryEvent):
+    """One analysis round completed: ``D-``/``Dk+`` are up to date."""
+
+    EVENT_TYPE = "round"
+    SCHEMA = SNAPSHOT_SCHEMA
+
+
+class TerminatedEvent(QueryEvent):
+    """The search stopped; ``reason`` says why.
+
+    ``reason`` is ``"converged"`` (the global lower bound reached the
+    k-th best distance — the paper's early-termination condition) or
+    ``"exhausted"`` (the BFS ran out of ontology before k results
+    stabilized).
+    """
+
+    EVENT_TYPE = "terminated"
+    SCHEMA = SNAPSHOT_SCHEMA + ("reason",)
+
+    @property
+    def reason(self) -> str:
+        """Why the search stopped: ``converged`` or ``exhausted``."""
+        return self["reason"]
+
+
+EVENT_TYPES: dict[str, type[QueryEvent]] = {
+    cls.EVENT_TYPE: cls
+    for cls in (ExpandedEvent, RoundEvent, TerminatedEvent)
+}
+"""Phase name -> event class, for dispatch and schema docs."""
+
+
+class EventStream:
+    """Fan-out event sink: one emit, many subscribers.
+
+    The stream is callable, so it can be passed directly as the
+    ``observer`` argument of :meth:`repro.core.knds.KNDSearch.rds`::
+
+        stream = EventStream()
+        stream.subscribe(events.append)
+        searcher.rds(query, k=5, observer=stream)
+    """
+
+    def __init__(self, *subscribers: Callable[[QueryEvent], None]) -> None:
+        self._subscribers: list[Callable[[QueryEvent], None]] = \
+            list(subscribers)
+
+    def subscribe(self, callback: Callable[[QueryEvent], None]
+                  ) -> Callable[[QueryEvent], None]:
+        """Register ``callback`` for every future event; returns it."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[QueryEvent], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent).
+
+        Matches by identity, not equality — two distinct list-like
+        subscribers (e.g. :class:`EventLog`) may compare equal.
+        """
+        for index, subscriber in enumerate(self._subscribers):
+            if subscriber is callback:
+                del self._subscribers[index]
+                return
+
+    def emit(self, event: QueryEvent) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order."""
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    def __call__(self, event: QueryEvent) -> None:
+        self.emit(event)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+
+class EventLog(list):
+    """A callable list: records every event it is invoked with.
+
+    The smallest useful subscriber — handy in tests and debugging
+    sessions (``log = EventLog(); searcher.rds(..., observer=log)``).
+    """
+
+    def __call__(self, event: QueryEvent) -> None:
+        self.append(event)
+
+    def phases(self) -> list[str]:
+        """The ``phase`` of every recorded event, in order."""
+        return [event["phase"] for event in self]

@@ -1,0 +1,136 @@
+"""Structured logging setup for the search stack.
+
+One ``repro`` logger hierarchy, one formatter that renders records as
+stable ``key=value`` pairs (or JSON lines with ``json_lines=True``), and
+an idempotent :func:`setup_logging` that the CLI's ``--log-level`` flag
+drives.  Library modules obtain children via :func:`get_logger` and log
+normally; until ``setup_logging`` runs, records propagate to whatever
+the host application configured (or nowhere), so importing the library
+never spams stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_STANDARD_ATTRS = frozenset(vars(
+    logging.LogRecord("", 0, "", 0, "", (), None)
+)) | {"message", "asctime", "taskName"}
+
+
+class StructuredFormatter(logging.Formatter):
+    """Renders records as ``ts=... level=... logger=... msg=... k=v``.
+
+    Any ``extra={...}`` fields passed at the call site are appended as
+    additional ``key=value`` pairs; with ``json_lines=True`` the whole
+    record becomes one JSON object per line instead.
+    """
+
+    def __init__(self, json_lines: bool = False) -> None:
+        super().__init__()
+        self.json_lines = json_lines
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record in the configured structured style."""
+        fields: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in vars(record).items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                fields[key] = value
+        if record.exc_info:
+            fields["exc"] = self.formatException(record.exc_info)
+        if self.json_lines:
+            return json.dumps(fields, default=str)
+        return " ".join(f"{key}={_quote(value)}"
+                        for key, value in fields.items())
+
+
+def _quote(value: Any) -> str:
+    text = str(value)
+    if any(ch.isspace() for ch in text) or text == "":
+        return json.dumps(text, default=str)
+    return text
+
+
+def setup_logging(level: str | int = "info", *,
+                  json_lines: bool = False,
+                  stream: TextIO | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns its root.
+
+    Idempotent: calling again replaces the previously installed handler
+    (so tests and REPL sessions can re-tune freely).  ``level`` accepts
+    the CLI spellings ``debug``/``info``/``warning``/``error`` or a
+    numeric :mod:`logging` level.
+    """
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; "
+                f"expected one of {sorted(_LEVELS)}") from None
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_structured", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(StructuredFormatter(json_lines=json_lines))
+    handler._repro_structured = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger("engine")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class log_duration:
+    """Context manager logging the elapsed time of a block at DEBUG.
+
+    >>> import io, logging
+    >>> logger = setup_logging("debug", stream=io.StringIO())
+    >>> with log_duration(logger, "rebuild", docs=3):
+    ...     pass
+    """
+
+    def __init__(self, logger: logging.Logger, operation: str,
+                 **fields: Any) -> None:
+        self.logger = logger
+        self.operation = operation
+        self.fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "log_duration":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.logger.debug(
+            self.operation,
+            extra={"seconds": round(elapsed, 6),
+                   "outcome": "error" if exc_type else "ok",
+                   **self.fields},
+        )

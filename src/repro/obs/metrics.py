@@ -1,0 +1,391 @@
+"""Process-wide metrics: counters, gauges, histograms, and exporters.
+
+A :class:`MetricsRegistry` owns named instruments (get-or-create by name,
+so instrumented modules never need wiring order) and can snapshot itself
+to JSON or render the Prometheus text exposition format.  The registry is
+the *global* aggregation point; the *per-query* recording surface is
+:class:`QueryTelemetry`, a slotted scope that the search algorithms fill
+with the same near-zero cost as a plain attribute increment and then
+``publish`` into a registry when the query ends.  The legacy
+:class:`repro.core.results.QueryStats` object that the paper-figure
+benchmarks read is built *from* a ``QueryTelemetry`` — the metrics layer
+is the source of truth.
+
+Metric names use dotted paths (``knds.nodes_visited``); the Prometheus
+exporter rewrites them to the ``knds_nodes_visited`` form the text format
+requires.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from pathlib import Path
+from typing import Any, TextIO
+
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Default histogram buckets (seconds), tuned for query latencies."""
+
+PROBE_BUCKETS = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1, 1.0,
+)
+"""Finer buckets (seconds) for per-probe distance computations."""
+
+
+class Counter:
+    """A monotonically increasing sum (events, rows, seconds...)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current cumulative value."""
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: ``{"type", "help", "value"}``."""
+        return {"type": self.kind, "help": self.help, "value": self._value}
+
+    def reset(self) -> None:
+        """Zero the counter (benchmark harness hygiene)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, corpus size...)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: ``{"type", "help", "value"}``."""
+        return {"type": self.kind, "help": self.help, "value": self._value}
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self.set(0.0)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe`` places a value in every bucket whose upper bound is at
+    least the value; an implicit ``+Inf`` bucket catches the rest, and
+    ``sum``/``count`` track the running total and observation count.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets or DEFAULT_LATENCY_BUCKETS))
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view with *cumulative* bucket counts."""
+        cumulative: list[dict[str, Any]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": "+Inf", "count": self._count})
+        return {"type": self.kind, "help": self.help, "count": self._count,
+                "sum": self._sum, "buckets": cumulative}
+
+    def reset(self) -> None:
+        """Drop all observations."""
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and two exporters.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("knds.nodes_visited").inc(7)
+    >>> registry.counter("knds.nodes_visited").value
+    7.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create --------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Return the counter ``name``, creating it on first use."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Return the gauge ``name``, creating it on first use."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        """Return the histogram ``name``, creating it on first use."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, buckets)
+                self._metrics[name] = metric
+        if not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    # -- introspection --------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-ready dict: metric name -> typed snapshot."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot()
+                for name, metric in sorted(metrics.items())}
+
+    # -- exporters ------------------------------------------------------
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialized as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Dotted metric names are rewritten (``drc.probes`` ->
+        ``drc_probes``); histograms expand to the standard
+        ``_bucket``/``_sum``/``_count`` series.
+        """
+        lines: list[str] = []
+        for name, data in self.snapshot().items():
+            flat = _prometheus_name(name)
+            if data["help"]:
+                lines.append(f"# HELP {flat} {data['help']}")
+            lines.append(f"# TYPE {flat} {data['type']}")
+            if data["type"] == "histogram":
+                for bucket in data["buckets"]:
+                    bound = bucket["le"]
+                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    lines.append(
+                        f'{flat}_bucket{{le="{le}"}} {bucket["count"]}')
+                lines.append(f"{flat}_sum {_format_value(data['sum'])}")
+                lines.append(f"{flat}_count {data['count']}")
+            else:
+                lines.append(f"{flat} {_format_value(data['value'])}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, target: str | Path | TextIO,
+              fmt: str | None = None) -> None:
+        """Write a snapshot to ``target``.
+
+        ``fmt`` is ``"json"`` or ``"prometheus"``; when omitted it is
+        inferred from the file suffix (``.prom``/``.txt`` -> Prometheus,
+        anything else -> JSON).
+        """
+        if fmt is None:
+            suffix = Path(str(target)).suffix.lower() \
+                if not hasattr(target, "write") else ""
+            fmt = "prometheus" if suffix in (".prom", ".txt") else "json"
+        if fmt == "prometheus":
+            text = self.to_prometheus()
+        elif fmt == "json":
+            text = self.to_json() + "\n"
+        else:
+            raise ValueError(f"unknown metrics format: {fmt!r}")
+        if hasattr(target, "write"):
+            target.write(text)
+        else:
+            Path(target).write_text(text, encoding="utf-8")
+
+    def reset(self) -> None:
+        """Zero every registered instrument (registrations are kept)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+
+def _prometheus_name(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY
+
+
+QUERY_TELEMETRY_FIELDS = (
+    "total_seconds", "distance_seconds", "traversal_seconds", "io_seconds",
+    "drc_calls", "covered_shortcuts", "docs_examined", "docs_touched",
+    "docs_pruned", "bfs_levels", "nodes_visited", "forced_rounds",
+)
+"""Per-query scalars recorded by the search algorithms, in a stable order.
+
+:class:`repro.core.results.QueryStats` mirrors these field for field;
+``QueryStats.from_metrics`` consumes any object carrying them.
+"""
+
+_PUBLISH_NAMES = {
+    "nodes_visited": "nodes_visited",
+    "docs_pruned": "candidates_pruned",
+    "docs_examined": "docs_examined",
+    "docs_touched": "docs_touched",
+    "covered_shortcuts": "covered_shortcuts",
+    "forced_rounds": "forced_rounds",
+    "bfs_levels": "bfs_levels",
+    "drc_calls": "drc_calls",
+    "traversal_seconds": "traversal_seconds",
+    "distance_seconds": "distance_seconds",
+    "io_seconds": "io_seconds",
+}
+
+
+class QueryTelemetry:
+    """Per-query metrics scope: the recording surface of the hot path.
+
+    Slotted and lock-free — one query is evaluated by one thread — so an
+    increment costs the same as the plain dataclass attribute writes it
+    replaced.  When the query finishes the scope is folded into a
+    :class:`MetricsRegistry` (:meth:`publish`) and into the
+    :class:`~repro.core.results.QueryStats` handed back to callers
+    (``QueryStats.from_metrics``).
+    """
+
+    __slots__ = QUERY_TELEMETRY_FIELDS
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.distance_seconds = 0.0
+        self.traversal_seconds = 0.0
+        self.io_seconds = 0.0
+        self.drc_calls = 0
+        self.covered_shortcuts = 0
+        self.docs_examined = 0
+        self.docs_touched = 0
+        self.docs_pruned = 0
+        self.bfs_levels = 0
+        self.nodes_visited = 0
+        self.forced_rounds = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """All fields as a plain dict (stable key order)."""
+        return {name: getattr(self, name)
+                for name in QUERY_TELEMETRY_FIELDS}
+
+    def publish(self, registry: MetricsRegistry, *,
+                prefix: str = "knds") -> None:
+        """Fold this query's scalars into ``registry`` as ``prefix.*``.
+
+        Counter names follow the paper's vocabulary where it has one:
+        ``docs_pruned`` publishes as ``<prefix>.candidates_pruned``.
+        ``total_seconds`` is intentionally *not* published — end-to-end
+        latency belongs to the engine's ``query.latency_seconds``
+        histogram, which also covers facade overhead.
+        """
+        for field, metric in _PUBLISH_NAMES.items():
+            value = getattr(self, field)
+            if value:
+                registry.counter(f"{prefix}.{metric}").inc(value)

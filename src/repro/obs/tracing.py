@@ -1,0 +1,247 @@
+"""Lightweight hierarchical span tracing for the search stack.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans nest
+through a per-thread stack, carry free-form attributes, and are collected
+on completion so a whole query run can be exported afterwards — either as
+JSON lines (one span per line, ``parent_id`` links encoding the tree) or
+in the Chrome trace-event format that ``chrome://tracing`` / Perfetto
+renders as a flame graph.
+
+The default wiring throughout the library is :data:`NULL_TRACER`, whose
+``span``/``record`` calls allocate nothing and return a shared no-op
+handle, so instrumented code paths cost almost nothing until a caller
+opts in by attaching a real tracer (see :class:`repro.obs.Observability`).
+
+Timestamps are ``time.perf_counter()`` offsets from the tracer's creation
+(its *epoch*), which keeps spans comparable across threads; the absolute
+wall-clock epoch is exported alongside for correlation with logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+
+class Span:
+    """One timed operation: a name, a window, attributes, and a parent.
+
+    Spans are context managers; entering records the start offset and the
+    parent (the innermost span open on the same thread), exiting records
+    the end offset and hands the finished span to the tracer::
+
+        with tracer.span("engine.query", k=10) as span:
+            ...
+            span.set_attribute("results", 10)
+    """
+
+    __slots__ = ("_tracer", "name", "attributes", "span_id", "parent_id",
+                 "thread_id", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = next(tracer._ids)
+        self.parent_id: int | None = None
+        self.thread_id = 0
+        self.start = 0.0
+        self.end = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the span."""
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0 until the span has ended)."""
+        return max(0.0, self.end - self.start)
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._exit(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view of the finished span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handle returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the attribute."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class NullTracer:
+    """No-op tracer: the near-free default for uninstrumented runs.
+
+    ``span`` and ``record`` accept the same arguments as :class:`Tracer`
+    but allocate nothing and always return the same inert handle, so a
+    hot loop guarded only by this tracer stays within noise of the
+    uninstrumented baseline.
+    """
+
+    __slots__ = ()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """Return the shared no-op span handle."""
+        return _NULL_SPAN
+
+    def record(self, name: str, start: float, end: float,
+               **attributes: Any) -> None:
+        """Discard an already-measured span."""
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Always empty: nothing is ever collected."""
+        return []
+
+
+_NULL_SPAN = _NullSpan()
+
+NULL_TRACER = NullTracer()
+"""Process-wide no-op tracer instance (safe to share: it has no state)."""
+
+
+class Tracer:
+    """Collects hierarchical spans for one instrumented run.
+
+    Thread-safe: each thread keeps its own open-span stack, finished
+    spans are appended under a lock, and timestamps share one epoch.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.finished: list[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create a span; use as ``with tracer.span("name", k=3): ...``."""
+        return Span(self, name, attributes)
+
+    def record(self, name: str, start: float, end: float,
+               **attributes: Any) -> None:
+        """Record an operation that was timed externally.
+
+        ``start``/``end`` are raw ``time.perf_counter()`` readings; the
+        span is parented to whatever span is currently open on the
+        calling thread.  This is the cheap path for very frequent leaf
+        operations (index I/O) where a full context manager per call
+        would dominate the measured work.
+        """
+        span = Span(self, name, attributes)
+        span.parent_id = self._stack()[-1] if self._stack() else None
+        span.thread_id = threading.get_ident()
+        span.start = start - self._epoch
+        span.end = end - self._epoch
+        with self._lock:
+            self.finished.append(span)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1] if stack else None
+        span.thread_id = threading.get_ident()
+        span.start = time.perf_counter() - self._epoch
+        stack.append(span.span_id)
+
+    def _exit(self, span: Span) -> None:
+        span.end = time.perf_counter() - self._epoch
+        stack = self._stack()
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        elif span.span_id in stack:  # tolerate interleaved generators
+            stack.remove(span.span_id)
+        with self._lock:
+            self.finished.append(span)
+
+    # -- exporters ------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Finished spans as JSON-ready dicts, in completion order."""
+        with self._lock:
+            return [span.to_dict() for span in self.finished]
+
+    def export_jsonl(self, target: str | Path | TextIO) -> int:
+        """Write one JSON object per span; returns the span count.
+
+        The first line is a header record carrying the wall-clock epoch;
+        every following line is a span with ``span_id``/``parent_id``
+        links describing the nesting tree.
+        """
+        rows = self.to_dicts()
+        header = {"record": "header", "wall_epoch": self.wall_epoch,
+                  "spans": len(rows)}
+        lines = [json.dumps(header, default=str)]
+        lines.extend(json.dumps(row, default=str) for row in rows)
+        _write_text(target, "\n".join(lines) + "\n")
+        return len(rows)
+
+    def export_chrome(self, target: str | Path | TextIO) -> int:
+        """Write the Chrome trace-event JSON; returns the span count.
+
+        Load the file in ``chrome://tracing`` or https://ui.perfetto.dev
+        to see the query as a flame graph.  Durations use complete
+        (``"ph": "X"``) events with microsecond timestamps.
+        """
+        rows = self.to_dicts()
+        events = [
+            {
+                "name": row["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": row["start"] * 1e6,
+                "dur": row["duration"] * 1e6,
+                "pid": 1,
+                "tid": row["thread"],
+                "args": row["attributes"],
+            }
+            for row in rows
+        ]
+        _write_text(target, json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, default=str))
+        return len(rows)
+
+    def clear(self) -> None:
+        """Drop all finished spans (between benchmark iterations)."""
+        with self._lock:
+            self.finished.clear()
+
+
+def _write_text(target: str | Path | TextIO, text: str) -> None:
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        Path(target).write_text(text, encoding="utf-8")

@@ -1,0 +1,389 @@
+"""Tests for :mod:`repro.obs` — tracing, metrics, events, integration.
+
+Covers the three legs in isolation (span nesting and exporters, registry
+semantics and exposition formats, event schemas and ordering) and then
+end-to-end: an instrumented :class:`~repro.core.engine.SearchEngine`
+produces a nested trace (engine -> algorithm -> BFS level -> index I/O),
+a metrics snapshot with the headline series, and a typed event stream
+whose ``expanded`` events precede their ``round`` events with exactly one
+``terminated`` event at the end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.results import QueryStats
+from repro.datasets import example4_collection, figure3_ontology
+from repro.obs import Observability
+from repro.obs.events import (EVENT_TYPES, EventLog, EventStream,
+                              ExpandedEvent, RoundEvent, SNAPSHOT_SCHEMA,
+                              TerminatedEvent)
+from repro.obs.metrics import (MetricsRegistry, QUERY_TELEMETRY_FIELDS,
+                               QueryTelemetry)
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+
+def _snapshot_fields(**overrides):
+    fields = {"level": 1, "examined": 2, "candidates": 3, "frontier": 4,
+              "top": [], "kth_distance": None, "global_lower": 0.5}
+    fields.update(overrides)
+    return fields
+
+
+def make_obs() -> Observability:
+    """A fresh, fully-enabled bundle (private registry, live tracer)."""
+    return Observability(tracer=Tracer(), metrics=MetricsRegistry(),
+                         events=EventStream())
+
+
+class TestTracer:
+    def test_nested_spans_record_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=3):
+            with tracer.span("inner"):
+                pass
+        spans = {span["name"]: span for span in tracer.to_dicts()}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["outer"]["parent_id"] is None
+        assert spans["outer"]["attributes"]["k"] == 3
+
+    def test_set_attribute_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set_attribute("rows", 7)
+        (record,) = tracer.to_dicts()
+        assert record["attributes"]["rows"] == 7
+        assert record["duration"] >= 0.0
+
+    def test_record_leaf_span(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            tracer.record("io", 1.0, 1.5, rows=9)
+        spans = {span["name"]: span for span in tracer.to_dicts()}
+        assert spans["io"]["parent_id"] == spans["parent"]["span_id"]
+        assert spans["io"]["duration"] == pytest.approx(0.5)
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        target = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(target)
+        lines = [json.loads(line)
+                 for line in target.read_text().splitlines()]
+        header, *records = lines
+        assert header["record"] == "header"
+        assert header["spans"] == 2
+        assert {record["name"] for record in records} == {"a", "b"}
+
+    def test_export_chrome_format(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        target = tmp_path / "trace.json"
+        tracer.export_chrome(target)
+        payload = json.loads(target.read_text())
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "a"
+        assert event["dur"] >= 0
+
+    def test_null_tracer_collects_nothing(self):
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.set_attribute("x", 1)
+        NULL_TRACER.record("io", 0.0, 1.0)
+        assert NULL_TRACER.to_dicts() == []
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        assert snapshot["hits"]["value"] == 3
+        assert snapshot["depth"]["value"] == 4
+        assert snapshot["lat"]["count"] == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("knds.nodes_visited").inc(5)
+        registry.histogram("query.latency_seconds",
+                           buckets=(0.1,)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "knds_nodes_visited 5" in text
+        assert 'query_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'query_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "query_latency_seconds_count 1" in text
+
+    def test_write_infers_format_from_suffix(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        json_path = tmp_path / "m.json"
+        prom_path = tmp_path / "m.prom"
+        registry.write(json_path)
+        registry.write(prom_path)
+        assert json.loads(json_path.read_text())["hits"]["value"] == 1
+        assert "hits 1" in prom_path.read_text()
+
+    def test_query_telemetry_publish_mapping(self):
+        registry = MetricsRegistry()
+        telemetry = QueryTelemetry()
+        telemetry.nodes_visited = 11
+        telemetry.docs_pruned = 4
+        telemetry.total_seconds = 1.0  # never published as a counter
+        telemetry.publish(registry, prefix="knds")
+        snapshot = registry.snapshot()
+        assert snapshot["knds.nodes_visited"]["value"] == 11
+        assert snapshot["knds.candidates_pruned"]["value"] == 4
+        assert "knds.total_seconds" not in snapshot
+
+    def test_query_stats_from_metrics(self):
+        telemetry = QueryTelemetry()
+        telemetry.docs_examined = 9
+        telemetry.drc_calls = 2
+        stats = QueryStats.from_metrics(telemetry)
+        assert stats.docs_examined == 9
+        assert stats.drc_calls == 2
+        assert QueryStats.FIELDS == QUERY_TELEMETRY_FIELDS
+
+
+class TestEvents:
+    def test_schemas_are_stable(self):
+        assert ExpandedEvent.SCHEMA == SNAPSHOT_SCHEMA
+        assert RoundEvent.SCHEMA == SNAPSHOT_SCHEMA
+        assert TerminatedEvent.SCHEMA == SNAPSHOT_SCHEMA + ("reason",)
+        assert set(EVENT_TYPES) == {"expanded", "round", "terminated"}
+
+    def test_events_behave_like_dicts(self):
+        event = ExpandedEvent(**_snapshot_fields())
+        assert event["phase"] == "expanded"
+        assert event.phase == "expanded"
+        assert event.level == 1
+        assert dict(event)["examined"] == 2
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            ExpandedEvent(level=1)  # missing fields
+        with pytest.raises(ValueError):
+            ExpandedEvent(**_snapshot_fields(), bogus=1)
+
+    def test_terminated_reason(self):
+        event = TerminatedEvent(**_snapshot_fields(), reason="converged")
+        assert event.reason == "converged"
+
+    def test_event_stream_fanout_and_unsubscribe(self):
+        stream = EventStream()
+        first, second = EventLog(), EventLog()
+        stream.subscribe(first)
+        stream.subscribe(second)
+        stream(ExpandedEvent(**_snapshot_fields()))
+        stream.unsubscribe(second)
+        stream(RoundEvent(**_snapshot_fields()))
+        assert first.phases() == ["expanded", "round"]
+        assert second.phases() == ["expanded"]
+
+
+@pytest.fixture()
+def engine():
+    with SearchEngine(figure3_ontology(), example4_collection()) as eng:
+        yield eng
+
+
+class TestEngineIntegration:
+    def test_trace_has_expected_nesting(self, engine):
+        obs = make_obs()
+        engine.instrument(obs)
+        engine.rds(["F", "I"], k=2)
+        spans = obs.tracer.to_dicts()
+        by_id = {span["span_id"]: span for span in spans}
+        names = [span["name"] for span in spans]
+        assert "engine.query" in names
+        assert "knds.rds" in names
+        assert "knds.level" in names
+        knds = next(s for s in spans if s["name"] == "knds.rds")
+        assert by_id[knds["parent_id"]]["name"] == "engine.query"
+        level = next(s for s in spans if s["name"] == "knds.level")
+        assert by_id[level["parent_id"]]["name"] == "knds.rds"
+        io = next(s for s in spans if s["name"] == "index.postings")
+        assert by_id[io["parent_id"]]["name"] == "knds.level"
+
+    def test_metrics_snapshot_has_headline_series(self, engine):
+        obs = make_obs()
+        engine.instrument(obs)
+        engine.rds(["F", "I"], k=2)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["knds.nodes_visited"]["value"] > 0
+        assert "drc.probes" in snapshot
+        assert snapshot["query.latency_seconds"]["count"] == 1
+        assert snapshot["query.count"]["value"] == 1
+
+    def test_stats_match_published_counters(self, engine):
+        obs = make_obs()
+        engine.instrument(obs)
+        results = engine.rds(["F", "I"], k=2)
+        snapshot = obs.metrics.snapshot()
+        stats = results.stats
+        assert snapshot["knds.nodes_visited"]["value"] == \
+            stats.nodes_visited
+        assert snapshot["knds.docs_examined"]["value"] == \
+            stats.docs_examined
+
+    def test_event_ordering_expanded_before_round(self, engine):
+        obs = make_obs()
+        log = EventLog()
+        obs.events.subscribe(log)
+        engine.instrument(obs)
+        engine.rds(["F", "I"], k=2)
+        phases = log.phases()
+        assert phases, "no events emitted"
+        assert phases[-1] == "terminated"
+        assert phases.count("terminated") == 1
+        # Per level: the expansion snapshot precedes the analysis round.
+        body = phases[:-1]
+        assert body[::2] == ["expanded"] * (len(body) // 2)
+        assert body[1::2] == ["round"] * (len(body) // 2)
+        levels = [event["level"] for event in log
+                  if event["phase"] == "expanded"]
+        assert levels == sorted(levels)
+
+    def test_terminated_event_on_early_termination(self, engine):
+        obs = make_obs()
+        log = EventLog()
+        obs.events.subscribe(log)
+        engine.instrument(obs)
+        # k=1 on Example 4 converges before the ontology is exhausted.
+        engine.rds(["F"], k=1)
+        terminal = log[-1]
+        assert isinstance(terminal, TerminatedEvent)
+        assert terminal.reason in {"converged", "exhausted"}
+        assert set(SNAPSHOT_SCHEMA) <= set(terminal)
+
+    def test_observer_and_stream_both_receive_events(self, engine):
+        obs = make_obs()
+        stream_log = EventLog()
+        obs.events.subscribe(stream_log)
+        engine.instrument(obs)
+        observer_log = EventLog()
+        engine.rds(["F", "I"], k=2, observer=observer_log)
+        assert observer_log.phases() == stream_log.phases()
+
+    def test_sqlite_backend_reports_io(self):
+        obs = make_obs()
+        with SearchEngine(figure3_ontology(), example4_collection(),
+                          backend="sqlite", obs=obs) as engine:
+            engine.rds(["F", "I"], k=2)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["index.rows_read"]["value"] > 0
+        assert snapshot["index.io_seconds"]["value"] > 0
+        io_spans = [span for span in obs.tracer.to_dicts()
+                    if span["name"].startswith("index.")]
+        assert io_spans
+        assert all(span["attributes"]["backend"] == "sqlite"
+                   for span in io_spans)
+
+    def test_uninstrumented_engine_emits_nothing(self, engine):
+        results = engine.rds(["F", "I"], k=2)
+        assert results.doc_ids() == ["d2", "d3"]
+        assert engine._obs is None
+
+    def test_baselines_publish_counters(self, engine):
+        obs = make_obs()
+        engine.instrument(obs)
+        engine.rds(["F", "I"], k=2, algorithm="fullscan")
+        engine.rds(["F", "I"], k=2, algorithm="ta")
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["fullscan.docs_examined"]["value"] == \
+            len(engine.collection)
+        assert snapshot["ta.sorted_accesses"]["value"] > 0
+        assert snapshot["query.count"]["value"] == 2
+
+
+class TestEngineContextManager:
+    def test_enter_returns_engine_and_exit_closes(self):
+        with SearchEngine(figure3_ontology(), example4_collection(),
+                          backend="sqlite") as engine:
+            assert engine.rds(["F", "I"], k=2).doc_ids() == ["d2", "d3"]
+            store = engine._store
+        with pytest.raises(Exception):
+            store.inverted.postings("F")  # connection closed
+
+    def test_close_idempotent_for_memory_backend(self):
+        engine = SearchEngine(figure3_ontology(), example4_collection())
+        with engine as same:
+            assert same is engine
+        engine.close()  # second close is harmless
+
+
+class TestCLIObservability:
+    def _ontology_corpus(self, tmp_path):
+        from repro.corpus.io import save_jsonl
+        from repro.ontology.io.csvio import save_csv
+        save_csv(figure3_ontology(), tmp_path / "o.concepts.csv",
+                 tmp_path / "o.edges.csv")
+        save_jsonl(example4_collection(), tmp_path / "docs.jsonl")
+        return str(tmp_path / "o"), str(tmp_path / "docs.jsonl")
+
+    def test_search_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.cli import main
+        prefix, corpus = self._ontology_corpus(tmp_path)
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(["search", "--ontology", prefix, "--corpus", corpus,
+                     "-k", "2", "--trace", str(trace),
+                     "--metrics", str(metrics),
+                     "rds", "--query", "F,I"])
+        assert code == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert records[0]["record"] == "header"
+        assert any(r.get("name") == "engine.query" for r in records[1:])
+        snapshot = json.loads(metrics.read_text())
+        assert "knds.nodes_visited" in snapshot
+        assert "query.latency_seconds" in snapshot
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+
+    def test_search_chrome_and_prometheus_formats(self, tmp_path):
+        from repro.cli import main
+        prefix, corpus = self._ontology_corpus(tmp_path)
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        code = main(["search", "--ontology", prefix, "--corpus", corpus,
+                     "-k", "2", "--trace", str(trace),
+                     "--trace-format", "chrome",
+                     "--metrics", str(metrics),
+                     "--metrics-format", "prometheus",
+                     "rds", "--query", "F,I"])
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert "knds_nodes_visited" in metrics.read_text()
+
+    def test_search_without_flags_stays_uninstrumented(self, tmp_path,
+                                                       capsys):
+        from repro.cli import main
+        prefix, corpus = self._ontology_corpus(tmp_path)
+        code = main(["search", "--ontology", prefix, "--corpus", corpus,
+                     "-k", "2", "rds", "--query", "F,I"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" not in out.splitlines()[-1]
