@@ -4,7 +4,7 @@
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench experiments verify examples clean
+.PHONY: install test bench perf perf-gate experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,6 +14,17 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+# Record a perf baseline artifact (BENCH_baseline.json + .md at the root).
+perf:
+	python -m repro bench --scenarios smoke --repeat 3 \
+		--json-out BENCH_baseline.json
+
+# Gate the working tree against the recorded baseline.
+perf-gate:
+	python -m repro bench --scenarios smoke --repeat 3 \
+		--baseline BENCH_baseline.json \
+		--json-out BENCH_current.json --fail-on-regress
 
 experiments:
 	python -m repro.bench.experiments --chart

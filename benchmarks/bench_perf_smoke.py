@@ -1,0 +1,33 @@
+"""Perf-smoke: the registered scenario set through the unified runner.
+
+This replaces the standalone ``bench_obs_overhead.py``: the three
+instrumentation states (disabled / metrics-only / full) are now
+registered scenarios of :mod:`repro.bench.perf` (tag ``overhead``), so
+their timings land in every ``BENCH_*.json`` artifact instead of a
+free-form table nobody can diff.  This target runs the ``smoke`` set the
+CI perf job uses, sanity-checks the self-comparison gate, and records
+the markdown report under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.perf import compare_runs, render_markdown, run_scenarios
+
+
+def test_report_perf_smoke(record, scale, world):
+    """Run the smoke scenarios and record the runner's markdown report."""
+    artifact = run_scenarios("smoke,overhead", scale=scale, repeat=3,
+                             warmup=1)
+    scenarios = artifact["scenarios"]
+
+    # The gate must be neutral against itself (identical samples).
+    verdicts = compare_runs(artifact, artifact)
+    assert {verdict.status for verdict in verdicts} == {"neutral"}
+
+    # Same loose sanity bound the standalone overhead benchmark enforced:
+    # even tracer+metrics+events must stay within an order of magnitude.
+    disabled = scenarios["obs_overhead_disabled"]["seconds"]["median"]
+    full = scenarios["obs_overhead_full"]["seconds"]["median"]
+    assert full < disabled * 10
+
+    record("perf_smoke", render_markdown(artifact))

@@ -39,11 +39,17 @@ def world():
 
 @pytest.fixture(scope="session")
 def record():
-    """Persist a rendered experiment table and echo it."""
+    """Persist rendered experiment output and echo it.
+
+    Accepts :class:`repro.bench.reporting.Table` objects or pre-rendered
+    strings (e.g. the markdown report from ``repro.bench.perf``).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, *tables) -> None:
-        text = "\n\n".join(table.render() for table in tables) + "\n"
+        text = "\n\n".join(
+            table if isinstance(table, str) else table.render()
+            for table in tables).rstrip("\n") + "\n"
         (RESULTS_DIR / f"{name}.txt").write_text(text)
         print()
         print(text)

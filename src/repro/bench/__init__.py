@@ -11,6 +11,10 @@ contrasts.
 Run any experiment standalone::
 
     python -m repro.bench.experiments fig9 --scale small
+
+:mod:`repro.bench.perf` layers perf-regression tracking on top: named,
+tagged scenarios over the same worlds, schema-versioned ``BENCH_*.json``
+artifacts, and noise-aware baseline gating (``python -m repro bench``).
 """
 
 from repro.bench.experiments import (
@@ -27,6 +31,15 @@ from repro.bench.experiments import (
     table3_corpus_stats,
 )
 from repro.bench.memory import deep_sizeof, space_comparison
+from repro.bench.perf import (
+    SCENARIOS,
+    Scenario,
+    Verdict,
+    compare_runs,
+    run_scenario,
+    run_scenarios,
+    select_scenarios,
+)
 from repro.bench.plots import render_chart
 from repro.bench.reporting import Table, series_table
 from repro.bench.statistics import (
@@ -63,4 +76,11 @@ __all__ = [
     "random_concept_queries",
     "random_query_documents",
     "sample_documents",
+    "SCENARIOS",
+    "Scenario",
+    "Verdict",
+    "compare_runs",
+    "run_scenario",
+    "run_scenarios",
+    "select_scenarios",
 ]

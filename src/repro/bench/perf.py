@@ -1,0 +1,948 @@
+"""Perf-regression observability: scenarios, artifacts, and gating.
+
+The paper-replication benchmarks under ``benchmarks/`` print free-form
+tables that no tool can diff, so a constant-factor regression in the
+kNDS expansion loop or DRC probing would ship silently.  This module
+turns the same workloads into a *tracked, gated* signal:
+
+* a **scenario registry** — named, tagged workloads (kNDS RDS/SDS, DRC
+  probing, the full-scan and TA baselines, index backends, and the
+  instrumentation-overhead states that used to live in the standalone
+  ``benchmarks/bench_obs_overhead.py``) built on the cached
+  :func:`repro.bench.experiments.build_world`;
+* a **unified runner** with warmup/repeat control that records wall-time
+  samples (exact min/median/mean plus p50/p95/p99 estimated with
+  :meth:`repro.obs.metrics.Histogram.quantile`), peak memory via
+  :mod:`tracemalloc`, and a per-scenario :class:`MetricsRegistry`
+  snapshot (DRC probes, BFS levels, index rows — the PR-1 counters);
+* a **schema-versioned artifact** (``BENCH_<run>.json`` at the repo
+  root) plus a human-readable markdown report;
+* **baseline comparison** with noise-aware thresholds: deterministic
+  work counters (probes, rows, nodes) decide first and, when steady,
+  veto the wall-time gate entirely; scenarios without counters fall back
+  to time, where the median must be confirmed by the min-of-N past a
+  relative tolerance *and* an absolute floor (min-of-N filters scheduler
+  noise that inflates single samples).  ``--fail-on-regress`` turns
+  regressions into a nonzero exit code for CI.
+
+Run it as ``python -m repro bench`` (see :func:`main` for flags)::
+
+    python -m repro bench --scenarios smoke --repeat 3 \
+        --json-out BENCH_smoke.json
+    python -m repro bench --scenarios smoke --baseline BENCH_smoke.json \
+        --fail-on-regress
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+SCHEMA_VERSION = 1
+"""Version of the ``BENCH_*.json`` artifact layout.
+
+Bump when the artifact shape changes incompatibly; :func:`compare_runs`
+refuses to gate across different schema versions.
+"""
+
+DEFAULT_REL_TOLERANCE = 0.40
+"""Median must move by more than this fraction to leave ``neutral``.
+
+Back-to-back unchanged-tree runs at the ``small`` scale drift up to
+~35% on this class of hardware (CPU frequency scaling between minute-
+long runs shifts min-of-N and median together), so the gate sits just
+above that; dropped-optimization regressions are ~2x and clear it
+easily.
+"""
+
+DEFAULT_ABS_FLOOR = 0.002
+"""...and by more than this many seconds (sub-floor jitter is noise)."""
+
+EXIT_REGRESSED = 3
+"""Process exit code when ``--fail-on-regress`` finds a regression."""
+
+WORK_COUNTERS = (
+    "drc.probes", "knds.drc_calls", "knds.nodes_visited",
+    "knds.bfs_levels", "knds.docs_examined", "index.rows_read",
+    "fullscan.docs_examined", "ta.rows_read",
+)
+"""Deterministic cost-model counters gated alongside wall time.
+
+The scenario workloads are seeded, so these counts are exactly
+reproducible run to run — unlike wall time, which on shared hosts can
+drift 2x between back-to-back runs.  A regression in early termination
+(the very thing the paper's Figures 6–9 protect) shows up here first:
+more probes, more nodes, more rows — and a counter verdict never flaps.
+"""
+
+WORK_REL_TOLERANCE = 0.05
+"""Counters beyond this fraction *and* :data:`WORK_ABS_FLOOR` gate."""
+
+WORK_ABS_FLOOR = 1.0
+"""...so a single extra probe on a tiny workload is not a regression."""
+
+SAMPLE_BUCKETS = tuple(sorted(
+    mantissa * 10.0 ** exponent
+    for exponent in range(-5, 2)
+    for mantissa in (1.0, 2.0, 5.0)
+))
+"""Log-spaced bucket bounds (10 µs … 50 s) for wall-time histograms."""
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+def _default_instrument(obs) -> None:
+    """Default instrument hook: the scenario has nothing extra to wire."""
+
+
+def _default_cleanup() -> None:
+    """Default cleanup hook: the scenario holds no resources."""
+
+
+@dataclass
+class PreparedScenario:
+    """One scenario, set up and ready to time.
+
+    ``run`` executes a single timed iteration (the whole query batch);
+    setup work — world building, query sampling, index construction —
+    happens in :attr:`Scenario.prepare` so it never lands in a sample.
+    ``instrument`` wires (``obs``) or unwires (``None``) the PR-1
+    observability bundle through the layers the scenario touches, for
+    the runner's untimed metrics/memory pass; ``cleanup`` releases any
+    resources (SQLite connections) once the scenario is done.
+    """
+
+    run: Callable[[], Any]
+    instrument: Callable[[Any], None] = _default_instrument
+    cleanup: Callable[[], None] = _default_cleanup
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, tagged benchmark workload."""
+
+    name: str
+    description: str
+    tags: frozenset[str]
+    prepare: Callable[[Any], PreparedScenario]
+    """``prepare(world)`` builds the workload on a benchmark world."""
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(name: str, description: str,
+                      tags: tuple[str, ...] = ()) -> Callable:
+    """Decorator: register ``prepare(world)`` as scenario ``name``."""
+    def wrap(prepare: Callable[[Any], PreparedScenario]) -> Callable:
+        if name in SCENARIOS:
+            raise ValueError(f"scenario {name!r} already registered")
+        SCENARIOS[name] = Scenario(name, description, frozenset(tags),
+                                   prepare)
+        return prepare
+    return wrap
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (test hygiene for temporary registrations)."""
+    SCENARIOS.pop(name, None)
+
+
+def select_scenarios(spec: str) -> list[Scenario]:
+    """Resolve a comma-separated list of names/tags to scenarios.
+
+    Each token matches a scenario name, a tag (all scenarios carrying
+    it), or the keyword ``all``.  Order follows registration order with
+    duplicates dropped; unknown tokens raise :class:`ReproError` listing
+    what is available.
+    """
+    chosen: dict[str, Scenario] = {}
+    for token in (part.strip() for part in spec.split(",")):
+        if not token:
+            continue
+        if token == "all":
+            chosen.update(SCENARIOS)
+        elif token in SCENARIOS:
+            chosen[token] = SCENARIOS[token]
+        else:
+            tagged = {name: scenario
+                      for name, scenario in SCENARIOS.items()
+                      if token in scenario.tags}
+            if not tagged:
+                known = ", ".join(sorted(
+                    set(SCENARIOS) | {tag for scenario in SCENARIOS.values()
+                                      for tag in scenario.tags}))
+                raise ReproError(
+                    f"unknown scenario or tag {token!r} (available: "
+                    f"{known})")
+            chosen.update(tagged)
+    if not chosen:
+        raise ReproError("no scenarios selected")
+    return list(chosen.values())
+
+
+# ----------------------------------------------------------------------
+# Registered scenarios
+# ----------------------------------------------------------------------
+def _knds_batch(world, corpus: str, mode: str, nq: int,
+                k: int = 10) -> PreparedScenario:
+    from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
+    from repro.bench.workloads import (random_concept_queries,
+                                       sample_documents)
+    from repro.core.knds import KNDSConfig
+
+    searcher = world.searchers[corpus]
+    collection = world.corpus(corpus)
+    config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD[corpus])
+    count = world.scale.queries_per_point
+
+    if mode == "rds":
+        queries = random_concept_queries(collection, nq=nq, count=count,
+                                         seed=nq)
+
+        def run() -> None:
+            for query in queries:
+                searcher.rds(query, k, config=config)
+    else:
+        documents = sample_documents(collection, count=count, seed=nq)
+
+        def run() -> None:
+            for document in documents:
+                searcher.sds(document, k, config=config)
+
+    def instrument(obs) -> None:
+        searcher.instrument(obs)
+        searcher.drc.instrument(obs)
+        searcher.inverted.instrument(obs)
+        searcher.forward.instrument(obs)
+
+    return PreparedScenario(run=run, instrument=instrument)
+
+
+@register_scenario(
+    "knds_rds_patient",
+    "kNDS RDS, PATIENT corpus (nq=3, k=10, paper-default eps)",
+    tags=("smoke", "knds"))
+def _prepare_knds_rds_patient(world) -> PreparedScenario:
+    return _knds_batch(world, "PATIENT", "rds", nq=3)
+
+
+@register_scenario(
+    "knds_rds_radio",
+    "kNDS RDS, RADIO corpus (nq=5, k=10, paper-default eps)",
+    tags=("smoke", "knds"))
+def _prepare_knds_rds_radio(world) -> PreparedScenario:
+    return _knds_batch(world, "RADIO", "rds", nq=5)
+
+
+@register_scenario(
+    "knds_sds_radio",
+    "kNDS SDS, RADIO corpus (whole documents as queries, k=10)",
+    tags=("smoke", "knds"))
+def _prepare_knds_sds_radio(world) -> PreparedScenario:
+    return _knds_batch(world, "RADIO", "sds", nq=5)
+
+
+@register_scenario(
+    "knds_sds_patient",
+    "kNDS SDS, PATIENT corpus (large documents as queries, k=10)",
+    tags=("knds",))
+def _prepare_knds_sds_patient(world) -> PreparedScenario:
+    return _knds_batch(world, "PATIENT", "sds", nq=3)
+
+
+@register_scenario(
+    "drc_pairs",
+    "DRC document-document distances over random nq=40 pairs (Figure 6 "
+    "point)",
+    tags=("smoke", "drc"))
+def _prepare_drc_pairs(world) -> PreparedScenario:
+    from repro.bench.workloads import random_query_documents
+    from repro.core.drc import DRC
+
+    drc = DRC(world.ontology, world.dewey)
+    collection = world.corpus("RADIO")
+    count = max(4, world.scale.pairs_per_point)
+    documents = random_query_documents(collection, nq=40, count=2 * count,
+                                       seed=40)
+    pairs = list(zip(documents[0::2], documents[1::2]))
+    for document in documents:  # warm the shared Dewey cache (paper setup)
+        for concept in document.concepts:
+            world.dewey.addresses(concept)
+
+    def run() -> None:
+        for left, right in pairs:
+            drc.document_document_distance(left.concepts, right.concepts)
+
+    return PreparedScenario(run=run, instrument=drc.instrument)
+
+
+@register_scenario(
+    "fullscan_rds_radio",
+    "Full-scan baseline RDS, RADIO corpus (nq=5, k=10)",
+    tags=("smoke", "baseline"))
+def _prepare_fullscan_rds_radio(world) -> PreparedScenario:
+    from repro.bench.workloads import random_concept_queries
+
+    scanner = world.scanners["RADIO"]
+    queries = random_concept_queries(world.corpus("RADIO"), nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=5)
+
+    def run() -> None:
+        for query in queries:
+            scanner.rds(query, 10)
+
+    def instrument(obs) -> None:
+        scanner.instrument(obs)
+        scanner.drc.instrument(obs)
+
+    return PreparedScenario(run=run, instrument=instrument)
+
+
+@register_scenario(
+    "ta_rds_radio",
+    "Threshold Algorithm RDS, RADIO corpus (index prebuilt over the "
+    "workload's concepts)",
+    tags=("baseline", "ta"))
+def _prepare_ta_rds_radio(world) -> PreparedScenario:
+    from repro.baselines.ta import ThresholdAlgorithm
+    from repro.bench.workloads import random_concept_queries
+
+    collection = world.corpus("RADIO")
+    queries = random_concept_queries(collection, nq=3,
+                                     count=world.scale.queries_per_point,
+                                     seed=41)
+    needed = sorted({concept for query in queries for concept in query})
+    ta = ThresholdAlgorithm.build(world.ontology, collection,
+                                  concepts=needed)
+
+    def run() -> None:
+        for query in queries:
+            ta.rds(query, 10)
+
+    return PreparedScenario(run=run, instrument=ta.instrument)
+
+
+@register_scenario(
+    "knds_rds_sqlite",
+    "kNDS RDS over the SQLite index backend, RADIO corpus (nq=5, k=10)",
+    tags=("index",))
+def _prepare_knds_rds_sqlite(world) -> PreparedScenario:
+    from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
+    from repro.bench.workloads import random_concept_queries
+    from repro.core.knds import KNDSConfig, KNDSearch
+    from repro.index.sqlite import SQLiteIndexStore
+
+    collection = world.corpus("RADIO")
+    store = SQLiteIndexStore.build(collection)
+    searcher = KNDSearch(world.ontology, collection,
+                         inverted=store.inverted, forward=store.forward,
+                         dewey=world.dewey)
+    config = KNDSConfig(
+        error_threshold=DEFAULT_ERROR_THRESHOLD["RADIO"])
+    queries = random_concept_queries(collection, nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=5)
+
+    def run() -> None:
+        for query in queries:
+            searcher.rds(query, 10, config=config)
+
+    def instrument(obs) -> None:
+        searcher.instrument(obs)
+        store.instrument(obs)
+
+    return PreparedScenario(run=run, instrument=instrument,
+                            cleanup=store.close)
+
+
+@register_scenario(
+    "engine_rds_radio",
+    "SearchEngine facade RDS, RADIO corpus (nq=5, k=10) — the only "
+    "layer that records per-query latency, so this scenario feeds the "
+    "query.latency_seconds p50/p95/p99 in the artifact",
+    tags=("smoke", "engine"))
+def _prepare_engine_rds_radio(world) -> PreparedScenario:
+    from repro.bench.workloads import random_concept_queries
+    from repro.core.engine import SearchEngine
+
+    engine = SearchEngine(world.ontology, world.corpus("RADIO"))
+    queries = random_concept_queries(world.corpus("RADIO"), nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=5)
+
+    def run() -> None:
+        for query in queries:
+            engine.rds(list(query), k=10)
+
+    return PreparedScenario(run=run, instrument=engine.instrument,
+                            cleanup=engine.close)
+
+
+def _overhead_scenario(world, state: str) -> PreparedScenario:
+    """The retired ``bench_obs_overhead`` states as runner scenarios.
+
+    Each state times the *same* RDS batch with a different level of
+    instrumentation wired through the stack, so every ``BENCH_*.json``
+    tracks the overhead trajectory (full/disabled ratio) over time.
+    The timed repeats manage their own instrumentation (that *is* the
+    workload), but the runner's untimed metrics pass is honored: it
+    temporarily overrides the scenario bundle so the artifact still
+    carries the deterministic work counters that anchor the gate.
+    """
+    from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
+    from repro.bench.workloads import random_concept_queries
+    from repro.core.knds import KNDSConfig
+    from repro.obs import EventStream, Observability
+    from repro.obs.tracing import Tracer
+
+    searcher = world.searchers["RADIO"]
+    queries = random_concept_queries(world.corpus("RADIO"), nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=17)
+    config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD["RADIO"])
+
+    def wire(obs) -> None:
+        searcher.instrument(obs)
+        searcher.drc.instrument(obs)
+        searcher.inverted.instrument(obs)
+        searcher.forward.instrument(obs)
+
+    tracer = Tracer() if state == "full" else None
+    if state == "disabled":
+        obs = None
+    else:
+        obs = Observability(
+            tracer=tracer,
+            metrics=MetricsRegistry(),
+            events=EventStream() if state == "full" else None)
+
+    override: list = []  # runner bundle, set only for the metrics pass
+
+    def instrument(runner_obs) -> None:
+        override[:] = [] if runner_obs is None else [runner_obs]
+
+    def run() -> None:
+        if tracer is not None:
+            tracer.clear()  # keep span storage flat across repeats
+        wire(override[0] if override else obs)
+        try:
+            for query in queries:
+                searcher.rds(query, 10, config=config)
+        finally:
+            wire(None)  # the world is shared: leave it uninstrumented
+
+    return PreparedScenario(run=run, instrument=instrument)
+
+
+@register_scenario(
+    "obs_overhead_disabled",
+    "Instrumentation overhead reference: RDS batch, no bundle attached "
+    "(the library default)",
+    tags=("smoke", "overhead"))
+def _prepare_overhead_disabled(world) -> PreparedScenario:
+    return _overhead_scenario(world, "disabled")
+
+
+@register_scenario(
+    "obs_overhead_metrics",
+    "Instrumentation overhead: RDS batch with a metrics registry only",
+    tags=("overhead",))
+def _prepare_overhead_metrics(world) -> PreparedScenario:
+    return _overhead_scenario(world, "metrics")
+
+
+@register_scenario(
+    "obs_overhead_full",
+    "Instrumentation overhead: RDS batch with tracer + metrics + events",
+    tags=("smoke", "overhead"))
+def _prepare_overhead_full(world) -> PreparedScenario:
+    return _overhead_scenario(world, "full")
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Everything the runner measured for one scenario."""
+
+    name: str
+    description: str
+    tags: list[str]
+    samples: list[float]
+    peak_memory_bytes: int
+    instrumented_seconds: float
+    metrics: dict[str, float]
+    latency_quantiles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median(self) -> float:
+        """Exact median of the wall-time samples (the gated statistic)."""
+        return statistics.median(self.samples)
+
+    @property
+    def best(self) -> float:
+        """Min-of-N wall time (the noise-filtered statistic)."""
+        return min(self.samples)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view matching the ``BENCH_*.json`` schema."""
+        histogram = Histogram("bench.samples", buckets=SAMPLE_BUCKETS)
+        for sample in self.samples:
+            histogram.observe(sample)
+        return {
+            "description": self.description,
+            "tags": sorted(self.tags),
+            "seconds": {
+                "samples": self.samples,
+                "min": self.best,
+                "median": self.median,
+                "mean": statistics.fmean(self.samples),
+                "max": max(self.samples),
+                "p50": histogram.quantile(0.50),
+                "p95": histogram.quantile(0.95),
+                "p99": histogram.quantile(0.99),
+            },
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "instrumented_seconds": self.instrumented_seconds,
+            "metrics": self.metrics,
+            "latency_quantiles": self.latency_quantiles,
+        }
+
+
+def run_scenario(scenario: Scenario, world, *, repeat: int = 5,
+                 warmup: int = 1) -> ScenarioResult:
+    """Time one scenario: warmups, ``repeat`` samples, one metrics pass.
+
+    The timed repeats run uninstrumented so gating sees clean numbers;
+    a final untimed pass runs with a fresh metrics-only bundle under
+    :mod:`tracemalloc` to capture the counter snapshot and peak memory
+    (tracemalloc roughly doubles allocation cost, so its wall time is
+    reported separately as ``instrumented_seconds``, never gated).
+    """
+    from repro.obs import Observability
+
+    prepared = scenario.prepare(world)
+    try:
+        for _ in range(max(0, warmup)):
+            prepared.run()
+        samples: list[float] = []
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            prepared.run()
+            samples.append(time.perf_counter() - start)
+
+        registry = MetricsRegistry()
+        obs = Observability(metrics=registry)
+        prepared.instrument(obs)
+        tracemalloc.start()
+        try:
+            start = time.perf_counter()
+            prepared.run()
+            instrumented_seconds = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+            prepared.instrument(None)
+    finally:
+        prepared.cleanup()
+
+    return ScenarioResult(
+        name=scenario.name,
+        description=scenario.description,
+        tags=sorted(scenario.tags),
+        samples=samples,
+        peak_memory_bytes=peak,
+        instrumented_seconds=instrumented_seconds,
+        metrics=_flatten_metrics(registry),
+        latency_quantiles=_latency_quantiles(registry),
+    )
+
+
+def _flatten_metrics(registry: MetricsRegistry) -> dict[str, float]:
+    """Counters/gauges as values; histograms as ``.count``/``.sum``."""
+    flat: dict[str, float] = {}
+    for name, data in registry.snapshot().items():
+        if data["type"] == "histogram":
+            if data["count"]:
+                flat[f"{name}.count"] = data["count"]
+                flat[f"{name}.sum"] = data["sum"]
+        elif data["value"]:
+            flat[name] = data["value"]
+    return flat
+
+
+def _latency_quantiles(registry: MetricsRegistry) -> dict[str, float]:
+    """p50/p95/p99 of per-query latency, when the scenario recorded any."""
+    if "query.latency_seconds" not in registry:
+        return {}
+    histogram = registry.histogram("query.latency_seconds")
+    if not histogram.count:
+        return {}
+    return {f"p{int(q * 100)}": histogram.quantile(q)
+            for q in (0.50, 0.95, 0.99)}
+
+
+def run_scenarios(spec: str, *, scale: str = "small", repeat: int = 5,
+                  warmup: int = 1,
+                  progress: Callable[[str], None] | None = None
+                  ) -> dict[str, Any]:
+    """Run a scenario selection and return the full artifact dict."""
+    from repro.bench.experiments import build_world
+
+    scenarios = select_scenarios(spec)
+    world = build_world(scale)
+    results: dict[str, Any] = {}
+    for scenario in scenarios:
+        result = run_scenario(scenario, world, repeat=repeat, warmup=warmup)
+        results[scenario.name] = result.to_dict()
+        if progress is not None:
+            progress(f"{scenario.name}: median {result.median:.4f}s "
+                     f"min {result.best:.4f}s over {len(result.samples)} "
+                     f"repeats")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "scale": scale,
+            "repeat": repeat,
+            "warmup": warmup,
+            "scenarios": spec,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "scenarios": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# Artifact I/O and reporting
+# ----------------------------------------------------------------------
+def write_artifact(artifact: dict[str, Any], path: str | Path) -> Path:
+    """Write the JSON artifact; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    """Load and minimally validate a ``BENCH_*.json`` artifact."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"benchmark artifact not found: {path}")
+    try:
+        artifact = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid benchmark artifact {path}: {error}")
+    if not isinstance(artifact, dict) or "schema_version" not in artifact:
+        raise ReproError(
+            f"{path} is not a BENCH artifact (no schema_version)")
+    return artifact
+
+
+def render_markdown(artifact: dict[str, Any],
+                    verdicts: list["Verdict"] | None = None) -> str:
+    """Human-readable report for one artifact (and optional comparison)."""
+    run = artifact["run"]
+    lines = [
+        "# Benchmark report",
+        "",
+        f"- scale: `{run['scale']}`, repeat: {run['repeat']}, "
+        f"warmup: {run['warmup']}",
+        f"- timestamp: {run['timestamp']} (UTC), "
+        f"python {run['python']}",
+        f"- schema version: {artifact['schema_version']}",
+        "",
+        "| scenario | median (s) | min (s) | p95 (s) | peak mem (MB) | "
+        "DRC probes | index rows |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name, data in sorted(artifact["scenarios"].items()):
+        seconds = data["seconds"]
+        metrics = data.get("metrics", {})
+        lines.append(
+            f"| {name} | {seconds['median']:.4f} | {seconds['min']:.4f} "
+            f"| {seconds['p95']:.4f} "
+            f"| {data['peak_memory_bytes'] / 1e6:.2f} "
+            f"| {metrics.get('drc.probes', 0):.0f} "
+            f"| {metrics.get('index.rows_read', 0):.0f} |")
+    overhead = _overhead_ratio(artifact)
+    if overhead is not None:
+        lines += ["", f"Instrumentation overhead (full / disabled "
+                      f"median): **{overhead:.2f}x**"]
+    if verdicts is not None:
+        lines += ["", "## Baseline comparison", ""]
+        lines += ["| scenario | verdict | baseline median (s) | "
+                  "current median (s) | ratio |", "|---|---|---|---|---|"]
+        for verdict in verdicts:
+            base = ("-" if verdict.baseline_median is None
+                    else f"{verdict.baseline_median:.4f}")
+            cur = ("-" if verdict.current_median is None
+                   else f"{verdict.current_median:.4f}")
+            ratio = ("-" if verdict.ratio is None
+                     else f"{verdict.ratio:.2f}x")
+            lines.append(f"| {verdict.scenario} | **{verdict.status}** "
+                         f"| {base} | {cur} | {ratio} |")
+    return "\n".join(lines) + "\n"
+
+
+def _overhead_ratio(artifact: dict[str, Any]) -> float | None:
+    scenarios = artifact["scenarios"]
+    try:
+        disabled = scenarios["obs_overhead_disabled"]["seconds"]["median"]
+        full = scenarios["obs_overhead_full"]["seconds"]["median"]
+    except KeyError:
+        return None
+    return full / disabled if disabled else None
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (the gate)
+# ----------------------------------------------------------------------
+@dataclass
+class Verdict:
+    """Per-scenario outcome of comparing a run against a baseline."""
+
+    scenario: str
+    status: str  # improved | neutral | regressed | new | missing
+    baseline_median: float | None = None
+    current_median: float | None = None
+    ratio: float | None = None
+    note: str = ""
+
+
+def _moved(current: float, baseline: float, rel_tolerance: float,
+           abs_floor: float) -> int:
+    """-1 improved, +1 regressed, 0 within the noise envelope."""
+    delta = current - baseline
+    if delta > baseline * rel_tolerance and delta > abs_floor:
+        return 1
+    if -delta > baseline * rel_tolerance and -delta > abs_floor:
+        return -1
+    return 0
+
+
+def _work_move(current_metrics: dict[str, float],
+               baseline_metrics: dict[str, float]) -> tuple[int, str]:
+    """Compare the deterministic work counters; (-1/0/+1, detail)."""
+    moves: list[str] = []
+    increased = decreased = False
+    for counter in WORK_COUNTERS:
+        base = baseline_metrics.get(counter)
+        cur = current_metrics.get(counter)
+        if base is None or cur is None:
+            continue
+        move = _moved(cur, base, WORK_REL_TOLERANCE, WORK_ABS_FLOOR)
+        if move:
+            moves.append(f"{counter} {base:g}->{cur:g}")
+            increased = increased or move > 0
+            decreased = decreased or move < 0
+    direction = 1 if increased else (-1 if decreased else 0)
+    return direction, ", ".join(moves)
+
+
+def compare_runs(current: dict[str, Any], baseline: dict[str, Any], *,
+                 rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+                 abs_floor: float = DEFAULT_ABS_FLOOR,
+                 time_gate: str = "auto") -> list[Verdict]:
+    """Noise-aware per-scenario verdicts for ``current`` vs ``baseline``.
+
+    Two signals per scenario, the deterministic one taking precedence:
+
+    * **work counters** (:data:`WORK_COUNTERS`) — seeded workloads make
+      probe/node/row counts exactly reproducible, so any movement past
+      the (tight) tolerance is a real behavioral change and decides the
+      verdict outright, and steady counters *veto* the wall-time gate
+      (under ``time_gate="auto"``): on a shared host the clock drifts
+      tens of percent on unchanged code, so a time-only verdict on a
+      counter-bearing scenario is noise, not signal;
+    * **wall time** — gates scenarios with no work counters on either
+      side (and every scenario under ``time_gate="always"``), and only
+      flips when the *median* and the *min-of-N* moved the same
+      direction past both the relative tolerance and the absolute
+      floor.  Medians alone flag scheduler noise; minima alone miss
+      distribution shifts.
+
+    ``time_gate="always"`` restores unconditional time gating for quiet
+    dedicated hardware where a constant-factor slowdown with unchanged
+    counters should still block.  Everything else is ``neutral``;
+    scenarios present on only one side report ``new``/``missing``.
+    """
+    if time_gate not in ("auto", "always"):
+        raise ReproError(f"time_gate must be 'auto' or 'always', "
+                         f"got {time_gate!r}")
+    if current["schema_version"] != baseline["schema_version"]:
+        raise ReproError(
+            f"cannot compare schema v{current['schema_version']} against "
+            f"baseline v{baseline['schema_version']}; re-record the "
+            f"baseline")
+    verdicts: list[Verdict] = []
+    base_scenarios = baseline["scenarios"]
+    for name, data in sorted(current["scenarios"].items()):
+        seconds = data["seconds"]
+        base = base_scenarios.get(name)
+        if base is None:
+            verdicts.append(Verdict(name, "new",
+                                    current_median=seconds["median"],
+                                    note="no baseline entry"))
+            continue
+        base_seconds = base["seconds"]
+        metrics = data.get("metrics", {})
+        base_metrics = base.get("metrics", {})
+        work_move, work_note = _work_move(metrics, base_metrics)
+        work_available = any(counter in metrics and counter in base_metrics
+                             for counter in WORK_COUNTERS)
+        median_move = _moved(seconds["median"], base_seconds["median"],
+                             rel_tolerance, abs_floor)
+        min_move = _moved(seconds["min"], base_seconds["min"],
+                          rel_tolerance, abs_floor)
+        if work_move != 0:
+            status = "regressed" if work_move > 0 else "improved"
+            note = f"work counters moved: {work_note}"
+        elif work_available and time_gate == "auto":
+            status = "neutral"
+            note = (f"work counters steady; wall time informational "
+                    f"(median {median_move:+d}, min {min_move:+d})")
+        elif median_move == min_move and median_move != 0:
+            status = "regressed" if median_move > 0 else "improved"
+            note = (f"wall time: median {median_move:+d}, min "
+                    f"{min_move:+d} at rel={rel_tolerance:g} "
+                    f"abs={abs_floor:g}s")
+        else:
+            status = "neutral"
+            work = "steady" if work_available else "absent"
+            note = (f"median {median_move:+d}, min {min_move:+d} at "
+                    f"rel={rel_tolerance:g} abs={abs_floor:g}s; work "
+                    f"counters {work}")
+        ratio = (seconds["median"] / base_seconds["median"]
+                 if base_seconds["median"] else None)
+        verdicts.append(Verdict(
+            name, status,
+            baseline_median=base_seconds["median"],
+            current_median=seconds["median"],
+            ratio=ratio,
+            note=note))
+    for name, base in sorted(base_scenarios.items()):
+        if name not in current["scenarios"]:
+            verdicts.append(Verdict(
+                name, "missing",
+                baseline_median=base["seconds"]["median"],
+                note="in baseline but not in this run"))
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run registered perf scenarios, write a BENCH_*.json "
+                    "artifact, and optionally gate against a baseline.")
+    parser.add_argument("--scenarios", default="smoke",
+                        help="comma-separated scenario names and/or tags "
+                             "(default: smoke; 'all' runs everything)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timed repeats per scenario (default: 5)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup runs per scenario "
+                             "(default: 1)")
+    parser.add_argument("--scale",
+                        default=os.environ.get("REPRO_BENCH_SCALE",
+                                               "small"),
+                        help="benchmark world scale (default: "
+                             "$REPRO_BENCH_SCALE or 'small')")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="artifact path (default: "
+                             "BENCH_<timestamp>.json in the current "
+                             "directory)")
+    parser.add_argument("--markdown-out", metavar="FILE",
+                        help="markdown report path (default: the "
+                             "--json-out path with a .md suffix)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="previous BENCH_*.json to compare against")
+    parser.add_argument("--rel-tolerance", type=float,
+                        default=DEFAULT_REL_TOLERANCE,
+                        help="relative movement below this is neutral "
+                             f"(default: {DEFAULT_REL_TOLERANCE})")
+    parser.add_argument("--abs-floor", type=float,
+                        default=DEFAULT_ABS_FLOOR,
+                        help="absolute movement (s) below this is "
+                             f"neutral (default: {DEFAULT_ABS_FLOOR})")
+    parser.add_argument("--time-gate", choices=("auto", "always"),
+                        default="auto",
+                        help="'auto' (default) gates wall time only for "
+                             "scenarios without work counters; 'always' "
+                             "gates every scenario on time too (quiet "
+                             "dedicated hardware)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help=f"exit {EXIT_REGRESSED} if any scenario "
+                             "regressed vs the baseline")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered scenarios and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro bench`` entry point; returns an exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            tags = ",".join(sorted(scenario.tags))
+            print(f"{name:<24} [{tags}]  {scenario.description}")
+        return 0
+    try:
+        artifact = run_scenarios(
+            args.scenarios, scale=args.scale, repeat=args.repeat,
+            warmup=args.warmup, progress=print)
+        verdicts = None
+        if args.baseline:
+            baseline = load_artifact(args.baseline)
+            verdicts = compare_runs(artifact, baseline,
+                                    rel_tolerance=args.rel_tolerance,
+                                    abs_floor=args.abs_floor,
+                                    time_gate=args.time_gate)
+            for verdict in verdicts:
+                print(f"{verdict.scenario}: {verdict.status} "
+                      f"({verdict.note})")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    json_out = Path(args.json_out) if args.json_out else Path(
+        f"BENCH_{time.strftime('%Y%m%dT%H%M%SZ', time.gmtime())}.json")
+    write_artifact(artifact, json_out)
+    print(f"# artifact written to {json_out}")
+    markdown_out = (Path(args.markdown_out) if args.markdown_out
+                    else json_out.with_suffix(".md"))
+    markdown_out.write_text(render_markdown(artifact, verdicts),
+                            encoding="utf-8")
+    print(f"# report written to {markdown_out}")
+    if verdicts is not None:
+        regressed = [v.scenario for v in verdicts
+                     if v.status == "regressed"]
+        if regressed:
+            print(f"# REGRESSED: {', '.join(regressed)}", file=sys.stderr)
+            if args.fail_on_regress:
+                return EXIT_REGRESSED
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

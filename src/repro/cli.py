@@ -9,7 +9,10 @@ Ties the library's pieces into shell-scriptable steps:
 * ``search``           — run an RDS or SDS query against a corpus;
 * ``extract``          — run the concept-extraction pipeline over text;
 * ``experiments``      — regenerate the paper's tables and figures
-  (delegates to :mod:`repro.bench.experiments`).
+  (delegates to :mod:`repro.bench.experiments`);
+* ``bench``            — run registered perf scenarios, write a
+  schema-versioned ``BENCH_*.json`` artifact, and gate against a
+  baseline (delegates to :mod:`repro.bench.perf`).
 
 A full round trip::
 
@@ -308,6 +311,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("rest", nargs=argparse.REMAINDER)
     experiments.set_defaults(handler=None)
 
+    bench = commands.add_parser(
+        "bench", help="run perf scenarios, write a BENCH_*.json artifact, "
+                      "and gate against a baseline",
+        add_help=False)
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+    bench.set_defaults(handler=None)
+
     return parser
 
 
@@ -318,6 +328,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Hand everything through verbatim (argparse's REMAINDER would
         # otherwise intercept option-like tokens such as --help).
         return experiments_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.perf import main as bench_main
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

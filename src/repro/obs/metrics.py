@@ -153,6 +153,42 @@ class Histogram:
         """Sum of all observed values."""
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Linear interpolation inside the bucket holding the target rank
+        (Prometheus ``histogram_quantile`` semantics, with 0 as the
+        lower edge of the first bucket).  Observations that landed in
+        the implicit ``+Inf`` bucket have no finite upper bound, so any
+        quantile falling there clamps to the highest finite bucket
+        bound rather than extrapolating.  Returns ``nan`` when nothing
+        has been observed.
+
+        >>> h = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        >>> for v in (0.5, 1.5, 3.0, 3.5): h.observe(v)
+        >>> h.quantile(0.5)
+        2.0
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return float("nan")
+        target = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, counts):
+            if cumulative + count >= target and count:
+                fraction = (target - cumulative) / count
+                return lower + (bound - lower) * fraction
+            cumulative += count
+            lower = bound
+        # Target rank sits in the +Inf bucket: clamp to the last finite
+        # bound (there is nothing to interpolate toward).
+        return self.buckets[-1]
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready view with *cumulative* bucket counts."""
         cumulative: list[dict[str, Any]] = []
@@ -252,12 +288,14 @@ class MetricsRegistry:
         for name, data in self.snapshot().items():
             flat = _prometheus_name(name)
             if data["help"]:
-                lines.append(f"# HELP {flat} {data['help']}")
+                lines.append(
+                    f"# HELP {flat} {_escape_help(data['help'])}")
             lines.append(f"# TYPE {flat} {data['type']}")
             if data["type"] == "histogram":
                 for bucket in data["buckets"]:
                     bound = bucket["le"]
                     le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    le = _escape_label_value(le)
                     lines.append(
                         f'{flat}_bucket{{le="{le}"}} {bucket["count"]}')
                 lines.append(f"{flat}_sum {_format_value(data['sum'])}")
@@ -301,6 +339,22 @@ def _prometheus_name(name: str) -> str:
     return "".join(
         ch if ch.isalnum() or ch == "_" else "_" for ch in name
     )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format (v0.0.4).
+
+    Backslash and line feed are the only characters the format escapes
+    in help text; a raw newline would otherwise split the comment into
+    a malformed next line.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value: backslash, double-quote, and line feed."""
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _format_value(value: float) -> str:

@@ -1,0 +1,315 @@
+"""Tests for the perf-regression runner (:mod:`repro.bench.perf`).
+
+Real scenarios run on a deliberately tiny world (structure, not absolute
+timings); the gating logic is exercised with a deterministic sleep
+scenario so the ``neutral`` / ``regressed`` verdicts don't depend on
+machine speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.bench import perf
+from repro.bench.experiments import SCALES, BenchScale, build_world
+from repro.bench.perf import (
+    EXIT_REGRESSED,
+    PreparedScenario,
+    Scenario,
+    compare_runs,
+    load_artifact,
+    register_scenario,
+    render_markdown,
+    run_scenarios,
+    select_scenarios,
+    write_artifact,
+)
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale():
+    """Register a scale small enough for unit tests and clean it up."""
+    SCALES["tiny"] = BenchScale("tiny", 400, 12, 12, 40, 6, 2, 4)
+    yield
+    del SCALES["tiny"]
+    build_world.cache_clear()
+
+
+@pytest.fixture()
+def sleepy():
+    """Install a deterministic scenario whose speed the test controls."""
+    def install(duration: float) -> None:
+        perf.unregister_scenario("sleepy")
+        perf.SCENARIOS["sleepy"] = Scenario(
+            "sleepy", "deterministic sleep", frozenset({"test-only"}),
+            lambda world: PreparedScenario(
+                run=lambda: time.sleep(duration)))
+    yield install
+    perf.unregister_scenario("sleepy")
+
+
+class TestRegistry:
+    def test_select_by_name(self):
+        (scenario,) = select_scenarios("knds_rds_radio")
+        assert scenario.name == "knds_rds_radio"
+
+    def test_select_by_tag_and_dedupe(self):
+        smoke = select_scenarios("smoke,knds_rds_radio")
+        names = [scenario.name for scenario in smoke]
+        assert "knds_rds_radio" in names
+        assert len(names) == len(set(names))
+        assert all("smoke" in s.tags or s.name == "knds_rds_radio"
+                   for s in smoke)
+
+    def test_select_all(self):
+        assert {s.name for s in select_scenarios("all")} == set(
+            perf.SCENARIOS)
+
+    def test_unknown_token_raises_with_listing(self):
+        with pytest.raises(ReproError, match="nonsense"):
+            select_scenarios("nonsense")
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(ReproError, match="no scenarios"):
+            select_scenarios(",")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("knds_rds_radio", "dup")(lambda world: None)
+
+
+class TestRunner:
+    def test_artifact_schema(self):
+        artifact = run_scenarios("knds_rds_radio", scale="tiny",
+                                 repeat=2, warmup=0)
+        assert artifact["schema_version"] == perf.SCHEMA_VERSION
+        assert artifact["run"]["scale"] == "tiny"
+        assert artifact["run"]["repeat"] == 2
+        data = artifact["scenarios"]["knds_rds_radio"]
+        seconds = data["seconds"]
+        assert len(seconds["samples"]) == 2
+        assert 0 < seconds["min"] <= seconds["median"] <= seconds["max"]
+        assert seconds["p50"] <= seconds["p95"] <= seconds["p99"]
+        assert data["peak_memory_bytes"] > 0
+        assert data["metrics"]["drc.probes"] >= 0
+        assert data["metrics"]["knds.nodes_visited"] > 0
+
+    def test_engine_scenario_records_latency_quantiles(self):
+        artifact = run_scenarios("engine_rds_radio", scale="tiny",
+                                 repeat=1, warmup=0)
+        quantiles = (artifact["scenarios"]["engine_rds_radio"]
+                     ["latency_quantiles"])
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert 0 < quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+
+    def test_overhead_scenarios_replace_standalone_benchmark(self):
+        artifact = run_scenarios("overhead", scale="tiny", repeat=1,
+                                 warmup=0)
+        names = set(artifact["scenarios"])
+        assert names == {"obs_overhead_disabled", "obs_overhead_metrics",
+                         "obs_overhead_full"}
+        # The runner's metrics pass overrides the scenario bundle, so
+        # even the overhead scenarios carry deterministic work counters.
+        for data in artifact["scenarios"].values():
+            assert data["metrics"]["drc.probes"] > 0
+        report = render_markdown(artifact)
+        assert "Instrumentation overhead" in report
+
+    def test_artifact_roundtrip(self, tmp_path, sleepy):
+        sleepy(0.001)
+        artifact = run_scenarios("sleepy", scale="tiny", repeat=2,
+                                 warmup=0)
+        path = write_artifact(artifact, tmp_path / "BENCH_t.json")
+        assert load_artifact(path) == json.loads(
+            path.read_text(encoding="utf-8"))
+
+    def test_load_artifact_rejects_garbage(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_artifact(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReproError, match="invalid"):
+            load_artifact(bad)
+        not_bench = tmp_path / "other.json"
+        not_bench.write_text("{}", encoding="utf-8")
+        with pytest.raises(ReproError, match="schema_version"):
+            load_artifact(not_bench)
+
+
+def _fake_artifact(**medians: float) -> dict:
+    """A minimal artifact: one scenario per kwarg, min == median."""
+    return {
+        "schema_version": perf.SCHEMA_VERSION,
+        "run": {"timestamp": "t", "scale": "tiny", "repeat": 1,
+                "warmup": 0, "scenarios": "x", "python": "3",
+                "platform": "test"},
+        "scenarios": {
+            name: {"seconds": {"samples": [value], "min": value,
+                               "median": value, "mean": value,
+                               "max": value, "p50": value, "p95": value,
+                               "p99": value},
+                   "peak_memory_bytes": 1, "instrumented_seconds": value,
+                   "metrics": {}, "latency_quantiles": {}}
+            for name, value in medians.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_runs_are_neutral(self):
+        artifact = _fake_artifact(a=0.1, b=0.002)
+        verdicts = compare_runs(artifact, artifact)
+        assert {v.status for v in verdicts} == {"neutral"}
+
+    def test_regression_needs_both_thresholds(self):
+        # +50% but only +0.5ms absolute: under the floor, stays neutral.
+        small = compare_runs(_fake_artifact(a=0.0015),
+                             _fake_artifact(a=0.001))
+        assert small[0].status == "neutral"
+        # +50% and +50ms: clearly regressed.
+        big = compare_runs(_fake_artifact(a=0.15), _fake_artifact(a=0.1))
+        assert big[0].status == "regressed"
+        assert big[0].ratio == pytest.approx(1.5)
+
+    def test_improvement_is_symmetric(self):
+        verdicts = compare_runs(_fake_artifact(a=0.1),
+                                _fake_artifact(a=0.2))
+        assert verdicts[0].status == "improved"
+
+    def test_min_of_n_vetoes_noisy_median(self):
+        # Median doubled but the best sample held: scheduler noise.
+        current = _fake_artifact(a=0.2)
+        current["scenarios"]["a"]["seconds"]["min"] = 0.1
+        verdicts = compare_runs(current, _fake_artifact(a=0.1))
+        assert verdicts[0].status == "neutral"
+
+    def test_work_counter_increase_regresses_despite_steady_time(self):
+        current = _fake_artifact(a=0.1)
+        baseline = _fake_artifact(a=0.1)
+        baseline["scenarios"]["a"]["metrics"] = {"drc.probes": 100.0}
+        current["scenarios"]["a"]["metrics"] = {"drc.probes": 150.0}
+        (verdict,) = compare_runs(current, baseline)
+        assert verdict.status == "regressed"
+        assert "drc.probes 100->150" in verdict.note
+
+    def test_work_counter_decrease_is_an_improvement(self):
+        current = _fake_artifact(a=0.1)
+        baseline = _fake_artifact(a=0.1)
+        baseline["scenarios"]["a"]["metrics"] = {
+            "knds.nodes_visited": 1000.0}
+        current["scenarios"]["a"]["metrics"] = {
+            "knds.nodes_visited": 500.0}
+        (verdict,) = compare_runs(current, baseline)
+        assert verdict.status == "improved"
+
+    def test_steady_work_counters_veto_time_gate(self):
+        # Wall time doubled but the deterministic work is identical:
+        # host noise on a counter-bearing scenario stays neutral.
+        current = _fake_artifact(a=0.2)
+        baseline = _fake_artifact(a=0.1)
+        for artifact in (current, baseline):
+            artifact["scenarios"]["a"]["metrics"] = {"drc.probes": 100.0}
+        (verdict,) = compare_runs(current, baseline)
+        assert verdict.status == "neutral"
+        assert "wall time informational" in verdict.note
+        # --time-gate always restores unconditional time gating.
+        (verdict,) = compare_runs(current, baseline, time_gate="always")
+        assert verdict.status == "regressed"
+        with pytest.raises(ReproError, match="time_gate"):
+            compare_runs(current, baseline, time_gate="sometimes")
+
+    def test_work_counters_trump_noisy_time(self):
+        # Wall time doubled (host noise) but the deterministic work
+        # shrank: the work signal takes precedence over the time gate.
+        current = _fake_artifact(a=0.2)
+        baseline = _fake_artifact(a=0.1)
+        baseline["scenarios"]["a"]["metrics"] = {"drc.probes": 100.0}
+        current["scenarios"]["a"]["metrics"] = {"drc.probes": 50.0}
+        (verdict,) = compare_runs(current, baseline)
+        assert verdict.status == "improved"
+
+    def test_small_counter_jitter_stays_neutral(self):
+        current = _fake_artifact(a=0.1)
+        baseline = _fake_artifact(a=0.1)
+        baseline["scenarios"]["a"]["metrics"] = {"drc.probes": 4.0}
+        current["scenarios"]["a"]["metrics"] = {"drc.probes": 5.0}
+        # +25% relative but only +1 probe: under the absolute floor.
+        (verdict,) = compare_runs(current, baseline)
+        assert verdict.status == "neutral"
+
+    def test_new_and_missing_scenarios(self):
+        verdicts = compare_runs(_fake_artifact(a=0.1, b=0.1),
+                                _fake_artifact(a=0.1, c=0.1))
+        statuses = {v.scenario: v.status for v in verdicts}
+        assert statuses == {"a": "neutral", "b": "new", "c": "missing"}
+
+    def test_schema_version_mismatch_raises(self):
+        baseline = _fake_artifact(a=0.1)
+        baseline["schema_version"] = perf.SCHEMA_VERSION + 1
+        with pytest.raises(ReproError, match="schema"):
+            compare_runs(_fake_artifact(a=0.1), baseline)
+
+
+class TestMainGating:
+    """End-to-end: the acceptance-criteria flows through ``perf.main``."""
+
+    def _run(self, tmp_path, name: str, *extra: str) -> tuple[int, dict]:
+        out = tmp_path / name
+        code = perf.main(["--scenarios", "sleepy", "--scale", "tiny",
+                          "--repeat", "3", "--warmup", "0",
+                          "--json-out", str(out), *extra])
+        return code, (json.loads(out.read_text(encoding="utf-8"))
+                      if out.exists() else {})
+
+    def test_unchanged_tree_is_neutral(self, tmp_path, sleepy, capsys):
+        sleepy(0.003)
+        code, _ = self._run(tmp_path, "base.json")
+        assert code == 0
+        code, _ = self._run(tmp_path, "again.json", "--baseline",
+                            str(tmp_path / "base.json"),
+                            "--fail-on-regress")
+        assert code == 0
+        assert "sleepy: neutral" in capsys.readouterr().out
+
+    def test_injected_slowdown_regresses_with_nonzero_exit(
+            self, tmp_path, sleepy, capsys):
+        sleepy(0.003)
+        code, _ = self._run(tmp_path, "base.json")
+        assert code == 0
+        sleepy(0.03)  # the artificial regression
+        code, artifact = self._run(tmp_path, "slow.json", "--baseline",
+                                   str(tmp_path / "base.json"),
+                                   "--fail-on-regress")
+        assert code == EXIT_REGRESSED
+        assert artifact["scenarios"]["sleepy"]["seconds"]["median"] > 0.02
+        captured = capsys.readouterr()
+        assert "sleepy: regressed" in captured.out
+        assert "REGRESSED" in captured.err
+        report = (tmp_path / "slow.md").read_text(encoding="utf-8")
+        assert "**regressed**" in report
+
+    def test_without_fail_flag_regression_is_nonblocking(
+            self, tmp_path, sleepy):
+        sleepy(0.003)
+        assert self._run(tmp_path, "base.json")[0] == 0
+        sleepy(0.03)
+        code, _ = self._run(tmp_path, "slow.json", "--baseline",
+                            str(tmp_path / "base.json"))
+        assert code == 0
+
+    def test_list_prints_registry(self, capsys):
+        assert perf.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "knds_rds_radio" in out
+        assert "obs_overhead_full" in out
+
+    def test_unknown_scenario_is_an_error(self, tmp_path, capsys):
+        code = perf.main(["--scenarios", "no_such_scenario",
+                          "--scale", "tiny",
+                          "--json-out", str(tmp_path / "x.json")])
+        assert code == 1
+        assert "unknown scenario" in capsys.readouterr().err

@@ -150,3 +150,34 @@ class TestExtractSections:
         # The concept still counts (positively) via the ASSESSMENT
         # mention despite the excluded FAMILY HISTORY one.
         assert concept in output.splitlines()[-1]
+
+
+class TestBench:
+    def test_bench_list_delegates_to_perf_runner(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "knds_rds_radio" in output
+        assert "obs_overhead_full" in output
+
+    def test_bench_writes_schema_versioned_artifact(self, tmp_path,
+                                                    capsys):
+        import json
+
+        from repro.bench.experiments import SCALES, BenchScale, build_world
+        from repro.bench.perf import SCHEMA_VERSION
+
+        SCALES["tiny"] = BenchScale("tiny", 400, 12, 12, 40, 6, 2, 4)
+        out = tmp_path / "BENCH_cli.json"
+        try:
+            code = main(["bench", "--scenarios", "drc_pairs",
+                         "--scale", "tiny", "--repeat", "2",
+                         "--warmup", "0", "--json-out", str(out)])
+        finally:
+            del SCALES["tiny"]
+            build_world.cache_clear()
+        assert code == 0
+        artifact = json.loads(out.read_text(encoding="utf-8"))
+        assert artifact["schema_version"] == SCHEMA_VERSION
+        assert "drc_pairs" in artifact["scenarios"]
+        assert out.with_suffix(".md").exists()
+        assert "artifact written" in capsys.readouterr().out

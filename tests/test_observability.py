@@ -22,8 +22,8 @@ from repro.obs import Observability
 from repro.obs.events import (EVENT_TYPES, EventLog, EventStream,
                               ExpandedEvent, RoundEvent, SNAPSHOT_SCHEMA,
                               TerminatedEvent)
-from repro.obs.metrics import (MetricsRegistry, QUERY_TELEMETRY_FIELDS,
-                               QueryTelemetry)
+from repro.obs.metrics import (Histogram, MetricsRegistry,
+                               QUERY_TELEMETRY_FIELDS, QueryTelemetry)
 from repro.obs.tracing import NULL_TRACER, Tracer
 
 
@@ -93,6 +93,39 @@ class TestTracer:
         assert event["name"] == "a"
         assert event["dur"] >= 0
 
+    def test_export_chrome_roundtrip_nesting_and_monotonicity(
+            self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        target = tmp_path / "trace.json"
+        assert tracer.export_chrome(target) == 3
+        payload = json.loads(target.read_text())
+        events = {event["name"]: event for event in payload["traceEvents"]}
+        assert len(events) == 3
+        for event in events.values():
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        # Children sit inside the parent's [ts, ts + dur] window...
+        outer = events["outer"]
+        for child in ("first", "second"):
+            assert events[child]["ts"] >= outer["ts"]
+            assert (events[child]["ts"] + events[child]["dur"]
+                    <= outer["ts"] + outer["dur"])
+        # ...and sibling start times are monotone in creation order.
+        assert events["first"]["ts"] <= events["second"]["ts"]
+
+    def test_export_chrome_empty_trace(self, tmp_path):
+        tracer = Tracer()
+        target = tmp_path / "empty.json"
+        assert tracer.export_chrome(target) == 0
+        payload = json.loads(target.read_text())
+        assert payload["traceEvents"] == []
+        assert payload["displayTimeUnit"] == "ms"
+
     def test_null_tracer_collects_nothing(self):
         with NULL_TRACER.span("anything", k=1) as span:
             span.set_attribute("x", 1)
@@ -133,6 +166,45 @@ class TestMetrics:
         assert 'query_latency_seconds_bucket{le="0.1"} 1' in text
         assert 'query_latency_seconds_bucket{le="+Inf"} 1' in text
         assert "query_latency_seconds_count 1" in text
+
+    def test_prometheus_escapes_help_and_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("x", help="path C:\\temp\nsecond line").inc()
+        text = registry.to_prometheus()
+        (help_line,) = [line for line in text.splitlines()
+                        if line.startswith("# HELP x ")]
+        assert help_line == "# HELP x path C:\\\\temp\\nsecond line"
+        # The raw newline must not have split the HELP comment: every
+        # physical line is a comment or a sample, never a continuation.
+        assert all(line.startswith("#") or line.startswith("x ")
+                   for line in text.splitlines())
+
+    def test_histogram_quantile_interpolates(self):
+        histogram = Histogram("t", buckets=(10.0, 20.0, 30.0))
+        for value in (5, 15, 15, 25):
+            histogram.observe(value)
+        # target rank 2 falls at the top of the (10, 20] bucket
+        assert histogram.quantile(0.5) == pytest.approx(15.0)
+        assert (histogram.quantile(0.25)
+                <= histogram.quantile(0.5)
+                <= histogram.quantile(0.95)
+                <= histogram.quantile(0.99))
+
+    def test_histogram_quantile_inf_bucket_clamps(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0))
+        histogram.observe(100.0)  # lands in +Inf
+        # No finite upper bound to interpolate toward: clamp to 2.0.
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 2.0
+
+    def test_histogram_quantile_edge_cases(self):
+        import math
+        histogram = Histogram("t", buckets=(1.0, 2.0))
+        assert math.isnan(histogram.quantile(0.5))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        histogram.observe(0.5)
+        assert 0.0 <= histogram.quantile(0.5) <= 1.0
 
     def test_write_infers_format_from_suffix(self, tmp_path):
         registry = MetricsRegistry()
