@@ -4,13 +4,27 @@
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench perf perf-gate experiments verify examples clean
+.PHONY: install test lint typecheck bench perf perf-gate experiments \
+	verify examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	python -m pytest -x -q
+
+# Domain-aware static analysis (rule catalogue: docs/STATIC_ANALYSIS.md).
+lint:
+	python -m repro lint src
+
+# Strict typing gate. mypy is a CI-only dependency (the runtime has no
+# third-party deps); skip gracefully when it is not installed locally.
+typecheck:
+	@if python -c "import mypy" 2>/dev/null; then \
+		python -m mypy --strict src/repro; \
+	else \
+		echo "mypy not installed; skipping (CI runs it)"; \
+	fi
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,41 @@
+"""Domain-aware static analysis for the :mod:`repro` codebase.
+
+The library encodes invariants the paper's correctness depends on —
+Dewey addresses are immutable tuples ordered lexicographically
+(Section 3.1), distances are compared against :data:`repro.types.INFINITY`
+sentinels during DRC tuning (Section 4.3), benchmark scenarios must be
+deterministic — yet generic linters cannot see any of that.  This
+package is an AST-based checker framework with a registry of
+repro-specific rules and a ``repro lint`` CLI subcommand.
+
+Public surface:
+
+* :class:`~repro.analysis.findings.Finding` — one diagnostic;
+* :func:`~repro.analysis.engine.lint_paths` — run the registered
+  checkers over files or directories;
+* :func:`~repro.analysis.registry.all_checkers` — the rule catalogue;
+* :func:`~repro.analysis.cli.main` — the ``repro lint`` entry point.
+
+Findings can be silenced line by line with a narrow suppression
+comment::
+
+    risky_line()  # repro: ignore[RPR005]
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cli import main
+from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_checkers, rule_ids
+
+__all__ = [
+    "Finding",
+    "all_checkers",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "rule_ids",
+]

@@ -1,0 +1,40 @@
+"""Rule implementations; importing this package registers every checker.
+
+Rule catalogue (see ``docs/STATIC_ANALYSIS.md`` for rationale):
+
+========  =====================  ==============================================
+Rule      Name                   Checks
+========  =====================  ==============================================
+RPR001    dewey-immutable        Dewey addresses stay immutable tuples
+RPR002    float-distance-eq      no ``==``/``!=`` on distances off-sentinel
+RPR003    exception-taxonomy     only ``repro.exceptions`` raised; no bare
+                                 ``except:``
+RPR004    determinism            no unseeded RNG / wall-clock in core paths
+RPR005    no-assert              no control-flow ``assert`` in library code
+RPR006    obs-naming             metric/span names follow the dotted style
+RPR007    mutable-default        no mutable default argument values
+RPR008    all-consistency        ``__all__`` entries resolve to module names
+========  =====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.allexports import AllConsistencyChecker
+from repro.analysis.checkers.asserts import NoAssertChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.dewey import DeweyImmutableChecker
+from repro.analysis.checkers.exceptions import ExceptionTaxonomyChecker
+from repro.analysis.checkers.floatcmp import FloatDistanceEqChecker
+from repro.analysis.checkers.mutabledefaults import MutableDefaultChecker
+from repro.analysis.checkers.obsnames import ObsNamingChecker
+
+__all__ = [
+    "AllConsistencyChecker",
+    "DeterminismChecker",
+    "DeweyImmutableChecker",
+    "ExceptionTaxonomyChecker",
+    "FloatDistanceEqChecker",
+    "MutableDefaultChecker",
+    "NoAssertChecker",
+    "ObsNamingChecker",
+]

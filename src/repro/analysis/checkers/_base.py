@@ -1,0 +1,75 @@
+"""Shared helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+
+class BaseChecker:
+    """Common plumbing: subclasses set ``rule``/``name``/``description``
+    and implement ``check``."""
+
+    rule = "RPR000"
+    name = "base"
+    description = "abstract base checker"
+
+    def finding(self, context: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        """A finding anchored at ``node``'s location."""
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+        )
+
+
+def call_name(node: ast.expr) -> str | None:
+    """Dotted name of a call target (``a.b.c`` -> ``"a.b.c"``), else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_infinity_sentinel(node: ast.expr) -> bool:
+    """True for the distance sentinels: ``INFINITY``, ``math.inf``,
+    ``float("inf")`` / ``float("-inf")``, or a ``*.INFINITY`` attribute."""
+    if isinstance(node, ast.Name) and node.id == "INFINITY":
+        return True
+    if isinstance(node, ast.Attribute):
+        if node.attr == "INFINITY":
+            return True
+        if node.attr == "inf" and isinstance(node.value, ast.Name) \
+                and node.value.id == "math":
+            return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "float" and len(node.args) == 1:
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value.lower().lstrip("+-") == "inf"
+    return False
+
+
+def annotation_is(annotation: ast.expr | None, type_name: str) -> bool:
+    """True when an annotation names ``type_name`` directly (``DeweyAddress``
+    or ``types.DeweyAddress``), including the string-literal form."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == type_name
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == type_name
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        return annotation.value.split(".")[-1].strip() == type_name
+    return False

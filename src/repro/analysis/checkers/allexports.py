@@ -1,0 +1,122 @@
+"""RPR008 — ``__all__`` stays consistent with the module's bindings.
+
+Every package re-exports its public surface through ``__all__``; a
+stale entry makes ``from repro.x import *`` raise at import time and
+breaks the API-surface tests only when the specific symbol is touched.
+The checker verifies each ``__all__`` entry is a string bound at module
+level (def/class/import/assignment) and flags duplicates.
+
+``from x import *`` makes the binding set unknowable statically, so
+modules containing a star import are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+
+def _bound_names(module: ast.Module) -> tuple[set[str], bool]:
+    """All names bound at module level, plus a star-import flag.
+
+    Descends into ``if``/``try``/``for``/``while``/``with`` blocks
+    (conditional definitions still bind at module level) but not into
+    function or class bodies.
+    """
+    names: set[str] = set()
+    has_star = False
+    stack: list[ast.stmt] = list(module.body)
+    while stack:
+        statement = stack.pop()
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            names.add(statement.name)
+            continue  # do not descend into the body
+        if isinstance(statement, ast.Import):
+            for alias in statement.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(statement, ast.ImportFrom):
+            for alias in statement.names:
+                if alias.name == "*":
+                    has_star = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                                    ast.For, ast.AsyncFor)):
+            targets: list[ast.expr]
+            if isinstance(statement, ast.Assign):
+                targets = list(statement.targets)
+            elif isinstance(statement, (ast.For, ast.AsyncFor)):
+                targets = [statement.target]
+            else:
+                targets = [statement.target]
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        for field in ("body", "orelse", "finalbody", "handlers"):
+            children = getattr(statement, field, None)
+            if children:
+                for child in children:
+                    if isinstance(child, ast.ExceptHandler):
+                        stack.extend(child.body)
+                    elif isinstance(child, ast.stmt):
+                        stack.append(child)
+    return names, has_star
+
+
+def _all_assignment(module: ast.Module) -> ast.Assign | ast.AnnAssign | None:
+    for statement in module.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return statement
+        elif isinstance(statement, ast.AnnAssign) \
+                and isinstance(statement.target, ast.Name) \
+                and statement.target.id == "__all__":
+            return statement
+    return None
+
+
+@register
+class AllConsistencyChecker(BaseChecker):
+    rule = "RPR008"
+    name = "all-consistency"
+    description = ("every __all__ entry is a string bound at module level; "
+                   "no duplicates")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for stale or duplicate __all__ entries."""
+        assignment = _all_assignment(context.tree)
+        if assignment is None or assignment.value is None:
+            return
+        value = assignment.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # computed __all__ — not statically checkable
+        bound, has_star = _bound_names(context.tree)
+        if has_star:
+            return
+        seen: set[str] = set()
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                yield self.finding(
+                    context, element,
+                    "__all__ entries must be string literals")
+                continue
+            name = element.value
+            if name in seen:
+                yield self.finding(
+                    context, element,
+                    f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+            if name not in bound:
+                yield self.finding(
+                    context, element,
+                    f"__all__ exports {name!r} but the module never binds "
+                    "it")

@@ -1,0 +1,40 @@
+"""RPR005 — no ``assert`` for control flow in library code.
+
+``python -O`` strips assert statements, so an invariant guarded only by
+``assert`` silently stops being checked in optimized deployments — and
+several of this library's invariants (single shared root, D-Radix LCP
+structure) are load-bearing for result correctness.  Library code must
+raise a typed error from :mod:`repro.exceptions` instead (for internal
+invariants, :class:`repro.exceptions.InvariantError`).
+
+The rule applies to everything ``repro lint`` scans; test suites are
+simply not passed to the linter (pytest asserts are idiomatic there).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+
+@register
+class NoAssertChecker(BaseChecker):
+    rule = "RPR005"
+    name = "no-assert"
+    description = ("no `assert` in library code (stripped under -O); "
+                   "raise InvariantError or a typed ReproError")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding for every `assert` statement."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    context, node,
+                    "`assert` vanishes under python -O; raise "
+                    "repro.exceptions.InvariantError (internal invariant) "
+                    "or a typed ReproError (input validation)")

@@ -1,0 +1,130 @@
+"""RPR004 — determinism in the paper-critical and benchmark paths.
+
+Reproduced figures and the perf-gate (PR 2) both assume that running
+the same scenario twice does the same work: corpora and ontologies are
+generated from seeded ``random.Random`` instances, and the bench
+runner's noise gating keys on deterministic work counters.  One call to
+the *module-level* ``random.*`` functions (the shared unseeded global
+RNG) or to wall-clock time in ``core/``, ``ontology/``, or ``bench/``
+breaks that silently.
+
+* ``random.random()``/``choice``/``shuffle``/... — forbidden; construct
+  a ``random.Random(seed)`` instance instead.
+* ``time.time()``, ``datetime.now()``, ``date.today()``, ``utcnow()`` —
+  forbidden in scoped packages (wall-clock belongs to ``obs``).
+* ``time.perf_counter()`` — allowed only where the reading feeds
+  telemetry: the enclosing function must reference a telemetry sink
+  (``tracer``/``telemetry``/``obs``/``span``/``record*``/``observer``).
+  Checked in ``core/`` and ``ontology/`` (the bench runner's whole job
+  is timing, so ``bench/`` is exempt from this sub-rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker, call_name
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "seed",
+})
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "datetime.now", "datetime.datetime.now",
+    "datetime.utcnow", "datetime.datetime.utcnow", "date.today",
+    "datetime.date.today", "datetime.today",
+})
+
+_TELEMETRY_MARKERS = frozenset({
+    "tracer", "telemetry", "obs", "observer", "observability", "span",
+    "record", "record_io", "record_probe", "record_query", "observe_query",
+})
+
+_SCOPED_PACKAGES = ("core", "ontology", "bench")
+_PERF_COUNTER_PACKAGES = ("core", "ontology")
+
+
+def _references_telemetry(function: ast.AST) -> bool:
+    # Private-attribute spellings (``self._obs``, ``self._span``) count:
+    # leading underscores are stripped before matching.
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) \
+                and node.id.lstrip("_") in _TELEMETRY_MARKERS:
+            return True
+        if isinstance(node, ast.Attribute) \
+                and node.attr.lstrip("_") in _TELEMETRY_MARKERS:
+            return True
+    return False
+
+
+@register
+class DeterminismChecker(BaseChecker):
+    rule = "RPR004"
+    name = "determinism"
+    description = ("no unseeded random.* or wall-clock calls in core/, "
+                   "ontology/, or bench/; perf_counter only feeding "
+                   "telemetry")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for nondeterminism in scoped packages."""
+        if not context.in_package(*_SCOPED_PACKAGES):
+            return
+        check_perf_counter = context.in_package(*_PERF_COUNTER_PACKAGES)
+        telemetry_ok = {
+            function: _references_telemetry(function)
+            for function in context.functions()
+        }
+        yield from self._walk(context.tree, context,
+                              check_perf_counter=check_perf_counter,
+                              telemetry_ok=telemetry_ok,
+                              enclosing_allows_timing=False)
+
+    def _walk(self, node: ast.AST, context: ModuleContext, *,
+              check_perf_counter: bool,
+              telemetry_ok: dict[ast.FunctionDef | ast.AsyncFunctionDef, bool],
+              enclosing_allows_timing: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            enclosing_allows_timing = telemetry_ok.get(node, False)
+        if isinstance(node, ast.Call):
+            yield from self._check_call(
+                node, context,
+                check_perf_counter=check_perf_counter,
+                enclosing_allows_timing=enclosing_allows_timing)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(
+                child, context,
+                check_perf_counter=check_perf_counter,
+                telemetry_ok=telemetry_ok,
+                enclosing_allows_timing=enclosing_allows_timing)
+
+    def _check_call(self, node: ast.Call, context: ModuleContext, *,
+                    check_perf_counter: bool,
+                    enclosing_allows_timing: bool) -> Iterator[Finding]:
+        name = call_name(node.func)
+        if name is None:
+            return
+        if name.startswith("random.") \
+                and name.split(".", 1)[1] in _GLOBAL_RNG_FUNCS:
+            yield self.finding(
+                context, node,
+                f"call to the unseeded global RNG ({name}); use a seeded "
+                "random.Random(seed) instance")
+        elif name in _WALL_CLOCK_CALLS:
+            yield self.finding(
+                context, node,
+                f"wall-clock call {name}() in a deterministic path; "
+                "wall time belongs to the obs layer")
+        elif check_perf_counter \
+                and name in ("time.perf_counter", "time.perf_counter_ns") \
+                and not enclosing_allows_timing:
+            yield self.finding(
+                context, node,
+                "perf_counter outside a telemetry context; timing "
+                "readings must feed a tracer span or QueryTelemetry")

@@ -1,0 +1,104 @@
+"""RPR001 — Dewey addresses are immutable tuples (Section 3.1).
+
+The whole D-Radix construction keys on Dewey addresses being hashable,
+lexicographically comparable tuples: they are dict keys in the index,
+sorted-merge inputs in DRC, and prefix-composed in the address closure.
+A ``list``-typed address breaks hashing at runtime and ordering
+guarantees silently.  The checker tracks names annotated as
+``DeweyAddress`` and flags:
+
+* binding a list value to a ``DeweyAddress``-annotated name;
+* in-place mutation calls (``append``, ``sort``, ...) on a tracked name;
+* subscript assignment / deletion on a tracked name;
+* augmented assignment on a tracked name.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker, annotation_is
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "__setitem__",
+})
+
+_LIST_FACTORIES = frozenset({"list", "bytearray"})
+
+
+def _is_list_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _LIST_FACTORIES)
+
+
+class _FunctionScan:
+    """Names annotated as DeweyAddress inside one function (plus module
+    level, which uses the same walk with the module node)."""
+
+    def __init__(self, root: ast.AST) -> None:
+        self.tracked: set[str] = set()
+        for node in ast.walk(root):
+            if isinstance(node, ast.AnnAssign) \
+                    and annotation_is(node.annotation, "DeweyAddress") \
+                    and isinstance(node.target, ast.Name):
+                self.tracked.add(node.target.id)
+            elif isinstance(node, ast.arg) \
+                    and annotation_is(node.annotation, "DeweyAddress"):
+                self.tracked.add(node.arg)
+
+
+@register
+class DeweyImmutableChecker(BaseChecker):
+    rule = "RPR001"
+    name = "dewey-immutable"
+    description = ("DeweyAddress values must stay immutable tuples — no "
+                   "list typing or in-place mutation")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for list-typed or mutated Dewey addresses."""
+        scan = _FunctionScan(context.tree)
+        tracked = scan.tracked
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AnnAssign) \
+                    and annotation_is(node.annotation, "DeweyAddress") \
+                    and node.value is not None and _is_list_value(node.value):
+                yield self.finding(
+                    context, node,
+                    "DeweyAddress bound to a list value; addresses are "
+                    "immutable tuples (repro.types.DeweyAddress)")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATORS \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in tracked:
+                yield self.finding(
+                    context, node,
+                    f"in-place mutation '{node.func.attr}' of Dewey "
+                    f"address {node.func.value.id!r}; build a new tuple "
+                    "instead")
+            elif isinstance(node, (ast.Assign, ast.Delete)):
+                targets = node.targets
+                for target in targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id in tracked:
+                        yield self.finding(
+                            context, target,
+                            f"item assignment on Dewey address "
+                            f"{target.value.id!r}; addresses are immutable "
+                            "tuples")
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.target, ast.Name) \
+                    and node.target.id in tracked \
+                    and _is_list_value(node.value):
+                yield self.finding(
+                    context, node,
+                    f"augmented assignment of a list into Dewey address "
+                    f"{node.target.id!r}")

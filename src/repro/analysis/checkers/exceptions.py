@@ -1,0 +1,55 @@
+"""RPR003 — library code raises only the ``repro.exceptions`` taxonomy.
+
+Callers are promised a single catchable base (:class:`repro.exceptions.
+ReproError`); a raw ``raise Exception(...)`` escapes that contract, and
+a bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and
+hides taxonomy errors.  Builtin *programming-error* types (``TypeError``
+on bad argument types, ``ValueError`` on bad scalar parameters,
+``NotImplementedError`` on abstract methods) remain allowed — the
+taxonomy covers *domain* failures, not API misuse.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker, call_name
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_FORBIDDEN_RAISES = frozenset({"Exception", "BaseException"})
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if exc is None:
+        return None  # re-raise of the active exception is fine
+    if isinstance(exc, ast.Call):
+        return call_name(exc.func)
+    return call_name(exc)
+
+
+@register
+class ExceptionTaxonomyChecker(BaseChecker):
+    rule = "RPR003"
+    name = "exception-taxonomy"
+    description = ("no `raise Exception`/`raise BaseException` and no bare "
+                   "`except:` — use the repro.exceptions taxonomy")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for generic raises and bare excepts."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name is not None and name in _FORBIDDEN_RAISES:
+                    yield self.finding(
+                        context, node,
+                        f"raise of generic {name}; raise a typed error "
+                        "from repro.exceptions instead")
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    context, node,
+                    "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                    "catch ReproError (or a narrower type)")

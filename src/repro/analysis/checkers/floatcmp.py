@@ -1,0 +1,73 @@
+"""RPR002 — no ``==``/``!=`` on float distances outside sentinel checks.
+
+Distances in this library are sums of path lengths *divided* through
+weighting and DRC tuning (Section 4.3), so they are floats subject to
+representation error; the only exact comparisons the algorithms rely on
+are against the :data:`repro.types.INFINITY` sentinel (and the exact
+zero a self-distance produces).  Any other ``==``/``!=`` on a
+distance-like value is a correctness smell — use ``<=`` bounds or
+``math.isclose``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker, is_infinity_sentinel
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_DISTANCE_MARKERS = ("distance", "dist")
+
+
+def _distance_name(node: ast.expr) -> str | None:
+    """The distance-ish identifier a comparand refers to, if any."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Call):
+        return _distance_name(node.func)
+    else:
+        return None
+    lowered = name.lower()
+    if any(marker in lowered for marker in _DISTANCE_MARKERS):
+        return name
+    return None
+
+
+def _is_exact_zero(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value == 0
+
+
+@register
+class FloatDistanceEqChecker(BaseChecker):
+    rule = "RPR002"
+    name = "float-distance-eq"
+    description = ("no ==/!= on float distances except against the "
+                   "INFINITY sentinel (or exact 0.0)")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for exact equality on distance values."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, comparands, comparands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                name = _distance_name(left) or _distance_name(right)
+                if name is None:
+                    continue
+                if is_infinity_sentinel(left) or is_infinity_sentinel(right):
+                    continue
+                if _is_exact_zero(left) or _is_exact_zero(right):
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    context, node,
+                    f"exact {symbol} on float distance {name!r}; compare "
+                    "against the INFINITY sentinel, use bounds, or "
+                    "math.isclose")

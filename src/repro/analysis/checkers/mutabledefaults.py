@@ -1,0 +1,54 @@
+"""RPR007 — no mutable default argument values.
+
+A ``def f(cache={})`` default is created once at function definition and
+shared across calls; in a library that memoizes Dewey address tuples and
+caches engine state, a leaked shared default is a cross-query state bug.
+Use ``None`` and materialize inside the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "Counter",
+    "OrderedDict", "deque",
+})
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+@register
+class MutableDefaultChecker(BaseChecker):
+    rule = "RPR007"
+    name = "mutable-default"
+    description = "no mutable default argument values (shared across calls)"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for mutable default values."""
+        for function in context.functions():
+            args = function.args
+            defaults = list(args.defaults) + [
+                default for default in args.kw_defaults if default is not None]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield self.finding(
+                        context, default,
+                        f"mutable default in {function.name}(); defaults "
+                        "are evaluated once and shared — default to None")

@@ -1,0 +1,79 @@
+"""RPR006 — metric and span names follow the registered convention.
+
+The obs layer (PR 1) established dotted lower_snake paths for every
+instrument and span name (``knds.nodes_visited``, ``engine.query``,
+``index.postings``); the Prometheus exporter rewrites dots to
+underscores, so any other character silently mangles the exported
+series, and dashboards key on exact names.  The checker validates
+every *literal* first argument to ``span``/``record``/``record_io``/
+``counter``/``gauge``/``histogram`` calls; for f-strings the literal
+fragments are validated (the interpolated holes are trusted).
+Non-literal names (variables) are skipped — they are covered at the
+call sites that build them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+_SINKS = frozenset({
+    "span", "record", "record_io", "record_probe",
+    "counter", "gauge", "histogram",
+})
+
+
+def _literal_problem(arg: ast.expr) -> str | None:
+    """Why a name argument violates the convention, or None if fine or
+    not statically checkable."""
+    if isinstance(arg, ast.Constant):
+        if not isinstance(arg.value, str):
+            # Not an obs call: `match.span(0)` and friends take ints.
+            return None
+        if not _NAME_RE.match(arg.value):
+            return (f"name {arg.value!r} does not match the dotted "
+                    "lower_snake convention (e.g. 'knds.nodes_visited')")
+        return None
+    if isinstance(arg, ast.JoinedStr):
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant) \
+                    and isinstance(piece.value, str) \
+                    and not _FRAGMENT_RE.match(piece.value):
+                return (f"f-string fragment {piece.value!r} breaks the "
+                        "dotted lower_snake metric/span convention")
+        return None
+    return None
+
+
+@register
+class ObsNamingChecker(BaseChecker):
+    rule = "RPR006"
+    name = "obs-naming"
+    description = ("metric/span names passed to repro.obs follow the "
+                   "dotted lower_snake convention")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for malformed metric/span name literals."""
+        for node in ast.walk(context.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SINKS
+                    and node.args):
+                continue
+            first = node.args[0]
+            # Only consider string-ish first arguments: `match.span()`
+            # or `span(obj)` on unrelated objects must not fire.
+            if not isinstance(first, (ast.Constant, ast.JoinedStr)):
+                continue
+            problem = _literal_problem(first)
+            if problem is not None:
+                yield self.finding(context, node, problem)

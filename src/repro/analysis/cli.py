@@ -1,0 +1,108 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow the convention of the other gating subcommands:
+
+* ``0`` — no findings;
+* ``1`` — usage or I/O error (bad rule id, missing path);
+* ``2`` — findings were reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import TextIO
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.findings import Finding
+from repro.analysis.registry import AnalysisError, all_checkers
+
+JSON_SCHEMA_VERSION = 1
+"""Version of the ``--format json`` document layout."""
+
+EXIT_CLEAN = 0
+EXIT_USAGE = 1
+EXIT_FINDINGS = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Domain-aware static analysis for the repro codebase "
+                    "(see docs/STATIC_ANALYSIS.md for the rule catalogue)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids/names to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule ids/names to skip")
+    parser.add_argument("--format", dest="fmt",
+                        choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split(spec: str | None) -> list[str] | None:
+    if spec is None:
+        return None
+    return [part for part in spec.split(",") if part.strip()]
+
+
+def _print_rules(stream: TextIO) -> None:
+    for checker in all_checkers():
+        stream.write(
+            f"{checker.rule}  {checker.name:<22} {checker.description}\n")
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The ``--format json`` document (stable schema, sorted findings)."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None, *,
+         stdout: TextIO | None = None,
+         stderr: TextIO | None = None) -> int:
+    """Entry point for ``repro lint``; returns a process exit code."""
+    out = sys.stdout if stdout is None else stdout
+    err = sys.stderr if stderr is None else stderr
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        _print_rules(out)
+        return EXIT_CLEAN
+    try:
+        findings = lint_paths(args.paths,
+                              select=_split(args.select),
+                              ignore=_split(args.ignore))
+    except (AnalysisError, FileNotFoundError, OSError) as error:
+        err.write(f"error: {error}\n")
+        return EXIT_USAGE
+    if args.fmt == "json":
+        out.write(render_json(findings) + "\n")
+    else:
+        for finding in findings:
+            out.write(finding.format() + "\n")
+        if findings:
+            out.write(f"{len(findings)} finding"
+                      f"{'s' if len(findings) != 1 else ''}\n")
+        else:
+            out.write("no problems found\n")
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Per-module state shared by all checkers during one lint pass."""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus everything checkers need to inspect it.
+
+    ``scope`` is the module's dotted location *inside* the ``repro``
+    package (``("core", "knds")`` for ``src/repro/core/knds.py``); files
+    outside the package — checker test fixtures, scripts — get an empty
+    scope, and path-scoped checkers treat an empty scope as in-scope so
+    standalone fixture snippets still exercise every rule.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    scope: tuple[str, ...] = ()
+    _suppressions: dict[int, frozenset[str] | None] = field(
+        default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "ModuleContext":
+        """Parse ``source`` (raises :class:`SyntaxError` on bad input)."""
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree,
+                   scope=_scope_of(path),
+                   _suppressions=_scan_suppressions(source))
+
+    # -- scope helpers ---------------------------------------------------
+    def in_package(self, *packages: str) -> bool:
+        """True when the module lives under one of the given repro
+        subpackages, or when the module is outside repro entirely
+        (fixtures are always in scope)."""
+        if not self.scope:
+            return True
+        return self.scope[0] in packages
+
+    # -- suppression helpers --------------------------------------------
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when ``line`` carries ``# repro: ignore`` for ``rule``.
+
+        ``# repro: ignore`` with no rule list silences every rule on the
+        line; ``# repro: ignore[RPR001,RPR005]`` silences only those.
+        """
+        if line not in self._suppressions:
+            return False
+        rules = self._suppressions[line]
+        return rules is None or rule in rules
+
+    def suppressed_lines(self) -> dict[int, frozenset[str] | None]:
+        """Line -> suppressed rule set (``None`` = all rules)."""
+        return dict(self._suppressions)
+
+    # -- AST helpers -----------------------------------------------------
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function/method definition in the module, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+def _scope_of(path: str) -> tuple[str, ...]:
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return tuple(parts[index + 1:])
+    return ()
+
+
+def _scan_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            parsed = frozenset(
+                part.strip().upper()
+                for part in rules.split(",") if part.strip()
+            )
+            # An explicit empty list (``ignore[]``) suppresses nothing.
+            suppressions[lineno] = parsed if parsed else frozenset()
+    return suppressions

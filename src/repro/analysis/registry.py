@@ -1,0 +1,93 @@
+"""The pluggable checker registry behind ``repro lint``.
+
+A checker is a class with a ``rule`` id (``RPR###``), a short ``name``,
+a one-line ``description``, and a ``check(context)`` method yielding
+:class:`~repro.analysis.findings.Finding` objects.  Checkers register
+themselves with the :func:`register` decorator at import time; the CLI
+and engine discover them through :func:`all_checkers`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Protocol, TypeVar
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.exceptions import ReproError
+
+
+class AnalysisError(ReproError):
+    """A static-analysis configuration problem (unknown rule id, checker
+    registered twice)."""
+
+
+class Checker(Protocol):
+    """Structural interface every registered checker satisfies."""
+
+    rule: str
+    name: str
+    description: str
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        ...
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+_CheckerT = TypeVar("_CheckerT", bound="type[Checker]")
+
+
+def register(checker_cls: _CheckerT) -> _CheckerT:
+    """Class decorator: add a checker to the global registry."""
+    rule = checker_cls.rule
+    existing = _REGISTRY.get(rule)
+    if existing is not None and existing is not checker_cls:
+        raise AnalysisError(
+            f"rule {rule} registered twice "
+            f"({existing.__name__} and {checker_cls.__name__})")
+    _REGISTRY[rule] = checker_cls
+    return checker_cls
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, sorted by rule id."""
+    _ensure_loaded()
+    return [_REGISTRY[rule]() for rule in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    """Registered rule ids, sorted (``["RPR001", ...]``)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def resolve_rules(spec: Iterable[str]) -> set[str]:
+    """Expand a ``--select``/``--ignore`` list into rule ids.
+
+    Accepts rule ids (case-insensitive) and checker names
+    (``dewey-immutable``); raises :class:`AnalysisError` for anything
+    unknown so typos fail loudly instead of silently selecting nothing.
+    """
+    _ensure_loaded()
+    by_name = {cls.name: rule for rule, cls in _REGISTRY.items()}
+    resolved: set[str] = set()
+    for item in spec:
+        token = item.strip()
+        if not token:
+            continue
+        rule = token.upper()
+        if rule in _REGISTRY:
+            resolved.add(rule)
+        elif token.lower() in by_name:
+            resolved.add(by_name[token.lower()])
+        else:
+            raise AnalysisError(
+                f"unknown rule {token!r} (known: {', '.join(sorted(_REGISTRY))})")
+    return resolved
+
+
+def _ensure_loaded() -> None:
+    # Importing the checkers package runs every @register decorator.
+    from repro.analysis import checkers  # noqa: F401

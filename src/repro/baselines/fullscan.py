@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.drc import DRC
 from repro.core.results import QueryStats, RankedResults, ResultItem
@@ -25,18 +26,22 @@ from repro.obs.tracing import NULL_TRACER
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
+if TYPE_CHECKING:
+    from repro.obs import Observability
+
 
 class FullScanSearch:
     """Exhaustive top-k evaluation with exact DRC distances."""
 
     def __init__(self, ontology: Ontology, collection: DocumentCollection,
-                 *, drc: DRC | None = None, obs=None) -> None:
+                 *, drc: DRC | None = None,
+                 obs: "Observability | None" = None) -> None:
         self.ontology = ontology
         self.collection = collection
         self.drc = drc or DRC(ontology)
         self._obs = obs
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
 
         The scan then runs under a ``fullscan.scan`` span and publishes

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Collection
 
-from repro.exceptions import EmptyDocumentError
+from repro.exceptions import EmptyDocumentError, InvariantError
 from repro.ontology.distance import ancestor_distances
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
@@ -54,7 +54,10 @@ class PairwiseDistanceBaseline:
             total = up_first + up_second
             if best is None or total < best:
                 best = total
-        assert best is not None, "validated ontologies share the root"
+        if best is None:
+            raise InvariantError(
+                "no common ancestor found; validated ontologies share "
+                "the root")
         return best
 
     def document_query_distance(self, doc_concepts: Collection[ConceptId],

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.results import QueryStats, RankedResults, ResultItem
 from repro.corpus.collection import DocumentCollection
@@ -31,11 +32,15 @@ from repro.ontology.graph import Ontology
 from repro.ontology.traversal import valid_path_distances
 from repro.types import ConceptId, DocId
 
+if TYPE_CHECKING:
+    from repro.obs import Observability
+
 
 class ThresholdAlgorithm:
     """TA over precomputed distance-sorted postings lists."""
 
-    def __init__(self, ontology: Ontology, *, obs=None) -> None:
+    def __init__(self, ontology: Ontology, *,
+                 obs: "Observability | None" = None) -> None:
         self.ontology = ontology
         # concept -> postings sorted by (distance, doc); and the random
         # access side table concept -> {doc: distance}.
@@ -45,7 +50,7 @@ class ThresholdAlgorithm:
         self.random_accesses = 0
         self._obs = obs
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
 
         Queries then run under a ``ta.query`` span and publish the
@@ -56,7 +61,7 @@ class ThresholdAlgorithm:
     @classmethod
     def build(cls, ontology: Ontology, collection: DocumentCollection, *,
               concepts: Iterable[ConceptId] | None = None,
-              obs=None) -> "ThresholdAlgorithm":
+              obs: "Observability | None" = None) -> "ThresholdAlgorithm":
         """Precompute postings for ``concepts`` (default: every concept
         occurring in the corpus — the paper's full offline index)."""
         ta = cls(ontology, obs=obs)

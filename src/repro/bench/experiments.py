@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -607,7 +608,8 @@ def _run_baseline_workload(world: World, corpus: str, mode: str, nq: int,
     return total / len(documents)
 
 
-def _time_per_call(callable_once, calls: int) -> float:
+def _time_per_call(callable_once: Callable[[], object],
+                   calls: int) -> float:
     start = time.perf_counter()
     callable_once()
     return (time.perf_counter() - start) / calls

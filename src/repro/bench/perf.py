@@ -45,10 +45,14 @@ import time
 import tracemalloc
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, TYPE_CHECKING
 
 from repro.exceptions import ReproError
 from repro.obs.metrics import Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # import cycle: experiments builds scenarios from here
+    from repro.bench.experiments import World
+    from repro.obs import Observability
 
 SCHEMA_VERSION = 1
 """Version of the ``BENCH_*.json`` artifact layout.
@@ -104,7 +108,7 @@ SAMPLE_BUCKETS = tuple(sorted(
 # ----------------------------------------------------------------------
 # Scenario registry
 # ----------------------------------------------------------------------
-def _default_instrument(obs) -> None:
+def _default_instrument(obs: "Observability | None") -> None:
     """Default instrument hook: the scenario has nothing extra to wire."""
 
 
@@ -126,7 +130,8 @@ class PreparedScenario:
     """
 
     run: Callable[[], Any]
-    instrument: Callable[[Any], None] = _default_instrument
+    instrument: Callable[["Observability | None"], None] = \
+        _default_instrument
     cleanup: Callable[[], None] = _default_cleanup
 
 
@@ -137,17 +142,19 @@ class Scenario:
     name: str
     description: str
     tags: frozenset[str]
-    prepare: Callable[[Any], PreparedScenario]
+    prepare: Callable[["World"], PreparedScenario]
     """``prepare(world)`` builds the workload on a benchmark world."""
 
 
 SCENARIOS: dict[str, Scenario] = {}
 
 
-def register_scenario(name: str, description: str,
-                      tags: tuple[str, ...] = ()) -> Callable:
+def register_scenario(
+    name: str, description: str, tags: tuple[str, ...] = (),
+) -> "Callable[[Callable[[World], PreparedScenario]], Callable[[World], PreparedScenario]]":
     """Decorator: register ``prepare(world)`` as scenario ``name``."""
-    def wrap(prepare: Callable[[Any], PreparedScenario]) -> Callable:
+    def wrap(prepare: "Callable[[World], PreparedScenario]"
+             ) -> "Callable[[World], PreparedScenario]":
         if name in SCENARIOS:
             raise ValueError(f"scenario {name!r} already registered")
         SCENARIOS[name] = Scenario(name, description, frozenset(tags),
@@ -197,7 +204,7 @@ def select_scenarios(spec: str) -> list[Scenario]:
 # ----------------------------------------------------------------------
 # Registered scenarios
 # ----------------------------------------------------------------------
-def _knds_batch(world, corpus: str, mode: str, nq: int,
+def _knds_batch(world: "World", corpus: str, mode: str, nq: int,
                 k: int = 10) -> PreparedScenario:
     from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
     from repro.bench.workloads import (random_concept_queries,
@@ -223,7 +230,7 @@ def _knds_batch(world, corpus: str, mode: str, nq: int,
             for document in documents:
                 searcher.sds(document, k, config=config)
 
-    def instrument(obs) -> None:
+    def instrument(obs: "Observability | None") -> None:
         searcher.instrument(obs)
         searcher.drc.instrument(obs)
         searcher.inverted.instrument(obs)
@@ -236,7 +243,7 @@ def _knds_batch(world, corpus: str, mode: str, nq: int,
     "knds_rds_patient",
     "kNDS RDS, PATIENT corpus (nq=3, k=10, paper-default eps)",
     tags=("smoke", "knds"))
-def _prepare_knds_rds_patient(world) -> PreparedScenario:
+def _prepare_knds_rds_patient(world: "World") -> PreparedScenario:
     return _knds_batch(world, "PATIENT", "rds", nq=3)
 
 
@@ -244,7 +251,7 @@ def _prepare_knds_rds_patient(world) -> PreparedScenario:
     "knds_rds_radio",
     "kNDS RDS, RADIO corpus (nq=5, k=10, paper-default eps)",
     tags=("smoke", "knds"))
-def _prepare_knds_rds_radio(world) -> PreparedScenario:
+def _prepare_knds_rds_radio(world: "World") -> PreparedScenario:
     return _knds_batch(world, "RADIO", "rds", nq=5)
 
 
@@ -252,7 +259,7 @@ def _prepare_knds_rds_radio(world) -> PreparedScenario:
     "knds_sds_radio",
     "kNDS SDS, RADIO corpus (whole documents as queries, k=10)",
     tags=("smoke", "knds"))
-def _prepare_knds_sds_radio(world) -> PreparedScenario:
+def _prepare_knds_sds_radio(world: "World") -> PreparedScenario:
     return _knds_batch(world, "RADIO", "sds", nq=5)
 
 
@@ -260,7 +267,7 @@ def _prepare_knds_sds_radio(world) -> PreparedScenario:
     "knds_sds_patient",
     "kNDS SDS, PATIENT corpus (large documents as queries, k=10)",
     tags=("knds",))
-def _prepare_knds_sds_patient(world) -> PreparedScenario:
+def _prepare_knds_sds_patient(world: "World") -> PreparedScenario:
     return _knds_batch(world, "PATIENT", "sds", nq=3)
 
 
@@ -269,7 +276,7 @@ def _prepare_knds_sds_patient(world) -> PreparedScenario:
     "DRC document-document distances over random nq=40 pairs (Figure 6 "
     "point)",
     tags=("smoke", "drc"))
-def _prepare_drc_pairs(world) -> PreparedScenario:
+def _prepare_drc_pairs(world: "World") -> PreparedScenario:
     from repro.bench.workloads import random_query_documents
     from repro.core.drc import DRC
 
@@ -294,7 +301,7 @@ def _prepare_drc_pairs(world) -> PreparedScenario:
     "fullscan_rds_radio",
     "Full-scan baseline RDS, RADIO corpus (nq=5, k=10)",
     tags=("smoke", "baseline"))
-def _prepare_fullscan_rds_radio(world) -> PreparedScenario:
+def _prepare_fullscan_rds_radio(world: "World") -> PreparedScenario:
     from repro.bench.workloads import random_concept_queries
 
     scanner = world.scanners["RADIO"]
@@ -306,7 +313,7 @@ def _prepare_fullscan_rds_radio(world) -> PreparedScenario:
         for query in queries:
             scanner.rds(query, 10)
 
-    def instrument(obs) -> None:
+    def instrument(obs: "Observability | None") -> None:
         scanner.instrument(obs)
         scanner.drc.instrument(obs)
 
@@ -318,7 +325,7 @@ def _prepare_fullscan_rds_radio(world) -> PreparedScenario:
     "Threshold Algorithm RDS, RADIO corpus (index prebuilt over the "
     "workload's concepts)",
     tags=("baseline", "ta"))
-def _prepare_ta_rds_radio(world) -> PreparedScenario:
+def _prepare_ta_rds_radio(world: "World") -> PreparedScenario:
     from repro.baselines.ta import ThresholdAlgorithm
     from repro.bench.workloads import random_concept_queries
 
@@ -341,7 +348,7 @@ def _prepare_ta_rds_radio(world) -> PreparedScenario:
     "knds_rds_sqlite",
     "kNDS RDS over the SQLite index backend, RADIO corpus (nq=5, k=10)",
     tags=("index",))
-def _prepare_knds_rds_sqlite(world) -> PreparedScenario:
+def _prepare_knds_rds_sqlite(world: "World") -> PreparedScenario:
     from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
     from repro.bench.workloads import random_concept_queries
     from repro.core.knds import KNDSConfig, KNDSearch
@@ -362,7 +369,7 @@ def _prepare_knds_rds_sqlite(world) -> PreparedScenario:
         for query in queries:
             searcher.rds(query, 10, config=config)
 
-    def instrument(obs) -> None:
+    def instrument(obs: "Observability | None") -> None:
         searcher.instrument(obs)
         store.instrument(obs)
 
@@ -376,7 +383,7 @@ def _prepare_knds_rds_sqlite(world) -> PreparedScenario:
     "layer that records per-query latency, so this scenario feeds the "
     "query.latency_seconds p50/p95/p99 in the artifact",
     tags=("smoke", "engine"))
-def _prepare_engine_rds_radio(world) -> PreparedScenario:
+def _prepare_engine_rds_radio(world: "World") -> PreparedScenario:
     from repro.bench.workloads import random_concept_queries
     from repro.core.engine import SearchEngine
 
@@ -393,7 +400,8 @@ def _prepare_engine_rds_radio(world) -> PreparedScenario:
                             cleanup=engine.close)
 
 
-def _overhead_scenario(world, state: str) -> PreparedScenario:
+def _overhead_scenario(world: "World",
+                       state: str) -> PreparedScenario:
     """The retired ``bench_obs_overhead`` states as runner scenarios.
 
     Each state times the *same* RDS batch with a different level of
@@ -416,7 +424,7 @@ def _overhead_scenario(world, state: str) -> PreparedScenario:
                                      seed=17)
     config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD["RADIO"])
 
-    def wire(obs) -> None:
+    def wire(obs: "Observability | None") -> None:
         searcher.instrument(obs)
         searcher.drc.instrument(obs)
         searcher.inverted.instrument(obs)
@@ -431,9 +439,9 @@ def _overhead_scenario(world, state: str) -> PreparedScenario:
             metrics=MetricsRegistry(),
             events=EventStream() if state == "full" else None)
 
-    override: list = []  # runner bundle, set only for the metrics pass
+    override: list["Observability"] = []  # runner bundle; metrics pass only
 
-    def instrument(runner_obs) -> None:
+    def instrument(runner_obs: "Observability | None") -> None:
         override[:] = [] if runner_obs is None else [runner_obs]
 
     def run() -> None:
@@ -454,7 +462,7 @@ def _overhead_scenario(world, state: str) -> PreparedScenario:
     "Instrumentation overhead reference: RDS batch, no bundle attached "
     "(the library default)",
     tags=("smoke", "overhead"))
-def _prepare_overhead_disabled(world) -> PreparedScenario:
+def _prepare_overhead_disabled(world: "World") -> PreparedScenario:
     return _overhead_scenario(world, "disabled")
 
 
@@ -462,7 +470,7 @@ def _prepare_overhead_disabled(world) -> PreparedScenario:
     "obs_overhead_metrics",
     "Instrumentation overhead: RDS batch with a metrics registry only",
     tags=("overhead",))
-def _prepare_overhead_metrics(world) -> PreparedScenario:
+def _prepare_overhead_metrics(world: "World") -> PreparedScenario:
     return _overhead_scenario(world, "metrics")
 
 
@@ -470,7 +478,7 @@ def _prepare_overhead_metrics(world) -> PreparedScenario:
     "obs_overhead_full",
     "Instrumentation overhead: RDS batch with tracer + metrics + events",
     tags=("smoke", "overhead"))
-def _prepare_overhead_full(world) -> PreparedScenario:
+def _prepare_overhead_full(world: "World") -> PreparedScenario:
     return _overhead_scenario(world, "full")
 
 
@@ -525,7 +533,7 @@ class ScenarioResult:
         }
 
 
-def run_scenario(scenario: Scenario, world, *, repeat: int = 5,
+def run_scenario(scenario: Scenario, world: "World", *, repeat: int = 5,
                  warmup: int = 1) -> ScenarioResult:
     """Time one scenario: warmups, ``repeat`` samples, one metrics pass.
 

@@ -12,7 +12,9 @@ Ties the library's pieces into shell-scriptable steps:
   (delegates to :mod:`repro.bench.experiments`);
 * ``bench``            — run registered perf scenarios, write a
   schema-versioned ``BENCH_*.json`` artifact, and gate against a
-  baseline (delegates to :mod:`repro.bench.perf`).
+  baseline (delegates to :mod:`repro.bench.perf`);
+* ``lint``             — run the domain-aware static-analysis pass
+  (delegates to :mod:`repro.analysis.cli`; exit 2 on findings).
 
 A full round trip::
 
@@ -28,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from typing import Any, TYPE_CHECKING
 
 from repro.bench.experiments import main as experiments_main
 from repro.core.engine import SearchEngine
@@ -39,6 +42,9 @@ from repro.ontology.generators import snomed_like
 from repro.ontology.graph import Ontology
 from repro.ontology.io.csvio import load_csv, save_csv
 from repro.ontology.stats import compute_stats
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 def _ontology_paths(prefix: str) -> tuple[str, str]:
@@ -119,7 +125,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_observability(args: argparse.Namespace):
+def _make_observability(
+        args: argparse.Namespace) -> "Observability | None":
     """Build an Observability bundle from ``--trace``/``--metrics`` flags.
 
     Returns ``None`` when neither flag was given, keeping the default
@@ -138,7 +145,8 @@ def _make_observability(args: argparse.Namespace):
     return Observability(tracer=tracer, metrics=MetricsRegistry())
 
 
-def _export_observability(args: argparse.Namespace, obs) -> None:
+def _export_observability(args: argparse.Namespace,
+                          obs: "Observability | None") -> None:
     """Write the trace and metrics files requested on the command line."""
     if obs is None:
         return
@@ -176,8 +184,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def _config_overrides(args: argparse.Namespace) -> dict:
-    overrides = {}
+def _config_overrides(args: argparse.Namespace) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
     if args.algorithm == "knds" and args.error_threshold is not None:
         overrides["error_threshold"] = args.error_threshold
     return overrides
@@ -318,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("rest", nargs=argparse.REMAINDER)
     bench.set_defaults(handler=None)
 
+    lint = commands.add_parser(
+        "lint", help="run the domain-aware static-analysis pass "
+                     "(exit 2 on findings)",
+        add_help=False)
+    lint.add_argument("rest", nargs=argparse.REMAINDER)
+    lint.set_defaults(handler=None)
+
     return parser
 
 
@@ -331,6 +346,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv and argv[0] == "bench":
         from repro.bench.perf import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

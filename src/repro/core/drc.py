@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import time
 from collections.abc import Collection
+from typing import TYPE_CHECKING
 
 from repro.core.dradix import DRadixDAG
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 class DRC:
@@ -40,13 +44,13 @@ class DRC:
 
     def __init__(self, ontology: Ontology,
                  dewey: DeweyIndex | None = None, *,
-                 obs=None) -> None:
+                 obs: "Observability | None" = None) -> None:
         self.ontology = ontology
         self.dewey = dewey if dewey is not None else DeweyIndex(ontology)
         self.calls = 0
         self._obs = obs
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
 
         When set, every probe increments the ``drc.probes`` counter and

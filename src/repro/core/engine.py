@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from types import TracebackType
+from typing import Any, TYPE_CHECKING
 
 from repro.core.drc import DRC
 from repro.core.knds import KNDSConfig, KNDSearch
@@ -22,6 +24,11 @@ from repro.obs.logging import get_logger
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
+
+if TYPE_CHECKING:
+    from repro.baselines.fullscan import FullScanSearch
+    from repro.obs import Observability
+    from repro.obs.tracing import Span
 
 _LOG = get_logger("engine")
 
@@ -62,7 +69,7 @@ class SearchEngine:
                  backend: str = "memory",
                  sqlite_path: str = ":memory:",
                  sqlite_rebuild: bool = True,
-                 obs=None) -> None:
+                 obs: "Observability | None" = None) -> None:
         ontology.validate()
         self.ontology = ontology
         self.collection = collection
@@ -92,10 +99,10 @@ class SearchEngine:
             dewey=self.dewey,
             drc=self.drc,
         )
-        self._obs = None
+        self._obs: "Observability | None" = None
         self.instrument(obs)
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Thread an :class:`repro.obs.Observability` bundle everywhere.
 
         Attaches (or, with ``None``, detaches) the bundle on the engine
@@ -116,7 +123,8 @@ class SearchEngine:
     # ------------------------------------------------------------------
     def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,
             algorithm: str = "knds",
-            config: KNDSConfig | None = None, **overrides) -> RankedResults:
+            config: KNDSConfig | None = None,
+            **overrides: Any) -> RankedResults:
         """Relevant Document Search: top-k documents for a concept set.
 
         ``algorithm`` is ``"knds"`` (default), ``"fullscan"`` (the paper's
@@ -138,7 +146,8 @@ class SearchEngine:
 
     def sds(self, query_document: Document | str | Sequence[ConceptId],
             k: int = 10, *, algorithm: str = "knds",
-            config: KNDSConfig | None = None, **overrides) -> RankedResults:
+            config: KNDSConfig | None = None,
+            **overrides: Any) -> RankedResults:
         """Similar Document Search: top-k documents for a query document.
 
         ``query_document`` may be a :class:`Document`, a doc id from the
@@ -209,7 +218,8 @@ class SearchEngine:
         """Direct access to the kNDS searcher (progressive APIs etc.)."""
         return self._knds
 
-    def _query_span(self, kind: str, algorithm: str, k: int):
+    def _query_span(self, kind: str, algorithm: str,
+                    k: int) -> "_TracedQuery | _NullQueryContext":
         """Context manager around one query: top-level span + latency.
 
         A shared no-op context when the engine is not instrumented, so
@@ -220,7 +230,7 @@ class SearchEngine:
             return _NULL_QUERY_CONTEXT
         return _TracedQuery(obs, kind, algorithm, self.backend, k)
 
-    def _fullscan(self):
+    def _fullscan(self) -> "FullScanSearch":
         from repro.baselines.fullscan import FullScanSearch
         return FullScanSearch(
             self.ontology,
@@ -256,10 +266,10 @@ class _TracedQuery:
     __slots__ = ("_obs", "_span", "_start", "kind", "algorithm",
                  "backend", "k")
 
-    def __init__(self, obs, kind: str, algorithm: str, backend: str,
-                 k: int) -> None:
+    def __init__(self, obs: "Observability", kind: str, algorithm: str,
+                 backend: str, k: int) -> None:
         self._obs = obs
-        self._span = None
+        self._span: "Span | None" = None
         self._start = 0.0
         self.kind = kind
         self.algorithm = algorithm
@@ -274,7 +284,9 @@ class _TracedQuery:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
         elapsed = time.perf_counter() - self._start
         if exc_type is None:
             self._obs.observe_query(elapsed)

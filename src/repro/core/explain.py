@@ -19,7 +19,8 @@ from __future__ import annotations
 from collections.abc import Collection, Sequence
 from dataclasses import dataclass
 
-from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.exceptions import (EmptyDocumentError, InvariantError,
+                              UnknownConceptError)
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
@@ -114,7 +115,10 @@ def explain_rds(ontology: Ontology, doc_concepts: Collection[ConceptId],
             if best_path is None or len(path) < len(best_path):
                 best_path = path
                 best_concept = doc_concept
-        assert best_path is not None and best_concept is not None
+        if best_path is None or best_concept is None:
+            raise InvariantError(
+                "no valid path found; connected DAGs always have one "
+                "through the root")
         terms.append(TermExplanation(
             query_concept=query_concept,
             nearest_concept=best_concept,

@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import heapq
 import time
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any, TYPE_CHECKING
 from dataclasses import dataclass, replace
 
 from repro.core.drc import DRC
@@ -49,13 +50,17 @@ from repro.corpus.document import Document
 from repro.exceptions import QueryError, UnknownConceptError
 from repro.index.base import ForwardIndexBase, InvertedIndexBase
 from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
-from repro.obs.events import ExpandedEvent, RoundEvent, TerminatedEvent
+from repro.obs.events import (ExpandedEvent, QueryEvent, RoundEvent,
+                              TerminatedEvent)
 from repro.obs.metrics import QueryTelemetry
 from repro.obs.tracing import NULL_TRACER
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.ontology.traversal import ValidPathBFS
 from repro.types import ConceptId, DocId
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 RDS = "rds"
 SDS = "sds"
@@ -193,7 +198,7 @@ class KNDSearch:
                  forward: ForwardIndexBase | None = None,
                  dewey: DeweyIndex | None = None,
                  drc: DRC | None = None,
-                 obs=None) -> None:
+                 obs: "Observability | None" = None) -> None:
         if inverted is None or forward is None:
             if collection is None:
                 raise QueryError(
@@ -209,7 +214,7 @@ class KNDSearch:
         self.drc = drc or DRC(ontology, self.dewey)
         self._obs = obs
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
 
         Only affects this searcher's own emission; index backends and the
@@ -222,7 +227,8 @@ class KNDSearch:
     # ------------------------------------------------------------------
     def rds(self, query_concepts: Sequence[ConceptId], k: int,
             config: KNDSConfig | None = None, *,
-            observer=None, **overrides) -> RankedResults:
+            observer: Callable[[QueryEvent], None] | None = None,
+            **overrides: Any) -> RankedResults:
         """Top-k Relevant Document Search (Definition 1).
 
         ``observer``, if given, is called with a typed snapshot event
@@ -241,7 +247,8 @@ class KNDSearch:
 
     def sds(self, query_document: Document | Sequence[ConceptId], k: int,
             config: KNDSConfig | None = None, *,
-            observer=None, **overrides) -> RankedResults:
+            observer: Callable[[QueryEvent], None] | None = None,
+            **overrides: Any) -> RankedResults:
         """Top-k Similar Document Search (Definition 2).
 
         ``query_document`` may be a :class:`Document` or a bare concept
@@ -260,7 +267,7 @@ class KNDSearch:
 
     def rds_iter(self, query_concepts: Sequence[ConceptId], k: int,
                  config: KNDSConfig | None = None,
-                 **overrides) -> Iterator[ResultItem]:
+                 **overrides: Any) -> Iterator[ResultItem]:
         """Progressive RDS: yields each result as soon as it is confirmed
         (optimization 4 of Section 5.3)."""
         config = _resolve_config(config, overrides)
@@ -269,7 +276,7 @@ class KNDSearch:
 
     def sds_iter(self, query_document: Document | Sequence[ConceptId], k: int,
                  config: KNDSConfig | None = None,
-                 **overrides) -> Iterator[ResultItem]:
+                 **overrides: Any) -> Iterator[ResultItem]:
         """Progressive SDS (see :meth:`rds_iter`)."""
         config = _resolve_config(config, overrides)
         concepts = _document_concepts(query_document)
@@ -280,7 +287,8 @@ class KNDSearch:
     # ------------------------------------------------------------------
     def _run(self, query_concepts: tuple[ConceptId, ...], k: int, mode: str,
              config: KNDSConfig, telemetry: QueryTelemetry,
-             observer=None) -> Iterator[ResultItem]:
+             observer: Callable[[QueryEvent], None] | None = None,
+             ) -> Iterator[ResultItem]:
         start = time.perf_counter()
         query = _validated_query(self.ontology, query_concepts, k)
         num_query = len(query)
@@ -399,8 +407,9 @@ class KNDSearch:
     # ------------------------------------------------------------------
     def _collect(self, origin: ConceptId, nodes: list[ConceptId], level: int,
                  mode: str, num_query: int, k: int,
-                 candidates: dict, candidate_heap: list,
-                 closed: set[DocId], top_heap: list,
+                 candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+                 candidate_heap: list[tuple[float, DocId]],
+                 closed: set[DocId], top_heap: list[tuple[float, DocId]],
                  config: KNDSConfig, telemetry: QueryTelemetry) -> None:
         """Process the freshly visited concepts of one BFS level."""
         kth = -top_heap[0][0] if len(top_heap) >= k else None
@@ -436,7 +445,8 @@ class KNDSearch:
                 heapq.heappush(candidate_heap, (bound, doc_id))
 
     def _new_candidate(self, doc_id: DocId, mode: str,
-                       telemetry: QueryTelemetry):
+                       telemetry: QueryTelemetry,
+                       ) -> "_RDSCandidate | _SDSCandidate":
         if mode == RDS:
             return _RDSCandidate(doc_id)
         io_start = time.perf_counter()
@@ -447,8 +457,9 @@ class KNDSearch:
     # ------------------------------------------------------------------
     def _analyze(self, query: tuple[ConceptId, ...], k: int, mode: str,
                  num_query: int, level: int, forced: bool,
-                 candidates: dict, candidate_heap: list,
-                 closed: set[DocId], top_heap: list,
+                 candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+                 candidate_heap: list[tuple[float, DocId]],
+                 closed: set[DocId], top_heap: list[tuple[float, DocId]],
                  config: KNDSConfig, telemetry: QueryTelemetry) -> None:
         """Pop candidates in lower-bound order and settle their distances."""
         budget = config.analyze_budget_per_round
@@ -494,7 +505,8 @@ class KNDSearch:
             elif distance < -top_heap[0][0]:
                 heapq.heapreplace(top_heap, (-distance, doc_id))
 
-    def _settle(self, candidate, query: tuple[ConceptId, ...], mode: str,
+    def _settle(self, candidate: "_RDSCandidate | _SDSCandidate",
+                query: tuple[ConceptId, ...], mode: str,
                 num_query: int, config: KNDSConfig,
                 telemetry: QueryTelemetry) -> float:
         """Exact distance for one candidate: shortcut or DRC probe."""
@@ -517,7 +529,8 @@ class KNDSearch:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _global_lower(candidates: dict, candidate_heap: list, level: int,
+    def _global_lower(candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+                      candidate_heap: list[tuple[float, DocId]], level: int,
                       num_query: int, exhausted: bool, mode: str) -> float:
         """Smallest possible distance of any unanalyzed document.
 
@@ -538,15 +551,18 @@ class KNDSearch:
         return best
 
 
-def _emit(sinks: list, event) -> None:
+def _emit(sinks: list[Callable[[QueryEvent], None]],
+          event: QueryEvent) -> None:
     """Deliver one query event to every attached sink."""
     for sink in sinks:
         sink(event)
 
 
-def _snapshot(event_cls, level: int, num_query: int, searches: list,
-              candidates: dict, closed: set, top_heap: list, k: int,
-              global_lower: float | None, **extra):
+def _snapshot(event_cls: type[QueryEvent], level: int, num_query: int,
+              searches: list[ValidPathBFS],
+              candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+              closed: set[DocId], top_heap: list[tuple[float, DocId]], k: int,
+              global_lower: float | None, **extra: Any) -> QueryEvent:
     """Observer view of the algorithm state (the columns of Table 2).
 
     Returns an instance of ``event_cls`` (one of the typed events in
@@ -572,7 +588,8 @@ def _snapshot(event_cls, level: int, num_query: int, searches: list,
     )
 
 
-def _min_candidate_bound(candidates: dict, candidate_heap: list, level: int,
+def _min_candidate_bound(candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+                         candidate_heap: list[tuple[float, DocId]], level: int,
                          num_query: int) -> float:
     """Minimum *fresh* lower bound over live candidates.
 
@@ -624,7 +641,8 @@ def _document_concepts(
     return tuple(query_document)
 
 
-def _resolve_config(config: KNDSConfig | None, overrides: dict) -> KNDSConfig:
+def _resolve_config(config: KNDSConfig | None,
+                    overrides: dict[str, Any]) -> KNDSConfig:
     base = config or KNDSConfig()
     if overrides:
         base = replace(base, **overrides)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.drc import DRC
 from repro.core.knds import (
@@ -83,14 +84,16 @@ class MapReduceRuntime:
         self.num_partitions = num_partitions
         self.stats = MapReduceStats()
 
-    def run(self, records: Iterable, mapper: Callable,
-            reducer: Callable) -> list:
+    def run(self, records: Iterable[Any],
+            mapper: Callable[[Any], Iterable[tuple[Hashable, Any]]],
+            reducer: Callable[[Hashable, list[Any]], Iterable[Any]],
+            ) -> list[Any]:
         """One map-shuffle-reduce pass.
 
         ``mapper(record)`` yields ``(key, value)`` pairs;
         ``reducer(key, values)`` yields output records.
         """
-        partitions: list[dict[Hashable, list]] = [
+        partitions: list[dict[Hashable, list[Any]]] = [
             {} for _ in range(self.num_partitions)
         ]
         for record in records:
@@ -99,7 +102,7 @@ class MapReduceRuntime:
                 self.stats.shuffled_pairs += 1
                 shard = partitions[hash(key) % self.num_partitions]
                 shard.setdefault(key, []).append(value)
-        output: list = []
+        output: list[Any] = []
         for shard in partitions:
             for key in sorted(shard, key=repr):
                 self.stats.reduce_invocations += 1
@@ -265,8 +268,12 @@ class MapReduceKNDS:
                 merged[key] = found_level
         yield doc_id, merged
 
-    def _apply_updates(self, updates: list, mode: str, num_query: int,
-                       candidates: dict, closed: set[DocId]) -> None:
+    def _apply_updates(
+            self,
+            updates: list[tuple[DocId, dict[tuple[ConceptId, ConceptId], int]]],
+            mode: str, num_query: int,
+            candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+            closed: set[DocId]) -> None:
         for doc_id, merged in updates:
             if doc_id in closed:
                 continue
@@ -287,8 +294,9 @@ class MapReduceKNDS:
     # ------------------------------------------------------------------
     def _analyze(self, query: tuple[ConceptId, ...], k: int, mode: str,
                  num_query: int, level: int, exhausted: bool,
-                 candidates: dict, closed: set[DocId],
-                 top_heap: list, config: KNDSConfig) -> None:
+                 candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+                 closed: set[DocId],
+                 top_heap: list[tuple[float, DocId]], config: KNDSConfig) -> None:
         ordered = sorted(
             candidates.values(),
             key=lambda cand: (cand.lower(level, num_query), cand.doc_id),
@@ -332,7 +340,8 @@ class MapReduceKNDS:
                                              candidate.doc_id))
 
     @staticmethod
-    def _global_lower(candidates: dict, level: int, num_query: int,
+    def _global_lower(candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
+                      level: int, num_query: int,
                       exhausted: bool, mode: str) -> float:
         best = min(
             (candidate.lower(level, num_query)

@@ -17,6 +17,7 @@ from pathlib import Path
 from repro.core.engine import SearchEngine
 from repro.corpus.io import load_jsonl, save_jsonl
 from repro.exceptions import ParseError
+from repro.ontology.graph import Ontology
 from repro.ontology.io.sqlitedb import SQLiteOntology, save_sqlite
 
 _MANIFEST = "engine.json"
@@ -92,7 +93,7 @@ def load_engine(directory: str | Path, *,
     return SearchEngine(ontology, collection, backend=backend)
 
 
-def _materialize(disk_ontology: SQLiteOntology):
+def _materialize(disk_ontology: SQLiteOntology) -> Ontology:
     """Copy a SQLite-backed ontology into a plain in-memory one."""
     from repro.ontology.builder import OntologyBuilder
 

@@ -29,8 +29,9 @@ DRC algorithm produces lexicographically merged lists by construction.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
+from repro.exceptions import InvariantError
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId, DeweyAddress, common_prefix_length, format_dewey
 
@@ -88,7 +89,8 @@ class RadixDAG:
     """
 
     def __init__(self, ontology: Ontology, *,
-                 on_create=None) -> None:
+                 on_create: "Callable[[RadixNode], None] | None" = None,
+                 ) -> None:
         self._ontology = ontology
         self._on_create = on_create
         self._nodes: dict[ConceptId, RadixNode] = {}
@@ -162,9 +164,9 @@ class RadixDAG:
                     # Fully matched: the node at this address exists.
                     if subtree is None:
                         child.is_target = True
-                    else:
-                        assert subtree is child, \
-                            "registry must deduplicate radix nodes"
+                    elif subtree is not child:
+                        raise InvariantError(
+                            "registry must deduplicate radix nodes")
                     return
                 matched = matched + label
                 remaining = remaining[lcp:]
@@ -183,9 +185,9 @@ class RadixDAG:
                 # The inserted address denotes the LCP node itself.
                 if subtree is None:
                     lcp_node.is_target = True
-                else:
-                    assert subtree is lcp_node, \
-                        "registry must deduplicate radix nodes"
+                elif subtree is not lcp_node:
+                    raise InvariantError(
+                        "registry must deduplicate radix nodes")
                 return
 
     # ------------------------------------------------------------------

@@ -15,9 +15,10 @@ observability subsystem aggregates the very same numbers process-wide.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import QUERY_TELEMETRY_FIELDS
+from repro.obs.metrics import QUERY_TELEMETRY_FIELDS, QueryTelemetry
 from repro.types import DocId
 
 
@@ -28,7 +29,7 @@ class ResultItem:
     doc_id: DocId
     distance: float
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DocId | float]:
         # Allow ``doc, dist = item`` unpacking in examples and tests.
         yield self.doc_id
         yield self.distance
@@ -71,7 +72,7 @@ class QueryStats:
     """The instrumented field names, shared with the metrics layer."""
 
     @classmethod
-    def from_metrics(cls, telemetry) -> "QueryStats":
+    def from_metrics(cls, telemetry: QueryTelemetry) -> "QueryStats":
         """Build a ``QueryStats`` from a per-query metrics scope.
 
         ``telemetry`` is duck-typed: any object carrying the
@@ -135,5 +136,5 @@ class RankedResults:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ResultItem]:
         return iter(self.results)

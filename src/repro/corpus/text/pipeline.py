@@ -11,6 +11,7 @@ view the search algorithms consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.corpus.document import Document
 from repro.corpus.text.abbreviations import AbbreviationExpander
@@ -104,7 +105,8 @@ class ConceptExtractor:
         }
         return positive
 
-    def to_document(self, doc_id: DocId, text: str, **metadata) -> Document:
+    def to_document(self, doc_id: DocId, text: str,
+                    **metadata: Any) -> Document:
         """Build a ranked-searchable :class:`Document` from raw text."""
         return Document(
             doc_id,

@@ -12,6 +12,17 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
+class InvariantError(ReproError):
+    """An internal invariant the algorithms rely on was violated.
+
+    Raised where the code used to ``assert``: these conditions are
+    unreachable through the public API, but ``assert`` statements vanish
+    under ``python -O`` while the invariants (shared root, deduplicated
+    radix nodes) are load-bearing for result correctness, so they are
+    checked with a real exception (rule RPR005 of ``repro lint``).
+    """
+
+
 class OntologyError(ReproError):
     """Base class for ontology construction and validation errors."""
 

@@ -15,16 +15,20 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.types import ConceptId, DocId
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 class _Instrumented:
     """Mixin: the detachable observability hook shared by all backends."""
 
-    _obs = None
+    _obs: "Observability | None" = None
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
 
         While attached, every lookup records into the bundle's

@@ -23,12 +23,16 @@ import sqlite3
 import time
 from collections.abc import Iterator, Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.corpus.collection import DocumentCollection
 from repro.corpus.document import Document
 from repro.exceptions import UnknownDocumentError
 from repro.index.base import ForwardIndexBase, InvertedIndexBase
 from repro.types import ConceptId, DocId
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 class SQLiteIndexStore:
@@ -131,7 +135,7 @@ class SQLiteIndexStore:
         cursor.execute("DELETE FROM doc_size WHERE doc = ?", (doc_id,))
         self._connection.commit()
 
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle to both views.
 
         Every SQL lookup then reports its latency and row count (the

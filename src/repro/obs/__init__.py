@@ -23,6 +23,8 @@ With no bundle attached (the default) the instrumentation reduces to one
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs.events import (EVENT_TYPES, EventLog, EventStream,
                               ExpandedEvent, QueryEvent, RoundEvent,
                               TerminatedEvent)
@@ -102,7 +104,7 @@ class Observability:
 
     # -- hot-path recording helpers -------------------------------------
     def record_io(self, operation: str, start: float, end: float,
-                  rows: int, **attributes) -> None:
+                  rows: int, **attributes: Any) -> None:
         """Record one index access: a leaf span plus the I/O counters.
 
         ``start``/``end`` are raw ``time.perf_counter()`` readings taken

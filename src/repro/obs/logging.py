@@ -15,6 +15,7 @@ import json
 import logging
 import sys
 import time
+from types import TracebackType
 from typing import Any, TextIO
 
 ROOT_LOGGER_NAME = "repro"
@@ -126,7 +127,9 @@ class log_duration:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
         elapsed = time.perf_counter() - self._start
         self.logger.debug(
             self.operation,

@@ -22,7 +22,7 @@ import bisect
 import json
 import threading
 from pathlib import Path
-from typing import Any, TextIO
+from typing import Any, TextIO, TypeVar
 
 DEFAULT_LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -110,6 +110,9 @@ class Gauge:
     def reset(self) -> None:
         """Zero the gauge."""
         self.set(0.0)
+
+
+_ScalarMetric = TypeVar("_ScalarMetric", Counter, Gauge)
 
 
 class Histogram:
@@ -243,7 +246,8 @@ class MetricsRegistry:
                 f"metric {name!r} already registered as {metric.kind}")
         return metric
 
-    def _get_or_create(self, cls, name: str, help: str):
+    def _get_or_create(self, cls: type[_ScalarMetric], name: str,
+                       help: str) -> _ScalarMetric:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from collections.abc import Collection, Iterable
 
-from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.exceptions import (EmptyDocumentError, InvariantError,
+                              UnknownConceptError)
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId, common_prefix_length
@@ -79,7 +80,9 @@ def concept_distance(ontology: Ontology, first: ConceptId,
         total = distance_first + distance_second
         if best is None or total < best:
             best = total
-    assert best is not None, "validated ontologies share the root"
+    if best is None:
+        raise InvariantError(
+            "no common ancestor found; validated ontologies share the root")
     return best
 
 
@@ -101,7 +104,10 @@ def concept_distance_dewey(dewey: DeweyIndex, first: ConceptId,
                 best = candidate
             if best == 0:
                 return 0
-    assert best is not None
+    if best is None:
+        raise InvariantError(
+            f"concepts {first!r}/{second!r} have no Dewey addresses; "
+            "every concept of a validated ontology has at least one")
     return best
 
 

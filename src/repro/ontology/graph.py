@@ -21,6 +21,7 @@ from repro.exceptions import (
     CycleError,
     DeweyError,
     DuplicateConceptError,
+    InvariantError,
     RootError,
     UnknownConceptError,
 )
@@ -138,7 +139,8 @@ class Ontology:
         """
         if self._root is None:
             self.validate()
-        assert self._root is not None
+        if self._root is None:
+            raise InvariantError("validate() returned without fixing a root")
         return self._root
 
     def __contains__(self, concept_id: object) -> bool:

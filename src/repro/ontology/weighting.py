@@ -21,7 +21,7 @@ distances instead (see :func:`weighted_rerank`).
 
 from __future__ import annotations
 
-from collections.abc import Collection, Iterable, Mapping
+from collections.abc import Callable, Collection, Iterable, Mapping
 
 from repro.core.dradix import DOC, QUERY, DRadixDAG
 from repro.core.drc import DRC
@@ -30,7 +30,7 @@ from repro.exceptions import EmptyDocumentError, QueryError
 from repro.ontology.distance import document_concept_distance
 from repro.ontology.graph import Ontology
 from repro.ontology.measures import InformationContent
-from repro.types import ConceptId
+from repro.types import ConceptId, DocId
 
 
 def _validated_weights(concepts: Collection[ConceptId],
@@ -138,7 +138,9 @@ def information_content_weights(
 
 
 def weighted_rerank(ontology: Ontology, results: RankedResults,
-                    forward_concepts, query_concepts: Collection[ConceptId],
+                    forward_concepts: Callable[[DocId],
+                                               Collection[ConceptId]],
+                    query_concepts: Collection[ConceptId],
                     *, weights: Mapping[ConceptId, float],
                     kind: str = "ddq",
                     drc: DRC | None = None) -> RankedResults:

@@ -1,0 +1,404 @@
+"""Per-rule fixture tests for :mod:`repro.analysis`.
+
+Each checker gets at least one snippet that MUST flag and one that MUST
+pass, so rule regressions fail loudly in both directions (a silently
+dead rule is as bad as a false positive).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def _lint(source: str, path: str = "src/repro/core/sample.py",
+          select: tuple[str, ...] | None = None):
+    findings = lint_source(textwrap.dedent(source), path=path)
+    if select is not None:
+        findings = [f for f in findings if f.rule in select]
+    return findings
+
+
+def _rules(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+# ----------------------------------------------------------------------
+# RPR000 — parse errors
+# ----------------------------------------------------------------------
+class TestParseError:
+    def test_flags_syntax_error(self):
+        findings = _lint("def broken(:\n")
+        assert _rules(findings) == {"RPR000"}
+
+    def test_clean_module_has_no_findings(self):
+        assert _lint("x = 1\n") == []
+
+
+# ----------------------------------------------------------------------
+# RPR001 — Dewey immutability
+# ----------------------------------------------------------------------
+class TestDeweyImmutable:
+    def test_flags_list_typed_address(self):
+        findings = _lint(
+            """
+            def f() -> None:
+                address: DeweyAddress = [1, 2, 3]
+            """,
+            select=("RPR001",))
+        assert len(findings) == 1
+
+    def test_flags_inplace_mutation_of_annotated_address(self):
+        findings = _lint(
+            """
+            def f(address: DeweyAddress) -> None:
+                address.append(4)
+            """,
+            select=("RPR001",))
+        assert len(findings) == 1
+        assert "append" in findings[0].message
+
+    def test_flags_item_assignment(self):
+        findings = _lint(
+            """
+            def f(address: DeweyAddress) -> None:
+                address[0] = 9
+            """,
+            select=("RPR001",))
+        assert len(findings) == 1
+
+    def test_tuple_address_passes(self):
+        findings = _lint(
+            """
+            def f() -> None:
+                address: DeweyAddress = (1, 2, 3)
+                other = list(address)
+                other.append(4)
+            """,
+            select=("RPR001",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR002 — float distance equality
+# ----------------------------------------------------------------------
+class TestFloatDistanceEq:
+    def test_flags_distance_equality(self):
+        findings = _lint(
+            """
+            def f(distance: float, other_distance: float) -> bool:
+                return distance == other_distance
+            """,
+            select=("RPR002",))
+        assert len(findings) == 1
+
+    def test_infinity_sentinel_passes(self):
+        findings = _lint(
+            """
+            def f(distance: float) -> bool:
+                return distance == INFINITY
+            """,
+            select=("RPR002",))
+        assert findings == []
+
+    def test_non_distance_names_pass(self):
+        findings = _lint(
+            """
+            def f(count: int, total: int) -> bool:
+                return count == total
+            """,
+            select=("RPR002",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 — exception taxonomy
+# ----------------------------------------------------------------------
+class TestExceptionTaxonomy:
+    def test_flags_raise_bare_exception(self):
+        findings = _lint(
+            """
+            def f() -> None:
+                raise Exception("boom")
+            """,
+            select=("RPR003",))
+        assert len(findings) == 1
+
+    def test_flags_bare_except(self):
+        findings = _lint(
+            """
+            def f() -> None:
+                try:
+                    g()
+                except:
+                    pass
+            """,
+            select=("RPR003",))
+        assert len(findings) == 1
+
+    def test_typed_repro_error_passes(self):
+        findings = _lint(
+            """
+            from repro.exceptions import QueryError
+
+            def f(k: int) -> None:
+                if k <= 0:
+                    raise QueryError("k must be positive")
+            """,
+            select=("RPR003",))
+        assert findings == []
+
+    def test_builtin_programming_errors_pass(self):
+        findings = _lint(
+            """
+            def f(kind: str) -> None:
+                raise TypeError(f"bad kind {kind!r}")
+            """,
+            select=("RPR003",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR004 — determinism in core/, ontology/, bench
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_flags_unseeded_random_in_core(self):
+        findings = _lint(
+            """
+            import random
+
+            def f() -> float:
+                return random.random()
+            """,
+            path="src/repro/core/sample.py", select=("RPR004",))
+        assert len(findings) == 1
+
+    def test_flags_wall_clock_in_ontology(self):
+        findings = _lint(
+            """
+            import time
+
+            def f() -> float:
+                return time.time()
+            """,
+            path="src/repro/ontology/sample.py", select=("RPR004",))
+        assert len(findings) == 1
+
+    def test_seeded_random_passes(self):
+        findings = _lint(
+            """
+            import random
+
+            def f(seed: int) -> float:
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+            path="src/repro/core/sample.py", select=("RPR004",))
+        assert findings == []
+
+    def test_out_of_scope_package_passes(self):
+        findings = _lint(
+            """
+            import time
+
+            def f() -> float:
+                return time.time()
+            """,
+            path="src/repro/obs/sample.py", select=("RPR004",))
+        assert findings == []
+
+    def test_perf_counter_outside_telemetry_flags(self):
+        findings = _lint(
+            """
+            import time
+
+            def busy_wait() -> float:
+                return time.perf_counter()
+            """,
+            path="src/repro/core/sample.py", select=("RPR004",))
+        assert len(findings) == 1
+
+    def test_perf_counter_in_telemetry_context_passes(self):
+        findings = _lint(
+            """
+            import time
+
+            def timed(telemetry) -> None:
+                start = time.perf_counter()
+                telemetry.io_seconds += time.perf_counter() - start
+            """,
+            path="src/repro/core/sample.py", select=("RPR004",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR005 — no assert for control flow
+# ----------------------------------------------------------------------
+class TestNoAssert:
+    def test_flags_assert(self):
+        findings = _lint(
+            """
+            def f(x: int) -> int:
+                assert x > 0
+                return x
+            """,
+            select=("RPR005",))
+        assert len(findings) == 1
+        assert "InvariantError" in findings[0].message
+
+    def test_raise_passes(self):
+        findings = _lint(
+            """
+            from repro.exceptions import InvariantError
+
+            def f(x: int) -> int:
+                if x <= 0:
+                    raise InvariantError("x must be positive here")
+                return x
+            """,
+            select=("RPR005",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR006 — obs naming convention
+# ----------------------------------------------------------------------
+class TestObsNaming:
+    def test_flags_bad_metric_name(self):
+        findings = _lint(
+            """
+            def f(registry) -> None:
+                registry.counter("KNDS-NodesVisited", "help")
+            """,
+            select=("RPR006",))
+        assert len(findings) == 1
+
+    def test_dotted_lower_snake_passes(self):
+        findings = _lint(
+            """
+            def f(registry, tracer) -> None:
+                registry.counter("knds.nodes_visited", "help")
+                with tracer.span("engine.query", k=10):
+                    pass
+            """,
+            select=("RPR006",))
+        assert findings == []
+
+    def test_regex_match_span_does_not_fire(self):
+        findings = _lint(
+            """
+            import re
+
+            def f(text: str):
+                match = re.search("x", text)
+                return match.span(0)
+            """,
+            select=("RPR006",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR007 — mutable defaults
+# ----------------------------------------------------------------------
+class TestMutableDefault:
+    def test_flags_list_default(self):
+        findings = _lint(
+            """
+            def f(items=[]):
+                return items
+            """,
+            select=("RPR007",))
+        assert len(findings) == 1
+
+    def test_flags_dict_factory_default(self):
+        findings = _lint(
+            """
+            def f(cache=dict()):
+                return cache
+            """,
+            select=("RPR007",))
+        assert len(findings) == 1
+
+    def test_none_default_passes(self):
+        findings = _lint(
+            """
+            def f(items=None):
+                return items or []
+            """,
+            select=("RPR007",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR008 — __all__ consistency
+# ----------------------------------------------------------------------
+class TestAllConsistency:
+    def test_flags_unbound_export(self):
+        findings = _lint(
+            """
+            __all__ = ["exists", "ghost"]
+
+            def exists() -> None:
+                pass
+            """,
+            select=("RPR008",))
+        assert len(findings) == 1
+        assert "ghost" in findings[0].message
+
+    def test_flags_duplicate_entry(self):
+        findings = _lint(
+            """
+            __all__ = ["exists", "exists"]
+
+            def exists() -> None:
+                pass
+            """,
+            select=("RPR008",))
+        assert len(findings) == 1
+
+    def test_consistent_all_passes(self):
+        findings = _lint(
+            """
+            from collections import OrderedDict as OD
+
+            __all__ = ["OD", "CONST", "Klass", "func", "maybe"]
+
+            CONST = 1
+
+            class Klass:
+                pass
+
+            def func() -> None:
+                pass
+
+            if CONST:
+                def maybe() -> None:
+                    pass
+            """,
+            select=("RPR008",))
+        assert findings == []
+
+    def test_star_import_module_is_skipped(self):
+        findings = _lint(
+            """
+            from os.path import *
+
+            __all__ = ["ghost"]
+            """,
+            select=("RPR008",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Ordering and finding shape
+# ----------------------------------------------------------------------
+def test_findings_are_sorted_and_carry_position():
+    findings = _lint(
+        """
+        def f(items=[]):
+            assert items
+        """)
+    assert findings == sorted(findings)
+    assert all(f.line > 0 and f.col >= 0 for f in findings)
+    assert {"RPR005", "RPR007"} <= _rules(findings)

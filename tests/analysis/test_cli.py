@@ -1,0 +1,150 @@
+"""CLI contract of ``repro lint``: exit codes, JSON schema, selection,
+suppression comments, and dispatch through the umbrella ``repro`` CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source, rule_ids
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    JSON_SCHEMA_VERSION,
+    main,
+)
+
+_VIOLATION = textwrap.dedent(
+    """
+    def f(items=[]):
+        assert items
+        return items
+    """
+)
+
+_CLEAN = 'GREETING = "hello"\n\n__all__ = ["GREETING"]\n'
+
+
+def _run(argv):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+@pytest.fixture()
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(_VIOLATION, encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(_CLEAN, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file):
+        code, out, _ = _run([str(clean_file)])
+        assert code == EXIT_CLEAN
+        assert "no problems" in out
+
+    def test_findings_exit_two(self, bad_file):
+        code, out, _ = _run([str(bad_file)])
+        assert code == EXIT_FINDINGS
+        assert "RPR005" in out and "RPR007" in out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        code, _, err = _run([str(tmp_path / "nope")])
+        assert code == EXIT_USAGE
+        assert err
+
+    def test_unknown_rule_is_usage_error(self, clean_file):
+        code, _, err = _run(["--select", "RPR999", str(clean_file)])
+        assert code == EXIT_USAGE
+        assert "RPR999" in err
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, bad_file):
+        code, out, _ = _run(["--select", "RPR007", str(bad_file)])
+        assert code == EXIT_FINDINGS
+        assert "RPR007" in out and "RPR005" not in out
+
+    def test_ignore_drops_rules(self, bad_file):
+        code, out, _ = _run(
+            ["--ignore", "RPR005,RPR007", str(bad_file)])
+        assert code == EXIT_CLEAN
+
+    def test_select_accepts_checker_names(self, bad_file):
+        code, out, _ = _run(["--select", "no-assert", str(bad_file)])
+        assert code == EXIT_FINDINGS
+        assert "RPR005" in out
+
+    def test_list_rules_covers_catalogue(self):
+        code, out, _ = _run(["--list-rules"])
+        assert code == EXIT_CLEAN
+        for rule in rule_ids():
+            assert rule in out
+
+
+class TestJsonOutput:
+    def test_schema(self, bad_file):
+        code, out, _ = _run(["--format", "json", str(bad_file)])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == len(payload["findings"]) > 0
+        for finding in payload["findings"]:
+            assert set(finding) == {"path", "line", "col", "rule", "message"}
+            assert finding["rule"].startswith("RPR")
+            assert isinstance(finding["line"], int)
+            assert isinstance(finding["col"], int)
+
+    def test_clean_json(self, clean_file):
+        code, out, _ = _run(["--format", "json", str(clean_file)])
+        assert code == EXIT_CLEAN
+        payload = json.loads(out)
+        assert payload == {"version": JSON_SCHEMA_VERSION, "count": 0,
+                           "findings": []}
+
+
+class TestSuppression:
+    def test_bare_ignore_suppresses_every_rule_on_the_line(self):
+        source = "def f(items=[]):  # repro: ignore\n    return items\n"
+        assert lint_source(source) == []
+
+    def test_scoped_ignore_suppresses_only_named_rules(self):
+        source = ("def f(items=[]):  # repro: ignore[RPR007]\n"
+                  "    assert items\n")
+        findings = lint_source(source)
+        assert {f.rule for f in findings} == {"RPR005"}
+
+    def test_scoped_ignore_for_other_rule_does_not_suppress(self):
+        source = "def f(items=[]):  # repro: ignore[RPR001]\n    pass\n"
+        findings = lint_source(source)
+        assert {f.rule for f in findings} == {"RPR007"}
+
+    def test_suppressed_findings_do_not_affect_cli_exit(self, tmp_path):
+        path = tmp_path / "suppressed.py"
+        path.write_text("def f(items=[]):  # repro: ignore\n    return 1\n",
+                        encoding="utf-8")
+        code, _, _ = _run([str(path)])
+        assert code == EXIT_CLEAN
+
+
+class TestUmbrellaDispatch:
+    def test_repro_cli_routes_lint(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        path = tmp_path / "bad.py"
+        path.write_text(_VIOLATION, encoding="utf-8")
+        code = repro_main(["lint", str(path)])
+        assert code == EXIT_FINDINGS
+        assert "RPR005" in capsys.readouterr().out

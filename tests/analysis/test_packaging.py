@@ -1,0 +1,54 @@
+"""Packaging checks for the strict-typing gate.
+
+PEP 561 only takes effect if the ``py.typed`` marker actually ships:
+downstream type checkers silently treat the package as untyped when the
+marker is missing from the distribution.  The sdist test builds a real
+source distribution and inspects the tarball.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tarfile
+from pathlib import Path
+
+import pytest
+
+import repro
+
+_PACKAGE_DIR = Path(repro.__file__).resolve().parent
+_PROJECT_ROOT = _PACKAGE_DIR.parents[1]
+
+
+def test_py_typed_marker_present_in_package():
+    marker = _PACKAGE_DIR / "py.typed"
+    assert marker.is_file()
+    assert marker.read_text(encoding="utf-8") == ""
+
+
+def test_package_data_declared_in_pyproject():
+    pyproject = _PROJECT_ROOT / "pyproject.toml"
+    if not pyproject.is_file():
+        pytest.skip("not running from a source tree")
+    text = pyproject.read_text(encoding="utf-8")
+    assert "[tool.setuptools.package-data]" in text
+    assert "py.typed" in text
+
+
+def test_py_typed_ships_in_sdist(tmp_path):
+    if not (_PROJECT_ROOT / "pyproject.toml").is_file():
+        pytest.skip("not running from a source tree")
+    result = subprocess.run(
+        [sys.executable, "setup.py", "--quiet", "sdist",
+         "--dist-dir", str(tmp_path)],
+        cwd=_PROJECT_ROOT, capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 0:
+        pytest.skip(f"sdist build unavailable here: {result.stderr[-200:]}")
+    archives = list(tmp_path.glob("*.tar.gz"))
+    assert len(archives) == 1, archives
+    with tarfile.open(archives[0]) as archive:
+        members = archive.getnames()
+    assert any(name.endswith("src/repro/py.typed") for name in members), \
+        members

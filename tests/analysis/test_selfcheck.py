@@ -1,0 +1,34 @@
+"""The repository lints itself: ``repro lint src`` must stay clean.
+
+This is the satellite guarantee of the static-analysis PR — every rule
+in the catalogue holds over the committed tree, so a new violation fails
+CI locally and in the ``static-analysis`` job.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import lint_paths
+from repro.analysis.cli import EXIT_CLEAN, main
+
+_SRC = Path(repro.__file__).resolve().parents[1]
+
+
+@pytest.mark.skipif(not (_SRC / "repro").is_dir(),
+                    reason="package not running from a source tree")
+def test_source_tree_lints_clean():
+    findings = lint_paths([_SRC / "repro"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+@pytest.mark.skipif(not (_SRC / "repro").is_dir(),
+                    reason="package not running from a source tree")
+def test_cli_selfcheck_exits_zero():
+    stdout = io.StringIO()
+    code = main([str(_SRC / "repro")], stdout=stdout, stderr=io.StringIO())
+    assert code == EXIT_CLEAN, stdout.getvalue()
