@@ -5,7 +5,7 @@
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test lint typecheck bench perf perf-gate experiments \
-	verify examples clean
+	verify serve-smoke examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -45,6 +45,11 @@ experiments:
 
 verify:
 	python scripts/verify_reproduction.py
+
+# Boot the HTTP query service on a generated corpus and assert the
+# serving contract under concurrent load (docs/SERVING.md).
+serve-smoke:
+	python scripts/serve_smoke.py
 
 report:
 	python -m repro.bench.export benchmarks/results --out benchmarks/REPORT.md

@@ -81,6 +81,7 @@ WORK_COUNTERS = (
     "drc.probes", "knds.drc_calls", "knds.nodes_visited",
     "knds.bfs_levels", "knds.docs_examined", "index.rows_read",
     "fullscan.docs_examined", "ta.rows_read",
+    "serve.cache_hits", "serve.cache_misses",
 )
 """Deterministic cost-model counters gated alongside wall time.
 
@@ -480,6 +481,72 @@ def _prepare_overhead_metrics(world: "World") -> PreparedScenario:
     tags=("smoke", "overhead"))
 def _prepare_overhead_full(world: "World") -> PreparedScenario:
     return _overhead_scenario(world, "full")
+
+
+def _serve_cache_scenario(world: "World",
+                          state: str) -> PreparedScenario:
+    """The serving stack's cache split: ``hot`` (all hits) vs ``cold``.
+
+    Both states drive the same seeded RDS batch through a
+    :class:`repro.serve.service.QueryService` (admission gate + cache +
+    worker pool) from the bench thread.  ``hot`` pre-warms the cache in
+    prepare, so every timed request is answered from the LRU — the
+    serving fast path; ``cold`` clears the cache at the top of each
+    repeat, so every request pays admission + dispatch + a full engine
+    query.  The gap between their medians is the measured value of the
+    result cache, and the ``serve.cache_hits``/``serve.cache_misses``
+    work counters pin each state's behaviour exactly (hot: all hits,
+    cold: all misses).
+    """
+    from repro.bench.workloads import random_concept_queries
+    from repro.core.engine import SearchEngine
+    from repro.serve import QueryService, ServeConfig
+
+    engine = SearchEngine(world.ontology, world.corpus("RADIO"))
+    service = QueryService(engine, ServeConfig(
+        workers=2, queue_limit=64, cache_size=4096,
+        deadline_seconds=60.0))
+    queries = random_concept_queries(world.corpus("RADIO"), nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=23)
+
+    if state == "hot":
+        for query in queries:  # warm the cache during prepare
+            service.rds(list(query), 10)
+
+        def run() -> None:
+            for query in queries:
+                service.rds(list(query), 10)
+    else:
+        def run() -> None:
+            service.cache.clear()
+            for query in queries:
+                service.rds(list(query), 10)
+
+    def cleanup() -> None:
+        service.close(drain_seconds=0.0)
+        engine.close()
+
+    return PreparedScenario(run=run, instrument=service.instrument,
+                            cleanup=cleanup)
+
+
+@register_scenario(
+    "serve_cache_hot",
+    "Query service RDS batch, RADIO corpus, pre-warmed result cache "
+    "(every request a hit) — the serving fast path",
+    tags=("smoke", "serve"))
+def _prepare_serve_cache_hot(world: "World") -> PreparedScenario:
+    return _serve_cache_scenario(world, "hot")
+
+
+@register_scenario(
+    "serve_cache_cold",
+    "Query service RDS batch, RADIO corpus, cache cleared every repeat "
+    "(every request a miss): admission + dispatch + full engine query",
+    tags=("smoke", "serve"))
+def _prepare_serve_cache_cold(world: "World") -> PreparedScenario:
+    return _serve_cache_scenario(world, "cold")
 
 
 # ----------------------------------------------------------------------

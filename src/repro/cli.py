@@ -8,6 +8,8 @@ Ties the library's pieces into shell-scriptable steps:
 * ``stats``            — ontology shape and/or Table 3 corpus statistics;
 * ``search``           — run an RDS or SDS query against a corpus;
 * ``extract``          — run the concept-extraction pipeline over text;
+* ``serve``            — run the concurrent HTTP/JSON query service
+  (delegates to :mod:`repro.serve`; see ``docs/SERVING.md``);
 * ``experiments``      — regenerate the paper's tables and figures
   (delegates to :mod:`repro.bench.experiments`);
 * ``bench``            — run registered perf scenarios, write a
@@ -218,6 +220,37 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the HTTP query service and block until SIGTERM/SIGINT."""
+    from repro.serve import QueryService, ServeConfig
+    from repro.serve.http import run_server
+
+    if args.log_level:
+        from repro.obs.logging import setup_logging
+        setup_logging(args.log_level)
+    engine = _make_engine(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline_seconds=args.deadline,
+        cache_size=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        retry_after_seconds=args.retry_after,
+        drain_seconds=args.drain_seconds,
+    )
+    service = QueryService(engine, config)
+    print(f"# engine ready: {len(engine.collection)} documents over "
+          f"{len(engine.ontology)} concepts")
+    try:
+        run_server(service, host=config.host, port=config.port,
+                   drain_seconds=config.drain_seconds)
+    finally:
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -312,6 +345,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="section-aware extraction (drops FAMILY "
                               "HISTORY etc.)")
     extract.set_defaults(handler=_cmd_extract)
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent HTTP/JSON query service")
+    serve.add_argument("--ontology")
+    serve.add_argument("--corpus")
+    serve.add_argument("--engine", help="saved engine directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admitted requests allowed beyond --workers "
+                            "before shedding with 429")
+    serve.add_argument("--deadline", type=float, default=10.0,
+                       help="per-request deadline in seconds (504 past it)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result-cache TTL in seconds (default: none)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       help="Retry-After hint on 429/503 responses")
+    serve.add_argument("--drain-seconds", type=float, default=5.0,
+                       help="graceful-shutdown drain budget")
+    serve.add_argument("--log-level",
+                       choices=["debug", "info", "warning", "error"],
+                       help="enable structured logging at this level")
+    serve.set_defaults(handler=_cmd_serve)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures",

@@ -7,6 +7,7 @@ with either the paper's kNDS algorithm (default) or one of the baselines.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Sequence
 from types import TracebackType
@@ -57,6 +58,14 @@ class SearchEngine:
     The engine is a context manager; ``with SearchEngine(...) as engine:``
     guarantees :meth:`close` (which releases the SQLite store, if any).
 
+    Concurrency: queries (:meth:`rds`/:meth:`sds`/:meth:`explain`) are
+    read-only and may run from many threads at once.  Mutations
+    (:meth:`add_document`/:meth:`remove_document`) are serialized behind
+    an internal lock and bump :attr:`epoch`; readers racing a mutation
+    see either the old or the new corpus, and epoch-tagged caches (see
+    :mod:`repro.serve`) use the counter to drop answers computed before
+    the change.
+
     Example
     -------
     >>> from repro import figure3_ontology, example4_collection
@@ -99,6 +108,8 @@ class SearchEngine:
             dewey=self.dewey,
             drc=self.drc,
         )
+        self._mutation_lock = threading.Lock()
+        self._epoch = 0
         self._obs: "Observability | None" = None
         self.instrument(obs)
 
@@ -164,6 +175,19 @@ class SearchEngine:
     # ------------------------------------------------------------------
     # Incremental corpus maintenance
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing corpus-mutation counter.
+
+        Starts at 0 and increments once per successful
+        :meth:`add_document` / :meth:`remove_document`.  Anything derived
+        from query results (most importantly the
+        :class:`repro.serve.cache.QueryCache`) records the epoch it was
+        computed under and treats any later epoch as an invalidation
+        signal, so stale answers can never outlive a corpus change.
+        """
+        return self._epoch
+
     def add_document(self, document: Document) -> None:
         """Index a new document on the fly (no distance precomputation).
 
@@ -179,21 +203,25 @@ class SearchEngine:
             if concept_id not in self.ontology:
                 from repro.exceptions import UnknownConceptError
                 raise UnknownConceptError(concept_id)
-        self.collection.add(document)
-        if self._store is not None:
-            self._store.add_document(document)
-        else:
-            self.inverted.add_document(document)
-            self.forward.add_document(document)
+        with self._mutation_lock:
+            self.collection.add(document)
+            if self._store is not None:
+                self._store.add_document(document)
+            else:
+                self.inverted.add_document(document)
+                self.forward.add_document(document)
+            self._epoch += 1
 
     def remove_document(self, doc_id: str) -> Document:
         """Remove a document from the corpus and all indexes."""
-        document = self.collection.remove(doc_id)
-        if self._store is not None:
-            self._store.remove_document(doc_id)
-        else:
-            self.inverted.remove_document(document)
-            self.forward.remove_document(doc_id)
+        with self._mutation_lock:
+            document = self.collection.remove(doc_id)
+            if self._store is not None:
+                self._store.remove_document(doc_id)
+            else:
+                self.inverted.remove_document(document)
+                self.forward.remove_document(doc_id)
+            self._epoch += 1
         return document
 
     # ------------------------------------------------------------------

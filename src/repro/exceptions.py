@@ -113,3 +113,47 @@ class IndexError_(ReproError):
 
 class QueryError(ReproError):
     """A query is malformed (empty, unknown concepts, invalid parameters)."""
+
+
+class ServeError(ReproError):
+    """Base class for query-service (:mod:`repro.serve`) errors."""
+
+
+class QueryTimeoutError(ServeError):
+    """A served query exceeded its deadline.
+
+    The service abandons the response (the worker thread may still be
+    finishing the computation), so callers must treat the result as
+    unknown, not failed — retrying with a larger ``deadline_seconds`` or
+    a smaller ``k`` is the usual recovery.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"query exceeded its {seconds:g}s deadline")
+        self.seconds = seconds
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control rejected a request because the service is full.
+
+    Raised *before* any query work happens — load is shed at the door
+    (HTTP 429) instead of queueing until every caller times out.
+    ``retry_after`` is the suggested client back-off in seconds (the
+    HTTP layer forwards it as a ``Retry-After`` header).
+    """
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"service overloaded; retry after {retry_after:g}s")
+        self.retry_after = retry_after
+
+
+class ServiceClosedError(ServeError):
+    """The service is draining or stopped and accepts no new queries.
+
+    Emitted during graceful shutdown (SIGTERM): in-flight queries finish,
+    new ones are refused (HTTP 503) so load balancers fail over cleanly.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; no new queries accepted")

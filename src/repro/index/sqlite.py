@@ -20,8 +20,10 @@ fast path for write-once read-many index builds.
 from __future__ import annotations
 
 import sqlite3
+import threading
 import time
 from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -35,6 +37,57 @@ if TYPE_CHECKING:
     from repro.obs import Observability
 
 
+class _ReadWriteLock:
+    """Reader-shared, writer-exclusive lock with writer preference.
+
+    Any number of readers may hold the lock together; a writer waits for
+    them to leave and then holds it alone.  Arriving readers queue
+    behind a waiting writer (otherwise a steady read stream would
+    starve mutations forever).  This is what makes the store's
+    "before-or-after" read guarantee real: a multi-statement mutation
+    can never interleave with a read on the shared connection.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the lock in shared mode for the ``with`` body."""
+        with self._condition:
+            self._condition.wait_for(
+                lambda: not self._writing and not self._writers_waiting)
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the lock exclusively for the ``with`` body."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                self._condition.wait_for(
+                    lambda: not self._writing and self._readers == 0)
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writing = False
+                self._condition.notify_all()
+
+
 class SQLiteIndexStore:
     """Owns the SQLite connection and both index views.
 
@@ -44,6 +97,23 @@ class SQLiteIndexStore:
         Database location; the default ``":memory:"`` keeps everything in
         RAM while still exercising the full SQL access path.
 
+    Concurrency model
+    -----------------
+    One connection is shared by both views and opened with
+    ``check_same_thread=False`` so the multi-threaded serving layer
+    (:mod:`repro.serve`) can read from worker threads.  CPython's
+    :mod:`sqlite3` module is compiled in serialized mode
+    (``sqlite3.threadsafety == 3``), so statements on the shared
+    connection never corrupt each other — but same-connection readers
+    *would* observe the uncommitted middle of a multi-statement
+    mutation, statement by statement.  A store-level reader-writer lock
+    closes that window: reads run concurrently with each other in
+    shared mode, while writes (:meth:`add_document` /
+    :meth:`remove_document` and the schema/bulk-load path) hold the
+    lock exclusively.  Readers therefore see the corpus before or after
+    a whole mutation, never a half-applied one, and pay only one
+    uncontended lock operation per lookup on the read path.
+
     Example
     -------
     >>> store = SQLiteIndexStore.build(collection)        # doctest: +SKIP
@@ -51,11 +121,13 @@ class SQLiteIndexStore:
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self._connection = sqlite3.connect(str(path))
+        self._connection = sqlite3.connect(str(path),
+                                           check_same_thread=False)
         self._connection.execute("PRAGMA journal_mode = MEMORY")
         self._connection.execute("PRAGMA synchronous = OFF")
-        self.inverted = SQLiteInvertedIndex(self._connection)
-        self.forward = SQLiteForwardIndex(self._connection)
+        self._lock = _ReadWriteLock()
+        self.inverted = SQLiteInvertedIndex(self._connection, self._lock)
+        self.forward = SQLiteForwardIndex(self._connection, self._lock)
 
     @classmethod
     def build(cls, collection: DocumentCollection,
@@ -72,18 +144,22 @@ class SQLiteIndexStore:
         return cls(path)
 
     def _create_schema(self) -> None:
-        cursor = self._connection.cursor()
-        cursor.executescript(
-            """
-            DROP TABLE IF EXISTS postings;
-            DROP TABLE IF EXISTS forward;
-            DROP TABLE IF EXISTS doc_size;
-            CREATE TABLE postings (concept TEXT NOT NULL, doc TEXT NOT NULL);
-            CREATE TABLE forward (doc TEXT NOT NULL, concept TEXT NOT NULL);
-            CREATE TABLE doc_size (doc TEXT PRIMARY KEY, n INTEGER NOT NULL);
-            """
-        )
-        self._connection.commit()
+        with self._lock.write():
+            cursor = self._connection.cursor()
+            cursor.executescript(
+                """
+                DROP TABLE IF EXISTS postings;
+                DROP TABLE IF EXISTS forward;
+                DROP TABLE IF EXISTS doc_size;
+                CREATE TABLE postings
+                    (concept TEXT NOT NULL, doc TEXT NOT NULL);
+                CREATE TABLE forward
+                    (doc TEXT NOT NULL, concept TEXT NOT NULL);
+                CREATE TABLE doc_size
+                    (doc TEXT PRIMARY KEY, n INTEGER NOT NULL);
+                """
+            )
+            self._connection.commit()
 
     def _load(self, collection: DocumentCollection) -> None:
         pairs = [
@@ -91,49 +167,55 @@ class SQLiteIndexStore:
             for document in collection
             for concept_id in document.concepts
         ]
-        cursor = self._connection.cursor()
-        cursor.executemany("INSERT INTO postings VALUES (?, ?)", pairs)
-        cursor.executemany(
-            "INSERT INTO forward VALUES (?, ?)",
-            ((doc, concept) for concept, doc in pairs),
-        )
-        cursor.executemany(
-            "INSERT INTO doc_size VALUES (?, ?)",
-            ((document.doc_id, len(document)) for document in collection),
-        )
-        cursor.executescript(
-            """
-            CREATE INDEX idx_postings ON postings (concept, doc);
-            CREATE INDEX idx_forward ON forward (doc, concept);
-            """
-        )
-        self._connection.commit()
+        with self._lock.write():
+            cursor = self._connection.cursor()
+            cursor.executemany("INSERT INTO postings VALUES (?, ?)", pairs)
+            cursor.executemany(
+                "INSERT INTO forward VALUES (?, ?)",
+                ((doc, concept) for concept, doc in pairs),
+            )
+            cursor.executemany(
+                "INSERT INTO doc_size VALUES (?, ?)",
+                ((document.doc_id, len(document))
+                 for document in collection),
+            )
+            cursor.executescript(
+                """
+                CREATE INDEX idx_postings ON postings (concept, doc);
+                CREATE INDEX idx_forward ON forward (doc, concept);
+                """
+            )
+            self._connection.commit()
 
     # ------------------------------------------------------------------
     # Incremental maintenance (the paper's on-the-fly insertion story)
     # ------------------------------------------------------------------
     def add_document(self, document: "Document") -> None:
         """Index one new document: a handful of inserted rows."""
-        cursor = self._connection.cursor()
-        cursor.executemany(
-            "INSERT INTO postings VALUES (?, ?)",
-            ((concept, document.doc_id) for concept in document.concepts),
-        )
-        cursor.executemany(
-            "INSERT INTO forward VALUES (?, ?)",
-            ((document.doc_id, concept) for concept in document.concepts),
-        )
-        cursor.execute("INSERT INTO doc_size VALUES (?, ?)",
-                       (document.doc_id, len(document)))
-        self._connection.commit()
+        with self._lock.write():
+            cursor = self._connection.cursor()
+            cursor.executemany(
+                "INSERT INTO postings VALUES (?, ?)",
+                ((concept, document.doc_id)
+                 for concept in document.concepts),
+            )
+            cursor.executemany(
+                "INSERT INTO forward VALUES (?, ?)",
+                ((document.doc_id, concept)
+                 for concept in document.concepts),
+            )
+            cursor.execute("INSERT INTO doc_size VALUES (?, ?)",
+                           (document.doc_id, len(document)))
+            self._connection.commit()
 
     def remove_document(self, doc_id: DocId) -> None:
         """Drop one document's rows from all three tables."""
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM postings WHERE doc = ?", (doc_id,))
-        cursor.execute("DELETE FROM forward WHERE doc = ?", (doc_id,))
-        cursor.execute("DELETE FROM doc_size WHERE doc = ?", (doc_id,))
-        self._connection.commit()
+        with self._lock.write():
+            cursor = self._connection.cursor()
+            cursor.execute("DELETE FROM postings WHERE doc = ?", (doc_id,))
+            cursor.execute("DELETE FROM forward WHERE doc = ?", (doc_id,))
+            cursor.execute("DELETE FROM doc_size WHERE doc = ?", (doc_id,))
+            self._connection.commit()
 
     def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle to both views.
@@ -156,66 +238,91 @@ class SQLiteIndexStore:
 
 
 class SQLiteInvertedIndex(InvertedIndexBase):
-    """Inverted index view over a :class:`SQLiteIndexStore` connection."""
+    """Inverted index view over a :class:`SQLiteIndexStore` connection.
 
-    def __init__(self, connection: sqlite3.Connection) -> None:
+    Lookups hold the store's reader-writer lock in shared mode (see the
+    store's concurrency model); the lock context is never nested, so a
+    waiting writer cannot deadlock a reader.
+    """
+
+    def __init__(self, connection: sqlite3.Connection,
+                 lock: _ReadWriteLock) -> None:
         self._connection = connection
+        self._lock = lock
 
     def postings(self, concept_id: ConceptId) -> Sequence[DocId]:
         obs = self._obs
         if obs is None:
+            with self._lock.read():
+                rows = self._connection.execute(
+                    "SELECT doc FROM postings WHERE concept = ?",
+                    (concept_id,)
+                ).fetchall()
+            return tuple(row[0] for row in rows)
+        start = time.perf_counter()
+        with self._lock.read():
             rows = self._connection.execute(
                 "SELECT doc FROM postings WHERE concept = ?", (concept_id,)
             ).fetchall()
-            return tuple(row[0] for row in rows)
-        start = time.perf_counter()
-        rows = self._connection.execute(
-            "SELECT doc FROM postings WHERE concept = ?", (concept_id,)
-        ).fetchall()
         obs.record_io("index.postings", start, time.perf_counter(),
                       len(rows), backend="sqlite")
         return tuple(row[0] for row in rows)
 
     def indexed_concepts(self) -> Iterator[ConceptId]:
-        rows = self._connection.execute(
-            "SELECT DISTINCT concept FROM postings"
-        )
+        with self._lock.read():
+            rows = self._connection.execute(
+                "SELECT DISTINCT concept FROM postings"
+            ).fetchall()
         return (row[0] for row in rows)
 
     def document_frequency(self, concept_id: ConceptId) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(*) FROM postings WHERE concept = ?", (concept_id,)
-        ).fetchone()
+        with self._lock.read():
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM postings WHERE concept = ?",
+                (concept_id,)
+            ).fetchone()
         return int(row[0])
 
 
 class SQLiteForwardIndex(ForwardIndexBase):
-    """Forward index view over a :class:`SQLiteIndexStore` connection."""
+    """Forward index view over a :class:`SQLiteIndexStore` connection.
 
-    def __init__(self, connection: sqlite3.Connection) -> None:
+    Lookups hold the store's reader-writer lock in shared mode; the
+    :meth:`concepts` existence probe runs inside the *same* lock scope
+    as its main query, so the two statements see one corpus state.
+    """
+
+    def __init__(self, connection: sqlite3.Connection,
+                 lock: _ReadWriteLock) -> None:
         self._connection = connection
+        self._lock = lock
 
     def concepts(self, doc_id: DocId) -> Sequence[ConceptId]:
         obs = self._obs
         start = time.perf_counter() if obs is not None else 0.0
-        rows = self._connection.execute(
-            "SELECT concept FROM forward WHERE doc = ? ORDER BY concept",
-            (doc_id,),
-        ).fetchall()
+        with self._lock.read():
+            rows = self._connection.execute(
+                "SELECT concept FROM forward WHERE doc = ? "
+                "ORDER BY concept",
+                (doc_id,),
+            ).fetchall()
+            known = bool(rows) or self._connection.execute(
+                "SELECT n FROM doc_size WHERE doc = ?", (doc_id,)
+            ).fetchone() is not None
         if obs is not None:
             obs.record_io("index.forward", start, time.perf_counter(),
                           len(rows), backend="sqlite")
-        if not rows:
-            if self.concept_count(doc_id) == 0:
-                raise UnknownDocumentError(doc_id)
+        if not known:
+            raise UnknownDocumentError(doc_id)
         return tuple(row[0] for row in rows)
 
     def concept_count(self, doc_id: DocId) -> int:
         obs = self._obs
         start = time.perf_counter() if obs is not None else 0.0
-        row = self._connection.execute(
-            "SELECT n FROM doc_size WHERE doc = ?", (doc_id,)
-        ).fetchone()
+        with self._lock.read():
+            row = self._connection.execute(
+                "SELECT n FROM doc_size WHERE doc = ?", (doc_id,)
+            ).fetchone()
         if obs is not None:
             obs.record_io("index.doc_size", start, time.perf_counter(),
                           1 if row is not None else 0, backend="sqlite")
@@ -224,11 +331,14 @@ class SQLiteForwardIndex(ForwardIndexBase):
         return int(row[0])
 
     def doc_ids(self) -> Iterator[DocId]:
-        rows = self._connection.execute("SELECT doc FROM doc_size")
+        with self._lock.read():
+            rows = self._connection.execute(
+                "SELECT doc FROM doc_size").fetchall()
         return (row[0] for row in rows)
 
     def __len__(self) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(*) FROM doc_size"
-        ).fetchone()
+        with self._lock.read():
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM doc_size"
+            ).fetchone()
         return int(row[0])

@@ -1,0 +1,61 @@
+"""repro.serve — concurrent query service over the search engine.
+
+The serving stack the paper's batch experiments never needed but a
+deployment does: a stdlib-only asyncio HTTP/JSON front end
+(:mod:`repro.serve.http`) over a thread-pool query core
+(:mod:`repro.serve.service`), with
+
+* **admission control** (:mod:`repro.serve.admission`) — a hard
+  in-flight ceiling that sheds overload with HTTP 429 + ``Retry-After``
+  instead of queueing without bound, and a graceful-drain state machine
+  for SIGTERM;
+* **result caching** (:mod:`repro.serve.cache`) — a bounded LRU with
+  optional TTL, keyed on normalized queries and invalidated by the
+  engine's corpus-mutation epoch;
+* **deadlines** — every query runs on a worker thread under a
+  per-request deadline, surfacing
+  :class:`repro.exceptions.QueryTimeoutError` (HTTP 504) instead of
+  hanging clients;
+* **observability** — ``serve.*`` counters/gauges/histograms and
+  ``serve.request`` spans through :mod:`repro.obs`, exported at
+  ``/metrics``;
+* a **load generator** (:mod:`repro.serve.loadgen`) shared by the
+  tests, the CI smoke job and the ``serve_cache_*`` bench scenarios.
+
+Start a server with ``repro serve --ontology ... --corpus ...`` or
+embed one with::
+
+    service = QueryService(engine, ServeConfig(workers=4))
+    handle = ServerHandle.start(service, port=0)
+
+See ``docs/SERVING.md`` for the HTTP API and operational semantics.
+"""
+
+from __future__ import annotations
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import (CacheKey, CacheStats, QueryCache,
+                               normalize_key)
+from repro.serve.config import ServeConfig
+from repro.serve.http import QueryServer, ServerHandle, run_server
+from repro.serve.loadgen import (LoadQuery, LoadReport, mixed_workload,
+                                 run_load)
+from repro.serve.service import QueryService, ServeResult
+
+__all__ = [
+    "ServeConfig",
+    "QueryService",
+    "ServeResult",
+    "QueryCache",
+    "CacheKey",
+    "CacheStats",
+    "normalize_key",
+    "AdmissionController",
+    "QueryServer",
+    "ServerHandle",
+    "run_server",
+    "LoadQuery",
+    "LoadReport",
+    "mixed_workload",
+    "run_load",
+]

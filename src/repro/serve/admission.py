@@ -1,0 +1,117 @@
+"""Admission control: a bounded in-flight gate that sheds load early.
+
+The classic overload failure is the unbounded queue: every request is
+accepted, latency grows without bound, and by the time work reaches the
+head of the queue the client has long given up — the service does all
+of the work for none of the benefit.  The
+:class:`AdmissionController` instead enforces a hard in-flight ceiling
+at the door: requests past ``workers + queue_limit`` are refused
+immediately with a typed :class:`repro.exceptions.ServiceOverloadedError`
+(HTTP 429 + ``Retry-After``), which keeps latency for admitted requests
+bounded and gives clients an honest back-pressure signal.
+
+The controller also owns the graceful-drain state machine: after
+:meth:`begin_drain` no new request is admitted
+(:class:`repro.exceptions.ServiceClosedError`, HTTP 503) while
+:meth:`wait_idle` lets shutdown block until the in-flight count reaches
+zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+import threading
+
+from repro.exceptions import (InvariantError, ServiceClosedError,
+                              ServiceOverloadedError)
+
+
+class AdmissionController:
+    """Bounded concurrent-admission gate with drain support.
+
+    Parameters
+    ----------
+    max_inflight:
+        Hard ceiling on concurrently admitted requests.  ``0`` rejects
+        everything (useful in tests and for maintenance mode).
+    retry_after:
+        Back-off hint (seconds) carried by the overload error.
+
+    >>> gate = AdmissionController(1)
+    >>> gate.admit(); gate.inflight
+    1
+    >>> gate.release(); gate.inflight
+    0
+    """
+
+    def __init__(self, max_inflight: int, *,
+                 retry_after: float = 1.0) -> None:
+        if max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be >= 0, got {max_inflight}")
+        self._limit = max_inflight
+        self._retry_after = retry_after
+        self._inflight = 0
+        self._draining = False
+        self._condition = threading.Condition()
+
+    @property
+    def limit(self) -> int:
+        """The in-flight ceiling this gate enforces."""
+        return self._limit
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` has been called."""
+        return self._draining
+
+    def admit(self) -> None:
+        """Claim one slot or raise a typed refusal.
+
+        Raises :class:`repro.exceptions.ServiceClosedError` once the
+        gate is draining and
+        :class:`repro.exceptions.ServiceOverloadedError` (carrying the
+        ``retry_after`` hint) when the ceiling is reached.
+        """
+        with self._condition:
+            if self._draining:
+                raise ServiceClosedError()
+            if self._inflight >= self._limit:
+                raise ServiceOverloadedError(self._retry_after)
+            self._inflight += 1
+
+    def release(self) -> None:
+        """Return one slot; wakes :meth:`wait_idle` waiters at zero."""
+        with self._condition:
+            if self._inflight <= 0:
+                raise InvariantError("release() without a matching admit()")
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._condition.notify_all()
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """Context manager pairing :meth:`admit` with :meth:`release`."""
+        self.admit()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight requests keep their slots."""
+        with self._condition:
+            self._draining = True
+            self._condition.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until nothing is in flight; ``False`` on timeout."""
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._inflight == 0, timeout)

@@ -1,0 +1,192 @@
+"""Query-result cache: LRU + optional TTL, invalidated by engine epoch.
+
+Concept-based queries repeat heavily (the paper's workloads draw from a
+skewed concept vocabulary, and Bhattacharya & Bhowmick's follow-up work
+reuses concept-distance computations across queries for the same
+reason), so a small result cache turns the serving hot path into a
+dictionary lookup.  Three staleness mechanisms compose:
+
+* **LRU** — the cache is bounded; the least recently *used* entry is
+  evicted first;
+* **TTL** — entries older than ``ttl_seconds`` (by the injected,
+  monotonic ``clock``) are dropped on access;
+* **epoch** — every entry records the
+  :attr:`repro.core.engine.SearchEngine.epoch` it was computed under;
+  a lookup presenting a newer epoch treats the entry as invalid, so no
+  answer survives ``add_document``/``remove_document``.
+
+Keys are *normalized* (:func:`normalize_key`): the concept set is
+sorted, so ``["F", "I"]`` and ``["I", "F"]`` share one entry.
+
+The cache is thread-safe (one lock around the ordered dict) and clock
+injection keeps TTL behaviour deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.types import ConceptId
+
+_V = TypeVar("_V")
+
+CacheKey = tuple[str, tuple[str, ...], int, str]
+"""Normalized cache key: ``(kind, sorted concepts, k, algorithm)``."""
+
+
+def normalize_key(kind: str, concepts: Iterable[ConceptId], k: int,
+                  algorithm: str) -> CacheKey:
+    """Build the canonical cache key for one query.
+
+    Concept order must not matter — RDS over ``{F, I}`` is the same
+    query however the client lists it — so the concept sequence is
+    sorted and frozen into a tuple.
+
+    >>> normalize_key("rds", ["I", "F"], 2, "knds")
+    ('rds', ('F', 'I'), 2, 'knds')
+    """
+    return (kind, tuple(sorted(concepts)), int(k), algorithm)
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache effectiveness counters.
+
+    ``misses`` counts every lookup that did not return a value,
+    *including* the ones broken down further as ``expirations`` (TTL)
+    or ``invalidations`` (epoch); ``evictions`` counts LRU pressure.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class _Entry(Generic[_V]):
+    """One cached value plus the epoch and time it was stored under."""
+
+    __slots__ = ("value", "epoch", "stored_at")
+
+    def __init__(self, value: _V, epoch: int, stored_at: float) -> None:
+        self.value = value
+        self.epoch = epoch
+        self.stored_at = stored_at
+
+
+class QueryCache(Generic[_V]):
+    """Bounded, epoch-aware LRU result cache with optional TTL.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; ``0`` disables the cache (every ``get`` misses,
+        ``put`` is a no-op) without callers having to special-case it.
+    ttl_seconds:
+        Optional per-entry lifetime; ``None`` disables expiry.
+    clock:
+        Monotonic time source for TTL decisions.  Injected so tests can
+        drive expiry deterministically (``repro lint``'s determinism
+        rules stay meaningful: no wall-clock reads hide in here).
+
+    >>> cache: QueryCache[str] = QueryCache(2)
+    >>> cache.put(normalize_key("rds", ["F"], 1, "knds"), 0, "answer")
+    >>> cache.get(normalize_key("rds", ["F"], 1, "knds"), 0)
+    'answer'
+    >>> cache.get(normalize_key("rds", ["F"], 1, "knds"), 1) is None
+    True
+    """
+
+    def __init__(self, max_entries: int = 1024, *,
+                 ttl_seconds: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be >= 0, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be > 0 or None, got {ttl_seconds}")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[CacheKey, _Entry[_V]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey, epoch: int) -> _V | None:
+        """Look up ``key`` as of corpus ``epoch``; ``None`` on any miss.
+
+        An entry stored under a different epoch is treated as stale and
+        dropped (counted under ``stats.invalidations``); an entry past
+        its TTL is dropped too (``stats.expirations``).  A hit refreshes
+        the entry's LRU position.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.epoch != epoch:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            if self.ttl_seconds is not None \
+                    and self._clock() - entry.stored_at > self.ttl_seconds:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def put(self, key: CacheKey, epoch: int, value: _V) -> None:
+        """Store ``value`` for ``key`` as computed under ``epoch``.
+
+        Replaces any existing entry for the key and evicts from the cold
+        end until the cache fits ``max_entries`` again.
+        """
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = _Entry(value, epoch, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[CacheKey]:
+        """Current keys, coldest first (LRU order) — for inspection."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries

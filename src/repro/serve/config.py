@@ -1,0 +1,88 @@
+"""Serving configuration: one frozen dataclass, validated up front.
+
+Every tunable of the :mod:`repro.serve` stack lives here so the CLI, the
+tests and the bench scenarios construct services the same way.  The
+defaults are sized for a small box: a handful of worker threads, a short
+bounded queue (shed early, queue little — the classic overload advice),
+and a result cache large enough for the repeated concept queries the
+paper's workloads exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ServeError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for :class:`repro.serve.service.QueryService`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address for the HTTP layer; port 0 picks a free port (the
+        chosen one is reported by :class:`repro.serve.http.QueryServer`).
+    workers:
+        Executor threads evaluating queries.  Queries are CPU-bound
+        Python, so more threads than cores mostly adds switching cost;
+        the win is overlapping SQLite I/O and isolating slow queries.
+    queue_limit:
+        Admitted-but-not-yet-running requests allowed beyond ``workers``.
+        ``workers + queue_limit`` is the hard in-flight ceiling; past it
+        the service sheds load with HTTP 429 instead of queueing.
+    deadline_seconds:
+        Default per-request deadline; exceeding it raises
+        :class:`repro.exceptions.QueryTimeoutError` (HTTP 504).
+    cache_size:
+        Maximum entries in the LRU result cache (0 disables caching).
+    cache_ttl_seconds:
+        Optional time-to-live per cache entry; ``None`` means entries
+        live until evicted or invalidated by a corpus mutation.
+    retry_after_seconds:
+        Client back-off hint attached to 429/503 responses.
+    drain_seconds:
+        How long graceful shutdown waits for in-flight queries.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 4
+    queue_limit: int = 16
+    deadline_seconds: float = 10.0
+    cache_size: int = 1024
+    cache_ttl_seconds: float | None = None
+    retry_after_seconds: float = 1.0
+    drain_seconds: float = 5.0
+
+    @property
+    def max_inflight(self) -> int:
+        """Hard ceiling on concurrently admitted requests."""
+        return self.workers + self.queue_limit
+
+    def validate(self) -> None:
+        """Raise :class:`repro.exceptions.ServeError` on nonsense values."""
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 0:
+            raise ServeError(
+                f"queue_limit must be >= 0, got {self.queue_limit}")
+        if self.deadline_seconds <= 0:
+            raise ServeError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}")
+        if self.cache_size < 0:
+            raise ServeError(
+                f"cache_size must be >= 0, got {self.cache_size}")
+        if self.cache_ttl_seconds is not None \
+                and self.cache_ttl_seconds <= 0:
+            raise ServeError(
+                f"cache_ttl_seconds must be > 0 or None, got "
+                f"{self.cache_ttl_seconds}")
+        if self.retry_after_seconds <= 0:
+            raise ServeError(
+                f"retry_after_seconds must be > 0, got "
+                f"{self.retry_after_seconds}")
+        if self.drain_seconds < 0:
+            raise ServeError(
+                f"drain_seconds must be >= 0, got {self.drain_seconds}")

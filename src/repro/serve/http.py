@@ -1,0 +1,521 @@
+"""Stdlib-only asyncio HTTP/JSON front end for the query service.
+
+A deliberately small HTTP/1.1 server (``asyncio.start_server`` + a
+hand-rolled request reader — no third-party web framework, matching the
+repo's stdlib-only rule) exposing the serving API:
+
+=======================  ======  ===========================================
+endpoint                 method  body / behaviour
+=======================  ======  ===========================================
+``/healthz``             GET     liveness + drain state (503 while draining)
+``/metrics``             GET     Prometheus text from the service registry
+``/search/rds``          POST    ``{"concepts": [...], "k": 10, ...}``
+``/search/sds``          POST    ``{"doc_id": "..."}`` or ``{"concepts": …}``
+``/explain``             POST    ``{"doc_id": "...", "concepts": [...]}``
+=======================  ======  ===========================================
+
+Overload semantics (see ``docs/SERVING.md``): admission-control refusals
+map to **429** with a ``Retry-After`` header, drain refusals to **503**,
+deadline misses to **504**, unknown documents to **404**, malformed
+requests and taxonomy errors to **400**; only genuinely unexpected
+exceptions produce a **500** (and increment ``serve.errors``).
+
+Shutdown is graceful: :func:`run_server` installs SIGTERM/SIGINT
+handlers that stop accepting connections, drain in-flight queries
+through the service, then return.  :class:`ServerHandle` runs the same
+loop on a daemon thread for tests, the load generator and the CI smoke
+job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Any
+
+from repro.exceptions import (CorpusError, QueryTimeoutError, ReproError,
+                              ServeError, ServiceClosedError,
+                              ServiceOverloadedError, UnknownDocumentError)
+from repro.obs.logging import get_logger
+from repro.serve.service import QueryService, ServeResult
+
+_LOG = get_logger("serve.http")
+
+_MAX_HEADERS = 100
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any sane query
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class _BadRequest(ServeError):
+    """A request the HTTP layer could not parse (always answered 400)."""
+
+
+class _Response:
+    """One rendered HTTP response: status, extra headers, body bytes."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, body: bytes,
+                 content_type: str = "application/json",
+                 headers: dict[str, str] | None = None) -> None:
+        self.status = status
+        self.headers = {"Content-Type": content_type}
+        if headers:
+            self.headers.update(headers)
+        self.body = body
+
+
+def _json_response(status: int, payload: dict[str, Any],
+                   headers: dict[str, str] | None = None) -> _Response:
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    return _Response(status, body, headers=headers)
+
+
+def _error_payload(status: int, error: str, message: str) -> dict[str, Any]:
+    return {"error": error, "message": message, "status": status}
+
+
+class QueryServer:
+    """The asyncio HTTP server wrapping one :class:`QueryService`.
+
+    Create, ``await start()``, and the server accepts connections on
+    ``address`` (``port=0`` picks a free port).  ``await stop()`` runs
+    the graceful-drain sequence.  :func:`run_server` and
+    :class:`ServerHandle` wrap this class for the CLI and for tests.
+    """
+
+    def __init__(self, service: QueryService, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        registry = service.obs.metrics
+        self._errors = registry.counter(
+            "serve.errors", "Requests answered with HTTP 500")
+        self._responses = registry.counter(
+            "serve.responses", "HTTP responses sent")
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockets = self._server.sockets
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        _LOG.info("listening", extra={"host": self.host, "port": self.port})
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        return (self.host, self.port)
+
+    async def stop(self, drain_seconds: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, drain, close the pool."""
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        self.service.begin_drain()
+        server.close()
+        await server.wait_closed()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.service.close(drain_seconds))
+        _LOG.info("stopped", extra={"host": self.host, "port": self.port})
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as error:
+                    await self._write(writer, _json_response(
+                        400, _error_payload(400, "bad_request",
+                                            str(error))), close=True)
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep_alive = request.headers.get(
+                    "connection", "keep-alive").lower() != "close"
+                await self._write(writer, response, close=not keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     response: _Response, *, close: bool) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        lines = [f"HTTP/1.1 {response.status} {reason}"]
+        headers = dict(response.headers)
+        headers["Content-Length"] = str(len(response.body))
+        headers["Connection"] = "close" if close else "keep-alive"
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + response.body)
+        self._responses.inc()
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: "_Request") -> _Response:
+        try:
+            route = _ROUTES.get(request.path)
+            if route is None:
+                return _json_response(404, _error_payload(
+                    404, "not_found", f"no route for {request.path}"))
+            method, handler_name = route
+            if request.method != method:
+                return _json_response(405, _error_payload(
+                    405, "method_not_allowed",
+                    f"{request.path} expects {method}"))
+            handler = getattr(self, handler_name)
+            response: _Response = await handler(request)
+            return response
+        except ServiceOverloadedError as error:
+            return _json_response(
+                429, _error_payload(429, "overloaded", str(error)),
+                headers={"Retry-After": _format_retry(error.retry_after)})
+        except ServiceClosedError as error:
+            return _json_response(
+                503, _error_payload(503, "draining", str(error)),
+                headers={"Retry-After": _format_retry(
+                    self.service.config.retry_after_seconds)})
+        except QueryTimeoutError as error:
+            return _json_response(
+                504, _error_payload(504, "deadline_exceeded", str(error)))
+        except UnknownDocumentError as error:
+            return _json_response(
+                404, _error_payload(404, "unknown_document", str(error)))
+        except _BadRequest as error:
+            return _json_response(
+                400, _error_payload(400, "bad_request", str(error)))
+        except ReproError as error:
+            return _json_response(
+                400, _error_payload(400, type(error).__name__, str(error)))
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            self._errors.inc()
+            _LOG.error("internal error",
+                       extra={"path": request.path, "error": repr(error)})
+            return _json_response(
+                500, _error_payload(500, "internal", repr(error)))
+
+    # -- endpoint handlers ----------------------------------------------
+    async def _handle_healthz(self, request: "_Request") -> _Response:
+        """``GET /healthz`` — liveness, drain state, corpus summary."""
+        draining = self.service.admission.draining
+        payload = {
+            "status": "draining" if draining else "ok",
+            "documents": len(self.service.engine.collection),
+            "epoch": self.service.engine.epoch,
+            "inflight": self.service.admission.inflight,
+            "cache_entries": len(self.service.cache),
+        }
+        return _json_response(503 if draining else 200, payload)
+
+    async def _handle_metrics(self, request: "_Request") -> _Response:
+        """``GET /metrics`` — the registry in Prometheus text format."""
+        text = self.service.obs.metrics.to_prometheus()
+        return _Response(200, text.encode("utf-8"),
+                         content_type="text/plain; version=0.0.4")
+
+    async def _handle_rds(self, request: "_Request") -> _Response:
+        """``POST /search/rds`` — concept-set top-k search."""
+        payload = request.json()
+        concepts = _require_concepts(payload)
+        k, algorithm, deadline = _common_params(payload)
+        result = await self.service.rds_async(
+            concepts, k, algorithm=algorithm, deadline=deadline)
+        return _json_response(200, _render_result("rds", result,
+                                                  k, algorithm))
+
+    async def _handle_sds(self, request: "_Request") -> _Response:
+        """``POST /search/sds`` — similar-document top-k search."""
+        payload = request.json()
+        k, algorithm, deadline = _common_params(payload)
+        query: str | list[str]
+        if "doc_id" in payload:
+            query = _require_str(payload, "doc_id")
+        else:
+            query = _require_concepts(payload)
+        result = await self.service.sds_async(
+            query, k, algorithm=algorithm, deadline=deadline)
+        return _json_response(200, _render_result("sds", result,
+                                                  k, algorithm))
+
+    async def _handle_explain(self, request: "_Request") -> _Response:
+        """``POST /explain`` — human-readable distance decomposition."""
+        payload = request.json()
+        doc_id = _require_str(payload, "doc_id")
+        concepts = _require_concepts(payload)
+        deadline = _optional_number(payload, "deadline")
+        text = await self.service.explain_async(
+            doc_id, concepts, deadline=deadline)
+        return _json_response(200, {"doc_id": doc_id,
+                                    "explanation": text})
+
+
+_ROUTES: dict[str, tuple[str, str]] = {
+    "/healthz": ("GET", "_handle_healthz"),
+    "/metrics": ("GET", "_handle_metrics"),
+    "/search/rds": ("POST", "_handle_rds"),
+    "/search/sds": ("POST", "_handle_sds"),
+    "/explain": ("POST", "_handle_explain"),
+}
+
+
+def _render_result(kind: str, result: ServeResult, k: int,
+                   algorithm: str) -> dict[str, Any]:
+    stats = result.results.stats
+    return {
+        "kind": kind,
+        "k": k,
+        "algorithm": algorithm,
+        "cached": result.cached,
+        "epoch": result.epoch,
+        "results": [{"doc_id": item.doc_id, "distance": item.distance}
+                    for item in result.results],
+        "stats": {
+            "docs_examined": stats.docs_examined,
+            "drc_calls": stats.drc_calls,
+            "total_seconds": stats.total_seconds,
+        },
+    }
+
+
+def _format_retry(seconds: float) -> str:
+    # Retry-After is delta-seconds per RFC 9110: a non-negative integer.
+    return str(max(1, round(seconds)))
+
+
+# ----------------------------------------------------------------------
+# Request parsing
+# ----------------------------------------------------------------------
+class _Request:
+    """One parsed HTTP request (method, path, headers, raw body)."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str,
+                 headers: dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict[str, Any]:
+        """Decode the body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise _BadRequest("empty body; expected a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("JSON body must be an object")
+        return payload
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _BadRequest("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0]
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise _BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _BadRequest("too many headers")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _BadRequest(
+            f"invalid Content-Length: {length_text!r}") from None
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise _BadRequest(f"unreasonable Content-Length: {length}")
+    body = await reader.readexactly(length) if length else b""
+    return _Request(method, path, headers, body)
+
+
+def _require_concepts(payload: dict[str, Any]) -> list[str]:
+    concepts = payload.get("concepts")
+    if not isinstance(concepts, list) or not concepts \
+            or not all(isinstance(item, str) for item in concepts):
+        raise _BadRequest(
+            "'concepts' must be a non-empty list of concept-id strings")
+    return concepts
+
+
+def _require_str(payload: dict[str, Any], key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise _BadRequest(f"'{key}' must be a non-empty string")
+    return value
+
+
+def _optional_number(payload: dict[str, Any], key: str) -> float | None:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _BadRequest(f"'{key}' must be a number")
+    return float(value)
+
+
+def _common_params(
+        payload: dict[str, Any]) -> tuple[int, str, float | None]:
+    k = payload.get("k", 10)
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise _BadRequest("'k' must be a positive integer")
+    algorithm = payload.get("algorithm", "knds")
+    if not isinstance(algorithm, str):
+        raise _BadRequest("'algorithm' must be a string")
+    deadline = _optional_number(payload, "deadline")
+    return k, algorithm, deadline
+
+
+# ----------------------------------------------------------------------
+# Entry points: blocking CLI loop and background-thread handle
+# ----------------------------------------------------------------------
+def run_server(service: QueryService, *, host: str = "127.0.0.1",
+               port: int = 8080,
+               drain_seconds: float | None = None) -> None:
+    """Serve until SIGTERM/SIGINT, then drain gracefully (blocking).
+
+    This is what ``repro serve`` runs: it owns the event loop, installs
+    the signal handlers (where the platform supports them), and returns
+    once the drain completes.
+    """
+    asyncio.run(_serve_until_signal(service, host, port, drain_seconds))
+
+
+async def _serve_until_signal(service: QueryService, host: str, port: int,
+                              drain_seconds: float | None) -> None:
+    server = QueryServer(service, host=host, port=port)
+    await server.start()
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    print(f"# serving on http://{server.host}:{server.port} "
+          f"(SIGTERM or Ctrl-C to drain and stop)")
+    await stop_event.wait()
+    await server.stop(drain_seconds)
+
+
+class ServerHandle:
+    """A :class:`QueryServer` running on a background daemon thread.
+
+    The handle owns a private event loop on its thread; :meth:`stop`
+    triggers the same graceful-drain path the signal handlers use and
+    joins the thread.  Used by the tests, the load generator examples
+    and the CI smoke script::
+
+        handle = ServerHandle.start(service, port=0)
+        ... http requests against handle.address ...
+        handle.stop()
+    """
+
+    def __init__(self, service: QueryService, host: str, port: int,
+                 drain_seconds: float | None) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._drain_seconds = drain_seconds
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    @classmethod
+    def start(cls, service: QueryService, *, host: str = "127.0.0.1",
+              port: int = 0, drain_seconds: float | None = None,
+              startup_timeout: float = 10.0) -> "ServerHandle":
+        """Boot a server thread and wait until it is accepting."""
+        handle = cls(service, host, port, drain_seconds)
+        thread = threading.Thread(target=handle._run,
+                                  name="repro-serve-http", daemon=True)
+        handle._thread = thread
+        thread.start()
+        if not handle._started.wait(startup_timeout):
+            raise ServeError("server failed to start in time")
+        if handle._error is not None:
+            raise ServeError(
+                f"server failed to start: {handle._error!r}")
+        return handle
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` once the server is accepting."""
+        return (self.host, self.port)
+
+    def stop(self, join_timeout: float = 30.0) -> None:
+        """Drain gracefully and join the server thread. Idempotent."""
+        loop, stop_event = self._loop, self._stop_event
+        thread = self._thread
+        if loop is not None and stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        if thread is not None:
+            thread.join(join_timeout)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - thread edge
+            self._error = error
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = QueryServer(self.service, host=self.host, port=self.port)
+        try:
+            await server.start()
+        except BaseException as error:
+            self._error = error
+            self._started.set()
+            return
+        self.host, self.port = server.address
+        self._started.set()
+        await self._stop_event.wait()
+        await server.stop(self._drain_seconds)

@@ -1,0 +1,187 @@
+"""Load generator for the query service: build workloads, drive HTTP.
+
+Two halves:
+
+* :func:`mixed_workload` turns a corpus into a deterministic list of
+  :class:`LoadQuery` requests (mostly RDS concept queries with a
+  configurable fraction of SDS document queries), reusing the seeded
+  generators from :mod:`repro.bench.workloads` so bench scenarios, tests
+  and the CI smoke job all replay the same traffic for a given seed.
+* :func:`run_load` fires a workload at a live server from ``threads``
+  concurrent client threads (plain :mod:`http.client`, keep-alive per
+  thread) and returns a :class:`LoadReport` of status counts, latencies
+  and transport errors.
+
+The report deliberately separates *HTTP* status codes (a 429 under
+overload is the service behaving correctly) from *transport* errors
+(connection refused/reset — the service misbehaving), which is exactly
+the distinction the acceptance criteria gate on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.corpus.collection import DocumentCollection
+from repro.bench.workloads import random_concept_queries, sample_documents
+
+
+@dataclass(frozen=True)
+class LoadQuery:
+    """One request in a workload: target ``kind`` plus its JSON payload."""
+
+    kind: str
+    payload: dict[str, Any]
+
+    @property
+    def path(self) -> str:
+        """The endpoint path this query is POSTed to."""
+        return f"/search/{self.kind}"
+
+
+def mixed_workload(collection: DocumentCollection, *, count: int = 50,
+                   nq: int = 3, k: int = 10, seed: int = 0,
+                   sds_fraction: float = 0.25) -> list[LoadQuery]:
+    """Deterministic mixed RDS/SDS workload drawn from ``collection``.
+
+    ``sds_fraction`` of the ``count`` requests (rounded down) are SDS
+    queries over random existing documents; the rest are RDS queries of
+    ``nq`` random concepts.  The two kinds are interleaved evenly so a
+    multi-threaded replay mixes them from the start.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not 0.0 <= sds_fraction <= 1.0:
+        raise ValueError(
+            f"sds_fraction must be in [0, 1], got {sds_fraction}")
+    n_sds = int(count * sds_fraction)
+    n_rds = count - n_sds
+    queries: list[LoadQuery] = []
+    for concepts in random_concept_queries(collection, nq=nq,
+                                           count=n_rds, seed=seed):
+        queries.append(LoadQuery(
+            "rds", {"concepts": list(concepts), "k": k}))
+    for document in sample_documents(collection, count=n_sds,
+                                     seed=seed + 1):
+        queries.append(LoadQuery(
+            "sds", {"doc_id": document.doc_id, "k": k}))
+    # Round-robin interleave RDS and SDS instead of two blocks.
+    rds = [q for q in queries if q.kind == "rds"]
+    sds = [q for q in queries if q.kind == "sds"]
+    mixed: list[LoadQuery] = []
+    stride = max(1, len(rds) // (len(sds) + 1))
+    while rds or sds:
+        mixed.extend(rds[:stride])
+        del rds[:stride]
+        if sds:
+            mixed.append(sds.pop(0))
+    return mixed
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one :func:`run_load` run."""
+
+    statuses: Counter[int] = field(default_factory=Counter)
+    latencies: list[float] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Requests that produced an HTTP response."""
+        return sum(self.statuses.values())
+
+    def count(self, *statuses: int) -> int:
+        """Responses with any of the given status codes."""
+        return sum(self.statuses.get(status, 0) for status in statuses)
+
+    @property
+    def server_errors(self) -> int:
+        """Responses in the 5xx range (500 means a service bug)."""
+        return sum(count for status, count in self.statuses.items()
+                   if status >= 500)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile in seconds (0 when nothing succeeded)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    int(fraction * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def merge(self, other: "LoadReport") -> None:
+        """Fold another report (from a worker thread) into this one."""
+        self.statuses.update(other.statuses)
+        self.latencies.extend(other.latencies)
+        self.errors.extend(other.errors)
+
+
+def run_load(address: tuple[str, int], workload: list[LoadQuery], *,
+             threads: int = 4, repeat: int = 1,
+             timeout: float = 30.0) -> LoadReport:
+    """Replay ``workload`` against ``address`` from concurrent threads.
+
+    Each thread opens one keep-alive connection and walks its share of
+    the workload ``repeat`` times.  Transport-level failures are
+    recorded in ``report.errors`` rather than raised, so a shedding or
+    draining server still yields a complete report.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    shards = [workload[index::threads] for index in range(threads)]
+    reports = [LoadReport() for _ in range(threads)]
+    workers = [
+        threading.Thread(
+            target=_drive, name=f"repro-loadgen-{index}",
+            args=(address, shard, repeat, timeout, reports[index]))
+        for index, shard in enumerate(shards)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    merged = LoadReport()
+    for report in reports:
+        merged.merge(report)
+    return merged
+
+
+def _drive(address: tuple[str, int], queries: list[LoadQuery],
+           repeat: int, timeout: float, report: LoadReport) -> None:
+    """Worker body: one connection, ``repeat`` passes over ``queries``."""
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        for _ in range(repeat):
+            for query in queries:
+                started = time.perf_counter()
+                try:
+                    status = _post(connection, query.path, query.payload)
+                except (OSError, http.client.HTTPException) as error:
+                    report.errors.append(f"{query.path}: {error!r}")
+                    connection.close()  # reconnect on the next request
+                    continue
+                report.statuses[status] += 1
+                report.latencies.append(time.perf_counter() - started)
+    finally:
+        connection.close()
+
+
+def _post(connection: http.client.HTTPConnection, path: str,
+          payload: dict[str, Any]) -> int:
+    """POST JSON, drain the response body, return the status code."""
+    body = json.dumps(payload)
+    connection.request("POST", path, body=body,
+                       headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    response.read()
+    return response.status

@@ -1,0 +1,414 @@
+"""The concurrent query service: engine + worker pool + cache + gate.
+
+:class:`QueryService` is the serving core that both front ends share
+(the asyncio HTTP layer in :mod:`repro.serve.http` and direct in-process
+callers such as the bench scenarios).  One request flows through four
+stages:
+
+1. **admission** — the bounded gate from :mod:`repro.serve.admission`
+   refuses work past ``workers + queue_limit`` in flight (typed 429) or
+   once draining has begun (typed 503);
+2. **cache** — the epoch-aware LRU from :mod:`repro.serve.cache`; a hit
+   never touches the engine;
+3. **execution** — the query runs on a bounded
+   :class:`~concurrent.futures.ThreadPoolExecutor`; the caller waits at
+   most ``deadline_seconds`` and gets a typed
+   :class:`repro.exceptions.QueryTimeoutError` past it (the worker may
+   still finish — the result is discarded, not cached);
+4. **publication** — every request lands in the ``serve.*`` metrics and
+   a ``serve.request`` span, so ``/metrics`` shows hit rates, shed load
+   and latency without extra wiring.
+
+Thread-safety: the service may be driven from many threads and from an
+asyncio event loop at once; all shared state (cache, gate, metrics) is
+internally locked, and the engine's query path is read-only (corpus
+mutations go through :meth:`repro.core.engine.SearchEngine.add_document`,
+which serializes itself and bumps the epoch the cache keys on).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.engine import SearchEngine
+from repro.core.results import RankedResults
+from repro.exceptions import QueryError, QueryTimeoutError, ServeError
+from repro.obs import Observability
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import CacheKey, QueryCache, normalize_key
+from repro.serve.config import ServeConfig
+from repro.types import ConceptId
+
+if TYPE_CHECKING:
+    from collections.abc import Callable
+
+_LOG = get_logger("serve")
+
+_KINDS = ("rds", "sds")
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served query: the ranking plus serving metadata.
+
+    ``cached`` tells whether the answer came from the result cache;
+    ``epoch`` is the corpus epoch the answer is valid for.
+    """
+
+    results: RankedResults
+    cached: bool
+    epoch: int
+
+
+class QueryService:
+    """Concurrent, cached, admission-controlled facade over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.core.engine.SearchEngine` to serve.  The
+        service instruments it with its own observability bundle (or
+        the one passed as ``obs``), so every layer below reports into
+        the registry exposed at ``/metrics``.
+    config:
+        A :class:`~repro.serve.config.ServeConfig`; defaults apply when
+        omitted.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle; by default the
+        service creates a private bundle with a dedicated
+        :class:`~repro.obs.metrics.MetricsRegistry` (not the process
+        global) so two services never mix their series.
+    clock:
+        Monotonic time source handed to the cache for TTL decisions
+        (injected for deterministic tests).
+
+    The service is a context manager; leaving the ``with`` block runs
+    :meth:`close`, i.e. a graceful drain.
+
+    Example
+    -------
+    >>> from repro import SearchEngine, figure3_ontology
+    >>> from repro import example4_collection
+    >>> engine = SearchEngine(figure3_ontology(), example4_collection())
+    >>> with QueryService(engine) as service:
+    ...     first = service.rds(["F", "I"], k=2)
+    ...     again = service.rds(["I", "F"], k=2)   # normalized: a hit
+    >>> first.results.doc_ids() == again.results.doc_ids()
+    True
+    >>> (first.cached, again.cached)
+    (False, True)
+    """
+
+    def __init__(self, engine: SearchEngine,
+                 config: ServeConfig | None = None, *,
+                 obs: Observability | None = None,
+                 clock: "Callable[[], float]" = time.monotonic) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.config.validate()
+        if obs is None:
+            obs = Observability(metrics=MetricsRegistry())
+        self._default_obs = obs
+        self.obs = obs
+        self.admission = AdmissionController(
+            self.config.max_inflight,
+            retry_after=self.config.retry_after_seconds)
+        self.cache: QueryCache[RankedResults] = QueryCache(
+            self.config.cache_size,
+            ttl_seconds=self.config.cache_ttl_seconds,
+            clock=clock)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve")
+        self._closed = False
+        self._wire(obs)
+        engine.instrument(obs)
+
+    # ------------------------------------------------------------------
+    # Observability wiring
+    # ------------------------------------------------------------------
+    def _wire(self, obs: Observability) -> None:
+        registry = obs.metrics
+        self._requests = registry.counter(
+            "serve.requests", "Requests admitted by the service")
+        self._rejected = registry.counter(
+            "serve.rejected", "Requests shed by admission control")
+        self._timeouts = registry.counter(
+            "serve.timeouts", "Queries abandoned at their deadline")
+        self._cache_hits = registry.counter(
+            "serve.cache_hits", "Result-cache hits")
+        self._cache_misses = registry.counter(
+            "serve.cache_misses", "Result-cache misses")
+        self._inflight_gauge = registry.gauge(
+            "serve.inflight", "Requests currently admitted")
+        self._request_seconds = registry.histogram(
+            "serve.request_seconds", "End-to-end served request latency")
+
+    def instrument(self, obs: Observability | None) -> None:
+        """Re-point serving metrics (and the engine) at ``obs``.
+
+        ``None`` restores the service's own bundle.  The bench runner
+        uses this to collect the deterministic ``serve.cache_*`` work
+        counters into a fresh registry for its untimed metrics pass.
+        """
+        target = obs if obs is not None else self._default_obs
+        self.obs = target
+        self._wire(target)
+        self.engine.instrument(target)
+
+    # ------------------------------------------------------------------
+    # Public query API (sync and async flavours)
+    # ------------------------------------------------------------------
+    def rds(self, concepts: Sequence[ConceptId], k: int = 10, *,
+            algorithm: str = "knds",
+            deadline: float | None = None) -> ServeResult:
+        """Serve one Relevant Document Search (cache-aware, bounded)."""
+        pending = self._begin("rds", concepts, k, algorithm, deadline)
+        return pending.wait()
+
+    def sds(self, query: str | Sequence[ConceptId], k: int = 10, *,
+            algorithm: str = "knds",
+            deadline: float | None = None) -> ServeResult:
+        """Serve one Similar Document Search.
+
+        ``query`` is a doc id from the collection or a bare concept
+        sequence; either way the cache key is the document's *concept
+        set*, so an SDS by id and an SDS by that document's concepts
+        share one entry.
+        """
+        pending = self._begin("sds", self._sds_concepts(query), k,
+                              algorithm, deadline)
+        return pending.wait()
+
+    async def rds_async(self, concepts: Sequence[ConceptId], k: int = 10,
+                        *, algorithm: str = "knds",
+                        deadline: float | None = None) -> ServeResult:
+        """Asyncio flavour of :meth:`rds` (same semantics, no blocking)."""
+        pending = self._begin("rds", concepts, k, algorithm, deadline)
+        return await pending.wait_async()
+
+    async def sds_async(self, query: str | Sequence[ConceptId],
+                        k: int = 10, *, algorithm: str = "knds",
+                        deadline: float | None = None) -> ServeResult:
+        """Asyncio flavour of :meth:`sds` (same semantics, no blocking)."""
+        pending = self._begin("sds", self._sds_concepts(query), k,
+                              algorithm, deadline)
+        return await pending.wait_async()
+
+    def explain(self, doc_id: str, concepts: Sequence[ConceptId], *,
+                deadline: float | None = None) -> str:
+        """Serve one distance explanation (admitted and bounded, uncached).
+
+        Explanations are rare, diagnostic and depend on the live corpus,
+        so they go through admission and the deadline but skip the
+        result cache.
+        """
+        timeout = self._timeout(deadline)
+        start = self._admit()
+        try:
+            future = self._executor.submit(
+                self.engine.explain, doc_id, list(concepts))
+            try:
+                return future.result(timeout=timeout)
+            except TimeoutError:
+                future.cancel()
+                self._timeouts.inc()
+                raise QueryTimeoutError(timeout) from None
+        finally:
+            self._finish(start, "explain")
+
+    async def explain_async(self, doc_id: str,
+                            concepts: Sequence[ConceptId], *,
+                            deadline: float | None = None) -> str:
+        """Asyncio flavour of :meth:`explain`."""
+        timeout = self._timeout(deadline)
+        start = self._admit()
+        try:
+            future = self._executor.submit(
+                self.engine.explain, doc_id, list(concepts))
+            try:
+                return await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout)
+            except TimeoutError:
+                future.cancel()
+                self._timeouts.inc()
+                raise QueryTimeoutError(timeout) from None
+        finally:
+            self._finish(start, "explain")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Refuse new queries from now on; in-flight ones keep running."""
+        self.admission.begin_drain()
+        _LOG.info("service draining",
+                  extra={"inflight": self.admission.inflight})
+
+    def close(self, drain_seconds: float | None = None) -> bool:
+        """Graceful shutdown: drain, wait, stop the worker pool.
+
+        Waits up to ``drain_seconds`` (default: the configured
+        ``drain_seconds``) for in-flight queries, then shuts the
+        executor down, cancelling anything still queued.  Returns
+        ``True`` when the service went idle before the timeout.
+        Idempotent.
+        """
+        if self._closed:
+            return True
+        self._closed = True
+        timeout = (self.config.drain_seconds
+                   if drain_seconds is None else drain_seconds)
+        self.begin_drain()
+        idle = self.admission.wait_idle(timeout)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        _LOG.info("service closed", extra={"drained": idle})
+        return idle
+
+    def __enter__(self) -> "QueryService":
+        """Enter the context manager; returns the service itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Exit the context manager via a graceful :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _timeout(self, deadline: float | None) -> float:
+        return (self.config.deadline_seconds
+                if deadline is None else deadline)
+
+    def _admit(self) -> float:
+        """Pass the admission gate; returns the request start time."""
+        try:
+            self.admission.admit()
+        except ServeError:
+            self._rejected.inc()
+            raise
+        self._requests.inc()
+        self._inflight_gauge.inc()
+        return time.perf_counter()
+
+    def _finish(self, start: float, kind: str) -> None:
+        """Release the slot and record the request span + latency."""
+        end = time.perf_counter()
+        self._inflight_gauge.dec()
+        self.admission.release()
+        self._request_seconds.observe(end - start)
+        self.obs.tracer.record("serve.request", start, end, kind=kind)
+
+    def _begin(self, kind: str, concepts: Sequence[ConceptId], k: int,
+               algorithm: str, deadline: float | None) -> "_PendingQuery":
+        """Admission + cache lookup; returns a waitable pending query."""
+        if kind not in _KINDS:
+            raise QueryError(f"unknown query kind: {kind!r}")
+        timeout = self._timeout(deadline)
+        start = self._admit()
+        try:
+            key = normalize_key(kind, concepts, k, algorithm)
+            epoch = self.engine.epoch
+            hit = self.cache.get(key, epoch)
+            if hit is not None:
+                self._cache_hits.inc()
+                return _PendingQuery(
+                    self, kind, start, timeout,
+                    hit=ServeResult(hit, True, epoch))
+            self._cache_misses.inc()
+            future = self._executor.submit(
+                self._execute, kind, tuple(concepts), k, algorithm)
+            return _PendingQuery(self, kind, start, timeout,
+                                 key=key, epoch=epoch, future=future)
+        except BaseException:
+            self._finish(start, kind)
+            raise
+
+    def _execute(self, kind: str, concepts: tuple[ConceptId, ...],
+                 k: int, algorithm: str) -> RankedResults:
+        """Run the actual engine query (on a worker thread)."""
+        if kind == "rds":
+            return self.engine.rds(list(concepts), k, algorithm=algorithm)
+        return self.engine.sds(list(concepts), k, algorithm=algorithm)
+
+    def _sds_concepts(
+            self,
+            query: str | Sequence[ConceptId]) -> Sequence[ConceptId]:
+        """Resolve an SDS query (doc id or concepts) to its concept set."""
+        if isinstance(query, str):
+            return self.engine.collection.get(query).require_concepts()
+        return query
+
+
+class _PendingQuery:
+    """One admitted query, waitable from sync code or a coroutine.
+
+    Either ``hit`` is set (immediate cache hit) or ``future`` runs on
+    the service's worker pool; both flavours of ``wait`` release the
+    admission slot and record the request exactly once.
+    """
+
+    __slots__ = ("_service", "_kind", "_start", "_timeout", "_hit",
+                 "_key", "_epoch", "_future")
+
+    def __init__(self, service: QueryService, kind: str, start: float,
+                 timeout: float, *, hit: ServeResult | None = None,
+                 key: CacheKey | None = None, epoch: int = 0,
+                 future: "Future[RankedResults] | None" = None) -> None:
+        self._service = service
+        self._kind = kind
+        self._start = start
+        self._timeout = timeout
+        self._hit = hit
+        self._key = key
+        self._epoch = epoch
+        self._future = future
+
+    def wait(self) -> ServeResult:
+        """Block for the result (at most the deadline)."""
+        try:
+            if self._hit is not None:
+                return self._hit
+            future = self._future
+            if future is None:  # pragma: no cover - constructor contract
+                raise QueryError("pending query has neither hit nor future")
+            try:
+                results = future.result(timeout=self._timeout)
+            except TimeoutError:
+                future.cancel()
+                self._service._timeouts.inc()
+                raise QueryTimeoutError(self._timeout) from None
+            return self._store(results)
+        finally:
+            self._service._finish(self._start, self._kind)
+
+    async def wait_async(self) -> ServeResult:
+        """Await the result without blocking the event loop."""
+        try:
+            if self._hit is not None:
+                return self._hit
+            future = self._future
+            if future is None:  # pragma: no cover - constructor contract
+                raise QueryError("pending query has neither hit nor future")
+            try:
+                results = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self._timeout)
+            except TimeoutError:
+                future.cancel()
+                self._service._timeouts.inc()
+                raise QueryTimeoutError(self._timeout) from None
+            return self._store(results)
+        finally:
+            self._service._finish(self._start, self._kind)
+
+    def _store(self, results: RankedResults) -> ServeResult:
+        if self._key is not None:
+            self._service.cache.put(self._key, self._epoch, results)
+        return ServeResult(results, False, self._epoch)

@@ -1,0 +1,121 @@
+"""SQLite store under threads: shared-connection reads, locked writes."""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.index.sqlite import SQLiteIndexStore
+
+
+@pytest.fixture()
+def store(example4):
+    store = SQLiteIndexStore.build(example4)
+    yield store
+    store.close()
+
+
+def test_sqlite3_is_serialized():
+    # The documented concurrency model leans on CPython shipping the
+    # serialized threading mode; fail loudly if a build ever does not.
+    assert sqlite3.threadsafety == 3
+
+
+def test_connection_is_shared_across_threads(store):
+    seen = []
+
+    def reader():
+        seen.append(store.inverted.postings("F"))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    thread.join()
+    assert seen and seen[0] == store.inverted.postings("F")
+
+
+def test_concurrent_reads_are_consistent(store, example4):
+    doc_ids = example4.doc_ids()
+    expected = {doc_id: store.forward.concepts(doc_id)
+                for doc_id in doc_ids}
+    errors = []
+
+    def reader(seed):
+        try:
+            for i in range(100):
+                doc_id = doc_ids[(seed + i) % len(doc_ids)]
+                assert store.forward.concepts(doc_id) == expected[doc_id]
+                store.inverted.postings("F")
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=reader, args=(t,))
+               for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+
+def test_readers_see_whole_mutation_or_nothing(store):
+    # A reader either finds all of a document's rows (forward + size
+    # agree) or none; never a half-applied insert.
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                try:
+                    concepts = store.forward.concepts("w1")
+                    count = store.forward.concept_count("w1")
+                except Exception:
+                    continue  # not inserted yet (or already removed)
+                assert len(concepts) == count
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    def writer():
+        try:
+            for _ in range(50):
+                store.add_document(Document("w1", ["F", "I", "B"]))
+                store.remove_document("w1")
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    write_thread = threading.Thread(target=writer)
+    for thread in readers:
+        thread.start()
+    write_thread.start()
+    write_thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+    assert not errors
+
+
+def test_concurrent_writers_do_not_corrupt(store):
+    errors = []
+
+    def writer(index):
+        try:
+            for i in range(25):
+                doc_id = f"t{index}_{i}"
+                store.add_document(Document(doc_id, ["F", "I"]))
+                store.remove_document(doc_id)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(t,))
+               for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    # All the temporary documents are gone; the original corpus remains.
+    assert len(store.forward) == 6

@@ -1,0 +1,98 @@
+"""AdmissionController: ceiling, typed refusals, drain, idle wait."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import (InvariantError, ServiceClosedError,
+                              ServiceOverloadedError)
+from repro.serve.admission import AdmissionController
+
+
+def test_admits_up_to_limit_then_refuses():
+    gate = AdmissionController(2, retry_after=3.0)
+    gate.admit()
+    gate.admit()
+    with pytest.raises(ServiceOverloadedError) as excinfo:
+        gate.admit()
+    assert excinfo.value.retry_after == 3.0
+    assert gate.inflight == 2
+
+
+def test_release_reopens_a_slot():
+    gate = AdmissionController(1)
+    gate.admit()
+    with pytest.raises(ServiceOverloadedError):
+        gate.admit()
+    gate.release()
+    gate.admit()  # slot is free again
+    assert gate.inflight == 1
+
+
+def test_release_without_admit_is_an_invariant_violation():
+    with pytest.raises(InvariantError):
+        AdmissionController(1).release()
+
+
+def test_zero_limit_rejects_everything():
+    gate = AdmissionController(0)
+    with pytest.raises(ServiceOverloadedError):
+        gate.admit()
+
+
+def test_negative_limit_rejected():
+    with pytest.raises(ValueError):
+        AdmissionController(-1)
+
+
+def test_drain_refuses_new_work_but_keeps_slots():
+    gate = AdmissionController(4)
+    gate.admit()
+    gate.begin_drain()
+    assert gate.draining
+    with pytest.raises(ServiceClosedError):
+        gate.admit()
+    assert gate.inflight == 1  # the in-flight request kept its slot
+    gate.release()
+    assert gate.inflight == 0
+
+
+def test_slot_context_manager_releases_on_error():
+    gate = AdmissionController(1)
+    with pytest.raises(RuntimeError):
+        with gate.slot():
+            assert gate.inflight == 1
+            raise RuntimeError("boom")
+    assert gate.inflight == 0
+
+
+def test_wait_idle_returns_immediately_when_idle():
+    assert AdmissionController(1).wait_idle(timeout=0.01)
+
+
+def test_wait_idle_times_out_while_busy():
+    gate = AdmissionController(1)
+    gate.admit()
+    assert not gate.wait_idle(timeout=0.01)
+    gate.release()
+
+
+def test_wait_idle_wakes_on_last_release():
+    gate = AdmissionController(2)
+    gate.admit()
+    gate.admit()
+    woke = threading.Event()
+
+    def waiter():
+        if gate.wait_idle(timeout=5.0):
+            woke.set()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    gate.release()
+    assert not woke.wait(0.05)  # still one in flight
+    gate.release()
+    thread.join(5.0)
+    assert woke.is_set()

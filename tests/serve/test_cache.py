@@ -1,0 +1,175 @@
+"""QueryCache semantics: normalization, LRU, TTL, epoch invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.cache import QueryCache, normalize_key
+
+
+def key(*concepts, kind="rds", k=10, algorithm="knds"):
+    return normalize_key(kind, concepts, k, algorithm)
+
+
+class TestKeyNormalization:
+    def test_concept_order_is_irrelevant(self):
+        assert key("I", "F") == key("F", "I")
+
+    def test_kind_k_and_algorithm_distinguish(self):
+        base = key("F", "I")
+        assert key("F", "I", kind="sds") != base
+        assert key("F", "I", k=5) != base
+        assert key("F", "I", algorithm="fullscan") != base
+
+    def test_key_is_hashable_and_stable(self):
+        assert key("B", "A") == ("rds", ("A", "B"), 10, "knds")
+        assert hash(key("B", "A")) == hash(key("A", "B"))
+
+
+class TestLRU:
+    def test_eviction_drops_least_recently_used(self):
+        cache = QueryCache(2)
+        cache.put(key("A"), 0, "a")
+        cache.put(key("B"), 0, "b")
+        assert cache.get(key("A"), 0) == "a"  # refresh A's position
+        cache.put(key("C"), 0, "c")  # evicts B, the coldest
+        assert cache.get(key("B"), 0) is None
+        assert cache.get(key("A"), 0) == "a"
+        assert cache.get(key("C"), 0) == "c"
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_position(self):
+        cache = QueryCache(2)
+        cache.put(key("A"), 0, "a")
+        cache.put(key("B"), 0, "b")
+        cache.put(key("A"), 0, "a2")  # rewrite warms A
+        cache.put(key("C"), 0, "c")
+        assert cache.get(key("A"), 0) == "a2"
+        assert cache.get(key("B"), 0) is None
+
+    def test_keys_are_coldest_first(self):
+        cache = QueryCache(3)
+        for name in ("A", "B", "C"):
+            cache.put(key(name), 0, name)
+        cache.get(key("A"), 0)
+        assert cache.keys() == [key("B"), key("C"), key("A")]
+
+    def test_zero_capacity_disables_caching(self):
+        cache = QueryCache(0)
+        cache.put(key("A"), 0, "a")
+        assert len(cache) == 0
+        assert cache.get(key("A"), 0) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(-1)
+
+
+class TestTTL:
+    def test_entry_expires_with_injected_clock(self):
+        now = [0.0]
+        cache = QueryCache(8, ttl_seconds=5.0, clock=lambda: now[0])
+        cache.put(key("A"), 0, "a")
+        now[0] = 4.9
+        assert cache.get(key("A"), 0) == "a"
+        now[0] = 5.1
+        assert cache.get(key("A"), 0) is None
+        assert cache.stats.expirations == 1
+        assert key("A") not in cache  # dropped, not just hidden
+
+    def test_hit_does_not_extend_ttl(self):
+        now = [0.0]
+        cache = QueryCache(8, ttl_seconds=5.0, clock=lambda: now[0])
+        cache.put(key("A"), 0, "a")
+        now[0] = 4.0
+        assert cache.get(key("A"), 0) == "a"
+        now[0] = 6.0
+        assert cache.get(key("A"), 0) is None
+
+    def test_rewrite_restarts_ttl(self):
+        now = [0.0]
+        cache = QueryCache(8, ttl_seconds=5.0, clock=lambda: now[0])
+        cache.put(key("A"), 0, "a")
+        now[0] = 4.0
+        cache.put(key("A"), 0, "a2")
+        now[0] = 8.0  # 8 > 5 from first write, but only 4 from rewrite
+        assert cache.get(key("A"), 0) == "a2"
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(8, ttl_seconds=0.0)
+        with pytest.raises(ValueError):
+            QueryCache(8, ttl_seconds=-1.0)
+
+
+class TestEpoch:
+    def test_newer_epoch_invalidates(self):
+        cache = QueryCache(8)
+        cache.put(key("A"), 0, "a")
+        assert cache.get(key("A"), 1) is None
+        assert cache.stats.invalidations == 1
+        assert key("A") not in cache
+
+    def test_same_epoch_hits(self):
+        cache = QueryCache(8)
+        cache.put(key("A"), 3, "a")
+        assert cache.get(key("A"), 3) == "a"
+
+    def test_stale_write_never_served_to_new_epoch(self):
+        # A worker that computed under epoch 0 may store after the
+        # corpus moved to epoch 1; the entry must not satisfy epoch-1
+        # lookups.
+        cache = QueryCache(8)
+        cache.put(key("A"), 0, "stale")
+        assert cache.get(key("A"), 1) is None
+        cache.put(key("A"), 1, "fresh")
+        assert cache.get(key("A"), 1) == "fresh"
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = QueryCache(8)
+        cache.put(key("A"), 0, "a")
+        cache.get(key("A"), 0)
+        cache.get(key("B"), 0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_idle_hit_rate_is_zero(self):
+        assert QueryCache(8).stats.hit_rate == 0.0
+
+    def test_clear_keeps_counters(self):
+        cache = QueryCache(8)
+        cache.put(key("A"), 0, "a")
+        cache.get(key("A"), 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+def test_concurrent_mixed_use_is_safe():
+    cache = QueryCache(16)
+    errors = []
+
+    def worker(seed):
+        try:
+            for i in range(200):
+                k = key(f"C{(seed + i) % 24}")
+                if cache.get(k, 0) is None:
+                    cache.put(k, 0, f"v{seed}")
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 16
+    stats = cache.stats
+    assert stats.lookups == 8 * 200

@@ -1,0 +1,225 @@
+"""HTTP layer: endpoints, status mapping, overload, graceful shutdown."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.serve import QueryService, ServeConfig, ServerHandle
+
+
+@pytest.fixture()
+def engine(figure3, example4):
+    engine = SearchEngine(figure3, example4)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def service(engine):
+    service = QueryService(engine, ServeConfig(workers=2, queue_limit=8))
+    yield service
+    service.close(drain_seconds=0.0)
+
+
+@pytest.fixture()
+def server(service):
+    handle = ServerHandle.start(service, port=0)
+    yield handle
+    handle.stop()
+
+
+def request(server, method, path, payload=None, timeout=10.0):
+    """One-shot HTTP request; returns (status, headers, parsed body)."""
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw.startswith(b"{") else raw
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        connection.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["documents"] == 6
+        assert body["epoch"] == 0
+
+    def test_metrics_is_prometheus_text(self, server):
+        status, headers, body = request(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_cache_misses" in text
+
+    def test_rds_search(self, server, engine):
+        status, _, body = request(server, "POST", "/search/rds",
+                                  {"concepts": ["F", "I"], "k": 2})
+        assert status == 200
+        assert body["kind"] == "rds"
+        assert not body["cached"]
+        expected = engine.rds(["F", "I"], k=2)
+        assert [item["doc_id"] for item in body["results"]] \
+            == expected.doc_ids()
+        # A repeat is served from the cache and says so.
+        status, _, again = request(server, "POST", "/search/rds",
+                                   {"concepts": ["I", "F"], "k": 2})
+        assert status == 200
+        assert again["cached"]
+        assert again["results"] == body["results"]
+
+    def test_sds_by_doc_id(self, server, engine):
+        doc_id = engine.collection.doc_ids()[0]
+        status, _, body = request(server, "POST", "/search/sds",
+                                  {"doc_id": doc_id, "k": 3})
+        assert status == 200
+        assert body["kind"] == "sds"
+        assert len(body["results"]) == 3
+
+    def test_explain(self, server, engine):
+        doc_id = engine.collection.doc_ids()[0]
+        status, _, body = request(server, "POST", "/explain",
+                                  {"doc_id": doc_id, "concepts": ["F"]})
+        assert status == 200
+        assert body["doc_id"] == doc_id
+        assert body["explanation"]
+
+
+class TestErrorMapping:
+    def test_unknown_route_is_404(self, server):
+        status, _, body = request(server, "GET", "/nope")
+        assert status == 404
+        assert body["error"] == "not_found"
+
+    def test_wrong_method_is_405(self, server):
+        status, _, _ = request(server, "POST", "/healthz", {})
+        assert status == 405
+        status, _, _ = request(server, "GET", "/search/rds")
+        assert status == 405
+
+    def test_malformed_json_is_400(self, server):
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/search/rds", body=b"{not json",
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"] == "bad_request"
+        finally:
+            connection.close()
+
+    def test_missing_concepts_is_400(self, server):
+        status, _, _ = request(server, "POST", "/search/rds", {"k": 2})
+        assert status == 400
+        status, _, _ = request(server, "POST", "/search/rds",
+                               {"concepts": []})
+        assert status == 400
+
+    def test_bad_k_is_400(self, server):
+        status, _, _ = request(server, "POST", "/search/rds",
+                               {"concepts": ["F"], "k": 0})
+        assert status == 400
+
+    def test_unknown_document_is_404(self, server):
+        status, _, body = request(server, "POST", "/search/sds",
+                                  {"doc_id": "missing"})
+        assert status == 404
+        assert body["error"] == "unknown_document"
+
+    def test_unknown_concept_is_400(self, server):
+        status, _, _ = request(server, "POST", "/search/rds",
+                               {"concepts": ["NOT_A_CONCEPT"]})
+        assert status == 400
+
+
+class TestOverload:
+    def test_excess_load_gets_429_with_retry_after(self, engine, figure3):
+        release = threading.Event()
+        started = threading.Event()
+        real_rds = engine.rds
+
+        def blocking_rds(*args, **kwargs):
+            started.set()
+            release.wait(10.0)
+            return real_rds(*args, **kwargs)
+
+        engine.rds = blocking_rds  # type: ignore[method-assign]
+        config = ServeConfig(workers=1, queue_limit=0,
+                             retry_after_seconds=2.0)
+        service = QueryService(engine, config)
+        handle = ServerHandle.start(service, port=0)
+        try:
+            filler = threading.Thread(
+                target=request,
+                args=(handle, "POST", "/search/rds"),
+                kwargs={"payload": {"concepts": ["F"], "k": 2}})
+            filler.start()
+            assert started.wait(10.0)
+            status, headers, body = request(
+                handle, "POST", "/search/rds",
+                {"concepts": ["B"], "k": 2})
+            assert status == 429
+            assert headers["Retry-After"] == "2"
+            assert body["error"] == "overloaded"
+            release.set()
+            filler.join(10.0)
+        finally:
+            release.set()
+            handle.stop()
+
+    def test_timeout_maps_to_504(self, server, engine, monkeypatch):
+        import time as time_module
+
+        def slow_rds(*args, **kwargs):
+            time_module.sleep(0.5)
+
+        monkeypatch.setattr(engine, "rds", slow_rds)
+        status, _, body = request(
+            server, "POST", "/search/rds",
+            {"concepts": ["F"], "k": 2, "deadline": 0.05})
+        assert status == 504
+        assert body["error"] == "deadline_exceeded"
+
+
+class TestShutdown:
+    def test_draining_healthz_is_503(self, server, service):
+        service.begin_drain()
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 503
+        assert body["status"] == "draining"
+
+    def test_stop_refuses_new_connections(self, engine):
+        service = QueryService(engine, ServeConfig(workers=1))
+        handle = ServerHandle.start(service, port=0)
+        host, port = handle.address
+        status, _, _ = request(handle, "GET", "/healthz")
+        assert status == 200
+        handle.stop()
+        with pytest.raises(OSError):
+            connection = http.client.HTTPConnection(host, port, timeout=2)
+            try:
+                connection.request("GET", "/healthz")
+                connection.getresponse()
+            finally:
+                connection.close()
+
+    def test_stop_is_idempotent(self, engine):
+        service = QueryService(engine, ServeConfig(workers=1))
+        handle = ServerHandle.start(service, port=0)
+        handle.stop()
+        handle.stop()

@@ -1,0 +1,96 @@
+"""Load generator: deterministic workloads, concurrent replay, report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.serve import (LoadQuery, QueryService, ServeConfig,
+                         ServerHandle, mixed_workload, run_load)
+
+
+@pytest.fixture()
+def engine(figure3, example4):
+    engine = SearchEngine(figure3, example4)
+    yield engine
+    engine.close()
+
+
+class TestMixedWorkload:
+    def test_deterministic_for_a_seed(self, example4):
+        first = mixed_workload(example4, count=20, nq=2, seed=9)
+        second = mixed_workload(example4, count=20, nq=2, seed=9)
+        assert first == second
+        assert first != mixed_workload(example4, count=20, nq=2, seed=10)
+
+    def test_mix_and_interleaving(self, example4):
+        workload = mixed_workload(example4, count=20, nq=2, seed=3,
+                                  sds_fraction=0.25)
+        assert len(workload) == 20
+        kinds = [query.kind for query in workload]
+        assert kinds.count("sds") == 5
+        # SDS queries are spread out, not bunched at either end.
+        first_sds = kinds.index("sds")
+        assert first_sds < len(kinds) - 5
+
+    def test_pure_rds(self, example4):
+        workload = mixed_workload(example4, count=8, sds_fraction=0.0)
+        assert all(query.kind == "rds" for query in workload)
+
+    def test_paths(self):
+        assert LoadQuery("rds", {}).path == "/search/rds"
+        assert LoadQuery("sds", {}).path == "/search/sds"
+
+    def test_validation(self, example4):
+        with pytest.raises(ValueError):
+            mixed_workload(example4, count=0)
+        with pytest.raises(ValueError):
+            mixed_workload(example4, sds_fraction=1.5)
+
+
+class TestRunLoad:
+    def test_mixed_load_yields_no_server_errors(self, engine, example4):
+        service = QueryService(engine, ServeConfig(workers=2,
+                                                   queue_limit=32))
+        handle = ServerHandle.start(service, port=0)
+        try:
+            workload = mixed_workload(example4, count=24, nq=2, k=3,
+                                      seed=5)
+            report = run_load(handle.address, workload, threads=4,
+                              repeat=2)
+            assert report.total == 48
+            assert report.statuses[200] == 48
+            assert report.server_errors == 0
+            assert not report.errors
+            assert len(report.latencies) == 48
+            assert report.percentile(0.5) > 0.0
+            assert report.percentile(0.5) <= report.percentile(0.99)
+        finally:
+            handle.stop()
+
+    def test_report_counts_and_merge(self):
+        from repro.serve.loadgen import LoadReport
+
+        left = LoadReport()
+        left.statuses[200] = 3
+        left.latencies.extend([0.1, 0.2, 0.3])
+        right = LoadReport()
+        right.statuses[429] = 2
+        right.errors.append("boom")
+        left.merge(right)
+        assert left.total == 5
+        assert left.count(200) == 3
+        assert left.count(429, 503) == 2
+        assert left.server_errors == 0
+        assert left.errors == ["boom"]
+
+    def test_empty_report_percentile(self):
+        from repro.serve.loadgen import LoadReport
+
+        assert LoadReport().percentile(0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_load(("127.0.0.1", 1), [], threads=0)
+        with pytest.raises(ValueError):
+            run_load(("127.0.0.1", 1), [], repeat=0)

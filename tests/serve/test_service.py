@@ -1,0 +1,256 @@
+"""QueryService: caching, invalidation, deadlines, overload, drain."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.corpus.document import Document
+from repro.exceptions import (QueryError, QueryTimeoutError,
+                              ServiceClosedError, ServiceOverloadedError,
+                              UnknownDocumentError)
+from repro.serve import QueryService, ServeConfig
+
+
+@pytest.fixture()
+def engine(figure3, example4):
+    engine = SearchEngine(figure3, example4)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def service(engine):
+    with QueryService(engine, ServeConfig(workers=2,
+                                          queue_limit=8)) as service:
+        yield service
+
+
+class TestEpochProperty:
+    def test_starts_at_zero(self, engine):
+        assert engine.epoch == 0
+
+    def test_mutations_bump_monotonically(self, engine):
+        engine.add_document(Document("new1", ["F", "I"]))
+        assert engine.epoch == 1
+        engine.add_document(Document("new2", ["B"]))
+        assert engine.epoch == 2
+        engine.remove_document("new1")
+        assert engine.epoch == 3
+
+    def test_failed_mutation_keeps_epoch(self, engine):
+        with pytest.raises(UnknownDocumentError):
+            engine.remove_document("missing")
+        assert engine.epoch == 0
+
+
+class TestResults:
+    def test_rds_matches_engine(self, engine, service):
+        direct = engine.rds(["F", "I"], k=3)
+        served = service.rds(["F", "I"], k=3)
+        assert served.results.doc_ids() == direct.doc_ids()
+        assert served.results.distances() == direct.distances()
+        assert served.epoch == 0
+
+    def test_sds_by_doc_id_matches_engine(self, engine, service):
+        doc_id = engine.collection.doc_ids()[0]
+        direct = engine.sds(doc_id, k=3)
+        served = service.sds(doc_id, k=3)
+        assert served.results.doc_ids() == direct.doc_ids()
+
+    def test_unknown_sds_document_raises(self, service):
+        with pytest.raises(UnknownDocumentError):
+            service.sds("missing", k=2)
+
+    def test_unknown_kind_rejected(self, service):
+        with pytest.raises(QueryError):
+            service._begin("nope", ["F"], 2, "knds", None)
+
+    def test_explain_is_served(self, engine, service):
+        doc_id = engine.collection.doc_ids()[0]
+        assert service.explain(doc_id, ["F"]) == engine.explain(
+            doc_id, ["F"])
+
+
+class TestCaching:
+    def test_second_identical_query_is_cached(self, service):
+        first = service.rds(["F", "I"], k=2)
+        again = service.rds(["F", "I"], k=2)
+        assert not first.cached
+        assert again.cached
+        assert again.results.doc_ids() == first.results.doc_ids()
+
+    def test_concept_order_shares_the_entry(self, service):
+        service.rds(["F", "I"], k=2)
+        assert service.rds(["I", "F"], k=2).cached
+
+    def test_k_and_algorithm_are_part_of_the_key(self, service):
+        service.rds(["F", "I"], k=2)
+        assert not service.rds(["F", "I"], k=3).cached
+        assert not service.rds(["F", "I"], k=2,
+                               algorithm="fullscan").cached
+
+    def test_rds_and_sds_do_not_collide(self, engine, service):
+        doc = engine.collection.get(engine.collection.doc_ids()[0])
+        concepts = list(doc.require_concepts())
+        service.rds(concepts, k=2)
+        assert not service.sds(concepts, k=2).cached
+
+    def test_sds_by_id_and_by_concepts_share_the_entry(self, engine,
+                                                       service):
+        doc = engine.collection.get(engine.collection.doc_ids()[0])
+        service.sds(doc.doc_id, k=2)
+        assert service.sds(list(doc.require_concepts()), k=2).cached
+
+    def test_add_document_invalidates_cached_answer(self, engine,
+                                                    service):
+        # The acceptance criterion: a cached top-k must reflect a
+        # document added after it was cached.
+        before = service.rds(["F", "I"], k=2)
+        assert service.rds(["F", "I"], k=2).cached
+        engine.add_document(Document("exact", ["F", "I"]))
+        after = service.rds(["F", "I"], k=2)
+        assert not after.cached  # epoch bump invalidated the entry
+        assert after.epoch == 1
+        assert "exact" in after.results.doc_ids()
+        assert after.results.doc_ids() != before.results.doc_ids()
+        assert after.results.distances()[0] == 0.0
+
+    def test_remove_document_invalidates_cached_answer(self, engine,
+                                                       service):
+        engine.add_document(Document("exact", ["F", "I"]))
+        top = service.rds(["F", "I"], k=2)
+        assert top.results.doc_ids()[0] == "exact"
+        engine.remove_document("exact")
+        after = service.rds(["F", "I"], k=2)
+        assert not after.cached
+        assert "exact" not in after.results.doc_ids()
+
+    def test_cache_disabled_by_zero_size(self, engine):
+        with QueryService(engine, ServeConfig(cache_size=0)) as service:
+            service.rds(["F", "I"], k=2)
+            assert not service.rds(["F", "I"], k=2).cached
+
+    def test_ttl_expiry_with_injected_clock(self, engine):
+        now = [0.0]
+        config = ServeConfig(cache_ttl_seconds=10.0)
+        with QueryService(engine, config, clock=lambda: now[0]) as service:
+            service.rds(["F", "I"], k=2)
+            now[0] = 9.0
+            assert service.rds(["F", "I"], k=2).cached
+            now[0] = 11.0
+            assert not service.rds(["F", "I"], k=2).cached
+
+
+class TestDeadlines:
+    def test_slow_query_times_out(self, engine, service, monkeypatch):
+        def slow_rds(*args, **kwargs):
+            time.sleep(0.5)
+
+        monkeypatch.setattr(engine, "rds", slow_rds)
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            service.rds(["F", "I"], k=2, deadline=0.05)
+        assert excinfo.value.seconds == 0.05
+        # The slot was released despite the timeout.
+        assert service.admission.inflight == 0
+
+    def test_timed_out_result_is_not_cached(self, engine, service,
+                                            monkeypatch):
+        real_rds = engine.rds
+
+        def slow_rds(*args, **kwargs):
+            time.sleep(0.2)
+            return real_rds(*args, **kwargs)
+
+        monkeypatch.setattr(engine, "rds", slow_rds)
+        with pytest.raises(QueryTimeoutError):
+            service.rds(["F", "I"], k=2, deadline=0.05)
+        monkeypatch.setattr(engine, "rds", real_rds)
+        time.sleep(0.3)  # let the abandoned worker finish storing
+        # The late store (if any) is keyed under the same epoch; the
+        # next query may hit it — but it must be the *correct* answer.
+        result = service.rds(["F", "I"], k=2)
+        assert result.results.doc_ids() == real_rds(["F", "I"],
+                                                    k=2).doc_ids()
+
+
+class TestOverload:
+    def test_excess_load_is_shed_with_retry_after(self, engine):
+        config = ServeConfig(workers=1, queue_limit=0,
+                             retry_after_seconds=2.0)
+        release = threading.Event()
+        started = threading.Event()
+        real_rds = engine.rds
+
+        def blocking_rds(*args, **kwargs):
+            started.set()
+            release.wait(5.0)
+            return real_rds(*args, **kwargs)
+
+        engine.rds = blocking_rds  # type: ignore[method-assign]
+        with QueryService(engine, config) as service:
+            worker = threading.Thread(
+                target=lambda: service.rds(["F", "I"], k=2))
+            worker.start()
+            assert started.wait(5.0)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                service.rds(["B"], k=2)
+            assert excinfo.value.retry_after == 2.0
+            release.set()
+            worker.join(5.0)
+            # With the slot free the service accepts again.
+            assert service.rds(["B"], k=2).results is not None
+
+    def test_draining_service_refuses_new_queries(self, service):
+        service.begin_drain()
+        with pytest.raises(ServiceClosedError):
+            service.rds(["F", "I"], k=2)
+
+    def test_close_is_idempotent_and_drains(self, service):
+        assert service.close()
+        assert service.close()
+        with pytest.raises(ServiceClosedError):
+            service.rds(["F", "I"], k=2)
+
+
+class TestConcurrentMixedLoad:
+    def test_many_threads_no_errors(self, engine, service):
+        doc_ids = engine.collection.doc_ids()
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(20):
+                    if (seed + i) % 4 == 0:
+                        service.sds(doc_ids[(seed + i) % len(doc_ids)],
+                                    k=3)
+                    else:
+                        service.rds(["F", "I", "B"][: 1 + (seed + i) % 3],
+                                    k=3)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.admission.inflight == 0
+        stats = service.cache.stats
+        assert stats.hits > 0  # the repeated queries were served hot
+
+
+class TestMetrics:
+    def test_serve_counters_flow(self, service):
+        service.rds(["F", "I"], k=2)
+        service.rds(["F", "I"], k=2)
+        snapshot = service.obs.metrics.snapshot()
+        assert snapshot["serve.requests"]["value"] == 2
+        assert snapshot["serve.cache_hits"]["value"] == 1
+        assert snapshot["serve.cache_misses"]["value"] == 1
+        assert snapshot["serve.inflight"]["value"] == 0

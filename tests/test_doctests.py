@@ -14,6 +14,8 @@ import pytest
 import repro.corpus.text.abbreviations
 import repro.corpus.text.negation
 import repro.corpus.text.tokenizer
+import repro.serve.admission
+import repro.serve.cache
 import repro.types
 
 MODULES = [
@@ -21,6 +23,8 @@ MODULES = [
     repro.corpus.text.tokenizer,
     repro.corpus.text.abbreviations,
     repro.corpus.text.negation,
+    repro.serve.cache,
+    repro.serve.admission,
 ]
 
 
