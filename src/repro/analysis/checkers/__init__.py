@@ -14,6 +14,8 @@ RPR005    no-assert              no control-flow ``assert`` in library code
 RPR006    obs-naming             metric/span names follow the dotted style
 RPR007    mutable-default        no mutable default argument values
 RPR008    all-consistency        ``__all__`` entries resolve to module names
+RPR009    hotpath-distance       no tuple-Dewey distance math in core hot
+                                 paths outside the arena/fallback modules
 ========  =====================  ==============================================
 """
 
@@ -25,6 +27,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dewey import DeweyImmutableChecker
 from repro.analysis.checkers.exceptions import ExceptionTaxonomyChecker
 from repro.analysis.checkers.floatcmp import FloatDistanceEqChecker
+from repro.analysis.checkers.hotpath import HotPathDistanceChecker
 from repro.analysis.checkers.mutabledefaults import MutableDefaultChecker
 from repro.analysis.checkers.obsnames import ObsNamingChecker
 
@@ -34,6 +37,7 @@ __all__ = [
     "DeweyImmutableChecker",
     "ExceptionTaxonomyChecker",
     "FloatDistanceEqChecker",
+    "HotPathDistanceChecker",
     "MutableDefaultChecker",
     "NoAssertChecker",
     "ObsNamingChecker",

@@ -1,0 +1,95 @@
+"""RPR009 — tuple-Dewey distance math belongs to the arena/fallback modules.
+
+The packed arena (:mod:`repro.core.arena`) is the one hot-path home of
+concept-pair distance computation: it interns Dewey addresses once and
+serves every kernel from flat buffers plus a shared cache.  A stray
+re-implementation of the Dewey-pair identity ``|p1| + |p2| - 2 * lcp``
+— or a direct call to the reference
+:func:`repro.ontology.distance.concept_distance_dewey` — inside the
+``core``/``baselines`` hot paths silently reintroduces the per-query
+tuple allocation the arena removed, without changing any result a test
+would catch.  The checker flags both patterns outside the sanctioned
+modules (the arena itself, the D-Radix tuple fallback, and the pairwise
+baseline's cone fallback).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_ALLOWED_MODULES = frozenset({
+    ("core", "arena"),      # the packed kernels themselves
+    ("core", "dradix"),     # the D-Radix tuple fallback DRC builds on
+    ("core", "radix"),      # structural LCP use during path insertion
+    ("baselines", "pairwise"),  # the sanctioned quadratic fallback
+})
+
+_REFERENCE_KERNEL = "concept_distance_dewey"
+_LCP_HELPER = "common_prefix_length"
+
+
+def _is_lcp_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == _LCP_HELPER
+    return isinstance(func, ast.Attribute) and func.attr == _LCP_HELPER
+
+
+def _is_two_times_lcp(node: ast.expr) -> bool:
+    """``2 * common_prefix_length(...)`` in either operand order."""
+    if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Mult):
+        return False
+    left, right = node.left, node.right
+    for constant, call in ((left, right), (right, left)):
+        if isinstance(constant, ast.Constant) and constant.value == 2 \
+                and _is_lcp_call(call):
+            return True
+    return False
+
+
+@register
+class HotPathDistanceChecker(BaseChecker):
+    rule = "RPR009"
+    name = "hotpath-distance"
+    description = ("tuple-Dewey distance computation in core hot paths "
+                   "outside the arena/fallback modules")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for inline Dewey-pair distance computation."""
+        if not context.in_package("core", "baselines"):
+            return
+        scope = context.scope
+        if scope:
+            module = (scope[0], scope[-1].removesuffix(".py"))
+            if module in _ALLOWED_MODULES:
+                return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                named = (func.id if isinstance(func, ast.Name)
+                         else func.attr if isinstance(func, ast.Attribute)
+                         else None)
+                if named == _REFERENCE_KERNEL:
+                    yield self.finding(
+                        context, node,
+                        "direct concept_distance_dewey call in a hot "
+                        "path; route through the packed arena "
+                        "(repro.core.arena.PackedDeweyArena) or a "
+                        "sanctioned fallback module")
+            elif isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, ast.Sub) \
+                    and _is_two_times_lcp(node.right):
+                yield self.finding(
+                    context, node,
+                    "inline Dewey-pair distance identity "
+                    "(|p1| + |p2| - 2*lcp) in a hot path; use the "
+                    "packed arena kernels instead of recomputing from "
+                    "address tuples")

@@ -16,18 +16,31 @@ comparison, not repeated graph walks).
 from __future__ import annotations
 
 from collections.abc import Collection
+from typing import TYPE_CHECKING
 
 from repro.exceptions import EmptyDocumentError, InvariantError
 from repro.ontology.distance import ancestor_distances
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
+if TYPE_CHECKING:
+    from repro.core.arena import PackedDeweyArena
+
 
 class PairwiseDistanceBaseline:
-    """Quadratic document-distance calculator with cached ancestor cones."""
+    """Quadratic document-distance calculator with cached ancestor cones.
 
-    def __init__(self, ontology: Ontology) -> None:
+    When constructed with a :class:`repro.core.arena.PackedDeweyArena`,
+    each concept-pair evaluation is served by the arena's packed LCP
+    kernel (and its shared distance cache) instead of the ancestor-cone
+    intersection — same integers, same quadratic pair loop, so the
+    Figure 6 comparison still measures the pair-matrix cost.
+    """
+
+    def __init__(self, ontology: Ontology, *,
+                 arena: "PackedDeweyArena | None" = None) -> None:
         self.ontology = ontology
+        self.arena = arena
         self._cones: dict[ConceptId, dict[ConceptId, int]] = {}
         self.pair_evaluations = 0
         """Concept-pair distance evaluations performed (for assertions)."""
@@ -42,6 +55,8 @@ class PairwiseDistanceBaseline:
     def concept_distance(self, first: ConceptId, second: ConceptId) -> int:
         """Valid-path distance via the two cached ancestor cones."""
         self.pair_evaluations += 1
+        if self.arena is not None:
+            return self.arena.concept_pair_distance(first, second)
         cone_first = self._cone(first)
         cone_second = self._cone(second)
         if len(cone_first) > len(cone_second):

@@ -31,6 +31,7 @@ from repro.bench.workloads import (
     random_query_documents,
     sample_documents,
 )
+from repro.core.arena import PackedDeweyArena
 from repro.core.drc import DRC
 from repro.core.knds import KNDSConfig, KNDSearch
 from repro.core.results import QueryStats
@@ -97,7 +98,9 @@ def build_world(scale_name: str = "small") -> World:
     scale = SCALES[scale_name]
     ontology = snomed_like(scale.ontology_concepts, seed=42)
     dewey = DeweyIndex(ontology)
-    drc = DRC(ontology, dewey)
+    # One shared packed arena: every searcher adopts it via the DRC, so
+    # concept distances computed by one scenario are cached for all.
+    drc = DRC(ontology, dewey, arena=PackedDeweyArena(ontology, dewey))
     corpora = {
         "PATIENT": patient_like(
             ontology, num_docs=scale.patient_docs,

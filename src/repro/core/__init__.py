@@ -9,10 +9,14 @@
   and one top-down sweep, and read off ``Ddq`` / ``Ddd`` in O(n log n).
 * :mod:`repro.core.knds` — the kNDS branch-and-bound top-k search
   (Algorithm 2) for both RDS and SDS queries.
+* :mod:`repro.core.arena` — the packed Dewey arena: interned addresses,
+  LCP-accelerated distance kernels, and the shared concept-distance cache
+  the hot paths consult before falling back to D-Radix builds.
 * :mod:`repro.core.engine` — a facade tying ontology, corpus, indexes and
   algorithms together.
 """
 
+from repro.core.arena import ConceptDistanceCache, PackedDeweyArena
 from repro.core.drc import DRC
 from repro.core.dradix import DRadixDAG
 from repro.core.engine import SearchEngine
@@ -27,6 +31,8 @@ __all__ = [
     "RadixNode",
     "DRadixDAG",
     "DRC",
+    "PackedDeweyArena",
+    "ConceptDistanceCache",
     "KNDSearch",
     "KNDSConfig",
     "MapReduceKNDS",

@@ -1,0 +1,523 @@
+"""Packed Dewey arena + shared concept-distance cache (the hot-path kernels).
+
+Every distance the paper computes — Eq. 1/2/3 and the D-Radix identity
+``|p1| + |p2| - 2 * |LCP|`` — bottoms out in tuple-of-int Dewey addresses
+allocated per query, and kNDS re-derives the same concept-pair distances
+for every candidate document in every round.  This module removes both
+costs without changing a single result:
+
+* :class:`PackedDeweyArena` interns every concept's Dewey addresses
+  *once* into flat ``array('I')`` buffers with per-concept offsets and
+  small-int concept ids.  The LCP kernel then walks raw array indices —
+  zero per-query tuple allocation — and the minimum over address pairs
+  is exactly the valid-path concept distance (the address-closure
+  property of :mod:`repro.ontology.dewey`), so arena answers are
+  bit-for-bit equal to the tuple path.
+* :class:`ConceptDistanceCache` memoizes the symmetric concept-pair
+  distances behind a bounded, epoch-invalidated LRU shared across
+  queries and serve workers — the precomputation-free analogue of the
+  memoized structures in Bhattacharya & Bhowmick's follow-up work.
+
+Exactness contract: ``doc_query_distance`` / ``doc_doc_distance`` return
+the same floats as :class:`repro.core.drc.DRC` and the pairwise baseline.
+All intermediate sums are small integers (exactly representable), and the
+final divisions use the same numerators and denominators as the D-Radix
+path, so equality is exact, not approximate (see
+``tests/core/test_arena.py``).
+
+Invalidation contract: concept distances depend only on the ontology,
+never on the corpus, so ``SearchEngine.add_document`` does *not* flush
+the cache.  Rebuilding the ontology means building a new arena; handing a
+previously used :class:`ConceptDistanceCache` to a new arena flushes it
+(interned id spaces differ between arenas), and :meth:`invalidate`
+flushes explicitly and advances the epoch that serve-layer cache keys
+embed.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from collections import OrderedDict
+from collections.abc import Collection, Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter
+
+DEFAULT_CACHE_ENTRIES = 1 << 18
+"""Default LRU capacity of the shared concept-distance cache.
+
+Entries are ``(int, int) -> int`` — a few dozen bytes each — so the
+default caps the cache in the tens of megabytes while covering every
+pair a realistic serve workload touches between corpus deployments.
+"""
+
+
+@dataclass
+class ArenaCacheStats:
+    """Cumulative effectiveness counters of one :class:`ConceptDistanceCache`.
+
+    ``invalidations`` counts :meth:`ConceptDistanceCache.invalidate`
+    events (each drops *all* entries), not individual dropped entries.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class ConceptDistanceCache:
+    """Bounded, epoch-invalidated LRU over symmetric concept-id pairs.
+
+    Keys are unordered pairs of *interned* concept ids (the arena's
+    small ints), normalized to ``(min, max)`` so both orientations share
+    one entry.  The cache is thread-safe (one lock around the ordered
+    dict) and shared: one engine's kNDS settles, its DRC facade, the
+    pairwise baseline and every serve worker all read and write the same
+    entries, so a pair computed for one query is free for the next.
+
+    ``max_entries=0`` disables the cache (every ``get`` misses, ``put``
+    is a no-op) without callers having to special-case it.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self.stats = ArenaCacheStats()
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation generation: bumped by every :meth:`invalidate`."""
+        return self._epoch
+
+    def get(self, first: int, second: int) -> int | None:
+        """Cached distance for the unordered id pair, or ``None``.
+
+        A hit refreshes the entry's LRU position.
+        """
+        if first > second:
+            first, second = second, first
+        key = (first, second)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, first: int, second: int, distance: int) -> None:
+        """Store the distance for the unordered id pair (LRU-bounded)."""
+        if self.max_entries == 0:
+            return
+        if first > second:
+            first, second = second, first
+        key = (first, second)
+        with self._lock:
+            self._entries[key] = distance
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry and advance the epoch.
+
+        Called when the interned-id space changes meaning: an arena
+        :meth:`PackedDeweyArena.invalidate` or a new arena adopting this
+        cache after an ontology rebuild.  Corpus mutations never call
+        this — concept distances do not depend on documents.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._epoch += 1
+            self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class PackedDeweyArena:
+    """Ontology-scoped packed address arena with LCP-accelerated kernels.
+
+    Layout (three flat buffers, appended to as concepts are interned):
+
+    * ``_data`` — ``array('I')`` of address components, all addresses of
+      all interned concepts concatenated;
+    * ``_bounds`` — address-slot offsets into ``_data``: address slot
+      ``s`` spans ``_data[_bounds[s]:_bounds[s+1]]``;
+    * ``_slots`` — per-concept slot ranges: concept id ``c`` owns
+      address slots ``_slots[c]`` … ``_slots[c+1]-1``.
+
+    Interning is lazy (first touch packs the concept's Dewey addresses
+    from the shared :class:`~repro.ontology.dewey.DeweyIndex`) and
+    append-only, so readers never see a moved offset.  Concept ids are
+    dense small ints in interning order; they are private to one arena
+    and one epoch — result caches embedding them must also embed
+    :attr:`epoch` (see :meth:`cache_token`).
+
+    Parameters
+    ----------
+    ontology:
+        The validated concept DAG the addresses come from.
+    dewey:
+        Optional shared address index (avoids recomputing memoized
+        addresses the DRC tuple path already derived).
+    cache:
+        An existing :class:`ConceptDistanceCache` to adopt.  A non-empty
+        cache is flushed on adoption: its entries were keyed by another
+        arena's id space.
+    cache_entries:
+        LRU capacity when the arena builds its own cache.
+    """
+
+    def __init__(self, ontology: Ontology, dewey: DeweyIndex | None = None,
+                 *, cache: ConceptDistanceCache | None = None,
+                 cache_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        self.ontology = ontology
+        self.dewey = dewey if dewey is not None else DeweyIndex(ontology)
+        if cache is None:
+            cache = ConceptDistanceCache(cache_entries)
+        elif len(cache):
+            cache.invalidate()
+        self.cache = cache
+        self._data: array[int] = array("I")
+        self._bounds: array[int] = array("I", [0])
+        self._slots: array[int] = array("I", [0])
+        self._ids: dict[ConceptId, int] = {}
+        self._concepts: list[ConceptId] = []
+        self._epoch = 0
+        self._intern_lock = threading.Lock()
+        self.pair_lookups = 0
+        """Concept-pair distance requests answered (cache hits included)."""
+        self.pair_kernels = 0
+        """Packed LCP kernel evaluations (pair requests that missed)."""
+        self._counters: "tuple[Counter, ...] | None" = None
+        self._published = [0, 0, 0, 0, 0]
+        self._metrics_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Arena generation; bumped by :meth:`invalidate`.
+
+        Interned ids are only comparable within one epoch, so anything
+        that persists them (the serve result cache) embeds this value.
+        """
+        return self._epoch
+
+    @property
+    def interned(self) -> int:
+        """Number of concepts packed so far."""
+        return len(self._concepts)
+
+    def concept_id(self, concept: ConceptId) -> int:
+        """The interned small-int id of ``concept`` (packing on first use).
+
+        Raises :class:`repro.exceptions.UnknownConceptError` for concepts
+        outside the ontology.
+        """
+        cid = self._ids.get(concept)
+        if cid is not None:
+            return cid
+        return self._intern(concept)
+
+    def _intern(self, concept: ConceptId) -> int:
+        with self._intern_lock:
+            cid = self._ids.get(concept)
+            if cid is not None:
+                return cid
+            if concept not in self.ontology:
+                raise UnknownConceptError(concept)
+            addresses = self.dewey.addresses(concept)
+            data = self._data
+            bounds = self._bounds
+            for address in addresses:
+                data.extend(address)
+                bounds.append(len(data))
+            self._slots.append(len(bounds) - 1)
+            cid = len(self._concepts)
+            self._concepts.append(concept)
+            self._ids[concept] = cid
+            return cid
+
+    def intern_unique(self, concepts: Iterable[ConceptId]) -> list[int]:
+        """Interned ids for a concept set, deduplicated, order preserved.
+
+        Deduplication matches the ``frozenset`` semantics of the D-Radix
+        tuple path, keeping the distance kernels bit-for-bit equal on
+        inputs with repeated concepts.
+        """
+        ids = self._ids
+        out: list[int] = []
+        for concept in dict.fromkeys(concepts):
+            cid = ids.get(concept)
+            out.append(cid if cid is not None else self._intern(concept))
+        return out
+
+    def cache_token(self, concepts: Iterable[ConceptId]
+                    ) -> tuple[int, ...] | None:
+        """Epoch-prefixed, sorted interned ids for result-cache keys.
+
+        The serve layer keys its result cache on this instead of
+        re-sorting concept strings per lookup: ``(epoch, id, id, ...)``
+        with ids sorted and deduplicated.  Returns ``None`` when any
+        concept is unknown to the ontology, so callers can fall back to
+        string keys and let query validation raise the real error.
+        """
+        ids = self._ids
+        out: list[int] = []
+        for concept in concepts:
+            cid = ids.get(concept)
+            if cid is None:
+                if concept not in self.ontology:
+                    return None
+                cid = self._intern(concept)
+            out.append(cid)
+        out = sorted(set(out))
+        return (self._epoch, *out)
+
+    def invalidate(self) -> None:
+        """Reset the arena: drop all packed state, flush the cache.
+
+        Advances :attr:`epoch` so any persisted interned ids (serve
+        cache keys via :meth:`cache_token`) stop matching.  Use after an
+        ontology rebuild when reusing the arena object in place;
+        building a fresh arena is equivalent.
+        """
+        with self._intern_lock:
+            self._data = array("I")
+            self._bounds = array("I", [0])
+            self._slots = array("I", [0])
+            self._ids = {}
+            self._concepts = []
+            self._epoch += 1
+        self.cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # Distance kernels (interned-id form: the hot path)
+    # ------------------------------------------------------------------
+    def pair_distance(self, first: int, second: int) -> int:
+        """Exact valid-path distance between two interned concepts.
+
+        Consults the shared :class:`ConceptDistanceCache` first; a miss
+        runs the packed LCP kernel (minimum of the Dewey-pair identity
+        over all address pairs) and stores the result.
+        """
+        if first == second:
+            return 0
+        self.pair_lookups += 1
+        cached = self.cache.get(first, second)
+        if cached is not None:
+            return cached
+        distance = self._pair_kernel(first, second)
+        self.pair_kernels += 1
+        self.cache.put(first, second, distance)
+        return distance
+
+    def _pair_kernel(self, first: int, second: int) -> int:
+        # min over address pairs of |p1| + |p2| - 2*LCP, walked directly
+        # on the packed buffers.  Distinct concepts never share an
+        # address and any valid path has length >= 1, so 1 is a floor
+        # that justifies the early exit.
+        data = self._data
+        bounds = self._bounds
+        slots = self._slots
+        best = -1
+        for slot_a in range(slots[first], slots[first + 1]):
+            start_a = bounds[slot_a]
+            len_a = bounds[slot_a + 1] - start_a
+            for slot_b in range(slots[second], slots[second + 1]):
+                start_b = bounds[slot_b]
+                len_b = bounds[slot_b + 1] - start_b
+                limit = len_a if len_a < len_b else len_b
+                lcp = 0
+                while lcp < limit \
+                        and data[start_a + lcp] == data[start_b + lcp]:
+                    lcp += 1
+                distance = len_a + len_b - 2 * lcp
+                if best < 0 or distance < best:
+                    if distance <= 1:
+                        return distance
+                    best = distance
+        return best
+
+    def doc_concept_distance(self, doc_ids: Sequence[int],
+                             concept: int) -> int:
+        """Min distance from one interned concept to an interned doc set.
+
+        This is the inner term of Eq. 2 (and of both direction minima of
+        Eq. 3): ``min over d in doc of dist(d, concept)``.
+        """
+        best = -1
+        for doc_concept in doc_ids:
+            distance = self.pair_distance(doc_concept, concept)
+            if best < 0 or distance < best:
+                if distance == 0:
+                    return 0
+                best = distance
+        if best < 0:
+            raise EmptyDocumentError("<document>")
+        return best
+
+    def ddq_ids(self, doc_ids: Sequence[int],
+                query_ids: Sequence[int]) -> float:
+        """``Ddq`` (Eq. 2) over interned, deduplicated id sequences."""
+        if not doc_ids:
+            raise EmptyDocumentError("<document>")
+        if not query_ids:
+            raise EmptyDocumentError("<query>")
+        total = 0
+        for query_concept in query_ids:
+            total += self.doc_concept_distance(doc_ids, query_concept)
+        self._sync_metrics()
+        return float(total)
+
+    def ddd_ids(self, doc_ids: Sequence[int],
+                query_ids: Sequence[int]) -> float:
+        """``Ddd`` (Eq. 3) over interned, deduplicated id sequences.
+
+        One pass over the pair matrix feeds both direction minima, and
+        the two normalized sums use the same integer numerators and
+        denominators as the D-Radix path, so the float result is
+        identical.
+        """
+        if not doc_ids:
+            raise EmptyDocumentError("<document>")
+        if not query_ids:
+            raise EmptyDocumentError("<query>")
+        doc_minima = [-1] * len(doc_ids)
+        query_total = 0
+        for query_concept in query_ids:
+            best = -1
+            for row, doc_concept in enumerate(doc_ids):
+                distance = self.pair_distance(doc_concept, query_concept)
+                if best < 0 or distance < best:
+                    best = distance
+                if doc_minima[row] < 0 or distance < doc_minima[row]:
+                    doc_minima[row] = distance
+            query_total += best
+        self._sync_metrics()
+        return (sum(doc_minima) / len(doc_ids)
+                + query_total / len(query_ids))
+
+    # ------------------------------------------------------------------
+    # Distance facades (raw concept-id form)
+    # ------------------------------------------------------------------
+    def concept_pair_distance(self, first: ConceptId,
+                              second: ConceptId) -> int:
+        """Exact concept-pair distance by raw concept id (Eq. 1 input)."""
+        distance = self.pair_distance(self.concept_id(first),
+                                      self.concept_id(second))
+        self._sync_metrics()
+        return distance
+
+    def doc_query_distance(self, doc_concepts: Collection[ConceptId],
+                           query_concepts: Collection[ConceptId]) -> float:
+        """``Ddq(d, q)`` for raw concept sets (interns on first touch)."""
+        return self.ddq_ids(self.intern_unique(doc_concepts),
+                            self.intern_unique(query_concepts))
+
+    def doc_doc_distance(self, doc_concepts: Collection[ConceptId],
+                         query_concepts: Collection[ConceptId]) -> float:
+        """``Ddd(d, dq)`` for raw concept sets (interns on first touch)."""
+        return self.ddd_ids(self.intern_unique(doc_concepts),
+                            self.intern_unique(query_concepts))
+
+    def batch_ddq(self, docs: Sequence[Collection[ConceptId]],
+                  query_concepts: Collection[ConceptId]) -> list[float]:
+        """``Ddq`` of one query against many documents.
+
+        Interns the query once and streams the documents through the
+        shared cache — the kernel behind the batch query API
+        (:meth:`repro.core.engine.SearchEngine.rds_many`).
+        """
+        query_ids = self.intern_unique(query_concepts)
+        return [self.ddq_ids(self.intern_unique(doc), query_ids)
+                for doc in docs]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def instrument(self, obs: "Observability | None") -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
+
+        Pre-creates the ``arena.*`` counters (``arena.pair_lookups``,
+        ``arena.pair_kernels``, ``arena.cache.hit``, ``arena.cache.miss``,
+        ``arena.cache.evict``) and re-baselines publication so the new
+        registry only sees activity from this point on — the contract the
+        bench runner's untimed metrics pass relies on.
+        """
+        if obs is None:
+            self._counters = None
+            return
+        registry = obs.metrics
+        counters = (
+            registry.counter("arena.pair_lookups",
+                             "Concept-pair distances served by the arena"),
+            registry.counter("arena.pair_kernels",
+                             "Packed LCP kernel evaluations (cache misses)"),
+            registry.counter("arena.cache.hit",
+                             "Concept-distance cache hits"),
+            registry.counter("arena.cache.miss",
+                             "Concept-distance cache misses"),
+            registry.counter("arena.cache.evict",
+                             "Concept-distance cache LRU evictions"),
+        )
+        stats = self.cache.stats
+        with self._metrics_lock:
+            self._published = [self.pair_lookups, self.pair_kernels,
+                               stats.hits, stats.misses, stats.evictions]
+            self._counters = counters
+
+    def reset_counters(self) -> None:
+        """Zero the arena counters (benchmark harness hygiene)."""
+        self.pair_lookups = 0
+        self.pair_kernels = 0
+        stats = self.cache.stats
+        with self._metrics_lock:
+            self._published = [0, 0, stats.hits, stats.misses,
+                               stats.evictions]
+
+    def _sync_metrics(self) -> None:
+        counters = self._counters
+        if counters is None:
+            return
+        stats = self.cache.stats
+        totals = (self.pair_lookups, self.pair_kernels,
+                  stats.hits, stats.misses, stats.evictions)
+        with self._metrics_lock:
+            published = self._published
+            for index, counter in enumerate(counters):
+                delta = totals[index] - published[index]
+                if delta > 0:
+                    counter.inc(delta)
+                    published[index] = totals[index]

@@ -24,6 +24,7 @@ from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
 if TYPE_CHECKING:
+    from repro.core.arena import PackedDeweyArena
     from repro.obs import Observability
 
 
@@ -35,18 +36,27 @@ class DRC:
     once and memoized across calls — exactly the reuse pattern of kNDS,
     which probes DRC for many candidate documents against one query.
 
+    When constructed with a :class:`~repro.core.arena.PackedDeweyArena`,
+    the two distance entry points consult the arena's packed kernels
+    first — same floats, no per-call D-Radix build — and :meth:`build`
+    remains the tuple-path fallback (and the inspectable artifact).
+
     Attributes
     ----------
     calls:
         Number of distance computations performed (the paper counts DRC
-        probes when tuning the kNDS error threshold).
+        probes when tuning the kNDS error threshold).  Arena-served
+        calls count too: the paper's metric is exact distances computed,
+        not D-Radix DAGs built.
     """
 
     def __init__(self, ontology: Ontology,
                  dewey: DeweyIndex | None = None, *,
+                 arena: "PackedDeweyArena | None" = None,
                  obs: "Observability | None" = None) -> None:
         self.ontology = ontology
         self.dewey = dewey if dewey is not None else DeweyIndex(ontology)
+        self.arena = arena
         self.calls = 0
         self._obs = obs
 
@@ -63,6 +73,10 @@ class DRC:
                                 query_concepts: Collection[ConceptId]
                                 ) -> float:
         """``Ddq(d, q)`` for an RDS query."""
+        if self.arena is not None:
+            self.calls += 1
+            return self.arena.doc_query_distance(doc_concepts,
+                                                 query_concepts)
         dradix = self.build(doc_concepts, query_concepts)
         return dradix.document_query_distance()
 
@@ -70,6 +84,10 @@ class DRC:
                                    query_concepts: Collection[ConceptId]
                                    ) -> float:
         """``Ddd(d, dq)`` for an SDS query."""
+        if self.arena is not None:
+            self.calls += 1
+            return self.arena.doc_doc_distance(doc_concepts,
+                                               query_concepts)
         dradix = self.build(doc_concepts, query_concepts)
         return dradix.document_document_distance()
 

@@ -13,6 +13,7 @@ from collections.abc import Sequence
 from types import TracebackType
 from typing import Any, TYPE_CHECKING
 
+from repro.core.arena import PackedDeweyArena
 from repro.core.drc import DRC
 from repro.core.knds import KNDSConfig, KNDSearch
 from repro.core.results import RankedResults
@@ -84,7 +85,8 @@ class SearchEngine:
         self.collection = collection
         self.backend = backend
         self.dewey = DeweyIndex(ontology)
-        self.drc = DRC(ontology, self.dewey)
+        self.arena = PackedDeweyArena(ontology, self.dewey)
+        self.drc = DRC(ontology, self.dewey, arena=self.arena)
         if backend == "memory":
             self.inverted = MemoryInvertedIndex.from_collection(
                 collection, ontology=ontology)
@@ -107,6 +109,7 @@ class SearchEngine:
             forward=self.forward,
             dewey=self.dewey,
             drc=self.drc,
+            arena=self.arena,
         )
         self._mutation_lock = threading.Lock()
         self._epoch = 0
@@ -173,6 +176,56 @@ class SearchEngine:
             raise QueryError(f"unknown algorithm: {algorithm!r}")
 
     # ------------------------------------------------------------------
+    # Batch query API
+    # ------------------------------------------------------------------
+    def rds_many(self, queries: Sequence[Sequence[ConceptId]],
+                 k: int = 10, *, algorithm: str = "knds",
+                 config: KNDSConfig | None = None,
+                 **overrides: Any) -> list[RankedResults]:
+        """RDS for a batch of concept-set queries, in order.
+
+        Results are exactly ``[self.rds(q, k, ...) for q in queries]``;
+        the point of the batch entry is amortization: the packed arena
+        interns each query once up front, and every concept-pair distance
+        computed for one query is served from the shared
+        :class:`repro.core.arena.ConceptDistanceCache` for the rest of
+        the batch.  The serve layer's ``/search/rds:batch`` endpoint
+        lands here for its cache misses.
+        """
+        for query in queries:
+            self._prewarm(query)
+        return [self.rds(query, k, algorithm=algorithm, config=config,
+                         **overrides)
+                for query in queries]
+
+    def sds_many(self, query_documents: Sequence[
+                     Document | str | Sequence[ConceptId]],
+                 k: int = 10, *, algorithm: str = "knds",
+                 config: KNDSConfig | None = None,
+                 **overrides: Any) -> list[RankedResults]:
+        """SDS for a batch of query documents, in order.
+
+        Same amortization story as :meth:`rds_many`; each entry may be a
+        :class:`Document`, an indexed doc id, or a concept sequence.
+        """
+        for query_document in query_documents:
+            resolved = self._resolve_document(query_document)
+            if isinstance(resolved, Document):
+                self._prewarm(resolved.concepts)
+            else:
+                self._prewarm(resolved)
+        return [self.sds(query_document, k, algorithm=algorithm,
+                         config=config, **overrides)
+                for query_document in query_documents]
+
+    def _prewarm(self, concepts: Sequence[ConceptId]) -> None:
+        """Intern known concepts ahead of a batch (unknowns left for
+        query validation to reject with the proper error)."""
+        ontology = self.ontology
+        self.arena.intern_unique(
+            concept for concept in concepts if concept in ontology)
+
+    # ------------------------------------------------------------------
     # Incremental corpus maintenance
     # ------------------------------------------------------------------
     @property
@@ -211,6 +264,10 @@ class SearchEngine:
                 self.inverted.add_document(document)
                 self.forward.add_document(document)
             self._epoch += 1
+        # Concept distances depend only on the ontology, so the arena and
+        # its distance cache stay valid across corpus mutations — prewarm
+        # the new document's concepts instead of invalidating anything.
+        self.arena.intern_unique(document.concepts)
 
     def remove_document(self, doc_id: str) -> Document:
         """Remove a document from the corpus and all indexes."""

@@ -43,6 +43,7 @@ from collections.abc import Callable, Iterator, Sequence
 from typing import Any, TYPE_CHECKING
 from dataclasses import dataclass, replace
 
+from repro.core.arena import PackedDeweyArena
 from repro.core.drc import DRC
 from repro.core.results import QueryStats, RankedResults, ResultItem
 from repro.corpus.collection import DocumentCollection
@@ -90,6 +91,12 @@ class KNDSConfig:
         Optimization 1 at its two natural sites.
     covered_shortcut:
         Optimization 3: skip the DRC probe for fully covered documents.
+    use_arena:
+        Settle candidates through the packed arena kernels
+        (:class:`repro.core.arena.PackedDeweyArena`) instead of per-probe
+        D-Radix builds.  Results are bit-for-bit identical; ``False``
+        restores the tuple path for ablation and the paper's original
+        DRC-probe accounting.
     """
 
     error_threshold: float = 0.5
@@ -99,6 +106,7 @@ class KNDSConfig:
     prune_on_update: bool = True
     prune_at_pop: bool = True
     covered_shortcut: bool = True
+    use_arena: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_threshold <= 1.0:
@@ -112,23 +120,27 @@ class KNDSConfig:
 class _RDSCandidate:
     """Per-document bookkeeping for an RDS query (the hash ``Md``)."""
 
-    __slots__ = ("doc_id", "covered")
+    __slots__ = ("doc_id", "covered", "covered_sum")
 
     def __init__(self, doc_id: DocId) -> None:
         self.doc_id = doc_id
         self.covered: dict[ConceptId, int] = {}
+        self.covered_sum = 0
 
     def note(self, origin: ConceptId, concept: ConceptId, level: int) -> None:
         # Values are set once so Md keeps the minimum distance (BFS visits
-        # in distance order).
-        self.covered.setdefault(origin, level)
+        # in distance order); the running sum makes partial/lower O(1)
+        # instead of re-summing the map on every bound refresh.
+        if origin not in self.covered:
+            self.covered[origin] = level
+            self.covered_sum += level
 
     def partial(self, num_query: int) -> float:
-        return float(sum(self.covered.values()))
+        return float(self.covered_sum)
 
     def lower(self, level: int, num_query: int) -> float:
         uncovered = num_query - len(self.covered)
-        return sum(self.covered.values()) + uncovered * (level + 1)
+        return self.covered_sum + uncovered * (level + 1)
 
     def fully_covered(self, num_query: int) -> bool:
         return len(self.covered) == num_query
@@ -137,7 +149,8 @@ class _RDSCandidate:
 class _SDSCandidate:
     """Per-document bookkeeping for an SDS query (``Md`` and ``M'd``)."""
 
-    __slots__ = ("doc_id", "covered_query", "covered_doc", "doc_size")
+    __slots__ = ("doc_id", "covered_query", "covered_doc", "doc_size",
+                 "covered_query_sum", "covered_doc_sum")
 
     def __init__(self, doc_id: DocId, doc_size: int) -> None:
         self.doc_id = doc_id
@@ -146,20 +159,28 @@ class _SDSCandidate:
         self.covered_query: dict[ConceptId, int] = {}
         # concept of this document -> min distance to a query concept
         self.covered_doc: dict[ConceptId, int] = {}
+        self.covered_query_sum = 0
+        self.covered_doc_sum = 0
 
     def note(self, origin: ConceptId, concept: ConceptId, level: int) -> None:
-        self.covered_query.setdefault(origin, level)
-        self.covered_doc.setdefault(concept, level)
+        # First insert wins (BFS level order == distance order); running
+        # sums keep the per-refresh bound computation O(1).
+        if origin not in self.covered_query:
+            self.covered_query[origin] = level
+            self.covered_query_sum += level
+        if concept not in self.covered_doc:
+            self.covered_doc[concept] = level
+            self.covered_doc_sum += level
 
     def partial(self, num_query: int) -> float:
-        return (sum(self.covered_doc.values()) / self.doc_size
-                + sum(self.covered_query.values()) / num_query)
+        return (self.covered_doc_sum / self.doc_size
+                + self.covered_query_sum / num_query)
 
     def lower(self, level: int, num_query: int) -> float:
         optimistic = level + 1
-        doc_term = (sum(self.covered_doc.values())
+        doc_term = (self.covered_doc_sum
                     + (self.doc_size - len(self.covered_doc)) * optimistic)
-        query_term = (sum(self.covered_query.values())
+        query_term = (self.covered_query_sum
                       + (num_query - len(self.covered_query)) * optimistic)
         return doc_term / self.doc_size + query_term / num_query
 
@@ -185,6 +206,12 @@ class KNDSearch:
     dewey, drc:
         Optional shared instances, so several searchers (or a searcher and
         a baseline) can reuse memoized Dewey addresses.
+    arena:
+        Optional shared :class:`repro.core.arena.PackedDeweyArena`.  When
+        omitted, the searcher adopts ``drc.arena`` if the DRC carries one,
+        else it builds its own over the shared Dewey index — so every
+        searcher has an arena and ``KNDSConfig.use_arena`` is purely a
+        per-query routing decision.
     obs:
         An optional :class:`repro.obs.Observability` bundle.  When set,
         the search emits spans (one per BFS level and analysis round),
@@ -198,6 +225,7 @@ class KNDSearch:
                  forward: ForwardIndexBase | None = None,
                  dewey: DeweyIndex | None = None,
                  drc: DRC | None = None,
+                 arena: PackedDeweyArena | None = None,
                  obs: "Observability | None" = None) -> None:
         if inverted is None or forward is None:
             if collection is None:
@@ -212,15 +240,21 @@ class KNDSearch:
         self.forward = forward
         self.dewey = dewey or DeweyIndex(ontology)
         self.drc = drc or DRC(ontology, self.dewey)
+        if arena is None:
+            arena = (self.drc.arena if self.drc.arena is not None
+                     else PackedDeweyArena(ontology, self.dewey))
+        self.arena = arena
         self._obs = obs
 
     def instrument(self, obs: "Observability | None") -> None:
         """Attach an :class:`repro.obs.Observability` bundle (or ``None``).
 
-        Only affects this searcher's own emission; index backends and the
-        DRC carry their own hooks (the engine wires all of them at once).
+        Only affects this searcher's own emission and its arena; index
+        backends and the DRC carry their own hooks (the engine wires all
+        of them at once).
         """
         self._obs = obs
+        self.arena.instrument(obs)
 
     # ------------------------------------------------------------------
     # Public API
@@ -292,6 +326,10 @@ class KNDSearch:
         start = time.perf_counter()
         query = _validated_query(self.ontology, query_concepts, k)
         num_query = len(query)
+        # Intern the query once: every settle below reuses the ids and the
+        # shared concept-distance cache instead of rebuilding per probe.
+        query_ids = (self.arena.intern_unique(query)
+                     if config.use_arena else None)
 
         obs = self._obs
         tracer = obs.tracer if obs is not None else NULL_TRACER
@@ -358,9 +396,9 @@ class KNDSearch:
                 with tracer.span("knds.analyze", level=level,
                                  forced=forced) as analyze_span:
                     examined_before = telemetry.docs_examined
-                    self._analyze(query, k, mode, num_query, level, forced,
-                                  candidates, candidate_heap, closed,
-                                  top_heap, config, telemetry)
+                    self._analyze(query, query_ids, k, mode, num_query,
+                                  level, forced, candidates, candidate_heap,
+                                  closed, top_heap, config, telemetry)
                     analyze_span.set_attribute(
                         "examined", telemetry.docs_examined - examined_before)
 
@@ -455,7 +493,8 @@ class KNDSearch:
         return _SDSCandidate(doc_id, size)
 
     # ------------------------------------------------------------------
-    def _analyze(self, query: tuple[ConceptId, ...], k: int, mode: str,
+    def _analyze(self, query: tuple[ConceptId, ...],
+                 query_ids: list[int] | None, k: int, mode: str,
                  num_query: int, level: int, forced: bool,
                  candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
                  candidate_heap: list[tuple[float, DocId]],
@@ -495,8 +534,8 @@ class KNDSearch:
             heapq.heappop(candidate_heap)
             del candidates[doc_id]
             closed.add(doc_id)
-            distance = self._settle(candidate, query, mode, num_query,
-                                    config, telemetry)
+            distance = self._settle(candidate, query, query_ids, mode,
+                                    num_query, config, telemetry)
             telemetry.docs_examined += 1
             if budget is not None:
                 budget -= 1
@@ -506,10 +545,10 @@ class KNDSearch:
                 heapq.heapreplace(top_heap, (-distance, doc_id))
 
     def _settle(self, candidate: "_RDSCandidate | _SDSCandidate",
-                query: tuple[ConceptId, ...], mode: str,
-                num_query: int, config: KNDSConfig,
+                query: tuple[ConceptId, ...], query_ids: list[int] | None,
+                mode: str, num_query: int, config: KNDSConfig,
                 telemetry: QueryTelemetry) -> float:
-        """Exact distance for one candidate: shortcut or DRC probe."""
+        """Exact distance for one candidate: shortcut, arena, or DRC probe."""
         if config.covered_shortcut and candidate.fully_covered(num_query):
             # All terms of the distance are covered, so the partial value
             # is already exact — no DRC probe needed (optimization 3).
@@ -519,6 +558,17 @@ class KNDSearch:
         doc_concepts = self.forward.concepts(candidate.doc_id)
         telemetry.io_seconds += time.perf_counter() - io_start
         distance_start = time.perf_counter()
+        if query_ids is not None:
+            # Packed-kernel path: same floats as the D-Radix build, but
+            # every concept pair is served from the shared cache.
+            doc_ids = self.arena.intern_unique(doc_concepts)
+            if mode == RDS:
+                distance = self.arena.ddq_ids(doc_ids, query_ids)
+            else:
+                distance = self.arena.ddd_ids(doc_ids, query_ids)
+            telemetry.distance_seconds += time.perf_counter() - distance_start
+            telemetry.arena_calls += 1
+            return float(distance)
         if mode == RDS:
             distance = self.drc.document_query_distance(doc_concepts, query)
         else:

@@ -67,6 +67,13 @@ class QueryStats:
     """Ontology concept visits during traversal (first visits per origin)."""
     forced_rounds: int = 0
     """Analysis rounds forced by queue-limit pressure (Section 6.1)."""
+    arena_calls: int = 0
+    """Exact distances computed by the packed arena kernels.
+
+    With the arena enabled (:class:`repro.core.knds.KNDSConfig`
+    ``use_arena``) candidate settles go here instead of ``drc_calls``;
+    the sum of the two is the total exact-distance work either way.
+    """
 
     FIELDS = QUERY_TELEMETRY_FIELDS
     """The instrumented field names, shared with the metrics layer."""
@@ -96,6 +103,7 @@ class QueryStats:
         self.bfs_levels += other.bfs_levels
         self.nodes_visited += other.nodes_visited
         self.forced_rounds += other.forced_rounds
+        self.arena_calls += other.arena_calls
 
     def scaled(self, divisor: float) -> "QueryStats":
         """A copy with every field divided by ``divisor`` (averaging)."""
@@ -112,6 +120,7 @@ class QueryStats:
             bfs_levels=round(self.bfs_levels / divisor),
             nodes_visited=round(self.nodes_visited / divisor),
             forced_rounds=round(self.forced_rounds / divisor),
+            arena_calls=round(self.arena_calls / divisor),
         )
 
 

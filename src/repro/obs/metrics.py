@@ -379,6 +379,7 @@ QUERY_TELEMETRY_FIELDS = (
     "total_seconds", "distance_seconds", "traversal_seconds", "io_seconds",
     "drc_calls", "covered_shortcuts", "docs_examined", "docs_touched",
     "docs_pruned", "bfs_levels", "nodes_visited", "forced_rounds",
+    "arena_calls",
 )
 """Per-query scalars recorded by the search algorithms, in a stable order.
 
@@ -395,6 +396,7 @@ _PUBLISH_NAMES = {
     "forced_rounds": "forced_rounds",
     "bfs_levels": "bfs_levels",
     "drc_calls": "drc_calls",
+    "arena_calls": "arena_calls",
     "traversal_seconds": "traversal_seconds",
     "distance_seconds": "distance_seconds",
     "io_seconds": "io_seconds",
@@ -427,6 +429,7 @@ class QueryTelemetry:
         self.bfs_levels = 0
         self.nodes_visited = 0
         self.forced_rounds = 0
+        self.arena_calls = 0
 
     def as_dict(self) -> dict[str, float]:
         """All fields as a plain dict (stable key order)."""

@@ -35,8 +35,16 @@ from repro.types import ConceptId
 
 _V = TypeVar("_V")
 
-CacheKey = tuple[str, tuple[str, ...], int, str]
-"""Normalized cache key: ``(kind, sorted concepts, k, algorithm)``."""
+CacheKey = tuple[str, "tuple[str, ...] | tuple[int, ...]", int, str]
+"""Normalized cache key: ``(kind, concept token, k, algorithm)``.
+
+The concept token is either the sorted concept strings
+(:func:`normalize_key`) or, when the service can consult the engine's
+packed arena, the arena's epoch-prefixed interned-id tuple
+(:meth:`repro.core.arena.PackedDeweyArena.cache_token`).  The two forms
+never collide — one holds strings, the other ints — so a service can
+mix them freely while the arena warms up.
+"""
 
 
 def normalize_key(kind: str, concepts: Iterable[ConceptId], k: int,

@@ -10,6 +10,7 @@ endpoint                 method  body / behaviour
 ``/healthz``             GET     liveness + drain state (503 while draining)
 ``/metrics``             GET     Prometheus text from the service registry
 ``/search/rds``          POST    ``{"concepts": [...], "k": 10, ...}``
+``/search/rds:batch``    POST    ``{"queries": [[...], ...], "k": 10, ...}``
 ``/search/sds``          POST    ``{"doc_id": "..."}`` or ``{"concepts": …}``
 ``/explain``             POST    ``{"doc_id": "...", "concepts": [...]}``
 =======================  ======  ===========================================
@@ -45,6 +46,7 @@ _LOG = get_logger("serve.http")
 
 _MAX_HEADERS = 100
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any sane query
+_MAX_BATCH = 64  # queries per /search/rds:batch request (one admission slot)
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -249,6 +251,27 @@ class QueryServer:
         return _json_response(200, _render_result("rds", result,
                                                   k, algorithm))
 
+    async def _handle_rds_batch(self, request: "_Request") -> _Response:
+        """``POST /search/rds:batch`` — many RDS queries, one request.
+
+        The batch shares one admission slot and one deadline; cache hits
+        are answered per query and misses run as a single amortized
+        engine batch (see :meth:`repro.serve.service.QueryService.rds_many`).
+        """
+        payload = request.json()
+        queries = _require_queries(payload)
+        k, algorithm, deadline = _common_params(payload)
+        results = await self.service.rds_many_async(
+            queries, k, algorithm=algorithm, deadline=deadline)
+        return _json_response(200, {
+            "kind": "rds:batch",
+            "k": k,
+            "algorithm": algorithm,
+            "count": len(results),
+            "results": [_render_result("rds", result, k, algorithm)
+                        for result in results],
+        })
+
     async def _handle_sds(self, request: "_Request") -> _Response:
         """``POST /search/sds`` — similar-document top-k search."""
         payload = request.json()
@@ -279,6 +302,7 @@ _ROUTES: dict[str, tuple[str, str]] = {
     "/healthz": ("GET", "_handle_healthz"),
     "/metrics": ("GET", "_handle_metrics"),
     "/search/rds": ("POST", "_handle_rds"),
+    "/search/rds:batch": ("POST", "_handle_rds_batch"),
     "/search/sds": ("POST", "_handle_sds"),
     "/explain": ("POST", "_handle_explain"),
 }
@@ -376,6 +400,23 @@ def _require_concepts(payload: dict[str, Any]) -> list[str]:
         raise _BadRequest(
             "'concepts' must be a non-empty list of concept-id strings")
     return concepts
+
+
+def _require_queries(payload: dict[str, Any]) -> list[list[str]]:
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise _BadRequest(
+            "'queries' must be a non-empty list of concept-id lists")
+    if len(queries) > _MAX_BATCH:
+        raise _BadRequest(
+            f"batch too large: {len(queries)} queries (max {_MAX_BATCH})")
+    for query in queries:
+        if not isinstance(query, list) or not query \
+                or not all(isinstance(item, str) for item in query):
+            raise _BadRequest(
+                "each batch query must be a non-empty list of "
+                "concept-id strings")
+    return queries
 
 
 def _require_str(payload: dict[str, Any], key: str) -> str:

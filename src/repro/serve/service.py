@@ -146,6 +146,8 @@ class QueryService:
             "serve.cache_hits", "Result-cache hits")
         self._cache_misses = registry.counter(
             "serve.cache_misses", "Result-cache misses")
+        self._batch_queries = registry.counter(
+            "serve.batch_queries", "Queries received inside batch requests")
         self._inflight_gauge = registry.gauge(
             "serve.inflight", "Requests currently admitted")
         self._request_seconds = registry.histogram(
@@ -200,6 +202,30 @@ class QueryService:
         """Asyncio flavour of :meth:`sds` (same semantics, no blocking)."""
         pending = self._begin("sds", self._sds_concepts(query), k,
                               algorithm, deadline)
+        return await pending.wait_async()
+
+    def rds_many(self, queries: Sequence[Sequence[ConceptId]],
+                 k: int = 10, *, algorithm: str = "knds",
+                 deadline: float | None = None) -> list[ServeResult]:
+        """Serve a batch of RDS queries under one admission slot.
+
+        Each query is cache-checked individually (hits never touch the
+        engine, duplicate queries within the batch are computed once)
+        and the misses run as a single
+        :meth:`repro.core.engine.SearchEngine.rds_many` call on one
+        worker, amortizing arena interning and the shared distance cache
+        across the batch.  Results come back in request order; the
+        whole batch shares one ``deadline``.
+        """
+        pending = self._begin_batch(queries, k, algorithm, deadline)
+        return pending.wait()
+
+    async def rds_many_async(self, queries: Sequence[Sequence[ConceptId]],
+                             k: int = 10, *, algorithm: str = "knds",
+                             deadline: float | None = None
+                             ) -> list[ServeResult]:
+        """Asyncio flavour of :meth:`rds_many` (same semantics)."""
+        pending = self._begin_batch(queries, k, algorithm, deadline)
         return await pending.wait_async()
 
     def explain(self, doc_id: str, concepts: Sequence[ConceptId], *,
@@ -314,7 +340,7 @@ class QueryService:
         timeout = self._timeout(deadline)
         start = self._admit()
         try:
-            key = normalize_key(kind, concepts, k, algorithm)
+            key = self._key(kind, concepts, k, algorithm)
             epoch = self.engine.epoch
             hit = self.cache.get(key, epoch)
             if hit is not None:
@@ -331,12 +357,69 @@ class QueryService:
             self._finish(start, kind)
             raise
 
+    def _key(self, kind: str, concepts: Sequence[ConceptId], k: int,
+             algorithm: str) -> CacheKey:
+        """Result-cache key: interned arena token when available.
+
+        The engine's packed arena normalizes a concept set once into an
+        epoch-prefixed tuple of interned small-int ids
+        (:meth:`repro.core.arena.PackedDeweyArena.cache_token`), so
+        repeat lookups compare ints instead of re-sorting concept
+        strings.  Unknown concepts fall back to :func:`normalize_key`
+        and let query validation raise the proper error downstream.
+        """
+        token = self.engine.arena.cache_token(concepts)
+        if token is not None:
+            return (kind, token, int(k), algorithm)
+        return normalize_key(kind, concepts, k, algorithm)
+
     def _execute(self, kind: str, concepts: tuple[ConceptId, ...],
                  k: int, algorithm: str) -> RankedResults:
         """Run the actual engine query (on a worker thread)."""
         if kind == "rds":
             return self.engine.rds(list(concepts), k, algorithm=algorithm)
         return self.engine.sds(list(concepts), k, algorithm=algorithm)
+
+    def _begin_batch(self, queries: Sequence[Sequence[ConceptId]], k: int,
+                     algorithm: str,
+                     deadline: float | None) -> "_PendingBatch":
+        """Admission + per-query cache pass; returns a waitable batch."""
+        if not queries:
+            raise QueryError("batch must contain at least one query")
+        timeout = self._timeout(deadline)
+        start = self._admit()
+        try:
+            self._batch_queries.inc(len(queries))
+            epoch = self.engine.epoch
+            slots: list[ServeResult | int] = []
+            miss_keys: list[CacheKey] = []
+            miss_queries: list[tuple[ConceptId, ...]] = []
+            position: dict[CacheKey, int] = {}
+            for concepts in queries:
+                key = self._key("rds", concepts, k, algorithm)
+                hit = self.cache.get(key, epoch)
+                if hit is not None:
+                    self._cache_hits.inc()
+                    slots.append(ServeResult(hit, True, epoch))
+                    continue
+                self._cache_misses.inc()
+                index = position.get(key)
+                if index is None:
+                    index = len(miss_queries)
+                    position[key] = index
+                    miss_keys.append(key)
+                    miss_queries.append(tuple(concepts))
+                slots.append(index)
+            future: "Future[list[RankedResults]] | None" = None
+            if miss_queries:
+                future = self._executor.submit(
+                    self.engine.rds_many, miss_queries, k,
+                    algorithm=algorithm)
+            return _PendingBatch(self, start, timeout, slots, miss_keys,
+                                 epoch, future)
+        except BaseException:
+            self._finish(start, "rds:batch")
+            raise
 
     def _sds_concepts(
             self,
@@ -412,3 +495,73 @@ class _PendingQuery:
         if self._key is not None:
             self._service.cache.put(self._key, self._epoch, results)
         return ServeResult(results, False, self._epoch)
+
+
+class _PendingBatch:
+    """One admitted batch, waitable from sync code or a coroutine.
+
+    ``slots`` maps request order to either a ready :class:`ServeResult`
+    (cache hit) or an index into the deduplicated miss list computed by
+    the single worker future.  Both flavours of ``wait`` release the
+    admission slot and record the request exactly once.
+    """
+
+    __slots__ = ("_service", "_start", "_timeout", "_slots", "_keys",
+                 "_epoch", "_future")
+
+    def __init__(self, service: QueryService, start: float, timeout: float,
+                 slots: list[ServeResult | int], keys: list[CacheKey],
+                 epoch: int,
+                 future: "Future[list[RankedResults]] | None") -> None:
+        self._service = service
+        self._start = start
+        self._timeout = timeout
+        self._slots = slots
+        self._keys = keys
+        self._epoch = epoch
+        self._future = future
+
+    def wait(self) -> list[ServeResult]:
+        """Block for the full batch (at most the shared deadline)."""
+        try:
+            future = self._future
+            if future is None:
+                return self._assemble([])
+            try:
+                results = future.result(timeout=self._timeout)
+            except TimeoutError:
+                future.cancel()
+                self._service._timeouts.inc()
+                raise QueryTimeoutError(self._timeout) from None
+            return self._assemble(results)
+        finally:
+            self._service._finish(self._start, "rds:batch")
+
+    async def wait_async(self) -> list[ServeResult]:
+        """Await the full batch without blocking the event loop."""
+        try:
+            future = self._future
+            if future is None:
+                return self._assemble([])
+            try:
+                results = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self._timeout)
+            except TimeoutError:
+                future.cancel()
+                self._service._timeouts.inc()
+                raise QueryTimeoutError(self._timeout) from None
+            return self._assemble(results)
+        finally:
+            self._service._finish(self._start, "rds:batch")
+
+    def _assemble(self, results: list[RankedResults]) -> list[ServeResult]:
+        cache = self._service.cache
+        for key, ranked in zip(self._keys, results):
+            cache.put(key, self._epoch, ranked)
+        ordered: list[ServeResult] = []
+        for slot in self._slots:
+            if isinstance(slot, int):
+                ordered.append(ServeResult(results[slot], False, self._epoch))
+            else:
+                ordered.append(slot)
+        return ordered

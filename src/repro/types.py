@@ -61,7 +61,21 @@ def common_prefix_length(left: DeweyAddress, right: DeweyAddress) -> int:
 
     This is the workhorse of both the Dewey-pair distance identity
     (``|p1| + |p2| - 2 * lcp``) and D-Radix edge splitting.
+
+    Identical tuples short-circuit before the component walk: the
+    interned-address hot paths compare an address against itself often
+    (the ``is`` check is free) and equal addresses of the same length
+    are common in dense ontologies (the ``==`` check is a single C-level
+    memcmp for int tuples).
+
+    >>> common_prefix_length((1, 2, 3), (1, 2, 4))
+    2
+    >>> address = (1, 2, 3)
+    >>> common_prefix_length(address, address)
+    3
     """
+    if left is right or left == right:
+        return len(left)
     limit = min(len(left), len(right))
     count = 0
     while count < limit and left[count] == right[count]:

@@ -391,6 +391,64 @@ class TestAllConsistency:
 
 
 # ----------------------------------------------------------------------
+# RPR009 — hot-path tuple-Dewey distance computation
+# ----------------------------------------------------------------------
+class TestHotPathDistance:
+    def test_flags_inline_identity_in_core(self):
+        findings = _lint(
+            """
+            from repro.types import common_prefix_length
+
+            def pair(p1, p2):
+                return len(p1) + len(p2) - 2 * common_prefix_length(p1, p2)
+            """,
+            select=("RPR009",))
+        assert len(findings) == 1
+
+    def test_flags_reference_kernel_call_in_core(self):
+        findings = _lint(
+            """
+            from repro.ontology.distance import concept_distance_dewey
+
+            def settle(dewey, first, second):
+                return concept_distance_dewey(dewey, first, second)
+            """,
+            select=("RPR009",))
+        assert len(findings) == 1
+
+    def test_arena_module_is_allowed(self):
+        findings = _lint(
+            """
+            def kernel(p1, p2, lcp):
+                return len(p1) + len(p2) - 2 * common_prefix_length(p1, p2)
+            """,
+            path="src/repro/core/arena.py",
+            select=("RPR009",))
+        assert findings == []
+
+    def test_outside_hot_packages_is_ignored(self):
+        findings = _lint(
+            """
+            def identity(p1, p2):
+                return len(p1) + len(p2) - 2 * common_prefix_length(p1, p2)
+            """,
+            path="src/repro/ontology/distance.py",
+            select=("RPR009",))
+        assert findings == []
+
+    def test_structural_lcp_use_passes(self):
+        findings = _lint(
+            """
+            from repro.types import common_prefix_length
+
+            def split_at(label, address):
+                return common_prefix_length(label, address)
+            """,
+            select=("RPR009",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Ordering and finding shape
 # ----------------------------------------------------------------------
 def test_findings_are_sorted_and_carry_position():

@@ -1,0 +1,283 @@
+"""Tests for the packed Dewey arena and the shared distance cache.
+
+The load-bearing property is *bit-for-bit exactness*: every arena kernel
+must agree with the tuple-based reference paths (the pairwise baseline's
+ancestor cones, ``concept_distance_dewey``, and DRC's D-Radix build) on
+randomized ontologies, not just the paper's Figure 3 example.  The rest
+covers the cache contract (LRU bounds, epoch invalidation, adoption
+flush), the engine's batch API, and the observability wiring.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.pairwise import PairwiseDistanceBaseline
+from repro.core.arena import (ConceptDistanceCache, PackedDeweyArena)
+from repro.core.drc import DRC
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSearch
+from repro.corpus.document import Document
+from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import concept_distance_dewey
+from repro.ontology.generators import snomed_like
+from repro.types import common_prefix_length
+
+
+# ----------------------------------------------------------------------
+# Exactness: arena kernels vs the tuple-based reference paths
+# ----------------------------------------------------------------------
+class TestExactEquivalence:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_pair_distance_matches_references_on_random_ontology(
+            self, seed):
+        ontology = snomed_like(120, seed=seed)
+        dewey = DeweyIndex(ontology)
+        arena = PackedDeweyArena(ontology, dewey)
+        baseline = PairwiseDistanceBaseline(ontology)
+        rng = random.Random(seed)
+        concepts = sorted(ontology.concepts())
+        for _ in range(200):
+            first = rng.choice(concepts)
+            second = rng.choice(concepts)
+            packed = arena.concept_pair_distance(first, second)
+            assert packed == baseline.concept_distance(first, second)
+            assert packed == concept_distance_dewey(dewey, first, second)
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_document_distances_match_drc_bit_for_bit(self, seed):
+        ontology = snomed_like(150, seed=seed)
+        dewey = DeweyIndex(ontology)
+        arena = PackedDeweyArena(ontology, dewey)
+        drc = DRC(ontology, dewey)  # no arena: the tuple path
+        rng = random.Random(seed + 1)
+        concepts = sorted(ontology.concepts())
+        for _ in range(40):
+            doc = rng.sample(concepts, rng.randint(1, 12))
+            query = rng.sample(concepts, rng.randint(1, 6))
+            # Repeats exercise the frozenset dedupe of the tuple path.
+            doc = doc + doc[:2]
+            assert arena.doc_query_distance(doc, query) \
+                == drc.document_query_distance(doc, query)
+            assert arena.doc_doc_distance(doc, query) \
+                == drc.document_document_distance(doc, query)
+
+    def test_drc_arena_facade_matches_tuple_path(self, figure3,
+                                                 figure3_dewey):
+        plain = DRC(figure3, figure3_dewey)
+        arena = PackedDeweyArena(figure3, figure3_dewey)
+        fast = DRC(figure3, figure3_dewey, arena=arena)
+        doc, query = ("R", "U", "F"), ("I", "P")
+        assert fast.document_query_distance(doc, query) \
+            == plain.document_query_distance(doc, query)
+        assert fast.document_document_distance(doc, query) \
+            == plain.document_document_distance(doc, query)
+        assert fast.calls == 2  # arena-served calls still count
+
+    def test_knds_results_identical_with_and_without_arena(
+            self, figure3, example4):
+        searcher = KNDSearch(figure3, example4)
+        for concepts in (("F", "I"), ("U",), ("F", "I", "P")):
+            with_arena = searcher.rds(concepts, 4)
+            tuple_path = searcher.rds(concepts, 4, use_arena=False)
+            assert with_arena.doc_ids() == tuple_path.doc_ids()
+            assert with_arena.distances() == tuple_path.distances()
+        sds_arena = searcher.sds("R U F".split(), 4)
+        sds_tuple = searcher.sds("R U F".split(), 4, use_arena=False)
+        assert sds_arena.distances() == sds_tuple.distances()
+
+    def test_pairwise_baseline_with_arena_matches_cones(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        fast = PairwiseDistanceBaseline(figure3, arena=arena)
+        plain = PairwiseDistanceBaseline(figure3)
+        doc, query = ("R", "U"), ("I", "F", "P")
+        assert fast.document_query_distance(doc, query) \
+            == plain.document_query_distance(doc, query)
+        assert fast.pair_evaluations == plain.pair_evaluations
+
+    def test_identical_concepts_short_circuit(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        assert arena.concept_pair_distance("J", "J") == 0
+        # The shortcut never touches the pair counters or the cache.
+        assert arena.pair_lookups == 0
+        assert len(arena.cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Error contract
+# ----------------------------------------------------------------------
+class TestErrors:
+    def test_unknown_concept_raises(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        with pytest.raises(UnknownConceptError):
+            arena.concept_id("NOPE")
+        assert arena.cache_token(["F", "NOPE"]) is None
+
+    def test_empty_sides_raise(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        with pytest.raises(EmptyDocumentError):
+            arena.doc_query_distance((), ("F",))
+        with pytest.raises(EmptyDocumentError):
+            arena.doc_doc_distance(("F",), ())
+
+
+# ----------------------------------------------------------------------
+# ConceptDistanceCache: bounds, stats, invalidation
+# ----------------------------------------------------------------------
+class TestConceptDistanceCache:
+    def test_lru_eviction_with_tiny_capacity(self, figure3):
+        cache = ConceptDistanceCache(max_entries=2)
+        arena = PackedDeweyArena(figure3, cache=cache)
+        arena.concept_pair_distance("F", "I")
+        arena.concept_pair_distance("F", "P")
+        arena.concept_pair_distance("R", "U")  # evicts the (F, I) entry
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        kernels_before = arena.pair_kernels
+        arena.concept_pair_distance("F", "I")  # recomputed, not cached
+        assert arena.pair_kernels == kernels_before + 1
+
+    def test_symmetric_keys_share_one_entry(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        first = arena.concept_pair_distance("F", "I")
+        second = arena.concept_pair_distance("I", "F")
+        assert first == second
+        assert arena.pair_kernels == 1
+        assert arena.cache.stats.hits == 1
+
+    def test_zero_capacity_disables_caching(self, figure3):
+        arena = PackedDeweyArena(figure3, cache_entries=0)
+        arena.concept_pair_distance("F", "I")
+        arena.concept_pair_distance("F", "I")
+        assert arena.pair_kernels == 2
+        assert len(arena.cache) == 0
+
+    def test_invalidate_clears_and_bumps_epoch(self, figure3):
+        cache = ConceptDistanceCache()
+        arena = PackedDeweyArena(figure3, cache=cache)
+        arena.concept_pair_distance("F", "I")
+        assert len(cache) == 1
+        epoch = cache.epoch
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.epoch == epoch + 1
+        assert cache.stats.invalidations == 1
+
+    def test_adopting_arena_flushes_foreign_entries(self, figure3):
+        """Ontology rebuild: a new arena must not trust old-id entries."""
+        cache = ConceptDistanceCache()
+        old_arena = PackedDeweyArena(snomed_like(60, seed=9), cache=cache)
+        foreign = list(old_arena.ontology.concepts())
+        old_arena.doc_query_distance(foreign[:4], foreign[4:6])
+        assert len(cache) > 0
+        fresh = PackedDeweyArena(figure3, cache=cache)
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert fresh.cache is cache
+
+    def test_arena_invalidate_resets_ids_and_epoch(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        token_before = arena.cache_token(["F", "I"])
+        arena.concept_pair_distance("F", "I")
+        arena.invalidate()
+        assert len(arena.cache) == 0
+        assert arena.interned == 0
+        assert arena.epoch == 1
+        token_after = arena.cache_token(["F", "I"])
+        assert token_before is not None and token_after is not None
+        assert token_before[0] == 0 and token_after[0] == 1
+        # Distances are unchanged after re-interning.
+        assert arena.concept_pair_distance("F", "I") > 0
+
+
+# ----------------------------------------------------------------------
+# Engine integration: add_document, batch API
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_add_document_keeps_distance_cache_warm(self, figure3,
+                                                    example4):
+        """Corpus mutations must NOT flush concept distances: they
+        depend only on the ontology.  The serve-layer QueryCache keys on
+        the engine epoch instead (see tests/serve)."""
+        engine = SearchEngine(figure3, example4)
+        engine.rds(["F", "I"], k=3)
+        engine.sds("R U".split(), k=3)
+        cached_pairs = len(engine.arena.cache)
+        arena_epoch = engine.arena.epoch
+        engine.add_document(Document("d_new", concepts=("F", "U")))
+        assert engine.epoch == 1
+        assert engine.arena.epoch == arena_epoch
+        assert len(engine.arena.cache) >= cached_pairs
+        ranked = engine.rds(["F", "U"], k=3)
+        assert "d_new" in ranked.doc_ids()
+
+    def test_rds_many_matches_singles(self, figure3, example4):
+        engine = SearchEngine(figure3, example4)
+        queries = [["F", "I"], ["U"], ["I", "F"]]
+        batch = engine.rds_many(queries, k=3)
+        singles = [engine.rds(query, 3) for query in queries]
+        assert [r.doc_ids() for r in batch] \
+            == [r.doc_ids() for r in singles]
+        assert [r.distances() for r in batch] \
+            == [r.distances() for r in singles]
+
+    def test_sds_many_accepts_mixed_query_forms(self, figure3, example4):
+        engine = SearchEngine(figure3, example4)
+        batch = engine.sds_many(["d2", ["R", "U"]], k=3)
+        assert batch[0].doc_ids() == engine.sds("d2", 3).doc_ids()
+        assert batch[1].doc_ids() == engine.sds(["R", "U"], 3).doc_ids()
+
+    def test_batch_ddq_matches_per_document_calls(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        docs = [("R", "U"), ("F",), ("I", "P")]
+        query = ("F", "I")
+        assert arena.batch_ddq(docs, query) \
+            == [arena.doc_query_distance(doc, query) for doc in docs]
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestArenaMetrics:
+    def test_counters_published_as_deltas(self, figure3):
+        arena = PackedDeweyArena(figure3)
+        arena.doc_query_distance(("R", "U"), ("F", "I"))  # pre-wiring
+        registry = MetricsRegistry()
+        arena.instrument(Observability(metrics=registry))
+        arena.doc_query_distance(("R", "U"), ("F", "I"))  # all hits now
+        snapshot = registry.snapshot()
+        assert snapshot["arena.cache.hit"]["value"] == 4
+        assert snapshot["arena.pair_kernels"]["value"] == 0
+        assert snapshot["arena.pair_lookups"]["value"] == 4
+
+    def test_knds_telemetry_counts_arena_calls(self, figure3, example4):
+        searcher = KNDSearch(figure3, example4)
+        stats = searcher.rds(("F", "I"), 4, covered_shortcut=False).stats
+        assert stats.arena_calls > 0
+        assert stats.drc_calls == 0
+        tuple_stats = searcher.rds(("F", "I"), 4, covered_shortcut=False,
+                                   use_arena=False).stats
+        assert tuple_stats.arena_calls == 0
+        assert tuple_stats.drc_calls == stats.arena_calls
+
+
+# ----------------------------------------------------------------------
+# The common_prefix_length fast path
+# ----------------------------------------------------------------------
+class TestCommonPrefixFastPath:
+    def test_identical_object_short_circuits(self):
+        address = (1, 2, 3, 4)
+        assert common_prefix_length(address, address) == 4
+
+    def test_equal_tuples_short_circuit(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 3)) == 3
+
+    def test_general_cases_unchanged(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 4)) == 2
+        assert common_prefix_length((), (1,)) == 0
+        assert common_prefix_length((1,), (2,)) == 0

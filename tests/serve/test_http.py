@@ -89,6 +89,29 @@ class TestEndpoints:
         assert body["kind"] == "sds"
         assert len(body["results"]) == 3
 
+    def test_rds_batch(self, server, engine):
+        status, _, body = request(
+            server, "POST", "/search/rds:batch",
+            {"queries": [["F", "I"], ["B"]], "k": 2})
+        assert status == 200
+        assert body["kind"] == "rds:batch"
+        assert body["count"] == 2
+        assert [item["doc_id"] for item in body["results"][0]["results"]] \
+            == engine.rds(["F", "I"], k=2).doc_ids()
+        assert [item["doc_id"] for item in body["results"][1]["results"]] \
+            == engine.rds(["B"], k=2).doc_ids()
+
+    def test_rds_batch_rejects_bad_payloads(self, server):
+        status, _, _ = request(server, "POST", "/search/rds:batch",
+                               {"queries": []})
+        assert status == 400
+        status, _, _ = request(server, "POST", "/search/rds:batch",
+                               {"queries": "F,I"})
+        assert status == 400
+        status, _, _ = request(server, "POST", "/search/rds:batch",
+                               {"queries": [["F"]] * 65})
+        assert status == 400
+
     def test_explain(self, server, engine):
         doc_id = engine.collection.doc_ids()[0]
         status, _, body = request(server, "POST", "/explain",

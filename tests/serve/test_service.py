@@ -145,6 +145,43 @@ class TestCaching:
             assert not service.rds(["F", "I"], k=2).cached
 
 
+class TestBatch:
+    def test_batch_matches_single_queries(self, engine, service):
+        queries = [["F", "I"], ["B"], ["I", "F"]]
+        batch = service.rds_many(queries, k=3)
+        assert len(batch) == 3
+        for query, served in zip(queries, batch):
+            assert served.results.doc_ids() \
+                == engine.rds(query, k=3).doc_ids()
+        # ["F", "I"] and ["I", "F"] normalize to one cache key: the
+        # duplicate is computed once and both slots carry the answer.
+        assert batch[0].results.doc_ids() == batch[2].results.doc_ids()
+
+    def test_batch_serves_prior_hits_from_cache(self, service):
+        service.rds(["F", "I"], k=2)
+        batch = service.rds_many([["F", "I"], ["B"]], k=2)
+        assert batch[0].cached
+        assert not batch[1].cached
+
+    def test_batch_occupies_one_admission_slot(self, engine):
+        config = ServeConfig(workers=1, queue_limit=0)
+        with QueryService(engine, config) as service:
+            # Three queries through a 1-slot service in one request: an
+            # admission rejection would surface as ServiceOverloadedError.
+            batch = service.rds_many([["F"], ["I"], ["B"]], k=2)
+            assert len(batch) == 3
+            assert service.admission.inflight == 0
+
+    def test_empty_batch_is_rejected(self, service):
+        with pytest.raises(QueryError):
+            service.rds_many([], k=2)
+
+    def test_batch_counts_queries_in_metrics(self, service):
+        service.rds_many([["F", "I"], ["B"]], k=2)
+        snapshot = service.obs.metrics.snapshot()
+        assert snapshot["serve.batch_queries"]["value"] == 2
+
+
 class TestDeadlines:
     def test_slow_query_times_out(self, engine, service, monkeypatch):
         def slow_rds(*args, **kwargs):
