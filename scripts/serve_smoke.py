@@ -7,6 +7,8 @@ asserts the serving contract end to end:
 * every request is answered (no transport errors, no hangs);
 * zero 5xx responses under concurrent mixed RDS/SDS load;
 * repeated queries are served from the result cache;
+* every request's ``traceparent`` round-trips (client trace ids are
+  echoed in the response headers);
 * ``/healthz`` and ``/metrics`` respond with real content;
 * graceful shutdown drains and then refuses connections.
 
@@ -77,6 +79,11 @@ def main() -> int:
     expected = len(workload) * 3
     if report.count(200) != expected:
         fail(f"expected {expected} 200s, got {report.count(200)}")
+    if report.traced != report.total:
+        fail(f"traceparent round-trip failed: only {report.traced} of "
+             f"{report.total} responses echoed the client trace id")
+    print(f"# tracing: {report.traced}/{report.total} responses echoed "
+          f"their traceparent")
 
     stats = service.cache.stats
     print(f"# cache: {stats.hits} hits / {stats.misses} misses "

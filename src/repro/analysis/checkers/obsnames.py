@@ -1,15 +1,22 @@
-"""RPR006 — metric and span names follow the registered convention.
+"""RPR006/RPR010 — metric and span names follow the registered convention.
 
 The obs layer (PR 1) established dotted lower_snake paths for every
 instrument and span name (``knds.nodes_visited``, ``engine.query``,
 ``index.postings``); the Prometheus exporter rewrites dots to
 underscores, so any other character silently mangles the exported
-series, and dashboards key on exact names.  The checker validates
-every *literal* first argument to ``span``/``record``/``record_io``/
+series, and dashboards key on exact names.  RPR006 validates every
+*literal* first argument to ``span``/``record``/``record_io``/
 ``counter``/``gauge``/``histogram`` calls; for f-strings the literal
 fragments are validated (the interpolated holes are trusted).
 Non-literal names (variables) are skipped — they are covered at the
 call sites that build them.
+
+RPR010 layers the ``layer.operation`` structure requirement on top:
+the flight recorder's per-layer self-time rollup keys on the segment
+before the first dot, so a single-segment name like ``"query"`` would
+silently become its own layer.  It fires only on otherwise-valid plain
+string literals without a dot (RPR006 already owns malformed names,
+and f-strings may interpolate the missing segments).
 """
 
 from __future__ import annotations
@@ -77,3 +84,34 @@ class ObsNamingChecker(BaseChecker):
             problem = _literal_problem(first)
             if problem is not None:
                 yield self.finding(context, node, problem)
+
+
+@register
+class ObsLayerChecker(BaseChecker):
+    rule = "RPR010"
+    name = "obs-layer-naming"
+    description = ("metric/span names are structured as layer.operation "
+                   "(at least two dotted segments)")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for single-segment metric/span name literals."""
+        for node in ast.walk(context.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SINKS
+                    and node.args):
+                continue
+            first = node.args[0]
+            # Plain string literals only: f-strings may interpolate the
+            # layer or operation segment, and RPR006 owns malformed
+            # names — this rule fires exactly on well-formed names that
+            # lack the layer prefix.
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            if _NAME_RE.match(first.value) and "." not in first.value:
+                yield self.finding(
+                    context, node,
+                    f"name {first.value!r} has no layer prefix; use "
+                    "'layer.operation' (e.g. 'engine.query') so "
+                    "per-layer rollups attribute it correctly")

@@ -84,6 +84,7 @@ WORK_COUNTERS = (
     "serve.cache_hits", "serve.cache_misses",
     "knds.arena_calls", "arena.pair_kernels",
     "arena.cache.hit", "arena.cache.miss", "types.lcp_calls",
+    "trace.spans", "recorder.requests",
 )
 """Deterministic cost-model counters gated alongside wall time.
 
@@ -98,6 +99,13 @@ the cross-query cache because every scenario's warmup and timed repeats
 fully warm the concept-distance cache before the runner's untimed
 metrics pass: at that point each lookup hits and zero kernels run,
 independent of scenario ordering.
+
+``trace.spans`` / ``recorder.requests`` pin the tracing pipeline's
+per-request work in ``serve_traced``: loadgen mints deterministic trace
+ids and head-samples them client-side, so the set of sampled requests —
+and therefore the spans collected and records captured per pass — is
+identical every run.  A structural change to the span tree (a new layer
+span, a dropped one) moves ``trace.spans`` and gates.
 """
 
 WORK_REL_TOLERANCE = 0.05
@@ -555,6 +563,70 @@ def _prepare_serve_cache_hot(world: "World") -> PreparedScenario:
     tags=("smoke", "serve"))
 def _prepare_serve_cache_cold(world: "World") -> PreparedScenario:
     return _serve_cache_scenario(world, "cold")
+
+
+@register_scenario(
+    "serve_traced",
+    "Query service RDS/SDS mix over live HTTP with request-scoped "
+    "tracing on: loadgen sends deterministic traceparent headers "
+    "(client head-sampled at 0.5), the flight recorder captures every "
+    "request (slow threshold 0), so this gates the tracing overhead "
+    "and pins spans-per-pass via the trace.spans work counter",
+    tags=("smoke", "serve", "trace"))
+def _prepare_serve_traced(world: "World") -> PreparedScenario:
+    from repro.core.engine import SearchEngine
+    from repro.obs.tracing import Tracer
+    from repro.serve import QueryService, ServeConfig
+    from repro.serve.http import ServerHandle
+    from repro.serve.loadgen import mixed_workload, run_load
+
+    engine = SearchEngine(world.ontology, world.corpus("RADIO"))
+    service = QueryService(engine, ServeConfig(
+        workers=2, queue_limit=64, deadline_seconds=60.0,
+        cache_size=0,  # every request does full engine work: stable spans
+        trace_seed=7, trace_sample_rate=1.0,  # client flag decides
+        recorder_capacity=4096, recorder_recent=4096,
+        slow_threshold_seconds=0.0))
+    handle = ServerHandle.start(service, port=0)
+    workload = mixed_workload(world.corpus("RADIO"),
+                              count=world.scale.queries_per_point,
+                              nq=5, k=10, seed=23)
+    tracer = service.obs.tracer
+    if not isinstance(tracer, Tracer):  # pragma: no cover - default real
+        raise ReproError("serve_traced requires the service's default "
+                         "span-collecting tracer")
+
+    holder: list["Observability"] = []  # runner bundle; metrics pass only
+
+    def instrument(obs: "Observability | None") -> None:
+        holder[:] = [] if obs is None else [obs]
+
+    def run() -> None:
+        spans_before = tracer.spans_collected
+        recorded_before = service.recorder.requests_recorded
+        report = run_load(handle.address, workload, threads=1, repeat=1,
+                          trace_sample_rate=0.5)
+        if report.errors or report.server_errors:
+            raise ReproError(
+                f"serve_traced load failed: {report.server_errors} "
+                f"server errors, transport errors {report.errors[:3]}")
+        if holder:
+            holder[0].metrics.counter(
+                "trace.spans",
+                "spans collected by the service tracer in one pass",
+            ).inc(tracer.spans_collected - spans_before)
+            holder[0].metrics.counter(
+                "recorder.requests",
+                "requests captured by the flight recorder in one pass",
+            ).inc(service.recorder.requests_recorded - recorded_before)
+
+    def cleanup() -> None:
+        handle.stop()
+        service.close(drain_seconds=0.0)
+        engine.close()
+
+    return PreparedScenario(run=run, instrument=instrument,
+                            cleanup=cleanup)
 
 
 @register_scenario(

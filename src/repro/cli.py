@@ -10,6 +10,9 @@ Ties the library's pieces into shell-scriptable steps:
 * ``extract``          — run the concept-extraction pipeline over text;
 * ``serve``            — run the concurrent HTTP/JSON query service
   (delegates to :mod:`repro.serve`; see ``docs/SERVING.md``);
+* ``debug``            — fetch captured request traces from a running
+  server's ``/debug/traces`` endpoint and pretty-print the span tree
+  with per-layer self-times (see ``docs/OBSERVABILITY.md``);
 * ``experiments``      — regenerate the paper's tables and figures
   (delegates to :mod:`repro.bench.experiments`);
 * ``bench``            — run registered perf scenarios, write a
@@ -239,6 +242,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_seconds=args.cache_ttl,
         retry_after_seconds=args.retry_after,
         drain_seconds=args.drain_seconds,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_seed=args.trace_seed,
+        recorder_capacity=args.recorder_capacity,
+        slow_threshold_seconds=args.slow_threshold,
+        slo_latency_objective_seconds=args.latency_objective,
     )
     service = QueryService(engine, config)
     print(f"# engine ready: {len(engine.collection)} documents over "
@@ -248,6 +256,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                    drain_seconds=config.drain_seconds)
     finally:
         service.close()
+    return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    """Fetch flight-recorder traces from a running server and render."""
+    import http.client
+    import json
+
+    from repro.obs.recorder import RequestRecord, render_trace
+
+    path = "/debug/traces"
+    if args.id:
+        path += f"?id={args.id}"
+    connection = http.client.HTTPConnection(args.host, args.port,
+                                            timeout=args.timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    except OSError as error:
+        raise ReproError(
+            f"cannot reach {args.host}:{args.port}: {error}") from error
+    finally:
+        connection.close()
+    if response.status == 404:
+        raise ReproError(f"no captured request matches {args.id!r}")
+    if response.status != 200:
+        raise ReproError(f"GET {path} returned {response.status}: {body}")
+    payload = json.loads(body)
+    if args.id:
+        record = RequestRecord(
+            request_id=payload.get("request_id", "?"),
+            method=payload.get("method", "?"),
+            path=payload.get("path", "?"),
+            status=int(payload.get("status", 0)),
+            seconds=float(payload.get("seconds", 0.0)),
+            trace_id=payload.get("trace_id"),
+            sampled=bool(payload.get("sampled", False)),
+            cached=payload.get("cached"),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            reasons=tuple(payload.get("reasons", ())),
+            spans=list(payload.get("spans", [])),
+        )
+        print(render_trace(record))
+        return 0
+    traces = payload.get("traces", [])
+    if not traces:
+        print("no captured requests (nothing slow or failing yet)")
+        return 0
+    for row in traces:
+        reasons = ",".join(row.get("reasons", ())) or "-"
+        print(f"{row.get('request_id', '?'):<14} "
+              f"{row.get('method', '?'):<5} {row.get('path', '?'):<24} "
+              f"{row.get('status', 0):>3}  "
+              f"{row.get('seconds', 0.0) * 1000:9.3f} ms  "
+              f"[{reasons}]  trace={row.get('trace_id') or '-'}")
+    print(f"# {len(traces)} captured; rerun with --id REQUEST_OR_TRACE_ID "
+          f"for the span tree")
     return 0
 
 
@@ -372,7 +438,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-level",
                        choices=["debug", "info", "warning", "error"],
                        help="enable structured logging at this level")
+    serve.add_argument("--trace-sample-rate", type=float, default=1.0,
+                       help="fraction of traces whose spans are collected "
+                            "(deterministic head sampling on trace id)")
+    serve.add_argument("--trace-seed", type=int, default=None,
+                       help="seed for server-minted trace ids "
+                            "(reproducible traces)")
+    serve.add_argument("--recorder-capacity", type=int, default=64,
+                       help="slow/error requests retained with full span "
+                            "trees (0 disables capture)")
+    serve.add_argument("--slow-threshold", type=float, default=1.0,
+                       help="seconds past which a request is captured by "
+                            "the flight recorder (0 captures all)")
+    serve.add_argument("--latency-objective", type=float, default=0.5,
+                       help="per-request latency objective in seconds for "
+                            "SLO burn-rate accounting")
     serve.set_defaults(handler=_cmd_serve)
+
+    debug = commands.add_parser(
+        "debug", help="inspect a running server's flight recorder")
+    debug.add_argument("--host", default="127.0.0.1")
+    debug.add_argument("--port", type=int, default=8080)
+    debug.add_argument("--id", help="request id (req-...) or trace id; "
+                                    "renders the full span tree")
+    debug.add_argument("--timeout", type=float, default=10.0)
+    debug.set_defaults(handler=_cmd_debug)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures",

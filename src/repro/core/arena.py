@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.exceptions import EmptyDocumentError, UnknownConceptError
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
@@ -219,6 +220,7 @@ class PackedDeweyArena:
         self.pair_kernels = 0
         """Packed LCP kernel evaluations (pair requests that missed)."""
         self._counters: "tuple[Counter, ...] | None" = None
+        self._tracer: "Tracer | NullTracer | None" = None
         self._published = [0, 0, 0, 0, 0]
         self._metrics_lock = threading.Lock()
 
@@ -458,11 +460,15 @@ class PackedDeweyArena:
 
         Interns the query once and streams the documents through the
         shared cache — the kernel behind the batch query API
-        (:meth:`repro.core.engine.SearchEngine.rds_many`).
+        (:meth:`repro.core.engine.SearchEngine.rds_many`).  One span
+        covers the whole batch (per-document spans would dominate the
+        packed kernel itself).
         """
-        query_ids = self.intern_unique(query_concepts)
-        return [self.ddq_ids(self.intern_unique(doc), query_ids)
-                for doc in docs]
+        tracer = self._tracer if self._tracer is not None else NULL_TRACER
+        with tracer.span("arena.batch_ddq", docs=len(docs)):
+            query_ids = self.intern_unique(query_concepts)
+            return [self.ddq_ids(self.intern_unique(doc), query_ids)
+                    for doc in docs]
 
     # ------------------------------------------------------------------
     # Observability
@@ -478,7 +484,9 @@ class PackedDeweyArena:
         """
         if obs is None:
             self._counters = None
+            self._tracer = None
             return
+        self._tracer = obs.tracer
         registry = obs.metrics
         counters = (
             registry.counter("arena.pair_lookups",

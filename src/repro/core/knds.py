@@ -440,6 +440,20 @@ class KNDSearch:
                 yield ResultItem(doc_id, distance)
             telemetry.total_seconds += time.perf_counter() - start
             if obs is not None:
+                # One aggregated leaf span for the distance layer: the
+                # settle loop runs per candidate (far too hot for a span
+                # each), so the cumulative distance time is reported as a
+                # single synthetic leaf under the knds span — enough for
+                # per-request "where did the time go" attribution.
+                distance_end = time.perf_counter()
+                distance_start = distance_end - telemetry.distance_seconds
+                if telemetry.arena_calls:
+                    tracer.record("arena.distance", distance_start,
+                                  distance_end,
+                                  calls=telemetry.arena_calls)
+                elif telemetry.drc_calls:
+                    tracer.record("drc.probe", distance_start, distance_end,
+                                  calls=telemetry.drc_calls)
                 telemetry.publish(obs.metrics, prefix="knds")
 
     # ------------------------------------------------------------------

@@ -28,10 +28,15 @@ from typing import Any
 from repro.obs.events import (EVENT_TYPES, EventLog, EventStream,
                               ExpandedEvent, QueryEvent, RoundEvent,
                               TerminatedEvent)
-from repro.obs.logging import get_logger, setup_logging
+from repro.obs.logging import (get_logger, log_context, setup_logging)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                PROBE_BUCKETS, QueryTelemetry, get_registry)
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.recorder import FlightRecorder, RequestRecord, render_trace
+from repro.obs.slo import SLOTracker
+from repro.obs.tracing import (NULL_TRACER, NullTracer, Span, SpanContext,
+                               Tracer, current_context, current_span,
+                               format_traceparent, head_sample,
+                               parse_traceparent)
 
 __all__ = [
     "Observability",
@@ -39,6 +44,17 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "SpanContext",
+    "current_context",
+    "current_span",
+    "parse_traceparent",
+    "format_traceparent",
+    "head_sample",
+    "FlightRecorder",
+    "RequestRecord",
+    "render_trace",
+    "SLOTracker",
+    "log_context",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -7,16 +7,24 @@ drives.  Library modules obtain children via :func:`get_logger` and log
 normally; until ``setup_logging`` runs, records propagate to whatever
 the host application configured (or nowhere), so importing the library
 never spams stderr.
+
+Correlation: :func:`log_context` binds fields (``request_id``,
+``trace_id``) to the current :mod:`contextvars` context; the formatter
+merges them into every record emitted inside the ``with`` block, so an
+engine-level ``query done`` line carries the HTTP request's ids without
+the engine knowing about HTTP.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import logging
 import sys
 import time
+from contextlib import contextmanager
 from types import TracebackType
-from typing import Any, TextIO
+from typing import Any, Iterator, TextIO
 
 ROOT_LOGGER_NAME = "repro"
 
@@ -30,6 +38,39 @@ _LEVELS = {
 _STANDARD_ATTRS = frozenset(vars(
     logging.LogRecord("", 0, "", 0, "", (), None)
 )) | {"message", "asctime", "taskName"}
+
+_LOG_CONTEXT: "contextvars.ContextVar[dict[str, Any] | None]" = \
+    contextvars.ContextVar("repro_log_context", default=None)
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Bind correlation fields to every record logged in this context.
+
+    Nested bindings merge (inner wins on key collisions) and unwind on
+    exit.  The binding travels with :mod:`contextvars`, so it follows
+    the request across ``await`` points and copied executor contexts —
+    the same propagation rule as the active trace span.
+
+    >>> import io
+    >>> stream = io.StringIO()
+    >>> logger = setup_logging("info", stream=stream)
+    >>> with log_context(request_id="r1"):
+    ...     logger.info("hello")
+    >>> "request_id=r1" in stream.getvalue()
+    True
+    """
+    current = _LOG_CONTEXT.get() or {}
+    token = _LOG_CONTEXT.set({**current, **fields})
+    try:
+        yield
+    finally:
+        _LOG_CONTEXT.reset(token)
+
+
+def current_log_context() -> dict[str, Any]:
+    """The correlation fields bound to the current context (a copy)."""
+    return dict(_LOG_CONTEXT.get() or {})
 
 
 class StructuredFormatter(logging.Formatter):
@@ -52,6 +93,9 @@ class StructuredFormatter(logging.Formatter):
             "logger": record.name,
             "msg": record.getMessage(),
         }
+        bound = _LOG_CONTEXT.get()
+        if bound:
+            fields.update(bound)
         for key, value in vars(record).items():
             if key not in _STANDARD_ATTRS and not key.startswith("_"):
                 fields[key] = value
@@ -65,7 +109,8 @@ class StructuredFormatter(logging.Formatter):
 
 def _quote(value: Any) -> str:
     text = str(value)
-    if any(ch.isspace() for ch in text) or text == "":
+    if text == "" or '"' in text or "\\" in text \
+            or any(ch.isspace() or not ch.isprintable() for ch in text):
         return json.dumps(text, default=str)
     return text
 

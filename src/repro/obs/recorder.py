@@ -1,0 +1,228 @@
+"""Flight recorder: keep the span trees of recent slow/error requests.
+
+Always-on tracing answers "where does time go on average"; the flight
+recorder answers "why was *that* request slow" after the fact.  It keeps
+two bounded rings:
+
+* ``recent`` — lightweight metadata for the last N requests regardless
+  of outcome (the ``/debug/requests`` feed);
+* ``captured`` — full records *including the span tree* for requests
+  that tripped a trigger: latency at or above ``slow_threshold_seconds``
+  or an HTTP status in the 5xx range (the ``/debug/traces`` feed).
+
+Span trees are pulled lazily from the tracer only when a trigger fires
+(via :meth:`repro.obs.tracing.Tracer.take_trace`), so the common fast
+request costs one deque append.  :func:`render_trace` pretty-prints a
+captured record as an indented tree with per-span *self time* (duration
+minus direct children) and a per-layer rollup — the ``repro debug`` CLI
+output.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class RequestRecord:
+    """One observed HTTP request, with its span tree when captured."""
+
+    request_id: str
+    method: str
+    path: str
+    status: int
+    seconds: float
+    trace_id: str | None = None
+    sampled: bool = False
+    cached: bool | None = None
+    wall_time: float = 0.0
+    reasons: tuple[str, ...] = ()
+    spans: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self, *, include_spans: bool = True) -> dict[str, Any]:
+        """JSON-ready view; ``include_spans=False`` for list endpoints."""
+        row: dict[str, Any] = {
+            "request_id": self.request_id,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "seconds": self.seconds,
+            "trace_id": self.trace_id,
+            "sampled": self.sampled,
+            "cached": self.cached,
+            "wall_time": self.wall_time,
+            "reasons": list(self.reasons),
+        }
+        if include_spans:
+            row["spans"] = self.spans
+        else:
+            row["span_count"] = len(self.spans)
+        return row
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent and captured request records.
+
+    Parameters
+    ----------
+    capacity:
+        Captured records (with span trees) retained; 0 disables capture
+        while keeping the ``recent`` feed.
+    recent:
+        Metadata-only records retained for the ``/debug/requests`` feed.
+    slow_threshold_seconds:
+        Requests at or above this latency are captured; 0 captures every
+        request (useful in benchmarks and tests).
+    clock:
+        Wall-clock source for record timestamps (injectable for tests).
+    """
+
+    def __init__(self, *, capacity: int = 64, recent: int = 256,
+                 slow_threshold_seconds: float = 1.0,
+                 clock: Callable[[], float] = time.time) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if recent < 1:
+            raise ValueError(f"recent must be >= 1, got {recent}")
+        if slow_threshold_seconds < 0:
+            raise ValueError(
+                f"slow_threshold_seconds must be >= 0, got "
+                f"{slow_threshold_seconds}")
+        self.capacity = capacity
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._recent: deque[RequestRecord] = deque(maxlen=recent)
+        self._captured: deque[RequestRecord] = deque(maxlen=capacity or 1)
+        self.requests_seen = 0
+        self.requests_recorded = 0
+
+    def observe(self, record: RequestRecord,
+                spans: Callable[[], list[dict[str, Any]]] | None = None,
+                ) -> RequestRecord | None:
+        """Feed one finished request; returns the record when captured.
+
+        ``spans`` is called (once, outside the recorder lock) only when a
+        trigger fires, so untriggered requests never materialise their
+        span tree.
+        """
+        record.wall_time = self._clock()
+        reasons: list[str] = []
+        if record.status >= 500:
+            reasons.append("error")
+        if record.seconds >= self.slow_threshold_seconds:
+            reasons.append("slow")
+        captured = bool(reasons) and self.capacity > 0
+        if captured:
+            record.reasons = tuple(reasons)
+            if spans is not None:
+                record.spans = spans()
+        with self._lock:
+            self.requests_seen += 1
+            self._recent.append(record)
+            if captured:
+                self._captured.append(record)
+                self.requests_recorded += 1
+        return record if captured else None
+
+    def get(self, key: str) -> RequestRecord | None:
+        """Look up a captured record by ``request_id`` or ``trace_id``."""
+        with self._lock:
+            for record in reversed(self._captured):
+                if record.request_id == key or record.trace_id == key:
+                    return record
+        return None
+
+    def captured(self) -> list[RequestRecord]:
+        """Captured records, oldest first."""
+        with self._lock:
+            return list(self._captured)
+
+    def recent(self) -> list[RequestRecord]:
+        """The metadata ring (all outcomes), oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters and sizes for ``/debug/vars``."""
+        with self._lock:
+            return {
+                "requests_seen": self.requests_seen,
+                "requests_recorded": self.requests_recorded,
+                "captured": len(self._captured),
+                "recent": len(self._recent),
+                "capacity": self.capacity,
+                "slow_threshold_seconds": self.slow_threshold_seconds,
+            }
+
+
+def _layer(name: str) -> str:
+    """The layer prefix of a span name (``knds.level`` → ``knds``)."""
+    return name.split(".", 1)[0]
+
+
+def render_trace(record: RequestRecord) -> str:
+    """Pretty-print a captured request: span tree + per-layer self time.
+
+    *Self time* is a span's duration minus the summed durations of its
+    direct children — the time actually spent in that layer rather than
+    delegated downward.  The per-layer rollup at the bottom aggregates
+    self time by span-name prefix, which is exactly the paper's
+    "where does the time go" question (DRC probes vs. kNDS rounds vs.
+    serving overhead) asked of one concrete request.
+    """
+    lines = [
+        f"request {record.request_id}  {record.method} {record.path}  "
+        f"status={record.status}  {record.seconds * 1000:.2f} ms",
+        f"trace {record.trace_id or '-'}  sampled={record.sampled}  "
+        f"cached={record.cached}  reasons={','.join(record.reasons) or '-'}",
+    ]
+    if not record.spans:
+        lines.append("(no spans captured — trace not sampled?)")
+        return "\n".join(lines)
+    by_id = {span["span_id"]: span for span in record.spans}
+    children: dict[Any, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in record.spans:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    self_times: dict[str, float] = {}
+
+    def self_time(span: dict[str, Any]) -> float:
+        child_total = sum(child["duration"]
+                          for child in children.get(span["span_id"], []))
+        return max(0.0, span["duration"] - child_total)
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        own = self_time(span)
+        layer = _layer(span["name"])
+        self_times[layer] = self_times.get(layer, 0.0) + own
+        attrs = span.get("attributes") or {}
+        detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+        lines.append(
+            f"{'  ' * depth}{span['name']:<{max(1, 40 - 2 * depth)}} "
+            f"{span['duration'] * 1000:9.3f} ms  "
+            f"self {own * 1000:8.3f} ms"
+            + (f"  [{detail}]" if detail else ""))
+        for child in sorted(children.get(span["span_id"], []),
+                            key=lambda item: item["start"]):
+            walk(child, depth + 1)
+
+    lines.append("")
+    for root in sorted(roots, key=lambda item: item["start"]):
+        walk(root, 0)
+    lines.append("")
+    lines.append("per-layer self time:")
+    total = sum(self_times.values()) or 1.0
+    for layer, seconds in sorted(self_times.items(),
+                                 key=lambda item: -item[1]):
+        lines.append(f"  {layer:<12} {seconds * 1000:9.3f} ms  "
+                     f"{100.0 * seconds / total:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""SLO tracking for the serve path: latency, availability, burn rate.
+
+A :class:`SLOTracker` watches every finished HTTP request and maintains,
+per endpoint, a latency histogram plus availability counters, and — over
+short and long sliding windows — the *burn rate*: the ratio between the
+observed bad-request fraction and the error budget implied by the
+availability target.  A burn rate of 1.0 means the budget is being spent
+exactly at the sustainable pace; 10× means the budget for the period
+will be gone in a tenth of it (the classic fast-burn page condition).
+
+Definitions (kept deliberately simple and inspectable):
+
+* a request is **unavailable** when its status is 5xx;
+* a request **misses latency** when it succeeds but takes longer than
+  ``latency_objective_seconds``;
+* a request is **bad** (burns budget) when either holds.
+
+Windows are tracked with coarse time buckets (``bucket_seconds``) in a
+bounded deque, so memory is constant and old traffic ages out without
+timers.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+_WINDOWS = (300.0, 3600.0)  # burn-rate windows: 5 minutes, 1 hour
+
+
+@dataclass
+class _EndpointState:
+    """Per-endpoint aggregates (guarded by the tracker lock)."""
+
+    total: int = 0
+    unavailable: int = 0
+    latency_misses: int = 0
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "slo.latency_seconds", "Per-endpoint request latency",
+        buckets=DEFAULT_LATENCY_BUCKETS))
+
+
+class SLOTracker:
+    """Per-endpoint SLO accounting with windowed burn rates.
+
+    Parameters
+    ----------
+    availability_target:
+        Fraction of requests that must not be *bad* (e.g. ``0.999``);
+        the error budget is ``1 - availability_target``.
+    latency_objective_seconds:
+        Latency bound counted against the budget for successful requests.
+    bucket_seconds:
+        Granularity of the sliding-window accounting.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, *, availability_target: float = 0.999,
+                 latency_objective_seconds: float = 0.5,
+                 bucket_seconds: float = 15.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not 0.0 < availability_target < 1.0:
+            raise ValueError(
+                f"availability_target must be in (0, 1), got "
+                f"{availability_target}")
+        if latency_objective_seconds <= 0:
+            raise ValueError(
+                f"latency_objective_seconds must be > 0, got "
+                f"{latency_objective_seconds}")
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be > 0, got {bucket_seconds}")
+        self.availability_target = availability_target
+        self.latency_objective_seconds = latency_objective_seconds
+        self.bucket_seconds = bucket_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, _EndpointState] = {}
+        # (bucket_index, total, bad) triples, oldest first.
+        keep = int(max(_WINDOWS) / bucket_seconds) + 2
+        self._buckets: deque[list[float]] = deque(maxlen=keep)
+
+    def observe(self, path: str, status: int, seconds: float) -> None:
+        """Account one finished request."""
+        unavailable = status >= 500
+        latency_miss = not unavailable \
+            and seconds > self.latency_objective_seconds
+        bad = unavailable or latency_miss
+        bucket = int(self._clock() / self.bucket_seconds)
+        with self._lock:
+            state = self._endpoints.get(path)
+            if state is None:
+                state = self._endpoints[path] = _EndpointState()
+            state.total += 1
+            state.unavailable += int(unavailable)
+            state.latency_misses += int(latency_miss)
+            state.latency.observe(seconds)
+            if self._buckets and self._buckets[-1][0] == bucket:
+                self._buckets[-1][1] += 1
+                self._buckets[-1][2] += int(bad)
+            else:
+                self._buckets.append([bucket, 1, int(bad)])
+
+    def _window_counts(self, window_seconds: float) -> tuple[int, int]:
+        """(total, bad) over the trailing window (lock held)."""
+        now_bucket = int(self._clock() / self.bucket_seconds)
+        span = int(window_seconds / self.bucket_seconds)
+        total = bad = 0
+        for bucket, count, bad_count in self._buckets:
+            if bucket > now_bucket - span:
+                total += int(count)
+                bad += int(bad_count)
+        return total, bad
+
+    def burn_rate(self, window_seconds: float) -> float | None:
+        """Error-budget burn rate over the window; ``None`` without traffic."""
+        with self._lock:
+            total, bad = self._window_counts(window_seconds)
+        if total == 0:
+            return None
+        budget = 1.0 - self.availability_target
+        return (bad / total) / budget
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: objectives, burn rates, per-endpoint stats."""
+        with self._lock:
+            windows = {}
+            budget = 1.0 - self.availability_target
+            for window in _WINDOWS:
+                total, bad = self._window_counts(window)
+                windows[f"{int(window)}s"] = {
+                    "requests": total,
+                    "bad": bad,
+                    "burn_rate": (bad / total) / budget if total else None,
+                }
+            endpoints = {}
+            for path, state in sorted(self._endpoints.items()):
+                good = state.total - state.unavailable
+                endpoints[path] = {
+                    "requests": state.total,
+                    "unavailable": state.unavailable,
+                    "latency_misses": state.latency_misses,
+                    "availability": (good / state.total
+                                     if state.total else None),
+                    "latency_p50_seconds": state.latency.quantile(0.5),
+                    "latency_p99_seconds": state.latency.quantile(0.99),
+                }
+        return {
+            "availability_target": self.availability_target,
+            "latency_objective_seconds": self.latency_objective_seconds,
+            "windows": windows,
+            "endpoints": endpoints,
+        }

@@ -1,11 +1,26 @@
-"""Lightweight hierarchical span tracing for the search stack.
+"""Request-scoped hierarchical span tracing for the search stack.
 
-A :class:`Tracer` hands out :class:`Span` context managers; spans nest
-through a per-thread stack, carry free-form attributes, and are collected
-on completion so a whole query run can be exported afterwards — either as
-JSON lines (one span per line, ``parent_id`` links encoding the tree) or
-in the Chrome trace-event format that ``chrome://tracing`` / Perfetto
-renders as a flame graph.
+A :class:`Tracer` hands out :class:`Span` context managers.  Every span
+carries a 128-bit ``trace_id`` shared by all spans of one request and a
+64-bit ``span_id`` of its own; nesting flows through a
+:mod:`contextvars` context variable rather than a per-thread stack, so
+the active span follows the request across ``await`` points and — when
+the submitter copies its context — across thread-pool hops
+(see :meth:`repro.serve.service.QueryService`).  Finished spans are
+collected on completion so a whole query run can be exported afterwards,
+either as JSON lines (one span per line, ``parent_id`` links encoding
+the tree) or in the Chrome trace-event format that ``chrome://tracing``
+/ Perfetto renders as a flame graph.
+
+Trace context crosses process boundaries as a W3C ``traceparent`` header
+(``00-{trace_id:032x}-{span_id:016x}-{flags:02x}``); use
+:func:`parse_traceparent` / :func:`format_traceparent` at the edges and
+:func:`current_context` anywhere in between.  Sampling is *deterministic
+head sampling*: whether a trace is collected is a pure function of its
+``trace_id`` and the tracer's ``sample_rate`` (:func:`head_sample`), so
+every process — and the load generator — agrees on the decision without
+coordination.  Unsampled spans still propagate context (children, remote
+ids) but are never buffered.
 
 The default wiring throughout the library is :data:`NULL_TRACER`, whose
 ``span``/``record`` calls allocate nothing and return a shared no-op
@@ -19,20 +34,110 @@ wall-clock epoch is exported alongside for correlation with logs.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
+import random
+import re
 import threading
 import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, TextIO
+from typing import Any, Iterator, TextIO
+
+_TRACEPARENT_RE = re.compile(
+    r"\A([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})\Z")
+
+_SAMPLE_BITS = 56
+_SAMPLE_MASK = (1 << _SAMPLE_BITS) - 1
+
+TRACEPARENT_HEADER = "traceparent"
+"""Canonical (lowercase) name of the W3C trace-context header."""
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of a span: trace id, span id, sampling bit.
+
+    This is the part of a span that crosses boundaries — into worker
+    threads, over HTTP as a ``traceparent`` header, into log lines.  It
+    is immutable and carries no timing or attributes.
+    """
+
+    trace_id: int
+    span_id: int
+    sampled: bool = True
+
+    @property
+    def trace_id_hex(self) -> str:
+        """The 128-bit trace id as 32 lowercase hex digits."""
+        return f"{self.trace_id:032x}"
+
+    @property
+    def span_id_hex(self) -> str:
+        """The 64-bit span id as 16 lowercase hex digits."""
+        return f"{self.span_id & ((1 << 64) - 1):016x}"
+
+    @property
+    def traceparent(self) -> str:
+        """This context encoded as a W3C ``traceparent`` header value."""
+        return format_traceparent(self)
+
+
+def format_traceparent(context: SpanContext) -> str:
+    """Encode ``context`` as a version-00 ``traceparent`` header value."""
+    flags = "01" if context.sampled else "00"
+    return f"00-{context.trace_id_hex}-{context.span_id_hex}-{flags}"
+
+
+def parse_traceparent(header: str | None) -> SpanContext | None:
+    """Parse a W3C ``traceparent`` header; ``None`` when absent/malformed.
+
+    Malformed input (wrong field widths, uppercase hex, version ``ff``,
+    all-zero trace or span id) yields ``None`` rather than raising, so
+    the HTTP layer degrades to starting a fresh root trace.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip())
+    if match is None:
+        return None
+    version, trace_hex, span_hex, flags_hex = match.groups()
+    if version == "ff":
+        return None
+    trace_id = int(trace_hex, 16)
+    span_id = int(span_hex, 16)
+    if trace_id == 0 or span_id == 0:
+        return None
+    sampled = bool(int(flags_hex, 16) & 0x01)
+    return SpanContext(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+
+def head_sample(trace_id: int, rate: float) -> bool:
+    """Deterministic head-sampling decision for ``trace_id`` at ``rate``.
+
+    A pure function of the trace id's low 56 bits, so every participant
+    (server, shards, load generator) reaches the same verdict for the
+    same trace without coordination.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return (trace_id & _SAMPLE_MASK) < int(rate * (1 << _SAMPLE_BITS))
 
 
 class Span:
     """One timed operation: a name, a window, attributes, and a parent.
 
-    Spans are context managers; entering records the start offset and the
-    parent (the innermost span open on the same thread), exiting records
-    the end offset and hands the finished span to the tracer::
+    Spans are context managers; entering resolves the parent (an explicit
+    ``parent=`` hint, else whatever span or remote :class:`SpanContext`
+    is active in the current :mod:`contextvars` context), inherits or
+    mints the trace id, and records the start offset; exiting records the
+    end offset and — when the trace is sampled — hands the finished span
+    to the tracer::
 
         with tracer.span("engine.query", k=10) as span:
             ...
@@ -40,18 +145,24 @@ class Span:
     """
 
     __slots__ = ("_tracer", "name", "attributes", "span_id", "parent_id",
-                 "thread_id", "start", "end")
+                 "trace_id", "sampled", "thread_id", "start", "end",
+                 "_parent_hint", "_previous")
 
     def __init__(self, tracer: "Tracer", name: str,
-                 attributes: dict[str, Any]) -> None:
+                 attributes: dict[str, Any],
+                 parent: "Span | SpanContext | None" = None) -> None:
         self._tracer = tracer
         self.name = name
         self.attributes = attributes
         self.span_id = next(tracer._ids)
         self.parent_id: int | None = None
+        self.trace_id = 0
+        self.sampled = True
         self.thread_id = 0
         self.start = 0.0
         self.end = 0.0
+        self._parent_hint = parent
+        self._previous: Span | SpanContext | None = None
 
     def set_attribute(self, key: str, value: Any) -> None:
         """Attach (or overwrite) one attribute on the span."""
@@ -61,6 +172,12 @@ class Span:
     def duration(self) -> float:
         """Span length in seconds (0 until the span has ended)."""
         return max(0.0, self.end - self.start)
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's propagatable identity (valid once entered)."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id,
+                           sampled=self.sampled)
 
     def __enter__(self) -> "Span":
         self._tracer._enter(self)
@@ -73,6 +190,7 @@ class Span:
         """JSON-ready view of the finished span."""
         return {
             "name": self.name,
+            "trace_id": f"{self.trace_id:032x}",
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "thread": self.thread_id,
@@ -82,6 +200,44 @@ class Span:
         }
 
 
+_ACTIVE: "contextvars.ContextVar[Span | SpanContext | None]" = \
+    contextvars.ContextVar("repro_active_span", default=None)
+
+
+def current_span() -> Span | None:
+    """The span active in the current context, if any.
+
+    Returns ``None`` when nothing is active *or* when the active context
+    is a remote :class:`SpanContext` (attached, not locally opened).
+    """
+    active = _ACTIVE.get()
+    return active if isinstance(active, Span) else None
+
+
+def current_context() -> SpanContext | None:
+    """The propagatable trace context active right now, if any."""
+    active = _ACTIVE.get()
+    if isinstance(active, Span):
+        return active.context
+    return active
+
+
+@contextmanager
+def attach(context: SpanContext | None) -> Iterator[None]:
+    """Make ``context`` the active parent for spans opened inside.
+
+    Used to re-root tracing under a remote parent (a parsed
+    ``traceparent``) without opening a local span, or to detach
+    (``attach(None)``) for background work that must not inherit the
+    caller's trace.
+    """
+    token = _ACTIVE.set(context)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+
+
 class _NullSpan:
     """The shared do-nothing span handle returned by :class:`NullTracer`."""
 
@@ -89,6 +245,11 @@ class _NullSpan:
 
     def set_attribute(self, key: str, value: Any) -> None:
         """Discard the attribute."""
+
+    @property
+    def context(self) -> None:
+        """No identity: the null span never propagates context."""
+        return None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -108,7 +269,8 @@ class NullTracer:
 
     __slots__ = ()
 
-    def span(self, name: str, **attributes: Any) -> _NullSpan:
+    def span(self, name: str, parent: Span | SpanContext | None = None,
+             **attributes: Any) -> _NullSpan:
         """Return the shared no-op span handle."""
         return _NULL_SPAN
 
@@ -120,6 +282,10 @@ class NullTracer:
         """Always empty: nothing is ever collected."""
         return []
 
+    def take_trace(self, trace_id: int) -> list[dict[str, Any]]:
+        """Always empty: nothing is ever collected."""
+        return []
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -128,65 +294,148 @@ NULL_TRACER = NullTracer()
 
 
 class Tracer:
-    """Collects hierarchical spans for one instrumented run.
+    """Collects hierarchical spans for instrumented requests.
 
-    Thread-safe: each thread keeps its own open-span stack, finished
-    spans are appended under a lock, and timestamps share one epoch.
+    Thread-safe: the active span travels in a :mod:`contextvars` context
+    variable (per-thread and per-task by construction; copyable across
+    executor hops), finished spans are appended under a lock, and
+    timestamps share one epoch.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of root traces collected, decided deterministically from
+        the trace id (:func:`head_sample`).  Children and remote parents
+        inherit the decision; unsampled spans still propagate context but
+        are never buffered.
+    max_spans:
+        Bound on the finished-span buffer; once full, the oldest span is
+        dropped (counted in :attr:`spans_dropped`).  ``None`` keeps
+        everything (the original batch-export behaviour).
+    seed:
+        Seed for the trace-id generator — fixed seeds give reproducible
+        trace ids (and therefore reproducible sampling) in benchmarks.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, sample_rate: float = 1.0,
+                 max_spans: int | None = None,
+                 seed: int | None = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self._epoch = time.perf_counter()
         self.wall_epoch = time.time()
+        self.sample_rate = sample_rate
+        self.max_spans = max_spans
         self._ids = itertools.count(1)
-        self._local = threading.local()
+        self._rng = random.Random(seed)
         self._lock = threading.Lock()
-        self.finished: list[Span] = []
+        self.finished: deque[Span] = deque(maxlen=max_spans)
+        self.spans_started = 0
+        self.spans_collected = 0
+        self.spans_dropped = 0
 
     # -- span lifecycle -------------------------------------------------
-    def span(self, name: str, **attributes: Any) -> Span:
-        """Create a span; use as ``with tracer.span("name", k=3): ...``."""
-        return Span(self, name, attributes)
+    def span(self, name: str, parent: Span | SpanContext | None = None,
+             **attributes: Any) -> Span:
+        """Create a span; use as ``with tracer.span("name", k=3): ...``.
+
+        ``parent`` overrides the ambient context — pass a parsed remote
+        :class:`SpanContext` at a service edge to continue the caller's
+        trace.  Without it the span parents to whatever is active in the
+        current context (or starts a new sampled-or-not root trace).
+        """
+        return Span(self, name, attributes, parent=parent)
 
     def record(self, name: str, start: float, end: float,
                **attributes: Any) -> None:
         """Record an operation that was timed externally.
 
         ``start``/``end`` are raw ``time.perf_counter()`` readings; the
-        span is parented to whatever span is currently open on the
-        calling thread.  This is the cheap path for very frequent leaf
-        operations (index I/O) where a full context manager per call
-        would dominate the measured work.
+        span is parented to whatever context is currently active.  This
+        is the cheap path for very frequent leaf operations (index I/O)
+        where a full context manager per call would dominate the
+        measured work.
         """
         span = Span(self, name, attributes)
-        span.parent_id = self._stack()[-1] if self._stack() else None
+        self._inherit(span, _ACTIVE.get())
+        if not span.sampled:
+            return
         span.thread_id = threading.get_ident()
         span.start = start - self._epoch
         span.end = end - self._epoch
         with self._lock:
-            self.finished.append(span)
+            self._collect(span)
 
-    def _stack(self) -> list[int]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def _new_trace_id(self) -> int:
+        with self._lock:
+            trace_id = self._rng.getrandbits(128)
+            while trace_id == 0:  # all-zero is invalid in traceparent
+                trace_id = self._rng.getrandbits(128)
+        return trace_id
+
+    def _inherit(self, span: Span,
+                 parent: Span | SpanContext | None) -> None:
+        """Resolve ``span``'s parent/trace/sampling from ``parent``."""
+        if isinstance(parent, Span):
+            parent = parent.context
+        if parent is not None:
+            span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+            span.sampled = parent.sampled
+        else:
+            span.trace_id = self._new_trace_id()
+            span.sampled = head_sample(span.trace_id, self.sample_rate)
 
     def _enter(self, span: Span) -> None:
-        stack = self._stack()
-        span.parent_id = stack[-1] if stack else None
+        previous = _ACTIVE.get()
+        parent = span._parent_hint if span._parent_hint is not None \
+            else previous
+        self._inherit(span, parent)
         span.thread_id = threading.get_ident()
         span.start = time.perf_counter() - self._epoch
-        stack.append(span.span_id)
+        span._previous = previous
+        _ACTIVE.set(span)
+        self.spans_started += 1
 
     def _exit(self, span: Span) -> None:
         span.end = time.perf_counter() - self._epoch
-        stack = self._stack()
-        if stack and stack[-1] == span.span_id:
-            stack.pop()
-        elif span.span_id in stack:  # tolerate interleaved generators
-            stack.remove(span.span_id)
+        # Restore only when we are still the active span; interleaved
+        # exits (generators) leave the deeper span in place instead of
+        # clobbering it.
+        if _ACTIVE.get() is span:
+            _ACTIVE.set(span._previous)
+        span._previous = None
+        if span.sampled:
+            with self._lock:
+                self._collect(span)
+
+    def _collect(self, span: Span) -> None:
+        """Append one finished span (caller holds the lock)."""
+        if self.finished.maxlen is not None \
+                and len(self.finished) == self.finished.maxlen:
+            self.spans_dropped += 1
+        self.finished.append(span)
+        self.spans_collected += 1
+
+    def take_trace(self, trace_id: int) -> list[dict[str, Any]]:
+        """Remove and return all finished spans of one trace, as dicts.
+
+        Spans come back in completion order (leaves before their
+        parents).  Used by the flight recorder to move a slow request's
+        span tree out of the shared ring and into its own record.
+        """
         with self._lock:
-            self.finished.append(span)
+            matched = [span for span in self.finished
+                       if span.trace_id == trace_id]
+            if matched:
+                kept = [span for span in self.finished
+                        if span.trace_id != trace_id]
+                self.finished.clear()
+                self.finished.extend(kept)
+        return [span.to_dict() for span in matched]
 
     # -- exporters ------------------------------------------------------
     def to_dicts(self) -> list[dict[str, Any]]:

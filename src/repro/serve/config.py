@@ -44,6 +44,29 @@ class ServeConfig:
         Client back-off hint attached to 429/503 responses.
     drain_seconds:
         How long graceful shutdown waits for in-flight queries.
+    trace_sample_rate:
+        Fraction of root traces collected (deterministic head sampling;
+        a client ``traceparent`` sampling flag overrides per request).
+    trace_max_spans:
+        Ring-buffer bound on finished spans awaiting collection; the
+        oldest spans are dropped past it, so always-on tracing has a
+        hard memory ceiling.
+    trace_seed:
+        Optional trace-id RNG seed for reproducible runs (benchmarks).
+    recorder_capacity:
+        Slow/error requests whose full span trees the flight recorder
+        retains (0 disables capture).
+    recorder_recent:
+        Metadata-only records kept for the ``/debug/requests`` feed.
+    slow_threshold_seconds:
+        Latency at or above which a request is captured by the flight
+        recorder (0 captures everything).
+    slo_availability_target:
+        Fraction of requests that must be *good* (non-5xx and within
+        the latency objective); the rest is the error budget that
+        ``/debug/slo`` burn rates are measured against.
+    slo_latency_objective_seconds:
+        Per-request latency objective for the SLO accounting.
     """
 
     host: str = "127.0.0.1"
@@ -55,6 +78,14 @@ class ServeConfig:
     cache_ttl_seconds: float | None = None
     retry_after_seconds: float = 1.0
     drain_seconds: float = 5.0
+    trace_sample_rate: float = 1.0
+    trace_max_spans: int = 20000
+    trace_seed: int | None = None
+    recorder_capacity: int = 64
+    recorder_recent: int = 256
+    slow_threshold_seconds: float = 1.0
+    slo_availability_target: float = 0.999
+    slo_latency_objective_seconds: float = 0.5
 
     @property
     def max_inflight(self) -> int:
@@ -86,3 +117,29 @@ class ServeConfig:
         if self.drain_seconds < 0:
             raise ServeError(
                 f"drain_seconds must be >= 0, got {self.drain_seconds}")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ServeError(
+                f"trace_sample_rate must be in [0, 1], got "
+                f"{self.trace_sample_rate}")
+        if self.trace_max_spans < 1:
+            raise ServeError(
+                f"trace_max_spans must be >= 1, got {self.trace_max_spans}")
+        if self.recorder_capacity < 0:
+            raise ServeError(
+                f"recorder_capacity must be >= 0, got "
+                f"{self.recorder_capacity}")
+        if self.recorder_recent < 1:
+            raise ServeError(
+                f"recorder_recent must be >= 1, got {self.recorder_recent}")
+        if self.slow_threshold_seconds < 0:
+            raise ServeError(
+                f"slow_threshold_seconds must be >= 0, got "
+                f"{self.slow_threshold_seconds}")
+        if not 0.0 < self.slo_availability_target < 1.0:
+            raise ServeError(
+                f"slo_availability_target must be in (0, 1), got "
+                f"{self.slo_availability_target}")
+        if self.slo_latency_objective_seconds <= 0:
+            raise ServeError(
+                f"slo_latency_objective_seconds must be > 0, got "
+                f"{self.slo_latency_objective_seconds}")

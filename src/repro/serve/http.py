@@ -13,6 +13,10 @@ endpoint                 method  body / behaviour
 ``/search/rds:batch``    POST    ``{"queries": [[...], ...], "k": 10, ...}``
 ``/search/sds``          POST    ``{"doc_id": "..."}`` or ``{"concepts": …}``
 ``/explain``             POST    ``{"doc_id": "...", "concepts": [...]}``
+``/debug/traces``        GET     flight-recorder captures (``?id=`` for one)
+``/debug/requests``      GET     metadata ring of recent requests
+``/debug/vars``          GET     metrics snapshot + tracer/recorder state
+``/debug/slo``           GET     per-endpoint SLO + burn-rate snapshot
 =======================  ======  ===========================================
 
 Overload semantics (see ``docs/SERVING.md``): admission-control refusals
@@ -20,6 +24,15 @@ map to **429** with a ``Retry-After`` header, drain refusals to **503**,
 deadline misses to **504**, unknown documents to **404**, malformed
 requests and taxonomy errors to **400**; only genuinely unexpected
 exceptions produce a **500** (and increment ``serve.errors``).
+
+Every request runs under an ``http.request`` root span: an incoming W3C
+``traceparent`` header continues the caller's trace (malformed headers
+fall back to a fresh root — never an error), the response carries the
+trace context back in its own ``traceparent`` header plus an
+``x-request-id``, and a structured access-log line correlates the two
+with the outcome.  Finished requests feed the service's
+:class:`~repro.obs.slo.SLOTracker` and — when slow or failed — the
+:class:`~repro.obs.recorder.FlightRecorder` behind ``/debug/traces``.
 
 Shutdown is graceful: :func:`run_server` installs SIGTERM/SIGINT
 handlers that stop accepting connections, drain in-flight queries
@@ -31,18 +44,25 @@ job.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import signal
 import threading
+import time
 from typing import Any
+from urllib.parse import parse_qsl
 
 from repro.exceptions import (CorpusError, QueryTimeoutError, ReproError,
                               ServeError, ServiceClosedError,
                               ServiceOverloadedError, UnknownDocumentError)
-from repro.obs.logging import get_logger
+from repro.obs.logging import get_logger, log_context
+from repro.obs.recorder import RequestRecord
+from repro.obs.tracing import (SpanContext, TRACEPARENT_HEADER, Tracer,
+                               parse_traceparent)
 from repro.serve.service import QueryService, ServeResult
 
 _LOG = get_logger("serve.http")
+_ACCESS = get_logger("serve.access")
 
 _MAX_HEADERS = 100
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any sane query
@@ -100,6 +120,8 @@ class QueryServer:
         self.host = host
         self.port = port
         self._server: asyncio.Server | None = None
+        self._started_at = time.perf_counter()
+        self._request_ids = itertools.count(1)
         registry = service.obs.metrics
         self._errors = registry.counter(
             "serve.errors", "Requests answered with HTTP 500")
@@ -181,6 +203,61 @@ class QueryServer:
 
     # ------------------------------------------------------------------
     async def _dispatch(self, request: "_Request") -> _Response:
+        """Trace, route, log and account one request.
+
+        Opens the ``http.request`` root span (continuing the caller's
+        trace when the request carries a valid ``traceparent``; starting
+        a fresh root otherwise), binds the correlation ids into the log
+        context for everything underneath, then hands the outcome to the
+        SLO tracker and the flight recorder and emits the access-log
+        line.
+        """
+        service = self.service
+        tracer = service.obs.tracer
+        parent = parse_traceparent(request.headers.get(TRACEPARENT_HEADER))
+        request_id = f"req-{next(self._request_ids):08d}"
+        started = time.perf_counter()
+        context: SpanContext | None = None
+        with tracer.span("http.request", parent=parent,
+                         method=request.method, path=request.path) as span:
+            context = span.context
+            bound = {"request_id": request_id}
+            if context is not None:
+                bound["trace_id"] = context.trace_id_hex
+            with log_context(**bound):
+                response = await self._route(request)
+            span.set_attribute("status", response.status)
+        seconds = time.perf_counter() - started
+        response.headers.setdefault("x-request-id", request_id)
+        if context is not None:
+            response.headers.setdefault(
+                TRACEPARENT_HEADER, context.traceparent)
+        cached = request.meta.get("cached")
+        _ACCESS.info("request", extra={
+            "method": request.method,
+            "path": request.path,
+            "status": response.status,
+            "seconds": round(seconds, 6),
+            "cached": cached,
+            "request_id": request_id,
+            "trace_id": context.trace_id_hex if context else None,
+        })
+        service.slo.observe(request.path, response.status, seconds)
+        record = RequestRecord(
+            request_id=request_id, method=request.method,
+            path=request.path, status=response.status, seconds=seconds,
+            trace_id=context.trace_id_hex if context else None,
+            sampled=context.sampled if context else False,
+            cached=cached)
+        spans = None
+        if context is not None and context.sampled:
+            trace_id = context.trace_id
+            spans = lambda: tracer.take_trace(trace_id)  # noqa: E731
+        service.recorder.observe(record, spans)
+        return response
+
+    async def _route(self, request: "_Request") -> _Response:
+        """Map one request to its handler; the exception→status boundary."""
         try:
             route = _ROUTES.get(request.path)
             if route is None:
@@ -248,6 +325,7 @@ class QueryServer:
         k, algorithm, deadline = _common_params(payload)
         result = await self.service.rds_async(
             concepts, k, algorithm=algorithm, deadline=deadline)
+        request.meta["cached"] = result.cached
         return _json_response(200, _render_result("rds", result,
                                                   k, algorithm))
 
@@ -263,6 +341,7 @@ class QueryServer:
         k, algorithm, deadline = _common_params(payload)
         results = await self.service.rds_many_async(
             queries, k, algorithm=algorithm, deadline=deadline)
+        request.meta["cached"] = all(result.cached for result in results)
         return _json_response(200, {
             "kind": "rds:batch",
             "k": k,
@@ -283,6 +362,7 @@ class QueryServer:
             query = _require_concepts(payload)
         result = await self.service.sds_async(
             query, k, algorithm=algorithm, deadline=deadline)
+        request.meta["cached"] = result.cached
         return _json_response(200, _render_result("sds", result,
                                                   k, algorithm))
 
@@ -297,6 +377,62 @@ class QueryServer:
         return _json_response(200, {"doc_id": doc_id,
                                     "explanation": text})
 
+    # -- debug endpoints ------------------------------------------------
+    async def _handle_debug_traces(self, request: "_Request") -> _Response:
+        """``GET /debug/traces[?id=...]`` — flight-recorder captures.
+
+        Without ``id``: summaries of every captured slow/error request.
+        With ``id`` (a ``request_id`` or 32-hex ``trace_id``): the full
+        record including its span tree — what ``repro debug`` renders.
+        """
+        recorder = self.service.recorder
+        key = request.query.get("id")
+        if key:
+            record = recorder.get(key)
+            if record is None:
+                return _json_response(404, _error_payload(
+                    404, "not_found", f"no captured request {key!r}"))
+            return _json_response(200, record.to_dict())
+        return _json_response(200, {
+            "traces": [record.to_dict(include_spans=False)
+                       for record in recorder.captured()],
+        })
+
+    async def _handle_debug_requests(self,
+                                     request: "_Request") -> _Response:
+        """``GET /debug/requests`` — metadata ring of recent requests."""
+        return _json_response(200, {
+            "requests": [record.to_dict(include_spans=False)
+                         for record in self.service.recorder.recent()],
+        })
+
+    async def _handle_debug_vars(self, request: "_Request") -> _Response:
+        """``GET /debug/vars`` — metrics snapshot + tracing internals."""
+        tracer = self.service.obs.tracer
+        tracer_stats = None
+        if isinstance(tracer, Tracer):
+            tracer_stats = {
+                "sample_rate": tracer.sample_rate,
+                "max_spans": tracer.max_spans,
+                "spans_started": tracer.spans_started,
+                "spans_collected": tracer.spans_collected,
+                "spans_dropped": tracer.spans_dropped,
+                "buffered": len(tracer.finished),
+            }
+        payload = {
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "inflight": self.service.admission.inflight,
+            "cache_entries": len(self.service.cache),
+            "tracer": tracer_stats,
+            "recorder": self.service.recorder.snapshot(),
+            "metrics": self.service.obs.metrics.snapshot(),
+        }
+        return _json_response(200, payload)
+
+    async def _handle_debug_slo(self, request: "_Request") -> _Response:
+        """``GET /debug/slo`` — objectives, burn rates, per-endpoint."""
+        return _json_response(200, self.service.slo.snapshot())
+
 
 _ROUTES: dict[str, tuple[str, str]] = {
     "/healthz": ("GET", "_handle_healthz"),
@@ -305,6 +441,10 @@ _ROUTES: dict[str, tuple[str, str]] = {
     "/search/rds:batch": ("POST", "_handle_rds_batch"),
     "/search/sds": ("POST", "_handle_sds"),
     "/explain": ("POST", "_handle_explain"),
+    "/debug/traces": ("GET", "_handle_debug_traces"),
+    "/debug/requests": ("GET", "_handle_debug_requests"),
+    "/debug/vars": ("GET", "_handle_debug_vars"),
+    "/debug/slo": ("GET", "_handle_debug_slo"),
 }
 
 
@@ -336,16 +476,24 @@ def _format_retry(seconds: float) -> str:
 # Request parsing
 # ----------------------------------------------------------------------
 class _Request:
-    """One parsed HTTP request (method, path, headers, raw body)."""
+    """One parsed HTTP request (method, path, query, headers, body).
 
-    __slots__ = ("method", "path", "headers", "body")
+    ``meta`` is a scratch dict handlers use to surface per-request facts
+    (today: ``cached``) to the dispatch wrapper for the access log and
+    the flight recorder.
+    """
+
+    __slots__ = ("method", "path", "query", "headers", "body", "meta")
 
     def __init__(self, method: str, path: str,
-                 headers: dict[str, str], body: bytes) -> None:
+                 headers: dict[str, str], body: bytes,
+                 query: dict[str, str] | None = None) -> None:
         self.method = method
         self.path = path
+        self.query = query if query is not None else {}
         self.headers = headers
         self.body = body
+        self.meta: dict[str, Any] = {}
 
     def json(self) -> dict[str, Any]:
         """Decode the body as a JSON object (400 on anything else)."""
@@ -369,7 +517,8 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
     if len(parts) != 3 or not parts[2].startswith("HTTP/"):
         raise _BadRequest("malformed request line")
     method, target = parts[0].upper(), parts[1]
-    path = target.split("?", 1)[0]
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string)) if query_string else {}
     headers: dict[str, str] = {}
     for _ in range(_MAX_HEADERS):
         line = await reader.readline()
@@ -390,7 +539,7 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
     if length < 0 or length > _MAX_BODY_BYTES:
         raise _BadRequest(f"unreasonable Content-Length: {length}")
     body = await reader.readexactly(length) if length else b""
-    return _Request(method, path, headers, body)
+    return _Request(method, path, headers, body, query=query)
 
 
 def _require_concepts(payload: dict[str, Any]) -> list[str]:

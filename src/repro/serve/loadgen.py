@@ -16,6 +16,14 @@ The report deliberately separates *HTTP* status codes (a 429 under
 overload is the service behaving correctly) from *transport* errors
 (connection refused/reset — the service misbehaving), which is exactly
 the distinction the acceptance criteria gate on.
+
+Each request carries a W3C ``traceparent`` header with a deterministic
+trace id (a function of the worker index and request sequence, never of
+wall clock), sampled client-side at ``trace_sample_rate`` with the same
+:func:`repro.obs.tracing.head_sample` rule the server uses — so a bench
+replay produces the same sampled-span population every run.
+``LoadReport.traced`` counts responses that echoed the trace context
+back.
 """
 
 from __future__ import annotations
@@ -30,6 +38,20 @@ from typing import Any
 
 from repro.corpus.collection import DocumentCollection
 from repro.bench.workloads import random_concept_queries, sample_documents
+from repro.obs.tracing import (SpanContext, TRACEPARENT_HEADER,
+                               format_traceparent, head_sample)
+
+_TRACE_ID_BASE = 0x1D << 120
+"""High bits marking loadgen-minted trace ids (keeps them non-zero)."""
+
+_SEQUENCE_MIX = 0x9E3779B97F4A7C15
+"""Odd multiplier spreading sequence numbers over the sampling domain.
+
+Head sampling reads the trace id's low 56 bits, so raw sequence numbers
+(1, 2, 3, ...) would all land under any non-zero rate; the fixed-point
+golden-ratio mix gives each request an id that is still a pure function
+of ``(worker, sequence)`` but uniformly spread, so ``sample_rate=0.5``
+really samples about half the workload — deterministically."""
 
 
 @dataclass(frozen=True)
@@ -91,6 +113,7 @@ class LoadReport:
     statuses: Counter[int] = field(default_factory=Counter)
     latencies: list[float] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    traced: int = 0
 
     @property
     def total(self) -> int:
@@ -121,17 +144,38 @@ class LoadReport:
         self.statuses.update(other.statuses)
         self.latencies.extend(other.latencies)
         self.errors.extend(other.errors)
+        self.traced += other.traced
+
+
+def client_trace_context(worker: int, sequence: int, *,
+                         sample_rate: float = 1.0) -> SpanContext:
+    """The deterministic trace context loadgen sends for one request.
+
+    The trace id encodes the worker index and request sequence under a
+    fixed prefix, so a replay mints identical ids — and, through
+    :func:`repro.obs.tracing.head_sample`, identical sampling verdicts —
+    every run.  Exposed so bench scenarios can predict exactly which
+    requests the server will collect spans for.
+    """
+    low = ((sequence + 1) * _SEQUENCE_MIX) % 2**64
+    trace_id = _TRACE_ID_BASE | (worker << 64) | low
+    return SpanContext(trace_id=trace_id, span_id=sequence + 1,
+                       sampled=head_sample(trace_id, sample_rate))
 
 
 def run_load(address: tuple[str, int], workload: list[LoadQuery], *,
-             threads: int = 4, repeat: int = 1,
-             timeout: float = 30.0) -> LoadReport:
+             threads: int = 4, repeat: int = 1, timeout: float = 30.0,
+             trace_sample_rate: float | None = 1.0) -> LoadReport:
     """Replay ``workload`` against ``address`` from concurrent threads.
 
     Each thread opens one keep-alive connection and walks its share of
     the workload ``repeat`` times.  Transport-level failures are
     recorded in ``report.errors`` rather than raised, so a shedding or
     draining server still yields a complete report.
+
+    ``trace_sample_rate`` drives the ``traceparent`` header each request
+    carries (deterministic ids, client-side head sampling); ``None``
+    disables the header entirely.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
@@ -142,7 +186,8 @@ def run_load(address: tuple[str, int], workload: list[LoadQuery], *,
     workers = [
         threading.Thread(
             target=_drive, name=f"repro-loadgen-{index}",
-            args=(address, shard, repeat, timeout, reports[index]))
+            args=(address, shard, repeat, timeout, reports[index],
+                  index, trace_sample_rate))
         for index, shard in enumerate(shards)
     ]
     for worker in workers:
@@ -156,32 +201,49 @@ def run_load(address: tuple[str, int], workload: list[LoadQuery], *,
 
 
 def _drive(address: tuple[str, int], queries: list[LoadQuery],
-           repeat: int, timeout: float, report: LoadReport) -> None:
+           repeat: int, timeout: float, report: LoadReport,
+           worker: int, trace_sample_rate: float | None) -> None:
     """Worker body: one connection, ``repeat`` passes over ``queries``."""
     host, port = address
     connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    sequence = 0
     try:
         for _ in range(repeat):
             for query in queries:
+                headers: dict[str, str] = {}
+                context = None
+                if trace_sample_rate is not None:
+                    context = client_trace_context(
+                        worker, sequence, sample_rate=trace_sample_rate)
+                    headers[TRACEPARENT_HEADER] = format_traceparent(
+                        context)
+                sequence += 1
                 started = time.perf_counter()
                 try:
-                    status = _post(connection, query.path, query.payload)
+                    status, echoed = _post(connection, query.path,
+                                           query.payload, headers)
                 except (OSError, http.client.HTTPException) as error:
                     report.errors.append(f"{query.path}: {error!r}")
                     connection.close()  # reconnect on the next request
                     continue
                 report.statuses[status] += 1
                 report.latencies.append(time.perf_counter() - started)
+                if context is not None and echoed is not None \
+                        and context.trace_id_hex in echoed:
+                    report.traced += 1
     finally:
         connection.close()
 
 
 def _post(connection: http.client.HTTPConnection, path: str,
-          payload: dict[str, Any]) -> int:
-    """POST JSON, drain the response body, return the status code."""
+          payload: dict[str, Any],
+          headers: dict[str, str] | None = None) -> tuple[int, str | None]:
+    """POST JSON, drain the body, return (status, echoed traceparent)."""
     body = json.dumps(payload)
-    connection.request("POST", path, body=body,
-                       headers={"Content-Type": "application/json"})
+    all_headers = {"Content-Type": "application/json"}
+    if headers:
+        all_headers.update(headers)
+    connection.request("POST", path, body=body, headers=all_headers)
     response = connection.getresponse()
     response.read()
-    return response.status
+    return response.status, response.getheader(TRACEPARENT_HEADER)

@@ -29,11 +29,12 @@ which serializes itself and bumps the epoch the cache keys on).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from collections.abc import Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import Any, TYPE_CHECKING
 
 from repro.core.engine import SearchEngine
 from repro.core.results import RankedResults
@@ -41,6 +42,9 @@ from repro.exceptions import QueryError, QueryTimeoutError, ServeError
 from repro.obs import Observability
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOTracker
+from repro.obs.tracing import Tracer
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheKey, QueryCache, normalize_key
 from repro.serve.config import ServeConfig
@@ -84,7 +88,13 @@ class QueryService:
         Optional :class:`repro.obs.Observability` bundle; by default the
         service creates a private bundle with a dedicated
         :class:`~repro.obs.metrics.MetricsRegistry` (not the process
-        global) so two services never mix their series.
+        global) so two services never mix their series, and a real
+        :class:`~repro.obs.tracing.Tracer` configured from the
+        ``trace_*`` knobs (bounded buffer + head sampling keep it
+        cheap).  The service also owns a
+        :class:`~repro.obs.recorder.FlightRecorder` and an
+        :class:`~repro.obs.slo.SLOTracker`, fed by the HTTP layer and
+        surfaced on the ``/debug/*`` endpoints.
     clock:
         Monotonic time source handed to the cache for TTL decisions
         (injected for deterministic tests).
@@ -114,9 +124,22 @@ class QueryService:
         self.config = config if config is not None else ServeConfig()
         self.config.validate()
         if obs is None:
-            obs = Observability(metrics=MetricsRegistry())
+            obs = Observability(
+                tracer=Tracer(
+                    sample_rate=self.config.trace_sample_rate,
+                    max_spans=self.config.trace_max_spans,
+                    seed=self.config.trace_seed),
+                metrics=MetricsRegistry())
         self._default_obs = obs
         self.obs = obs
+        self.recorder = FlightRecorder(
+            capacity=self.config.recorder_capacity,
+            recent=self.config.recorder_recent,
+            slow_threshold_seconds=self.config.slow_threshold_seconds)
+        self.slo = SLOTracker(
+            availability_target=self.config.slo_availability_target,
+            latency_objective_seconds=(
+                self.config.slo_latency_objective_seconds))
         self.admission = AdmissionController(
             self.config.max_inflight,
             retry_after=self.config.retry_after_seconds)
@@ -238,9 +261,11 @@ class QueryService:
         """
         timeout = self._timeout(deadline)
         start = self._admit()
+        span = self.obs.tracer.span("serve.request",
+                                    kind="explain").__enter__()
         try:
-            future = self._executor.submit(
-                self.engine.explain, doc_id, list(concepts))
+            future = self._submit(
+                self._execute_explain, doc_id, list(concepts))
             try:
                 return future.result(timeout=timeout)
             except TimeoutError:
@@ -248,7 +273,7 @@ class QueryService:
                 self._timeouts.inc()
                 raise QueryTimeoutError(timeout) from None
         finally:
-            self._finish(start, "explain")
+            self._finish(start, "explain", span)
 
     async def explain_async(self, doc_id: str,
                             concepts: Sequence[ConceptId], *,
@@ -256,9 +281,11 @@ class QueryService:
         """Asyncio flavour of :meth:`explain`."""
         timeout = self._timeout(deadline)
         start = self._admit()
+        span = self.obs.tracer.span("serve.request",
+                                    kind="explain").__enter__()
         try:
-            future = self._executor.submit(
-                self.engine.explain, doc_id, list(concepts))
+            future = self._submit(
+                self._execute_explain, doc_id, list(concepts))
             try:
                 return await asyncio.wait_for(
                     asyncio.wrap_future(future), timeout)
@@ -267,7 +294,7 @@ class QueryService:
                 self._timeouts.inc()
                 raise QueryTimeoutError(timeout) from None
         finally:
-            self._finish(start, "explain")
+            self._finish(start, "explain", span)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -313,6 +340,19 @@ class QueryService:
         return (self.config.deadline_seconds
                 if deadline is None else deadline)
 
+    def _submit(self, fn: "Callable[..., Any]",
+                *args: Any) -> "Future[Any]":
+        """Submit work to the pool *with the caller's context*.
+
+        ``ThreadPoolExecutor`` does not propagate :mod:`contextvars`, so
+        without this hop spans opened on the worker thread would start
+        fresh root traces instead of parenting to the submitting
+        request's span.  Copying the context also carries the bound log
+        fields (``request_id``/``trace_id``) into worker-side log lines.
+        """
+        context = contextvars.copy_context()
+        return self._executor.submit(context.run, fn, *args)
+
     def _admit(self) -> float:
         """Pass the admission gate; returns the request start time."""
         try:
@@ -324,13 +364,17 @@ class QueryService:
         self._inflight_gauge.inc()
         return time.perf_counter()
 
-    def _finish(self, start: float, kind: str) -> None:
-        """Release the slot and record the request span + latency."""
+    def _finish(self, start: float, kind: str,
+                span: Any = None) -> None:
+        """Release the slot and close the request span + latency."""
         end = time.perf_counter()
         self._inflight_gauge.dec()
         self.admission.release()
         self._request_seconds.observe(end - start)
-        self.obs.tracer.record("serve.request", start, end, kind=kind)
+        if span is not None:
+            span.__exit__(None, None, None)
+        else:
+            self.obs.tracer.record("serve.request", start, end, kind=kind)
 
     def _begin(self, kind: str, concepts: Sequence[ConceptId], k: int,
                algorithm: str, deadline: float | None) -> "_PendingQuery":
@@ -339,22 +383,28 @@ class QueryService:
             raise QueryError(f"unknown query kind: {kind!r}")
         timeout = self._timeout(deadline)
         start = self._admit()
+        # The serve.request span covers the whole service stage —
+        # admission to result — and is entered here so the executor hop
+        # (a copied context) parents serve.execute underneath it.
+        span = self.obs.tracer.span("serve.request", kind=kind).__enter__()
         try:
             key = self._key(kind, concepts, k, algorithm)
             epoch = self.engine.epoch
             hit = self.cache.get(key, epoch)
             if hit is not None:
                 self._cache_hits.inc()
+                span.set_attribute("cached", True)
                 return _PendingQuery(
-                    self, kind, start, timeout,
+                    self, kind, start, timeout, span=span,
                     hit=ServeResult(hit, True, epoch))
             self._cache_misses.inc()
-            future = self._executor.submit(
+            span.set_attribute("cached", False)
+            future = self._submit(
                 self._execute, kind, tuple(concepts), k, algorithm)
-            return _PendingQuery(self, kind, start, timeout,
+            return _PendingQuery(self, kind, start, timeout, span=span,
                                  key=key, epoch=epoch, future=future)
         except BaseException:
-            self._finish(start, kind)
+            self._finish(start, kind, span)
             raise
 
     def _key(self, kind: str, concepts: Sequence[ConceptId], k: int,
@@ -376,9 +426,26 @@ class QueryService:
     def _execute(self, kind: str, concepts: tuple[ConceptId, ...],
                  k: int, algorithm: str) -> RankedResults:
         """Run the actual engine query (on a worker thread)."""
-        if kind == "rds":
-            return self.engine.rds(list(concepts), k, algorithm=algorithm)
-        return self.engine.sds(list(concepts), k, algorithm=algorithm)
+        with self.obs.tracer.span("serve.execute", kind=kind,
+                                  algorithm=algorithm):
+            if kind == "rds":
+                return self.engine.rds(list(concepts), k,
+                                       algorithm=algorithm)
+            return self.engine.sds(list(concepts), k, algorithm=algorithm)
+
+    def _execute_many(self, queries: list[tuple[ConceptId, ...]], k: int,
+                      algorithm: str) -> list[RankedResults]:
+        """Run the batch miss list (on a worker thread)."""
+        with self.obs.tracer.span("serve.execute", kind="rds:batch",
+                                  algorithm=algorithm,
+                                  queries=len(queries)):
+            return self.engine.rds_many(queries, k, algorithm=algorithm)
+
+    def _execute_explain(self, doc_id: str,
+                         concepts: list[ConceptId]) -> str:
+        """Run one explanation (on a worker thread)."""
+        with self.obs.tracer.span("serve.execute", kind="explain"):
+            return self.engine.explain(doc_id, concepts)
 
     def _begin_batch(self, queries: Sequence[Sequence[ConceptId]], k: int,
                      algorithm: str,
@@ -388,6 +455,9 @@ class QueryService:
             raise QueryError("batch must contain at least one query")
         timeout = self._timeout(deadline)
         start = self._admit()
+        span = self.obs.tracer.span(
+            "serve.request", kind="rds:batch",
+            queries=len(queries)).__enter__()
         try:
             self._batch_queries.inc(len(queries))
             epoch = self.engine.epoch
@@ -412,13 +482,12 @@ class QueryService:
                 slots.append(index)
             future: "Future[list[RankedResults]] | None" = None
             if miss_queries:
-                future = self._executor.submit(
-                    self.engine.rds_many, miss_queries, k,
-                    algorithm=algorithm)
+                future = self._submit(
+                    self._execute_many, miss_queries, k, algorithm)
             return _PendingBatch(self, start, timeout, slots, miss_keys,
-                                 epoch, future)
+                                 epoch, future, span=span)
         except BaseException:
-            self._finish(start, "rds:batch")
+            self._finish(start, "rds:batch", span)
             raise
 
     def _sds_concepts(
@@ -439,12 +508,13 @@ class _PendingQuery:
     """
 
     __slots__ = ("_service", "_kind", "_start", "_timeout", "_hit",
-                 "_key", "_epoch", "_future")
+                 "_key", "_epoch", "_future", "_span")
 
     def __init__(self, service: QueryService, kind: str, start: float,
                  timeout: float, *, hit: ServeResult | None = None,
                  key: CacheKey | None = None, epoch: int = 0,
-                 future: "Future[RankedResults] | None" = None) -> None:
+                 future: "Future[RankedResults] | None" = None,
+                 span: Any = None) -> None:
         self._service = service
         self._kind = kind
         self._start = start
@@ -453,6 +523,7 @@ class _PendingQuery:
         self._key = key
         self._epoch = epoch
         self._future = future
+        self._span = span
 
     def wait(self) -> ServeResult:
         """Block for the result (at most the deadline)."""
@@ -470,7 +541,7 @@ class _PendingQuery:
                 raise QueryTimeoutError(self._timeout) from None
             return self._store(results)
         finally:
-            self._service._finish(self._start, self._kind)
+            self._service._finish(self._start, self._kind, self._span)
 
     async def wait_async(self) -> ServeResult:
         """Await the result without blocking the event loop."""
@@ -489,7 +560,7 @@ class _PendingQuery:
                 raise QueryTimeoutError(self._timeout) from None
             return self._store(results)
         finally:
-            self._service._finish(self._start, self._kind)
+            self._service._finish(self._start, self._kind, self._span)
 
     def _store(self, results: RankedResults) -> ServeResult:
         if self._key is not None:
@@ -507,12 +578,13 @@ class _PendingBatch:
     """
 
     __slots__ = ("_service", "_start", "_timeout", "_slots", "_keys",
-                 "_epoch", "_future")
+                 "_epoch", "_future", "_span")
 
     def __init__(self, service: QueryService, start: float, timeout: float,
                  slots: list[ServeResult | int], keys: list[CacheKey],
                  epoch: int,
-                 future: "Future[list[RankedResults]] | None") -> None:
+                 future: "Future[list[RankedResults]] | None", *,
+                 span: Any = None) -> None:
         self._service = service
         self._start = start
         self._timeout = timeout
@@ -520,6 +592,7 @@ class _PendingBatch:
         self._keys = keys
         self._epoch = epoch
         self._future = future
+        self._span = span
 
     def wait(self) -> list[ServeResult]:
         """Block for the full batch (at most the shared deadline)."""
@@ -535,7 +608,7 @@ class _PendingBatch:
                 raise QueryTimeoutError(self._timeout) from None
             return self._assemble(results)
         finally:
-            self._service._finish(self._start, "rds:batch")
+            self._service._finish(self._start, "rds:batch", self._span)
 
     async def wait_async(self) -> list[ServeResult]:
         """Await the full batch without blocking the event loop."""
@@ -552,7 +625,7 @@ class _PendingBatch:
                 raise QueryTimeoutError(self._timeout) from None
             return self._assemble(results)
         finally:
-            self._service._finish(self._start, "rds:batch")
+            self._service._finish(self._start, "rds:batch", self._span)
 
     def _assemble(self, results: list[RankedResults]) -> list[ServeResult]:
         cache = self._service.cache

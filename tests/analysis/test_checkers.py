@@ -299,6 +299,73 @@ class TestObsNaming:
 
 
 # ----------------------------------------------------------------------
+# RPR010 — obs layer.operation structure
+# ----------------------------------------------------------------------
+class TestObsLayerNaming:
+    def test_flags_single_segment_name(self):
+        findings = _lint(
+            """
+            def f(tracer) -> None:
+                with tracer.span("query", k=10):
+                    pass
+            """,
+            select=("RPR010",))
+        assert len(findings) == 1
+        assert "layer" in findings[0].message
+
+    def test_flags_single_segment_counter(self):
+        findings = _lint(
+            """
+            def f(registry) -> None:
+                registry.counter("probes", "help")
+            """,
+            select=("RPR010",))
+        assert len(findings) == 1
+
+    def test_layered_name_passes(self):
+        findings = _lint(
+            """
+            def f(tracer, registry) -> None:
+                registry.counter("drc.probes", "help")
+                with tracer.span("engine.query"):
+                    pass
+            """,
+            select=("RPR010",))
+        assert findings == []
+
+    def test_malformed_name_is_rpr006_territory_not_double_fired(self):
+        findings = _lint(
+            """
+            def f(registry) -> None:
+                registry.counter("KNDS-NodesVisited", "help")
+            """,
+            select=("RPR006", "RPR010"))
+        assert _rules(findings) == {"RPR006"}
+
+    def test_fstring_names_are_trusted(self):
+        findings = _lint(
+            """
+            def f(tracer, mode) -> None:
+                with tracer.span(f"knds.{mode}"):
+                    pass
+            """,
+            select=("RPR010",))
+        assert findings == []
+
+    def test_regex_match_span_does_not_fire(self):
+        findings = _lint(
+            """
+            import re
+
+            def f(text: str):
+                match = re.search("x", text)
+                return match.span(0)
+            """,
+            select=("RPR010",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # RPR007 — mutable defaults
 # ----------------------------------------------------------------------
 class TestMutableDefault:

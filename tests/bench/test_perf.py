@@ -77,6 +77,16 @@ class TestRegistry:
         with pytest.raises(ReproError, match="no scenarios"):
             select_scenarios(",")
 
+    def test_serve_traced_is_wired_into_perf_smoke(self):
+        scenario = perf.SCENARIOS["serve_traced"]
+        assert "smoke" in scenario.tags
+        assert "trace" in scenario.tags
+        assert scenario in select_scenarios("smoke")
+
+    def test_tracing_work_counters_registered(self):
+        assert "trace.spans" in perf.WORK_COUNTERS
+        assert "recorder.requests" in perf.WORK_COUNTERS
+
     def test_duplicate_registration_raises(self):
         with pytest.raises(ValueError, match="already registered"):
             register_scenario("knds_rds_radio", "dup")(lambda world: None)
@@ -121,6 +131,18 @@ class TestRunner:
             assert data["metrics"]["drc.probes"] == 0
         report = render_markdown(artifact)
         assert "Instrumentation overhead" in report
+
+    def test_serve_traced_pins_tracing_counters(self):
+        artifact = run_scenarios("serve_traced", scale="tiny", repeat=1,
+                                 warmup=0)
+        metrics = artifact["scenarios"]["serve_traced"]["metrics"]
+        # tiny scale -> 2 requests, every one captured (threshold 0);
+        # spans collected for the client-sampled half of the workload.
+        assert metrics["recorder.requests"] == 2
+        assert metrics["trace.spans"] > 0
+        again = run_scenarios("serve_traced", scale="tiny", repeat=1,
+                              warmup=0)
+        assert again["scenarios"]["serve_traced"]["metrics"] == metrics
 
     def test_artifact_roundtrip(self, tmp_path, sleepy):
         sleepy(0.001)

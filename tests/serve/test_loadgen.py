@@ -74,15 +74,18 @@ class TestRunLoad:
         left = LoadReport()
         left.statuses[200] = 3
         left.latencies.extend([0.1, 0.2, 0.3])
+        left.traced = 2
         right = LoadReport()
         right.statuses[429] = 2
         right.errors.append("boom")
+        right.traced = 1
         left.merge(right)
         assert left.total == 5
         assert left.count(200) == 3
         assert left.count(429, 503) == 2
         assert left.server_errors == 0
         assert left.errors == ["boom"]
+        assert left.traced == 3
 
     def test_empty_report_percentile(self):
         from repro.serve.loadgen import LoadReport
@@ -94,3 +97,52 @@ class TestRunLoad:
             run_load(("127.0.0.1", 1), [], threads=0)
         with pytest.raises(ValueError):
             run_load(("127.0.0.1", 1), [], repeat=0)
+
+
+class TestTracedLoad:
+    def test_every_request_traced_at_rate_one(self, engine, example4):
+        service = QueryService(engine, ServeConfig(workers=2,
+                                                   queue_limit=32))
+        handle = ServerHandle.start(service, port=0)
+        try:
+            workload = mixed_workload(example4, count=8, nq=2, k=3,
+                                      seed=5)
+            report = run_load(handle.address, workload, threads=2,
+                              trace_sample_rate=1.0)
+            assert report.total == 8
+            assert report.traced == 8
+        finally:
+            handle.stop()
+
+    def test_rate_none_disables_the_header(self, engine, example4):
+        service = QueryService(engine, ServeConfig(workers=2,
+                                                   queue_limit=32))
+        handle = ServerHandle.start(service, port=0)
+        try:
+            workload = mixed_workload(example4, count=6, nq=2, k=3,
+                                      seed=5)
+            report = run_load(handle.address, workload, threads=2,
+                              trace_sample_rate=None)
+            assert report.total == 6
+            assert report.traced == 0
+        finally:
+            handle.stop()
+
+    def test_client_trace_context_is_deterministic(self):
+        from repro.serve.loadgen import client_trace_context
+
+        first = client_trace_context(1, 5, sample_rate=0.5)
+        second = client_trace_context(1, 5, sample_rate=0.5)
+        assert first == second
+        assert first.trace_id != 0
+        assert first != client_trace_context(2, 5, sample_rate=0.5)
+        assert first.trace_id != client_trace_context(
+            1, 6, sample_rate=0.5).trace_id
+
+    def test_client_sampling_follows_head_sample(self):
+        from repro.obs.tracing import head_sample
+        from repro.serve.loadgen import client_trace_context
+
+        for sequence in range(32):
+            context = client_trace_context(0, sequence, sample_rate=0.5)
+            assert context.sampled == head_sample(context.trace_id, 0.5)

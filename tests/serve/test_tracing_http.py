@@ -1,0 +1,261 @@
+"""HTTP tracing: traceparent round-trip, access log, /debug endpoints.
+
+Exercises the tentpole end-to-end against a live server: a client
+``traceparent`` propagates into the response header and the collected
+span tree, malformed headers start a fresh root (never a 500), the
+structured access log correlates with the trace, a slow request lands in
+the flight recorder, and the ``repro debug`` CLI renders it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+import logging
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.engine import SearchEngine
+from repro.obs.logging import setup_logging
+from repro.serve import QueryService, ServeConfig, ServerHandle
+
+TRACEPARENT = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+TRACE_ID_HEX = "ab" * 16
+
+
+@pytest.fixture()
+def engine(figure3, example4):
+    engine = SearchEngine(figure3, example4)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def service(engine):
+    # slow_threshold=0 captures every request: tests can inspect any
+    # trace without having to manufacture actual slowness.
+    service = QueryService(engine, ServeConfig(
+        workers=2, queue_limit=8, slow_threshold_seconds=0.0))
+    yield service
+    service.close(drain_seconds=0.0)
+
+
+@pytest.fixture()
+def server(service):
+    handle = ServerHandle.start(service, port=0)
+    yield handle
+    handle.stop()
+
+
+def request(server, method, path, payload=None, headers=None, timeout=10.0):
+    """One-shot request with header control; (status, headers, body)."""
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        all_headers = {"Content-Type": "application/json"} if body else {}
+        all_headers.update(headers or {})
+        connection.request(method, path, body=body, headers=all_headers)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw.startswith(b"{") else raw
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        connection.close()
+
+
+class TestTraceparentRoundTrip:
+    def test_client_trace_id_echoed_in_response(self, server):
+        status, headers, _ = request(
+            server, "POST", "/search/rds",
+            {"concepts": ["F", "I"], "k": 2},
+            headers={"traceparent": TRACEPARENT})
+        assert status == 200
+        assert headers["traceparent"].split("-")[1] == TRACE_ID_HEX
+        assert headers["traceparent"].endswith("-01")
+        assert headers["x-request-id"].startswith("req-")
+
+    def test_client_trace_id_reaches_the_span_tree(self, server):
+        request(server, "POST", "/search/rds",
+                {"concepts": ["F", "I"], "k": 2},
+                headers={"traceparent": TRACEPARENT})
+        status, _, body = request(server, "GET",
+                                  f"/debug/traces?id={TRACE_ID_HEX}")
+        assert status == 200
+        assert body["trace_id"] == TRACE_ID_HEX
+        names = {span["name"] for span in body["spans"]}
+        # The acceptance tree: http -> service -> engine -> algorithm.
+        assert {"http.request", "serve.request", "serve.execute",
+                "engine.query", "knds.rds"} <= names
+        assert all(span["trace_id"] == TRACE_ID_HEX
+                   for span in body["spans"])
+
+    def test_malformed_traceparent_starts_fresh_root(self, server):
+        status, headers, _ = request(
+            server, "POST", "/search/rds",
+            {"concepts": ["F", "I"], "k": 2},
+            headers={"traceparent": "zz-not-a-traceparent"})
+        assert status == 200  # never a 500
+        echoed = headers["traceparent"]
+        parts = echoed.split("-")
+        assert len(parts) == 4 and parts[1] != TRACE_ID_HEX
+        assert int(parts[1], 16) != 0
+
+    def test_unsampled_flag_suppresses_span_collection(self, server):
+        unsampled = TRACEPARENT[:-2] + "00"
+        status, headers, _ = request(
+            server, "POST", "/search/rds",
+            {"concepts": ["F", "I"], "k": 2},
+            headers={"traceparent": unsampled})
+        assert status == 200
+        assert headers["traceparent"].endswith("-00")
+        # Captured (threshold 0) but with an empty span tree.
+        _, _, body = request(server, "GET",
+                             f"/debug/traces?id={TRACE_ID_HEX}")
+        assert body["sampled"] is False
+        assert body["spans"] == []
+
+    def test_requests_without_header_get_distinct_traces(self, server):
+        seen = set()
+        for _ in range(2):
+            _, headers, _ = request(server, "POST", "/search/rds",
+                                    {"concepts": ["F"], "k": 2})
+            seen.add(headers["traceparent"].split("-")[1])
+        assert len(seen) == 2
+
+
+class TestAccessLog:
+    def test_structured_line_per_request(self, server):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)
+        try:
+            _, headers, _ = request(
+                server, "POST", "/search/rds",
+                {"concepts": ["F", "I"], "k": 2},
+                headers={"traceparent": TRACEPARENT})
+        finally:
+            logging.getLogger("repro").handlers.clear()
+        lines = [line for line in stream.getvalue().splitlines()
+                 if "logger=repro.serve.access" in line]
+        assert len(lines) == 1
+        line = lines[0]
+        assert "method=POST" in line
+        assert "path=/search/rds" in line
+        assert "status=200" in line
+        assert "seconds=" in line
+        assert "cached=False" in line
+        assert f"request_id={headers['x-request-id']}" in line
+        assert f"trace_id={TRACE_ID_HEX}" in line
+
+    def test_cache_hit_logged(self, server):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)
+        try:
+            for _ in range(2):
+                request(server, "POST", "/search/rds",
+                        {"concepts": ["F", "I"], "k": 2})
+        finally:
+            logging.getLogger("repro").handlers.clear()
+        lines = [line for line in stream.getvalue().splitlines()
+                 if "logger=repro.serve.access" in line]
+        assert "cached=False" in lines[0]
+        assert "cached=True" in lines[1]
+
+
+class TestDebugEndpoints:
+    def test_traces_lists_captures_without_spans(self, server):
+        request(server, "POST", "/search/rds",
+                {"concepts": ["F", "I"], "k": 2},
+                headers={"traceparent": TRACEPARENT})
+        status, _, body = request(server, "GET", "/debug/traces")
+        assert status == 200
+        (row,) = [row for row in body["traces"]
+                  if row["trace_id"] == TRACE_ID_HEX]
+        assert "slow" in row["reasons"]
+        assert "spans" not in row
+        assert row["span_count"] > 0
+
+    def test_traces_unknown_id_is_404(self, server):
+        status, _, body = request(server, "GET",
+                                  "/debug/traces?id=req-99999999")
+        assert status == 404
+        assert body["error"] == "not_found"
+
+    def test_requests_ring_sees_every_request(self, server):
+        request(server, "POST", "/search/rds", {"concepts": ["F"], "k": 2})
+        request(server, "GET", "/healthz")
+        status, _, body = request(server, "GET", "/debug/requests")
+        assert status == 200
+        paths = [row["path"] for row in body["requests"]]
+        assert "/search/rds" in paths and "/healthz" in paths
+
+    def test_vars_reports_tracer_and_recorder_state(self, server):
+        request(server, "POST", "/search/rds", {"concepts": ["F"], "k": 2})
+        status, _, body = request(server, "GET", "/debug/vars")
+        assert status == 200
+        assert body["uptime_seconds"] > 0
+        assert body["tracer"]["sample_rate"] == 1.0
+        assert body["tracer"]["spans_collected"] > 0
+        assert body["recorder"]["requests_seen"] >= 1
+        assert "serve.requests" in body["metrics"]
+
+    def test_slo_endpoint_accounts_requests(self, server):
+        request(server, "POST", "/search/rds", {"concepts": ["F"], "k": 2})
+        request(server, "POST", "/search/sds", {"doc_id": "missing"})
+        status, _, body = request(server, "GET", "/debug/slo")
+        assert status == 200
+        endpoints = body["endpoints"]
+        assert endpoints["/search/rds"]["requests"] == 1
+        assert endpoints["/search/rds"]["unavailable"] == 0
+        # A 404 is the service answering correctly: still available.
+        assert endpoints["/search/sds"]["unavailable"] == 0
+        assert body["windows"]["300s"]["requests"] >= 2
+
+    def test_debug_routes_reject_post(self, server):
+        status, _, _ = request(server, "POST", "/debug/traces", {})
+        assert status == 405
+
+
+class TestSlowRequestWalkthrough:
+    def test_slow_request_captured_and_rendered_by_cli(
+            self, server, engine, monkeypatch, capsys):
+        """Acceptance: deliberately slow request -> recorder -> CLI."""
+        import time as time_module
+        real_rds = engine.rds
+
+        def slow_rds(*args, **kwargs):
+            time_module.sleep(0.05)
+            return real_rds(*args, **kwargs)
+
+        monkeypatch.setattr(engine, "rds", slow_rds)
+        _, headers, _ = request(server, "POST", "/search/rds",
+                                {"concepts": ["F", "I"], "k": 2},
+                                headers={"traceparent": TRACEPARENT})
+        request_id = headers["x-request-id"]
+        host, port = server.address
+
+        exit_code = cli_main(["debug", "--host", host,
+                              "--port", str(port)])
+        assert exit_code == 0
+        listing = capsys.readouterr().out
+        assert request_id in listing
+
+        exit_code = cli_main(["debug", "--host", host, "--port",
+                              str(port), "--id", request_id])
+        assert exit_code == 0
+        rendered = capsys.readouterr().out
+        assert f"request {request_id}" in rendered
+        assert TRACE_ID_HEX in rendered
+        for layer_span in ("http.request", "serve.request",
+                           "engine.query", "knds.rds"):
+            assert layer_span in rendered
+        assert "per-layer self time:" in rendered
+        assert "self " in rendered
+
+    def test_cli_reports_missing_capture(self, server):
+        host, port = server.address
+        exit_code = cli_main(["debug", "--host", host, "--port",
+                              str(port), "--id", "req-00009999"])
+        assert exit_code == 1

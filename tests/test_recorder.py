@@ -1,0 +1,171 @@
+"""Flight recorder: capture triggers, lookup, and trace rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder, RequestRecord, render_trace
+
+
+def _record(request_id="req-1", status=200, seconds=0.01, **overrides):
+    fields = {"request_id": request_id, "method": "POST",
+              "path": "/search/rds", "status": status, "seconds": seconds}
+    fields.update(overrides)
+    return RequestRecord(**fields)
+
+
+def _span(name, span_id, parent_id, start, duration):
+    return {"name": name, "span_id": span_id, "parent_id": parent_id,
+            "trace_id": "t" * 32, "start": start, "end": start + duration,
+            "duration": duration, "attributes": {}}
+
+
+class TestCaptureTriggers:
+    def test_fast_success_is_recent_only(self):
+        recorder = FlightRecorder(slow_threshold_seconds=1.0)
+        assert recorder.observe(_record(seconds=0.01)) is None
+        assert recorder.captured() == []
+        assert len(recorder.recent()) == 1
+
+    def test_slow_request_is_captured_with_reason(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.5)
+        captured = recorder.observe(_record(seconds=0.6))
+        assert captured is not None
+        assert captured.reasons == ("slow",)
+
+    def test_error_request_is_captured_even_when_fast(self):
+        recorder = FlightRecorder(slow_threshold_seconds=1.0)
+        captured = recorder.observe(_record(status=500, seconds=0.01))
+        assert captured is not None
+        assert captured.reasons == ("error",)
+
+    def test_slow_error_carries_both_reasons(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.5)
+        captured = recorder.observe(_record(status=503, seconds=0.9))
+        assert captured.reasons == ("error", "slow")
+
+    def test_threshold_zero_captures_everything(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.0)
+        assert recorder.observe(_record(seconds=0.0)) is not None
+
+    def test_spans_pulled_lazily_only_on_capture(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.5)
+        calls = []
+
+        def spans():
+            calls.append(True)
+            return [_span("http.request", 1, None, 0.0, 0.6)]
+
+        recorder.observe(_record(seconds=0.01), spans)
+        assert calls == []  # fast request: span tree never materialised
+        captured = recorder.observe(_record("req-2", seconds=0.9), spans)
+        assert calls == [True]
+        assert captured.spans[0]["name"] == "http.request"
+
+    def test_capacity_zero_disables_capture(self):
+        recorder = FlightRecorder(capacity=0, slow_threshold_seconds=0.0)
+        assert recorder.observe(_record(status=500)) is None
+        assert recorder.captured() == []
+        assert len(recorder.recent()) == 1
+
+    def test_rings_are_bounded(self):
+        recorder = FlightRecorder(capacity=2, recent=3,
+                                  slow_threshold_seconds=0.0)
+        for index in range(5):
+            recorder.observe(_record(f"req-{index}"))
+        assert [r.request_id for r in recorder.captured()] \
+            == ["req-3", "req-4"]
+        assert len(recorder.recent()) == 3
+
+    def test_wall_time_from_injected_clock(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.0,
+                                  clock=lambda: 1234.5)
+        captured = recorder.observe(_record())
+        assert captured.wall_time == 1234.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": -1}, {"recent": 0}, {"slow_threshold_seconds": -0.1},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlightRecorder(**kwargs)
+
+
+class TestLookup:
+    def test_get_by_request_id_and_trace_id(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.0)
+        recorder.observe(_record("req-1", trace_id="a" * 32))
+        recorder.observe(_record("req-2", trace_id="b" * 32))
+        assert recorder.get("req-1").trace_id == "a" * 32
+        assert recorder.get("b" * 32).request_id == "req-2"
+        assert recorder.get("req-404") is None
+
+    def test_get_prefers_newest_match(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.0)
+        recorder.observe(_record("req-1", seconds=0.1))
+        recorder.observe(_record("req-1", seconds=0.2))
+        assert recorder.get("req-1").seconds == 0.2
+
+    def test_snapshot_counters(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.5)
+        recorder.observe(_record(seconds=0.1))
+        recorder.observe(_record("req-2", seconds=0.9))
+        snapshot = recorder.snapshot()
+        assert snapshot["requests_seen"] == 2
+        assert snapshot["requests_recorded"] == 1
+        assert snapshot["captured"] == 1
+        assert snapshot["recent"] == 2
+
+
+class TestRenderTrace:
+    def _captured(self):
+        # http.request (100ms) -> serve.request (90ms) -> two children:
+        # engine.query (60ms, a leaf here) and knds.rds (20ms); self
+        # times are 10, 10, 60, 20 ms for http/serve/engine/knds.
+        spans = [
+            _span("http.request", 1, None, 0.0, 0.100),
+            _span("serve.request", 2, 1, 0.005, 0.090),
+            _span("engine.query", 3, 2, 0.010, 0.060),
+            _span("knds.rds", 4, 2, 0.072, 0.020),
+        ]
+        spans[2]["attributes"] = {"k": 10}
+        return _record(seconds=0.1, trace_id="t" * 32, sampled=True,
+                       reasons=("slow",), spans=spans)
+
+    def test_tree_indentation_and_order(self):
+        text = render_trace(self._captured())
+        lines = text.splitlines()
+        http_line = next(l for l in lines if "http.request" in l)
+        serve_line = next(l for l in lines if "serve.request" in l)
+        engine_line = next(l for l in lines if "engine.query" in l)
+        assert http_line.startswith("http.request")
+        assert serve_line.startswith("  serve.request")
+        assert engine_line.startswith("    engine.query")
+        # Siblings render in start order: engine.query before knds.rds.
+        assert lines.index(engine_line) \
+            < lines.index(next(l for l in lines if "knds.rds" in l))
+        assert "[k=10]" in engine_line
+
+    def test_self_time_subtracts_direct_children(self):
+        text = render_trace(self._captured())
+        http_line = next(l for l in text.splitlines()
+                         if l.startswith("http.request"))
+        # 100ms total minus the 90ms serve child -> 10ms self.
+        assert "self   10.000 ms" in http_line
+
+    def test_per_layer_rollup_sorted_by_self_time(self):
+        text = render_trace(self._captured())
+        tail = text[text.index("per-layer self time"):]
+        layers = [line.split()[0] for line in tail.splitlines()[1:]]
+        assert layers == ["engine", "knds", "http", "serve"]
+        assert "60.000 ms" in tail  # engine self time dominates
+
+    def test_unsampled_record_renders_placeholder(self):
+        text = render_trace(_record(trace_id="c" * 32, reasons=("slow",)))
+        assert "no spans captured" in text
+
+    def test_orphan_spans_render_as_roots(self):
+        record = _record(spans=[_span("serve.execute", 9, 404, 0.0, 0.01)],
+                         reasons=("slow",))
+        text = render_trace(record)
+        assert "serve.execute" in text

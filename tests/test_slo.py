@@ -1,0 +1,137 @@
+"""SLO tracker: availability, latency objectives, burn rate, windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import SLOTracker
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracker(**overrides):
+    defaults = {"availability_target": 0.9,
+                "latency_objective_seconds": 0.5,
+                "clock": FakeClock()}
+    defaults.update(overrides)
+    return SLOTracker(**defaults)
+
+
+class TestAccounting:
+    def test_success_within_objective_is_good(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 200, 0.1)
+        snapshot = tracker.snapshot()
+        endpoint = snapshot["endpoints"]["/search/rds"]
+        assert endpoint["requests"] == 1
+        assert endpoint["unavailable"] == 0
+        assert endpoint["latency_misses"] == 0
+        assert endpoint["availability"] == 1.0
+
+    def test_5xx_counts_unavailable(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 500, 0.1)
+        tracker.observe("/search/rds", 200, 0.1)
+        endpoint = tracker.snapshot()["endpoints"]["/search/rds"]
+        assert endpoint["unavailable"] == 1
+        assert endpoint["availability"] == 0.5
+
+    def test_4xx_is_available(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 429, 0.01)
+        endpoint = tracker.snapshot()["endpoints"]["/search/rds"]
+        assert endpoint["unavailable"] == 0
+
+    def test_slow_success_is_a_latency_miss_not_unavailable(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 200, 0.9)
+        endpoint = tracker.snapshot()["endpoints"]["/search/rds"]
+        assert endpoint["latency_misses"] == 1
+        assert endpoint["unavailable"] == 0
+
+    def test_slow_5xx_counted_once_as_unavailable(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 500, 2.0)
+        endpoint = tracker.snapshot()["endpoints"]["/search/rds"]
+        assert endpoint["unavailable"] == 1
+        assert endpoint["latency_misses"] == 0
+
+    def test_endpoints_tracked_separately(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 200, 0.1)
+        tracker.observe("/search/sds", 500, 0.1)
+        endpoints = tracker.snapshot()["endpoints"]
+        assert endpoints["/search/rds"]["unavailable"] == 0
+        assert endpoints["/search/sds"]["unavailable"] == 1
+
+    def test_latency_quantiles_in_snapshot(self):
+        tracker = make_tracker()
+        for _ in range(20):
+            tracker.observe("/search/rds", 200, 0.01)
+        endpoint = tracker.snapshot()["endpoints"]["/search/rds"]
+        assert 0.0 < endpoint["latency_p50_seconds"] <= 0.1
+        assert endpoint["latency_p99_seconds"] \
+            >= endpoint["latency_p50_seconds"]
+
+
+class TestBurnRate:
+    def test_no_traffic_has_no_burn_rate(self):
+        assert make_tracker().burn_rate(300.0) is None
+
+    def test_all_good_burns_zero(self):
+        tracker = make_tracker()
+        for _ in range(10):
+            tracker.observe("/search/rds", 200, 0.1)
+        assert tracker.burn_rate(300.0) == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_error_budget(self):
+        tracker = make_tracker(availability_target=0.9)
+        for _ in range(8):
+            tracker.observe("/search/rds", 200, 0.1)
+        for _ in range(2):
+            tracker.observe("/search/rds", 500, 0.1)
+        # bad fraction 0.2 over a 0.1 error budget -> burning 2x.
+        assert tracker.burn_rate(300.0) == pytest.approx(2.0)
+
+    def test_latency_misses_burn_budget_too(self):
+        tracker = make_tracker(availability_target=0.9)
+        tracker.observe("/search/rds", 200, 5.0)
+        assert tracker.burn_rate(300.0) == pytest.approx(10.0)
+
+    def test_old_buckets_age_out_of_the_window(self):
+        clock = FakeClock(1000.0)
+        tracker = make_tracker(clock=clock)
+        tracker.observe("/search/rds", 500, 0.1)
+        clock.now += 400.0  # past the 300s window
+        tracker.observe("/search/rds", 200, 0.1)
+        windows = tracker.snapshot()["windows"]
+        assert windows["300s"]["requests"] == 1
+        assert windows["300s"]["bad"] == 0
+        assert windows["3600s"]["requests"] == 2
+        assert windows["3600s"]["bad"] == 1
+
+    def test_snapshot_reports_both_windows(self):
+        tracker = make_tracker()
+        tracker.observe("/search/rds", 200, 0.1)
+        snapshot = tracker.snapshot()
+        assert snapshot["availability_target"] == 0.9
+        assert snapshot["latency_objective_seconds"] == 0.5
+        assert set(snapshot["windows"]) == {"300s", "3600s"}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"availability_target": 0.0},
+        {"availability_target": 1.0},
+        {"latency_objective_seconds": 0.0},
+        {"bucket_seconds": 0.0},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_tracker(**kwargs)

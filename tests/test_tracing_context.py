@@ -1,0 +1,246 @@
+"""Request-scoped trace context: W3C propagation, sampling, threads.
+
+The tentpole guarantees three things the older stack-based tracer could
+not: (1) every span carries a 128-bit trace id and W3C ``traceparent``
+round-trips losslessly, (2) the active span follows the request across
+thread-pool hops via :mod:`contextvars` — concurrent requests never
+steal each other's parents, and (3) head sampling is a pure function of
+the trace id, so clients and servers agree on what gets collected.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import json
+import logging
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.logging import StructuredFormatter, log_context, setup_logging
+from repro.obs.tracing import (SpanContext, Tracer, attach, current_context,
+                               current_span, format_traceparent, head_sample,
+                               parse_traceparent)
+
+
+class TestTraceparent:
+    def test_valid_header_parses(self):
+        header = ("00-0af7651916cd43dd8448eb211c80319c-"
+                  "b7ad6b7169203331-01")
+        context = parse_traceparent(header)
+        assert context is not None
+        assert context.trace_id == 0x0AF7651916CD43DD8448EB211C80319C
+        assert context.span_id == 0xB7AD6B7169203331
+        assert context.sampled
+
+    def test_unsampled_flag_respected(self):
+        header = ("00-0af7651916cd43dd8448eb211c80319c-"
+                  "b7ad6b7169203331-00")
+        context = parse_traceparent(header)
+        assert context is not None
+        assert not context.sampled
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-abc-def-01",                                       # short ids
+        "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+        "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+        "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+        "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+    ])
+    def test_malformed_headers_return_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_format_parse_roundtrip(self):
+        context = SpanContext(trace_id=0xABCDEF, span_id=0x1234,
+                              sampled=False)
+        assert parse_traceparent(format_traceparent(context)) == context
+
+    def test_span_context_hex_forms(self):
+        context = SpanContext(trace_id=1, span_id=2)
+        assert context.trace_id_hex == "0" * 31 + "1"
+        assert context.span_id_hex == "0" * 15 + "2"
+        assert context.traceparent == (
+            f"00-{context.trace_id_hex}-{context.span_id_hex}-01")
+
+
+class TestHeadSampling:
+    def test_rate_one_samples_everything(self):
+        assert all(head_sample(trace_id, 1.0)
+                   for trace_id in (1, 2**64, 2**127))
+
+    def test_rate_zero_samples_nothing(self):
+        assert not any(head_sample(trace_id, 0.0)
+                       for trace_id in (1, 2**64, 2**127))
+
+    def test_deterministic_in_trace_id(self):
+        # Spread ids across the sampling domain (low bits decide; small
+        # sequential ints would all land under any non-zero rate).
+        ids = [(index * 0x9E3779B97F4A7C15) % 2**128
+               for index in range(200)]
+        verdicts = [head_sample(trace_id, 0.5) for trace_id in ids]
+        assert verdicts == [head_sample(trace_id, 0.5)
+                            for trace_id in ids]
+        assert any(verdicts) and not all(verdicts)
+
+    def test_sampled_tracer_collects_only_sampled_traces(self):
+        tracer = Tracer(sample_rate=0.0, seed=7)
+        with tracer.span("engine.query"):
+            with tracer.span("knds.rds"):
+                pass
+        assert tracer.spans_started == 2
+        assert tracer.spans_collected == 0
+        assert tracer.to_dicts() == []
+
+    def test_remote_parent_decides_sampling(self):
+        tracer = Tracer(sample_rate=0.0, seed=7)  # locally: never sample
+        remote = SpanContext(trace_id=99, span_id=1, sampled=True)
+        with tracer.span("http.request", parent=remote):
+            pass
+        (span,) = tracer.to_dicts()
+        assert span["trace_id"] == f"{99:032x}"
+
+
+class TestContextPropagation:
+    def test_trace_id_shared_down_the_tree(self):
+        tracer = Tracer(seed=3)
+        with tracer.span("http.request") as root:
+            with tracer.span("serve.request") as child:
+                assert child.trace_id == root.trace_id
+                assert current_span() is child
+        assert current_span() is None
+
+    def test_attach_makes_remote_context_the_parent(self):
+        tracer = Tracer(seed=3)
+        remote = SpanContext(trace_id=42, span_id=7, sampled=True)
+        with attach(remote):
+            assert current_context() == remote
+            with tracer.span("serve.execute"):
+                pass
+        (span,) = tracer.to_dicts()
+        assert span["trace_id"] == f"{42:032x}"
+        assert span["parent_id"] == 7
+
+    def test_executor_hop_preserves_parentage_with_copy_context(self):
+        tracer = Tracer(seed=3)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with tracer.span("serve.request") as parent:
+                context = contextvars.copy_context()
+                future = pool.submit(
+                    context.run, lambda: tracer.span("serve.execute")
+                    .__enter__().__exit__(None, None, None))
+                future.result()
+        spans = {span["name"]: span for span in tracer.to_dicts()}
+        execute = spans["serve.execute"]
+        assert execute["parent_id"] == parent.span_id
+        assert execute["trace_id"] == spans["serve.request"]["trace_id"]
+
+    def test_concurrent_requests_do_not_cross_parent(self):
+        """Satellite 1: two requests on two threads, interleaved.
+
+        The old shared-stack tracer would parent one request's child
+        under the *other* request's root whenever their lifetimes
+        interleaved; the contextvars tracer keeps each thread's tree
+        private.
+        """
+        tracer = Tracer(seed=5)
+        barrier = threading.Barrier(2, timeout=10.0)
+        failures: list[str] = []
+
+        def one_request(name: str) -> None:
+            with tracer.span(f"http.{name}") as root:
+                barrier.wait()  # both roots open before any child starts
+                with tracer.span(f"serve.{name}") as child:
+                    barrier.wait()  # both children open concurrently
+                    if child.parent_id != root.span_id:
+                        failures.append(
+                            f"{name}: parent {child.parent_id} != root "
+                            f"{root.span_id}")
+                    if child.trace_id != root.trace_id:
+                        failures.append(f"{name}: trace id mismatch")
+
+        threads = [threading.Thread(target=one_request, args=(name,))
+                   for name in ("alpha", "beta")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert failures == []
+        spans = {span["name"]: span for span in tracer.to_dicts()}
+        assert len(spans) == 4
+        for name in ("alpha", "beta"):
+            assert spans[f"serve.{name}"]["parent_id"] \
+                == spans[f"http.{name}"]["span_id"]
+            assert spans[f"http.{name}"]["trace_id"] \
+                != spans[f"http.alpha" if name == "beta"
+                         else "http.beta"]["trace_id"]
+
+    def test_take_trace_removes_matching_spans(self):
+        tracer = Tracer(seed=9)
+        with tracer.span("engine.query") as span:
+            trace_id = span.trace_id
+        with tracer.span("engine.other"):
+            pass
+        taken = tracer.take_trace(trace_id)
+        assert [span["name"] for span in taken] == ["engine.query"]
+        assert [span["name"] for span in tracer.to_dicts()] \
+            == ["engine.other"]
+        assert tracer.take_trace(trace_id) == []
+
+    def test_seeded_tracers_mint_identical_trace_ids(self):
+        def mint() -> list[str]:
+            tracer = Tracer(seed=11)
+            ids = []
+            for _ in range(5):
+                with tracer.span("engine.query") as span:
+                    ids.append(span.trace_id)
+            return ids
+
+        assert mint() == mint()
+
+
+class TestLogContext:
+    def test_bound_fields_appear_and_unwind(self):
+        stream = io.StringIO()
+        logger = setup_logging("info", stream=stream)
+        with log_context(request_id="req-1", trace_id="t1"):
+            logger.info("inside")
+        logger.info("outside")
+        inside, outside = stream.getvalue().splitlines()
+        assert "request_id=req-1" in inside and "trace_id=t1" in inside
+        assert "request_id" not in outside
+
+    def test_nested_bindings_inner_wins(self):
+        with log_context(request_id="outer", extra_field="kept"):
+            with log_context(request_id="inner"):
+                from repro.obs.logging import current_log_context
+                bound = current_log_context()
+        assert bound == {"request_id": "inner", "extra_field": "kept"}
+
+    def test_json_lines_escapes_quotes_and_newlines(self):
+        """Satellite 2: hostile field values stay one parseable line."""
+        formatter = StructuredFormatter(json_lines=True)
+        record = logging.LogRecord(
+            "repro.serve.access", logging.INFO, __file__, 1,
+            'evil "quoted"\nmessage', (), None)
+        record.path = '/search/rds?q="x"\ny'
+        rendered = formatter.format(record)
+        assert "\n" not in rendered
+        parsed = json.loads(rendered)
+        assert parsed["msg"] == 'evil "quoted"\nmessage'
+        assert parsed["path"] == '/search/rds?q="x"\ny'
+
+    def test_kv_mode_quotes_hostile_values(self):
+        formatter = StructuredFormatter(json_lines=False)
+        record = logging.LogRecord(
+            "repro.serve.access", logging.INFO, __file__, 1, "ok", (),
+            None)
+        record.path = 'a "b"\nc'
+        rendered = formatter.format(record)
+        assert "\n" not in rendered
+        assert 'path="a \\"b\\"\\nc"' in rendered
