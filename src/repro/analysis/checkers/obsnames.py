@@ -16,7 +16,10 @@ the flight recorder's per-layer self-time rollup keys on the segment
 before the first dot, so a single-segment name like ``"query"`` would
 silently become its own layer.  It fires only on otherwise-valid plain
 string literals without a dot (RPR006 already owns malformed names,
-and f-strings may interpolate the missing segments).
+and f-strings may interpolate the missing segments).  It also vets the
+layer segment itself against the known-layer registry below: a typo
+like ``"profilr.samples"`` would otherwise mint a phantom layer that
+no dashboard, rollup, or bench counter ever reads.
 """
 
 from __future__ import annotations
@@ -36,6 +39,16 @@ _FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
 _SINKS = frozenset({
     "span", "record", "record_io", "record_probe",
     "counter", "gauge", "histogram",
+})
+
+#: Every layer prefix a metric or span name may legitimately start
+#: with.  Grown deliberately: adding a subsystem means adding its layer
+#: here in the same change that introduces its first instrument, which
+#: is exactly the review moment the rule exists to create.
+_KNOWN_LAYERS = frozenset({
+    "arena", "bench", "drc", "engine", "fullscan", "http", "index",
+    "knds", "profiler", "query", "recorder", "resource", "serve",
+    "slo", "ta", "trace", "types",
 })
 
 
@@ -91,10 +104,11 @@ class ObsLayerChecker(BaseChecker):
     rule = "RPR010"
     name = "obs-layer-naming"
     description = ("metric/span names are structured as layer.operation "
-                   "(at least two dotted segments)")
+                   "with a registered layer prefix")
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
-        """Yield findings for single-segment metric/span name literals."""
+        """Yield findings for metric/span literals whose layer is
+        missing or unregistered."""
         for node in ast.walk(context.tree):
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
@@ -105,13 +119,25 @@ class ObsLayerChecker(BaseChecker):
             # Plain string literals only: f-strings may interpolate the
             # layer or operation segment, and RPR006 owns malformed
             # names — this rule fires exactly on well-formed names that
-            # lack the layer prefix.
+            # lack a (known) layer prefix.
             if not (isinstance(first, ast.Constant)
                     and isinstance(first.value, str)):
                 continue
-            if _NAME_RE.match(first.value) and "." not in first.value:
+            if not _NAME_RE.match(first.value):
+                continue
+            if "." not in first.value:
                 yield self.finding(
                     context, node,
                     f"name {first.value!r} has no layer prefix; use "
                     "'layer.operation' (e.g. 'engine.query') so "
                     "per-layer rollups attribute it correctly")
+                continue
+            layer = first.value.split(".", 1)[0]
+            if layer not in _KNOWN_LAYERS:
+                yield self.finding(
+                    context, node,
+                    f"name {first.value!r} starts with unregistered "
+                    f"layer {layer!r}; known layers are "
+                    f"{', '.join(sorted(_KNOWN_LAYERS))} — fix the typo "
+                    "or add the new layer to _KNOWN_LAYERS in "
+                    "repro/analysis/checkers/obsnames.py")

@@ -85,6 +85,8 @@ WORK_COUNTERS = (
     "knds.arena_calls", "arena.pair_kernels",
     "arena.cache.hit", "arena.cache.miss", "types.lcp_calls",
     "trace.spans", "recorder.requests",
+    "serve.analyze_settled", "serve.analyze_pruned",
+    "serve.analyze_exact", "serve.analyze_rounds",
 )
 """Deterministic cost-model counters gated alongside wall time.
 
@@ -106,6 +108,14 @@ ids and head-samples them client-side, so the set of sampled requests —
 and therefore the spans collected and records captured per pass — is
 identical every run.  A structural change to the span tree (a new layer
 span, a dropped one) moves ``trace.spans`` and gates.
+
+``serve.analyze_*`` pin the EXPLAIN ANALYZE pipeline in
+``serve_analyze``: sums of the per-query cost-profile fields (settled,
+pruned, exact distances, rounds) across one seeded pass.  They are
+exact functions of (corpus, queries, config), so a change that perturbs
+profile collection — or the search work it attributes — gates here.
+``profiler.samples`` is deliberately NOT a work counter: the sampling
+profiler ticks on wall time, not on work.
 """
 
 WORK_REL_TOLERANCE = 0.05
@@ -622,6 +632,73 @@ def _prepare_serve_traced(world: "World") -> PreparedScenario:
 
     def cleanup() -> None:
         handle.stop()
+        service.close(drain_seconds=0.0)
+        engine.close()
+
+    return PreparedScenario(run=run, instrument=instrument,
+                            cleanup=cleanup)
+
+
+@register_scenario(
+    "serve_analyze",
+    "Query service RDS batch with EXPLAIN ANALYZE on every request and "
+    "the continuous sampling profiler running at its default 10 ms "
+    "interval: gates the cost-attribution + profiler overhead against "
+    "the plain serve path, and pins the profile contents via the "
+    "serve.analyze_* work counters",
+    tags=("smoke", "serve", "analyze"))
+def _prepare_serve_analyze(world: "World") -> PreparedScenario:
+    from repro.bench.workloads import random_concept_queries
+    from repro.core.engine import SearchEngine
+    from repro.serve import QueryService, ServeConfig
+
+    engine = SearchEngine(world.ontology, world.corpus("RADIO"))
+    service = QueryService(engine, ServeConfig(
+        workers=2, queue_limit=64, deadline_seconds=60.0,
+        profiler_enabled=True))  # default 10 ms sampling interval
+    queries = random_concept_queries(world.corpus("RADIO"), nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=23)
+
+    holder: list["Observability"] = []  # runner bundle; metrics pass only
+
+    def instrument(obs: "Observability | None") -> None:
+        service.instrument(obs)
+        holder[:] = [] if obs is None else [obs]
+
+    def run() -> None:
+        settled = pruned = exact = rounds = 0
+        for query in queries:
+            result = service.rds(list(query), 10, analyze=True)
+            profile = result.results.cost_profile
+            if profile is None:
+                raise ReproError(
+                    "serve_analyze expected a cost profile on every "
+                    "analyze=True response")
+            settled += profile.candidates_settled
+            pruned += profile.candidates_pruned
+            exact += profile.exact_distances
+            rounds += profile.rounds
+        if holder:
+            registry = holder[0].metrics
+            registry.counter(
+                "serve.analyze_settled",
+                "candidates settled across one analyzed pass",
+            ).inc(settled)
+            registry.counter(
+                "serve.analyze_pruned",
+                "candidates pruned across one analyzed pass",
+            ).inc(pruned)
+            registry.counter(
+                "serve.analyze_exact",
+                "exact distance computations across one analyzed pass",
+            ).inc(exact)
+            registry.counter(
+                "serve.analyze_rounds",
+                "kNDS rounds across one analyzed pass",
+            ).inc(rounds)
+
+    def cleanup() -> None:
         service.close(drain_seconds=0.0)
         engine.close()
 

@@ -13,6 +13,9 @@ Ties the library's pieces into shell-scriptable steps:
 * ``debug``            — fetch captured request traces from a running
   server's ``/debug/traces`` endpoint and pretty-print the span tree
   with per-layer self-times (see ``docs/OBSERVABILITY.md``);
+* ``profile``          — fetch collapsed-stack samples from a running
+  server's ``/debug/profile`` endpoint (hottest stacks, or raw
+  flamegraph lines with ``--raw``);
 * ``experiments``      — regenerate the paper's tables and figures
   (delegates to :mod:`repro.bench.experiments`);
 * ``bench``            — run registered perf scenarios, write a
@@ -127,6 +130,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     query = [part for part in args.query.split(",") if part]
     print(engine.explain(args.doc_id, query))
+    if args.analyze:
+        from repro.core.explain import render_cost_profile
+        results = engine.rds(query, k=args.k, analyze=True)
+        profile = results.cost_profile
+        if profile is None:  # non-kNDS algorithms carry no profile
+            print("# no cost profile available")
+        else:
+            print()
+            print(render_cost_profile(profile))
     return 0
 
 
@@ -247,6 +259,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         recorder_capacity=args.recorder_capacity,
         slow_threshold_seconds=args.slow_threshold,
         slo_latency_objective_seconds=args.latency_objective,
+        profiler_enabled=args.profiler,
+        profiler_interval_seconds=args.profiler_interval,
+        resource_interval_seconds=args.resource_interval,
     )
     service = QueryService(engine, config)
     print(f"# engine ready: {len(engine.collection)} documents over "
@@ -317,6 +332,55 @@ def _cmd_debug(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Fetch sampling-profiler stacks from a running server and render."""
+    import http.client
+    import json
+
+    path = "/debug/profile"
+    if args.seconds is not None:
+        path += f"?seconds={args.seconds:g}"
+    connection = http.client.HTTPConnection(args.host, args.port,
+                                            timeout=args.timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    except OSError as error:
+        raise ReproError(
+            f"cannot reach {args.host}:{args.port}: {error}") from error
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise ReproError(f"GET {path} returned {response.status}: {body}")
+    payload = json.loads(body)
+    stacks: dict[str, int] = payload.get("stacks", {})
+    if args.raw:
+        # Flamegraph collapsed-stack format: one "stack count" per line,
+        # ready for flamegraph.pl / speedscope / inferno.
+        for stack in sorted(stacks):
+            print(f"{stack} {stacks[stack]}")
+        return 0
+    samples = payload.get("samples", 0)
+    overhead = payload.get("overhead_seconds", 0.0)
+    print(f"# {samples} samples at {payload.get('interval_seconds', 0):g}s "
+          f"interval, sampler overhead {overhead * 1000:.1f} ms, "
+          f"running={payload.get('running')}")
+    if not stacks:
+        print("no stacks sampled (idle server or zero-length window)")
+        return 0
+    total = sum(stacks.values())
+    ranked = sorted(stacks.items(), key=lambda item: (-item[1], item[0]))
+    for stack, count in ranked[:args.top]:
+        leaf = stack.rsplit(";", 1)[-1]
+        print(f"{count:>6}  {100.0 * count / total:5.1f}%  {leaf}")
+        print(f"        {stack}")
+    if len(ranked) > args.top:
+        print(f"# {len(ranked) - args.top} more stacks; "
+              f"--raw dumps them all in flamegraph format")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -369,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--doc-id", required=True)
     explain.add_argument("--query", required=True,
                          help="comma-separated concept ids")
+    explain.add_argument("--analyze", action="store_true",
+                         help="also run the query with EXPLAIN ANALYZE "
+                              "and print the cost profile")
+    explain.add_argument("-k", type=int, default=10,
+                         help="top-k for the --analyze run")
     explain.set_defaults(handler=_cmd_explain)
 
     search = commands.add_parser("search", help="run a top-k query")
@@ -453,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--latency-objective", type=float, default=0.5,
                        help="per-request latency objective in seconds for "
                             "SLO burn-rate accounting")
+    serve.add_argument("--profiler", action="store_true",
+                       help="run the continuous sampling profiler "
+                            "(snapshot it via /debug/profile)")
+    serve.add_argument("--profiler-interval", type=float, default=0.01,
+                       help="sampling period of the continuous profiler")
+    serve.add_argument("--resource-interval", type=float, default=5.0,
+                       help="resource.* gauge sampling period "
+                            "(0 disables the background thread)")
     serve.set_defaults(handler=_cmd_serve)
 
     debug = commands.add_parser(
@@ -463,6 +540,22 @@ def build_parser() -> argparse.ArgumentParser:
                                     "renders the full span tree")
     debug.add_argument("--timeout", type=float, default=10.0)
     debug.set_defaults(handler=_cmd_debug)
+
+    profile = commands.add_parser(
+        "profile", help="fetch sampling-profiler stacks from a running "
+                        "server")
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument("--port", type=int, default=8080)
+    profile.add_argument("--seconds", type=float, default=None,
+                         help="sample for N seconds first (one-shot when "
+                              "the continuous profiler is off)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hottest stacks to print")
+    profile.add_argument("--raw", action="store_true",
+                         help="dump collapsed-stack lines for "
+                              "flamegraph.pl / speedscope")
+    profile.add_argument("--timeout", type=float, default=60.0)
+    profile.set_defaults(handler=_cmd_profile)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures",

@@ -241,6 +241,16 @@ class PackedDeweyArena:
         """Number of concepts packed so far."""
         return len(self._concepts)
 
+    def buffer_bytes(self) -> int:
+        """Bytes held by the three packed buffers.
+
+        The ``resource.arena_bytes`` gauge; grows monotonically within an
+        epoch (interning is append-only) and resets on :meth:`invalidate`.
+        """
+        return (len(self._data) * self._data.itemsize
+                + len(self._bounds) * self._bounds.itemsize
+                + len(self._slots) * self._slots.itemsize)
+
     def concept_id(self, concept: ConceptId) -> int:
         """The interned small-int id of ``concept`` (packing on first use).
 

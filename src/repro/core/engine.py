@@ -138,16 +138,22 @@ class SearchEngine:
     def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,
             algorithm: str = "knds",
             config: KNDSConfig | None = None,
+            analyze: bool = False,
             **overrides: Any) -> RankedResults:
         """Relevant Document Search: top-k documents for a concept set.
 
         ``algorithm`` is ``"knds"`` (default), ``"fullscan"`` (the paper's
         no-pruning baseline) or ``"ta"`` (Threshold Algorithm over
         precomputed distance-sorted postings; RDS only).
+
+        ``analyze=True`` attaches a per-query cost profile
+        (``RankedResults.cost_profile``) on the kNDS path; the baselines
+        accept the flag but return no profile.
         """
         with self._query_span("rds", algorithm, k):
             if algorithm == "knds":
-                return self._knds.rds(query_concepts, k, config, **overrides)
+                return self._knds.rds(query_concepts, k, config,
+                                      analyze=analyze, **overrides)
             if algorithm == "fullscan":
                 return self._fullscan().rds(query_concepts, k)
             if algorithm == "ta":
@@ -161,16 +167,19 @@ class SearchEngine:
     def sds(self, query_document: Document | str | Sequence[ConceptId],
             k: int = 10, *, algorithm: str = "knds",
             config: KNDSConfig | None = None,
+            analyze: bool = False,
             **overrides: Any) -> RankedResults:
         """Similar Document Search: top-k documents for a query document.
 
         ``query_document`` may be a :class:`Document`, a doc id from the
-        indexed collection, or a bare concept sequence.
+        indexed collection, or a bare concept sequence.  ``analyze=True``
+        attaches a cost profile on the kNDS path (see :meth:`rds`).
         """
         document = self._resolve_document(query_document)
         with self._query_span("sds", algorithm, k):
             if algorithm == "knds":
-                return self._knds.sds(document, k, config, **overrides)
+                return self._knds.sds(document, k, config,
+                                      analyze=analyze, **overrides)
             if algorithm == "fullscan":
                 return self._fullscan().sds(document, k)
             raise QueryError(f"unknown algorithm: {algorithm!r}")
@@ -181,6 +190,7 @@ class SearchEngine:
     def rds_many(self, queries: Sequence[Sequence[ConceptId]],
                  k: int = 10, *, algorithm: str = "knds",
                  config: KNDSConfig | None = None,
+                 analyze: bool = False,
                  **overrides: Any) -> list[RankedResults]:
         """RDS for a batch of concept-set queries, in order.
 
@@ -195,13 +205,14 @@ class SearchEngine:
         for query in queries:
             self._prewarm(query)
         return [self.rds(query, k, algorithm=algorithm, config=config,
-                         **overrides)
+                         analyze=analyze, **overrides)
                 for query in queries]
 
     def sds_many(self, query_documents: Sequence[
                      Document | str | Sequence[ConceptId]],
                  k: int = 10, *, algorithm: str = "knds",
                  config: KNDSConfig | None = None,
+                 analyze: bool = False,
                  **overrides: Any) -> list[RankedResults]:
         """SDS for a batch of query documents, in order.
 
@@ -215,7 +226,7 @@ class SearchEngine:
             else:
                 self._prewarm(resolved)
         return [self.sds(query_document, k, algorithm=algorithm,
-                         config=config, **overrides)
+                         config=config, analyze=analyze, **overrides)
                 for query_document in query_documents]
 
     def _prewarm(self, concepts: Sequence[ConceptId]) -> None:

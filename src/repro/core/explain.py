@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import (EmptyDocumentError, InvariantError,
                               UnknownConceptError)
+from repro.obs.profiling import QueryCostProfile
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
@@ -155,4 +156,39 @@ def render_explanation(ontology: Ontology,
             f"at distance {term.distance}  [{hops}]"
         )
     lines.append(f"total distance: {explanation.total}")
+    return "\n".join(lines)
+
+
+def render_cost_profile(profile: QueryCostProfile) -> str:
+    """Human-readable EXPLAIN ANALYZE block for one query.
+
+    Rendered by ``repro explain --analyze`` next to the distance
+    decomposition: the work counters, the candidate funnel, and the
+    per-round ``D−``/``Dk+`` bound trajectory that shows *where* the
+    branch-and-bound converged.
+    """
+    lines = [
+        f"cost profile ({profile.algorithm} {profile.query_kind}, "
+        f"k={profile.k}, path={profile.path})",
+        f"  probes: {profile.probes} postings reads, "
+        f"{profile.exact_distances} exact distances "
+        f"({profile.arena_calls} arena / {profile.drc_calls} drc), "
+        f"{profile.covered_shortcuts} covered shortcuts",
+        f"  arena: {profile.pair_lookups} pair lookups, "
+        f"{profile.pair_kernels} kernels, "
+        f"cache {profile.cache_hits} hit / {profile.cache_misses} miss",
+        f"  candidates: {profile.candidates_created} created -> "
+        f"{profile.candidates_pruned} pruned, "
+        f"{profile.candidates_settled} settled",
+        f"  terminated: {profile.termination_reason} at level "
+        f"{profile.termination_level} after {profile.rounds} rounds "
+        f"({profile.forced_rounds} forced)",
+        "  bounds (level: D- vs Dk+):",
+    ]
+    for sample in profile.bounds:
+        kth = "-" if sample.kth is None else f"{sample.kth:g}"
+        gap = "" if sample.gap is None else f"  (gap {sample.gap:g})"
+        lines.append(
+            f"    L{sample.level}: D-={sample.lower:g}  Dk+={kth}{gap}")
+    lines.append(f"  wall time: {profile.seconds * 1e3:.3f} ms")
     return "\n".join(lines)

@@ -54,6 +54,7 @@ from repro.index.memory import MemoryForwardIndex, MemoryInvertedIndex
 from repro.obs.events import (ExpandedEvent, QueryEvent, RoundEvent,
                               TerminatedEvent)
 from repro.obs.metrics import QueryTelemetry
+from repro.obs.profiling import CostProfileBuilder, QueryCostProfile
 from repro.obs.tracing import NULL_TRACER
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
@@ -262,6 +263,7 @@ class KNDSearch:
     def rds(self, query_concepts: Sequence[ConceptId], k: int,
             config: KNDSConfig | None = None, *,
             observer: Callable[[QueryEvent], None] | None = None,
+            analyze: bool = False,
             **overrides: Any) -> RankedResults:
         """Top-k Relevant Document Search (Definition 1).
 
@@ -271,17 +273,27 @@ class KNDSearch:
         the view of ``Sd``, ``Ld``, ``Ec``, ``Hk``, ``D−`` and ``Dk+``
         that the paper's Table 2 prints (used by the trace tests and
         handy for debugging).
+
+        ``analyze=True`` additionally attaches a
+        :class:`~repro.obs.profiling.QueryCostProfile` to the returned
+        results (``RankedResults.cost_profile``): the per-round
+        ``D−``/``Dk+`` bound trajectory, termination level/reason, and
+        arena counter deltas on top of the usual work counters.
         """
         config = _resolve_config(config, overrides)
         telemetry = QueryTelemetry()
+        builder = CostProfileBuilder() if analyze else None
         items = list(self._run(tuple(query_concepts), k, RDS, config,
-                               telemetry, observer))
+                               telemetry, observer, builder))
         return RankedResults(items, QueryStats.from_metrics(telemetry),
-                             algorithm="knds", query_kind=RDS, k=k)
+                             algorithm="knds", query_kind=RDS, k=k,
+                             cost_profile=self._profile(
+                                 telemetry, builder, RDS, k, config))
 
     def sds(self, query_document: Document | Sequence[ConceptId], k: int,
             config: KNDSConfig | None = None, *,
             observer: Callable[[QueryEvent], None] | None = None,
+            analyze: bool = False,
             **overrides: Any) -> RankedResults:
         """Top-k Similar Document Search (Definition 2).
 
@@ -290,14 +302,28 @@ class KNDSearch:
         exclude it from the results by filtering ``doc_id`` afterwards —
         the algorithm ranks every indexed document, including an exact
         duplicate at distance 0, exactly as the paper's experiments do.
+        ``analyze=True`` attaches a cost profile (see :meth:`rds`).
         """
         config = _resolve_config(config, overrides)
         concepts = _document_concepts(query_document)
         telemetry = QueryTelemetry()
+        builder = CostProfileBuilder() if analyze else None
         items = list(self._run(concepts, k, SDS, config, telemetry,
-                               observer))
+                               observer, builder))
         return RankedResults(items, QueryStats.from_metrics(telemetry),
-                             algorithm="knds", query_kind=SDS, k=k)
+                             algorithm="knds", query_kind=SDS, k=k,
+                             cost_profile=self._profile(
+                                 telemetry, builder, SDS, k, config))
+
+    def _profile(self, telemetry: QueryTelemetry,
+                 builder: CostProfileBuilder | None, mode: str, k: int,
+                 config: KNDSConfig) -> QueryCostProfile | None:
+        """Assemble the cost profile for an ``analyze=True`` query."""
+        if builder is None:
+            return None
+        return QueryCostProfile.from_run(
+            telemetry, builder, algorithm="knds", query_kind=mode, k=k,
+            path="arena" if config.use_arena else "tuple")
 
     def rds_iter(self, query_concepts: Sequence[ConceptId], k: int,
                  config: KNDSConfig | None = None,
@@ -322,6 +348,7 @@ class KNDSearch:
     def _run(self, query_concepts: tuple[ConceptId, ...], k: int, mode: str,
              config: KNDSConfig, telemetry: QueryTelemetry,
              observer: Callable[[QueryEvent], None] | None = None,
+             profile: CostProfileBuilder | None = None,
              ) -> Iterator[ResultItem]:
         start = time.perf_counter()
         query = _validated_query(self.ontology, query_concepts, k)
@@ -330,6 +357,11 @@ class KNDSearch:
         # shared concept-distance cache instead of rebuilding per probe.
         query_ids = (self.arena.intern_unique(query)
                      if config.use_arena else None)
+        if profile is not None:
+            cache_stats = self.arena.cache.stats
+            profile.arena_before(self.arena.pair_lookups,
+                                 self.arena.pair_kernels,
+                                 cache_stats.hits, cache_stats.misses)
 
         obs = self._obs
         tracer = obs.tracer if obs is not None else NULL_TRACER
@@ -407,6 +439,8 @@ class KNDSearch:
                     candidates, candidate_heap, level, num_query, exhausted,
                     mode)
                 kth_distance = -top_heap[0][0] if len(top_heap) >= k else None
+                if profile is not None:
+                    profile.note_round(level, global_lower, kth_distance)
                 if sinks:
                     _emit(sinks, _snapshot(
                         RoundEvent, level, num_query, searches, candidates,
@@ -425,6 +459,13 @@ class KNDSearch:
                 if exhausted and not candidates:
                     reason = "exhausted"
                     break
+
+            if profile is not None:
+                profile.note_termination(level, reason)
+                cache_stats = self.arena.cache.stats
+                profile.arena_after(self.arena.pair_lookups,
+                                    self.arena.pair_kernels,
+                                    cache_stats.hits, cache_stats.misses)
 
             if sinks:
                 _emit(sinks, _snapshot(

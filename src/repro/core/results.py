@@ -19,6 +19,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import QUERY_TELEMETRY_FIELDS, QueryTelemetry
+from repro.obs.profiling import QueryCostProfile
 from repro.types import DocId
 
 
@@ -133,6 +134,9 @@ class RankedResults:
     algorithm: str = ""
     query_kind: str = ""
     k: int = 0
+    cost_profile: QueryCostProfile | None = None
+    """EXPLAIN ANALYZE attribution, only populated for ``analyze=True``
+    queries on algorithms that support it (currently kNDS)."""
 
     def doc_ids(self) -> list[DocId]:
         """Ranked document ids."""

@@ -12,7 +12,11 @@ Three legs, each usable alone, bundled by :class:`Observability`:
   ``terminated`` query-event stream (the paper's Table 2 columns, with
   stable schemas);
 * :mod:`repro.obs.logging` — structured (``key=value`` / JSON-lines)
-  logging setup.
+  logging setup;
+* :mod:`repro.obs.profiling` — per-query cost attribution
+  (:class:`~repro.obs.profiling.QueryCostProfile`, the EXPLAIN ANALYZE
+  record), a sampling profiler with collapsed-stack output, and the
+  periodic ``resource.*`` gauge sampler.
 
 Attach a bundle to a :class:`~repro.core.engine.SearchEngine` (the
 ``obs=`` constructor argument or ``engine.instrument``) and every layer
@@ -31,6 +35,9 @@ from repro.obs.events import (EVENT_TYPES, EventLog, EventStream,
 from repro.obs.logging import (get_logger, log_context, setup_logging)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                PROBE_BUCKETS, QueryTelemetry, get_registry)
+from repro.obs.profiling import (BoundSample, CostProfileBuilder,
+                                 ProfileSnapshot, QueryCostProfile,
+                                 ResourceSampler, StatisticalProfiler)
 from repro.obs.recorder import FlightRecorder, RequestRecord, render_trace
 from repro.obs.slo import SLOTracker
 from repro.obs.tracing import (NULL_TRACER, NullTracer, Span, SpanContext,
@@ -61,6 +68,12 @@ __all__ = [
     "Histogram",
     "QueryTelemetry",
     "get_registry",
+    "BoundSample",
+    "CostProfileBuilder",
+    "ProfileSnapshot",
+    "QueryCostProfile",
+    "ResourceSampler",
+    "StatisticalProfiler",
     "QueryEvent",
     "ExpandedEvent",
     "RoundEvent",

@@ -35,6 +35,14 @@ PROBE_BUCKETS = (
 )
 """Finer buckets (seconds) for per-probe distance computations."""
 
+WORK_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0,
+)
+"""Buckets for work-per-query histograms (probe/candidate *counts*, not
+seconds) — a 1-2.5-5 ladder spanning a trivial query to a forced
+full-corpus round at the paper's 50k queue limit."""
+
 
 class Counter:
     """A monotonically increasing sum (events, rows, seconds...)."""

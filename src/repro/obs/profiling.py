@@ -1,0 +1,559 @@
+"""Per-query cost attribution and low-overhead runtime profiling.
+
+Three independent pieces, all stdlib-only:
+
+* :class:`QueryCostProfile` — the "EXPLAIN ANALYZE" record for a single
+  query.  Built from the same :class:`~repro.obs.metrics.QueryTelemetry`
+  scalars the search algorithms already record, plus the per-round bound
+  trajectory (``D−`` vs ``Dk+``) and arena counter deltas that only the
+  kNDS loop can observe.  Every field is deterministic work accounting —
+  probes, kernel calls, candidates created/pruned/settled — so two runs
+  of the same query on the same corpus produce identical profiles (the
+  wall-clock ``seconds`` field is the one documented exception).
+* :class:`StatisticalProfiler` — a sampling profiler over
+  ``sys._current_frames()``: a daemon thread wakes every
+  ``interval_seconds``, collapses each live thread's stack into one
+  ``root;...;leaf`` line (the flamegraph "collapsed stack" format) and
+  counts it.  Start/stop/snapshot API; self-measured overhead.
+* :class:`ResourceSampler` — a periodic gauge publisher: named supplier
+  callables (arena bytes, cache entries, queue depth, GC counts...) are
+  polled and written into a :class:`~repro.obs.metrics.MetricsRegistry`
+  as ``resource.*`` gauges.  ``sample_once`` is public so tests and the
+  ``/debug/vars`` endpoint can force a deterministic refresh.
+
+Cost-profile attribution caveat: the arena counters (``pair_lookups``,
+``pair_kernels``, cache hits/misses) live on a *shared* arena, so the
+per-query deltas are exact only while one query runs at a time.  Under
+concurrent serve load they attribute whatever the arena did during the
+query's window, which may include a neighbour's probes.  The remaining
+fields come from the query-private telemetry scope and are always exact.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from types import FrameType
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "BoundSample",
+    "CostProfileBuilder",
+    "ProfileSnapshot",
+    "QueryCostProfile",
+    "ResourceSampler",
+    "StatisticalProfiler",
+]
+
+
+# ----------------------------------------------------------------------
+# Cost profiles (EXPLAIN ANALYZE)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundSample:
+    """One termination-check snapshot: the bounds after a kNDS round.
+
+    ``lower`` is the paper's ``D−`` (smallest possible distance of any
+    unanalyzed document); ``kth`` is ``Dk+`` (distance of the current
+    k-th best), ``None`` until k results have been settled.  The search
+    terminates on the first round where ``lower >= kth``.
+    """
+
+    level: int
+    lower: float
+    kth: float | None
+
+    @property
+    def gap(self) -> float | None:
+        """``Dk+ − D−`` — how far from termination (None before Dk+)."""
+        if self.kth is None:
+            return None
+        return self.kth - self.lower
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view: ``{"level", "lower", "kth", "gap"}``."""
+        return {"level": self.level, "lower": self.lower,
+                "kth": self.kth, "gap": self.gap}
+
+
+class CostProfileBuilder:
+    """Mutable collection surface the kNDS loop fills while it runs.
+
+    Only created when a caller opted into ``analyze=True`` — the hot
+    path without it pays a single ``is None`` check per round.
+    """
+
+    __slots__ = ("bounds", "termination_level", "termination_reason",
+                 "pair_lookups", "pair_kernels", "cache_hits",
+                 "cache_misses", "_base")
+
+    def __init__(self) -> None:
+        self.bounds: list[BoundSample] = []
+        self.termination_level = -1
+        self.termination_reason = ""
+        self.pair_lookups = 0
+        self.pair_kernels = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._base: tuple[int, int, int, int] | None = None
+
+    def note_round(self, level: int, lower: float,
+                   kth: float | None) -> None:
+        """Record one termination check (``D−`` vs ``Dk+`` at a level)."""
+        self.bounds.append(BoundSample(level, lower, kth))
+
+    def note_termination(self, level: int, reason: str) -> None:
+        """Record where and why the search stopped."""
+        self.termination_level = level
+        self.termination_reason = reason
+
+    def arena_before(self, pair_lookups: int, pair_kernels: int,
+                     cache_hits: int, cache_misses: int) -> None:
+        """Snapshot the shared arena counters at query start."""
+        self._base = (pair_lookups, pair_kernels, cache_hits, cache_misses)
+
+    def arena_after(self, pair_lookups: int, pair_kernels: int,
+                    cache_hits: int, cache_misses: int) -> None:
+        """Attribute the arena counter deltas since :meth:`arena_before`."""
+        base = self._base or (0, 0, 0, 0)
+        self.pair_lookups = pair_lookups - base[0]
+        self.pair_kernels = pair_kernels - base[1]
+        self.cache_hits = cache_hits - base[2]
+        self.cache_misses = cache_misses - base[3]
+
+
+@dataclass(frozen=True)
+class QueryCostProfile:
+    """Deterministic per-query work attribution (EXPLAIN ANALYZE).
+
+    Assembled by :meth:`from_run` out of the query-private telemetry
+    scope and a :class:`CostProfileBuilder`.  All counters except
+    ``seconds`` are exact functions of (ontology, corpus, query, config)
+    — see the module docstring for the shared-arena caveat on the
+    ``pair_*``/``cache_*`` fields under concurrency.
+    """
+
+    algorithm: str
+    query_kind: str
+    k: int
+    path: str
+    """Settle path taken: ``"arena"`` (packed kernels) or ``"tuple"``."""
+    probes: int
+    """Inverted-index postings probes (one per BFS concept visited)."""
+    drc_calls: int
+    arena_calls: int
+    pair_lookups: int
+    pair_kernels: int
+    cache_hits: int
+    cache_misses: int
+    covered_shortcuts: int
+    candidates_created: int
+    candidates_pruned: int
+    candidates_settled: int
+    rounds: int
+    forced_rounds: int
+    termination_level: int
+    termination_reason: str
+    bounds: tuple[BoundSample, ...]
+    seconds: float
+    """Wall-clock time — informational, NOT part of the deterministic
+    signature."""
+
+    @property
+    def exact_distances(self) -> int:
+        """Exact distance computations, path-independent: the arena and
+        tuple paths settle the same candidates, one charges
+        ``arena_calls`` and the other ``drc_calls``."""
+        return self.drc_calls + self.arena_calls
+
+    @classmethod
+    def from_run(cls, stats: Any, builder: CostProfileBuilder, *,
+                 algorithm: str, query_kind: str, k: int,
+                 path: str) -> "QueryCostProfile":
+        """Assemble a profile from a telemetry-shaped object and the
+        builder the search loop filled.
+
+        ``stats`` is duck-typed (``QueryTelemetry`` or ``QueryStats`` —
+        anything carrying the telemetry field names).
+        """
+        return cls(
+            algorithm=algorithm,
+            query_kind=query_kind,
+            k=k,
+            path=path,
+            probes=int(stats.nodes_visited),
+            drc_calls=int(stats.drc_calls),
+            arena_calls=int(stats.arena_calls),
+            pair_lookups=builder.pair_lookups,
+            pair_kernels=builder.pair_kernels,
+            cache_hits=builder.cache_hits,
+            cache_misses=builder.cache_misses,
+            covered_shortcuts=int(stats.covered_shortcuts),
+            candidates_created=int(stats.docs_touched),
+            candidates_pruned=int(stats.docs_pruned),
+            candidates_settled=int(stats.docs_examined),
+            rounds=int(stats.bfs_levels),
+            forced_rounds=int(stats.forced_rounds),
+            termination_level=builder.termination_level,
+            termination_reason=builder.termination_reason,
+            bounds=tuple(builder.bounds),
+            seconds=float(stats.total_seconds),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready nested view (the HTTP ``cost_profile`` schema)."""
+        return {
+            "algorithm": self.algorithm,
+            "query_kind": self.query_kind,
+            "k": self.k,
+            "path": self.path,
+            "work": {
+                "probes": self.probes,
+                "drc_calls": self.drc_calls,
+                "arena_calls": self.arena_calls,
+                "exact_distances": self.exact_distances,
+                "pair_lookups": self.pair_lookups,
+                "pair_kernels": self.pair_kernels,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "covered_shortcuts": self.covered_shortcuts,
+            },
+            "candidates": {
+                "created": self.candidates_created,
+                "pruned": self.candidates_pruned,
+                "settled": self.candidates_settled,
+            },
+            "termination": {
+                "level": self.termination_level,
+                "reason": self.termination_reason,
+                "rounds": self.rounds,
+                "forced_rounds": self.forced_rounds,
+            },
+            "bounds": [sample.to_dict() for sample in self.bounds],
+            "seconds": self.seconds,
+        }
+
+    def deterministic_signature(self) -> dict[str, Any]:
+        """The path-independent, repeat-stable subset of the profile.
+
+        Equal across repeats of the same query *and* across the
+        arena/tuple settle paths (``use_arena`` on/off): excludes
+        ``seconds``, the path label, and the path-dependent split of
+        exact distance work (``drc_calls``/``arena_calls``,
+        ``pair_*``/``cache_*``), keeping their invariant sum.
+        """
+        return {
+            "query_kind": self.query_kind,
+            "k": self.k,
+            "probes": self.probes,
+            "exact_distances": self.exact_distances,
+            "covered_shortcuts": self.covered_shortcuts,
+            "candidates_created": self.candidates_created,
+            "candidates_pruned": self.candidates_pruned,
+            "candidates_settled": self.candidates_settled,
+            "rounds": self.rounds,
+            "forced_rounds": self.forced_rounds,
+            "termination_level": self.termination_level,
+            "termination_reason": self.termination_reason,
+            "bounds": tuple((s.level, s.lower, s.kth) for s in self.bounds),
+        }
+
+
+# ----------------------------------------------------------------------
+# Statistical (sampling) profiler
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """Point-in-time view of a :class:`StatisticalProfiler`."""
+
+    samples: int
+    """Sampling ticks taken (each tick walks every live thread)."""
+    overhead_seconds: float
+    """Wall-clock time the sampler itself spent walking frames."""
+    interval_seconds: float
+    running: bool
+    stacks: dict[str, int]
+    """Collapsed stack (``root;...;leaf``) -> times observed."""
+
+    def collapsed(self) -> list[str]:
+        """Flamegraph-ready lines: ``"stack count"``, sorted by stack.
+
+        Feed directly to ``flamegraph.pl`` / speedscope / inferno.
+        """
+        return [f"{stack} {count}"
+                for stack, count in sorted(self.stacks.items())]
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` most-sampled stacks, hottest first."""
+        ranked = sorted(self.stacks.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return ranked[:n]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (the ``/debug/profile`` response schema)."""
+        return {
+            "samples": self.samples,
+            "overhead_seconds": self.overhead_seconds,
+            "interval_seconds": self.interval_seconds,
+            "running": self.running,
+            "stacks": dict(sorted(self.stacks.items())),
+        }
+
+
+def _collapse(frame: FrameType | None, max_frames: int) -> str:
+    """One thread's stack as a root-first ``module:function`` chain."""
+    names: list[str] = []
+    while frame is not None and len(names) < max_frames:
+        code = frame.f_code
+        module = code.co_filename.rpartition("/")[2].removesuffix(".py")
+        names.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    names.reverse()
+    return ";".join(names)
+
+
+class StatisticalProfiler:
+    """Thread-based sampling profiler over ``sys._current_frames()``.
+
+    A daemon thread wakes every ``interval_seconds``, snapshots every
+    live thread's frame (except its own), collapses each stack to a
+    ``root;...;leaf`` line and counts it.  The cost per tick is a few
+    tens of microseconds per thread — at the default 10 ms interval the
+    steady-state overhead is well under 1% — and the sampler measures
+    itself: :attr:`overhead_seconds` is the cumulative time spent inside
+    the sampling loop body.
+
+    >>> profiler = StatisticalProfiler(interval_seconds=0.001)
+    >>> profiler.start(); profiler.running
+    True
+    >>> profiler.stop(); profiler.running
+    False
+    """
+
+    def __init__(self, interval_seconds: float = 0.01,
+                 max_frames: int = 64) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}")
+        if max_frames <= 0:
+            raise ValueError(f"max_frames must be > 0, got {max_frames}")
+        self.interval_seconds = interval_seconds
+        self.max_frames = max_frames
+        self._stacks: dict[str, int] = {}
+        self._samples = 0
+        self._overhead = 0.0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._registry: MetricsRegistry | None = None
+        self._published = (0, 0.0)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start sampling (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and wait for the thread to exit (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        self._publish()
+
+    def bind(self, registry: MetricsRegistry | None) -> None:
+        """Publish ``profiler.*`` counters into ``registry`` from now on.
+
+        Only deltas accumulated after the bind are folded in, so
+        re-pointing at a fresh registry (the bench harness does) never
+        double-counts.
+        """
+        with self._lock:
+            self._registry = registry
+            self._published = (self._samples, self._overhead)
+
+    # -- data -----------------------------------------------------------
+    def snapshot(self) -> ProfileSnapshot:
+        """Consistent copy of the aggregated stacks and meters.
+
+        Also folds the counter deltas into the bound registry (if any),
+        so scraping ``/metrics`` right after a snapshot sees fresh
+        ``profiler.samples`` / ``profiler.overhead_seconds`` values.
+        """
+        self._publish()
+        with self._lock:
+            return ProfileSnapshot(
+                samples=self._samples,
+                overhead_seconds=self._overhead,
+                interval_seconds=self.interval_seconds,
+                running=self.running,
+                stacks=dict(self._stacks),
+            )
+
+    def reset(self) -> None:
+        """Drop aggregated stacks and meters (keeps running state)."""
+        with self._lock:
+            self._stacks.clear()
+            self._samples = 0
+            self._overhead = 0.0
+            self._published = (0, 0.0)
+
+    # -- internals ------------------------------------------------------
+    def _loop(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.is_set():
+            begin = time.perf_counter()
+            frames = sys._current_frames()
+            with self._lock:
+                for thread_id, frame in frames.items():
+                    if thread_id == own:
+                        continue
+                    stack = _collapse(frame, self.max_frames)
+                    if stack:
+                        self._stacks[stack] = self._stacks.get(stack, 0) + 1
+                self._samples += 1
+                self._overhead += time.perf_counter() - begin
+            self._stop.wait(self.interval_seconds)
+
+    def _publish(self) -> None:
+        with self._lock:
+            registry = self._registry
+            if registry is None:
+                return
+            sample_delta = self._samples - self._published[0]
+            overhead_delta = self._overhead - self._published[1]
+            self._published = (self._samples, self._overhead)
+        if sample_delta:
+            registry.counter(
+                "profiler.samples",
+                "Sampling ticks taken by the statistical profiler",
+            ).inc(sample_delta)
+        if overhead_delta > 0:
+            registry.counter(
+                "profiler.overhead_seconds",
+                "Wall-clock time spent inside the profiler's sampling loop",
+            ).inc(overhead_delta)
+
+
+# ----------------------------------------------------------------------
+# Resource gauges
+# ----------------------------------------------------------------------
+class ResourceSampler:
+    """Periodic ``resource.*`` gauge publisher.
+
+    Suppliers are plain zero-argument callables registered under the
+    gauge name they feed; :meth:`sample_once` polls every supplier and
+    writes the values into the bound registry (a supplier that raises is
+    skipped for that round — a dying gauge must not take the sampler
+    down).  :meth:`start` runs ``sample_once`` on a daemon thread every
+    ``interval_seconds``; tests and ``/debug/vars`` call
+    :meth:`sample_once` directly for a deterministic refresh.
+    """
+
+    def __init__(self, interval_seconds: float = 5.0,
+                 registry: MetricsRegistry | None = None) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}")
+        self.interval_seconds = interval_seconds
+        self._registry = registry
+        self._sources: dict[str, tuple[str, Callable[[], float]]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def bind(self, registry: MetricsRegistry | None) -> None:
+        """Re-point gauge publication at ``registry``."""
+        with self._lock:
+            self._registry = registry
+
+    def add_source(self, name: str, supplier: Callable[[], float],
+                   help: str = "") -> None:
+        """Register (or replace) the supplier feeding gauge ``name``."""
+        with self._lock:
+            self._sources[name] = (help, supplier)
+
+    def add_gc_sources(self) -> None:
+        """Register the standard garbage-collector gauges.
+
+        Per-generation collection counts plus the number of objects
+        currently pending in the youngest-generation count window.
+        """
+        def _collections(generation: int) -> Callable[[], float]:
+            def read() -> float:
+                return float(gc.get_stats()[generation]["collections"])
+            return read
+
+        for generation in range(3):
+            self.add_source(
+                f"resource.gc_gen{generation}_collections",
+                _collections(generation),
+                f"GC collections of generation {generation}")
+        self.add_source(
+            "resource.gc_tracked_objects",
+            lambda: float(sum(gc.get_count())),
+            "Objects in the collector's per-generation count windows")
+
+    def sample_once(self) -> dict[str, float]:
+        """Poll every supplier, publish gauges, return the values."""
+        with self._lock:
+            sources = dict(self._sources)
+            registry = self._registry
+        values: dict[str, float] = {}
+        for name in sorted(sources):
+            help_text, supplier = sources[name]
+            try:
+                value = float(supplier())
+            except Exception:
+                continue
+            values[name] = value
+            if registry is not None:
+                registry.gauge(name, help_text).set(value)
+        return values
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the periodic sampling thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start periodic sampling (idempotent); samples immediately."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-sampler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop periodic sampling (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.sample_once()
+            self._stop.wait(self.interval_seconds)

@@ -42,6 +42,10 @@ class RequestRecord:
     wall_time: float = 0.0
     reasons: tuple[str, ...] = ()
     spans: list[dict[str, Any]] = field(default_factory=list)
+    cost_profile: dict[str, Any] | None = None
+    """The query's EXPLAIN ANALYZE dict when the request opted in
+    (``analyze=true``), so captured slow requests carry their own work
+    attribution next to the span tree."""
 
     def to_dict(self, *, include_spans: bool = True) -> dict[str, Any]:
         """JSON-ready view; ``include_spans=False`` for list endpoints."""
@@ -57,6 +61,8 @@ class RequestRecord:
             "wall_time": self.wall_time,
             "reasons": list(self.reasons),
         }
+        if self.cost_profile is not None:
+            row["cost_profile"] = self.cost_profile
         if include_spans:
             row["spans"] = self.spans
         else:

@@ -67,6 +67,19 @@ class ServeConfig:
         ``/debug/slo`` burn rates are measured against.
     slo_latency_objective_seconds:
         Per-request latency objective for the SLO accounting.
+    profiler_enabled:
+        Run the continuous sampling profiler
+        (:class:`repro.obs.profiling.StatisticalProfiler`) for the
+        service's lifetime; ``/debug/profile`` snapshots it.  Off by
+        default — on demand, ``/debug/profile?seconds=N`` runs a
+        bounded one-shot sample even when this is off.
+    profiler_interval_seconds:
+        Sampling period of the continuous profiler (default 10 ms).
+    resource_interval_seconds:
+        Period of the ``resource.*`` gauge sampler (arena bytes, cache
+        entries, queue depth, GC counts); 0 disables the background
+        thread while keeping the on-demand refresh that ``/debug/vars``
+        and ``/metrics`` scrapes trigger.
     """
 
     host: str = "127.0.0.1"
@@ -86,6 +99,9 @@ class ServeConfig:
     slow_threshold_seconds: float = 1.0
     slo_availability_target: float = 0.999
     slo_latency_objective_seconds: float = 0.5
+    profiler_enabled: bool = False
+    profiler_interval_seconds: float = 0.01
+    resource_interval_seconds: float = 5.0
 
     @property
     def max_inflight(self) -> int:
@@ -143,3 +159,11 @@ class ServeConfig:
             raise ServeError(
                 f"slo_latency_objective_seconds must be > 0, got "
                 f"{self.slo_latency_objective_seconds}")
+        if self.profiler_interval_seconds <= 0:
+            raise ServeError(
+                f"profiler_interval_seconds must be > 0, got "
+                f"{self.profiler_interval_seconds}")
+        if self.resource_interval_seconds < 0:
+            raise ServeError(
+                f"resource_interval_seconds must be >= 0, got "
+                f"{self.resource_interval_seconds}")

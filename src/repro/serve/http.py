@@ -17,7 +17,14 @@ endpoint                 method  body / behaviour
 ``/debug/requests``      GET     metadata ring of recent requests
 ``/debug/vars``          GET     metrics snapshot + tracer/recorder state
 ``/debug/slo``           GET     per-endpoint SLO + burn-rate snapshot
+``/debug/profile``       GET     sampling-profiler stacks (``?seconds=N``)
 =======================  ======  ===========================================
+
+The search endpoints accept an EXPLAIN ANALYZE opt-in — ``"analyze":
+true`` in the JSON body or ``?explain=analyze`` on the URL — which
+bypasses the result cache and attaches the query's deterministic
+:class:`~repro.obs.profiling.QueryCostProfile` to the response (and to
+the flight-recorder record when the request is captured).
 
 Overload semantics (see ``docs/SERVING.md``): admission-control refusals
 map to **429** with a ``Retry-After`` header, drain refusals to **503**,
@@ -56,6 +63,7 @@ from repro.exceptions import (CorpusError, QueryTimeoutError, ReproError,
                               ServeError, ServiceClosedError,
                               ServiceOverloadedError, UnknownDocumentError)
 from repro.obs.logging import get_logger, log_context
+from repro.obs.profiling import StatisticalProfiler
 from repro.obs.recorder import RequestRecord
 from repro.obs.tracing import (SpanContext, TRACEPARENT_HEADER, Tracer,
                                parse_traceparent)
@@ -67,6 +75,7 @@ _ACCESS = get_logger("serve.access")
 _MAX_HEADERS = 100
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any sane query
 _MAX_BATCH = 64  # queries per /search/rds:batch request (one admission slot)
+_MAX_PROFILE_SECONDS = 30.0  # /debug/profile?seconds=N one-shot ceiling
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -248,7 +257,8 @@ class QueryServer:
             path=request.path, status=response.status, seconds=seconds,
             trace_id=context.trace_id_hex if context else None,
             sampled=context.sampled if context else False,
-            cached=cached)
+            cached=cached,
+            cost_profile=request.meta.get("cost_profile"))
         spans = None
         if context is not None and context.sampled:
             trace_id = context.trace_id
@@ -313,7 +323,12 @@ class QueryServer:
         return _json_response(503 if draining else 200, payload)
 
     async def _handle_metrics(self, request: "_Request") -> _Response:
-        """``GET /metrics`` — the registry in Prometheus text format."""
+        """``GET /metrics`` — the registry in Prometheus text format.
+
+        Refreshes the ``resource.*`` gauges first so every scrape sees
+        current values even when the background sampler is disabled.
+        """
+        self.service.resources.sample_once()
         text = self.service.obs.metrics.to_prometheus()
         return _Response(200, text.encode("utf-8"),
                          content_type="text/plain; version=0.0.4")
@@ -323,11 +338,15 @@ class QueryServer:
         payload = request.json()
         concepts = _require_concepts(payload)
         k, algorithm, deadline = _common_params(payload)
+        analyze = _analyze_flag(request, payload)
         result = await self.service.rds_async(
-            concepts, k, algorithm=algorithm, deadline=deadline)
+            concepts, k, algorithm=algorithm, deadline=deadline,
+            analyze=analyze)
         request.meta["cached"] = result.cached
-        return _json_response(200, _render_result("rds", result,
-                                                  k, algorithm))
+        rendered = _render_result("rds", result, k, algorithm)
+        if "cost_profile" in rendered:
+            request.meta["cost_profile"] = rendered["cost_profile"]
+        return _json_response(200, rendered)
 
     async def _handle_rds_batch(self, request: "_Request") -> _Response:
         """``POST /search/rds:batch`` — many RDS queries, one request.
@@ -339,8 +358,10 @@ class QueryServer:
         payload = request.json()
         queries = _require_queries(payload)
         k, algorithm, deadline = _common_params(payload)
+        analyze = _analyze_flag(request, payload)
         results = await self.service.rds_many_async(
-            queries, k, algorithm=algorithm, deadline=deadline)
+            queries, k, algorithm=algorithm, deadline=deadline,
+            analyze=analyze)
         request.meta["cached"] = all(result.cached for result in results)
         return _json_response(200, {
             "kind": "rds:batch",
@@ -360,11 +381,15 @@ class QueryServer:
             query = _require_str(payload, "doc_id")
         else:
             query = _require_concepts(payload)
+        analyze = _analyze_flag(request, payload)
         result = await self.service.sds_async(
-            query, k, algorithm=algorithm, deadline=deadline)
+            query, k, algorithm=algorithm, deadline=deadline,
+            analyze=analyze)
         request.meta["cached"] = result.cached
-        return _json_response(200, _render_result("sds", result,
-                                                  k, algorithm))
+        rendered = _render_result("sds", result, k, algorithm)
+        if "cost_profile" in rendered:
+            request.meta["cost_profile"] = rendered["cost_profile"]
+        return _json_response(200, rendered)
 
     async def _handle_explain(self, request: "_Request") -> _Response:
         """``POST /explain`` — human-readable distance decomposition."""
@@ -408,6 +433,7 @@ class QueryServer:
 
     async def _handle_debug_vars(self, request: "_Request") -> _Response:
         """``GET /debug/vars`` — metrics snapshot + tracing internals."""
+        resources = self.service.resources.sample_once()
         tracer = self.service.obs.tracer
         tracer_stats = None
         if isinstance(tracer, Tracer):
@@ -425,6 +451,7 @@ class QueryServer:
             "cache_entries": len(self.service.cache),
             "tracer": tracer_stats,
             "recorder": self.service.recorder.snapshot(),
+            "resources": resources,
             "metrics": self.service.obs.metrics.snapshot(),
         }
         return _json_response(200, payload)
@@ -432,6 +459,43 @@ class QueryServer:
     async def _handle_debug_slo(self, request: "_Request") -> _Response:
         """``GET /debug/slo`` — objectives, burn rates, per-endpoint."""
         return _json_response(200, self.service.slo.snapshot())
+
+    async def _handle_debug_profile(self, request: "_Request") -> _Response:
+        """``GET /debug/profile[?seconds=N]`` — collapsed-stack samples.
+
+        With the continuous profiler running (``profiler_enabled``), no
+        ``seconds``: an instant snapshot of everything sampled so far.
+        With ``seconds=N`` (capped at 30): waits N seconds first — a
+        windowed look at a running profiler, or a bounded one-shot
+        sample on a temporary profiler when the continuous one is off
+        (so the endpoint always works, it just costs the wait).
+        """
+        profiler = self.service.profiler
+        seconds_text = request.query.get("seconds")
+        seconds: float | None = None
+        if seconds_text is not None:
+            try:
+                seconds = float(seconds_text)
+            except ValueError:
+                raise _BadRequest(
+                    f"invalid 'seconds': {seconds_text!r}") from None
+            if not 0.0 < seconds <= _MAX_PROFILE_SECONDS:
+                raise _BadRequest(
+                    f"'seconds' must be in (0, {_MAX_PROFILE_SECONDS:g}], "
+                    f"got {seconds:g}")
+        if profiler.running:
+            if seconds is not None:
+                await asyncio.sleep(seconds)
+            return _json_response(200, profiler.snapshot().to_dict())
+        one_shot = StatisticalProfiler(
+            interval_seconds=self.service.config.profiler_interval_seconds)
+        one_shot.bind(self.service.obs.metrics)
+        one_shot.start()
+        try:
+            await asyncio.sleep(seconds if seconds is not None else 1.0)
+        finally:
+            one_shot.stop()
+        return _json_response(200, one_shot.snapshot().to_dict())
 
 
 _ROUTES: dict[str, tuple[str, str]] = {
@@ -445,13 +509,14 @@ _ROUTES: dict[str, tuple[str, str]] = {
     "/debug/requests": ("GET", "_handle_debug_requests"),
     "/debug/vars": ("GET", "_handle_debug_vars"),
     "/debug/slo": ("GET", "_handle_debug_slo"),
+    "/debug/profile": ("GET", "_handle_debug_profile"),
 }
 
 
 def _render_result(kind: str, result: ServeResult, k: int,
                    algorithm: str) -> dict[str, Any]:
     stats = result.results.stats
-    return {
+    rendered: dict[str, Any] = {
         "kind": kind,
         "k": k,
         "algorithm": algorithm,
@@ -465,6 +530,10 @@ def _render_result(kind: str, result: ServeResult, k: int,
             "total_seconds": stats.total_seconds,
         },
     }
+    profile = result.results.cost_profile
+    if profile is not None:
+        rendered["cost_profile"] = profile.to_dict()
+    return rendered
 
 
 def _format_retry(seconds: float) -> str:
@@ -479,8 +548,8 @@ class _Request:
     """One parsed HTTP request (method, path, query, headers, body).
 
     ``meta`` is a scratch dict handlers use to surface per-request facts
-    (today: ``cached``) to the dispatch wrapper for the access log and
-    the flight recorder.
+    (today: ``cached`` and ``cost_profile``) to the dispatch wrapper for
+    the access log and the flight recorder.
     """
 
     __slots__ = ("method", "path", "query", "headers", "body", "meta")
@@ -572,6 +641,16 @@ def _require_str(payload: dict[str, Any], key: str) -> str:
     value = payload.get(key)
     if not isinstance(value, str) or not value:
         raise _BadRequest(f"'{key}' must be a non-empty string")
+    return value
+
+
+def _analyze_flag(request: _Request, payload: dict[str, Any]) -> bool:
+    """The EXPLAIN ANALYZE opt-in: body flag or ``?explain=analyze``."""
+    if request.query.get("explain") == "analyze":
+        return True
+    value = payload.get("analyze", False)
+    if not isinstance(value, bool):
+        raise _BadRequest("'analyze' must be a boolean")
     return value
 
 

@@ -41,7 +41,8 @@ from repro.core.results import RankedResults
 from repro.exceptions import QueryError, QueryTimeoutError, ServeError
 from repro.obs import Observability
 from repro.obs.logging import get_logger
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, WORK_BUCKETS
+from repro.obs.profiling import ResourceSampler, StatisticalProfiler
 from repro.obs.recorder import FlightRecorder
 from repro.obs.slo import SLOTracker
 from repro.obs.tracing import Tracer
@@ -56,6 +57,12 @@ if TYPE_CHECKING:
 _LOG = get_logger("serve")
 
 _KINDS = ("rds", "sds")
+
+_DISTANCE_CACHE_ENTRY_BYTES = 256
+"""Approximate per-entry footprint of the concept-distance cache: one
+OrderedDict slot plus a 2-int key tuple and a small-int value.  Used for
+the ``resource.distance_cache_bytes`` gauge — an order-of-magnitude
+figure, not an exact accounting."""
 
 
 @dataclass(frozen=True)
@@ -151,8 +158,17 @@ class QueryService:
             max_workers=self.config.workers,
             thread_name_prefix="repro-serve")
         self._closed = False
+        self.profiler = StatisticalProfiler(
+            interval_seconds=self.config.profiler_interval_seconds)
+        self.resources = ResourceSampler(
+            interval_seconds=self.config.resource_interval_seconds or 5.0)
+        self._register_resources()
         self._wire(obs)
         engine.instrument(obs)
+        if self.config.profiler_enabled:
+            self.profiler.start()
+        if self.config.resource_interval_seconds > 0:
+            self.resources.start()
 
     # ------------------------------------------------------------------
     # Observability wiring
@@ -175,6 +191,36 @@ class QueryService:
             "serve.inflight", "Requests currently admitted")
         self._request_seconds = registry.histogram(
             "serve.request_seconds", "End-to-end served request latency")
+        self._analyzed = registry.counter(
+            "serve.analyzed", "Queries served with explain-analyze on")
+        # Per-endpoint work-per-query rollups: every *computed* (non-
+        # cached) query feeds its deterministic work counters here, so
+        # dashboards can spot pruning regressions without per-request
+        # explain-analyze.
+        self._work_hists = {
+            kind: {
+                "probes": registry.histogram(
+                    f"serve.{kind}.probes_per_query",
+                    "Inverted-index postings probes per computed query",
+                    buckets=WORK_BUCKETS),
+                "distances": registry.histogram(
+                    f"serve.{kind}.distances_per_query",
+                    "Exact distance computations per computed query "
+                    "(arena kernels + DRC probes)",
+                    buckets=WORK_BUCKETS),
+                "settled": registry.histogram(
+                    f"serve.{kind}.settled_per_query",
+                    "Candidates settled per computed query",
+                    buckets=WORK_BUCKETS),
+                "pruned": registry.histogram(
+                    f"serve.{kind}.pruned_per_query",
+                    "Candidates pruned per computed query",
+                    buckets=WORK_BUCKETS),
+            }
+            for kind in _KINDS
+        }
+        self.profiler.bind(registry)
+        self.resources.bind(registry)
 
     def instrument(self, obs: Observability | None) -> None:
         """Re-point serving metrics (and the engine) at ``obs``.
@@ -188,48 +234,112 @@ class QueryService:
         self._wire(target)
         self.engine.instrument(target)
 
+    def _register_resources(self) -> None:
+        """Register the standard ``resource.*`` gauge suppliers.
+
+        Polled by the background sampler (``resource_interval_seconds``)
+        and on demand by ``/debug/vars``; each supplier is a cheap O(1)
+        read so a poll never contends with the query path.
+        """
+        engine = self.engine
+        sampler = self.resources
+        sampler.add_source(
+            "resource.arena_bytes",
+            lambda: float(engine.arena.buffer_bytes()),
+            "Bytes held by the packed Dewey arena buffers")
+        sampler.add_source(
+            "resource.distance_cache_entries",
+            lambda: float(len(engine.arena.cache)),
+            "Entries in the shared concept-distance cache")
+        sampler.add_source(
+            "resource.distance_cache_bytes",
+            lambda: float(
+                len(engine.arena.cache) * _DISTANCE_CACHE_ENTRY_BYTES),
+            "Approximate bytes held by the concept-distance cache")
+        sampler.add_source(
+            "resource.serve_cache_entries",
+            lambda: float(len(self.cache)),
+            "Entries in the serve result cache")
+        sampler.add_source(
+            "resource.worker_queue_depth", self._queue_depth,
+            "Queries queued for the worker pool, not yet running")
+        sampler.add_gc_sources()
+
+    def _queue_depth(self) -> float:
+        """Depth of the executor's internal work queue (best effort)."""
+        queue = getattr(self._executor, "_work_queue", None)
+        return float(queue.qsize()) if queue is not None else 0.0
+
+    def _observe_work(self, kind: str, results: RankedResults) -> None:
+        """Feed one computed query's work counters into the per-endpoint
+        histograms (cache hits never land here — no work was done)."""
+        hists = self._work_hists.get(kind)
+        if hists is None:
+            return
+        stats = results.stats
+        hists["probes"].observe(float(stats.nodes_visited))
+        hists["distances"].observe(
+            float(stats.drc_calls + stats.arena_calls))
+        hists["settled"].observe(float(stats.docs_examined))
+        hists["pruned"].observe(float(stats.docs_pruned))
+
     # ------------------------------------------------------------------
     # Public query API (sync and async flavours)
     # ------------------------------------------------------------------
     def rds(self, concepts: Sequence[ConceptId], k: int = 10, *,
             algorithm: str = "knds",
-            deadline: float | None = None) -> ServeResult:
-        """Serve one Relevant Document Search (cache-aware, bounded)."""
-        pending = self._begin("rds", concepts, k, algorithm, deadline)
+            deadline: float | None = None,
+            analyze: bool = False) -> ServeResult:
+        """Serve one Relevant Document Search (cache-aware, bounded).
+
+        ``analyze=True`` turns the query into an EXPLAIN ANALYZE run:
+        the result carries a per-query cost profile
+        (``ServeResult.results.cost_profile``), and the request bypasses
+        the result cache both ways — the profile must describe *this*
+        execution, and a profiled answer must not displace or pollute
+        regular cached entries.
+        """
+        pending = self._begin("rds", concepts, k, algorithm, deadline,
+                              analyze)
         return pending.wait()
 
     def sds(self, query: str | Sequence[ConceptId], k: int = 10, *,
             algorithm: str = "knds",
-            deadline: float | None = None) -> ServeResult:
+            deadline: float | None = None,
+            analyze: bool = False) -> ServeResult:
         """Serve one Similar Document Search.
 
         ``query`` is a doc id from the collection or a bare concept
         sequence; either way the cache key is the document's *concept
         set*, so an SDS by id and an SDS by that document's concepts
-        share one entry.
+        share one entry.  ``analyze=True`` as in :meth:`rds`.
         """
         pending = self._begin("sds", self._sds_concepts(query), k,
-                              algorithm, deadline)
+                              algorithm, deadline, analyze)
         return pending.wait()
 
     async def rds_async(self, concepts: Sequence[ConceptId], k: int = 10,
                         *, algorithm: str = "knds",
-                        deadline: float | None = None) -> ServeResult:
+                        deadline: float | None = None,
+                        analyze: bool = False) -> ServeResult:
         """Asyncio flavour of :meth:`rds` (same semantics, no blocking)."""
-        pending = self._begin("rds", concepts, k, algorithm, deadline)
+        pending = self._begin("rds", concepts, k, algorithm, deadline,
+                              analyze)
         return await pending.wait_async()
 
     async def sds_async(self, query: str | Sequence[ConceptId],
                         k: int = 10, *, algorithm: str = "knds",
-                        deadline: float | None = None) -> ServeResult:
+                        deadline: float | None = None,
+                        analyze: bool = False) -> ServeResult:
         """Asyncio flavour of :meth:`sds` (same semantics, no blocking)."""
         pending = self._begin("sds", self._sds_concepts(query), k,
-                              algorithm, deadline)
+                              algorithm, deadline, analyze)
         return await pending.wait_async()
 
     def rds_many(self, queries: Sequence[Sequence[ConceptId]],
                  k: int = 10, *, algorithm: str = "knds",
-                 deadline: float | None = None) -> list[ServeResult]:
+                 deadline: float | None = None,
+                 analyze: bool = False) -> list[ServeResult]:
         """Serve a batch of RDS queries under one admission slot.
 
         Each query is cache-checked individually (hits never touch the
@@ -238,17 +348,23 @@ class QueryService:
         :meth:`repro.core.engine.SearchEngine.rds_many` call on one
         worker, amortizing arena interning and the shared distance cache
         across the batch.  Results come back in request order; the
-        whole batch shares one ``deadline``.
+        whole batch shares one ``deadline``.  ``analyze=True`` profiles
+        every query in the batch and bypasses the cache (see
+        :meth:`rds`); duplicates within the batch are still computed
+        (and profiled) once.
         """
-        pending = self._begin_batch(queries, k, algorithm, deadline)
+        pending = self._begin_batch(queries, k, algorithm, deadline,
+                                    analyze)
         return pending.wait()
 
     async def rds_many_async(self, queries: Sequence[Sequence[ConceptId]],
                              k: int = 10, *, algorithm: str = "knds",
-                             deadline: float | None = None
+                             deadline: float | None = None,
+                             analyze: bool = False
                              ) -> list[ServeResult]:
         """Asyncio flavour of :meth:`rds_many` (same semantics)."""
-        pending = self._begin_batch(queries, k, algorithm, deadline)
+        pending = self._begin_batch(queries, k, algorithm, deadline,
+                                    analyze)
         return await pending.wait_async()
 
     def explain(self, doc_id: str, concepts: Sequence[ConceptId], *,
@@ -322,6 +438,8 @@ class QueryService:
         self.begin_drain()
         idle = self.admission.wait_idle(timeout)
         self._executor.shutdown(wait=False, cancel_futures=True)
+        self.profiler.stop()
+        self.resources.stop()
         _LOG.info("service closed", extra={"drained": idle})
         return idle
 
@@ -377,8 +495,16 @@ class QueryService:
             self.obs.tracer.record("serve.request", start, end, kind=kind)
 
     def _begin(self, kind: str, concepts: Sequence[ConceptId], k: int,
-               algorithm: str, deadline: float | None) -> "_PendingQuery":
-        """Admission + cache lookup; returns a waitable pending query."""
+               algorithm: str, deadline: float | None,
+               analyze: bool = False) -> "_PendingQuery":
+        """Admission + cache lookup; returns a waitable pending query.
+
+        ``analyze`` requests skip the cache in both directions: the
+        profile must describe this execution (a cached answer has none),
+        and the profiled run must not overwrite a regular entry.  They
+        count into ``serve.analyzed`` instead of the cache hit/miss
+        counters, keeping those series meaningful as cache telemetry.
+        """
         if kind not in _KINDS:
             raise QueryError(f"unknown query kind: {kind!r}")
         timeout = self._timeout(deadline)
@@ -388,19 +514,25 @@ class QueryService:
         # (a copied context) parents serve.execute underneath it.
         span = self.obs.tracer.span("serve.request", kind=kind).__enter__()
         try:
-            key = self._key(kind, concepts, k, algorithm)
             epoch = self.engine.epoch
-            hit = self.cache.get(key, epoch)
-            if hit is not None:
-                self._cache_hits.inc()
-                span.set_attribute("cached", True)
-                return _PendingQuery(
-                    self, kind, start, timeout, span=span,
-                    hit=ServeResult(hit, True, epoch))
-            self._cache_misses.inc()
+            key: CacheKey | None = None
+            if analyze:
+                self._analyzed.inc()
+                span.set_attribute("analyze", True)
+            else:
+                key = self._key(kind, concepts, k, algorithm)
+                hit = self.cache.get(key, epoch)
+                if hit is not None:
+                    self._cache_hits.inc()
+                    span.set_attribute("cached", True)
+                    return _PendingQuery(
+                        self, kind, start, timeout, span=span,
+                        hit=ServeResult(hit, True, epoch))
+                self._cache_misses.inc()
             span.set_attribute("cached", False)
             future = self._submit(
-                self._execute, kind, tuple(concepts), k, algorithm)
+                self._execute, kind, tuple(concepts), k, algorithm,
+                analyze)
             return _PendingQuery(self, kind, start, timeout, span=span,
                                  key=key, epoch=epoch, future=future)
         except BaseException:
@@ -424,22 +556,27 @@ class QueryService:
         return normalize_key(kind, concepts, k, algorithm)
 
     def _execute(self, kind: str, concepts: tuple[ConceptId, ...],
-                 k: int, algorithm: str) -> RankedResults:
+                 k: int, algorithm: str,
+                 analyze: bool = False) -> RankedResults:
         """Run the actual engine query (on a worker thread)."""
         with self.obs.tracer.span("serve.execute", kind=kind,
                                   algorithm=algorithm):
             if kind == "rds":
                 return self.engine.rds(list(concepts), k,
-                                       algorithm=algorithm)
-            return self.engine.sds(list(concepts), k, algorithm=algorithm)
+                                       algorithm=algorithm,
+                                       analyze=analyze)
+            return self.engine.sds(list(concepts), k, algorithm=algorithm,
+                                   analyze=analyze)
 
     def _execute_many(self, queries: list[tuple[ConceptId, ...]], k: int,
-                      algorithm: str) -> list[RankedResults]:
+                      algorithm: str,
+                      analyze: bool = False) -> list[RankedResults]:
         """Run the batch miss list (on a worker thread)."""
         with self.obs.tracer.span("serve.execute", kind="rds:batch",
                                   algorithm=algorithm,
                                   queries=len(queries)):
-            return self.engine.rds_many(queries, k, algorithm=algorithm)
+            return self.engine.rds_many(queries, k, algorithm=algorithm,
+                                        analyze=analyze)
 
     def _execute_explain(self, doc_id: str,
                          concepts: list[ConceptId]) -> str:
@@ -448,9 +585,15 @@ class QueryService:
             return self.engine.explain(doc_id, concepts)
 
     def _begin_batch(self, queries: Sequence[Sequence[ConceptId]], k: int,
-                     algorithm: str,
-                     deadline: float | None) -> "_PendingBatch":
-        """Admission + per-query cache pass; returns a waitable batch."""
+                     algorithm: str, deadline: float | None,
+                     analyze: bool = False) -> "_PendingBatch":
+        """Admission + per-query cache pass; returns a waitable batch.
+
+        With ``analyze`` every query is treated as a miss (no cache get)
+        and nothing is written back afterwards — the cache key is still
+        computed so duplicate queries inside the batch are profiled
+        once and share the result.
+        """
         if not queries:
             raise QueryError("batch must contain at least one query")
         timeout = self._timeout(deadline)
@@ -460,6 +603,9 @@ class QueryService:
             queries=len(queries)).__enter__()
         try:
             self._batch_queries.inc(len(queries))
+            if analyze:
+                self._analyzed.inc(len(queries))
+                span.set_attribute("analyze", True)
             epoch = self.engine.epoch
             slots: list[ServeResult | int] = []
             miss_keys: list[CacheKey] = []
@@ -467,23 +613,26 @@ class QueryService:
             position: dict[CacheKey, int] = {}
             for concepts in queries:
                 key = self._key("rds", concepts, k, algorithm)
-                hit = self.cache.get(key, epoch)
-                if hit is not None:
-                    self._cache_hits.inc()
-                    slots.append(ServeResult(hit, True, epoch))
-                    continue
-                self._cache_misses.inc()
+                if not analyze:
+                    hit = self.cache.get(key, epoch)
+                    if hit is not None:
+                        self._cache_hits.inc()
+                        slots.append(ServeResult(hit, True, epoch))
+                        continue
+                    self._cache_misses.inc()
                 index = position.get(key)
                 if index is None:
                     index = len(miss_queries)
                     position[key] = index
-                    miss_keys.append(key)
+                    if not analyze:
+                        miss_keys.append(key)
                     miss_queries.append(tuple(concepts))
                 slots.append(index)
             future: "Future[list[RankedResults]] | None" = None
             if miss_queries:
                 future = self._submit(
-                    self._execute_many, miss_queries, k, algorithm)
+                    self._execute_many, miss_queries, k, algorithm,
+                    analyze)
             return _PendingBatch(self, start, timeout, slots, miss_keys,
                                  epoch, future, span=span)
         except BaseException:
@@ -563,8 +712,11 @@ class _PendingQuery:
             self._service._finish(self._start, self._kind, self._span)
 
     def _store(self, results: RankedResults) -> ServeResult:
+        # Analyze requests carry no key: their results stay out of the
+        # cache (see QueryService._begin) but still feed the rollups.
         if self._key is not None:
             self._service.cache.put(self._key, self._epoch, results)
+        self._service._observe_work(self._kind, results)
         return ServeResult(results, False, self._epoch)
 
 
@@ -631,6 +783,8 @@ class _PendingBatch:
         cache = self._service.cache
         for key, ranked in zip(self._keys, results):
             cache.put(key, self._epoch, ranked)
+        for ranked in results:
+            self._service._observe_work("rds", ranked)
         ordered: list[ServeResult] = []
         for slot in self._slots:
             if isinstance(slot, int):

@@ -352,6 +352,41 @@ class TestObsLayerNaming:
             select=("RPR010",))
         assert findings == []
 
+    def test_flags_unregistered_layer(self):
+        # A typo'd layer prefix mints a phantom metric family that no
+        # rollup or dashboard reads — must be flagged.
+        findings = _lint(
+            """
+            def f(registry) -> None:
+                registry.counter("profilr.samples", "help")
+            """,
+            select=("RPR010",))
+        assert len(findings) == 1
+        assert "unregistered" in findings[0].message
+        assert "profilr" in findings[0].message
+
+    def test_profiler_and_resource_layers_pass(self):
+        findings = _lint(
+            """
+            def f(registry) -> None:
+                registry.counter("profiler.samples", "help")
+                registry.counter("profiler.overhead_seconds", "help")
+                registry.gauge("resource.arena_bytes", "help")
+                registry.gauge("resource.gc_tracked_objects", "help")
+            """,
+            select=("RPR010",))
+        assert findings == []
+
+    def test_all_registered_layers_pass(self):
+        from repro.analysis.checkers.obsnames import _KNOWN_LAYERS
+        calls = "\n".join(
+            f'    registry.counter("{layer}.op", "help")'
+            for layer in sorted(_KNOWN_LAYERS))
+        findings = _lint(
+            "def f(registry) -> None:\n" + calls + "\n",
+            select=("RPR010",))
+        assert findings == []
+
     def test_regex_match_span_does_not_fire(self):
         findings = _lint(
             """

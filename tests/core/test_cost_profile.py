@@ -1,0 +1,142 @@
+"""EXPLAIN ANALYZE cost profiles: presence, schema, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.explain import render_cost_profile
+
+
+@pytest.fixture()
+def engine(figure3, example4):
+    engine = SearchEngine(figure3, example4)
+    yield engine
+    engine.close()
+
+
+class TestOptIn:
+    def test_no_profile_without_analyze(self, engine):
+        results = engine.rds(["F", "I"], k=2)
+        assert results.cost_profile is None
+
+    def test_rds_profile_populated(self, engine):
+        results = engine.rds(["F", "I"], k=2, analyze=True)
+        profile = results.cost_profile
+        assert profile is not None
+        assert profile.algorithm == "knds"
+        assert profile.query_kind == "rds"
+        assert profile.k == 2
+        assert profile.probes > 0
+        assert profile.candidates_settled >= 2
+        assert profile.termination_reason in ("converged", "exhausted")
+        assert profile.termination_level >= 0
+        assert len(profile.bounds) == profile.rounds
+
+    def test_sds_profile_populated(self, engine):
+        results = engine.sds("d1", k=2, analyze=True)
+        profile = results.cost_profile
+        assert profile is not None
+        assert profile.query_kind == "sds"
+
+    def test_analyze_does_not_change_results(self, engine):
+        plain = engine.rds(["F", "I"], k=2)
+        analyzed = engine.rds(["F", "I"], k=2, analyze=True)
+        assert analyzed.doc_ids() == plain.doc_ids()
+        assert [item.distance for item in analyzed] \
+            == [item.distance for item in plain]
+
+    def test_non_knds_algorithms_carry_no_profile(self, engine):
+        for algorithm in ("fullscan", "ta"):
+            results = engine.rds(["F", "I"], k=2, algorithm=algorithm,
+                                 analyze=True)
+            assert results.cost_profile is None
+
+    def test_batch_analyze(self, engine):
+        batch = engine.rds_many([["F", "I"], ["C"]], k=2, analyze=True)
+        assert all(r.cost_profile is not None for r in batch)
+
+
+class TestSchema:
+    def test_to_dict_shape(self, engine):
+        profile = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        row = profile.to_dict()
+        assert set(row) == {"algorithm", "query_kind", "k", "path",
+                            "work", "candidates", "termination",
+                            "bounds", "seconds"}
+        assert set(row["work"]) == {
+            "probes", "drc_calls", "arena_calls", "exact_distances",
+            "pair_lookups", "pair_kernels", "cache_hits",
+            "cache_misses", "covered_shortcuts"}
+        assert set(row["candidates"]) == {"created", "pruned", "settled"}
+        assert set(row["termination"]) == {"level", "reason", "rounds",
+                                           "forced_rounds"}
+        for sample in row["bounds"]:
+            assert set(sample) == {"level", "lower", "kth", "gap"}
+
+    def test_bounds_trajectory_monotone_lower(self, engine):
+        profile = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        lowers = [sample.lower for sample in profile.bounds]
+        assert lowers == sorted(lowers)
+
+    def test_converged_means_lower_meets_kth(self, engine):
+        profile = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        assert profile.termination_reason == "converged"
+        final = profile.bounds[-1]
+        assert final.kth is not None
+        assert final.lower >= final.kth
+        assert final.gap <= 0
+
+    def test_render_cost_profile(self, engine):
+        profile = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        text = render_cost_profile(profile)
+        assert "cost profile (knds rds, k=2" in text
+        assert "terminated: converged" in text
+        assert "D-" in text and "Dk+" in text
+
+
+class TestDeterminism:
+    def test_identical_profile_across_repeats(self, engine):
+        first = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        second = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        assert first.deterministic_signature() \
+            == second.deterministic_signature()
+
+    def test_identical_signature_across_settle_paths(self, figure3,
+                                                     example4):
+        signatures = []
+        for use_arena in (True, False):
+            engine = SearchEngine(figure3, example4)
+            try:
+                profile = engine.rds(
+                    ["F", "I"], k=2, analyze=True,
+                    use_arena=use_arena).cost_profile
+                assert profile.path == ("arena" if use_arena else "tuple")
+                signatures.append(profile.deterministic_signature())
+            finally:
+                engine.close()
+        assert signatures[0] == signatures[1]
+
+    def test_exact_distances_path_independent(self, figure3, example4):
+        totals = []
+        for use_arena in (True, False):
+            engine = SearchEngine(figure3, example4)
+            try:
+                profile = engine.sds(
+                    "d1", k=3, analyze=True,
+                    use_arena=use_arena).cost_profile
+                totals.append(profile.exact_distances)
+                # The split is path-dependent, the sum is not.
+                if use_arena:
+                    assert profile.drc_calls == 0
+                else:
+                    assert profile.arena_calls == 0
+            finally:
+                engine.close()
+        assert totals[0] == totals[1]
+
+    def test_signature_excludes_seconds(self, engine):
+        profile = engine.rds(["F", "I"], k=2, analyze=True).cost_profile
+        signature = profile.deterministic_signature()
+        assert "seconds" not in signature
+        assert "path" not in signature

@@ -246,3 +246,136 @@ class TestShutdown:
         handle = ServerHandle.start(service, port=0)
         handle.stop()
         handle.stop()
+
+
+class TestExplainAnalyze:
+    def test_rds_analyze_returns_cost_profile(self, server):
+        status, _, body = request(
+            server, "POST", "/search/rds",
+            {"concepts": ["F", "I"], "k": 2, "analyze": True})
+        assert status == 200
+        profile = body["cost_profile"]
+        assert profile["algorithm"] == "knds"
+        assert profile["work"]["probes"] > 0
+        assert profile["work"]["cache_hits"] >= 0
+        assert profile["candidates"]["settled"] >= 2
+        assert profile["candidates"]["pruned"] >= 0
+        assert profile["termination"]["reason"] in ("converged",
+                                                    "exhausted")
+        assert profile["termination"]["level"] >= 0
+        assert profile["bounds"]
+        final = profile["bounds"][-1]
+        assert {"level", "lower", "kth", "gap"} <= set(final)
+
+    def test_query_param_opt_in(self, server):
+        status, _, body = request(
+            server, "POST", "/search/rds?explain=analyze",
+            {"concepts": ["F", "I"], "k": 2})
+        assert status == 200
+        assert "cost_profile" in body
+
+    def test_analyze_bypasses_cache(self, server):
+        payload = {"concepts": ["C"], "k": 2, "analyze": True}
+        for _ in range(2):
+            status, _, body = request(server, "POST", "/search/rds",
+                                      payload)
+            assert status == 200
+            assert body["cached"] is False
+            assert "cost_profile" in body
+        # ...and never pollutes the cache for plain requests either.
+        status, _, body = request(server, "POST", "/search/rds",
+                                  {"concepts": ["C"], "k": 2})
+        assert body["cached"] is False
+        assert "cost_profile" not in body
+
+    def test_plain_request_has_no_profile(self, server):
+        status, _, body = request(server, "POST", "/search/rds",
+                                  {"concepts": ["F", "I"], "k": 2})
+        assert status == 200
+        assert "cost_profile" not in body
+
+    def test_sds_analyze(self, server):
+        status, _, body = request(
+            server, "POST", "/search/sds",
+            {"doc_id": "d1", "k": 2, "analyze": True})
+        assert status == 200
+        assert body["cost_profile"]["query_kind"] == "sds"
+
+    def test_batch_analyze_profiles_every_query(self, server):
+        status, _, body = request(
+            server, "POST", "/search/rds:batch",
+            {"queries": [["F", "I"], ["C"]], "k": 2, "analyze": True})
+        assert status == 200
+        assert all("cost_profile" in row for row in body["results"])
+
+    def test_non_boolean_analyze_is_400(self, server):
+        status, _, body = request(
+            server, "POST", "/search/rds",
+            {"concepts": ["F"], "k": 2, "analyze": "yes"})
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+
+class TestDebugProfile:
+    def test_one_shot_sample(self, server):
+        status, _, body = request(server, "GET",
+                                  "/debug/profile?seconds=0.05")
+        assert status == 200
+        assert body["samples"] >= 1
+        assert body["running"] is False
+        assert isinstance(body["stacks"], dict)
+
+    def test_bad_seconds_is_400(self, server):
+        for bad in ("abc", "-1", "0", "999"):
+            status, _, body = request(server, "GET",
+                                      f"/debug/profile?seconds={bad}")
+            assert status == 400, bad
+
+    def test_continuous_profiler_snapshot(self, engine):
+        service = QueryService(engine, ServeConfig(
+            workers=1, profiler_enabled=True,
+            profiler_interval_seconds=0.002))
+        handle = ServerHandle.start(service, port=0)
+        try:
+            import time
+            time.sleep(0.05)
+            status, _, body = request(handle, "GET", "/debug/profile")
+            assert status == 200
+            assert body["running"] is True
+            assert body["samples"] >= 1
+        finally:
+            handle.stop()
+
+
+class TestResourceGauges:
+    def test_debug_vars_reports_resources(self, server):
+        status, _, body = request(server, "GET", "/debug/vars")
+        assert status == 200
+        resources = body["resources"]
+        for name in ("resource.arena_bytes",
+                     "resource.distance_cache_entries",
+                     "resource.serve_cache_entries",
+                     "resource.worker_queue_depth",
+                     "resource.gc_tracked_objects"):
+            assert name in resources, name
+        assert resources["resource.arena_bytes"] >= 0
+
+    def test_metrics_scrape_refreshes_gauges(self, server):
+        status, _, body = request(server, "GET", "/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "resource_arena_bytes" in text
+        assert "resource_gc_gen0_collections" in text
+
+    def test_work_histograms_fed_by_computed_queries(self, server):
+        request(server, "POST", "/search/rds",
+                {"concepts": ["F", "I"], "k": 2})
+        status, _, body = request(server, "GET", "/metrics")
+        text = body.decode("utf-8")
+        assert "serve_rds_probes_per_query_count 1" in text
+        assert "serve_rds_settled_per_query_sum" in text
+        # A cache hit adds no work observation.
+        request(server, "POST", "/search/rds",
+                {"concepts": ["F", "I"], "k": 2})
+        status, _, body = request(server, "GET", "/metrics")
+        assert "serve_rds_probes_per_query_count 1" in body.decode()

@@ -206,6 +206,40 @@ class TestMetrics:
         histogram.observe(0.5)
         assert 0.0 <= histogram.quantile(0.5) <= 1.0
 
+    def test_histogram_quantile_empty_is_nan_at_extremes(self):
+        # Pinned: an empty histogram answers nan for EVERY q, including
+        # the 0.0/1.0 extremes — never 0.0, which would read as "great
+        # latency" on a dashboard that has seen no data.
+        import math
+        histogram = Histogram("t", buckets=(1.0, 2.0))
+        for q in (0.0, 0.5, 1.0):
+            assert math.isnan(histogram.quantile(q))
+
+    def test_histogram_quantile_q0_is_first_occupied_bucket_floor(self):
+        # Pinned: q=0.0 interpolates to the lower edge of the first
+        # occupied bucket (rank 0 of the cumulative distribution).
+        histogram = Histogram("t", buckets=(10.0, 20.0, 30.0))
+        histogram.observe(25.0)  # only the (20, 30] bucket is occupied
+        assert histogram.quantile(0.0) == pytest.approx(20.0)
+
+    def test_histogram_quantile_q1_is_last_occupied_upper_bound(self):
+        # Pinned: q=1.0 is the upper bound of the last occupied finite
+        # bucket — and the +Inf bucket clamps to the largest finite
+        # bound rather than answering inf.
+        histogram = Histogram("t", buckets=(10.0, 20.0, 30.0))
+        histogram.observe(5.0)
+        histogram.observe(25.0)
+        assert histogram.quantile(1.0) == pytest.approx(30.0)
+        histogram.observe(999.0)  # +Inf bucket
+        assert histogram.quantile(1.0) == pytest.approx(30.0)
+
+    def test_histogram_quantile_monotone_in_q(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 7.0, 50.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q / 20.0) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
     def test_write_infers_format_from_suffix(self, tmp_path):
         registry = MetricsRegistry()
         registry.counter("hits").inc()

@@ -1,0 +1,163 @@
+"""Sampling profiler and resource gauges (:mod:`repro.obs.profiling`)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import (ProfileSnapshot, ResourceSampler,
+                                 StatisticalProfiler)
+
+
+def _busy_until(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(200))
+
+
+class TestStatisticalProfiler:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StatisticalProfiler(interval_seconds=0.0)
+        with pytest.raises(ValueError):
+            StatisticalProfiler(max_frames=0)
+
+    def test_start_stop_idempotent(self):
+        profiler = StatisticalProfiler(interval_seconds=0.001)
+        assert not profiler.running
+        profiler.start()
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_samples_a_busy_thread(self):
+        profiler = StatisticalProfiler(interval_seconds=0.001)
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_until, args=(stop,),
+                                  daemon=True)
+        worker.start()
+        profiler.start()
+        time.sleep(0.15)
+        profiler.stop()
+        stop.set()
+        worker.join()
+        snapshot = profiler.snapshot()
+        assert snapshot.samples > 0
+        assert snapshot.overhead_seconds > 0
+        assert snapshot.stacks
+        # The busy worker's stack must appear, collapsed leaf-last.
+        assert any("_busy_until" in stack for stack in snapshot.stacks)
+        # The profiler never samples its own thread.
+        assert not any("profiling:_loop" in stack.split(";")[-1]
+                       for stack in snapshot.stacks
+                       if "_loop" in stack and "wait" not in stack)
+
+    def test_snapshot_publishes_counters(self):
+        registry = MetricsRegistry()
+        profiler = StatisticalProfiler(interval_seconds=0.001)
+        profiler.bind(registry)
+        profiler.start()
+        time.sleep(0.05)
+        profiler.stop()
+        snapshot = profiler.snapshot()
+        values = registry.snapshot()
+        assert values["profiler.samples"]["value"] == snapshot.samples
+        assert values["profiler.overhead_seconds"]["value"] \
+            == pytest.approx(snapshot.overhead_seconds)
+
+    def test_rebind_does_not_double_count(self):
+        profiler = StatisticalProfiler(interval_seconds=0.001)
+        first = MetricsRegistry()
+        profiler.bind(first)
+        profiler.start()
+        time.sleep(0.03)
+        profiler.stop()
+        profiler.snapshot()
+        published = first.snapshot()["profiler.samples"]["value"]
+        second = MetricsRegistry()
+        profiler.bind(second)
+        profiler.snapshot()
+        # Everything already published to `first` stays there; the
+        # fresh registry only sees deltas accumulated after the bind.
+        assert "profiler.samples" not in second.snapshot()
+        assert first.snapshot()["profiler.samples"]["value"] == published
+
+    def test_reset_clears_aggregates(self):
+        profiler = StatisticalProfiler(interval_seconds=0.001)
+        profiler.start()
+        time.sleep(0.02)
+        profiler.stop()
+        assert profiler.snapshot().samples > 0
+        profiler.reset()
+        snapshot = profiler.snapshot()
+        assert snapshot.samples == 0
+        assert snapshot.stacks == {}
+
+
+class TestProfileSnapshot:
+    def _snapshot(self):
+        return ProfileSnapshot(
+            samples=5, overhead_seconds=0.001, interval_seconds=0.01,
+            running=False,
+            stacks={"a;b;c": 3, "a;b": 1, "x;y": 4})
+
+    def test_collapsed_lines(self):
+        lines = self._snapshot().collapsed()
+        assert lines == ["a;b 1", "a;b;c 3", "x;y 4"]
+
+    def test_top_orders_hottest_first(self):
+        assert self._snapshot().top(2) == [("x;y", 4), ("a;b;c", 3)]
+
+    def test_to_dict_round_trips_stacks(self):
+        row = self._snapshot().to_dict()
+        assert row["samples"] == 5
+        assert row["stacks"] == {"a;b": 1, "a;b;c": 3, "x;y": 4}
+
+
+class TestResourceSampler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval_seconds=0.0)
+
+    def test_sample_once_publishes_gauges(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry=registry)
+        sampler.add_source("resource.answer", lambda: 42.0, "the answer")
+        values = sampler.sample_once()
+        assert values == {"resource.answer": 42.0}
+        assert registry.snapshot()["resource.answer"]["value"] == 42.0
+
+    def test_failing_supplier_is_skipped(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry=registry)
+        sampler.add_source("resource.bad", lambda: 1 / 0, "dies")
+        sampler.add_source("resource.good", lambda: 7.0, "lives")
+        values = sampler.sample_once()
+        assert values == {"resource.good": 7.0}
+        assert "resource.bad" not in registry.snapshot()
+
+    def test_gc_sources(self):
+        sampler = ResourceSampler()
+        sampler.add_gc_sources()
+        values = sampler.sample_once()
+        for generation in range(3):
+            assert f"resource.gc_gen{generation}_collections" in values
+        assert values["resource.gc_tracked_objects"] >= 0
+
+    def test_background_thread_lifecycle(self):
+        sampler = ResourceSampler(interval_seconds=0.01)
+        seen = []
+        sampler.add_source("resource.tick",
+                           lambda: seen.append(1) or float(len(seen)),
+                           "tick counter")
+        sampler.start()
+        sampler.start()  # idempotent
+        time.sleep(0.05)
+        sampler.stop()
+        sampler.stop()  # idempotent
+        assert seen  # sampled at least once (immediately on start)
+        assert not sampler.running
