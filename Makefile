@@ -4,8 +4,8 @@
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint typecheck bench perf perf-gate experiments \
-	verify serve-smoke examples clean
+.PHONY: install test lint typecheck sanitize bench perf perf-gate \
+	experiments verify serve-smoke examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,8 +14,19 @@ test:
 	python -m pytest -x -q
 
 # Domain-aware static analysis (rule catalogue: docs/STATIC_ANALYSIS.md).
+# The concurrency family (RPR011-013) runs as part of the full rule set;
+# `repro locks` additionally fails on lock-ordering cycles in the
+# acquisition graph.
 lint:
 	python -m repro lint src
+	python -m repro lint --concurrency src
+	python -m repro locks src
+
+# Runtime lock sanitizer over the thread-heavy test subset: the serve
+# path and the shared arena run with every lock wrapped in recording
+# proxies (see docs/STATIC_ANALYSIS.md, "Concurrency rules").
+sanitize:
+	python -m pytest -x -q tests/serve tests/core/test_arena.py
 
 # Strict typing gate. mypy is a CI-only dependency (the runtime has no
 # third-party deps); skip gracefully when it is not installed locally.

@@ -16,6 +16,14 @@ RPR007    mutable-default        no mutable default argument values
 RPR008    all-consistency        ``__all__`` entries resolve to module names
 RPR009    hotpath-distance       no tuple-Dewey distance math in core hot
                                  paths outside the arena/fallback modules
+RPR010    obs-layer-naming       metric/span names use a registered
+                                 ``layer.operation`` prefix
+RPR011    guarded-by             ``# guarded by:`` attributes only touched
+                                 with the declared lock held
+RPR012    lock-order             nested lock acquisitions form no ordering
+                                 cycle (potential deadlock)
+RPR013    shared-mutable         shared mutable containers declare a
+                                 discipline (Final / guarded-by / immutable)
 ========  =====================  ==============================================
 """
 
@@ -23,6 +31,11 @@ from __future__ import annotations
 
 from repro.analysis.checkers.allexports import AllConsistencyChecker
 from repro.analysis.checkers.asserts import NoAssertChecker
+from repro.analysis.checkers.concurrency import (
+    GuardedByChecker,
+    LockOrderChecker,
+    SharedMutableChecker,
+)
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dewey import DeweyImmutableChecker
 from repro.analysis.checkers.exceptions import ExceptionTaxonomyChecker
@@ -37,8 +50,11 @@ __all__ = [
     "DeweyImmutableChecker",
     "ExceptionTaxonomyChecker",
     "FloatDistanceEqChecker",
+    "GuardedByChecker",
     "HotPathDistanceChecker",
+    "LockOrderChecker",
     "MutableDefaultChecker",
     "NoAssertChecker",
     "ObsNamingChecker",
+    "SharedMutableChecker",
 ]

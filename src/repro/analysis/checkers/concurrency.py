@@ -1,0 +1,380 @@
+"""RPR011/RPR012/RPR013 — the concurrency lint family.
+
+The serve path (PR 4) and the shared arena (PR 5) put 15+ locks in the
+hot path; nothing but reviewer discipline kept a new code path from
+touching ``_entries`` without ``_lock`` or nesting two locks in the
+opposite order of another path.  These rules turn the discipline into
+annotations the linter can prove (see ``repro.analysis.concurrency``
+for the grammar and docs/STATIC_ANALYSIS.md for the catalogue entry):
+
+* **RPR011 guarded-by** — every access to an attribute declared
+  ``# guarded by: <lock>`` must happen under ``with self.<lock>`` (the
+  shared side suffices for reads, writes need the exclusive side) or
+  inside a method carrying a ``# holds: <lock>`` contract; intra-class
+  calls to contract methods are themselves checked one level deep.
+* **RPR012 lock-order** — syntactically nested acquisitions across the
+  whole tree form a global graph; any cycle (including a self-edge) is
+  a potential deadlock, reported once with its witnessing sites.
+* **RPR013 shared-mutable** — module-level mutable containers, and
+  mutable ``__init__`` attributes in modules that hand work to
+  ``ThreadPoolExecutor``/``copy_context``, must declare a discipline:
+  ``Final`` (read-only), ``# guarded by:``, or an immutable type.
+
+The runtime companion (``repro.analysis.runtime.LockMonitor``) checks
+the same discipline dynamically and diffs its observed acquisition
+order against RPR012's static graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.checkers._base import BaseChecker
+from repro.analysis.concurrency import (
+    EXCLUSIVE,
+    SHARED,
+    AcquisitionGraph,
+    ClassModel,
+    acquisition_of,
+    build_parent_map,
+    collect_acquisitions,
+    extract_class_models,
+    guard_on_lines,
+    is_write_access,
+    merge_mode,
+)
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+CONCURRENCY_RULES = ("RPR011", "RPR012", "RPR013")
+"""The rule ids behind ``repro lint --concurrency``."""
+
+
+@register
+class GuardedByChecker(BaseChecker):
+    rule = "RPR011"
+    name = "guarded-by"
+    description = ("attributes declared '# guarded by: <lock>' are only "
+                   "touched with the lock held")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for guarded-attribute accesses outside the
+        declared lock."""
+        models = extract_class_models(context)
+        parents = build_parent_map(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            model = models.get(node.name)
+            if model is None or not model.checkable:
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "__init__":
+                    # Construction happens-before publication; guarded
+                    # attributes may be initialised lock-free.
+                    continue
+                held = {lock: EXCLUSIVE
+                        for lock in model.holds.get(stmt.name, ())}
+                yield from self._walk_body(context, model, parents,
+                                           stmt.body, held)
+
+    def _walk_body(self, context: ModuleContext, model: ClassModel,
+                   parents: dict[ast.AST, ast.AST],
+                   body: list[ast.stmt],
+                   held: dict[str, str]) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._visit(context, model, parents, stmt, held)
+
+    def _visit(self, context: ModuleContext, model: ClassModel,
+               parents: dict[ast.AST, ast.AST], node: ast.AST,
+               held: dict[str, str]) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            # A nested class is its own locking domain.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            current = dict(held)
+            for item in node.items:
+                # The acquisition expression itself runs before the
+                # lock is held.
+                yield from self._visit(context, model, parents,
+                                       item.context_expr, current)
+                parsed = acquisition_of(item.context_expr)
+                if parsed is not None:
+                    attr, mode, is_self = parsed
+                    if is_self:
+                        current[attr] = merge_mode(current.get(attr), mode)
+            for stmt in node.body:
+                yield from self._visit(context, model, parents, stmt,
+                                       current)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # Nested callables inherit the held set: the dominant
+            # pattern is a predicate or callback defined (and run)
+            # under the lock — ``condition.wait_for(lambda: ...)``.
+            for child in ast.iter_child_nodes(node):
+                yield from self._visit(context, model, parents, child, held)
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_contract_call(context, model, node, held)
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" \
+                and node.attr in model.guards:
+            yield from self._check_access(context, model, parents, node,
+                                          held)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(context, model, parents, child, held)
+
+    def _check_access(self, context: ModuleContext, model: ClassModel,
+                      parents: dict[ast.AST, ast.AST],
+                      node: ast.Attribute,
+                      held: dict[str, str]) -> Iterator[Finding]:
+        guard = model.guards[node.attr]
+        write = is_write_access(node, parents)
+        mode = held.get(guard.lock)
+        if write:
+            if mode == EXCLUSIVE:
+                return
+            if mode == SHARED:
+                yield self.finding(
+                    context, node,
+                    f"attribute '{node.attr}' is guarded by "
+                    f"'{guard.lock}' but is written while holding only "
+                    f"the shared (read) side; writes need 'with "
+                    f"self.{guard.lock}.write()'")
+                return
+            yield self.finding(
+                context, node,
+                f"attribute '{node.attr}' is guarded by '{guard.lock}' "
+                f"but is written without it; wrap the access in 'with "
+                f"self.{guard.lock}' or declare the method "
+                f"'# holds: {guard.lock}'")
+            return
+        if guard.writes_only or mode is not None:
+            return
+        yield self.finding(
+            context, node,
+            f"attribute '{node.attr}' is guarded by '{guard.lock}' but "
+            f"is read without it; hold the lock (the shared side "
+            f"suffices), declare the method '# holds: {guard.lock}', "
+            f"or relax the guard to '(writes)' if lock-free reads are "
+            f"sanctioned")
+
+    def _check_contract_call(self, context: ModuleContext,
+                             model: ClassModel, node: ast.Call,
+                             held: dict[str, str]) -> Iterator[Finding]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in model.holds):
+            return
+        missing = sorted(lock for lock in model.holds[func.attr]
+                         if lock not in held)
+        if missing:
+            yield self.finding(
+                context, node,
+                f"method '{func.attr}' declares '# holds: "
+                f"{', '.join(sorted(model.holds[func.attr]))}' but is "
+                f"called without {', '.join(repr(m) for m in missing)} "
+                f"held")
+
+
+@register
+class LockOrderChecker(BaseChecker):
+    rule = "RPR012"
+    name = "lock-order"
+    description = ("nested lock acquisitions across the tree form no "
+                   "ordering cycle (potential deadlock)")
+
+    def __init__(self) -> None:
+        self._graph = AcquisitionGraph()
+
+    @property
+    def graph(self) -> AcquisitionGraph:
+        """The acquisition graph accumulated so far (exposed for the
+        ``repro locks`` CLI and the sanitizer diff)."""
+        return self._graph
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Accumulate this module's acquisitions; findings are global
+        and reported from :meth:`finish`."""
+        collect_acquisitions(context, self._graph)
+        return iter(())
+
+    def finish(self) -> Iterator[Finding]:
+        """Yield one finding per self-edge site and one per ordering
+        cycle, witnessed by acquisition sites."""
+        for node, sites in sorted(self._graph.self_edges.items()):
+            for site in sorted(sites, key=lambda s: (s.path, s.line)):
+                yield Finding(
+                    path=site.path, line=site.line, col=0, rule=self.rule,
+                    message=(
+                        f"nested acquisition of '{node.qualified}' while "
+                        f"it is already held — self-deadlock for a "
+                        f"non-reentrant lock (and a read-to-write upgrade "
+                        f"deadlock for reader-writer locks)"))
+        for component in self._graph.cycles():
+            witnesses = self._graph.cycle_edges(component)
+            description = "; ".join(
+                f"{outer.qualified} -> {inner.qualified} at {site}"
+                for outer, inner, site in witnesses)
+            anchor = min((site for _, _, site in witnesses),
+                         key=lambda s: (s.path, s.line))
+            names = ", ".join(node.qualified for node in component)
+            yield Finding(
+                path=anchor.path, line=anchor.line, col=0, rule=self.rule,
+                message=(
+                    f"lock-order cycle between {names}: {description} — "
+                    f"two threads taking these locks in opposite orders "
+                    f"can deadlock; pick one global acquisition order"))
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "OrderedDict", "defaultdict", "deque",
+    "bytearray", "Counter",
+})
+
+
+def _mutable_kind(value: ast.expr | None) -> str | None:
+    """The container kind when ``value`` builds a mutable container."""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name in _MUTABLE_CALLS:
+            return name
+    return None
+
+
+def _is_final(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        return _is_final(annotation.value)
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "Final"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "Final"
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        return "Final" in annotation.value
+    return False
+
+
+@register
+class SharedMutableChecker(BaseChecker):
+    rule = "RPR013"
+    name = "shared-mutable"
+    description = ("shared mutable containers declare a discipline: "
+                   "Final, guarded-by, or an immutable type")
+
+    _PACKAGES = ("core", "serve", "obs", "index", "baselines")
+    _EXECUTOR_NAMES = frozenset({"ThreadPoolExecutor", "copy_context"})
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for undisciplined shared mutables."""
+        if not context.in_package(*self._PACKAGES):
+            return
+        lines = context.source.splitlines()
+        yield from self._module_level(context, lines)
+        if self._uses_executor(context.tree):
+            yield from self._executor_attrs(context, lines)
+
+    def _module_level(self, context: ModuleContext,
+                      lines: list[str]) -> Iterator[Finding]:
+        for stmt in context.tree.body:
+            if isinstance(stmt, ast.Assign):
+                names = [t.id for t in stmt.targets
+                         if isinstance(t, ast.Name)]
+                annotation: ast.expr | None = None
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                names = [stmt.target.id]
+                annotation = stmt.annotation
+            else:
+                continue
+            names = [name for name in names if name != "__all__"]
+            if not names or _is_final(annotation):
+                continue
+            kind = _mutable_kind(getattr(stmt, "value", None))
+            if kind is None:
+                continue
+            if guard_on_lines(lines, stmt.lineno,
+                               stmt.end_lineno or stmt.lineno):
+                continue
+            for name in names:
+                yield self.finding(
+                    context, stmt,
+                    f"module-level mutable {kind} '{name}' is shared "
+                    f"across every importing thread with no declared "
+                    f"discipline; annotate it Final (read-only), declare "
+                    f"'# guarded by: <lock>', or use an immutable type")
+
+    def _uses_executor(self, tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) \
+                    and node.id in self._EXECUTOR_NAMES:
+                return True
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in self._EXECUTOR_NAMES:
+                return True
+            if isinstance(node, ast.ImportFrom) and any(
+                    alias.name in self._EXECUTOR_NAMES
+                    for alias in node.names):
+                return True
+        return False
+
+    def _executor_attrs(self, context: ModuleContext,
+                        lines: list[str]) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not (isinstance(stmt, ast.FunctionDef)
+                        and stmt.name == "__init__"):
+                    continue
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Assign):
+                        targets: list[ast.expr] = list(sub.targets)
+                        annotation = None
+                    elif isinstance(sub, ast.AnnAssign):
+                        targets = [sub.target]
+                        annotation = sub.annotation
+                    else:
+                        continue
+                    if _is_final(annotation):
+                        continue
+                    kind = _mutable_kind(getattr(sub, "value", None))
+                    if kind is None:
+                        continue
+                    if guard_on_lines(lines, sub.lineno,
+                                       sub.end_lineno or sub.lineno):
+                        continue
+                    for target in targets:
+                        if isinstance(target, ast.Attribute) \
+                                and isinstance(target.value, ast.Name) \
+                                and target.value.id == "self":
+                            yield self.finding(
+                                context, sub,
+                                f"attribute '{target.attr}' is a mutable "
+                                f"{kind} in a module that hands work to "
+                                f"ThreadPoolExecutor/copy_context; "
+                                f"declare '# guarded by: <lock>', "
+                                f"annotate Final, or use an immutable "
+                                f"container")

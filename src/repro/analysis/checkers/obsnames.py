@@ -47,8 +47,8 @@ _SINKS = frozenset({
 #: is exactly the review moment the rule exists to create.
 _KNOWN_LAYERS = frozenset({
     "arena", "bench", "drc", "engine", "fullscan", "http", "index",
-    "knds", "profiler", "query", "recorder", "resource", "serve",
-    "slo", "ta", "trace", "types",
+    "knds", "profiler", "query", "recorder", "resource", "sanitizer",
+    "serve", "slo", "ta", "trace", "types",
 })
 
 

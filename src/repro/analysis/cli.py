@@ -15,6 +15,7 @@ import sys
 from collections.abc import Sequence
 from typing import TextIO
 
+from repro.analysis.checkers.concurrency import CONCURRENCY_RULES
 from repro.analysis.engine import lint_paths
 from repro.analysis.findings import Finding
 from repro.analysis.registry import AnalysisError, all_checkers
@@ -41,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
     parser.add_argument("--ignore", metavar="RULES",
                         help="comma-separated rule ids/names to skip")
+    parser.add_argument("--concurrency", action="store_true",
+                        help="run (only) the concurrency rules "
+                             "RPR011/RPR012/RPR013, or add them to "
+                             "--select when both are given")
     parser.add_argument("--format", dest="fmt",
                         choices=["text", "json"], default="text",
                         help="report format (default: text)")
@@ -84,9 +89,12 @@ def main(argv: Sequence[str] | None = None, *,
     if args.list_rules:
         _print_rules(out)
         return EXIT_CLEAN
+    select = _split(args.select)
+    if args.concurrency:
+        select = (select or []) + list(CONCURRENCY_RULES)
     try:
         findings = lint_paths(args.paths,
-                              select=_split(args.select),
+                              select=select,
                               ignore=_split(args.ignore))
     except (AnalysisError, FileNotFoundError, OSError) as error:
         err.write(f"error: {error}\n")

@@ -1,0 +1,594 @@
+"""Static model of the lock discipline declared in source annotations.
+
+The concurrency rules (RPR011/RPR012/RPR013, see
+``repro.analysis.checkers.concurrency``) and the ``repro locks`` CLI
+share this module: it parses the annotation grammar, extracts per-class
+guard declarations, recognises lock acquisitions in ``with`` statements,
+classifies attribute accesses as reads or writes, and accumulates the
+cross-module lock-acquisition graph.
+
+Annotation grammar
+------------------
+
+``# guarded by: <lock>`` — trailing comment on an attribute assignment
+in ``__init__`` (or a class-body annotation).  Declares that the
+attribute is protected by ``self.<lock>``: writes require the lock held
+*exclusively*, reads require it held in any mode.
+
+``# guarded by: <lock> (writes)`` — writes-only discipline: mutations
+require the exclusive lock, but lock-free reads are sanctioned.  This is
+the honest annotation for append-only buffers and atomically-read epoch
+counters, where readers tolerate a stale-but-consistent snapshot.
+
+``# holds: <lock>[, <lock>...]`` — trailing comment on a ``def`` line
+(or on a statement in the decorator/signature region).  A method-level
+contract: callers must already hold the listed locks.  The method body
+is checked with those locks assumed held, and every intra-class call to
+the method is checked for the locks actually being held at the call
+site (the one-level call-graph follow for ``_locked_get``-style
+helpers).
+
+Reader–writer locks
+-------------------
+
+``with self.<lock>:`` acquires exclusively; ``with self.<lock>.read():``
+acquires the shared side; ``with self.<lock>.write():`` the exclusive
+side.  This models :class:`repro.index.sqlite._ReadWriteLock` without
+special-casing it: shared reads of a guarded attribute pass, writes
+under only the shared side are findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.analysis.context import ModuleContext
+
+GUARD_RE = re.compile(
+    r"#\s*guarded\s+by:\s*(?P<lock>[A-Za-z_]\w*)"
+    r"(?:\s*\(\s*(?P<mode>writes)\s*\))?"
+)
+
+HOLDS_RE = re.compile(
+    r"#\s*holds:\s*(?P<locks>[A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)"
+)
+
+#: Attribute names that look like synchronisation primitives; used to
+#: decide whether a bare ``with self.x:`` enters the acquisition graph
+#: (``with self._lock:`` does, ``with self._span:`` does not).
+_LOCKISH_RE = re.compile(r"lock|mutex|cond|sem", re.IGNORECASE)
+
+#: Method calls on a guarded container that mutate it in place.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "extendleft", "insert", "move_to_end", "pop", "popitem", "popleft",
+    "remove", "reverse", "rotate", "setdefault", "sort", "update",
+})
+
+#: Acquisition modes, ordered weak-to-strong.
+SHARED = "shared"
+EXCLUSIVE = "exclusive"
+
+
+def lockish(name: str) -> bool:
+    """True when an attribute name plausibly denotes a lock."""
+    return _LOCKISH_RE.search(name) is not None
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One declared guard: which lock, and whether reads are exempt."""
+
+    lock: str
+    writes_only: bool = False
+
+
+@dataclass
+class ClassModel:
+    """Guard and contract declarations extracted from one class body."""
+
+    name: str
+    guards: dict[str, GuardSpec] = field(default_factory=dict)
+    holds: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def checkable(self) -> bool:
+        return bool(self.guards or self.holds)
+
+
+@dataclass(frozen=True, order=True)
+class LockNode:
+    """A lock identity in the acquisition graph."""
+
+    module: str
+    cls: str
+    attr: str
+
+    @property
+    def label(self) -> str:
+        """Class-qualified attribute (``PackedDeweyArena._intern_lock``)
+        — the key the runtime sanitizer diffs against."""
+        return f"{self.cls}.{self.attr}" if self.cls else self.attr
+
+    @property
+    def qualified(self) -> str:
+        """Fully qualified rendering for reports."""
+        return f"{self.module}:{self.label}"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A source location witnessing an acquisition or edge."""
+
+    path: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+class AcquisitionGraph:
+    """Cross-module graph of syntactically nested lock acquisitions.
+
+    Nodes are :class:`LockNode` keys; a directed edge ``a -> b`` records
+    that somewhere, ``b`` was acquired while ``a`` was already held in
+    the same ``with`` nesting.  Cycles (including self-edges) are the
+    RPR012 findings: two code paths acquiring the same locks in opposite
+    orders can deadlock.
+    """
+
+    def __init__(self) -> None:
+        self._sites: dict[LockNode, list[tuple[Site, str]]] = {}
+        self._edges: dict[tuple[LockNode, LockNode], list[Site]] = {}
+        self._self_edges: dict[LockNode, list[Site]] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_acquisition(self, node: LockNode, site: Site,
+                        mode: str = EXCLUSIVE) -> None:
+        """Record one acquisition site of ``node``."""
+        self._sites.setdefault(node, []).append((site, mode))
+
+    def add_edge(self, outer: LockNode, inner: LockNode, site: Site) -> None:
+        """Record that ``inner`` was acquired while ``outer`` was held."""
+        if outer == inner:
+            self._self_edges.setdefault(outer, []).append(site)
+            return
+        self._edges.setdefault((outer, inner), []).append(site)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def nodes(self) -> list[LockNode]:
+        seen = set(self._sites)
+        for outer, inner in self._edges:
+            seen.add(outer)
+            seen.add(inner)
+        seen.update(self._self_edges)
+        return sorted(seen)
+
+    @property
+    def edges(self) -> dict[tuple[LockNode, LockNode], list[Site]]:
+        return dict(self._edges)
+
+    @property
+    def self_edges(self) -> dict[LockNode, list[Site]]:
+        return dict(self._self_edges)
+
+    def sites(self, node: LockNode) -> list[tuple[Site, str]]:
+        """Acquisition sites of ``node`` as ``(site, mode)`` pairs."""
+        return list(self._sites.get(node, []))
+
+    def edge_labels(self) -> set[tuple[str, str]]:
+        """Edges as ``(outer_label, inner_label)`` pairs — the shape the
+        runtime sanitizer's dynamic graph is diffed against."""
+        return {(outer.label, inner.label) for outer, inner in self._edges}
+
+    def cycles(self) -> list[list[LockNode]]:
+        """Strongly connected components of size > 1, each a potential
+        deadlock; deterministic ordering."""
+        adjacency: dict[LockNode, set[LockNode]] = {}
+        for outer, inner in self._edges:
+            adjacency.setdefault(outer, set()).add(inner)
+            adjacency.setdefault(inner, set())
+        components = _tarjan(adjacency)
+        return sorted(
+            [sorted(component) for component in components
+             if len(component) > 1])
+
+    def cycle_edges(self, component: Sequence[LockNode]) \
+            -> list[tuple[LockNode, LockNode, Site]]:
+        """The witnessing edges internal to one cycle, sorted."""
+        members = set(component)
+        witnesses = []
+        for (outer, inner), sites in self._edges.items():
+            if outer in members and inner in members:
+                witnesses.append((outer, inner, min(sites,
+                                                    key=lambda s: (s.path,
+                                                                   s.line))))
+        return sorted(witnesses, key=lambda item: (item[0], item[1]))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready rendering (stable ordering) for ``repro locks``."""
+        return {
+            "nodes": [
+                {
+                    "id": node.qualified,
+                    "module": node.module,
+                    "class": node.cls,
+                    "attr": node.attr,
+                    "acquisitions": [
+                        {"site": str(site), "mode": mode}
+                        for site, mode in sorted(
+                            self._sites.get(node, []),
+                            key=lambda pair: (pair[0].path, pair[0].line))
+                    ],
+                }
+                for node in self.nodes
+            ],
+            "edges": [
+                {
+                    "from": outer.qualified,
+                    "to": inner.qualified,
+                    "sites": [str(site) for site in
+                              sorted(sites, key=lambda s: (s.path, s.line))],
+                }
+                for (outer, inner), sites in sorted(
+                    self._edges.items(),
+                    key=lambda item: (item[0][0], item[0][1]))
+            ],
+            "self_edges": [
+                {
+                    "node": node.qualified,
+                    "sites": [str(site) for site in
+                              sorted(sites, key=lambda s: (s.path, s.line))],
+                }
+                for node, sites in sorted(self._self_edges.items())
+            ],
+            "cycles": [
+                [node.qualified for node in component]
+                for component in self.cycles()
+            ],
+        }
+
+
+def _tarjan(adjacency: dict[LockNode, set[LockNode]]) \
+        -> list[list[LockNode]]:
+    """Iterative Tarjan SCC (recursion-free: the graph is tiny but the
+    linter must never hit the interpreter recursion limit on
+    adversarial input)."""
+    index: dict[LockNode, int] = {}
+    lowlink: dict[LockNode, int] = {}
+    on_stack: set[LockNode] = set()
+    stack: list[LockNode] = []
+    components: list[list[LockNode]] = []
+    counter = 0
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: list[tuple[LockNode, Iterator[LockNode]]] = []
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(sorted(adjacency.get(root, ())))))
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor,
+                         iter(sorted(adjacency.get(successor, ())))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+# ---------------------------------------------------------------------------
+# Annotation extraction
+
+
+def module_name(context: ModuleContext) -> str:
+    """Dotted module path inside ``repro``, or the file stem for
+    out-of-package fixtures."""
+    if not context.scope:
+        return PurePosixPath(context.path.replace("\\", "/")).stem
+    parts = list(context.scope)
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    return ".".join(parts)
+
+
+def guard_on_lines(lines: Sequence[str], start: int,
+                    end: int) -> GuardSpec | None:
+    """The first ``# guarded by:`` annotation on source lines
+    ``start..end`` (1-based, inclusive)."""
+    for lineno in range(start, min(end, len(lines)) + 1):
+        match = GUARD_RE.search(lines[lineno - 1])
+        if match:
+            return GuardSpec(lock=match.group("lock"),
+                             writes_only=match.group("mode") == "writes")
+    return None
+
+
+def holds_on_lines(lines: Sequence[str], start: int,
+                    end: int) -> frozenset[str] | None:
+    """The first ``# holds:`` contract on source lines ``start..end``
+    (1-based, inclusive)."""
+    for lineno in range(start, min(end, len(lines)) + 1):
+        match = HOLDS_RE.search(lines[lineno - 1])
+        if match:
+            return frozenset(
+                part.strip() for part in match.group("locks").split(","))
+    return None
+
+
+def _self_attr_target(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def extract_class_models(context: ModuleContext) -> dict[str, ClassModel]:
+    """Guard/contract declarations for every class in the module.
+
+    Guards come from ``# guarded by:`` trailing comments on ``self.x``
+    assignments inside ``__init__`` and on class-body annotations;
+    ``# holds:`` contracts come from trailing comments in the region
+    between a ``def`` line and its first body statement.
+    """
+    lines = context.source.splitlines()
+    models: dict[str, ClassModel] = {}
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = ClassModel(name=node.name)
+        for stmt in node.body:
+            # Class-body annotations: ``_entries: OrderedDict  # guarded..``
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                spec = guard_on_lines(lines, stmt.lineno,
+                                       stmt.end_lineno or stmt.lineno)
+                if spec:
+                    model.guards[stmt.target.id] = spec
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            first_body_line = stmt.body[0].lineno if stmt.body else stmt.lineno
+            holds = holds_on_lines(lines, stmt.lineno,
+                                    max(stmt.lineno, first_body_line - 1))
+            if holds:
+                model.holds[stmt.name] = holds
+            if stmt.name != "__init__":
+                continue
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign):
+                    targets: list[ast.expr] = list(sub.targets)
+                elif isinstance(sub, ast.AnnAssign):
+                    targets = [sub.target]
+                else:
+                    continue
+                attrs = [attr for target in targets
+                         if (attr := _self_attr_target(target)) is not None]
+                if not attrs:
+                    continue
+                spec = guard_on_lines(lines, sub.lineno,
+                                       sub.end_lineno or sub.lineno)
+                if spec:
+                    for attr in attrs:
+                        model.guards.setdefault(attr, spec)
+        models[node.name] = model
+    return models
+
+
+# ---------------------------------------------------------------------------
+# Acquisition recognition and access classification
+
+
+def acquisition_of(expr: ast.expr) -> tuple[str, str, bool] | None:
+    """Recognise a lock acquisition in a ``with`` item.
+
+    Returns ``(attr_name, mode, is_self)`` where mode is
+    :data:`SHARED` or :data:`EXCLUSIVE`, or ``None`` when the context
+    manager is not a recognisable lock (``with tracer.span(...)``,
+    ``with open(...)``).
+    """
+    attr = _self_attr_target(expr)
+    if attr is not None:
+        return attr, EXCLUSIVE, True
+    if isinstance(expr, ast.Name):
+        return expr.id, EXCLUSIVE, False
+    if isinstance(expr, ast.Call) and not expr.args and not expr.keywords \
+            and isinstance(expr.func, ast.Attribute) \
+            and expr.func.attr in ("read", "write"):
+        base = _self_attr_target(expr.func.value)
+        mode = SHARED if expr.func.attr == "read" else EXCLUSIVE
+        if base is not None:
+            return base, mode, True
+        if isinstance(expr.func.value, ast.Name):
+            return expr.func.value.id, mode, False
+    return None
+
+
+def build_parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent for every node under ``root``."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def is_write_access(node: ast.expr,
+                    parents: dict[ast.AST, ast.AST]) -> bool:
+    """Whether an attribute access mutates the guarded object.
+
+    Stores/deletes of the attribute itself, subscript stores into it,
+    stores through a sub-attribute, and in-place mutator method calls
+    (``.append``/``.update``/...) all count as writes; everything else
+    is a read.
+    """
+    current: ast.expr = node
+    while True:
+        ctx = getattr(current, "ctx", None)
+        if isinstance(ctx, (ast.Store, ast.Del)):
+            return True
+        parent = parents.get(current)
+        if isinstance(parent, ast.Subscript) and parent.value is current:
+            if isinstance(parent.ctx, (ast.Store, ast.Del)):
+                return True
+            current = parent
+            continue
+        if isinstance(parent, ast.Attribute) and parent.value is current:
+            if isinstance(parent.ctx, (ast.Store, ast.Del)):
+                return True
+            grandparent = parents.get(parent)
+            if parent.attr in MUTATOR_METHODS \
+                    and isinstance(grandparent, ast.Call) \
+                    and grandparent.func is parent:
+                return True
+            return False
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Graph collection
+
+
+def collect_acquisitions(context: ModuleContext,
+                         graph: AcquisitionGraph) -> None:
+    """Add every syntactically nested acquisition pair in ``context`` to
+    ``graph``.
+
+    Nesting is tracked per execution context: a nested ``def`` runs
+    later on an unknown stack, so it restarts with an empty held set
+    rather than inheriting its enclosing ``with`` frames.
+    """
+    module = module_name(context)
+    models = extract_class_models(context)
+
+    def declared(cls: str) -> set[str]:
+        model = models.get(cls)
+        if model is None:
+            return set()
+        names = {spec.lock for spec in model.guards.values()}
+        for locks in model.holds.values():
+            names.update(locks)
+        return names
+
+    def scan(node: ast.AST, cls: str, held: list[LockNode]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            for child in ast.iter_child_nodes(node):
+                scan(child, cls, [])
+            return
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                scan(child, node.name, [])
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            current = list(held)
+            for item in node.items:
+                parsed = acquisition_of(item.context_expr)
+                if parsed is None:
+                    continue
+                attr, mode, is_self = parsed
+                if not (lockish(attr) or attr in declared(cls)):
+                    continue
+                lock = LockNode(module=module, cls=cls if is_self else "",
+                                attr=attr)
+                site = Site(path=context.path,
+                            line=item.context_expr.lineno)
+                graph.add_acquisition(lock, site, mode)
+                for outer in dict.fromkeys(current):
+                    graph.add_edge(outer, lock, site)
+                current.append(lock)
+            for stmt in node.body:
+                scan(stmt, cls, current)
+            return
+        for child in ast.iter_child_nodes(node):
+            scan(child, cls, held)
+
+    scan(context.tree, "", [])
+
+
+def build_graph(paths: Sequence[str | Path]) -> AcquisitionGraph:
+    """The acquisition graph of every parseable module under ``paths``
+    (the ``repro locks`` / sanitizer-diff entry point)."""
+    from repro.analysis.engine import collect_files
+
+    graph = AcquisitionGraph()
+    for file_path in collect_files(paths):
+        text = file_path.read_text(encoding="utf-8")
+        try:
+            context = ModuleContext.from_source(text, str(file_path))
+        except SyntaxError:
+            continue  # RPR000 owns unparseable files
+        collect_acquisitions(context, graph)
+    return graph
+
+
+def build_graph_from_source(source: str,
+                            path: str = "<string>") -> AcquisitionGraph:
+    """Single-module graph (unit-test convenience)."""
+    graph = AcquisitionGraph()
+    collect_acquisitions(ModuleContext.from_source(source, path), graph)
+    return graph
+
+
+def merge_mode(current: str | None, acquired: str) -> str:
+    """Strongest of two hold modes (re-acquiring a held lock's shared
+    side never weakens an exclusive hold)."""
+    if current == EXCLUSIVE or acquired == EXCLUSIVE:
+        return EXCLUSIVE
+    return SHARED
+
+
+__all__ = [
+    "AcquisitionGraph",
+    "ClassModel",
+    "EXCLUSIVE",
+    "GUARD_RE",
+    "GuardSpec",
+    "HOLDS_RE",
+    "LockNode",
+    "MUTATOR_METHODS",
+    "SHARED",
+    "Site",
+    "acquisition_of",
+    "build_graph",
+    "build_graph_from_source",
+    "build_parent_map",
+    "collect_acquisitions",
+    "extract_class_models",
+    "guard_on_lines",
+    "is_write_access",
+    "lockish",
+    "merge_mode",
+    "module_name",
+]

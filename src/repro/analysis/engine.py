@@ -71,7 +71,9 @@ def lint_source(source: str, path: str = "<string>", *,
         context = ModuleContext.from_source(source, path)
     except SyntaxError as error:
         return [_parse_finding(path, error)]
-    return _run_checkers(context, checkers)
+    findings = _run_checkers(context, checkers)
+    findings.extend(_finish_checkers(checkers, {context.path: context}))
+    return sorted(findings)
 
 
 def lint_paths(paths: Sequence[str | Path], *,
@@ -81,6 +83,7 @@ def lint_paths(paths: Sequence[str | Path], *,
     findings."""
     checkers = select_checkers(select, ignore)
     findings: list[Finding] = []
+    contexts: dict[str, ModuleContext] = {}
     for file_path in collect_files(paths):
         text = file_path.read_text(encoding="utf-8")
         try:
@@ -88,7 +91,9 @@ def lint_paths(paths: Sequence[str | Path], *,
         except SyntaxError as error:
             findings.append(_parse_finding(str(file_path), error))
             continue
+        contexts[context.path] = context
         findings.extend(_run_checkers(context, checkers))
+    findings.extend(_finish_checkers(checkers, contexts))
     return sorted(findings)
 
 
@@ -100,6 +105,28 @@ def _run_checkers(context: ModuleContext,
             if not context.is_suppressed(finding.line, finding.rule):
                 findings.append(finding)
     return sorted(findings)
+
+
+def _finish_checkers(checkers: Sequence[Checker],
+                     contexts: dict[str, ModuleContext]) -> list[Finding]:
+    """Whole-run findings from checkers with a ``finish()`` hook.
+
+    Cross-module rules (RPR012's acquisition graph) accumulate state in
+    ``check`` and only know their findings once every file has been
+    seen; ``finish()`` reports them.  Suppressions still apply, keyed on
+    the file each finding is anchored in.
+    """
+    findings: list[Finding] = []
+    for checker in checkers:
+        finish = getattr(checker, "finish", None)
+        if finish is None:
+            continue
+        for finding in finish():
+            context = contexts.get(finding.path)
+            if context is None or \
+                    not context.is_suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return findings
 
 
 def _parse_finding(path: str, error: SyntaxError) -> Finding:

@@ -1,0 +1,109 @@
+"""The ``repro locks`` subcommand: render the lock-acquisition graph.
+
+Builds the same static graph RPR012 checks (see
+``repro.analysis.concurrency``) and renders it for humans (``text``) or
+for CI artifacts and the runtime sanitizer diff (``--format json``).
+
+Exit codes match ``repro lint``: ``0`` clean, ``1`` usage error, ``2``
+when the graph contains an ordering cycle or self-edge (the same
+conditions RPR012 reports as findings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import TextIO
+
+from repro.analysis.concurrency import AcquisitionGraph, build_graph
+
+JSON_SCHEMA_VERSION = 1
+"""Version of the ``--format json`` document layout."""
+
+EXIT_CLEAN = 0
+EXIT_USAGE = 1
+EXIT_CYCLES = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro locks`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro locks",
+        description="Render the static lock-acquisition graph that "
+                    "RPR012 checks (see docs/STATIC_ANALYSIS.md)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to scan (default: src)")
+    parser.add_argument("--format", dest="fmt",
+                        choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    return parser
+
+
+def render_json(graph: AcquisitionGraph) -> str:
+    """The ``--format json`` document (stable schema, sorted content)."""
+    document: dict[str, object] = {"version": JSON_SCHEMA_VERSION}
+    document.update(graph.to_dict())
+    return json.dumps(document, indent=2)
+
+
+def render_text(graph: AcquisitionGraph, out: TextIO) -> None:
+    """Human-readable graph rendering."""
+    nodes = graph.nodes
+    out.write(f"{len(nodes)} lock{'s' if len(nodes) != 1 else ''}, "
+              f"{len(graph.edges)} nesting edge"
+              f"{'s' if len(graph.edges) != 1 else ''}\n")
+    for node in nodes:
+        sites = graph.sites(node)
+        out.write(f"  {node.qualified}  "
+                  f"({len(sites)} acquisition site"
+                  f"{'s' if len(sites) != 1 else ''})\n")
+    if graph.edges:
+        out.write("nesting edges (outer -> inner):\n")
+        for (outer, inner), sites in sorted(
+                graph.edges.items(), key=lambda item: item[0]):
+            first = min(sites, key=lambda s: (s.path, s.line))
+            out.write(f"  {outer.qualified} -> {inner.qualified}  "
+                      f"[{first}]\n")
+    for node, sites in sorted(graph.self_edges.items()):
+        for site in sorted(sites, key=lambda s: (s.path, s.line)):
+            out.write(f"SELF-EDGE: {node.qualified} re-acquired while "
+                      f"held at {site}\n")
+    cycles = graph.cycles()
+    if cycles:
+        for component in cycles:
+            names = " <-> ".join(node.qualified for node in component)
+            out.write(f"CYCLE: {names}\n")
+            for outer, inner, site in graph.cycle_edges(component):
+                out.write(f"  {outer.qualified} -> {inner.qualified} "
+                          f"at {site}\n")
+    elif not graph.self_edges:
+        out.write("no ordering cycles\n")
+
+
+def main(argv: Sequence[str] | None = None, *,
+         stdout: TextIO | None = None,
+         stderr: TextIO | None = None) -> int:
+    """Entry point for ``repro locks``; returns a process exit code."""
+    out = sys.stdout if stdout is None else stdout
+    err = sys.stderr if stderr is None else stderr
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        graph = build_graph(args.paths)
+    except (FileNotFoundError, OSError) as error:
+        err.write(f"error: {error}\n")
+        return EXIT_USAGE
+    if args.fmt == "json":
+        out.write(render_json(graph) + "\n")
+    else:
+        render_text(graph, out)
+    if graph.cycles() or graph.self_edges:
+        return EXIT_CYCLES
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

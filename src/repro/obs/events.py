@@ -23,7 +23,7 @@ accepted.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any
+from typing import Any, Final
 
 SNAPSHOT_SCHEMA = ("phase", "level", "examined", "candidates", "frontier",
                    "top", "kth_distance", "global_lower")
@@ -96,7 +96,7 @@ class TerminatedEvent(QueryEvent):
         return self["reason"]
 
 
-EVENT_TYPES: dict[str, type[QueryEvent]] = {
+EVENT_TYPES: Final[dict[str, type[QueryEvent]]] = {
     cls.EVENT_TYPE: cls
     for cls in (ExpandedEvent, RoundEvent, TerminatedEvent)
 }

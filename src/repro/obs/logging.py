@@ -24,11 +24,11 @@ import sys
 import time
 from contextlib import contextmanager
 from types import TracebackType
-from typing import Any, Iterator, TextIO
+from typing import Any, Final, Iterator, TextIO
 
 ROOT_LOGGER_NAME = "repro"
 
-_LEVELS = {
+_LEVELS: Final[dict[str, int]] = {
     "debug": logging.DEBUG,
     "info": logging.INFO,
     "warning": logging.WARNING,

@@ -22,7 +22,7 @@ import bisect
 import json
 import threading
 from pathlib import Path
-from typing import Any, TextIO, TypeVar
+from typing import Any, Final, TextIO, TypeVar
 
 DEFAULT_LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -54,7 +54,7 @@ class Counter:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._value = 0.0
+        self._value = 0.0  # guarded by: _lock (writes)
         self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
@@ -89,7 +89,7 @@ class Gauge:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._value = 0.0
+        self._value = 0.0  # guarded by: _lock (writes)
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -141,9 +141,9 @@ class Histogram:
         self.name = name
         self.help = help
         self.buckets = tuple(sorted(buckets or DEFAULT_LATENCY_BUCKETS))
-        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf; guarded by: _lock (writes)
+        self._sum = 0.0  # guarded by: _lock (writes)
+        self._count = 0  # guarded by: _lock (writes)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -229,7 +229,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}  # guarded by: _lock
         self._lock = threading.Lock()
 
     # -- get-or-create --------------------------------------------------
@@ -269,13 +269,16 @@ class MetricsRegistry:
     # -- introspection --------------------------------------------------
     def names(self) -> list[str]:
         """Registered metric names, sorted."""
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def snapshot(self) -> dict[str, Any]:
         """One JSON-ready dict: metric name -> typed snapshot."""
@@ -395,7 +398,7 @@ QUERY_TELEMETRY_FIELDS = (
 ``QueryStats.from_metrics`` consumes any object carrying them.
 """
 
-_PUBLISH_NAMES = {
+_PUBLISH_NAMES: Final[dict[str, str]] = {
     "nodes_visited": "nodes_visited",
     "docs_pruned": "candidates_pruned",
     "docs_examined": "docs_examined",

@@ -345,14 +345,14 @@ class StatisticalProfiler:
             raise ValueError(f"max_frames must be > 0, got {max_frames}")
         self.interval_seconds = interval_seconds
         self.max_frames = max_frames
-        self._stacks: dict[str, int] = {}
-        self._samples = 0
-        self._overhead = 0.0
+        self._stacks: dict[str, int] = {}  # guarded by: _lock
+        self._samples = 0  # guarded by: _lock
+        self._overhead = 0.0  # guarded by: _lock
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._registry: MetricsRegistry | None = None
-        self._published = (0, 0.0)
+        self._registry: MetricsRegistry | None = None  # guarded by: _lock
+        self._published = (0, 0.0)  # guarded by: _lock
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -474,8 +474,8 @@ class ResourceSampler:
             raise ValueError(
                 f"interval_seconds must be > 0, got {interval_seconds}")
         self.interval_seconds = interval_seconds
-        self._registry = registry
-        self._sources: dict[str, tuple[str, Callable[[], float]]] = {}
+        self._registry = registry  # guarded by: _lock
+        self._sources: dict[str, tuple[str, Callable[[], float]]] = {}  # guarded by: _lock
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None

@@ -102,10 +102,10 @@ class FlightRecorder:
         self.slow_threshold_seconds = slow_threshold_seconds
         self._clock = clock
         self._lock = threading.Lock()
-        self._recent: deque[RequestRecord] = deque(maxlen=recent)
-        self._captured: deque[RequestRecord] = deque(maxlen=capacity or 1)
-        self.requests_seen = 0
-        self.requests_recorded = 0
+        self._recent: deque[RequestRecord] = deque(maxlen=recent)  # guarded by: _lock
+        self._captured: deque[RequestRecord] = deque(maxlen=capacity or 1)  # guarded by: _lock
+        self.requests_seen = 0  # guarded by: _lock
+        self.requests_recorded = 0  # guarded by: _lock
 
     def observe(self, record: RequestRecord,
                 spans: Callable[[], list[dict[str, Any]]] | None = None,

@@ -81,10 +81,10 @@ class SLOTracker:
         self.bucket_seconds = bucket_seconds
         self._clock = clock
         self._lock = threading.Lock()
-        self._endpoints: dict[str, _EndpointState] = {}
+        self._endpoints: dict[str, _EndpointState] = {}  # guarded by: _lock
         # (bucket_index, total, bad) triples, oldest first.
         keep = int(max(_WINDOWS) / bucket_seconds) + 2
-        self._buckets: deque[list[float]] = deque(maxlen=keep)
+        self._buckets: deque[list[float]] = deque(maxlen=keep)  # guarded by: _lock
 
     def observe(self, path: str, status: int, seconds: float) -> None:
         """Account one finished request."""
@@ -107,7 +107,7 @@ class SLOTracker:
             else:
                 self._buckets.append([bucket, 1, int(bad)])
 
-    def _window_counts(self, window_seconds: float) -> tuple[int, int]:
+    def _window_counts(self, window_seconds: float) -> tuple[int, int]:  # holds: _lock
         """(total, bad) over the trailing window (lock held)."""
         now_bucket = int(self._clock() / self.bucket_seconds)
         span = int(window_seconds / self.bucket_seconds)

@@ -330,12 +330,12 @@ class Tracer:
         self.sample_rate = sample_rate
         self.max_spans = max_spans
         self._ids = itertools.count(1)
-        self._rng = random.Random(seed)
+        self._rng = random.Random(seed)  # guarded by: _lock
         self._lock = threading.Lock()
-        self.finished: deque[Span] = deque(maxlen=max_spans)
-        self.spans_started = 0
-        self.spans_collected = 0
-        self.spans_dropped = 0
+        self.finished: deque[Span] = deque(maxlen=max_spans)  # guarded by: _lock
+        self.spans_started = 0  # guarded by: _lock
+        self.spans_collected = 0  # guarded by: _lock
+        self.spans_dropped = 0  # guarded by: _lock
 
     # -- span lifecycle -------------------------------------------------
     def span(self, name: str, parent: Span | SpanContext | None = None,
@@ -398,7 +398,8 @@ class Tracer:
         span.start = time.perf_counter() - self._epoch
         span._previous = previous
         _ACTIVE.set(span)
-        self.spans_started += 1
+        with self._lock:
+            self.spans_started += 1
 
     def _exit(self, span: Span) -> None:
         span.end = time.perf_counter() - self._epoch
@@ -412,7 +413,7 @@ class Tracer:
             with self._lock:
                 self._collect(span)
 
-    def _collect(self, span: Span) -> None:
+    def _collect(self, span: Span) -> None:  # holds: _lock
         """Append one finished span (caller holds the lock)."""
         if self.finished.maxlen is not None \
                 and len(self.finished) == self.finished.maxlen:

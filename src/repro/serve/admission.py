@@ -52,8 +52,8 @@ class AdmissionController:
                 f"max_inflight must be >= 0, got {max_inflight}")
         self._limit = max_inflight
         self._retry_after = retry_after
-        self._inflight = 0
-        self._draining = False
+        self._inflight = 0  # guarded by: _condition
+        self._draining = False  # guarded by: _condition
         self._condition = threading.Condition()
 
     @property
@@ -64,12 +64,16 @@ class AdmissionController:
     @property
     def inflight(self) -> int:
         """Requests currently admitted and not yet released."""
-        return self._inflight
+        # Condition's default RLock is reentrant, so taking it here is
+        # safe even from a thread already inside admit()/release().
+        with self._condition:
+            return self._inflight
 
     @property
     def draining(self) -> bool:
         """Whether :meth:`begin_drain` has been called."""
-        return self._draining
+        with self._condition:
+            return self._draining
 
     def admit(self) -> None:
         """Claim one slot or raise a typed refusal.

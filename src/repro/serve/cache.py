@@ -134,7 +134,8 @@ class QueryCache(Generic[_V]):
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
         self._clock = clock
-        self._entries: OrderedDict[CacheKey, _Entry[_V]] = OrderedDict()
+        self._entries: OrderedDict[CacheKey, _Entry[_V]] = \
+            OrderedDict()  # guarded by: _lock
         self._lock = threading.Lock()
         self.stats = CacheStats()
 

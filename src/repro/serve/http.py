@@ -56,7 +56,7 @@ import json
 import signal
 import threading
 import time
-from typing import Any
+from typing import Any, Final
 from urllib.parse import parse_qsl
 
 from repro.exceptions import (CorpusError, QueryTimeoutError, ReproError,
@@ -77,7 +77,7 @@ _MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any sane query
 _MAX_BATCH = 64  # queries per /search/rds:batch request (one admission slot)
 _MAX_PROFILE_SECONDS = 30.0  # /debug/profile?seconds=N one-shot ceiling
 
-_REASONS = {
+_REASONS: Final[dict[int, str]] = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
@@ -498,7 +498,7 @@ class QueryServer:
         return _json_response(200, one_shot.snapshot().to_dict())
 
 
-_ROUTES: dict[str, tuple[str, str]] = {
+_ROUTES: Final[dict[str, tuple[str, str]]] = {
     "/healthz": ("GET", "_handle_healthz"),
     "/metrics": ("GET", "_handle_metrics"),
     "/search/rds": ("POST", "_handle_rds"),

@@ -1,0 +1,577 @@
+"""Per-rule fixtures for the concurrency family (RPR011/RPR012/RPR013)
+and the acquisition-graph model behind them.
+
+Each rule gets at least one snippet that MUST flag and one that MUST
+pass; the reader-writer tests pin the before-or-after model the static
+checker assumes (shared reads pass, writes under only the shared side
+flag — the runtime counterpart lives in
+``tests/index/test_sqlite_threading.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.concurrency import (
+    EXCLUSIVE,
+    SHARED,
+    AcquisitionGraph,
+    LockNode,
+    Site,
+    build_graph_from_source,
+    extract_class_models,
+    merge_mode,
+)
+from repro.analysis.context import ModuleContext
+from repro.analysis.locks_cli import (
+    EXIT_CLEAN,
+    EXIT_CYCLES,
+    JSON_SCHEMA_VERSION,
+    main as locks_main,
+)
+
+
+def _lint(source: str, path: str = "src/repro/core/sample.py",
+          select: tuple[str, ...] | None = None):
+    findings = lint_source(textwrap.dedent(source), path=path)
+    if select is not None:
+        findings = [f for f in findings if f.rule in select]
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Annotation extraction
+# ----------------------------------------------------------------------
+class TestExtraction:
+    def test_guards_from_init_and_class_body(self):
+        source = textwrap.dedent(
+            """
+            class Cache:
+                _stats: int = 0  # guarded by: _lock
+
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+                    self._epoch = 0  # guarded by: _lock (writes)
+            """)
+        context = ModuleContext.from_source(source, "sample.py")
+        model = extract_class_models(context)["Cache"]
+        assert model.guards["_entries"].lock == "_lock"
+        assert not model.guards["_entries"].writes_only
+        assert model.guards["_epoch"].writes_only
+        assert model.guards["_stats"].lock == "_lock"
+
+    def test_holds_contract_on_def_line(self):
+        source = textwrap.dedent(
+            """
+            class Cache:
+                def _locked_get(self, key):  # holds: _lock, _other
+                    return key
+            """)
+        context = ModuleContext.from_source(source, "sample.py")
+        model = extract_class_models(context)["Cache"]
+        assert model.holds["_locked_get"] == frozenset({"_lock", "_other"})
+
+    def test_merge_mode_keeps_strongest(self):
+        assert merge_mode(None, SHARED) == SHARED
+        assert merge_mode(SHARED, SHARED) == SHARED
+        assert merge_mode(EXCLUSIVE, SHARED) == EXCLUSIVE
+        assert merge_mode(SHARED, EXCLUSIVE) == EXCLUSIVE
+
+
+# ----------------------------------------------------------------------
+# RPR011 — guarded-by discipline
+# ----------------------------------------------------------------------
+class TestGuardedBy:
+    def test_flags_unguarded_read(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+
+                def peek(self, key):
+                    return self._entries.get(key)
+            """,
+            select=("RPR011",))
+        assert len(findings) == 1
+        assert "read without it" in findings[0].message
+
+    def test_flags_unguarded_write(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+
+                def put(self, key, value):
+                    self._entries[key] = value
+            """,
+            select=("RPR011",))
+        assert len(findings) == 1
+        assert "written without it" in findings[0].message
+
+    def test_flags_mutator_call_as_write(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._items = []  # guarded by: _lock (writes)
+
+                def push(self, value):
+                    self._items.append(value)
+            """,
+            select=("RPR011",))
+        assert len(findings) == 1
+        assert "written without it" in findings[0].message
+
+    def test_access_under_with_passes(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+                        return len(self._entries)
+            """,
+            select=("RPR011",))
+        assert findings == []
+
+    def test_writes_only_guard_sanctions_lockfree_reads(self):
+        findings = _lint(
+            """
+            class Arena:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._epoch = 0  # guarded by: _lock (writes)
+
+                def snapshot(self):
+                    return self._epoch
+
+                def bump(self):
+                    with self._lock:
+                        self._epoch += 1
+            """,
+            select=("RPR011",))
+        assert findings == []
+
+    def test_init_is_exempt(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+                    self._entries["warm"] = 1
+            """,
+            select=("RPR011",))
+        assert findings == []
+
+    def test_holds_contract_covers_body(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+
+                def _locked_get(self, key):  # holds: _lock
+                    return self._entries.get(key)
+
+                def get(self, key):
+                    with self._lock:
+                        return self._locked_get(key)
+            """,
+            select=("RPR011",))
+        assert findings == []
+
+    def test_flags_contract_call_without_lock(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+
+                def _locked_get(self, key):  # holds: _lock
+                    return self._entries.get(key)
+
+                def get(self, key):
+                    return self._locked_get(key)
+            """,
+            select=("RPR011",))
+        assert len(findings) == 1
+        assert "'_locked_get'" in findings[0].message
+        assert "without '_lock' held" in findings[0].message
+
+    def test_nested_lambda_inherits_held_set(self):
+        findings = _lint(
+            """
+            class Pool:
+                def __init__(self):
+                    self._condition = Condition()
+                    self._inflight = 0  # guarded by: _condition
+
+                def drain(self):
+                    with self._condition:
+                        self._condition.wait_for(
+                            lambda: self._inflight == 0)
+            """,
+            select=("RPR011",))
+        assert findings == []
+
+    def test_suppression_comment_on_access_line(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._entries = {}  # guarded by: _lock
+
+                def peek(self, key):
+                    return self._entries.get(key)  # repro: ignore[RPR011]
+            """,
+            select=("RPR011",))
+        assert findings == []
+
+
+class TestReadWriteModel:
+    """Pin the before-or-after reader-writer model the checker assumes
+    (mirrors :class:`repro.index.sqlite._ReadWriteLock` semantics)."""
+
+    _STORE = """
+        class Store:
+            def __init__(self):
+                self._lock = RWLock()
+                self._rows = {}  # guarded by: _lock
+
+            def lookup(self, key):
+                with self._lock.read():
+                    return self._rows.get(key)
+
+            def mutate(self, key, value):
+                with self._lock.%s():
+                    self._rows[key] = value
+        """
+
+    def test_read_under_shared_side_passes(self):
+        findings = _lint(self._STORE % "write", select=("RPR011",))
+        assert findings == []
+
+    def test_write_under_shared_side_flags(self):
+        findings = _lint(self._STORE % "read", select=("RPR011",))
+        assert len(findings) == 1
+        assert "shared (read) side" in findings[0].message
+        assert ".write()" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# RPR012 — lock-order cycles
+# ----------------------------------------------------------------------
+_CYCLE = """
+    class Engine:
+        def __init__(self):
+            self._lock_a = Lock()
+            self._lock_b = Lock()
+
+        def forward(self):
+            with self._lock_a:
+                with self._lock_b:
+                    pass
+
+        def backward(self):
+            with self._lock_b:
+                with self._lock_a:
+                    pass
+    """
+
+
+class TestLockOrder:
+    def test_flags_opposite_nesting(self):
+        findings = _lint(_CYCLE, select=("RPR012",))
+        assert len(findings) == 1
+        assert "lock-order cycle" in findings[0].message
+        assert "Engine._lock_a" in findings[0].message
+        assert "Engine._lock_b" in findings[0].message
+
+    def test_consistent_order_passes(self):
+        findings = _lint(
+            """
+            class Engine:
+                def __init__(self):
+                    self._lock_a = Lock()
+                    self._lock_b = Lock()
+
+                def forward(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+
+                def also_forward(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+            """,
+            select=("RPR012",))
+        assert findings == []
+
+    def test_flags_self_edge(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+
+                def reenter(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """,
+            select=("RPR012",))
+        assert len(findings) == 1
+        assert "self-deadlock" in findings[0].message
+
+    def test_nested_def_resets_held_set(self):
+        # The closure runs later on an unknown stack: acquiring _lock_b
+        # inside it is NOT a nesting under _lock_a.
+        findings = _lint(
+            """
+            class Engine:
+                def __init__(self):
+                    self._lock_a = Lock()
+                    self._lock_b = Lock()
+
+                def schedule(self):
+                    with self._lock_a:
+                        def job():
+                            with self._lock_b:
+                                pass
+                        return job
+
+                def backward(self):
+                    with self._lock_b:
+                        with self._lock_a:
+                            pass
+            """,
+            select=("RPR012",))
+        assert findings == []
+
+    def test_non_lockish_with_is_ignored(self):
+        findings = _lint(
+            """
+            class Engine:
+                def __init__(self):
+                    self._lock = Lock()
+
+                def traced(self, tracer):
+                    with self._span:
+                        with self._lock:
+                            pass
+                    with self._lock:
+                        with self._span:
+                            pass
+            """,
+            select=("RPR012",))
+        assert findings == []
+
+    def test_suppression_on_witness_line(self):
+        findings = _lint(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+
+                def reenter(self):
+                    with self._lock:
+                        with self._lock:  # repro: ignore[RPR012]
+                            pass
+            """,
+            select=("RPR012",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR013 — unsynchronized shared mutables
+# ----------------------------------------------------------------------
+class TestSharedMutable:
+    def test_flags_module_level_dict(self):
+        findings = _lint("REGISTRY = {}\n", select=("RPR013",))
+        assert len(findings) == 1
+        assert "'REGISTRY'" in findings[0].message
+
+    def test_final_annotation_passes(self):
+        findings = _lint(
+            "from typing import Final\n\nREGISTRY: Final[dict] = {}\n",
+            select=("RPR013",))
+        assert findings == []
+
+    def test_guard_comment_passes(self):
+        findings = _lint(
+            "REGISTRY = {}  # guarded by: _registry_lock\n",
+            select=("RPR013",))
+        assert findings == []
+
+    def test_dunder_all_and_immutables_pass(self):
+        findings = _lint(
+            '__all__ = ["x"]\n\nx = (1, 2)\n\ny = frozenset()\n',
+            select=("RPR013",))
+        assert findings == []
+
+    def test_out_of_scope_package_passes(self):
+        findings = _lint("REGISTRY = {}\n",
+                         path="src/repro/corpus/sample.py",
+                         select=("RPR013",))
+        assert findings == []
+
+    def test_flags_executor_module_init_attr(self):
+        findings = _lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def __init__(self):
+                    self._results = []
+            """,
+            select=("RPR013",))
+        assert len(findings) == 1
+        assert "'_results'" in findings[0].message
+
+    def test_guarded_executor_attr_passes(self):
+        findings = _lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def __init__(self):
+                    self._lock = Lock()
+                    self._results = []  # guarded by: _lock
+            """,
+            select=("RPR013",))
+        assert findings == []
+
+    def test_init_attr_without_executor_passes(self):
+        findings = _lint(
+            """
+            class Service:
+                def __init__(self):
+                    self._results = []
+            """,
+            select=("RPR013",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Acquisition graph model
+# ----------------------------------------------------------------------
+class TestAcquisitionGraph:
+    def test_build_graph_records_modes_and_edges(self):
+        graph = build_graph_from_source(textwrap.dedent(
+            """
+            class Store:
+                def __init__(self):
+                    self._lock = RWLock()
+                    self._metrics_lock = Lock()
+
+                def flush(self):
+                    with self._lock.write():
+                        with self._metrics_lock:
+                            pass
+
+                def lookup(self):
+                    with self._lock.read():
+                        pass
+            """), path="sample.py")
+        store_lock = LockNode(module="sample", cls="Store", attr="_lock")
+        metrics = LockNode(module="sample", cls="Store",
+                           attr="_metrics_lock")
+        assert set(graph.nodes) == {store_lock, metrics}
+        modes = {mode for _site, mode in graph.sites(store_lock)}
+        assert modes == {SHARED, EXCLUSIVE}
+        assert (store_lock, metrics) in graph.edges
+        assert graph.cycles() == []
+        assert graph.edge_labels() == {
+            ("Store._lock", "Store._metrics_lock")}
+
+    def test_cycle_detection_and_witnesses(self):
+        graph = build_graph_from_source(textwrap.dedent(_CYCLE),
+                                        path="sample.py")
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert [node.attr for node in cycles[0]] == ["_lock_a", "_lock_b"]
+        witnesses = graph.cycle_edges(cycles[0])
+        assert len(witnesses) == 2
+        assert all(site.path == "sample.py" for _, _, site in witnesses)
+
+    def test_self_edge_kept_apart_from_cycles(self):
+        graph = AcquisitionGraph()
+        node = LockNode(module="m", cls="C", attr="_lock")
+        graph.add_edge(node, node, Site(path="m.py", line=3))
+        assert graph.cycles() == []
+        assert node in graph.self_edges
+
+    def test_to_dict_schema(self):
+        graph = build_graph_from_source(textwrap.dedent(_CYCLE),
+                                        path="sample.py")
+        document = graph.to_dict()
+        assert set(document) == {"nodes", "edges", "self_edges", "cycles"}
+        assert document["cycles"] == [
+            ["sample:Engine._lock_a", "sample:Engine._lock_b"]]
+        node = document["nodes"][0]
+        assert set(node) == {"id", "module", "class", "attr",
+                             "acquisitions"}
+        assert node["acquisitions"][0]["mode"] == EXCLUSIVE
+
+
+# ----------------------------------------------------------------------
+# repro locks CLI
+# ----------------------------------------------------------------------
+class TestLocksCli:
+    def _run(self, argv):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        code = locks_main(argv, stdout=stdout, stderr=stderr)
+        return code, stdout.getvalue(), stderr.getvalue()
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text(textwrap.dedent(
+            """
+            class Cache:
+                def __init__(self):
+                    self._lock = Lock()
+
+                def get(self):
+                    with self._lock:
+                        pass
+            """), encoding="utf-8")
+        code, out, _ = self._run([str(path)])
+        assert code == EXIT_CLEAN
+        assert "no ordering cycles" in out
+        assert "Cache._lock" in out
+
+    def test_cycle_exits_two(self, tmp_path):
+        path = tmp_path / "cycle.py"
+        path.write_text(textwrap.dedent(_CYCLE), encoding="utf-8")
+        code, out, _ = self._run([str(path)])
+        assert code == EXIT_CYCLES
+        assert "CYCLE:" in out
+
+    def test_json_format(self, tmp_path):
+        path = tmp_path / "cycle.py"
+        path.write_text(textwrap.dedent(_CYCLE), encoding="utf-8")
+        code, out, _ = self._run([str(path), "--format", "json"])
+        assert code == EXIT_CYCLES
+        document = json.loads(out)
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert set(document) == {"version", "nodes", "edges",
+                                 "self_edges", "cycles"}
+        assert len(document["cycles"]) == 1

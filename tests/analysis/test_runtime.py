@@ -1,0 +1,235 @@
+"""Unit tests for the runtime lock sanitizer
+(:class:`repro.analysis.runtime.LockMonitor`).
+
+Every violation is provoked deterministically from a single thread: an
+ordering violation needs both orders *observed*, not an actual
+deadlock, and an unguarded write just needs the audited attribute
+assigned without the lock held.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import build_graph_from_source
+from repro.analysis.runtime import LockMonitor
+from repro.exceptions import InvariantError
+from repro.index.sqlite import _ReadWriteLock
+from repro.obs.metrics import MetricsRegistry
+
+
+class Box:
+    """Two plain locks — the ordering-violation workhorse."""
+
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+
+
+class Guarded:
+    """One lock and one guarded attribute for the write audit."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put_locked(self, key, value):
+        with self._lock:
+            self._entries = {**self._entries, key: value}
+
+    def put_racy(self, key, value):
+        self._entries = {**self._entries, key: value}
+
+
+@pytest.fixture()
+def monitor():
+    m = LockMonitor()
+    yield m
+    m.close()
+
+
+class TestOrderTracking:
+    def test_consistent_order_is_clean(self, monitor):
+        box = monitor.attach(Box())
+        with box._lock_a:
+            with box._lock_b:
+                pass
+        with box._lock_a:
+            with box._lock_b:
+                pass
+        assert monitor.order_violations == ()
+        assert monitor.edges() == {("Box._lock_a", "Box._lock_b"): 2}
+        monitor.assert_clean()
+
+    def test_opposite_orders_violate(self, monitor):
+        box = monitor.attach(Box())
+        with box._lock_a:
+            with box._lock_b:
+                pass
+        with box._lock_b:
+            with box._lock_a:
+                pass
+        violations = monitor.order_violations
+        assert len(violations) == 1
+        assert {violations[0].first, violations[0].second} == {
+            "Box._lock_a", "Box._lock_b"}
+        assert "both orders" in violations[0].describe()
+        with pytest.raises(InvariantError):
+            monitor.assert_clean()
+
+    def test_violation_reported_once_per_pair(self, monitor):
+        box = monitor.attach(Box())
+        for _ in range(3):
+            with box._lock_a:
+                with box._lock_b:
+                    pass
+            with box._lock_b:
+                with box._lock_a:
+                    pass
+        assert len(monitor.order_violations) == 1
+
+    def test_acquisition_counter(self, monitor):
+        box = monitor.attach(Box())
+        with box._lock_a:
+            pass
+        with box._lock_b:
+            pass
+        assert monitor.acquisitions == 2
+
+
+class TestWriteAudit:
+    def test_unguarded_write_is_flagged(self, monitor):
+        guarded = monitor.attach(Guarded())
+        monitor.audit(guarded, {"_entries": "_lock"})
+        guarded.put_racy("k", 1)
+        writes = monitor.unguarded_writes
+        assert len(writes) == 1
+        assert writes[0].attr == "_entries"
+        assert writes[0].lock == "_lock"
+        assert "_lock" in writes[0].describe()
+        with pytest.raises(InvariantError):
+            monitor.assert_clean()
+
+    def test_locked_write_passes(self, monitor):
+        guarded = monitor.attach(Guarded())
+        monitor.audit(guarded, {"_entries": "_lock"})
+        guarded.put_locked("k", 1)
+        assert monitor.unguarded_writes == ()
+        monitor.assert_clean()
+
+    def test_unaudited_instances_are_untouched(self, monitor):
+        audited = monitor.attach(Guarded())
+        monitor.audit(audited, {"_entries": "_lock"})
+        bystander = Guarded()
+        bystander.put_racy("k", 1)
+        assert monitor.unguarded_writes == ()
+
+
+class TestReadWriteLock:
+    def test_shared_hold_does_not_count_as_exclusive(self, monitor):
+        class Store:
+            def __init__(self):
+                self._lock = _ReadWriteLock()
+                self._rows = {}
+
+        store = monitor.attach(Store())
+        monitor.audit(store, {"_rows": "_lock"})
+        with store._lock.read():
+            store._rows = {"k": 1}
+        assert len(monitor.unguarded_writes) == 1
+        with store._lock.write():
+            store._rows = {"k": 2}
+        assert len(monitor.unguarded_writes) == 1
+
+    def test_read_then_write_elsewhere_is_ordered(self, monitor):
+        class Store:
+            def __init__(self):
+                self._lock = _ReadWriteLock()
+                self._metrics_lock = threading.Lock()
+
+        store = monitor.attach(Store())
+        with store._lock.write():
+            with store._metrics_lock:
+                pass
+        assert ("Store._lock", "Store._metrics_lock") in monitor.edges()
+        monitor.assert_clean()
+
+
+class TestConditionProxy:
+    def test_wait_for_keeps_held_entry(self, monitor):
+        class Pool:
+            def __init__(self):
+                self._condition = threading.Condition()
+                self._inflight = 0
+
+        pool = monitor.attach(Pool())
+        with pool._condition:
+            pool._condition.wait_for(lambda: True)
+            pool._condition.notify_all()
+        assert monitor.acquisitions == 1
+        monitor.assert_clean()
+
+
+class TestMetricsAndDiff:
+    def test_bind_publishes_sanitizer_counters(self, monitor):
+        registry = MetricsRegistry()
+        monitor.bind(registry)
+        box = monitor.attach(Box())
+        with box._lock_a:
+            with box._lock_b:
+                pass
+        with box._lock_b:
+            with box._lock_a:
+                pass
+        assert registry.counter("sanitizer.acquisitions").value == 4
+        assert registry.counter("sanitizer.order_edges").value == 2
+        assert registry.counter("sanitizer.order_violations").value == 1
+        assert registry.counter("sanitizer.unguarded_writes").value == 0
+
+    def test_diff_static_reports_dynamic_only_edges(self, monitor):
+        static = build_graph_from_source(
+            "class Box:\n"
+            "    def f(self):\n"
+            "        with self._lock_a:\n"
+            "            with self._lock_b:\n"
+            "                pass\n",
+            path="box.py")
+        box = monitor.attach(Box())
+        with box._lock_a:
+            with box._lock_b:
+                pass
+        assert monitor.diff_static(static.edge_labels()) == []
+        with box._lock_b:
+            with box._lock_a:
+                pass
+        assert monitor.diff_static(static.edge_labels()) == [
+            ("Box._lock_b", "Box._lock_a")]
+
+
+class TestClose:
+    def test_close_restores_locks_and_setattr(self):
+        monitor = LockMonitor()
+        guarded = monitor.attach(Guarded())
+        monitor.audit(guarded, {"_entries": "_lock"})
+        assert type(guarded._lock).__name__ == "_MonitoredLock"
+        monitor.close()
+        assert isinstance(guarded._lock, type(threading.Lock()))
+        guarded.put_racy("k", 1)  # no longer audited
+        assert monitor.unguarded_writes == ()
+        monitor.close()  # idempotent
+
+    def test_results_survive_close(self):
+        monitor = LockMonitor()
+        box = monitor.attach(Box())
+        with box._lock_a:
+            with box._lock_b:
+                pass
+        with box._lock_b:
+            with box._lock_a:
+                pass
+        monitor.close()
+        assert len(monitor.order_violations) == 1
+        with pytest.raises(InvariantError):
+            monitor.assert_clean()

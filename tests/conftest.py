@@ -44,3 +44,42 @@ def small_corpus(small_ontology):
         seed=11,
         name="small",
     )
+
+
+@pytest.fixture()
+def lock_sanitizer(monkeypatch):
+    """Runtime lock sanitizer auto-attached to every lock-bearing object.
+
+    Patches the lock-heavy classes so each instance constructed during
+    the test gets its lock attributes wrapped in recording proxies
+    (see :class:`repro.analysis.runtime.LockMonitor`).  Teardown fails
+    the test on any observed lock-ordering violation, then restores
+    every wrapped attribute and patched ``__init__``.
+    """
+    from repro.analysis.runtime import LockMonitor
+    from repro.core.arena import ConceptDistanceCache, PackedDeweyArena
+    from repro.core.engine import SearchEngine
+    from repro.index.sqlite import SQLiteIndexStore
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.slo import SLOTracker
+    from repro.obs.tracing import Tracer
+    from repro.serve.admission import AdmissionController
+    from repro.serve.cache import QueryCache
+
+    monitor = LockMonitor()
+    classes = (QueryCache, AdmissionController, ConceptDistanceCache,
+               PackedDeweyArena, SearchEngine, SQLiteIndexStore,
+               Tracer, FlightRecorder, SLOTracker)
+    for cls in classes:
+        original = cls.__init__
+
+        def attached_init(self, *args, __original=original, **kwargs):
+            __original(self, *args, **kwargs)
+            monitor.attach(self)
+
+        monkeypatch.setattr(cls, "__init__", attached_init)
+    yield monitor
+    try:
+        monitor.assert_clean()
+    finally:
+        monitor.close()

@@ -29,6 +29,13 @@ from repro.ontology.generators import snomed_like
 from repro.types import common_prefix_length
 
 
+@pytest.fixture(autouse=True)
+def _sanitized_locks(lock_sanitizer):
+    """Arena tests run under the runtime lock sanitizer; teardown fails
+    on any observed lock-ordering violation."""
+    yield lock_sanitizer
+
+
 # ----------------------------------------------------------------------
 # Exactness: arena kernels vs the tuple-based reference paths
 # ----------------------------------------------------------------------

@@ -1,0 +1,13 @@
+"""Serve-layer fixtures: every test here runs under the runtime lock
+sanitizer (see docs/STATIC_ANALYSIS.md, "Concurrency rules")."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_locks(lock_sanitizer):
+    """Wrap serve-path locks in recording proxies; fail the test on any
+    observed lock-ordering violation."""
+    yield lock_sanitizer
