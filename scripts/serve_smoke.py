@@ -12,6 +12,16 @@ asserts the serving contract end to end:
 * ``/healthz`` and ``/metrics`` respond with real content;
 * graceful shutdown drains and then refuses connections.
 
+A second, sharded phase boots the same world behind ``--shards 2``
+(:class:`repro.shard.ShardedEngine`) and asserts the sharded contract:
+
+* merged scatter-gather results are bit-identical to the single engine;
+* the same deterministic load yields zero 5xx and the same 200 count;
+* ``/healthz`` aggregates per-worker shard health;
+* SIGKILLing one worker mid-load self-heals by respawn-and-retry:
+  every response is 200 or a bounded number of 503s, answers stay
+  correct afterwards, and the respawn is recorded.
+
 Exit code 0 on success, 1 with a diagnostic on any failure.  Run it
 from the repository root::
 
@@ -22,7 +32,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
+import signal
 import sys
+import time
 
 
 def fail(message: str) -> None:
@@ -109,9 +122,177 @@ def main() -> int:
     else:
         fail(f"server still answering after stop (status {status})")
     service.close()
+
+    sharded_smoke(ontology, collection, engine)
+    cli_sharded_smoke(ontology, collection)
     engine.close()
     print("serve smoke: OK")
     return 0
+
+
+def cli_sharded_smoke(ontology, collection) -> None:
+    """``repro serve --shards 2`` as a real subprocess: boot, probe,
+    SIGTERM, clean exit."""
+    import re
+    import subprocess
+    import tempfile
+
+    from repro.corpus.io import save_jsonl
+    from repro.ontology.io.csvio import save_csv
+
+    print("# CLI phase: python -m repro serve --shards 2")
+    with tempfile.TemporaryDirectory(prefix="serve_smoke_") as tmp:
+        prefix = os.path.join(tmp, "onto")
+        save_csv(ontology, f"{prefix}.concepts.csv", f"{prefix}.edges.csv")
+        corpus_path = os.path.join(tmp, "corpus.jsonl")
+        save_jsonl(collection, corpus_path)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--ontology", prefix, "--corpus", corpus_path,
+             "--port", "0", "--shards", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env={**os.environ, "PYTHONPATH": "src"})
+        try:
+            address = None
+            deadline = time.monotonic() + 60.0
+            assert process.stdout is not None
+            for line in process.stdout:
+                match = re.search(r"serving on http://([\d.]+):(\d+)",
+                                  line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+                    break
+                if time.monotonic() > deadline:
+                    break
+            if address is None:
+                fail("repro serve --shards 2 never announced its address")
+            status, body = fetch(address, "GET", "/healthz", timeout=30.0)
+            health = json.loads(body)
+            if status != 200 or health.get("shards", {}).get("alive") != 2:
+                fail(f"CLI server /healthz wrong: {status} {body!r}")
+            connection = http.client.HTTPConnection(*address, timeout=30.0)
+            try:
+                concepts = list(next(iter(collection)).concepts[:3])
+                connection.request(
+                    "POST", "/search/rds",
+                    body=json.dumps({"concepts": concepts, "k": 5}),
+                    headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                if response.status != 200 or not payload["results"]:
+                    fail(f"CLI server query failed: {response.status}")
+            finally:
+                connection.close()
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30.0)
+            if code != 0:
+                fail(f"repro serve --shards 2 exited {code} on SIGTERM")
+            print("# CLI server answered and drained cleanly")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+
+
+def sharded_smoke(ontology, collection, single_engine) -> None:
+    """The ``--shards 2`` phase: parity, zero 5xx, crash recovery."""
+    from repro.serve import (QueryService, ServeConfig, ServerHandle,
+                             mixed_workload, run_load)
+    from repro.shard import ShardedEngine
+
+    print("# sharded phase: 2 worker processes")
+    engine = ShardedEngine(ontology, collection, shards=2)
+    try:
+        # Merged-result parity against the single-process engine, on
+        # real queries drawn from the corpus.
+        checked = 0
+        for spec in mixed_workload(collection, count=20, nq=4, k=10,
+                                   seed=9):
+            if spec.kind == "rds":
+                one = single_engine.rds(spec.payload["concepts"], k=10)
+                two = engine.rds(spec.payload["concepts"], k=10)
+            else:
+                query = spec.payload.get("doc_id") \
+                    or spec.payload["concepts"]
+                one = single_engine.sds(query, k=10)
+                two = engine.sds(query, k=10)
+            if [(i.doc_id, i.distance) for i in one.results] \
+                    != [(i.doc_id, i.distance) for i in two.results]:
+                fail(f"sharded result differs from single engine for "
+                     f"{spec.path} {spec.payload!r}")
+            checked += 1
+        print(f"# parity: {checked} queries bit-identical to the "
+              f"single engine")
+
+        service = QueryService(engine,
+                               ServeConfig(workers=4, queue_limit=32))
+        handle = ServerHandle.start(service, port=0)
+        address = handle.address
+        try:
+            status, body = fetch(address, "GET", "/healthz")
+            health = json.loads(body)
+            if status != 200 or health.get("shards", {}).get("alive") != 2:
+                fail(f"/healthz shard aggregation wrong: {status} "
+                     f"{body!r}")
+
+            workload = mixed_workload(collection, count=60, nq=4, k=10,
+                                      seed=3)
+            report = run_load(address, workload, threads=6, repeat=3)
+            print(f"# sharded load: {report.total} responses, statuses="
+                  f"{dict(report.statuses)}")
+            if report.errors:
+                fail("transport errors under sharded load: "
+                     f"{report.errors[:3]}")
+            if report.server_errors:
+                fail(f"{report.server_errors} 5xx responses under "
+                     f"sharded load")
+            if report.count(200) != len(workload) * 3:
+                fail(f"expected {len(workload) * 3} 200s under sharded "
+                     f"load, got {report.count(200)}")
+
+            # Kill one worker mid-load: the engine must respawn it and
+            # keep answering.  Admissible statuses are 200 and (rarely,
+            # for a request that loses the respawn race twice) 503 —
+            # never a wrong answer or a 500.  A fresh workload seed
+            # guarantees cache misses, so the dead worker is really hit.
+            victim = engine.shard_health()[0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while engine.shard_health()[0]["alive"]:
+                if time.monotonic() > deadline:
+                    fail("killed worker still reported alive")
+                time.sleep(0.05)
+            fresh = mixed_workload(collection, count=60, nq=4, k=10,
+                                   seed=17)
+            report = run_load(address, fresh, threads=6, repeat=2)
+            print(f"# post-kill load: {report.total} responses, statuses="
+                  f"{dict(report.statuses)}")
+            if report.errors:
+                fail("transport errors after worker kill: "
+                     f"{report.errors[:3]}")
+            bad = {status for status in report.statuses
+                   if status not in (200, 503)}
+            if bad:
+                fail(f"unexpected statuses after worker kill: {bad}")
+            if report.count(503) > 5:
+                fail(f"unbounded 503s after worker kill: "
+                     f"{report.count(503)}")
+            if engine.shard_health()[0]["restarts"] < 1:
+                fail("worker kill did not record a respawn")
+            expected = single_engine.rds(
+                next(iter(collection)).concepts[:3], k=5)
+            merged = engine.rds(
+                next(iter(collection)).concepts[:3], k=5)
+            if expected.doc_ids() != merged.doc_ids():
+                fail("post-respawn answers differ from the single engine")
+            print(f"# respawn: shard 0 restarted "
+                  f"{engine.shard_health()[0]['restarts']}x, answers "
+                  f"still correct")
+        finally:
+            handle.stop()
+            service.close()
+    finally:
+        engine.close()
 
 
 if __name__ == "__main__":

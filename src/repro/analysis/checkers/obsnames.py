@@ -48,7 +48,7 @@ _SINKS = frozenset({
 _KNOWN_LAYERS = frozenset({
     "arena", "bench", "drc", "engine", "fullscan", "http", "index",
     "knds", "profiler", "query", "recorder", "resource", "sanitizer",
-    "serve", "slo", "ta", "trace", "types",
+    "serve", "shard", "slo", "ta", "trace", "types",
 })
 
 

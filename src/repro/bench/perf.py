@@ -87,6 +87,7 @@ WORK_COUNTERS = (
     "trace.spans", "recorder.requests",
     "serve.analyze_settled", "serve.analyze_pruned",
     "serve.analyze_exact", "serve.analyze_rounds",
+    "shard.fanout", "shard.merge_kept",
 )
 """Deterministic cost-model counters gated alongside wall time.
 
@@ -415,6 +416,31 @@ def _prepare_engine_rds_radio(world: "World") -> PreparedScenario:
     from repro.core.engine import SearchEngine
 
     engine = SearchEngine(world.ontology, world.corpus("RADIO"))
+    queries = random_concept_queries(world.corpus("RADIO"), nq=5,
+                                     count=world.scale.queries_per_point,
+                                     seed=5)
+
+    def run() -> None:
+        for query in queries:
+            engine.rds(list(query), k=10)
+
+    return PreparedScenario(run=run, instrument=engine.instrument,
+                            cleanup=engine.close)
+
+
+@register_scenario(
+    "shard_scatter_gather",
+    "ShardedEngine RDS over 2 worker processes, RADIO corpus (nq=5, "
+    "k=10) — scatter-gather fan-out, per-shard top-k and canonical "
+    "merge; shard.fanout/shard.merge_kept gate the fan-out cost model "
+    "(worker spawn happens in prepare, untimed)",
+    tags=("smoke", "shard"))
+def _prepare_shard_scatter_gather(world: "World") -> PreparedScenario:
+    from repro.bench.workloads import random_concept_queries
+    from repro.shard import ShardedEngine
+
+    engine = ShardedEngine(world.ontology, world.corpus("RADIO"),
+                           shards=2)
     queries = random_concept_queries(world.corpus("RADIO"), nq=5,
                                      count=world.scale.queries_per_point,
                                      seed=5)

@@ -265,7 +265,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         profiler_enabled=args.profiler,
         profiler_interval_seconds=args.profiler_interval,
         resource_interval_seconds=args.resource_interval,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_timeout_seconds=args.shard_timeout,
     )
+    if config.shards > 0:
+        from repro.shard import ShardedEngine
+
+        # The single-process engine only donated its parsed ontology and
+        # corpus; the shard workers build their own indexes per partition.
+        base, engine = engine, ShardedEngine(
+            engine.ontology, engine.collection,
+            shards=config.shards, policy=config.shard_policy,
+            timeout_seconds=config.shard_timeout_seconds)
+        base.close()
+        print(f"# sharded: {config.shards} worker processes "
+              f"({config.shard_policy} partitioning)")
     service = QueryService(engine, config)
     print(f"# engine ready: {len(engine.collection)} documents over "
           f"{len(engine.ontology)} concepts")
@@ -533,6 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resource-interval", type=float, default=5.0,
                        help="resource.* gauge sampling period "
                             "(0 disables the background thread)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition the corpus across N worker "
+                            "processes (0 serves in-process)")
+    serve.add_argument("--shard-policy", default="hash",
+                       choices=("hash", "round_robin"),
+                       help="corpus partitioning policy for --shards")
+    serve.add_argument("--shard-timeout", type=float, default=30.0,
+                       help="per-shard request timeout in seconds; a "
+                            "worker missing it is respawned")
     serve.set_defaults(handler=_cmd_serve)
 
     debug = commands.add_parser(

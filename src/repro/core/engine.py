@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from types import TracebackType
 from typing import Any, TYPE_CHECKING
 
@@ -75,15 +75,26 @@ class SearchEngine:
     ['d2', 'd3']
     """
 
+    #: Engine-level default kNDS configuration.  Unlike the raw
+    #: :class:`~repro.core.knds.KNDSearch` (which keeps the paper's
+    #: first-settled tie behaviour so the Table 2 traces stay exact),
+    #: the engine canonicalizes ties by ``(distance, doc_id)`` — the
+    #: determinism contract that makes results reproducible across
+    #: runs, processes, and shard layouts (:mod:`repro.shard`).
+    DEFAULT_CONFIG = KNDSConfig(stable_ties=True)
+
     def __init__(self, ontology: Ontology, collection: DocumentCollection, *,
                  backend: str = "memory",
                  sqlite_path: str = ":memory:",
                  sqlite_rebuild: bool = True,
+                 default_config: KNDSConfig | None = None,
                  obs: "Observability | None" = None) -> None:
         ontology.validate()
         self.ontology = ontology
         self.collection = collection
         self.backend = backend
+        self.default_config = (self.DEFAULT_CONFIG if default_config is None
+                               else default_config)
         self.dewey = DeweyIndex(ontology)
         self.arena = PackedDeweyArena(ontology, self.dewey)
         self.drc = DRC(ontology, self.dewey, arena=self.arena)
@@ -136,6 +147,25 @@ class SearchEngine:
                        extra={"backend": self.backend,
                               "documents": len(self.collection)})
 
+    @classmethod
+    def for_partition(cls, ontology: Ontology,
+                      documents: Iterable[Document], *,
+                      name: str = "partition",
+                      default_config: KNDSConfig | None = None,
+                      obs: "Observability | None" = None) -> "SearchEngine":
+        """Build an engine owning the indexes for one corpus partition.
+
+        The composition unit of the sharded deployment
+        (:mod:`repro.shard`): each worker process holds one of these
+        over its slice of the corpus.  Index ownership is per engine
+        (each builds its own inverted/forward views over exactly the
+        documents it was given), the ontology and algorithm surface are
+        identical to the full engine, and per-partition results merge
+        via :func:`repro.core.results.merge_ranked`.
+        """
+        return cls(ontology, DocumentCollection(documents, name=name),
+                   default_config=default_config, obs=obs)
+
     # ------------------------------------------------------------------
     def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,
             algorithm: str = "knds",
@@ -154,8 +184,10 @@ class SearchEngine:
         """
         with self._query_span("rds", algorithm, k):
             if algorithm == "knds":
-                return self._knds.rds(query_concepts, k, config,
-                                      analyze=analyze, **overrides)
+                return self._knds.rds(
+                    query_concepts, k,
+                    self.default_config if config is None else config,
+                    analyze=analyze, **overrides)
             if algorithm == "fullscan":
                 return self._fullscan().rds(query_concepts, k)
             if algorithm == "ta":
@@ -180,8 +212,10 @@ class SearchEngine:
         document = self._resolve_document(query_document)
         with self._query_span("sds", algorithm, k):
             if algorithm == "knds":
-                return self._knds.sds(document, k, config,
-                                      analyze=analyze, **overrides)
+                return self._knds.sds(
+                    document, k,
+                    self.default_config if config is None else config,
+                    analyze=analyze, **overrides)
             if algorithm == "fullscan":
                 return self._fullscan().sds(document, k)
             raise QueryError(f"unknown algorithm: {algorithm!r}")

@@ -37,6 +37,7 @@ but no frontier states are dropped, so results remain exact.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import time
 from collections.abc import Callable, Iterator, Sequence
@@ -98,6 +99,19 @@ class KNDSConfig:
         D-Radix builds.  Results are bit-for-bit identical; ``False``
         restores the tuple path for ablation and the paper's original
         DRC-probe accounting.
+    stable_ties:
+        Canonical tie-breaking.  The paper's pseudocode (the default,
+        ``False``) keeps the *first-settled* documents among those tied
+        at the k-th distance, so top-k membership at a tie boundary
+        depends on analysis order.  ``True`` orders documents by the
+        full ``(distance, doc_id)`` key instead: membership, pruning,
+        termination, and progressive emission all use the lexicographic
+        key, making the result a pure function of the corpus and the
+        query.  This is the determinism contract the sharded
+        scatter-gather merge (:mod:`repro.shard`) relies on — per-shard
+        top-k lists concatenate and re-sort to exactly the single-engine
+        ranking.  Distances are unaffected either way; only which of
+        several equally distant documents survive the boundary changes.
     """
 
     error_threshold: float = 0.5
@@ -108,6 +122,7 @@ class KNDSConfig:
     prune_at_pop: bool = True
     covered_shortcut: bool = True
     use_arena: bool = True
+    stable_ties: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_threshold <= 1.0:
@@ -116,6 +131,111 @@ class KNDSConfig:
             )
         if self.queue_limit is not None and self.queue_limit <= 0:
             raise QueryError("queue_limit must be positive or None")
+
+
+class _TopK:
+    """The running top-k (the paper's ``Hk``), in either tie mode.
+
+    The default mode is the pseudocode's max-heap over distance stored
+    as ``(-distance, doc_id)``: a settle displaces the current worst
+    only when *strictly* closer, so among documents tied at the k-th
+    distance the first ones settled stay.  ``stable`` mode keeps the k
+    lexicographically smallest ``(distance, doc_id)`` pairs in a sorted
+    list instead, and the prune / convergence / emission predicates
+    below tighten accordingly so no canonical member is ever pruned or
+    stranded (see :attr:`KNDSConfig.stable_ties`).  k is small, so the
+    ``bisect.insort`` into the sorted list is effectively O(k) on the
+    rare boundary improvement and O(log k) otherwise.
+    """
+
+    __slots__ = ("k", "stable", "_heap", "_items")
+
+    def __init__(self, k: int, stable: bool) -> None:
+        self.k = k
+        self.stable = stable
+        self._heap: list[tuple[float, DocId]] = []   # (-distance, doc_id)
+        self._items: list[tuple[float, DocId]] = []  # (distance, doc_id) asc
+
+    def __len__(self) -> int:
+        return len(self._items) if self.stable else len(self._heap)
+
+    def settle(self, distance: float, doc_id: DocId) -> None:
+        """Offer one exactly computed distance to the top-k."""
+        if self.stable:
+            entry = (distance, doc_id)
+            if len(self._items) < self.k:
+                bisect.insort(self._items, entry)
+            elif entry < self._items[-1]:
+                bisect.insort(self._items, entry)
+                self._items.pop()
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, doc_id))
+        elif distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-distance, doc_id))
+
+    @property
+    def kth(self) -> float | None:
+        """``Dk+`` — the current k-th best distance, once k are settled."""
+        if self.stable:
+            if len(self._items) < self.k:
+                return None
+            return self._items[-1][0]
+        if len(self._heap) < self.k:
+            return None
+        return -self._heap[0][0]
+
+    def prunable(self, bound: float, doc_id: DocId) -> bool:
+        """Is a candidate with this lower bound provably outside the top-k?
+
+        Unstable mode uses the pseudocode's ``bound >= Dk+``.  Stable
+        mode compares full keys: the candidate's exact distance is at
+        least ``bound``, and the boundary key ``(Dk+, boundary_id)``
+        only ever decreases, so ``(bound, doc_id) >= boundary`` means
+        the candidate can never displace a canonical member.  (With
+        ``bound < Dk+`` this reduces to the same check; the key
+        comparison only bites exactly at a distance tie.)
+        """
+        if self.stable:
+            if len(self._items) < self.k:
+                return False
+            return (bound, doc_id) >= self._items[-1]
+        kth = self.kth
+        return kth is not None and bound >= kth
+
+    def converged(self, global_lower: float) -> bool:
+        """May the search stop — can no unanalyzed document still enter?
+
+        Stable mode must keep going at ``global_lower == Dk+``: an
+        unanalyzed document tied at the boundary distance could still
+        win on doc id, so only a *strictly* larger lower bound is
+        conclusive.  The extra work is at most one more analysis round
+        per boundary tie, since the unseen-document bound grows with
+        every BFS level.
+        """
+        kth = self.kth
+        if kth is None:
+            return False
+        return global_lower > kth if self.stable else global_lower >= kth
+
+    def emittable(self, distance: float, global_lower: float) -> bool:
+        """May a settled result be progressively emitted already?
+
+        Stable mode is strict for the same reason as :meth:`converged`:
+        a member at ``distance == global_lower`` could yet be displaced
+        by an equally distant, smaller-id document still unanalyzed.
+        Boundary ties therefore flush at termination instead.
+        """
+        if self.stable:
+            return distance < global_lower
+        return distance <= global_lower
+
+    def items(self) -> list[tuple[float, DocId]]:
+        """``(distance, doc_id)`` pairs; ascending in stable mode,
+        heap-ordered otherwise (callers sort)."""
+        if self.stable:
+            return list(self._items)
+        return [(-negative, doc_id) for negative, doc_id in self._heap]
 
 
 class _RDSCandidate:
@@ -378,8 +498,7 @@ class KNDSearch:
         candidates: dict[DocId, _RDSCandidate | _SDSCandidate] = {}
         candidate_heap: list[tuple[float, DocId]] = []
         closed: set[DocId] = set()  # analyzed or pruned (the hash Sd)
-        # Hk: max-heap over distance, as (-distance, doc_id).
-        top_heap: list[tuple[float, DocId]] = []
+        top = _TopK(k, config.stable_ties)
         emitted: set[DocId] = set()
         level = -1
         reason = "exhausted"
@@ -399,8 +518,8 @@ class KNDSearch:
                             continue
                         advanced = True
                         self._collect(search.origin, nodes, level + 1, mode,
-                                      num_query, k, candidates,
-                                      candidate_heap, closed, top_heap,
+                                      num_query, candidates,
+                                      candidate_heap, closed, top,
                                       config, telemetry)
                     if advanced:
                         level += 1
@@ -413,7 +532,7 @@ class KNDSearch:
                 if sinks:
                     _emit(sinks, _snapshot(
                         ExpandedEvent, level, num_query, searches, candidates,
-                        closed, top_heap, k, None))
+                        closed, top, None))
 
                 exhausted = all(search.exhausted() for search in searches)
                 pending = sum(search.pending_states() for search in searches)
@@ -428,9 +547,9 @@ class KNDSearch:
                 with tracer.span("knds.analyze", level=level,
                                  forced=forced) as analyze_span:
                     examined_before = telemetry.docs_examined
-                    self._analyze(query, query_ids, k, mode, num_query,
+                    self._analyze(query, query_ids, mode, num_query,
                                   level, forced, candidates, candidate_heap,
-                                  closed, top_heap, config, telemetry)
+                                  closed, top, config, telemetry)
                     analyze_span.set_attribute(
                         "examined", telemetry.docs_examined - examined_before)
 
@@ -438,22 +557,19 @@ class KNDSearch:
                 global_lower = self._global_lower(
                     candidates, candidate_heap, level, num_query, exhausted,
                     mode)
-                kth_distance = -top_heap[0][0] if len(top_heap) >= k else None
                 if profile is not None:
-                    profile.note_round(level, global_lower, kth_distance)
+                    profile.note_round(level, global_lower, top.kth)
                 if sinks:
                     _emit(sinks, _snapshot(
                         RoundEvent, level, num_query, searches, candidates,
-                        closed, top_heap, k, global_lower))
+                        closed, top, global_lower))
                 confirmed = sorted(
-                    ((-negative, doc_id) for negative, doc_id in top_heap
-                     if doc_id not in emitted),
-                )
+                    item for item in top.items() if item[1] not in emitted)
                 for distance, doc_id in confirmed:
-                    if distance <= global_lower:
+                    if top.emittable(distance, global_lower):
                         emitted.add(doc_id)
                         yield ResultItem(doc_id, distance)
-                if kth_distance is not None and global_lower >= kth_distance:
+                if top.converged(global_lower):
                     reason = "converged"
                     break
                 if exhausted and not candidates:
@@ -470,13 +586,11 @@ class KNDSearch:
             if sinks:
                 _emit(sinks, _snapshot(
                     TerminatedEvent, level, num_query, searches, candidates,
-                    closed, top_heap, k, global_lower, reason=reason))
+                    closed, top, global_lower, reason=reason))
 
             # Flush anything confirmed only by termination.
             remaining = sorted(
-                ((-negative, doc_id) for negative, doc_id in top_heap
-                 if doc_id not in emitted),
-            )
+                item for item in top.items() if item[1] not in emitted)
             for distance, doc_id in remaining:
                 yield ResultItem(doc_id, distance)
             telemetry.total_seconds += time.perf_counter() - start
@@ -499,13 +613,12 @@ class KNDSearch:
 
     # ------------------------------------------------------------------
     def _collect(self, origin: ConceptId, nodes: list[ConceptId], level: int,
-                 mode: str, num_query: int, k: int,
+                 mode: str, num_query: int,
                  candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
                  candidate_heap: list[tuple[float, DocId]],
-                 closed: set[DocId], top_heap: list[tuple[float, DocId]],
+                 closed: set[DocId], top: _TopK,
                  config: KNDSConfig, telemetry: QueryTelemetry) -> None:
         """Process the freshly visited concepts of one BFS level."""
-        kth = -top_heap[0][0] if len(top_heap) >= k else None
         for concept in nodes:
             telemetry.nodes_visited += 1
             io_start = time.perf_counter()
@@ -527,8 +640,7 @@ class KNDSearch:
                 # prune documents wrongly, and break the heap's
                 # stored-bound <= fresh-bound invariant.
                 bound = candidate.lower(level - 1, num_query)
-                if (config.prune_on_update and kth is not None
-                        and bound >= kth):
+                if config.prune_on_update and top.prunable(bound, doc_id):
                     # Optimization 1: the bound can only grow and the k-th
                     # distance can only shrink, so this document is out.
                     del candidates[doc_id]
@@ -549,11 +661,11 @@ class KNDSearch:
 
     # ------------------------------------------------------------------
     def _analyze(self, query: tuple[ConceptId, ...],
-                 query_ids: list[int] | None, k: int, mode: str,
+                 query_ids: list[int] | None, mode: str,
                  num_query: int, level: int, forced: bool,
                  candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
                  candidate_heap: list[tuple[float, DocId]],
-                 closed: set[DocId], top_heap: list[tuple[float, DocId]],
+                 closed: set[DocId], top: _TopK,
                  config: KNDSConfig, telemetry: QueryTelemetry) -> None:
         """Pop candidates in lower-bound order and settle their distances."""
         budget = config.analyze_budget_per_round
@@ -570,9 +682,7 @@ class KNDSearch:
                 # Stale entry: reinsert with the current bound.
                 heapq.heapreplace(candidate_heap, (fresh_bound, doc_id))
                 continue
-            kth = -top_heap[0][0] if len(top_heap) >= k else None
-            if (config.prune_at_pop and kth is not None
-                    and fresh_bound >= kth):
+            if config.prune_at_pop and top.prunable(fresh_bound, doc_id):
                 # Optimization 1 at the pop site; the paper's bare
                 # pseudocode has no Dk+ check here and would analyze the
                 # document anyway (see the Table 2 trace, document d6).
@@ -594,10 +704,7 @@ class KNDSearch:
             telemetry.docs_examined += 1
             if budget is not None:
                 budget -= 1
-            if len(top_heap) < k:
-                heapq.heappush(top_heap, (-distance, doc_id))
-            elif distance < -top_heap[0][0]:
-                heapq.heapreplace(top_heap, (-distance, doc_id))
+            top.settle(distance, doc_id)
 
     def _settle(self, candidate: "_RDSCandidate | _SDSCandidate",
                 query: tuple[ConceptId, ...], query_ids: list[int] | None,
@@ -666,7 +773,7 @@ def _emit(sinks: list[Callable[[QueryEvent], None]],
 def _snapshot(event_cls: type[QueryEvent], level: int, num_query: int,
               searches: list[ValidPathBFS],
               candidates: dict[DocId, "_RDSCandidate | _SDSCandidate"],
-              closed: set[DocId], top_heap: list[tuple[float, DocId]], k: int,
+              closed: set[DocId], top: _TopK,
               global_lower: float | None, **extra: Any) -> QueryEvent:
     """Observer view of the algorithm state (the columns of Table 2).
 
@@ -686,8 +793,8 @@ def _snapshot(event_cls: type[QueryEvent], level: int, num_query: int,
             for search in searches
             for node in search.frontier_nodes()
         ),
-        top={doc_id: -negative for negative, doc_id in top_heap},
-        kth_distance=(-top_heap[0][0] if len(top_heap) >= k else None),
+        top={doc_id: distance for distance, doc_id in top.items()},
+        kth_distance=top.kth,
         global_lower=global_lower,
         **extra,
     )

@@ -12,8 +12,13 @@ deterministic, in-process MapReduce runtime:
 
 * :class:`MapReduceRuntime` — ``run(records, mapper, reducer)`` with a
   hash-partitioned shuffle.  Deterministic and dependency-free, so the
-  *structure* of the distributed algorithm is testable; swapping in a
-  real cluster runtime means reimplementing one class.
+  *structure* of the distributed algorithm is testable.  This runtime is
+  deliberately in-process and single-threaded: it models the paper's
+  decomposition, not a deployment.  The repo's actual multi-process
+  runtime is :mod:`repro.shard`, which partitions *documents* (not BFS
+  frontiers) across worker processes and scatter-gathers whole top-k
+  queries — see ``docs/SERVING.md`` ("Sharded deployment") for how the
+  two decompositions relate.
 * :class:`MapReduceKNDS` — the search driver.  Each round:
 
   1. **map** over per-origin frontier shards: advance that origin's BFS

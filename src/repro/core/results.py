@@ -15,9 +15,10 @@ observability subsystem aggregates the very same numbers process-wide.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
+from repro.exceptions import InvariantError
 from repro.obs.metrics import QUERY_TELEMETRY_FIELDS, QueryTelemetry
 from repro.obs.profiling import QueryCostProfile
 from repro.types import DocId
@@ -151,3 +152,40 @@ class RankedResults:
 
     def __iter__(self) -> Iterator[ResultItem]:
         return iter(self.results)
+
+
+def merge_ranked(parts: Sequence[RankedResults], k: int) -> RankedResults:
+    """Merge per-partition top-k lists into the global top-k.
+
+    The scatter-gather reduce step of :mod:`repro.shard`.  Correctness
+    leans on kNDS's own ``D− ≥ Dk+`` bound: each shard stops only once
+    no unanalyzed document in *its* partition can beat its local k-th
+    distance, and the local ``Dk+`` is at or above the global one —
+    so each local top-k is a superset of its partition's contribution
+    to the global top-k, and
+    concatenating the per-shard lists loses nothing.  Membership and
+    order use the full ``(distance, doc_id)`` key — the same canonical
+    tie-break the engine's ``stable_ties`` default applies — which makes
+    the merged ranking bit-identical to running the single engine over
+    the union of the partitions.
+
+    Work telemetry (:class:`QueryStats`) is summed across shards;
+    ``algorithm``/``query_kind`` are taken from the parts (which agree
+    by construction).  Empty parts (an empty shard, or one holding
+    fewer than ``k`` documents) contribute what they have.
+    """
+    if not parts:
+        raise InvariantError("merge_ranked needs at least one partition")
+    merged: list[ResultItem] = []
+    stats = QueryStats()
+    for part in parts:
+        merged.extend(part.results)
+        stats.merge(part.stats)
+    merged.sort(key=lambda item: (item.distance, item.doc_id))
+    return RankedResults(
+        results=merged[:k],
+        stats=stats,
+        algorithm=parts[0].algorithm,
+        query_kind=parts[0].query_kind,
+        k=k,
+    )

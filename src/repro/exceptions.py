@@ -157,3 +157,52 @@ class ServiceClosedError(ServeError):
 
     def __init__(self) -> None:
         super().__init__("service is draining; no new queries accepted")
+
+
+class ShardError(ServeError):
+    """Base class for sharded-serving (:mod:`repro.shard`) errors.
+
+    A subclass of :class:`ServeError` so serve-layer handlers that
+    already map service errors to HTTP responses catch shard failures
+    without new plumbing; the HTTP layer maps it to 503.
+    """
+
+
+class ShardProtocolError(ShardError):
+    """The coordinator/worker framing or handshake was violated.
+
+    Raised on a torn frame (EOF mid-message), an oversized frame, an
+    authentication-token mismatch, or an out-of-protocol message.  Any
+    of these means the link is unusable; the coordinator tears the
+    worker down rather than attempting to resynchronize a byte stream.
+    """
+
+
+class ShardTimeoutError(ShardError):
+    """A shard worker failed to answer within the per-shard timeout.
+
+    The worker may be wedged rather than dead, so the coordinator
+    treats this exactly like a crash: kill, respawn, retry once.
+    """
+
+    def __init__(self, shard: int, seconds: float) -> None:
+        super().__init__(
+            f"shard {shard} did not answer within {seconds:g}s")
+        self.shard = shard
+        self.seconds = seconds
+
+
+class ShardUnavailableError(ShardError):
+    """A shard worker is down and one respawn-and-retry already failed.
+
+    The scatter-gather answer would be missing that partition's
+    documents, so the query fails (HTTP 503) instead of silently
+    returning a partial ranking.
+    """
+
+    def __init__(self, shard: int, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"shard {shard} is unavailable after respawn-and-retry"
+            f"{detail}")
+        self.shard = shard

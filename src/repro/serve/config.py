@@ -80,6 +80,21 @@ class ServeConfig:
         entries, queue depth, GC counts); 0 disables the background
         thread while keeping the on-demand refresh that ``/debug/vars``
         and ``/metrics`` scrapes trigger.
+    shards:
+        Worker *processes* to partition the corpus across (``repro
+        serve --shards N``); 0 (default) serves from one in-process
+        engine.  With shards, queries scatter-gather through
+        :class:`repro.shard.ShardedEngine` — results are bit-identical
+        to the single-engine path (see docs/SERVING.md, "Sharded
+        deployment").
+    shard_policy:
+        Corpus partitioning policy, ``hash`` (stable assignment) or
+        ``round_robin`` (balanced partitions); see
+        :class:`repro.shard.ShardPlanner` for the stability contract.
+    shard_timeout_seconds:
+        Per-shard request timeout.  A worker missing it is treated as
+        crashed: killed, respawned, and retried once before the request
+        fails with 503.
     """
 
     host: str = "127.0.0.1"
@@ -102,6 +117,9 @@ class ServeConfig:
     profiler_enabled: bool = False
     profiler_interval_seconds: float = 0.01
     resource_interval_seconds: float = 5.0
+    shards: int = 0
+    shard_policy: str = "hash"
+    shard_timeout_seconds: float = 30.0
 
     @property
     def max_inflight(self) -> int:
@@ -167,3 +185,15 @@ class ServeConfig:
             raise ServeError(
                 f"resource_interval_seconds must be >= 0, got "
                 f"{self.resource_interval_seconds}")
+        if self.shards < 0:
+            raise ServeError(f"shards must be >= 0, got {self.shards}")
+        # Mirrors repro.shard.planner.POLICIES without importing the
+        # (process-spawning) shard package just to validate a string.
+        if self.shard_policy not in ("hash", "round_robin"):
+            raise ServeError(
+                f"shard_policy must be one of hash, round_robin, "
+                f"got {self.shard_policy!r}")
+        if self.shard_timeout_seconds <= 0:
+            raise ServeError(
+                f"shard_timeout_seconds must be > 0, got "
+                f"{self.shard_timeout_seconds}")

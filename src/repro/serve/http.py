@@ -12,6 +12,7 @@ endpoint                 method  body / behaviour
 ``/search/rds``          POST    ``{"concepts": [...], "k": 10, ...}``
 ``/search/rds:batch``    POST    ``{"queries": [[...], ...], "k": 10, ...}``
 ``/search/sds``          POST    ``{"doc_id": "..."}`` or ``{"concepts": …}``
+``/search/sds:batch``    POST    ``{"queries": ["doc", [...], ...], ...}``
 ``/explain``             POST    ``{"doc_id": "...", "concepts": [...]}``
 ``/debug/traces``        GET     flight-recorder captures (``?id=`` for one)
 ``/debug/requests``      GET     metadata ring of recent requests
@@ -61,7 +62,8 @@ from urllib.parse import parse_qsl
 
 from repro.exceptions import (CorpusError, QueryTimeoutError, ReproError,
                               ServeError, ServiceClosedError,
-                              ServiceOverloadedError, UnknownDocumentError)
+                              ServiceOverloadedError, ShardError,
+                              UnknownDocumentError)
 from repro.obs.logging import get_logger, log_context
 from repro.obs.profiling import StatisticalProfiler
 from repro.obs.recorder import RequestRecord
@@ -74,7 +76,7 @@ _ACCESS = get_logger("serve.access")
 
 _MAX_HEADERS = 100
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any sane query
-_MAX_BATCH = 64  # queries per /search/rds:batch request (one admission slot)
+_MAX_BATCH = 64  # queries per /search/*:batch request (one admission slot)
 _MAX_PROFILE_SECONDS = 30.0  # /debug/profile?seconds=N one-shot ceiling
 
 _REASONS: Final[dict[int, str]] = {
@@ -293,6 +295,14 @@ class QueryServer:
         except QueryTimeoutError as error:
             return _json_response(
                 504, _error_payload(504, "deadline_exceeded", str(error)))
+        except ShardError as error:
+            # A shard worker stayed down through respawn-and-retry: the
+            # answer would be missing a partition, so fail loudly and
+            # retryably rather than serve a partial ranking.
+            return _json_response(
+                503, _error_payload(503, "shard_unavailable", str(error)),
+                headers={"Retry-After": _format_retry(
+                    self.service.config.retry_after_seconds)})
         except UnknownDocumentError as error:
             return _json_response(
                 404, _error_payload(404, "unknown_document", str(error)))
@@ -311,7 +321,13 @@ class QueryServer:
 
     # -- endpoint handlers ----------------------------------------------
     async def _handle_healthz(self, request: "_Request") -> _Response:
-        """``GET /healthz`` — liveness, drain state, corpus summary."""
+        """``GET /healthz`` — liveness, drain state, corpus summary.
+
+        On a sharded engine the payload also aggregates per-worker
+        health.  A dead worker degrades the status (serving continues —
+        the next request respawns it) without failing the check; only
+        draining answers 503.
+        """
         draining = self.service.admission.draining
         payload = {
             "status": "draining" if draining else "ok",
@@ -320,6 +336,18 @@ class QueryServer:
             "inflight": self.service.admission.inflight,
             "cache_entries": len(self.service.cache),
         }
+        shard_health = getattr(self.service.engine, "shard_health", None)
+        if callable(shard_health):
+            workers = shard_health()
+            alive = sum(1 for worker in workers if worker["alive"])
+            payload["shards"] = {
+                "count": len(workers),
+                "alive": alive,
+                "respawns": sum(worker["restarts"] for worker in workers),
+                "workers": workers,
+            }
+            if not draining and alive < len(workers):
+                payload["status"] = "degraded"
         return _json_response(503 if draining else 200, payload)
 
     async def _handle_metrics(self, request: "_Request") -> _Response:
@@ -369,6 +397,31 @@ class QueryServer:
             "algorithm": algorithm,
             "count": len(results),
             "results": [_render_result("rds", result, k, algorithm)
+                        for result in results],
+        })
+
+    async def _handle_sds_batch(self, request: "_Request") -> _Response:
+        """``POST /search/sds:batch`` — many SDS queries, one request.
+
+        Mirrors ``/search/rds:batch``: one admission slot, one deadline,
+        per-query cache hits and a single amortized engine batch for the
+        misses.  Each batch entry may be a doc-id string or a concept-id
+        list, exactly like the single-query ``/search/sds`` body.
+        """
+        payload = request.json()
+        queries = _require_sds_queries(payload)
+        k, algorithm, deadline = _common_params(payload)
+        analyze = _analyze_flag(request, payload)
+        results = await self.service.sds_many_async(
+            queries, k, algorithm=algorithm, deadline=deadline,
+            analyze=analyze)
+        request.meta["cached"] = all(result.cached for result in results)
+        return _json_response(200, {
+            "kind": "sds:batch",
+            "k": k,
+            "algorithm": algorithm,
+            "count": len(results),
+            "results": [_render_result("sds", result, k, algorithm)
                         for result in results],
         })
 
@@ -504,6 +557,7 @@ _ROUTES: Final[dict[str, tuple[str, str]]] = {
     "/search/rds": ("POST", "_handle_rds"),
     "/search/rds:batch": ("POST", "_handle_rds_batch"),
     "/search/sds": ("POST", "_handle_sds"),
+    "/search/sds:batch": ("POST", "_handle_sds_batch"),
     "/explain": ("POST", "_handle_explain"),
     "/debug/traces": ("GET", "_handle_debug_traces"),
     "/debug/requests": ("GET", "_handle_debug_requests"),
@@ -634,6 +688,29 @@ def _require_queries(payload: dict[str, Any]) -> list[list[str]]:
             raise _BadRequest(
                 "each batch query must be a non-empty list of "
                 "concept-id strings")
+    return queries
+
+
+def _require_sds_queries(payload: dict[str, Any]) -> list[str | list[str]]:
+    """Validate an SDS batch: each entry is a doc-id string or a
+    non-empty concept-id list (the two shapes ``/search/sds`` takes)."""
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise _BadRequest(
+            "'queries' must be a non-empty list of doc-id strings "
+            "or concept-id lists")
+    if len(queries) > _MAX_BATCH:
+        raise _BadRequest(
+            f"batch too large: {len(queries)} queries (max {_MAX_BATCH})")
+    for query in queries:
+        if isinstance(query, str) and query:
+            continue
+        if isinstance(query, list) and query \
+                and all(isinstance(item, str) for item in query):
+            continue
+        raise _BadRequest(
+            "each batch query must be a non-empty doc-id string or a "
+            "non-empty list of concept-id strings")
     return queries
 
 

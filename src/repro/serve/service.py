@@ -353,7 +353,7 @@ class QueryService:
         :meth:`rds`); duplicates within the batch are still computed
         (and profiled) once.
         """
-        pending = self._begin_batch(queries, k, algorithm, deadline,
+        pending = self._begin_batch("rds", queries, k, algorithm, deadline,
                                     analyze)
         return pending.wait()
 
@@ -363,8 +363,38 @@ class QueryService:
                              analyze: bool = False
                              ) -> list[ServeResult]:
         """Asyncio flavour of :meth:`rds_many` (same semantics)."""
-        pending = self._begin_batch(queries, k, algorithm, deadline,
+        pending = self._begin_batch("rds", queries, k, algorithm, deadline,
                                     analyze)
+        return await pending.wait_async()
+
+    def sds_many(self, queries: Sequence[str | Sequence[ConceptId]],
+                 k: int = 10, *, algorithm: str = "knds",
+                 deadline: float | None = None,
+                 analyze: bool = False) -> list[ServeResult]:
+        """Serve a batch of SDS queries under one admission slot.
+
+        The batch-parity twin of :meth:`rds_many`: each entry may be an
+        indexed doc id or a bare concept sequence (resolved to concepts
+        up front, exactly like :meth:`sds`), hits are served from the
+        cache, and the deduplicated misses run as one
+        :meth:`repro.core.engine.SearchEngine.sds_many` call on one
+        worker under the shared deadline.
+        """
+        pending = self._begin_batch(
+            "sds", [self._sds_concepts(query) for query in queries],
+            k, algorithm, deadline, analyze)
+        return pending.wait()
+
+    async def sds_many_async(self,
+                             queries: Sequence[str | Sequence[ConceptId]],
+                             k: int = 10, *, algorithm: str = "knds",
+                             deadline: float | None = None,
+                             analyze: bool = False
+                             ) -> list[ServeResult]:
+        """Asyncio flavour of :meth:`sds_many` (same semantics)."""
+        pending = self._begin_batch(
+            "sds", [self._sds_concepts(query) for query in queries],
+            k, algorithm, deadline, analyze)
         return await pending.wait_async()
 
     def explain(self, doc_id: str, concepts: Sequence[ConceptId], *,
@@ -568,14 +598,17 @@ class QueryService:
             return self.engine.sds(list(concepts), k, algorithm=algorithm,
                                    analyze=analyze)
 
-    def _execute_many(self, queries: list[tuple[ConceptId, ...]], k: int,
-                      algorithm: str,
+    def _execute_many(self, kind: str, queries: list[tuple[ConceptId, ...]],
+                      k: int, algorithm: str,
                       analyze: bool = False) -> list[RankedResults]:
         """Run the batch miss list (on a worker thread)."""
-        with self.obs.tracer.span("serve.execute", kind="rds:batch",
+        with self.obs.tracer.span("serve.execute", kind=f"{kind}:batch",
                                   algorithm=algorithm,
                                   queries=len(queries)):
-            return self.engine.rds_many(queries, k, algorithm=algorithm,
+            if kind == "rds":
+                return self.engine.rds_many(queries, k, algorithm=algorithm,
+                                            analyze=analyze)
+            return self.engine.sds_many(queries, k, algorithm=algorithm,
                                         analyze=analyze)
 
     def _execute_explain(self, doc_id: str,
@@ -584,22 +617,24 @@ class QueryService:
         with self.obs.tracer.span("serve.execute", kind="explain"):
             return self.engine.explain(doc_id, concepts)
 
-    def _begin_batch(self, queries: Sequence[Sequence[ConceptId]], k: int,
+    def _begin_batch(self, kind: str,
+                     queries: Sequence[Sequence[ConceptId]], k: int,
                      algorithm: str, deadline: float | None,
                      analyze: bool = False) -> "_PendingBatch":
         """Admission + per-query cache pass; returns a waitable batch.
 
-        With ``analyze`` every query is treated as a miss (no cache get)
-        and nothing is written back afterwards — the cache key is still
-        computed so duplicate queries inside the batch are profiled
-        once and share the result.
+        ``kind`` is ``"rds"`` or ``"sds"`` (SDS entries arrive already
+        resolved to concept sequences).  With ``analyze`` every query is
+        treated as a miss (no cache get) and nothing is written back
+        afterwards — the cache key is still computed so duplicate
+        queries inside the batch are profiled once and share the result.
         """
         if not queries:
             raise QueryError("batch must contain at least one query")
         timeout = self._timeout(deadline)
         start = self._admit()
         span = self.obs.tracer.span(
-            "serve.request", kind="rds:batch",
+            "serve.request", kind=f"{kind}:batch",
             queries=len(queries)).__enter__()
         try:
             self._batch_queries.inc(len(queries))
@@ -612,7 +647,7 @@ class QueryService:
             miss_queries: list[tuple[ConceptId, ...]] = []
             position: dict[CacheKey, int] = {}
             for concepts in queries:
-                key = self._key("rds", concepts, k, algorithm)
+                key = self._key(kind, concepts, k, algorithm)
                 if not analyze:
                     hit = self.cache.get(key, epoch)
                     if hit is not None:
@@ -631,12 +666,12 @@ class QueryService:
             future: "Future[list[RankedResults]] | None" = None
             if miss_queries:
                 future = self._submit(
-                    self._execute_many, miss_queries, k, algorithm,
+                    self._execute_many, kind, miss_queries, k, algorithm,
                     analyze)
-            return _PendingBatch(self, start, timeout, slots, miss_keys,
-                                 epoch, future, span=span)
+            return _PendingBatch(self, kind, start, timeout, slots,
+                                 miss_keys, epoch, future, span=span)
         except BaseException:
-            self._finish(start, "rds:batch", span)
+            self._finish(start, f"{kind}:batch", span)
             raise
 
     def _sds_concepts(
@@ -729,15 +764,17 @@ class _PendingBatch:
     admission slot and record the request exactly once.
     """
 
-    __slots__ = ("_service", "_start", "_timeout", "_slots", "_keys",
-                 "_epoch", "_future", "_span")
+    __slots__ = ("_service", "_kind", "_start", "_timeout", "_slots",
+                 "_keys", "_epoch", "_future", "_span")
 
-    def __init__(self, service: QueryService, start: float, timeout: float,
+    def __init__(self, service: QueryService, kind: str, start: float,
+                 timeout: float,
                  slots: list[ServeResult | int], keys: list[CacheKey],
                  epoch: int,
                  future: "Future[list[RankedResults]] | None", *,
                  span: Any = None) -> None:
         self._service = service
+        self._kind = kind
         self._start = start
         self._timeout = timeout
         self._slots = slots
@@ -760,7 +797,8 @@ class _PendingBatch:
                 raise QueryTimeoutError(self._timeout) from None
             return self._assemble(results)
         finally:
-            self._service._finish(self._start, "rds:batch", self._span)
+            self._service._finish(self._start, f"{self._kind}:batch",
+                                  self._span)
 
     async def wait_async(self) -> list[ServeResult]:
         """Await the full batch without blocking the event loop."""
@@ -777,14 +815,15 @@ class _PendingBatch:
                 raise QueryTimeoutError(self._timeout) from None
             return self._assemble(results)
         finally:
-            self._service._finish(self._start, "rds:batch", self._span)
+            self._service._finish(self._start, f"{self._kind}:batch",
+                                  self._span)
 
     def _assemble(self, results: list[RankedResults]) -> list[ServeResult]:
         cache = self._service.cache
         for key, ranked in zip(self._keys, results):
             cache.put(key, self._epoch, ranked)
         for ranked in results:
-            self._service._observe_work("rds", ranked)
+            self._service._observe_work(self._kind, ranked)
         ordered: list[ServeResult] = []
         for slot in self._slots:
             if isinstance(slot, int):

@@ -1,0 +1,36 @@
+"""Multi-process sharded scatter-gather serving (``repro.shard``).
+
+The production realization of the paper's Section 6.1 scaling story:
+the corpus is partitioned deterministically across worker *processes*
+(each owning a full :class:`~repro.core.engine.SearchEngine` over its
+slice, sidestepping the GIL), queries fan out to every shard, and the
+per-shard top-k lists — each computed with kNDS's ``D− ≥ Dk+`` bound
+as a correct per-shard early stop — merge back into the exact
+single-engine ranking.
+
+Layers:
+
+* :mod:`repro.shard.planner` — who owns which document, and why that
+  assignment is stable (:class:`ShardPlanner`).
+* :mod:`repro.shard.protocol` — length-prefixed pickle frames over
+  loopback TCP.
+* :mod:`repro.shard.worker` — the per-partition engine process.
+* :mod:`repro.shard.engine` — the :class:`ShardedEngine` coordinator:
+  scatter, gather, merge, per-shard timeouts, crash respawn, health.
+
+Serve integration: ``repro serve --shards N`` puts a
+:class:`ShardedEngine` behind the unchanged
+:class:`repro.serve.QueryService` stack.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.planner import POLICIES, ShardPlanner
+from repro.shard.worker import WorkerSpec, run_worker
+
+__all__ = [
+    "POLICIES",
+    "ShardPlanner",
+    "ShardedEngine",
+    "WorkerSpec",
+    "run_worker",
+]

@@ -1,0 +1,633 @@
+"""``ShardedEngine`` — scatter-gather coordination over worker processes.
+
+The coordinator presents the same query surface as a single
+:class:`repro.core.engine.SearchEngine` (``rds``/``sds``, the batch
+variants, ``explain``, mutations, ``epoch``) but executes each query by
+fanning it out to N worker processes, one per corpus partition
+(:class:`repro.shard.planner.ShardPlanner`), and reducing the per-shard
+top-k lists with :func:`repro.core.results.merge_ranked`.
+
+**Determinism contract.**  Workers run the engine's canonical
+``stable_ties`` configuration, under which each shard's top-k is the k
+lexicographically smallest ``(distance, doc_id)`` pairs of its
+partition and kNDS's ``D− ≥ Dk+`` bound is a correct per-shard early
+stop (the shard-local ``Dk+`` is at or above the global one).  The
+merged ranking is therefore bit-identical — ids, distances, order — to
+the single-engine answer, regardless of shard count or policy; tests
+assert this.
+
+**Failure semantics.**  Every call carries a per-shard timeout.  A
+worker that dies (EOF on its link) or times out is killed and respawned
+once from the coordinator's authoritative corpus copy, and the request
+is retried on the fresh worker; a second failure surfaces
+:class:`~repro.exceptions.ShardUnavailableError` (HTTP 503 at the serve
+layer) rather than returning a ranking with a silent hole in it.
+Mutations are applied to the coordinator's collection *before* the
+worker call, so a respawn triggered mid-mutation rebuilds the partition
+already containing the change and the worker call is simply skipped.
+
+Concurrency: queries are lock-free scatter-gathers (any number of
+serve-pool threads at once); mutations and respawns are serialized
+behind one reentrant lock.  Lock order: ``_lock`` may be held while a
+handle's ``_send_lock`` is taken, never the reverse.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import secrets
+import socket
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import replace
+from types import TracebackType
+from typing import Any, TYPE_CHECKING
+
+from repro.core.arena import PackedDeweyArena
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSConfig
+from repro.core.results import RankedResults, merge_ranked
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import (ShardProtocolError, ShardTimeoutError,
+                              ShardUnavailableError, UnknownConceptError)
+from repro.obs.logging import get_logger
+from repro.obs.tracing import NULL_TRACER
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.shard.planner import ShardPlanner
+from repro.shard.protocol import recv_frame, send_frame
+from repro.shard.worker import WorkerSpec, run_worker
+from repro.types import ConceptId, DocId
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter, Histogram
+
+__all__ = ["ShardedEngine"]
+
+_LOG = get_logger("repro.shard")
+
+_MUTATIONS = frozenset({"add_document", "remove_document"})
+
+
+class _WorkerDied(Exception):
+    """Internal marker: the worker link failed; the call may be retried."""
+
+
+class _ShardHandle:
+    """One live worker: socket, reader thread, in-flight futures."""
+
+    def __init__(self, index: int, process: Any,
+                 sock: socket.socket) -> None:
+        self.index = index
+        self.process = process
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._next_id = 0  # guarded by: _send_lock
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Future[Any]] = {}  # guarded by: _pending_lock
+        self.dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"repro-shard-reader-{index}",
+            daemon=True)
+        self._reader.start()
+
+    def submit(self, method: str, kwargs: dict[str, Any]) -> Future[Any]:
+        """Send one request frame; the future resolves on its response."""
+        future: Future[Any] = Future()
+        with self._send_lock:
+            if self.dead:
+                raise _WorkerDied(f"shard {self.index} link is down")
+            msg_id = self._next_id
+            self._next_id += 1
+            with self._pending_lock:
+                self._pending[msg_id] = future
+            try:
+                send_frame(self._sock, ("req", msg_id, method, kwargs))
+            except OSError as error:
+                self._fail_pending(error)
+                raise _WorkerDied(str(error)) from error
+        return future
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = recv_frame(self._sock)
+            except (EOFError, OSError, ShardProtocolError) as error:
+                self._fail_pending(error)
+                return
+            if not (isinstance(message, tuple) and len(message) == 3
+                    and message[0] in ("ok", "err")):
+                self._fail_pending(
+                    ShardProtocolError(f"bad response: {message!r:.100}"))
+                return
+            tag, msg_id, payload = message
+            with self._pending_lock:
+                future = self._pending.pop(msg_id, None)
+            if future is None:
+                continue  # caller gave up (timeout) before the answer came
+            if tag == "ok":
+                future.set_result(payload)
+            elif isinstance(payload, BaseException):
+                future.set_exception(payload)
+            else:
+                future.set_exception(ShardProtocolError(
+                    f"error frame without an exception: {payload!r:.100}"))
+
+    def _fail_pending(self, cause: BaseException) -> None:
+        """Mark the link dead and wake every waiter with the failure."""
+        self.dead = True
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(_WorkerDied(str(cause)))
+
+    def destroy(self, *, graceful: bool = False,
+                grace_seconds: float = 1.0) -> None:
+        """Tear the worker down; optionally ask politely first."""
+        if graceful and not self.dead:
+            try:
+                self.submit("shutdown", {}).result(grace_seconds)
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        self.dead = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        self.process.join(timeout=grace_seconds)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=grace_seconds)
+
+
+class ShardedEngine:
+    """Drop-in, multi-process replacement for one ``SearchEngine``.
+
+    Duck-typed to the engine surface :class:`repro.serve.QueryService`
+    consumes, so the whole serve stack — cache, admission control,
+    deadlines, tracing, metrics, drain — runs unchanged on top
+    (``repro serve --shards N``).
+    """
+
+    def __init__(self, ontology: Ontology, collection: DocumentCollection, *,
+                 shards: int = 2, policy: str = "hash",
+                 timeout_seconds: float = 30.0,
+                 spawn_timeout_seconds: float = 60.0,
+                 default_config: KNDSConfig | None = None,
+                 obs: "Observability | None" = None) -> None:
+        ontology.validate()
+        self.ontology = ontology
+        self.collection = collection
+        self.default_config = (SearchEngine.DEFAULT_CONFIG
+                               if default_config is None else default_config)
+        self.timeout_seconds = timeout_seconds
+        self.spawn_timeout_seconds = spawn_timeout_seconds
+        # The coordinator keeps its own dewey/arena: serve-layer cache
+        # keys (`arena.cache_token`) and resource gauges read them, and
+        # explain() runs locally against the full collection.
+        self.dewey = DeweyIndex(ontology)
+        self.arena = PackedDeweyArena(ontology, self.dewey)
+        self._planner = ShardPlanner(shards, policy)
+        self._ctx = multiprocessing.get_context("spawn")
+        # Serializes mutations *and* respawns (reentrant: a mutation
+        # that trips a respawn re-enters on the same thread).
+        self._lock = threading.RLock()
+        self._epoch = 0  # guarded by: _lock (writes)
+        self._closed = False  # guarded by: _lock
+        # Lock-free reads sanctioned: shard_health() is advisory and a
+        # torn read of an int counter is harmless.
+        self._restarts = [0] * shards  # guarded by: _lock (writes)
+        self._obs: "Observability | None" = None
+        self._m_fanout: "Counter | None" = None
+        self._m_kept: "Counter | None" = None
+        self._m_dropped: "Counter | None" = None
+        self._m_respawns: "Counter | None" = None
+        self._m_latency: "Histogram | None" = None
+        self._m_shard_latency: "list[Histogram]" = []
+        partitions = self._planner.plan(collection)
+        self._handles = [self._spawn(index, partition)
+                         for index, partition in enumerate(partitions)]
+        self.instrument(obs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """Number of worker partitions."""
+        return self._planner.shards
+
+    @property
+    def policy(self) -> str:
+        """Partitioning policy name (``hash`` or ``round_robin``)."""
+        return self._planner.policy
+
+    @property
+    def epoch(self) -> int:
+        """Corpus-mutation counter; same contract as the single engine."""
+        return self._epoch
+
+    def shard_health(self) -> list[dict[str, Any]]:
+        """Coordinator-side health of every worker (no worker I/O).
+
+        ``alive`` is false while a worker is down *between* the crash
+        and the next request that triggers its respawn; serving remains
+        correct either way, which is why ``/healthz`` reports this as
+        degradation rather than failure.
+        """
+        counts = self._planner.counts()
+        health = []
+        for index, handle in enumerate(self._handles):
+            health.append({
+                "shard": index,
+                "alive": bool(handle.process.is_alive()) and not handle.dead,
+                "pid": handle.process.pid,
+                "restarts": self._restarts[index],
+                "documents": counts[index],
+            })
+        return health
+
+    def instrument(self, obs: "Observability | None") -> None:
+        """Attach (or detach) an observability bundle to the coordinator.
+
+        Workers stay uninstrumented — they are separate processes; the
+        coordinator's ``shard.*`` counters, per-shard latency
+        histograms, and ``shard.query`` spans are the observable story.
+        """
+        self._obs = obs
+        self.arena.instrument(obs)
+        if obs is None:
+            self._m_fanout = self._m_kept = self._m_dropped = None
+            self._m_respawns = self._m_latency = None
+            self._m_shard_latency = []
+            return
+        metrics = obs.metrics
+        self._m_fanout = metrics.counter(
+            "shard.fanout", "per-shard requests fanned out")
+        self._m_kept = metrics.counter(
+            "shard.merge_kept", "per-shard results kept by the merge")
+        self._m_dropped = metrics.counter(
+            "shard.merge_dropped", "per-shard results cut by the merge")
+        self._m_respawns = metrics.counter(
+            "shard.respawns", "worker processes respawned after a failure")
+        self._m_latency = metrics.histogram(
+            "shard.latency_seconds", "per-shard call latency (all shards)")
+        self._m_shard_latency = [
+            metrics.histogram(f"shard.worker{index}.latency_seconds",
+                              f"call latency of shard worker {index}")
+            for index in range(self.shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Query surface (mirrors SearchEngine)
+    # ------------------------------------------------------------------
+    def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,
+            algorithm: str = "knds",
+            config: KNDSConfig | None = None,
+            analyze: bool = False,
+            **overrides: Any) -> RankedResults:
+        """Scatter-gather RDS; bit-identical to the single-engine path.
+
+        ``analyze`` is accepted for signature parity but attaches no
+        cost profile — per-shard profiles do not compose into one
+        meaningful round trace (the baselines set the same precedent).
+        """
+        del analyze
+        kwargs = {"concepts": tuple(query_concepts), "k": int(k),
+                  "algorithm": algorithm,
+                  "config": self._config(config, overrides)}
+        payloads = self._traced_scatter("rds", algorithm, k, "rds", kwargs)
+        return self._merge(payloads, k)
+
+    def sds(self, query_document: Document | str | Sequence[ConceptId],
+            k: int = 10, *, algorithm: str = "knds",
+            config: KNDSConfig | None = None,
+            analyze: bool = False,
+            **overrides: Any) -> RankedResults:
+        """Scatter-gather SDS.  The query document is resolved to its
+        concept set *before* fan-out — it may live on any shard (or none,
+        when a bare concept sequence or foreign document is given)."""
+        del analyze
+        kwargs = {"concepts": self._sds_concepts(query_document),
+                  "k": int(k), "algorithm": algorithm,
+                  "config": self._config(config, overrides)}
+        payloads = self._traced_scatter("sds", algorithm, k, "sds", kwargs)
+        return self._merge(payloads, k)
+
+    def rds_many(self, queries: Sequence[Sequence[ConceptId]],
+                 k: int = 10, *, algorithm: str = "knds",
+                 config: KNDSConfig | None = None,
+                 analyze: bool = False,
+                 **overrides: Any) -> list[RankedResults]:
+        """Batch RDS: one fan-out for the whole batch, merged per query."""
+        del analyze
+        kwargs = {"queries": tuple(tuple(query) for query in queries),
+                  "k": int(k), "algorithm": algorithm,
+                  "config": self._config(config, overrides)}
+        payloads = self._traced_scatter(
+            "rds:batch", algorithm, k, "rds_many", kwargs)
+        return self._merge_many(payloads, k, len(queries))
+
+    def sds_many(self, query_documents: Sequence[
+                     Document | str | Sequence[ConceptId]],
+                 k: int = 10, *, algorithm: str = "knds",
+                 config: KNDSConfig | None = None,
+                 analyze: bool = False,
+                 **overrides: Any) -> list[RankedResults]:
+        """Batch SDS: entries resolve to concept sets before fan-out."""
+        del analyze
+        kwargs = {"queries": tuple(self._sds_concepts(query_document)
+                                   for query_document in query_documents),
+                  "k": int(k), "algorithm": algorithm,
+                  "config": self._config(config, overrides)}
+        payloads = self._traced_scatter(
+            "sds:batch", algorithm, k, "sds_many", kwargs)
+        return self._merge_many(payloads, k, len(query_documents))
+
+    def explain(self, doc_id: str,
+                query_concepts: Sequence[ConceptId]) -> str:
+        """Explain locally: the coordinator holds the full collection."""
+        from repro.core.explain import explain_rds, render_explanation
+        document = self.collection.get(doc_id)
+        explanation = explain_rds(
+            self.ontology, document.require_concepts(), query_concepts)
+        return render_explanation(self.ontology, explanation)
+
+    # ------------------------------------------------------------------
+    # Incremental corpus maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> None:
+        """Index a new document on its owning shard.
+
+        The coordinator's collection is updated first: if the worker
+        call below dies, the respawn rebuilds the partition *from that
+        updated collection*, so the mutation is already applied and the
+        worker call is skipped (see ``_call``).  Only a failed respawn
+        rolls the coordinator back and surfaces the error.
+        """
+        document.require_concepts()
+        for concept_id in document.concepts:
+            if concept_id not in self.ontology:
+                raise UnknownConceptError(concept_id)
+        with self._lock:
+            self.collection.add(document)
+            index = self._planner.assign(document.doc_id)
+            try:
+                self._call(index, "add_document", {"document": document})
+            except ShardUnavailableError:
+                self.collection.remove(document.doc_id)
+                self._planner.release(document.doc_id)
+                raise
+            self._epoch += 1
+        self.arena.intern_unique(document.concepts)
+
+    def remove_document(self, doc_id: DocId) -> Document:
+        """Remove a document from the corpus and its owning shard."""
+        with self._lock:
+            document = self.collection.remove(doc_id)
+            index = self._planner.release(doc_id)
+            try:
+                self._call(index, "remove_document", {"doc_id": doc_id})
+            except ShardUnavailableError:
+                self.collection.add(document)
+                self._planner.assign(document.doc_id)
+                raise
+            self._epoch += 1
+        return document
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down (graceful first, then terminate)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self._handles:
+                handle.destroy(graceful=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        """Enter the context manager; returns the coordinator itself."""
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        """Exit the context manager, shutting the workers down."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Scatter-gather internals
+    # ------------------------------------------------------------------
+    def _config(self, config: KNDSConfig | None,
+                overrides: dict[str, Any]) -> KNDSConfig:
+        base = self.default_config if config is None else config
+        return replace(base, **overrides) if overrides else base
+
+    def _sds_concepts(
+        self, query_document: Document | str | Sequence[ConceptId],
+    ) -> tuple[ConceptId, ...]:
+        if isinstance(query_document, str):
+            return self.collection.get(query_document).require_concepts()
+        if isinstance(query_document, Document):
+            return query_document.require_concepts()
+        return tuple(query_document)
+
+    def _traced_scatter(self, kind: str, algorithm: str, k: int,
+                        method: str, kwargs: dict[str, Any]) -> list[Any]:
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        start = time.perf_counter()
+        with tracer.span("shard.query", kind=kind, algorithm=algorithm,
+                         k=k, shards=self.shards):
+            payloads = self._fanout(method, kwargs)
+        if obs is not None:
+            obs.observe_query(time.perf_counter() - start)
+        return payloads
+
+    def _fanout(self, method: str, kwargs: dict[str, Any]) -> list[Any]:
+        """One request to every shard; per-shard timeout and retry."""
+        if self._m_fanout is not None:
+            self._m_fanout.inc(self.shards)
+        submissions: list[tuple[_ShardHandle, Future[Any] | None]] = []
+        for handle in self._handles:
+            try:
+                submissions.append((handle, handle.submit(method, kwargs)))
+            except _WorkerDied:
+                submissions.append((handle, None))
+        payloads = []
+        for index, (handle, future) in enumerate(submissions):
+            shard_start = time.perf_counter()
+            payloads.append(self._gather(index, handle, future,
+                                         method, kwargs))
+            self._note_latency(index, time.perf_counter() - shard_start)
+        return payloads
+
+    def _gather(self, index: int, handle: _ShardHandle,
+                future: "Future[Any] | None", method: str,
+                kwargs: dict[str, Any]) -> Any:
+        try:
+            if future is None:
+                raise _WorkerDied(f"shard {index} link was already down")
+            return self._await(index, future)
+        except (_WorkerDied, ShardTimeoutError) as failure:
+            _LOG.warning("shard call failed; respawning",
+                         extra={"shard": index, "method": method,
+                                "failure": str(failure)})
+            return self._recover(index, handle, method, kwargs, failure)
+
+    def _call(self, index: int, method: str,
+              kwargs: dict[str, Any]) -> Any:
+        """Single-shard call with the same failure semantics as fan-out."""
+        handle = self._handles[index]
+        try:
+            return self._await(index, handle.submit(method, kwargs))
+        except (_WorkerDied, ShardTimeoutError) as failure:
+            return self._recover(index, handle, method, kwargs, failure)
+
+    def _await(self, index: int, future: "Future[Any]") -> Any:
+        try:
+            return future.result(self.timeout_seconds)
+        except FutureTimeout:
+            raise ShardTimeoutError(index, self.timeout_seconds) from None
+
+    def _recover(self, index: int, failed: _ShardHandle, method: str,
+                 kwargs: dict[str, Any],
+                 failure: Exception) -> Any:
+        """Respawn the worker and retry once; mutations are not retried
+        (the respawn rebuilds from the already-mutated collection)."""
+        handle = self._respawn(index, failed, reason=str(failure))
+        if method in _MUTATIONS:
+            return None
+        try:
+            return self._await(index, handle.submit(method, kwargs))
+        except (_WorkerDied, ShardTimeoutError) as second:
+            raise ShardUnavailableError(index, str(second)) from second
+
+    def _respawn(self, index: int, failed: _ShardHandle, *,
+                 reason: str) -> _ShardHandle:
+        with self._lock:
+            if self._closed:
+                raise ShardUnavailableError(index, "engine is closed")
+            current = self._handles[index]
+            if current is not failed and not current.dead:
+                return current  # another thread already respawned it
+            current.destroy()
+            documents = self._planner.members(index, self.collection)
+            try:
+                handle = self._spawn(index, documents)
+            except (OSError, ShardProtocolError,
+                    ShardUnavailableError) as error:
+                raise ShardUnavailableError(index, str(error)) from error
+            self._handles[index] = handle
+            self._restarts[index] += 1
+            if self._m_respawns is not None:
+                self._m_respawns.inc()
+            _LOG.warning("shard worker respawned",
+                         extra={"shard": index, "reason": reason,
+                                "documents": len(documents),
+                                "restarts": self._restarts[index]})
+            return handle
+
+    def _spawn(self, index: int, documents: Sequence[Document],
+               ) -> _ShardHandle:
+        """Start one worker process and complete the handshake."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(self.spawn_timeout_seconds)
+        _host, port = listener.getsockname()[:2]
+        token = secrets.token_bytes(16)
+        spec = WorkerSpec(
+            shard_index=index, host="127.0.0.1", port=port, token=token,
+            ontology=self.ontology, documents=tuple(documents),
+            collection_name=self.collection.name,
+            default_config=self.default_config)
+        process = self._ctx.Process(
+            target=run_worker, args=(spec,),
+            name=f"repro-shard-{index}", daemon=True)
+        process.start()
+        try:
+            sock = self._accept(listener, process, index)
+        finally:
+            listener.close()
+        sock.settimeout(self.spawn_timeout_seconds)
+        try:
+            hello = recv_frame(sock)
+        except (EOFError, OSError) as error:
+            sock.close()
+            process.terminate()
+            raise ShardUnavailableError(
+                index, "worker link dropped during handshake") from error
+        if hello != ("hello", token, index):
+            sock.close()
+            process.terminate()
+            raise ShardProtocolError(
+                f"shard {index} handshake failed (bad token or index)")
+        sock.settimeout(None)
+        return _ShardHandle(index, process, sock)
+
+    def _accept(self, listener: socket.socket, process: Any,
+                index: int) -> socket.socket:
+        """Wait for the worker to dial back, noticing early deaths.
+
+        Polls in short slices so a worker that crashes during import
+        fails the spawn immediately instead of after the full timeout.
+        """
+        deadline = time.monotonic() + self.spawn_timeout_seconds
+        listener.settimeout(0.1)
+        while True:
+            try:
+                sock, _addr = listener.accept()
+                return sock
+            except TimeoutError:
+                if not process.is_alive():
+                    raise ShardUnavailableError(
+                        index, "worker process died during startup"
+                    ) from None
+                if time.monotonic() >= deadline:
+                    process.terminate()
+                    raise ShardUnavailableError(
+                        index, "worker did not connect back in time"
+                    ) from None
+
+    # ------------------------------------------------------------------
+    # Merge and metrics
+    # ------------------------------------------------------------------
+    def _merge(self, payloads: list[Any], k: int) -> RankedResults:
+        parts = [payload for payload in payloads
+                 if isinstance(payload, RankedResults)]
+        merged = merge_ranked(parts, k)
+        self._note_merge(sum(len(part) for part in parts), len(merged))
+        return merged
+
+    def _merge_many(self, payloads: list[Any], k: int,
+                    count: int) -> list[RankedResults]:
+        lists = [payload for payload in payloads
+                 if isinstance(payload, list)]
+        merged = [merge_ranked(list(parts), k) for parts in zip(*lists)]
+        if count and not merged:
+            # zip(*[]) of an empty batch: preserve list-per-query shape.
+            return []
+        self._note_merge(
+            sum(len(part) for parts in lists for part in parts),
+            sum(len(result) for result in merged))
+        return merged
+
+    def _note_merge(self, collected: int, kept: int) -> None:
+        if self._m_kept is not None:
+            self._m_kept.inc(kept)
+        if self._m_dropped is not None:
+            self._m_dropped.inc(max(0, collected - kept))
+
+    def _note_latency(self, index: int, seconds: float) -> None:
+        if self._m_latency is not None:
+            self._m_latency.observe(seconds)
+        if index < len(self._m_shard_latency):
+            self._m_shard_latency[index].observe(seconds)

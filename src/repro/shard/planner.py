@@ -1,0 +1,139 @@
+"""Deterministic corpus partitioning for the sharded engine.
+
+The planner decides, for every document, which shard owns it.  Two
+policies, with an explicit stability contract because the serve cache
+and the bit-identity guarantee both lean on it:
+
+``hash`` (default)
+    A document's shard is ``crc32(doc_id) % shards`` — a pure function
+    of the doc id and the shard count.  Stable across processes,
+    restarts, insertion order, and corpus composition: adding or
+    removing *other* documents never moves a document.  Partition sizes
+    are only statistically balanced.
+
+``round_robin``
+    Documents are dealt in sorted-doc-id order at plan time, giving
+    perfectly balanced partitions (sizes differ by at most one).  The
+    assignment of planned documents is pinned inside the planner;
+    documents added later go to the currently smallest shard (lowest
+    index on ties).  Balanced but position-dependent: the same doc id
+    may land on different shards for different corpus snapshots, so
+    respawning a worker must rebuild from the planner's recorded
+    assignment (the coordinator does exactly that).
+
+Either way the *query answer* is partition-independent: per-shard
+top-k lists merge through :func:`repro.core.results.merge_ranked`
+under the engine's canonical ``(distance, doc_id)`` order, so where a
+document lives never shows in the ranking.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable
+
+from repro.corpus.document import Document
+from repro.exceptions import InvariantError, QueryError
+from repro.types import DocId
+
+__all__ = ["POLICIES", "ShardPlanner"]
+
+POLICIES = ("hash", "round_robin")
+
+
+class ShardPlanner:
+    """Maps doc ids to shard indexes under one of the two policies.
+
+    Not thread-safe on its own: the coordinator serializes mutations
+    (``assign``/``release``) behind its mutation lock, and reads during
+    queries only touch immutable state (``hash``) or happen under that
+    same lock (respawn rebuilds).
+    """
+
+    def __init__(self, shards: int, policy: str = "hash") -> None:
+        if shards < 1:
+            raise QueryError(f"shards must be >= 1, got {shards}")
+        if policy not in POLICIES:
+            raise QueryError(
+                f"unknown shard policy {policy!r}; choose from "
+                f"{', '.join(POLICIES)}")
+        self.shards = shards
+        self.policy = policy
+        self._assigned: dict[DocId, int] = {}
+        self._counts = [0] * shards
+
+    # ------------------------------------------------------------------
+    def plan(self, documents: Iterable[Document]) -> list[list[Document]]:
+        """Partition ``documents`` and pin the assignment.
+
+        Returns one document list per shard.  ``hash`` assignments are
+        recomputable, but both policies record them so ``members`` and
+        respawn rebuilds work uniformly.
+        """
+        partitions: list[list[Document]] = [[] for _ in range(self.shards)]
+        if self.policy == "hash":
+            for document in documents:
+                index = self._hash_shard(document.doc_id)
+                self._record(document.doc_id, index)
+                partitions[index].append(document)
+            return partitions
+        for position, document in enumerate(
+                sorted(documents, key=lambda doc: doc.doc_id)):
+            index = position % self.shards
+            self._record(document.doc_id, index)
+            partitions[index].append(document)
+        return partitions
+
+    def assign(self, doc_id: DocId) -> int:
+        """Assign a *new* document to its shard and pin the assignment."""
+        if doc_id in self._assigned:
+            raise InvariantError(f"document {doc_id!r} is already assigned")
+        if self.policy == "hash":
+            index = self._hash_shard(doc_id)
+        else:
+            index = min(range(self.shards), key=lambda i: self._counts[i])
+        self._record(doc_id, index)
+        return index
+
+    def release(self, doc_id: DocId) -> int:
+        """Drop a document's assignment; returns the shard that owned it."""
+        index = self.shard_of(doc_id)
+        del self._assigned[doc_id]
+        self._counts[index] -= 1
+        return index
+
+    def shard_of(self, doc_id: DocId) -> int:
+        """The shard owning an assigned document."""
+        try:
+            return self._assigned[doc_id]
+        except KeyError:
+            raise InvariantError(
+                f"document {doc_id!r} has no shard assignment") from None
+
+    def members(self, index: int,
+                documents: Iterable[Document]) -> list[Document]:
+        """The subset of ``documents`` assigned to shard ``index``.
+
+        Used to rebuild a partition when a worker is respawned; the
+        iteration order of ``documents`` is preserved so the rebuilt
+        engine indexes in the same deterministic order.
+        """
+        if not 0 <= index < self.shards:
+            raise InvariantError(
+                f"shard index {index} out of range 0..{self.shards - 1}")
+        return [document for document in documents
+                if self._assigned.get(document.doc_id) == index]
+
+    def counts(self) -> list[int]:
+        """Documents currently assigned to each shard."""
+        return list(self._counts)
+
+    # ------------------------------------------------------------------
+    def _hash_shard(self, doc_id: DocId) -> int:
+        return zlib.crc32(doc_id.encode("utf-8")) % self.shards
+
+    def _record(self, doc_id: DocId, index: int) -> None:
+        if doc_id in self._assigned:
+            raise InvariantError(f"document {doc_id!r} is already assigned")
+        self._assigned[doc_id] = index
+        self._counts[index] += 1

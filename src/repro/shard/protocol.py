@@ -1,0 +1,91 @@
+"""Framed coordinator/worker transport: 4-byte length prefix + pickle.
+
+The sharded engine (:mod:`repro.shard.engine`) talks to its worker
+processes over loopback TCP sockets.  Every message is one *frame*: a
+4-byte big-endian payload length followed by that many bytes of pickle
+(protocol :data:`pickle.HIGHEST_PROTOCOL`).  Explicit framing — rather
+than :class:`multiprocessing.Connection` — keeps the wire format
+self-describing, spawn-safe (no file-descriptor inheritance), and easy
+to reason about when a worker dies mid-message: a clean EOF at a frame
+boundary is a shutdown, an EOF inside a frame is a torn link and raises
+:class:`~repro.exceptions.ShardProtocolError`.
+
+Security: pickle is only safe between mutually trusted endpoints.  Both
+ends here are processes of the same program on the same machine, the
+listener binds to ``127.0.0.1`` only, and the worker must present a
+random 16-byte token (handed to it through the spawn arguments, never
+the command line) in its first frame before anything else is accepted.
+
+Message shapes (plain tuples, kept deliberately dumb):
+
+* ``("hello", token, shard_index)`` — worker's first frame.
+* ``("req", msg_id, method, kwargs)`` — coordinator to worker.
+* ``("ok", msg_id, payload)`` / ``("err", msg_id, exception)`` —
+  worker to coordinator; the exception instance is re-raised in the
+  caller's thread, so workers fail with typed repro errors.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.exceptions import ShardProtocolError
+
+__all__ = ["MAX_FRAME_BYTES", "recv_frame", "send_frame"]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload.  Large enough for any realistic
+#: batch of ranked results, small enough that a corrupted length prefix
+#: fails fast instead of trying to allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 28
+
+
+def send_frame(sock: socket.socket, message: Any) -> None:
+    """Serialize ``message`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ShardProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame and return the deserialized message.
+
+    Raises :class:`EOFError` on a clean shutdown (EOF exactly at a
+    frame boundary) and :class:`~repro.exceptions.ShardProtocolError`
+    on a torn frame or an implausible length prefix.
+    """
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        raise EOFError("peer closed the link")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ShardProtocolError(
+            f"frame header announces {length} bytes, above the "
+            f"{MAX_FRAME_BYTES}-byte limit — corrupted stream")
+    payload = _recv_exact(sock, length, allow_eof=False)
+    return pickle.loads(payload)  # noqa: S301 - trusted peer, see module doc
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                *, allow_eof: bool) -> bytes | None:
+    """Read exactly ``count`` bytes, or ``None`` on immediate EOF."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ShardProtocolError(
+                f"link severed mid-frame ({count - remaining} of "
+                f"{count} bytes received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,136 @@
+"""The shard worker process: one :class:`SearchEngine` per partition.
+
+Spawned by the coordinator via ``multiprocessing`` (``spawn`` context —
+no inherited state, the worker re-imports :mod:`repro` cleanly) with a
+:class:`WorkerSpec` carrying everything it needs: the ontology, its
+slice of the corpus, and the loopback address + auth token of the
+coordinator's listener.  The worker dials back, authenticates with a
+``("hello", token, shard_index)`` frame, builds its engine, and then
+answers framed requests until it is told to shut down or the link
+drops.
+
+This *is* the "real cluster runtime" slot that
+:mod:`repro.core.mapreduce` leaves open: the per-partition engine plays
+the mapper role (produce a local top-k over its slice) and
+:func:`repro.core.results.merge_ranked` in the coordinator is the
+reducer.  Errors raised while handling a request are pickled and
+shipped back whole, so the coordinator re-raises the worker's typed
+exception (``UnknownConceptError`` and friends) in the caller's thread.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSConfig
+from repro.corpus.document import Document
+from repro.exceptions import ShardProtocolError
+from repro.ontology.graph import Ontology
+from repro.shard.protocol import recv_frame, send_frame
+from repro.types import ConceptId, DocId
+
+__all__ = ["WorkerSpec", "run_worker"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs, shipped through spawn args."""
+
+    shard_index: int
+    host: str
+    port: int
+    token: bytes
+    ontology: Ontology
+    documents: tuple[Document, ...]
+    collection_name: str = "shard"
+    default_config: KNDSConfig | None = None
+
+
+def run_worker(spec: WorkerSpec) -> None:
+    """Process entry point: connect, authenticate, build, serve.
+
+    Must stay a module-level function — ``spawn`` pickles the target by
+    qualified name.
+    """
+    sock = socket.create_connection((spec.host, spec.port), timeout=30.0)
+    try:
+        sock.settimeout(None)
+        send_frame(sock, ("hello", spec.token, spec.shard_index))
+        engine = SearchEngine.for_partition(
+            spec.ontology, spec.documents,
+            name=f"{spec.collection_name}-{spec.shard_index}",
+            default_config=spec.default_config)
+        with engine:
+            _serve(sock, engine)
+    finally:
+        sock.close()
+
+
+def _serve(sock: socket.socket, engine: SearchEngine) -> None:
+    """Answer framed requests until shutdown or link loss."""
+    handlers = _handlers(engine)
+    while True:
+        try:
+            message = recv_frame(sock)
+        except (EOFError, OSError):
+            return  # coordinator went away; nothing left to answer
+        if not (isinstance(message, tuple) and len(message) == 4
+                and message[0] == "req"):
+            raise ShardProtocolError(
+                f"unexpected message from coordinator: {message!r:.100}")
+        _tag, msg_id, method, kwargs = message
+        if method == "shutdown":
+            send_frame(sock, ("ok", msg_id, None))
+            return
+        handler = handlers.get(method)
+        try:
+            if handler is None:
+                raise ShardProtocolError(f"unknown method {method!r}")
+            payload = handler(**kwargs)
+        except BaseException as error:  # noqa: BLE001 - marshalled to caller
+            send_frame(sock, ("err", msg_id, error))
+            continue
+        send_frame(sock, ("ok", msg_id, payload))
+
+
+def _handlers(engine: SearchEngine) -> dict[str, Callable[..., Any]]:
+    """Dispatch table: method name to engine call."""
+
+    def rds(*, concepts: Sequence[ConceptId], k: int,
+            algorithm: str, config: KNDSConfig | None) -> Any:
+        return engine.rds(concepts, k, algorithm=algorithm, config=config)
+
+    def sds(*, concepts: Sequence[ConceptId], k: int,
+            algorithm: str, config: KNDSConfig | None) -> Any:
+        return engine.sds(concepts, k, algorithm=algorithm, config=config)
+
+    def rds_many(*, queries: Sequence[Sequence[ConceptId]], k: int,
+                 algorithm: str, config: KNDSConfig | None) -> Any:
+        return engine.rds_many(queries, k, algorithm=algorithm, config=config)
+
+    def sds_many(*, queries: Sequence[Sequence[ConceptId]], k: int,
+                 algorithm: str, config: KNDSConfig | None) -> Any:
+        return engine.sds_many(queries, k, algorithm=algorithm, config=config)
+
+    def add_document(*, document: Document) -> None:
+        engine.add_document(document)
+
+    def remove_document(*, doc_id: DocId) -> None:
+        engine.remove_document(doc_id)
+
+    def health() -> dict[str, int]:
+        return {"documents": len(engine.collection), "epoch": engine.epoch}
+
+    def ping() -> str:
+        return "pong"
+
+    return {
+        "rds": rds, "sds": sds,
+        "rds_many": rds_many, "sds_many": sds_many,
+        "add_document": add_document, "remove_document": remove_document,
+        "health": health, "ping": ping,
+    }

@@ -1,0 +1,84 @@
+"""Canonical tie-break mode (``KNDSConfig.stable_ties``).
+
+The sharded engine merges per-shard top-k lists under the total order
+``(distance, doc_id)``; bit-identity of the merged ranking requires the
+single engine to keep *the same* boundary documents when distances tie
+at ``Dk+``.  ``stable_ties=True`` pins that choice; the default stays
+``False`` so the paper's Table 2 traces are untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fullscan import FullScanSearch
+from repro.core.engine import SearchEngine
+from repro.core.knds import KNDSConfig, KNDSearch
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.datasets import figure3_ontology
+
+
+def _canonical_topk(fullscan, query, k):
+    """The unambiguous answer: all distances, (distance, doc_id) order."""
+    everything = fullscan.rds(query, k=len(fullscan.collection))
+    ranked = sorted((item.distance, item.doc_id)
+                    for item in everything.results)
+    return [(doc_id, distance) for distance, doc_id in ranked[:k]]
+
+
+class TestStableMode:
+    def test_matches_canonical_order_exactly(self, small_ontology,
+                                             small_corpus):
+        searcher = KNDSearch(small_ontology, small_corpus)
+        fullscan = FullScanSearch(small_ontology, small_corpus)
+        import random
+        rng = random.Random(91)
+        pool = sorted({concept for doc in small_corpus
+                       for concept in doc.concepts})
+        for _ in range(20):
+            query = rng.sample(pool, 4)
+            ranked = searcher.rds(query, k=10, stable_ties=True)
+            assert [(item.doc_id, item.distance)
+                    for item in ranked.results] \
+                == _canonical_topk(fullscan, query, 10)
+
+    def test_progressive_iterator_agrees_with_batch(self, small_ontology,
+                                                    small_corpus):
+        searcher = KNDSearch(small_ontology, small_corpus)
+        config = KNDSConfig(stable_ties=True)
+        query = sorted({concept for doc in small_corpus
+                        for concept in doc.concepts})[:4]
+        batch = searcher.rds(query, 8, config)
+        streamed = sorted((item.distance, item.doc_id)
+                          for item in searcher.rds_iter(query, 8, config))
+        assert [(doc_id, distance) for distance, doc_id in streamed] \
+            == [(item.doc_id, item.distance) for item in batch.results]
+
+    def test_boundary_tie_keeps_smallest_doc_ids(self):
+        # Duplicate documents guarantee distance ties at the k-th slot;
+        # stable mode must keep the lexicographically smallest ids.
+        ontology = figure3_ontology()
+        concepts = ("F", "I")
+        documents = [Document(f"t{index}", concepts) for index in range(5)]
+        collection = DocumentCollection(documents, name="ties")
+        searcher = KNDSearch(ontology, collection)
+        ranked = searcher.rds(["F"], k=3, stable_ties=True)
+        assert ranked.doc_ids() == ["t0", "t1", "t2"]
+
+
+class TestDefaults:
+    def test_raw_searcher_default_is_unstable(self):
+        assert KNDSConfig().stable_ties is False
+
+    def test_engine_default_is_stable(self, figure3, example4):
+        assert SearchEngine.DEFAULT_CONFIG.stable_ties is True
+        engine = SearchEngine(figure3, example4)
+        try:
+            assert engine.default_config.stable_ties is True
+            # Explicit configs still win over the engine default.
+            unstable = engine.rds(["F", "I"], k=2,
+                                  config=KNDSConfig(stable_ties=False))
+            assert len(unstable.results) == 2
+        finally:
+            engine.close()

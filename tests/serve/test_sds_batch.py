@@ -1,0 +1,108 @@
+"""SDS batching: ``QueryService.sds_many`` and ``POST /search/sds:batch``."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.serve import QueryService, ServeConfig, ServerHandle
+
+
+@pytest.fixture()
+def engine(figure3, example4):
+    engine = SearchEngine(figure3, example4)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def service(engine):
+    service = QueryService(engine, ServeConfig(workers=2, queue_limit=8))
+    yield service
+    service.close(drain_seconds=0.0)
+
+
+@pytest.fixture()
+def server(service):
+    handle = ServerHandle.start(service, port=0)
+    yield handle
+    handle.stop()
+
+
+def request(server, method, path, payload=None, timeout=10.0):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw.startswith(b"{") else raw
+        return response.status, parsed
+    finally:
+        connection.close()
+
+
+class TestServiceSdsMany:
+    def test_matches_singles_and_accepts_mixed_entries(self, service,
+                                                       engine):
+        queries = ["d2", ["F", "I"], "d4"]
+        batch = service.sds_many(queries, k=3)
+        assert len(batch) == 3
+        for query, result in zip(queries, batch):
+            assert result.results.doc_ids() \
+                == engine.sds(query, k=3).doc_ids()
+
+    def test_batch_populates_the_shared_cache(self, service):
+        first = service.sds_many(["d2", "d3"], k=3)
+        assert [result.cached for result in first] == [False, False]
+        repeat = service.sds_many(["d3", "d2"], k=3)
+        assert [result.cached for result in repeat] == [True, True]
+
+    def test_duplicates_computed_once(self, service):
+        batch = service.sds_many(["d2", "d2", "d2"], k=3)
+        doc_ids = [result.results.doc_ids() for result in batch]
+        assert doc_ids[0] == doc_ids[1] == doc_ids[2]
+
+
+class TestHttpSdsBatch:
+    def test_mixed_batch(self, server, engine):
+        status, body = request(server, "POST", "/search/sds:batch",
+                               {"queries": ["d2", ["F", "I"]], "k": 3})
+        assert status == 200
+        assert body["kind"] == "sds:batch"
+        assert body["count"] == 2
+        assert [item["doc_id"] for item in body["results"][0]["results"]] \
+            == engine.sds("d2", k=3).doc_ids()
+        assert [item["doc_id"] for item in body["results"][1]["results"]] \
+            == engine.sds(["F", "I"], k=3).doc_ids()
+
+    def test_second_batch_is_cached(self, server):
+        for expect_cached in (False, True):
+            status, body = request(server, "POST", "/search/sds:batch",
+                                   {"queries": ["d2", "d3"], "k": 2})
+            assert status == 200
+            assert all(result["cached"] is expect_cached
+                       for result in body["results"])
+
+    def test_rejects_bad_payloads(self, server):
+        for payload in (
+            {},  # no queries at all
+            {"queries": []},
+            {"queries": ["d2", []]},  # empty concept list entry
+            {"queries": [7]},
+            {"queries": [["F", 3]]},
+            {"queries": [["F"]] * 65},  # over the batch cap
+        ):
+            status, _ = request(server, "POST", "/search/sds:batch",
+                                payload)
+            assert status == 400, payload
+
+    def test_unknown_doc_id_is_404(self, server):
+        status, _ = request(server, "POST", "/search/sds:batch",
+                            {"queries": ["no-such-doc"], "k": 2})
+        assert status == 404

@@ -1,0 +1,23 @@
+"""Shard-layer fixtures.
+
+Worker processes are expensive to spawn (fresh interpreter + per-shard
+index build), so the equivalence tests share one module-scoped engine
+pair instead of booting four processes per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.shard import ShardedEngine
+
+
+@pytest.fixture(scope="module")
+def engine_pair(small_ontology, small_corpus):
+    """(single-process engine, 4-shard engine) over the same corpus."""
+    single = SearchEngine(small_ontology, small_corpus)
+    sharded = ShardedEngine(small_ontology, small_corpus, shards=4)
+    yield single, sharded
+    sharded.close()
+    single.close()

@@ -1,0 +1,63 @@
+"""merge_ranked: the scatter-gather reduce step, edge cases included."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import (QueryStats, RankedResults, ResultItem,
+                                merge_ranked)
+from repro.exceptions import InvariantError
+
+
+def _part(*pairs, drc_calls=0):
+    return RankedResults(
+        results=[ResultItem(doc_id, distance) for doc_id, distance in pairs],
+        stats=QueryStats(drc_calls=drc_calls),
+        algorithm="knds", query_kind="rds", k=len(pairs))
+
+
+class TestMerge:
+    def test_global_order_by_distance_then_doc_id(self):
+        merged = merge_ranked([
+            _part(("b", 2.0), ("d", 5.0)),
+            _part(("a", 1.0), ("c", 2.0)),
+        ], k=3)
+        assert [tuple(item) for item in merged.results] \
+            == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+        assert merged.k == 3
+        assert merged.algorithm == "knds"
+        assert merged.query_kind == "rds"
+
+    def test_duplicate_distances_break_ties_by_doc_id(self):
+        # The canonical tie-break must be identical to the single
+        # engine's stable_ties order, whichever shard a doc lives on.
+        merged = merge_ranked([
+            _part(("z", 1.0), ("m", 1.0)),
+            _part(("a", 1.0), ("q", 1.0)),
+        ], k=3)
+        assert merged.doc_ids() == ["a", "m", "q"]
+
+    def test_empty_shard_contributes_nothing(self):
+        merged = merge_ranked([
+            _part(("a", 1.0)),
+            _part(),  # a shard that owns no documents
+        ], k=2)
+        assert merged.doc_ids() == ["a"]
+
+    def test_shard_smaller_than_k(self):
+        merged = merge_ranked([
+            _part(("a", 1.0)),
+            _part(("b", 2.0), ("c", 3.0)),
+        ], k=10)
+        assert merged.doc_ids() == ["a", "b", "c"]
+
+    def test_stats_summed_across_shards(self):
+        merged = merge_ranked([
+            _part(("a", 1.0), drc_calls=3),
+            _part(("b", 2.0), drc_calls=4),
+        ], k=2)
+        assert merged.stats.drc_calls == 7
+
+    def test_no_partitions_is_invariant_error(self):
+        with pytest.raises(InvariantError, match="at least one partition"):
+            merge_ranked([], k=5)

@@ -1,0 +1,106 @@
+"""ShardPlanner: determinism, stability contract, balance, errors."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.exceptions import InvariantError, QueryError
+from repro.shard.planner import POLICIES, ShardPlanner
+
+
+def _docs(*doc_ids):
+    return [Document(doc_id, ("A",)) for doc_id in doc_ids]
+
+
+class TestConstruction:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(QueryError, match="shards must be >= 1"):
+            ShardPlanner(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(QueryError, match="unknown shard policy"):
+            ShardPlanner(2, policy="range")
+
+    def test_policies_tuple_matches_serve_config_literal(self):
+        # serve/config.py validates against a literal copy to avoid
+        # importing the process-spawning package; keep them in lockstep.
+        assert POLICIES == ("hash", "round_robin")
+
+
+class TestHashPolicy:
+    def test_assignment_is_pure_function_of_doc_id(self):
+        documents = _docs("a", "b", "c", "d", "e")
+        first = ShardPlanner(3).plan(documents)
+        second = ShardPlanner(3).plan(list(reversed(documents)))
+        as_sets = lambda parts: [  # noqa: E731 - tiny local helper
+            {doc.doc_id for doc in part} for part in parts]
+        assert as_sets(first) == as_sets(second)
+        planner = ShardPlanner(3)
+        for doc_id in "abcde":
+            assert planner.assign(doc_id) \
+                == zlib.crc32(doc_id.encode()) % 3
+
+    def test_other_documents_never_move_a_document(self):
+        small = ShardPlanner(4)
+        small.plan(_docs("x", "y"))
+        large = ShardPlanner(4)
+        large.plan(_docs("x", "y", "p", "q", "r", "s"))
+        assert small.shard_of("x") == large.shard_of("x")
+        assert small.shard_of("y") == large.shard_of("y")
+
+
+class TestRoundRobinPolicy:
+    def test_balanced_within_one(self):
+        planner = ShardPlanner(3, policy="round_robin")
+        planner.plan(_docs(*"abcdefghij"))
+        counts = planner.counts()
+        assert sum(counts) == 10
+        assert max(counts) - min(counts) <= 1
+
+    def test_deals_in_sorted_doc_id_order(self):
+        planner = ShardPlanner(2, policy="round_robin")
+        planner.plan(_docs("d3", "d1", "d2", "d4"))
+        # sorted: d1 d2 d3 d4 -> shards 0 1 0 1
+        assert planner.shard_of("d1") == 0
+        assert planner.shard_of("d2") == 1
+        assert planner.shard_of("d3") == 0
+        assert planner.shard_of("d4") == 1
+
+    def test_late_assign_goes_to_smallest_shard(self):
+        planner = ShardPlanner(2, policy="round_robin")
+        planner.plan(_docs("a", "b", "c"))  # counts [2, 1]
+        assert planner.assign("z") == 1
+        # Tie now; lowest index wins.
+        assert planner.assign("zz") == 0
+
+
+class TestBookkeeping:
+    def test_members_preserves_iteration_order(self):
+        planner = ShardPlanner(2, policy="round_robin")
+        documents = _docs("b", "a", "d", "c")
+        planner.plan(documents)
+        # Dealt in sorted order (a b c d -> 0 1 0 1), shard 0 owns
+        # {a, c}; members() reports them in the *iteration* order of
+        # the documents argument, which respawn rebuilds rely on.
+        members = planner.members(0, documents)
+        assert [doc.doc_id for doc in members] == ["a", "c"]
+        with pytest.raises(InvariantError, match="out of range"):
+            planner.members(2, documents)
+
+    def test_release_and_reassign(self):
+        planner = ShardPlanner(2)
+        planner.plan(_docs("a", "b"))
+        owner = planner.shard_of("a")
+        assert planner.release("a") == owner
+        with pytest.raises(InvariantError, match="no shard assignment"):
+            planner.shard_of("a")
+        assert planner.assign("a") == owner  # hash: same shard again
+
+    def test_double_assign_is_invariant_error(self):
+        planner = ShardPlanner(2)
+        planner.plan(_docs("a"))
+        with pytest.raises(InvariantError, match="already assigned"):
+            planner.assign("a")

@@ -1,0 +1,89 @@
+"""Framed transport: round-trips, clean EOF, torn frames, bounds."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.exceptions import ShardProtocolError
+from repro.shard.protocol import MAX_FRAME_BYTES, recv_frame, send_frame
+
+
+@pytest.fixture()
+def link():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_python_objects_survive(self, link):
+        left, right = link
+        message = ("req", 7, "rds", {"concepts": ["F", "I"], "k": 2})
+        send_frame(left, message)
+        assert recv_frame(right) == message
+
+    def test_exception_instances_survive(self, link):
+        left, right = link
+        send_frame(left, ("err", 1, ValueError("boom")))
+        kind, msg_id, error = recv_frame(right)
+        assert (kind, msg_id) == ("err", 1)
+        assert isinstance(error, ValueError)
+        assert str(error) == "boom"
+
+    def test_many_frames_in_sequence(self, link):
+        left, right = link
+        for index in range(50):
+            send_frame(left, index)
+        assert [recv_frame(right) for _ in range(50)] == list(range(50))
+
+    def test_large_frame_crosses_recv_chunks(self, link):
+        left, right = link
+        blob = b"x" * (1 << 20)
+        writer = threading.Thread(target=send_frame, args=(left, blob))
+        writer.start()
+        try:
+            assert recv_frame(right) == blob
+        finally:
+            writer.join()
+
+
+class TestFailureModes:
+    def test_clean_eof_at_frame_boundary_is_eoferror(self, link):
+        left, right = link
+        send_frame(left, "last")
+        left.close()
+        assert recv_frame(right) == "last"
+        with pytest.raises(EOFError):
+            recv_frame(right)
+
+    def test_eof_inside_header_is_torn_frame(self, link):
+        left, right = link
+        left.sendall(b"\x00\x00")  # half a length prefix
+        left.close()
+        with pytest.raises(ShardProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_eof_inside_payload_is_torn_frame(self, link):
+        left, right = link
+        left.sendall(struct.pack(">I", 100) + b"short")
+        left.close()
+        with pytest.raises(ShardProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_implausible_header_rejected_before_allocation(self, link):
+        left, right = link
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ShardProtocolError, match="corrupted stream"):
+            recv_frame(right)
+
+    def test_oversized_send_rejected_locally(self, link, monkeypatch):
+        # Shrink the cap instead of pickling a quarter-gigabyte blob.
+        monkeypatch.setattr("repro.shard.protocol.MAX_FRAME_BYTES", 64)
+        left, _ = link
+        with pytest.raises(ShardProtocolError, match="exceeds"):
+            send_frame(left, b"x" * 128)

@@ -1,0 +1,125 @@
+"""The serve stack running unchanged on top of a ShardedEngine.
+
+Cache, admission, deadlines and the HTTP layer only see the duck-typed
+engine surface, so everything — including epoch-keyed cache
+invalidation and ``/healthz`` — must behave exactly as with one
+in-process engine, plus shard health aggregation.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.datasets import example4_collection
+from repro.serve import QueryService, ServeConfig, ServerHandle
+from repro.shard import ShardedEngine
+
+
+@pytest.fixture()
+def sharded(figure3):
+    engine = ShardedEngine(figure3, example4_collection(), shards=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def service(sharded):
+    service = QueryService(sharded,
+                           ServeConfig(workers=2, queue_limit=8))
+    yield service
+    service.close(drain_seconds=0.0)
+
+
+@pytest.fixture()
+def server(service):
+    handle = ServerHandle.start(service, port=0)
+    yield handle
+    handle.stop()
+
+
+def request(server, method, path, payload=None, timeout=10.0):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw.startswith(b"{") else raw
+        return response.status, parsed
+    finally:
+        connection.close()
+
+
+class TestServiceOnShards:
+    def test_queries_cache_and_batches(self, service):
+        first = service.rds(["F", "I"], k=2)
+        assert not first.cached
+        assert service.rds(["I", "F"], k=2).cached
+        batch = service.sds_many(["d2", ["F", "I"]], k=3)
+        assert [result.results.doc_ids() for result in batch] \
+            == [service.sds("d2", k=3).results.doc_ids(),
+                service.sds(["F", "I"], k=3).results.doc_ids()]
+
+    def test_mutation_epoch_invalidates_cache(self, service, sharded):
+        stale = service.rds(["F", "I"], k=1)
+        assert service.rds(["F", "I"], k=1).cached
+        sharded.add_document(Document("aa_first", ("F", "I")))
+        fresh = service.rds(["F", "I"], k=1)
+        assert not fresh.cached  # epoch bump evicted the entry
+        assert fresh.results.doc_ids() == ["aa_first"]
+        assert stale.results.doc_ids() != fresh.results.doc_ids()
+
+    def test_explain_runs_at_the_coordinator(self, service):
+        text = service.explain("d2", ["F", "I"])
+        assert "total distance" in text
+
+
+class TestHttpOnShards:
+    def test_search_parity_with_direct_engine(self, server, sharded):
+        status, body = request(server, "POST", "/search/rds",
+                               {"concepts": ["F", "I"], "k": 3})
+        assert status == 200
+        assert [item["doc_id"] for item in body["results"]] \
+            == sharded.rds(["F", "I"], k=3).doc_ids()
+
+    def test_healthz_aggregates_shards(self, server):
+        status, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["documents"] == 6
+        shards = body["shards"]
+        assert shards["count"] == 2
+        assert shards["alive"] == 2
+        assert shards["respawns"] == 0
+        assert [worker["shard"] for worker in shards["workers"]] == [0, 1]
+
+    def test_healthz_degrades_then_heals(self, server, sharded):
+        victim = sharded.shard_health()[1]
+        os.kill(victim["pid"], signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while sharded.shard_health()[1]["alive"]:
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("worker did not die")
+            time.sleep(0.05)
+        status, body = request(server, "GET", "/healthz")
+        assert status == 200  # degraded, not down: next query respawns
+        assert body["status"] == "degraded"
+        assert body["shards"]["alive"] == 1
+        # A query through the full HTTP stack triggers the respawn...
+        status, _ = request(server, "POST", "/search/rds",
+                            {"concepts": ["F", "I"], "k": 2})
+        assert status == 200
+        # ...after which health is green again with one recorded respawn.
+        status, body = request(server, "GET", "/healthz")
+        assert body["status"] == "ok"
+        assert body["shards"]["alive"] == 2
+        assert body["shards"]["respawns"] == 1

@@ -1,0 +1,224 @@
+"""ShardedEngine: bit-identical answers, mutations, crash recovery.
+
+The acceptance bar from the sharding milestone: a 4-shard engine must
+return *bit-identical* RankedResults (ids, distances, order) to the
+single-process engine, for RDS and SDS, across a randomized workload —
+and killing a worker mid-run must heal via respawn-and-retry without a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.bench.workloads import (random_concept_queries,
+                                   random_query_documents)
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.core.engine import SearchEngine
+from repro.datasets import example4_collection, figure3_ontology
+from repro.exceptions import (QueryError, ShardUnavailableError,
+                              UnknownConceptError, UnknownDocumentError)
+from repro.shard import ShardedEngine
+
+
+def assert_identical(left, right):
+    """Bit-identical RankedResults: ids, distances, and order."""
+    assert [(item.doc_id, item.distance) for item in left.results] \
+        == [(item.doc_id, item.distance) for item in right.results]
+
+
+class TestEquivalence:
+    """Randomized single-vs-sharded parity on the 80-doc corpus."""
+
+    def test_rds_bit_identical(self, engine_pair, small_corpus):
+        single, sharded = engine_pair
+        queries = random_concept_queries(small_corpus, nq=4, count=15,
+                                         seed=31)
+        for query in queries:
+            assert_identical(single.rds(list(query), k=10),
+                             sharded.rds(list(query), k=10))
+
+    def test_sds_bit_identical(self, engine_pair, small_corpus):
+        single, sharded = engine_pair
+        for document in random_query_documents(small_corpus, nq=6,
+                                               count=10, seed=32):
+            assert_identical(single.sds(document, k=10),
+                             sharded.sds(document, k=10))
+
+    def test_sds_by_doc_id_resolves_at_coordinator(self, engine_pair,
+                                                   small_corpus):
+        # The query document may live on any shard; the coordinator
+        # resolves it to concepts before fanning out.
+        single, sharded = engine_pair
+        for document in list(small_corpus)[:5]:
+            assert_identical(single.sds(document.doc_id, k=5),
+                             sharded.sds(document.doc_id, k=5))
+
+    def test_fullscan_algorithm_bit_identical(self, engine_pair,
+                                              small_corpus):
+        single, sharded = engine_pair
+        queries = random_concept_queries(small_corpus, nq=4, count=5,
+                                         seed=33)
+        for query in queries:
+            assert_identical(
+                single.rds(list(query), k=10, algorithm="fullscan"),
+                sharded.rds(list(query), k=10, algorithm="fullscan"))
+
+    def test_batch_queries_bit_identical(self, engine_pair, small_corpus):
+        single, sharded = engine_pair
+        queries = [list(query) for query in random_concept_queries(
+            small_corpus, nq=4, count=6, seed=34)]
+        for one, many in zip(single.rds_many(queries, k=8),
+                             sharded.rds_many(queries, k=8)):
+            assert_identical(one, many)
+        documents = random_query_documents(small_corpus, nq=6, count=4,
+                                           seed=35)
+        for one, many in zip(single.sds_many(documents, k=8),
+                             sharded.sds_many(documents, k=8)):
+            assert_identical(one, many)
+
+    def test_k_larger_than_any_partition(self, engine_pair, small_corpus):
+        # 80 docs over 4 shards: k=40 forces every shard to return its
+        # whole partition (each holds ~20) and the merge to interleave.
+        single, sharded = engine_pair
+        query = list(random_concept_queries(small_corpus, nq=3, count=1,
+                                            seed=36)[0])
+        assert_identical(single.rds(query, k=40), sharded.rds(query, k=40))
+
+    def test_validation_errors_propagate(self, engine_pair):
+        _, sharded = engine_pair
+        with pytest.raises(UnknownConceptError):
+            sharded.rds(["no-such-concept"], k=3)
+        with pytest.raises(QueryError):
+            sharded.rds([], k=3)
+        with pytest.raises(UnknownDocumentError):
+            sharded.sds("no-such-doc", k=3)
+
+
+class TestSmallWorlds:
+    """Paper-example corpus: shards smaller than k, empty shards."""
+
+    def test_more_shards_than_documents_leaves_shards_empty(self):
+        # Two documents over four round-robin shards: two shards own
+        # nothing and must still answer (with empty contributions).
+        ontology = figure3_ontology()
+        documents = [Document("d1", ("F", "I")), Document("d2", ("B",))]
+        single = SearchEngine(
+            ontology, DocumentCollection(documents, name="tiny"))
+        sharded = ShardedEngine(
+            ontology, DocumentCollection(documents, name="tiny"),
+            shards=4, policy="round_robin")
+        try:
+            assert 0 in sharded._planner.counts()
+            assert_identical(single.rds(["F", "I"], k=5),
+                             sharded.rds(["F", "I"], k=5))
+        finally:
+            sharded.close()
+            single.close()
+
+    def test_figure3_corpus_parity(self):
+        ontology = figure3_ontology()
+        single = SearchEngine(ontology, example4_collection())
+        sharded = ShardedEngine(ontology, example4_collection(), shards=3)
+        try:
+            assert_identical(single.rds(["F", "I"], k=4),
+                             sharded.rds(["F", "I"], k=4))
+            assert_identical(single.sds("d2", k=6),
+                             sharded.sds("d2", k=6))
+        finally:
+            sharded.close()
+            single.close()
+
+
+class TestMutations:
+    @pytest.fixture()
+    def sharded(self, figure3):
+        engine = ShardedEngine(figure3, example4_collection(), shards=2)
+        yield engine
+        engine.close()
+
+    def test_add_routes_to_owner_and_bumps_epoch(self, figure3, sharded):
+        assert sharded.epoch == 0
+        sharded.add_document(Document("zz_new", ("F", "I")))
+        assert sharded.epoch == 1
+        owner = sharded._planner.shard_of("zz_new")
+        assert sharded.shard_health()[owner]["documents"] \
+            == sum(1 for doc in sharded.collection
+                   if sharded._planner.shard_of(doc.doc_id) == owner)
+        # The new document is immediately queryable and ranks first.
+        assert sharded.rds(["F", "I"], k=1).doc_ids() == ["zz_new"]
+
+    def test_remove_returns_document_and_bumps_epoch(self, sharded):
+        removed = sharded.remove_document("d2")
+        assert removed.doc_id == "d2"
+        assert sharded.epoch == 1
+        assert "d2" not in sharded.rds(["F", "I"], k=10).doc_ids()
+        with pytest.raises(UnknownDocumentError):
+            sharded.remove_document("d2")
+
+    def test_mutated_sharded_matches_mutated_single(self, figure3):
+        single = SearchEngine(figure3, example4_collection())
+        sharded = ShardedEngine(figure3, example4_collection(), shards=2)
+        try:
+            for engine in (single, sharded):
+                engine.add_document(Document("extra", ("J", "K")))
+                engine.remove_document("d5")
+            assert_identical(single.rds(["F", "I"], k=10),
+                             sharded.rds(["F", "I"], k=10))
+        finally:
+            sharded.close()
+            single.close()
+
+
+class TestFailureRecovery:
+    def test_killed_worker_respawns_and_answers(self, figure3):
+        sharded = ShardedEngine(figure3, example4_collection(), shards=2)
+        try:
+            expected = sharded.rds(["F", "I"], k=4)
+            victim = sharded.shard_health()[0]
+            os.kill(victim["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while sharded.shard_health()[0]["alive"]:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("worker did not die")
+                time.sleep(0.05)
+            # The next query transparently respawns shard 0 and retries.
+            assert_identical(sharded.rds(["F", "I"], k=4), expected)
+            health = sharded.shard_health()
+            assert health[0]["restarts"] == 1
+            assert health[1]["restarts"] == 0
+            assert all(worker["alive"] for worker in health)
+        finally:
+            sharded.close()
+
+    def test_closed_engine_refuses_queries(self, figure3):
+        sharded = ShardedEngine(figure3, example4_collection(), shards=2)
+        sharded.close()
+        with pytest.raises(ShardUnavailableError):
+            sharded.rds(["F", "I"], k=2)
+
+
+class TestObservability:
+    def test_fanout_and_merge_counters(self, figure3):
+        from repro.obs import Observability
+        from repro.obs.metrics import MetricsRegistry
+
+        obs = Observability(metrics=MetricsRegistry())
+        sharded = ShardedEngine(figure3, example4_collection(), shards=2,
+                                obs=obs)
+        try:
+            sharded.rds(["F", "I"], k=2)
+            snapshot = obs.metrics.snapshot()
+            assert snapshot["shard.fanout"]["value"] == 2.0
+            kept = snapshot["shard.merge_kept"]["value"]
+            dropped = snapshot["shard.merge_dropped"]["value"]
+            assert kept == 2.0  # k=2 results survive the merge
+            assert kept + dropped >= 2.0
+            assert snapshot["shard.latency_seconds"]["count"] == 2
+        finally:
+            sharded.close()
