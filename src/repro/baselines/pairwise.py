@@ -75,12 +75,42 @@ class PairwiseDistanceBaseline:
                 "the root")
         return best
 
+    def _batch_distances(self, pairs: list[tuple[ConceptId, ConceptId]]
+                         ) -> list[int]:
+        """Arena-batched pair distances for a full matrix, in order.
+
+        One :meth:`repro.core.arena.PackedDeweyArena.batch_pair_distances`
+        call instead of a Python call per pair — on the numpy tier the
+        whole matrix is one vectorized kernel invocation.  The baseline
+        evaluates full matrices with no early exit, so batching the
+        same pairs in the same order leaves every counter (here
+        ``pair_evaluations``, in the arena ``pair_lookups`` /
+        ``pair_kernels`` / cache stats) exactly where the scalar loop
+        would put it.
+        """
+        arena = self.arena
+        if arena is None:  # pragma: no cover - callers gate on arena
+            raise InvariantError("_batch_distances requires an arena")
+        self.pair_evaluations += len(pairs)
+        ids = [(arena.concept_id(first), arena.concept_id(second))
+               for first, second in pairs]
+        return arena.batch_pair_distances(ids)
+
     def document_query_distance(self, doc_concepts: Collection[ConceptId],
                                 query_concepts: Collection[ConceptId]
                                 ) -> float:
         """``Ddq`` (Eq. 2) via the full pair matrix."""
         if not doc_concepts or not query_concepts:
             raise EmptyDocumentError("<pairwise>")
+        if self.arena is not None:
+            pairs = [(doc_concept, query_concept)
+                     for query_concept in query_concepts
+                     for doc_concept in doc_concepts]
+            distances = self._batch_distances(pairs)
+            width = len(doc_concepts)
+            return float(sum(
+                min(distances[row:row + width])
+                for row in range(0, len(distances), width)))
         total = 0
         for query_concept in query_concepts:
             total += min(
@@ -99,9 +129,22 @@ class PairwiseDistanceBaseline:
         second_list = list(second)
         row_minima = [float("inf")] * len(first_list)
         column_minima = [float("inf")] * len(second_list)
+        if self.arena is not None:
+            distances = self._batch_distances(
+                [(doc_concept, query_concept)
+                 for doc_concept in first_list
+                 for query_concept in second_list])
+        else:
+            distances = None
+        position = 0
         for row, doc_concept in enumerate(first_list):
             for column, query_concept in enumerate(second_list):
-                distance = self.concept_distance(doc_concept, query_concept)
+                if distances is not None:
+                    distance = distances[position]
+                    position += 1
+                else:
+                    distance = self.concept_distance(
+                        doc_concept, query_concept)
                 if distance < row_minima[row]:
                     row_minima[row] = distance
                 if distance < column_minima[column]:

@@ -83,7 +83,9 @@ WORK_COUNTERS = (
     "fullscan.docs_examined", "ta.rows_read",
     "serve.cache_hits", "serve.cache_misses",
     "knds.arena_calls", "arena.pair_kernels",
-    "arena.cache.hit", "arena.cache.miss", "types.lcp_calls",
+    "arena.cache.hit", "arena.cache.miss",
+    "arena.attached_concepts", "arena.packed_concepts",
+    "types.lcp_calls",
     "trace.spans", "recorder.requests",
     "serve.analyze_settled", "serve.analyze_pruned",
     "serve.analyze_exact", "serve.analyze_rounds",
@@ -101,7 +103,16 @@ more probes, more nodes, more rows — and a counter verdict never flaps.
 the cross-query cache because every scenario's warmup and timed repeats
 fully warm the concept-distance cache before the runner's untimed
 metrics pass: at that point each lookup hits and zero kernels run,
-independent of scenario ordering.
+independent of scenario ordering.  (``knds_batch_kernel`` inverts the
+trick — its arena runs with the cache *disabled*, so every pass repeats
+the identical kernel workload.)  Crucially these counters are also
+identical across kernel tiers (packed scalar vs numpy batch): the
+arena's counter-parity contract makes one batch call bump them by
+exactly what the scalar loop would, so the ``base`` and ``perf`` CI
+legs gate against the same committed baseline.  The per-tier
+``arena.kernel_calls`` counter (Python-level kernel invocations, the
+quantity the batch kernel exists to shrink) is deliberately *not* a
+work counter — it appears in artifacts as information, not as a gate.
 
 ``trace.spans`` / ``recorder.requests`` pin the tracing pipeline's
 per-request work in ``serve_traced``: loadgen mints deterministic trace
@@ -109,6 +120,14 @@ ids and head-samples them client-side, so the set of sampled requests —
 and therefore the spans collected and records captured per pass — is
 identical every run.  A structural change to the span tree (a new layer
 span, a dropped one) moves ``trace.spans`` and gates.
+
+``arena.attached_concepts`` / ``arena.packed_concepts`` pin the two
+worker cold-start paths against each other: concepts made queryable per
+pass by attaching a shared-memory snapshot (``arena_shared_attach``)
+versus by re-deriving addresses and re-packing from scratch
+(``arena_cold_repack``).  Both are exact functions of the ontology
+size, so the wall-time ratio between the two scenarios is the
+attach-vs-repack speedup with identical work on both sides.
 
 ``serve.analyze_*`` pin the EXPLAIN ANALYZE pipeline in
 ``serve_analyze``: sums of the per-query cost-profile fields (settled,
@@ -786,6 +805,160 @@ def _prepare_knds_cached_sds(world: "World") -> PreparedScenario:
         searcher.drc.instrument(obs)
         searcher.inverted.instrument(obs)
         searcher.forward.instrument(obs)
+
+    return PreparedScenario(run=run, instrument=instrument)
+
+
+@register_scenario(
+    "knds_batch_kernel",
+    "kNDS SDS, RADIO corpus, cache-disabled private arena on the best "
+    "available kernel tier: every settle resolves its whole candidate "
+    "pair list through the batch kernel each pass, so arena.kernel_calls "
+    "(ungated) shows one invocation per batch on numpy vs one per pair "
+    "on packed, while the gated counters stay tier-identical — asserted "
+    "in prepare by running the batch on both tiers",
+    tags=("smoke", "arena", "knds"))
+def _prepare_knds_batch_kernel(world: "World") -> PreparedScenario:
+    from repro.bench.experiments import DEFAULT_ERROR_THRESHOLD
+    from repro.bench.workloads import sample_documents
+    from repro.core import npkernel
+    from repro.core.arena import PackedDeweyArena
+    from repro.core.knds import KNDSConfig, KNDSearch
+
+    collection = world.corpus("RADIO")
+    config = KNDSConfig(error_threshold=DEFAULT_ERROR_THRESHOLD["RADIO"])
+    documents = sample_documents(collection,
+                                 count=world.scale.queries_per_point,
+                                 seed=43)
+
+    def build(tier: str) -> "tuple[PackedDeweyArena, KNDSearch]":
+        # cache_entries=0 keeps the kernel workload identical every
+        # pass (nothing is remembered between repeats), which is what
+        # lets pair_kernels gate while kernel_calls shows the batch win.
+        arena = PackedDeweyArena(world.ontology, world.dewey,
+                                 cache_entries=0, kernel_tier=tier)
+        searcher = KNDSearch(world.ontology, collection,
+                             dewey=world.dewey, arena=arena)
+        return arena, searcher
+
+    def batch(searcher: "KNDSearch") -> list[list[tuple[Any, float]]]:
+        return [[(item.doc_id, item.distance)
+                 for item in searcher.sds(doc, 10, config=config).results]
+                for doc in documents]
+
+    def counters(arena: "PackedDeweyArena") -> tuple[int, int, int, int]:
+        stats = arena.cache.stats
+        return (arena.pair_lookups, arena.pair_kernels,
+                stats.hits, stats.misses)
+
+    arena, searcher = build("packed")
+    if npkernel.available():
+        packed_results = batch(searcher)
+        packed_counters = counters(arena)
+        arena, searcher = build("numpy")
+        if batch(searcher) != packed_results:
+            raise ReproError(
+                "knds_batch_kernel: numpy-tier SDS results differ from "
+                "the packed tier — the kernel ladder's bit-for-bit "
+                "parity contract is broken")
+        if counters(arena) != packed_counters:
+            raise ReproError(
+                f"knds_batch_kernel: gated arena counters differ "
+                f"between tiers (packed {packed_counters}, numpy "
+                f"{counters(arena)}) — batch-aware counter parity is "
+                f"broken and the perf-smoke gate would flap across CI "
+                f"legs")
+
+    def run() -> None:
+        for document in documents:
+            searcher.sds(document, 10, config=config)
+
+    def instrument(obs: "Observability | None") -> None:
+        searcher.instrument(obs)
+        searcher.drc.instrument(obs)
+        searcher.inverted.instrument(obs)
+        searcher.forward.instrument(obs)
+
+    return PreparedScenario(run=run, instrument=instrument)
+
+
+@register_scenario(
+    "arena_shared_attach",
+    "Worker cold start, shared-arena path: attach a read-only view of a "
+    "published shared-memory snapshot, probe it, detach — O(1) in "
+    "ontology size; compare against arena_cold_repack for the speedup",
+    tags=("smoke", "arena", "shard"))
+def _prepare_arena_shared_attach(world: "World") -> PreparedScenario:
+    from repro.core.arena import PackedDeweyArena
+    from repro.core.sharena import attach_view, publish_snapshot
+
+    arena = PackedDeweyArena(world.ontology, world.dewey)
+    segment = publish_snapshot(arena)  # interns the whole ontology
+    probe = sorted(world.ontology)[:2]
+    rounds = max(1, world.scale.queries_per_point)
+
+    holder: list["Observability"] = []  # runner bundle; metrics pass only
+
+    def instrument(obs: "Observability | None") -> None:
+        holder[:] = [] if obs is None else [obs]
+
+    def run() -> None:
+        attached = 0
+        for _ in range(rounds):
+            view = attach_view(segment.spec, world.ontology,
+                               dewey=world.dewey)
+            try:
+                # Touch the mapped buffers so the sample includes a real
+                # read, not just the mmap bookkeeping.
+                view.concept_pair_distance(probe[0], probe[1])
+                attached += view.interned
+            finally:
+                view.detach()
+        if holder:
+            holder[0].metrics.counter(
+                "arena.attached_concepts",
+                "Concepts made queryable per pass by attaching the "
+                "shared snapshot",
+            ).inc(attached)
+
+    return PreparedScenario(run=run, instrument=instrument,
+                            cleanup=segment.unlink)
+
+
+@register_scenario(
+    "arena_cold_repack",
+    "Worker cold start, private-arena path: derive every Dewey address "
+    "and intern the whole ontology into a fresh arena — the work "
+    "--shared-arena removes from each worker spawn",
+    tags=("smoke", "arena", "shard"))
+def _prepare_arena_cold_repack(world: "World") -> PreparedScenario:
+    from repro.core.arena import PackedDeweyArena
+    from repro.ontology.dewey import DeweyIndex
+
+    concepts = sorted(world.ontology)
+    rounds = max(1, world.scale.queries_per_point)
+
+    holder: list["Observability"] = []  # runner bundle; metrics pass only
+
+    def instrument(obs: "Observability | None") -> None:
+        holder[:] = [] if obs is None else [obs]
+
+    def run() -> None:
+        packed = 0
+        for _ in range(rounds):
+            # A fresh DeweyIndex too: a spawned worker starts with cold
+            # address memoization, so the honest repack cost includes
+            # deriving every address, not just copying them in.
+            arena = PackedDeweyArena(world.ontology,
+                                     DeweyIndex(world.ontology))
+            for concept in concepts:
+                arena.concept_id(concept)
+            packed += arena.interned
+        if holder:
+            holder[0].metrics.counter(
+                "arena.packed_concepts",
+                "Concepts interned per pass by re-packing from scratch",
+            ).inc(packed)
 
     return PreparedScenario(run=run, instrument=instrument)
 

@@ -106,6 +106,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _make_engine(args: argparse.Namespace) -> SearchEngine:
+    kernel_tier = getattr(args, "kernel_tier", "auto")
     if getattr(args, "engine", None):
         from repro.core.persistence import load_engine
         return load_engine(args.engine)
@@ -114,7 +115,7 @@ def _make_engine(args: argparse.Namespace) -> SearchEngine:
             "provide either --engine DIR or both --ontology and --corpus")
     ontology = _load_ontology(args.ontology)
     collection = load_jsonl(args.corpus)
-    return SearchEngine(ontology, collection)
+    return SearchEngine(ontology, collection, kernel_tier=kernel_tier)
 
 
 def _cmd_build_engine(args: argparse.Namespace) -> int:
@@ -268,6 +269,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_timeout_seconds=args.shard_timeout,
+        shared_arena=args.shared_arena,
+        kernel_tier=args.kernel_tier,
     )
     if config.shards > 0:
         from repro.shard import ShardedEngine
@@ -277,10 +280,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         base, engine = engine, ShardedEngine(
             engine.ontology, engine.collection,
             shards=config.shards, policy=config.shard_policy,
-            timeout_seconds=config.shard_timeout_seconds)
+            timeout_seconds=config.shard_timeout_seconds,
+            shared_arena=config.shared_arena,
+            kernel_tier=config.kernel_tier)
         base.close()
         print(f"# sharded: {config.shards} worker processes "
-              f"({config.shard_policy} partitioning)")
+              f"({config.shard_policy} partitioning"
+              + (", shared arena" if config.shared_arena else "") + ")")
     service = QueryService(engine, config)
     print(f"# engine ready: {len(engine.collection)} documents over "
           f"{len(engine.ontology)} concepts")
@@ -557,6 +563,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shard-timeout", type=float, default=30.0,
                        help="per-shard request timeout in seconds; a "
                             "worker missing it is respawned")
+    serve.add_argument("--shared-arena", action="store_true",
+                       help="publish one shared-memory arena snapshot "
+                            "that every shard worker attaches read-only "
+                            "instead of re-packing (requires --shards)")
+    serve.add_argument("--kernel-tier", default="auto",
+                       choices=("auto", "packed", "numpy"),
+                       help="arena LCP kernel: auto picks numpy when the "
+                            "[perf] extra is installed, else the packed "
+                            "scalar kernel; results are identical")
     serve.set_defaults(handler=_cmd_serve)
 
     debug = commands.add_parser(

@@ -43,15 +43,32 @@ from collections.abc import Collection, Iterable, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.exceptions import EmptyDocumentError, UnknownConceptError
+import os
+
+from repro.exceptions import (EmptyDocumentError, ReproError,
+                              UnknownConceptError)
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.ontology.dewey import DeweyIndex
 from repro.ontology.graph import Ontology
 from repro.types import ConceptId
 
 if TYPE_CHECKING:
+    from repro.core.npkernel import NumpyBatchKernel
     from repro.obs import Observability
     from repro.obs.metrics import Counter
+
+KERNEL_TIERS = ("auto", "packed", "numpy")
+"""Accepted ``kernel_tier`` arguments (the arena rungs of the ladder).
+
+The full kernel ladder is tuple → packed → numpy: the *tuple* rung is
+:class:`repro.core.drc.DRC` with ``KNDSConfig.use_arena=False`` (no
+arena at all), so the arena itself only distinguishes ``packed`` (the
+scalar buffer-walking kernel) from ``numpy`` (the vectorized batch
+kernel of :mod:`repro.core.npkernel`).  ``auto`` resolves to ``numpy``
+when numpy is importable (the ``perf`` extra), else ``packed``; the
+``REPRO_KERNEL_TIER`` environment variable overrides ``auto`` for
+operator control without code changes.
+"""
 
 DEFAULT_CACHE_ENTRIES = 1 << 18
 """Default LRU capacity of the shared concept-distance cache.
@@ -197,11 +214,18 @@ class PackedDeweyArena:
         arena's id space.
     cache_entries:
         LRU capacity when the arena builds its own cache.
+    kernel_tier:
+        ``"auto"`` (default), ``"packed"``, or ``"numpy"`` — see
+        :data:`KERNEL_TIERS`.  ``"numpy"`` raises
+        :class:`repro.exceptions.ReproError` when numpy is not
+        installed (``pip install repro[perf]``); ``"auto"`` silently
+        stays on the packed scalar kernel instead.
     """
 
     def __init__(self, ontology: Ontology, dewey: DeweyIndex | None = None,
                  *, cache: ConceptDistanceCache | None = None,
-                 cache_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+                 cache_entries: int = DEFAULT_CACHE_ENTRIES,
+                 kernel_tier: str = "auto") -> None:
         self.ontology = ontology
         self.dewey = dewey if dewey is not None else DeweyIndex(ontology)
         if cache is None:
@@ -227,14 +251,59 @@ class PackedDeweyArena:
         never a result), delta-published via ``_sync_metrics``.
         """
         self.pair_kernels = 0
-        """Packed LCP kernel evaluations (pair requests that missed).
+        """LCP kernel evaluations (pair requests that missed).
 
-        Same tolerated-racy discipline as :attr:`pair_lookups`.
+        Same tolerated-racy discipline as :attr:`pair_lookups`.  Batch
+        calls are batch-aware: one :meth:`batch_pair_distances` call
+        bumps this by the number of missing pairs, exactly matching the
+        scalar path, so the count is identical across kernel tiers and
+        the bench work-counter gate never flaps on tier choice.
         """
+        self.kernel_calls = 0
+        """Python-level kernel invocations (tier-dependent, ungated).
+
+        On the packed tier this equals :attr:`pair_kernels` (one
+        interpreted kernel walk per missing pair); on the numpy tier one
+        vectorized call covers a whole batch of misses, so this counter
+        is the direct measure of the interpreter work the batch kernel
+        removes.  Deliberately *not* a bench work counter — it is meant
+        to differ across tiers.
+        """
+        self._np_kernel: "NumpyBatchKernel | None" = \
+            self._resolve_kernel(kernel_tier)
         self._counters: "tuple[Counter, ...] | None" = None  # guarded by: _metrics_lock (writes)
         self._tracer: "Tracer | NullTracer | None" = None
-        self._published = [0, 0, 0, 0, 0]  # guarded by: _metrics_lock
+        self._published = [0, 0, 0, 0, 0, 0]  # guarded by: _metrics_lock
         self._metrics_lock = threading.Lock()
+
+    @staticmethod
+    def _resolve_kernel(kernel_tier: str) -> "NumpyBatchKernel | None":
+        """Resolve a tier request to a batch kernel (or None for packed)."""
+        if kernel_tier not in KERNEL_TIERS:
+            raise ReproError(
+                f"kernel_tier must be one of {', '.join(KERNEL_TIERS)}, "
+                f"got {kernel_tier!r}")
+        if kernel_tier == "auto":
+            kernel_tier = os.environ.get("REPRO_KERNEL_TIER", "auto")
+            if kernel_tier not in KERNEL_TIERS:
+                raise ReproError(
+                    f"REPRO_KERNEL_TIER must be one of "
+                    f"{', '.join(KERNEL_TIERS)}, got {kernel_tier!r}")
+        if kernel_tier == "packed":
+            return None
+        from repro.core import npkernel
+        if not npkernel.available():
+            if kernel_tier == "numpy":
+                raise ReproError(
+                    "kernel_tier='numpy' requires numpy; install the "
+                    "perf extra (pip install repro[perf])")
+            return None
+        return npkernel.NumpyBatchKernel()
+
+    @property
+    def kernel_tier(self) -> str:
+        """The active kernel tier of this arena: packed or numpy."""
+        return "numpy" if self._np_kernel is not None else "packed"
 
     # ------------------------------------------------------------------
     # Interning
@@ -364,8 +433,100 @@ class PackedDeweyArena:
             return cached
         distance = self._pair_kernel(first, second)
         self.pair_kernels += 1
+        self.kernel_calls += 1
         self.cache.put(first, second, distance)
         return distance
+
+    def batch_pair_distances(
+            self, pairs: Sequence[tuple[int, int]]) -> list[int]:
+        """Exact distances for many interned-id pairs in one call.
+
+        The batch analogue of :meth:`pair_distance` and the entry point
+        of the vectorized kernel tier: cache hits are served per pair,
+        all misses are evaluated in one kernel invocation (vectorized on
+        the numpy tier), and every counter — ``pair_lookups``,
+        ``pair_kernels``, cache hit/miss — advances by exactly what the
+        equivalent scalar loop would have produced, so work gating stays
+        deterministic across tiers.
+        """
+        distances = self._resolve_pairs(list(pairs))
+        self._sync_metrics()
+        return distances
+
+    def _resolve_pairs(self, pairs: Sequence[tuple[int, int]]) -> list[int]:
+        """Cache-aware batched pair resolution (scalar-exact counters).
+
+        Counter parity with the per-pair scalar loop is maintained
+        case by case: equal-id pairs short-circuit to 0 without touching
+        any counter; cache hits and first-miss kernel evaluations map
+        one to one; a pair repeated within the batch defers its cache
+        read until after the first occurrence's ``put``, registering the
+        same hit the interleaved scalar loop would.  With a disabled
+        cache (``max_entries=0``) every occurrence re-runs the kernel,
+        again exactly like the scalar loop.  (Only an LRU already *at
+        capacity mid-batch* can make hit/miss counts drift from the
+        scalar interleaving; the shipped capacities make that window
+        unreachable in gated workloads.)
+        """
+        out = [0] * len(pairs)
+        cache = self.cache
+        lookups = 0
+        if cache.max_entries == 0:
+            misses: list[tuple[int, tuple[int, int]]] = []
+            for index, (first, second) in enumerate(pairs):
+                if first == second:
+                    continue
+                lookups += 1
+                cache.get(first, second)  # always misses; stats parity
+                misses.append((index, (first, second)))
+            self.pair_lookups += lookups
+            if misses:
+                values = self._kernel_many([key for _, key in misses])
+                self.pair_kernels += len(misses)
+                for (index, _key), value in zip(misses, values):
+                    out[index] = value
+            return out
+        pending: "OrderedDict[tuple[int, int], list[int]]" = OrderedDict()
+        for index, (first, second) in enumerate(pairs):
+            if first == second:
+                continue
+            lookups += 1
+            key = (first, second) if first < second else (second, first)
+            occurrences = pending.get(key)
+            if occurrences is not None:
+                occurrences.append(index)
+                continue
+            cached = cache.get(first, second)
+            if cached is not None:
+                out[index] = cached
+                continue
+            pending[key] = [index]
+        self.pair_lookups += lookups
+        if pending:
+            keys = list(pending)
+            values = self._kernel_many(keys)
+            self.pair_kernels += len(keys)
+            for key, value in zip(keys, values):
+                cache.put(key[0], key[1], value)
+                occurrences = pending[key]
+                out[occurrences[0]] = value
+                for duplicate in occurrences[1:]:
+                    # The scalar loop's later occurrence hits the entry
+                    # the first one just stored; re-reading registers
+                    # the same hit (and LRU refresh) here.
+                    hit = cache.get(key[0], key[1])
+                    out[duplicate] = value if hit is None else hit
+        return out
+
+    def _kernel_many(self, keys: Sequence[tuple[int, int]]) -> list[int]:
+        """Kernel-evaluate a list of missing pairs on the active tier."""
+        kernel = self._np_kernel
+        if kernel is not None:
+            values = kernel.distances(self, keys)
+            self.kernel_calls += 1
+            return values
+        self.kernel_calls += len(keys)
+        return [self._pair_kernel(first, second) for first, second in keys]
 
     def _pair_kernel(self, first: int, second: int) -> int:
         # min over address pairs of |p1| + |p2| - 2*LCP, walked directly
@@ -419,9 +580,44 @@ class PackedDeweyArena:
             raise EmptyDocumentError("<document>")
         if not query_ids:
             raise EmptyDocumentError("<query>")
+        if self._np_kernel is not None:
+            return self._ddq_ids_batch(doc_ids, query_ids)
         total = 0
         for query_concept in query_ids:
             total += self.doc_concept_distance(doc_ids, query_concept)
+        self._sync_metrics()
+        return float(total)
+
+    def _ddq_ids_batch(self, doc_ids: Sequence[int],
+                       query_ids: Sequence[int]) -> float:
+        """``Ddq`` via one batched pair resolution (numpy tier).
+
+        Counter parity requires replicating the scalar early exit: the
+        per-query inner loop stops at distance 0, which (distinct
+        concepts never being at distance 0) happens exactly when the
+        query concept appears in the document set — so the pairs the
+        scalar loop evaluates are known up front without computing any
+        distance.
+        """
+        positions: dict[int, int] = {}
+        for row, concept in enumerate(doc_ids):
+            if concept not in positions:
+                positions[concept] = row
+        pairs: list[tuple[int, int]] = []
+        spans: list[tuple[int, int, bool]] = []
+        for query_concept in query_ids:
+            start = len(pairs)
+            stop_row = positions.get(query_concept)
+            matched = stop_row is not None
+            limit = len(doc_ids) if stop_row is None else stop_row
+            for row in range(limit):
+                pairs.append((doc_ids[row], query_concept))
+            spans.append((start, len(pairs), matched))
+        distances = self._resolve_pairs(pairs)
+        total = 0
+        for start, stop, matched in spans:
+            if not matched:
+                total += min(distances[start:stop])
         self._sync_metrics()
         return float(total)
 
@@ -438,12 +634,44 @@ class PackedDeweyArena:
             raise EmptyDocumentError("<document>")
         if not query_ids:
             raise EmptyDocumentError("<query>")
+        if self._np_kernel is not None:
+            return self._ddd_ids_batch(doc_ids, query_ids)
         doc_minima = [-1] * len(doc_ids)
         query_total = 0
         for query_concept in query_ids:
             best = -1
             for row, doc_concept in enumerate(doc_ids):
                 distance = self.pair_distance(doc_concept, query_concept)
+                if best < 0 or distance < best:
+                    best = distance
+                if doc_minima[row] < 0 or distance < doc_minima[row]:
+                    doc_minima[row] = distance
+            query_total += best
+        self._sync_metrics()
+        return (sum(doc_minima) / len(doc_ids)
+                + query_total / len(query_ids))
+
+    def _ddd_ids_batch(self, doc_ids: Sequence[int],
+                       query_ids: Sequence[int]) -> float:
+        """``Ddd`` via one batched pair resolution (numpy tier).
+
+        The scalar pass walks the full pair matrix (no early exit), so
+        the batch simply requests every pair in the same order and folds
+        the same integer minima; the two normalized sums use identical
+        numerators and denominators, keeping the float bit-for-bit.
+        """
+        pairs = [(doc_concept, query_concept)
+                 for query_concept in query_ids
+                 for doc_concept in doc_ids]
+        distances = self._resolve_pairs(pairs)
+        doc_minima = [-1] * len(doc_ids)
+        query_total = 0
+        position = 0
+        for _query_concept in query_ids:
+            best = -1
+            for row in range(len(doc_ids)):
+                distance = distances[position]
+                position += 1
                 if best < 0 or distance < best:
                     best = distance
                 if doc_minima[row] < 0 or distance < doc_minima[row]:
@@ -522,21 +750,27 @@ class PackedDeweyArena:
                              "Concept-distance cache misses"),
             registry.counter("arena.cache.evict",
                              "Concept-distance cache LRU evictions"),
+            registry.counter("arena.kernel_calls",
+                             "Python-level kernel invocations (one per "
+                             "missing pair on the packed tier, one per "
+                             "batch on the numpy tier)"),
         )
         stats = self.cache.stats
         with self._metrics_lock:
             self._published = [self.pair_lookups, self.pair_kernels,
-                               stats.hits, stats.misses, stats.evictions]
+                               stats.hits, stats.misses, stats.evictions,
+                               self.kernel_calls]
             self._counters = counters
 
     def reset_counters(self) -> None:
         """Zero the arena counters (benchmark harness hygiene)."""
         self.pair_lookups = 0
         self.pair_kernels = 0
+        self.kernel_calls = 0
         stats = self.cache.stats
         with self._metrics_lock:
             self._published = [0, 0, stats.hits, stats.misses,
-                               stats.evictions]
+                               stats.evictions, 0]
 
     def _sync_metrics(self) -> None:
         counters = self._counters
@@ -544,7 +778,8 @@ class PackedDeweyArena:
             return
         stats = self.cache.stats
         totals = (self.pair_lookups, self.pair_kernels,
-                  stats.hits, stats.misses, stats.evictions)
+                  stats.hits, stats.misses, stats.evictions,
+                  self.kernel_calls)
         with self._metrics_lock:
             published = self._published
             for index, counter in enumerate(counters):

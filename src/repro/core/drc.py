@@ -37,9 +37,12 @@ class DRC:
     which probes DRC for many candidate documents against one query.
 
     When constructed with a :class:`~repro.core.arena.PackedDeweyArena`,
-    the two distance entry points consult the arena's packed kernels
-    first — same floats, no per-call D-Radix build — and :meth:`build`
-    remains the tuple-path fallback (and the inspectable artifact).
+    the two distance entry points consult the arena's kernels first —
+    same floats, no per-call D-Radix build — and :meth:`build` remains
+    the tuple-path fallback (and the inspectable artifact).  This class
+    is the *tuple* rung of the kernel ladder (tuple → packed → numpy,
+    docs/PERFORMANCE.md): which arena kernel answers a probe is the
+    arena's ``kernel_tier``, invisible here beyond speed.
 
     Attributes
     ----------

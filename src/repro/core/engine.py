@@ -50,6 +50,16 @@ class SearchEngine:
     sqlite_path:
         Database location when ``backend="sqlite"``; defaults to an
         in-memory database.
+    arena:
+        An existing :class:`repro.core.arena.PackedDeweyArena` to adopt
+        instead of packing a private one — the shard-worker fast path,
+        where an attached :class:`repro.core.sharena.SharedArenaView`
+        makes engine construction O(1) in ontology size.  Must be
+        packed against the *same ontology object*.
+    kernel_tier:
+        Arena kernel selection (``"auto"``/``"packed"``/``"numpy"``,
+        see :data:`repro.core.arena.KERNEL_TIERS`); ignored when an
+        ``arena`` is injected (the injected arena's tier wins).
     obs:
         An optional :class:`repro.obs.Observability` bundle, threaded
         through every layer (kNDS, DRC, indexes, baselines): queries run
@@ -88,6 +98,8 @@ class SearchEngine:
                  sqlite_path: str = ":memory:",
                  sqlite_rebuild: bool = True,
                  default_config: KNDSConfig | None = None,
+                 arena: PackedDeweyArena | None = None,
+                 kernel_tier: str = "auto",
                  obs: "Observability | None" = None) -> None:
         ontology.validate()
         self.ontology = ontology
@@ -95,8 +107,21 @@ class SearchEngine:
         self.backend = backend
         self.default_config = (self.DEFAULT_CONFIG if default_config is None
                                else default_config)
-        self.dewey = DeweyIndex(ontology)
-        self.arena = PackedDeweyArena(ontology, self.dewey)
+        if arena is not None:
+            # Arena injection: shard workers hand in an attached
+            # repro.core.sharena.SharedArenaView so the engine reuses
+            # the coordinator's packed buffers instead of re-packing.
+            if arena.ontology is not ontology:
+                raise QueryError(
+                    "injected arena was packed for a different ontology "
+                    "object; arena ids are only valid for the ontology "
+                    "they were interned against")
+            self.arena = arena
+            self.dewey = arena.dewey
+        else:
+            self.dewey = DeweyIndex(ontology)
+            self.arena = PackedDeweyArena(ontology, self.dewey,
+                                          kernel_tier=kernel_tier)
         self.drc = DRC(ontology, self.dewey, arena=self.arena)
         if backend == "memory":
             self.inverted = MemoryInvertedIndex.from_collection(
@@ -152,6 +177,8 @@ class SearchEngine:
                       documents: Iterable[Document], *,
                       name: str = "partition",
                       default_config: KNDSConfig | None = None,
+                      arena: PackedDeweyArena | None = None,
+                      kernel_tier: str = "auto",
                       obs: "Observability | None" = None) -> "SearchEngine":
         """Build an engine owning the indexes for one corpus partition.
 
@@ -161,10 +188,13 @@ class SearchEngine:
         (each builds its own inverted/forward views over exactly the
         documents it was given), the ontology and algorithm surface are
         identical to the full engine, and per-partition results merge
-        via :func:`repro.core.results.merge_ranked`.
+        via :func:`repro.core.results.merge_ranked`.  ``arena`` /
+        ``kernel_tier`` forward to the constructor: workers that
+        attached a shared arena snapshot inject it here.
         """
         return cls(ontology, DocumentCollection(documents, name=name),
-                   default_config=default_config, obs=obs)
+                   default_config=default_config, arena=arena,
+                   kernel_tier=kernel_tier, obs=obs)
 
     # ------------------------------------------------------------------
     def rds(self, query_concepts: Sequence[ConceptId], k: int = 10, *,

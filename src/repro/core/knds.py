@@ -721,8 +721,12 @@ class KNDSearch:
         telemetry.io_seconds += time.perf_counter() - io_start
         distance_start = time.perf_counter()
         if query_ids is not None:
-            # Packed-kernel path: same floats as the D-Radix build, but
-            # every concept pair is served from the shared cache.
+            # Arena path: same floats as the D-Radix build, but every
+            # concept pair is served from the shared cache, and on the
+            # numpy kernel tier ddq_ids/ddd_ids resolve the candidate's
+            # whole pair list in one vectorized batch call (see
+            # docs/PERFORMANCE.md, "The kernel ladder").  knds.arena_calls
+            # stays one per settle across tiers.
             doc_ids = self.arena.intern_unique(doc_concepts)
             if mode == RDS:
                 distance = self.arena.ddq_ids(doc_ids, query_ids)

@@ -1,0 +1,178 @@
+"""Optional vectorized batch LCP kernel (the ``numpy`` arena kernel tier).
+
+The scalar packed kernel (:meth:`repro.core.arena.PackedDeweyArena._pair_kernel`)
+walks one address pair at a time in interpreted Python; this module
+evaluates *every cache-missing pair of a batch* in a handful of numpy
+array operations instead.  It is the top rung of the kernel ladder
+(tuple → packed → numpy, see docs/PERFORMANCE.md): strictly an execution
+strategy, never a semantics change — the distances it returns are
+bit-for-bit identical to the scalar kernel, and the arena keeps all
+counter accounting (``pair_lookups``/``pair_kernels``) itself so work
+gating stays deterministic across tiers.
+
+numpy ships behind the ``perf`` extra (``pip install repro[perf]``); the
+base install stays dependency-free.  When numpy is missing,
+:func:`available` returns ``False`` and the arena silently stays on the
+packed tier.
+
+How the vectorization works
+---------------------------
+All interned addresses are rectangularized once per snapshot into a
+``(slots, max_len)`` int64 matrix padded with ``-1`` (components are
+unsigned, so padding can never equal a real component).  For a batch of
+concept pairs, the per-pair address cross products are expanded into
+three flat index vectors (row in the matrix for side a, side b, and the
+owning pair), the LCP of every address pair is the row-sum of the
+leading run of equalities (``cumprod`` trick), clamped to
+``min(len_a, len_b)`` so equal-length padding can never overcount, and
+``np.minimum.at`` folds ``len_a + len_b - 2*lcp`` down to one minimum
+per pair — the Dewey-pair identity the scalar kernel computes, exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exceptions import InvariantError
+
+if TYPE_CHECKING:
+    from repro.core.arena import PackedDeweyArena
+
+try:  # pragma: no cover - exercised implicitly by tier selection
+    import numpy as _np
+except ImportError:  # pragma: no cover - base install has no numpy
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["available", "NumpyBatchKernel"]
+
+
+def available() -> bool:
+    """True when numpy is importable (the ``perf`` extra is installed)."""
+    return _np is not None
+
+
+class _Snapshot:
+    """One immutable padded-matrix view of an arena's packed buffers.
+
+    All fields are written once in ``__init__`` and never mutated, so a
+    snapshot can be handed between threads freely; staleness is decided
+    by ``limit``/``epoch`` alone.
+    """
+
+    __slots__ = ("limit", "epoch", "starts", "counts", "lengths", "matrix")
+
+    def __init__(self, arena: "PackedDeweyArena") -> None:
+        # .tobytes() copies atomically under the GIL without exporting
+        # the array's buffer, so a concurrent intern can never trip a
+        # BufferError; count= clips each copy to the consistent prefix.
+        # _slots is the last buffer an intern appends to, so slicing
+        # _bounds/_data up to the offsets it names can never see a
+        # half-written concept.
+        epoch = arena.epoch
+        data_buf, bounds_buf, slots_buf = \
+            arena._data, arena._bounds, arena._slots
+        concept_count = len(slots_buf) - 1
+        slots = _np.frombuffer(slots_buf.tobytes(), dtype=_np.uint32,
+                               count=concept_count + 1).astype(_np.int64)
+        bound_count = int(slots[-1]) + 1
+        bounds = _np.frombuffer(bounds_buf.tobytes(), dtype=_np.uint32,
+                                count=bound_count).astype(_np.int64)
+        data_count = int(bounds[-1])
+        data = _np.frombuffer(data_buf.tobytes(), dtype=_np.uint32,
+                              count=data_count).astype(_np.int64)
+        lengths = bounds[1:] - bounds[:-1]
+        max_len = int(lengths.max()) if lengths.size else 1
+        matrix = _np.full((lengths.size, max(max_len, 1)), -1,
+                          dtype=_np.int64)
+        if data.size:
+            columns = _np.arange(matrix.shape[1], dtype=_np.int64)
+            matrix[columns[None, :] < lengths[:, None]] = data
+        self.starts = slots[:-1]
+        self.counts = slots[1:] - slots[:-1]
+        self.lengths = lengths
+        self.matrix = matrix
+        self.limit = concept_count
+        self.epoch = epoch
+
+
+class NumpyBatchKernel:
+    """Padded-matrix snapshot of one arena + the batched min-LCP kernel.
+
+    The snapshot copies the packed buffers into numpy working arrays
+    (padding is inherently a copy), covering the first ``limit``
+    interned concepts.  Interning is append-only within an epoch, so a
+    snapshot never goes *wrong*, only *stale*; :meth:`distances`
+    rebuilds it when a requested id falls past the covered prefix and
+    on epoch changes.  Thread-safe without a lock: the snapshot is one
+    immutable object swapped atomically under the GIL, and each call
+    reads it through a single local reference — concurrent rebuilds can
+    cost a redundant copy, never a torn or wrong distance.
+    """
+
+    def __init__(self) -> None:
+        if _np is None:
+            raise InvariantError(
+                "NumpyBatchKernel constructed without numpy installed; "
+                "gate construction on npkernel.available()")
+        self._snapshot: "_Snapshot | None" = None
+
+    def refresh(self, arena: "PackedDeweyArena") -> "_Snapshot":
+        """Rebuild the padded matrices from the arena's packed buffers."""
+        snapshot = _Snapshot(arena)
+        self._snapshot = snapshot
+        return snapshot
+
+    def distances(self, arena: "PackedDeweyArena",
+                  pairs: Sequence[tuple[int, int]]) -> list[int]:
+        """Exact pair distances for a batch of interned-id pairs.
+
+        One vectorized evaluation for the whole batch; bit-for-bit equal
+        to running the scalar kernel per pair (the minimum is a total
+        function of the same integer identity — the scalar early exit at
+        distance <= 1 is a shortcut to the same minimum, never a
+        different value).
+        """
+        if not pairs:
+            return []
+        highest = max(max(first, second) for first, second in pairs)
+        snapshot = self._snapshot
+        if (snapshot is None or highest >= snapshot.limit
+                or snapshot.epoch != arena.epoch):
+            snapshot = self.refresh(arena)
+            if highest >= snapshot.limit:
+                raise InvariantError(
+                    f"interned id {highest} out of arena range "
+                    f"{snapshot.limit}")
+        count = len(pairs)
+        first = _np.fromiter((pair[0] for pair in pairs),
+                             dtype=_np.int64, count=count)
+        second = _np.fromiter((pair[1] for pair in pairs),
+                              dtype=_np.int64, count=count)
+        counts_a = snapshot.counts[first]
+        counts_b = snapshot.counts[second]
+        per_pair = counts_a * counts_b
+        total = int(per_pair.sum())
+        if total == 0:
+            raise InvariantError(
+                "concept with zero packed addresses in batch kernel")
+        owner = _np.repeat(_np.arange(count, dtype=_np.int64), per_pair)
+        # Position of each address pair within its concept pair's cross
+        # product: row-major over (address of a, address of b).
+        pair_starts = _np.cumsum(per_pair) - per_pair
+        within = _np.arange(total, dtype=_np.int64) \
+            - _np.repeat(pair_starts, per_pair)
+        stride_b = _np.repeat(counts_b, per_pair)
+        rows_a = _np.repeat(snapshot.starts[first], per_pair) \
+            + within // stride_b
+        rows_b = _np.repeat(snapshot.starts[second], per_pair) \
+            + within % stride_b
+        side_a = snapshot.matrix[rows_a]
+        side_b = snapshot.matrix[rows_b]
+        len_a = snapshot.lengths[rows_a]
+        len_b = snapshot.lengths[rows_b]
+        lcp = _np.cumprod(side_a == side_b, axis=1).sum(axis=1)
+        lcp = _np.minimum(lcp, _np.minimum(len_a, len_b))
+        distance = len_a + len_b - 2 * lcp
+        minima = _np.full(count, _np.iinfo(_np.int64).max, dtype=_np.int64)
+        _np.minimum.at(minima, owner, distance)
+        return [int(value) for value in minima]

@@ -1,0 +1,361 @@
+"""Zero-copy shared-memory arena snapshots (``repro.core.sharena``).
+
+PR 9 made serving multi-process, but every shard worker still packed its
+own private :class:`repro.core.arena.PackedDeweyArena` — the same
+ontology addresses interned N times, multiplying both cold-start latency
+and resident memory by shard count.  This module seals one fully
+interned arena into a ``multiprocessing.shared_memory`` segment that
+workers attach **read-only in O(1)**: the three packed buffers are
+mapped, never copied, so N workers share one physical copy per host.
+
+Segment layout (little-endian)::
+
+    magic    4s   b"RPA1" — repro packed arena
+    version  u32  bump on incompatible layout changes
+    epoch    u64  the publishing arena's epoch at seal time
+    data     u64  words in the _data buffer
+    bounds   u64  words in the _bounds buffer
+    slots    u64  words in the _slots buffer
+    concepts u64  bytes of the JSON-encoded concept list
+    ...payloads in the same order, 4-byte words then the JSON blob
+
+The concept list pins the interned-id space: ids are positions in
+interning order, so shipping the ordered list lets every attacher
+rebuild the exact ``concept -> id`` map of the publisher — which is what
+makes cached distances, cache tokens and packed offsets portable.
+
+Lifecycle contract: the coordinator owns the segment
+(:class:`SharedArenaSegment`) and unlinks it on drain; workers attach a
+:class:`SharedArenaView` and detach on exit.  Attach validates magic,
+version, sizes, and the epoch stamped in the :class:`SharedArenaSpec` it
+was handed — any mismatch raises
+:class:`repro.exceptions.ArenaSnapshotError`, which
+:func:`try_attach` converts into ``None`` so callers fall back to
+re-packing a private arena (correctness never depends on the segment).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+from array import array
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+from repro.core.arena import (DEFAULT_CACHE_ENTRIES, ConceptDistanceCache,
+                              PackedDeweyArena)
+from repro.exceptions import (ArenaSnapshotError, InvariantError,
+                              UnknownConceptError)
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.graph import Ontology
+from repro.types import ConceptId
+
+__all__ = ["SharedArenaSpec", "SharedArenaSegment", "SharedArenaView",
+           "publish_snapshot", "attach_view", "try_attach"]
+
+_MAGIC = b"RPA1"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQQQQQ")
+_WORD = 4  # array('I') item size on every supported platform
+
+
+@dataclass(frozen=True)
+class SharedArenaSpec:
+    """Picklable locator for one published snapshot.
+
+    Shipped to shard workers inside :class:`repro.shard.worker.WorkerSpec`;
+    ``epoch`` lets an attacher reject a segment that was republished (or
+    never matched) without trusting segment contents alone, and
+    ``nbytes`` is the once-per-host figure behind the
+    ``resource.arena_shared_bytes`` gauge.
+    """
+
+    name: str
+    epoch: int
+    nbytes: int
+
+
+class SharedArenaSegment:
+    """Owner handle of one published segment (coordinator side).
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory`
+    object alive for the serving lifetime and unlinks it on
+    :meth:`unlink` (idempotent).  On Linux the memory itself persists
+    until the last attacher detaches, so unlinking while workers drain
+    is safe — new attaches simply start failing, which is exactly the
+    re-pack fallback path.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 spec: SharedArenaSpec) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.spec = spec
+
+    def unlink(self) -> None:
+        """Close the owner mapping and remove the segment name."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArenaSegment":
+        """Enter a with-block owning the segment."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Unlink on exit."""
+        self.unlink()
+
+
+def publish_snapshot(arena: PackedDeweyArena) -> SharedArenaSegment:
+    """Seal ``arena`` (fully interned first) into a shared segment.
+
+    Interns every ontology concept that is not already packed — the
+    snapshot must cover the whole id space, because attached views are
+    frozen — then copies the three packed buffers plus the ordered
+    concept list behind a versioned header.  The returned segment is
+    the coordinator's to :meth:`~SharedArenaSegment.unlink` on drain.
+    """
+    for concept in arena.ontology:
+        arena.concept_id(concept)
+    with arena._intern_lock:
+        data = arena._data.tobytes()
+        bounds = arena._bounds.tobytes()
+        slots = arena._slots.tobytes()
+        concepts_blob = json.dumps(list(arena._concepts)).encode("utf-8")
+        epoch = arena.epoch
+    header = _HEADER.pack(_MAGIC, _VERSION, epoch,
+                          len(data) // _WORD, len(bounds) // _WORD,
+                          len(slots) // _WORD, len(concepts_blob))
+    total = len(header) + len(data) + len(bounds) + len(slots) \
+        + len(concepts_blob)
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        offset = 0
+        for chunk in (header, data, bounds, slots, concepts_blob):
+            shm.buf[offset:offset + len(chunk)] = chunk
+            offset += len(chunk)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    # shm.size may exceed the requested total (page rounding); the
+    # header word counts, not nbytes, delimit the payloads.
+    spec = SharedArenaSpec(name=shm.name, epoch=epoch, nbytes=total)
+    return SharedArenaSegment(shm, spec)
+
+
+class SharedArenaView(PackedDeweyArena):
+    """A frozen, read-only arena over an attached snapshot.
+
+    The packed buffers are ``memoryview`` casts straight into the shared
+    mapping — zero copies, O(1) attach regardless of ontology size — and
+    the concept-id map is rebuilt from the shipped concept list, so
+    every kernel (scalar or numpy tier) and every cached distance is
+    bit-for-bit identical to the publishing arena's.  The distance
+    cache itself is process-private (plain Python ints cannot live in
+    the segment); only the buffers are shared.
+
+    Frozen means no interning: the snapshot covers the full ontology,
+    so the only concepts that can miss are ones outside the ontology —
+    :class:`repro.exceptions.UnknownConceptError`, same as any arena —
+    and corpus mutations never intern anything new.  ``buffer_bytes``
+    reports 0 (the bytes belong to the publishing host's segment,
+    counted once via :attr:`spec`), and :meth:`invalidate` refuses —
+    rebuild the publisher instead.
+    """
+
+    def __init__(self, ontology: Ontology,
+                 shm: shared_memory.SharedMemory, spec: SharedArenaSpec, *,
+                 dewey: DeweyIndex | None = None,
+                 cache: ConceptDistanceCache | None = None,
+                 cache_entries: int = DEFAULT_CACHE_ENTRIES,
+                 kernel_tier: str = "auto") -> None:
+        super().__init__(ontology, dewey, cache=cache,
+                         cache_entries=cache_entries,
+                         kernel_tier=kernel_tier)
+        buf = shm.buf
+        if len(buf) < _HEADER.size:
+            raise ArenaSnapshotError(
+                f"segment {spec.name!r} is smaller than the header")
+        magic, version, epoch, data_words, bounds_words, slots_words, \
+            concept_bytes = _HEADER.unpack_from(buf, 0)
+        if magic != _MAGIC:
+            raise ArenaSnapshotError(
+                f"segment {spec.name!r} has foreign magic {magic!r}")
+        if version != _VERSION:
+            raise ArenaSnapshotError(
+                f"segment {spec.name!r} is layout version {version}, "
+                f"this build reads {_VERSION}")
+        if epoch != spec.epoch:
+            raise ArenaSnapshotError(
+                f"segment {spec.name!r} stamps epoch {epoch}, expected "
+                f"{spec.epoch}; the publisher re-packed — re-pack too")
+        total = _HEADER.size \
+            + (data_words + bounds_words + slots_words) * _WORD \
+            + concept_bytes
+        if len(buf) < total:
+            raise ArenaSnapshotError(
+                f"segment {spec.name!r} is truncated: header promises "
+                f"{total} bytes, mapping holds {len(buf)}")
+        offset = _HEADER.size
+        data_view = buf[offset:offset + data_words * _WORD].cast("I")
+        offset += data_words * _WORD
+        bounds_view = buf[offset:offset + bounds_words * _WORD].cast("I")
+        offset += bounds_words * _WORD
+        slots_view = buf[offset:offset + slots_words * _WORD].cast("I")
+        offset += slots_words * _WORD
+        concepts = json.loads(
+            bytes(buf[offset:offset + concept_bytes]).decode("utf-8"))
+        if len(slots_view) != len(concepts) + 1:
+            raise ArenaSnapshotError(
+                f"segment {spec.name!r} slot table does not match its "
+                f"concept list")
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.spec = spec
+        self._views = (data_view, bounds_view, slots_view)
+        # Zero-copy adoption: the kernels index these views exactly as
+        # they index the private array('I') buffers.
+        self._data = data_view  # type: ignore[assignment]
+        self._bounds = bounds_view  # type: ignore[assignment]
+        self._slots = slots_view  # type: ignore[assignment]
+        self._concepts = [ConceptId(concept) for concept in concepts]
+        self._ids = {concept: index
+                     for index, concept in enumerate(self._concepts)}
+        self._epoch = epoch
+
+    @property
+    def attached(self) -> bool:
+        """True while the view still maps the shared segment."""
+        return self._shm is not None
+
+    def buffer_bytes(self) -> int:
+        """0: the packed bytes belong to the shared segment.
+
+        The ``resource.arena_bytes`` gauge must count the segment once
+        per host (at the publisher), not once per attached worker; the
+        segment's size is :attr:`spec` ``.nbytes``.
+        """
+        return 0
+
+    def shared_segment_bytes(self) -> int:
+        """Size of the attached segment (the publisher-side figure)."""
+        return self.spec.nbytes
+
+    def invalidate(self) -> None:
+        """Refuse: views are frozen; republish from the coordinator."""
+        raise InvariantError(
+            "shared arena views are read-only; invalidate the "
+            "publishing arena and publish a new snapshot instead")
+
+    def _intern(self, concept: ConceptId) -> int:
+        if concept not in self.ontology:
+            raise UnknownConceptError(concept)
+        raise InvariantError(  # pragma: no cover - snapshot covers all
+            f"shared arena snapshot is missing ontology concept "
+            f"{concept!r}; republish from a fully interned arena")
+
+    def detach(self) -> None:
+        """Release the buffer views and close this process's mapping.
+
+        Idempotent.  After detaching, the view rejects distance calls
+        (its buffers are empty) — detach is for worker teardown, not a
+        pause button.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        self._data = array("I")
+        self._bounds = array("I", [0])
+        self._slots = array("I", [0])
+        views, self._views = self._views, ()
+        for view in views:
+            view.release()
+        shm.close()
+
+    def __enter__(self) -> "SharedArenaView":
+        """Enter a with-block owning the attachment."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Detach on exit."""
+        self.detach()
+
+
+def attach_view(spec: SharedArenaSpec, ontology: Ontology, *,
+                dewey: DeweyIndex | None = None,
+                cache: ConceptDistanceCache | None = None,
+                cache_entries: int = DEFAULT_CACHE_ENTRIES,
+                kernel_tier: str = "auto") -> SharedArenaView:
+    """Attach the segment named by ``spec`` as a read-only arena view.
+
+    Raises :class:`repro.exceptions.ArenaSnapshotError` when the
+    segment is missing or fails validation (bad magic/version/epoch/
+    sizes).  Attaching deliberately bypasses the ``multiprocessing``
+    resource tracker: on CPython < 3.13 every attach *registers* the
+    segment, so an attacher with its own tracker would unlink it at
+    exit out from under the publisher, while an attacher sharing the
+    publisher's tracker (our spawn-children shard workers) cannot
+    safely unregister afterwards either — the tracker keys by name, so
+    unregistering would erase the publisher's crash-cleanup entry.
+    Suppressing registration during the attach sidesteps both.
+    """
+    try:
+        with _tracker_lock:
+            # The registration suppressor is a process-global patch, so
+            # serialize attaches; they only happen at worker startup.
+            from multiprocessing import resource_tracker
+            original_register = resource_tracker.register
+            resource_tracker.register = _no_register
+            try:
+                shm = shared_memory.SharedMemory(name=spec.name)
+            finally:
+                resource_tracker.register = original_register
+    except (FileNotFoundError, OSError) as error:
+        raise ArenaSnapshotError(
+            f"shared arena segment {spec.name!r} is not attachable: "
+            f"{error}") from error
+    try:
+        return SharedArenaView(ontology, shm, spec, dewey=dewey,
+                               cache=cache, cache_entries=cache_entries,
+                               kernel_tier=kernel_tier)
+    except BaseException:
+        shm.close()
+        raise
+
+
+def try_attach(spec: SharedArenaSpec, ontology: Ontology, *,
+               dewey: DeweyIndex | None = None,
+               cache: ConceptDistanceCache | None = None,
+               cache_entries: int = DEFAULT_CACHE_ENTRIES,
+               kernel_tier: str = "auto") -> SharedArenaView | None:
+    """Best-effort attach: ``None`` instead of raising on any mismatch.
+
+    The worker-side entry point — a missing segment, an epoch mismatch,
+    or a truncated mapping all mean "pack your own arena", never a
+    failed worker.
+    """
+    try:
+        return attach_view(spec, ontology, dewey=dewey, cache=cache,
+                           cache_entries=cache_entries,
+                           kernel_tier=kernel_tier)
+    except ArenaSnapshotError:
+        return None
+
+
+_tracker_lock = threading.Lock()
+"""Serializes the resource-tracker patch in :func:`attach_view`."""
+
+
+def _no_register(name: str, rtype: str) -> None:
+    """Registration suppressor installed while attaching (see
+    :func:`attach_view`); matches ``resource_tracker.register``."""

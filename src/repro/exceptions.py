@@ -106,6 +106,17 @@ class EmptyDocumentError(CorpusError):
         self.doc_id = doc_id
 
 
+class ArenaSnapshotError(ReproError):
+    """A shared arena snapshot cannot be attached.
+
+    Raised by :func:`repro.core.sharena.attach_view` when the named
+    segment is missing, carries a foreign or newer header, or stamps a
+    different epoch than the attacher expected.  Shard workers treat it
+    as a signal to fall back to packing a private arena
+    (:func:`repro.core.sharena.try_attach`), never as fatal.
+    """
+
+
 class IndexError_(ReproError):
     """Base class for index backend errors (named to avoid shadowing
     the :class:`IndexError` builtin)."""

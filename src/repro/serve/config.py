@@ -95,6 +95,17 @@ class ServeConfig:
         Per-shard request timeout.  A worker missing it is treated as
         crashed: killed, respawned, and retried once before the request
         fails with 503.
+    shared_arena:
+        Publish the coordinator's packed arena as one read-only
+        shared-memory snapshot that every shard worker attaches in O(1)
+        instead of re-packing (``repro serve --shared-arena``).
+        Requires ``shards > 0`` — with a single in-process engine there
+        is nobody to share with.
+    kernel_tier:
+        Arena LCP kernel selection: ``auto`` (numpy when the ``perf``
+        extra is installed, else the packed scalar kernel), ``packed``,
+        or ``numpy`` (hard requirement).  Results are bit-identical
+        across tiers; see docs/PERFORMANCE.md, "The kernel ladder".
     """
 
     host: str = "127.0.0.1"
@@ -120,6 +131,8 @@ class ServeConfig:
     shards: int = 0
     shard_policy: str = "hash"
     shard_timeout_seconds: float = 30.0
+    shared_arena: bool = False
+    kernel_tier: str = "auto"
 
     @property
     def max_inflight(self) -> int:
@@ -197,3 +210,13 @@ class ServeConfig:
             raise ServeError(
                 f"shard_timeout_seconds must be > 0, got "
                 f"{self.shard_timeout_seconds}")
+        if self.shared_arena and self.shards < 1:
+            raise ServeError(
+                "shared_arena requires shards >= 1; a single in-process "
+                "engine has no worker processes to share the arena with")
+        # Mirrors repro.core.arena.KERNEL_TIERS (same no-import rule as
+        # shard_policy above).
+        if self.kernel_tier not in ("auto", "packed", "numpy"):
+            raise ServeError(
+                f"kernel_tier must be one of auto, packed, numpy, "
+                f"got {self.kernel_tier!r}")

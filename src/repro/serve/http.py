@@ -503,11 +503,34 @@ class QueryServer:
             "inflight": self.service.admission.inflight,
             "cache_entries": len(self.service.cache),
             "tracer": tracer_stats,
+            "arena": self._arena_info(),
             "recorder": self.service.recorder.snapshot(),
             "resources": resources,
             "metrics": self.service.obs.metrics.snapshot(),
         }
         return _json_response(200, payload)
+
+    def _arena_info(self) -> dict[str, Any]:
+        """Distance-kernel info block for ``/debug/vars``.
+
+        ``kernel_tier`` reports the full ladder (tuple | packed |
+        numpy): the tuple rung means the engine's default config runs
+        the DRC tuple path with no arena at all, so the arena tier is
+        moot for served queries.
+        """
+        engine = self.service.engine
+        arena = engine.arena
+        default_config = getattr(engine, "default_config", None)
+        use_arena = getattr(default_config, "use_arena", True)
+        shared_bytes = getattr(engine, "shared_arena_bytes", None)
+        return {
+            "kernel_tier": arena.kernel_tier if use_arena else "tuple",
+            "epoch": arena.epoch,
+            "interned": arena.interned,
+            "buffer_bytes": arena.buffer_bytes(),
+            "shared_bytes": (int(shared_bytes())
+                             if callable(shared_bytes) else 0),
+        }
 
     async def _handle_debug_slo(self, request: "_Request") -> _Response:
         """``GET /debug/slo`` — objectives, burn rates, per-endpoint."""

@@ -247,6 +247,16 @@ class QueryService:
             "resource.arena_bytes",
             lambda: float(engine.arena.buffer_bytes()),
             "Bytes held by the packed Dewey arena buffers")
+        shared_bytes = getattr(engine, "shared_arena_bytes", None)
+        if callable(shared_bytes):
+            # Sharded coordinator with a published snapshot: the
+            # segment is counted here exactly once per host — attached
+            # worker views report buffer_bytes() == 0 by design.
+            sampler.add_source(
+                "resource.arena_shared_bytes",
+                lambda: float(shared_bytes()),
+                "Bytes of the shared arena snapshot segment (one per "
+                "host; 0 when --shared-arena is off)")
         sampler.add_source(
             "resource.distance_cache_entries",
             lambda: float(len(engine.arena.cache)),

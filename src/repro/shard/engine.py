@@ -48,12 +48,14 @@ from typing import Any, TYPE_CHECKING
 
 from repro.core.arena import PackedDeweyArena
 from repro.core.engine import SearchEngine
+from repro.core.sharena import SharedArenaSegment, publish_snapshot
 from repro.core.knds import KNDSConfig
 from repro.core.results import RankedResults, merge_ranked
 from repro.corpus.collection import DocumentCollection
 from repro.corpus.document import Document
-from repro.exceptions import (ShardProtocolError, ShardTimeoutError,
-                              ShardUnavailableError, UnknownConceptError)
+from repro.exceptions import (QueryError, ShardProtocolError,
+                              ShardTimeoutError, ShardUnavailableError,
+                              UnknownConceptError)
 from repro.obs.logging import get_logger
 from repro.obs.tracing import NULL_TRACER
 from repro.ontology.dewey import DeweyIndex
@@ -181,6 +183,8 @@ class ShardedEngine:
                  timeout_seconds: float = 30.0,
                  spawn_timeout_seconds: float = 60.0,
                  default_config: KNDSConfig | None = None,
+                 shared_arena: bool = False,
+                 kernel_tier: str = "auto",
                  obs: "Observability | None" = None) -> None:
         ontology.validate()
         self.ontology = ontology
@@ -193,7 +197,18 @@ class ShardedEngine:
         # keys (`arena.cache_token`) and resource gauges read them, and
         # explain() runs locally against the full collection.
         self.dewey = DeweyIndex(ontology)
-        self.arena = PackedDeweyArena(ontology, self.dewey)
+        self.arena = PackedDeweyArena(ontology, self.dewey,
+                                      kernel_tier=kernel_tier)
+        self._kernel_tier = kernel_tier
+        # shared_arena=True seals the fully interned coordinator arena
+        # into one shared-memory segment; every worker (including
+        # respawns) attaches it read-only instead of re-packing the
+        # ontology, so cold start is O(1) and the packed bytes exist
+        # once per host.  Attach failures degrade to private packing
+        # inside the worker (see repro.core.sharena.try_attach).
+        self._segment: "SharedArenaSegment | None" = None
+        if shared_arena:
+            self._segment = publish_snapshot(self.arena)
         self._planner = ShardPlanner(shards, policy)
         self._ctx = multiprocessing.get_context("spawn")
         # Serializes mutations *and* respawns (reentrant: a mutation
@@ -234,6 +249,22 @@ class ShardedEngine:
         """Corpus-mutation counter; same contract as the single engine."""
         return self._epoch
 
+    @property
+    def shared_arena(self) -> bool:
+        """True when workers attach one shared arena snapshot."""
+        return self._segment is not None
+
+    def shared_arena_bytes(self) -> int:
+        """Size of the published shared arena segment (0 when off).
+
+        The once-per-host figure behind the
+        ``resource.arena_shared_bytes`` gauge: attached worker views
+        report ``buffer_bytes() == 0``, so the segment is never counted
+        once per process.
+        """
+        segment = self._segment
+        return segment.spec.nbytes if segment is not None else 0
+
     def shard_health(self) -> list[dict[str, Any]]:
         """Coordinator-side health of every worker (no worker I/O).
 
@@ -253,6 +284,22 @@ class ShardedEngine:
                 "documents": counts[index],
             })
         return health
+
+    def worker_health(self, index: int) -> dict[str, Any]:
+        """In-worker health of shard ``index`` (one round trip).
+
+        Unlike :meth:`shard_health` this asks the worker itself, so it
+        reports state only the worker knows: its document count and
+        epoch, which kernel tier its arena resolved to, and whether it
+        attached the shared snapshot (``shared_arena``) or fell back to
+        packing privately.  Triggers a respawn-and-retry if the worker
+        is down, like any other call.
+        """
+        if not 0 <= index < self.shards:
+            raise QueryError(
+                f"shard index {index} out of range 0..{self.shards - 1}")
+        result = self._call(index, "health", {})
+        return dict(result)
 
     def instrument(self, obs: "Observability | None") -> None:
         """Attach (or detach) an observability bundle to the coordinator.
@@ -406,13 +453,22 @@ class ShardedEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut every worker down (graceful first, then terminate)."""
+        """Shut every worker down (graceful first, then terminate).
+
+        The shared arena segment (if any) is unlinked *after* the
+        workers drain: attached mappings stay valid until each worker
+        detaches, so teardown order only affects new attaches — and a
+        post-unlink respawn attempt simply falls back to packing a
+        private arena.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             for handle in self._handles:
                 handle.destroy(graceful=True)
+            if self._segment is not None:
+                self._segment.unlink()
 
     def __enter__(self) -> "ShardedEngine":
         """Enter the context manager; returns the coordinator itself."""
@@ -544,11 +600,14 @@ class ShardedEngine:
         listener.settimeout(self.spawn_timeout_seconds)
         _host, port = listener.getsockname()[:2]
         token = secrets.token_bytes(16)
+        segment = self._segment
         spec = WorkerSpec(
             shard_index=index, host="127.0.0.1", port=port, token=token,
             ontology=self.ontology, documents=tuple(documents),
             collection_name=self.collection.name,
-            default_config=self.default_config)
+            default_config=self.default_config,
+            arena=segment.spec if segment is not None else None,
+            kernel_tier=self._kernel_tier)
         process = self._ctx.Process(
             target=run_worker, args=(spec,),
             name=f"repro-shard-{index}", daemon=True)

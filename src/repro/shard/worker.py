@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.core.engine import SearchEngine
 from repro.core.knds import KNDSConfig
+from repro.core.sharena import SharedArenaSpec, SharedArenaView, try_attach
 from repro.corpus.document import Document
 from repro.exceptions import ShardProtocolError
 from repro.ontology.graph import Ontology
@@ -38,7 +39,15 @@ __all__ = ["WorkerSpec", "run_worker"]
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything one worker process needs, shipped through spawn args."""
+    """Everything one worker process needs, shipped through spawn args.
+
+    ``arena`` is the optional locator of the coordinator's shared arena
+    snapshot (:func:`repro.core.sharena.publish_snapshot`): when set,
+    the worker attaches the segment read-only instead of re-packing the
+    ontology — O(1) cold start — and falls back to a private arena if
+    the attach fails (segment gone, epoch moved on).  ``kernel_tier``
+    selects the arena kernel in either case.
+    """
 
     shard_index: int
     host: str
@@ -48,6 +57,8 @@ class WorkerSpec:
     documents: tuple[Document, ...]
     collection_name: str = "shard"
     default_config: KNDSConfig | None = None
+    arena: SharedArenaSpec | None = None
+    kernel_tier: str = "auto"
 
 
 def run_worker(spec: WorkerSpec) -> None:
@@ -57,16 +68,26 @@ def run_worker(spec: WorkerSpec) -> None:
     qualified name.
     """
     sock = socket.create_connection((spec.host, spec.port), timeout=30.0)
+    view: SharedArenaView | None = None
     try:
         sock.settimeout(None)
         send_frame(sock, ("hello", spec.token, spec.shard_index))
+        if spec.arena is not None:
+            # Best effort by design: any snapshot problem degrades to
+            # the pre-shared-arena behaviour (pack privately), never to
+            # a dead shard.
+            view = try_attach(spec.arena, spec.ontology,
+                              kernel_tier=spec.kernel_tier)
         engine = SearchEngine.for_partition(
             spec.ontology, spec.documents,
             name=f"{spec.collection_name}-{spec.shard_index}",
-            default_config=spec.default_config)
+            default_config=spec.default_config,
+            arena=view, kernel_tier=spec.kernel_tier)
         with engine:
             _serve(sock, engine)
     finally:
+        if view is not None:
+            view.detach()
         sock.close()
 
 
@@ -122,8 +143,10 @@ def _handlers(engine: SearchEngine) -> dict[str, Callable[..., Any]]:
     def remove_document(*, doc_id: DocId) -> None:
         engine.remove_document(doc_id)
 
-    def health() -> dict[str, int]:
-        return {"documents": len(engine.collection), "epoch": engine.epoch}
+    def health() -> dict[str, Any]:
+        return {"documents": len(engine.collection), "epoch": engine.epoch,
+                "kernel_tier": engine.arena.kernel_tier,
+                "shared_arena": isinstance(engine.arena, SharedArenaView)}
 
     def ping() -> str:
         return "pong"

@@ -1,0 +1,272 @@
+"""Shared-memory arena snapshots: parity, lifecycle, and freezing.
+
+Two contracts under test.  First, the kernel-ladder parity contract:
+the tuple reference path, the packed scalar kernel, the numpy batch
+kernel, and a view attached over a shared segment must all produce
+bit-identical distances — including over adversarial Dewey shapes
+(multi-parent concepts with shared prefixes, the root's short
+addresses, and parent/child pairs that sit on the distance<=1
+early-exit boundary) — and the batch entry points must advance every
+gated counter exactly as the scalar loop would.  Second, the segment
+lifecycle: publish -> attach -> detach -> unlink, with every mismatch
+(missing segment, stale epoch, foreign magic) degrading to the re-pack
+fallback instead of a failed worker.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.core import npkernel
+from repro.core.arena import KERNEL_TIERS, PackedDeweyArena
+from repro.core.drc import DRC
+from repro.core.sharena import (SharedArenaSpec, attach_view,
+                                publish_snapshot, try_attach)
+from repro.exceptions import (ArenaSnapshotError, InvariantError,
+                              ReproError, UnknownConceptError)
+from repro.ontology.dewey import DeweyIndex
+from repro.ontology.distance import concept_distance_dewey
+from repro.ontology.generators import snomed_like
+
+TIERS = [tier for tier in KERNEL_TIERS if tier != "auto"
+         and (tier != "numpy" or npkernel.available())]
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_locks(lock_sanitizer):
+    """Same discipline as the arena tests: fail on lock-order issues."""
+    yield lock_sanitizer
+
+
+def adversarial_pairs(ontology, rng, count=150):
+    """Concept pairs biased toward the kernels' edge cases.
+
+    Random pairs share long prefixes on a deep DAG; the explicit extras
+    pin the boundaries: identical pairs (distance 0 short-circuit),
+    parent/child pairs (distance 1, the scalar kernel's early exit),
+    and pairs involving a root whose addresses are shortest.
+    """
+    concepts = sorted(ontology)
+    pairs = [(rng.choice(concepts), rng.choice(concepts))
+             for _ in range(count)]
+    pairs.extend((concept, concept) for concept in concepts[:10])
+    for concept in concepts:
+        for parent in ontology.parents(concept):
+            pairs.append((concept, parent))
+            pairs.append((parent, concept))
+    roots = [concept for concept in concepts
+             if not ontology.parents(concept)]
+    pairs.extend((root, rng.choice(concepts)) for root in roots)
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Three-way (plus shared-view) kernel equivalence
+# ----------------------------------------------------------------------
+class TestKernelLadderParity:
+    @pytest.mark.parametrize("seed", [2, 13, 47])
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_pair_distances_match_tuple_reference(self, seed, tier):
+        ontology = snomed_like(130, seed=seed)
+        dewey = DeweyIndex(ontology)
+        arena = PackedDeweyArena(ontology, dewey, kernel_tier=tier)
+        rng = random.Random(seed * 7)
+        for first, second in adversarial_pairs(ontology, rng):
+            assert arena.concept_pair_distance(first, second) \
+                == concept_distance_dewey(dewey, first, second)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_batch_matches_scalar_with_identical_counters(self, tier):
+        ontology = snomed_like(90, seed=5)
+        dewey = DeweyIndex(ontology)
+        scalar = PackedDeweyArena(ontology, dewey, kernel_tier="packed")
+        batched = PackedDeweyArena(ontology, dewey, kernel_tier=tier)
+        rng = random.Random(19)
+        pairs = adversarial_pairs(ontology, rng, count=80)
+        # Duplicates inside one batch exercise the pending-dedup path.
+        pairs.extend(pairs[:15])
+        ids = [(batched.concept_id(first), batched.concept_id(second))
+               for first, second in pairs]
+        expected = [scalar.concept_pair_distance(first, second)
+                    for first, second in pairs]
+        for first, second in pairs:  # mirror the id interning
+            scalar.concept_id(first), scalar.concept_id(second)
+        assert batched.batch_pair_distances(ids) == expected
+        assert (batched.pair_lookups, batched.pair_kernels) \
+            == (scalar.pair_lookups, scalar.pair_kernels)
+        assert (batched.cache.stats.hits, batched.cache.stats.misses) \
+            == (scalar.cache.stats.hits, scalar.cache.stats.misses)
+
+    @pytest.mark.skipif(not npkernel.available(), reason="numpy tier only")
+    def test_batch_kernel_survives_concurrent_interning(self):
+        # Regression: the numpy snapshot used to live in six separate
+        # attributes reassigned one by one during refresh, so a reader
+        # racing a rebuild could index a grown starts vector into the
+        # previous (smaller) matrix -> IndexError.  The snapshot is now
+        # one immutable object swapped atomically; hammer interning
+        # growth against cache-less batch queries to keep it that way.
+        ontology = snomed_like(240, seed=31)
+        dewey = DeweyIndex(ontology)
+        arena = PackedDeweyArena(ontology, dewey, cache_entries=0,
+                                 kernel_tier="numpy")
+        concepts = sorted(ontology)
+        anchor = arena.concept_id(concepts[0])
+        chunks = [concepts[index::4] for index in range(4)]
+        barrier = threading.Barrier(len(chunks))
+        errors: list[BaseException] = []
+        results: dict[str, int] = {}
+
+        def worker(chunk):
+            try:
+                barrier.wait()
+                for concept in chunk:
+                    interned = arena.concept_id(concept)
+                    results[concept] = arena.batch_pair_distances(
+                        [(anchor, interned)])[0]
+            except BaseException as error:  # noqa: BLE001 - recorded
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(chunk,))
+                   for chunk in chunks]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for concept in concepts:
+            assert results[concept] == concept_distance_dewey(
+                dewey, concepts[0], concept)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_document_distances_match_drc_tuple_path(self, tier):
+        ontology = snomed_like(110, seed=23)
+        dewey = DeweyIndex(ontology)
+        arena = PackedDeweyArena(ontology, dewey, kernel_tier=tier)
+        drc = DRC(ontology, dewey)  # no arena: the tuple path
+        rng = random.Random(29)
+        concepts = sorted(ontology)
+        for _ in range(30):
+            doc = rng.sample(concepts, rng.randint(1, 10))
+            query = rng.sample(concepts, rng.randint(1, 5))
+            assert arena.doc_query_distance(doc, query) \
+                == drc.document_query_distance(doc, query)
+            assert arena.doc_doc_distance(doc, query) \
+                == drc.document_document_distance(doc, query)
+
+    def test_forcing_numpy_without_numpy_is_a_clear_error(self,
+                                                          monkeypatch):
+        if npkernel.available():
+            monkeypatch.setattr(npkernel, "_np", None)
+        ontology = snomed_like(20, seed=3)
+        with pytest.raises(ReproError, match=r"repro\[perf\]"):
+            PackedDeweyArena(ontology, kernel_tier="numpy")
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle: publish, attach, detach, unlink
+# ----------------------------------------------------------------------
+class TestSegmentLifecycle:
+    @pytest.fixture()
+    def world(self):
+        ontology = snomed_like(80, seed=31)
+        dewey = DeweyIndex(ontology)
+        arena = PackedDeweyArena(ontology, dewey)
+        segment = publish_snapshot(arena)
+        yield ontology, dewey, arena, segment
+        segment.unlink()
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_attached_view_is_bit_identical(self, world, tier):
+        ontology, dewey, arena, segment = world
+        view = attach_view(segment.spec, ontology, dewey=dewey,
+                           kernel_tier=tier)
+        try:
+            assert view.interned == arena.interned == len(ontology)
+            rng = random.Random(37)
+            for first, second in adversarial_pairs(ontology, rng,
+                                                   count=60):
+                assert view.concept_pair_distance(first, second) \
+                    == arena.concept_pair_distance(first, second)
+            concepts = sorted(ontology)
+            assert view.doc_doc_distance(concepts[:6], concepts[3:9]) \
+                == arena.doc_doc_distance(concepts[:6], concepts[3:9])
+        finally:
+            view.detach()
+
+    def test_view_is_frozen_and_reports_zero_private_bytes(self, world):
+        ontology, dewey, arena, segment = world
+        with attach_view(segment.spec, ontology, dewey=dewey) as view:
+            assert view.attached
+            assert view.buffer_bytes() == 0  # counted once, publisher-side
+            assert view.shared_segment_bytes() == segment.spec.nbytes
+            assert arena.buffer_bytes() > 0
+            with pytest.raises(UnknownConceptError):
+                view.concept_pair_distance("not-a-concept",
+                                           sorted(ontology)[0])
+            with pytest.raises(InvariantError):
+                view.invalidate()
+        assert not view.attached
+
+    def test_detach_is_idempotent(self, world):
+        ontology, dewey, _arena, segment = world
+        view = attach_view(segment.spec, ontology, dewey=dewey)
+        view.detach()
+        view.detach()
+        assert not view.attached
+
+    def test_epoch_mismatch_degrades_to_repack(self, world):
+        ontology, dewey, _arena, segment = world
+        stale = SharedArenaSpec(name=segment.spec.name,
+                                epoch=segment.spec.epoch + 1,
+                                nbytes=segment.spec.nbytes)
+        with pytest.raises(ArenaSnapshotError, match="re-pack"):
+            attach_view(stale, ontology, dewey=dewey)
+        assert try_attach(stale, ontology, dewey=dewey) is None
+        # The genuine spec still attaches: the segment is intact.
+        view = try_attach(segment.spec, ontology, dewey=dewey)
+        assert view is not None
+        view.detach()
+
+    def test_missing_segment_degrades_to_repack(self, world):
+        ontology, dewey, _arena, _segment = world
+        gone = SharedArenaSpec(name="repro-no-such-segment", epoch=0,
+                               nbytes=0)
+        assert try_attach(gone, ontology, dewey=dewey) is None
+
+    def test_unlink_is_idempotent_and_stops_new_attaches(self, world):
+        ontology, dewey, _arena, segment = world
+        segment.unlink()
+        segment.unlink()
+        assert try_attach(segment.spec, ontology, dewey=dewey) is None
+
+    def test_foreign_magic_is_rejected(self):
+        ontology = snomed_like(20, seed=41)
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            shm.buf[:4] = b"NOPE"
+            spec = SharedArenaSpec(name=shm.name, epoch=0, nbytes=64)
+            with pytest.raises(ArenaSnapshotError, match="magic"):
+                attach_view(spec, ontology)
+            assert try_attach(spec, ontology) is None
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_publish_interns_lazily_packed_arenas(self):
+        # A publisher that never answered a query still seals the full
+        # ontology: attached views are frozen, so partial snapshots
+        # would strand concepts.
+        ontology = snomed_like(50, seed=43)
+        arena = PackedDeweyArena(ontology)
+        assert arena.interned == 0
+        segment = publish_snapshot(arena)
+        try:
+            assert arena.interned == len(ontology)
+            with attach_view(segment.spec, ontology) as view:
+                assert view.interned == len(ontology)
+        finally:
+            segment.unlink()

@@ -360,6 +360,20 @@ class TestResourceGauges:
             assert name in resources, name
         assert resources["resource.arena_bytes"] >= 0
 
+    def test_debug_vars_reports_arena_kernel_info(self, server, engine):
+        status, _, body = request(server, "GET", "/debug/vars")
+        assert status == 200
+        arena = body["arena"]
+        # Whatever "auto" resolved to (numpy availability and the
+        # REPRO_KERNEL_TIER override both feed in), the report must
+        # match the engine's own arena.
+        assert arena["kernel_tier"] == engine.arena.kernel_tier
+        assert arena["kernel_tier"] in ("packed", "numpy")
+        assert arena["interned"] >= 0
+        assert arena["buffer_bytes"] >= 0
+        assert arena["shared_bytes"] == 0  # single-process: no segment
+        assert arena["epoch"] >= 0
+
     def test_metrics_scrape_refreshes_gauges(self, server):
         status, _, body = request(server, "GET", "/metrics")
         assert status == 200

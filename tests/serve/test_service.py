@@ -29,6 +29,21 @@ def service(engine):
         yield service
 
 
+class TestConfigValidation:
+    def test_shared_arena_requires_shards(self, engine):
+        from repro.exceptions import ServeError
+        with pytest.raises(ServeError, match="shared_arena"):
+            QueryService(engine, ServeConfig(shared_arena=True))
+
+    def test_kernel_tier_is_validated(self, engine):
+        from repro.exceptions import ServeError
+        with pytest.raises(ServeError, match="kernel_tier"):
+            QueryService(engine, ServeConfig(kernel_tier="gpu"))
+        for tier in ("auto", "packed"):
+            QueryService(engine, ServeConfig(
+                workers=1, kernel_tier=tier)).close(drain_seconds=0.0)
+
+
 class TestEpochProperty:
     def test_starts_at_zero(self, engine):
         assert engine.epoch == 0

@@ -102,6 +102,30 @@ class TestHttpOnShards:
         assert shards["respawns"] == 0
         assert [worker["shard"] for worker in shards["workers"]] == [0, 1]
 
+    def test_shared_arena_gauge_counts_the_segment_once(self, figure3):
+        # --shared-arena on: the gauge reports the segment's bytes at
+        # the coordinator, while the per-process arena_bytes gauge stays
+        # the coordinator's private arena — workers report 0 and are
+        # not summed, so the segment is counted once per host.
+        sharded = ShardedEngine(figure3, example4_collection(), shards=2,
+                                shared_arena=True)
+        service = QueryService(sharded,
+                               ServeConfig(workers=2, queue_limit=8,
+                                           shared_arena=True, shards=2))
+        handle = ServerHandle.start(service, port=0)
+        try:
+            status, body = request(handle, "GET", "/debug/vars")
+            assert status == 200
+            resources = body["resources"]
+            assert resources["resource.arena_shared_bytes"] \
+                == sharded.shared_arena_bytes() > 0
+            arena = body["arena"]
+            assert arena["shared_bytes"] == sharded.shared_arena_bytes()
+        finally:
+            handle.stop()
+            service.close(drain_seconds=0.0)
+            sharded.close()
+
     def test_healthz_degrades_then_heals(self, server, sharded):
         victim = sharded.shard_health()[1]
         os.kill(victim["pid"], signal.SIGKILL)

@@ -1,0 +1,112 @@
+"""Sharded serving over the shared arena snapshot (``--shared-arena``).
+
+The acceptance bar: a 2-shard engine whose workers attach the published
+shared-memory snapshot must return *bit-identical* RankedResults to the
+single-process engine, every worker must actually report attaching (not
+silently fall back to re-packing), a SIGKILLed worker must re-attach on
+respawn, and closing the coordinator must unlink the segment so late
+attach attempts degrade to the private re-pack path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.bench.workloads import (random_concept_queries,
+                                   random_query_documents)
+from repro.core.engine import SearchEngine
+from repro.core.sharena import try_attach
+from repro.exceptions import QueryError
+from repro.shard import ShardedEngine
+
+
+def assert_identical(left, right):
+    """Bit-identical RankedResults: ids, distances, and order."""
+    assert [(item.doc_id, item.distance) for item in left.results] \
+        == [(item.doc_id, item.distance) for item in right.results]
+
+
+@pytest.fixture(scope="module")
+def shared_pair(small_ontology, small_corpus):
+    """(single engine, 2-shard engine with the shared arena on)."""
+    single = SearchEngine(small_ontology, small_corpus)
+    sharded = ShardedEngine(small_ontology, small_corpus, shards=2,
+                            shared_arena=True)
+    yield single, sharded
+    sharded.close()
+    single.close()
+
+
+class TestSharedArenaServing:
+    def test_every_worker_attached_the_snapshot(self, shared_pair):
+        _single, sharded = shared_pair
+        assert sharded.shared_arena
+        assert sharded.shared_arena_bytes() > 0
+        for index in range(sharded.shards):
+            health = sharded.worker_health(index)
+            assert health["shared_arena"] is True
+
+    def test_rds_bit_identical_to_single_engine(self, shared_pair,
+                                                small_corpus):
+        single, sharded = shared_pair
+        queries = random_concept_queries(small_corpus, nq=4, count=12,
+                                         seed=51)
+        for query in queries:
+            assert_identical(single.rds(list(query), k=10),
+                             sharded.rds(list(query), k=10))
+
+    def test_sds_bit_identical_to_single_engine(self, shared_pair,
+                                                small_corpus):
+        single, sharded = shared_pair
+        for document in random_query_documents(small_corpus, nq=6,
+                                               count=8, seed=52):
+            assert_identical(single.sds(document, k=10),
+                             sharded.sds(document, k=10))
+
+    def test_killed_worker_reattaches_on_respawn(self, shared_pair,
+                                                 small_corpus):
+        single, sharded = shared_pair
+        victim = sharded.shard_health()[0]
+        os.kill(victim["pid"], signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while sharded.shard_health()[0]["alive"]:
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("worker did not die")
+            time.sleep(0.01)
+        # The respawned worker attaches the same segment: spec reuse.
+        health = sharded.worker_health(0)
+        assert health["shared_arena"] is True
+        assert sharded.shard_health()[0]["restarts"] == 1
+        query = list(next(iter(random_concept_queries(
+            small_corpus, nq=4, count=1, seed=53))))
+        assert_identical(single.rds(query, k=10),
+                         sharded.rds(query, k=10))
+
+    def test_worker_health_index_is_validated(self, shared_pair):
+        _single, sharded = shared_pair
+        with pytest.raises(QueryError, match="out of range"):
+            sharded.worker_health(99)
+
+
+class TestTeardown:
+    def test_close_unlinks_the_segment(self, small_ontology, small_corpus):
+        sharded = ShardedEngine(small_ontology, small_corpus, shards=2,
+                                shared_arena=True)
+        spec = sharded._segment.spec
+        sharded.close()
+        # Unlinked on drain: a late attacher gets the re-pack fallback.
+        assert try_attach(spec, small_ontology) is None
+
+    def test_shared_arena_off_by_default(self, small_ontology,
+                                         small_corpus):
+        sharded = ShardedEngine(small_ontology, small_corpus, shards=2)
+        try:
+            assert not sharded.shared_arena
+            assert sharded.shared_arena_bytes() == 0
+            assert sharded.worker_health(0)["shared_arena"] is False
+        finally:
+            sharded.close()
